@@ -1,0 +1,68 @@
+// mcfi-analyze runs the C1/C2 analyzer (paper §6) over MiniC sources:
+// it reports casts involving function-pointer types, applies the five
+// false-positive elimination rules (UC, DC, MF, SU, NF), and
+// classifies the residue into K1 (needs a source fix for a complete
+// CFG) and K2 (round-trip casts, no fix needed).
+//
+// Usage:
+//
+//	mcfi-analyze [-v] [-noprelude] file.c ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mcfi/internal/analyzer"
+	"mcfi/internal/toolchain"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print every finding with its classification")
+	noprelude := flag.Bool("noprelude", false, "do not prepend the libc header")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcfi-analyze [-v] file.c ...")
+		os.Exit(2)
+	}
+	total := &analyzer.Report{Name: "TOTAL"}
+	fmt.Printf("%-16s %6s %5s %4s %4s %4s %4s %4s %5s %4s %4s %5s\n",
+		"file", "SLOC", "VBE", "UC", "DC", "MF", "SU", "NF", "VAE", "K1", "K2", "asm")
+	for _, path := range flag.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		unit, err := toolchain.AnalyzeSource(
+			toolchain.Source{Name: name, Text: string(text)}, !*noprelude)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		rep := analyzer.Analyze(unit)
+		rep.SLOC = analyzer.CountSLOC(string(text))
+		fmt.Printf("%-16s %6d %5d %4d %4d %4d %4d %4d %5d %4d %4d %5d\n",
+			name, rep.SLOC, rep.VBE, rep.UC, rep.DC, rep.MF, rep.SU, rep.NF,
+			rep.VAE, rep.K1, rep.K2, rep.AsmTotal)
+		if *verbose {
+			for _, f := range rep.Findings {
+				fmt.Printf("    %s\n", f)
+			}
+		}
+		total.Add(rep)
+	}
+	if flag.NArg() > 1 {
+		fmt.Printf("%-16s %6d %5d %4d %4d %4d %4d %4d %5d %4d %4d %5d\n",
+			"TOTAL", total.SLOC, total.VBE, total.UC, total.DC, total.MF,
+			total.SU, total.NF, total.VAE, total.K1, total.K2, total.AsmTotal)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcfi-analyze:", err)
+	os.Exit(1)
+}

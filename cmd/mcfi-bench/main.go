@@ -1,0 +1,262 @@
+// mcfi-bench regenerates the tables and figures of the MCFI paper's
+// evaluation (§8) over the reproduction's workload suite.
+//
+// Usage:
+//
+//	mcfi-bench -exp all
+//	mcfi-bench -exp fig5 -profile 32
+//	mcfi-bench -exp table3 -scale 1.0
+//
+// Experiments: fig5, fig6, stm, space, table1, table2, table3, air,
+// rop, cfggen, sanity, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcfi/internal/experiments"
+	"mcfi/internal/verifier"
+	"mcfi/internal/visa"
+	"mcfi/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig5 fig6 stm space table1 table2 table3 air rop cfggen sanity all)")
+	profile := flag.Int("profile", 64, "VISA profile: 32 or 64")
+	work := flag.Int("work", 0, "override workload iteration count (0 = reference inputs)")
+	scale := flag.Float64("scale", 0.25, "Table 3 synthetic-module scale factor")
+	hz := flag.Int("hz", 50, "update-transaction frequency for fig6")
+	flag.Parse()
+
+	c := experiments.Config{
+		Profile:  visa.Profile64,
+		Work:     *work,
+		GenScale: *scale,
+	}
+	if *profile == 32 {
+		c.Profile = visa.Profile32
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("==== %s (%s) ====\n", name, c.Profile)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("sanity", func() error { return sanity(c) })
+	run("fig5", func() error { return fig5(c) })
+	run("fig6", func() error { return fig6(c, *hz) })
+	run("stm", func() error { return stm() })
+	run("space", func() error { return space(c) })
+	run("table1", func() error { return table1(c) })
+	run("table2", func() error { return table2(c) })
+	run("table3", func() error { return table3(c) })
+	run("air", func() error { return airTable(c) })
+	run("rop", func() error { return ropTable(c) })
+	run("cfggen", func() error { return cfggen(c) })
+}
+
+func sanity(c experiments.Config) error {
+	if err := experiments.VerifyIDEncoding(); err != nil {
+		return err
+	}
+	// Verify every instrumented workload module with the independent
+	// verifier before trusting measurements from it.
+	for _, w := range workload.All() {
+		obj, err := experiments.ModuleOf(w.Name, c)
+		if err != nil {
+			return err
+		}
+		if err := verifier.Verify(obj); err != nil {
+			return fmt.Errorf("%s failed verification: %v", w.Name, err)
+		}
+		fmt.Printf("  %-11s verified (%d bytes of code, %d IBs)\n",
+			w.Name, len(obj.Code), len(obj.Aux.IBs))
+	}
+	return nil
+}
+
+func fig5(c experiments.Config) error {
+	rows, err := experiments.Fig5(c)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 5 — execution overhead of MCFI instrumentation (no updates)")
+	fmt.Printf("%-12s %14s %14s %10s\n", "benchmark", "baseline", "MCFI", "overhead")
+	for _, r := range rows {
+		if r.Name == "average" {
+			fmt.Printf("%-12s %14s %14s %9.2f%%\n", r.Name, "", "", r.OverheadPct)
+			continue
+		}
+		fmt.Printf("%-12s %14d %14d %9.2f%%\n", r.Name, r.Baseline, r.MCFI, r.OverheadPct)
+	}
+	return nil
+}
+
+func fig6(c experiments.Config, hz int) error {
+	rows, err := experiments.Fig6(c, hz)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 6 — overhead with update transactions at %d Hz\n", hz)
+	fmt.Printf("%-12s %14s %14s %10s %9s %8s\n",
+		"benchmark", "baseline", "MCFI", "overhead", "updates", "retries")
+	for _, r := range rows {
+		if r.Name == "average" {
+			fmt.Printf("%-12s %14s %14s %9.2f%%\n", r.Name, "", "", r.OverheadPct)
+			continue
+		}
+		fmt.Printf("%-12s %14d %14d %9.2f%% %9d %8d\n",
+			r.Name, r.Baseline, r.MCFI, r.OverheadPct, r.Updates, r.Retries)
+	}
+	return nil
+}
+
+func stm() error {
+	rows := experiments.STM(2_000_000, 4, 50)
+	fmt.Println("§8.1 — normalized check-transaction cost (4 readers, 50 Hz updates)")
+	fmt.Printf("%-8s %12s %12s\n", "scheme", "ns/check", "normalized")
+	for _, r := range rows {
+		fmt.Printf("%-8s %12.1f %12.2f\n", r.Name, r.NsPerCheck, r.Normalized)
+	}
+	return nil
+}
+
+func space(c experiments.Config) error {
+	rows, err := experiments.Space(c)
+	if err != nil {
+		return err
+	}
+	fmt.Println("§8.1 — space overhead (static code size; Tary sized as code)")
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s\n",
+		"benchmark", "baseline", "MCFI", "increase", "tary", "bary")
+	for _, r := range rows {
+		if r.Name == "average" {
+			fmt.Printf("%-12s %10s %10s %9.2f%%\n", r.Name, "", "", r.IncreasePct)
+			continue
+		}
+		fmt.Printf("%-12s %10d %10d %9.2f%% %10d %10d\n",
+			r.Name, r.BaselineCode, r.MCFICode, r.IncreasePct, r.TaryBytes, r.BaryBytes)
+	}
+	return nil
+}
+
+func table1(c experiments.Config) error {
+	rows, err := experiments.Tables12(c)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1 — C1 violations and false-positive elimination")
+	fmt.Printf("%-12s %6s %5s %4s %4s %4s %4s %4s %5s\n",
+		"benchmark", "SLOC", "VBE", "UC", "DC", "MF", "SU", "NF", "VAE")
+	for _, r := range rows {
+		rep := r.Rep
+		fmt.Printf("%-12s %6d %5d %4d %4d %4d %4d %4d %5d\n",
+			r.Name, rep.SLOC, rep.VBE, rep.UC, rep.DC, rep.MF, rep.SU, rep.NF, rep.VAE)
+	}
+	return nil
+}
+
+func table2(c experiments.Config) error {
+	rows, err := experiments.Tables12(c)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 2 — K1/K2 classification of residual violations")
+	fmt.Printf("%-12s %5s %5s %5s   %s\n", "benchmark", "VAE", "K1", "K2", "note")
+	for _, r := range rows {
+		rep := r.Rep
+		if rep.VAE == 0 {
+			continue
+		}
+		note := "K1 cases are dead code (sources ship 'fixed', like gcc's 14)"
+		if rep.K1 == 0 {
+			note = "round-trip casts only; no fix needed"
+		}
+		fmt.Printf("%-12s %5d %5d %5d   %s\n", r.Name, rep.VAE, rep.K1, rep.K2, note)
+	}
+	return nil
+}
+
+func table3(c experiments.Config) error {
+	rows, err := experiments.Table3(c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table 3 — CFG statistics (%s, scale %.2f)\n", c.Profile, c.GenScale)
+	fmt.Printf("%-12s %8s %8s %8s %12s\n", "benchmark", "IBs", "IBTs", "EQCs", "gen time")
+	for _, r := range rows {
+		fmt.Printf("%-12s %8d %8d %8d %9.2f ms\n",
+			r.Name, r.IBs, r.IBTs, r.EQCs, r.GenerationTimeMs)
+	}
+	return nil
+}
+
+func airTable(c experiments.Config) error {
+	rows, err := experiments.AIRTable(c)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	order := rows[0].Order
+	fmt.Println("§8.3 — AIR by policy")
+	fmt.Printf("%-12s", "benchmark")
+	for _, p := range order {
+		fmt.Printf(" %12s", p)
+	}
+	fmt.Println()
+	sums := make([]float64, len(order))
+	for _, r := range rows {
+		fmt.Printf("%-12s", r.Name)
+		for i, p := range order {
+			fmt.Printf(" %12.4f", r.Values[p])
+			sums[i] += r.Values[p]
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-12s", "average")
+	for i := range order {
+		fmt.Printf(" %12.4f", sums[i]/float64(len(rows)))
+	}
+	fmt.Println()
+	return nil
+}
+
+func ropTable(c experiments.Config) error {
+	rows, err := experiments.ROP(c)
+	if err != nil {
+		return err
+	}
+	fmt.Println("§8.3 — ROP gadget elimination (rp++-style unique gadgets)")
+	fmt.Printf("%-12s %10s %12s %10s %12s\n",
+		"benchmark", "original", "raw-hardened", "usable", "eliminated")
+	for _, r := range rows {
+		if r.Name == "average" {
+			fmt.Printf("%-12s %10s %12s %10s %11.2f%%\n", r.Name, "", "", "", r.EliminationPct)
+			continue
+		}
+		fmt.Printf("%-12s %10d %12d %10d %11.2f%%\n",
+			r.Name, r.Original, r.RawHardened, r.Usable, r.EliminationPct)
+	}
+	return nil
+}
+
+func cfggen(c experiments.Config) error {
+	ms, stats, err := experiments.CFGGen(c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("§8.2 — type-matching CFG generation for gcc-scale input:\n")
+	fmt.Printf("  %.2f ms (IBs=%d IBTs=%d EQCs=%d)\n", ms, stats.IBs, stats.IBTs, stats.EQCs)
+	return nil
+}

@@ -1,0 +1,78 @@
+// mcfi-cc compiles a MiniC translation unit into an MCFI object
+// module: parse, type-check, lower to VISA with MCFI instrumentation,
+// and emit the module (code, data, relocations, and the auxiliary type
+// information used for CFG generation at link time).
+//
+// Usage:
+//
+//	mcfi-cc [-o out.mo] [-profile 64] [-baseline] [-noprelude] [-S] input.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mcfi/internal/toolchain"
+	"mcfi/internal/visa"
+)
+
+func main() {
+	out := flag.String("o", "", "output module file (default: input with .mo)")
+	profile := flag.Int("profile", 64, "VISA profile: 32 or 64")
+	baseline := flag.Bool("baseline", false, "disable MCFI instrumentation")
+	noprelude := flag.Bool("noprelude", false, "do not prepend the libc header")
+	asm := flag.Bool("S", false, "print the VISA disassembly instead of writing a module")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcfi-cc [flags] input.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	input := flag.Arg(0)
+	src, err := os.ReadFile(input)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := toolchain.Config{
+		Profile:    visa.Profile64,
+		Instrument: !*baseline,
+		NoPrelude:  *noprelude,
+	}
+	if *profile == 32 {
+		cfg.Profile = visa.Profile32
+	}
+	name := strings.TrimSuffix(filepath.Base(input), filepath.Ext(input))
+	obj, err := toolchain.CompileSource(toolchain.Source{Name: name, Text: string(src)}, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asm {
+		fmt.Print(visa.Disasm(obj.Code, 0))
+		return
+	}
+	dest := *out
+	if dest == "" {
+		dest = name + ".mo"
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if _, err := obj.WriteTo(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d bytes code, %d bytes data, %d functions, %d indirect branches\n",
+		dest, len(obj.Code), len(obj.Data), len(obj.Aux.Funcs), len(obj.Aux.IBs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcfi-cc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// mcfi-ld statically links MCFI object modules (as produced by
+// mcfi-cc) into a loadable image description, merging their auxiliary
+// information and emitting MCFI-instrumented PLT entries for imports
+// left to dynamic linking.
+//
+// Usage:
+//
+//	mcfi-ld [-allow-unresolved] [-with-libc] [-stats] main.mo lib.mo ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcfi/internal/cfg"
+	"mcfi/internal/linker"
+	"mcfi/internal/module"
+	"mcfi/internal/toolchain"
+)
+
+func main() {
+	allowUnresolved := flag.Bool("allow-unresolved", false, "route undefined functions through PLT entries")
+	withLibc := flag.Bool("with-libc", true, "link the built-in MiniC libc")
+	stats := flag.Bool("stats", false, "print CFG statistics of the linked image")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcfi-ld [flags] module.mo ...")
+		os.Exit(2)
+	}
+	var objs []*module.Object
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		obj, err := module.Read(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		objs = append(objs, obj)
+	}
+	if *withLibc {
+		lc, err := toolchain.CompileLibc(toolchain.Config{
+			Profile:    objs[0].Profile,
+			Instrument: objs[0].Instrumented,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		objs = append(objs, lc)
+	}
+	img, err := linker.Link(objs, linker.Options{AllowUnresolved: *allowUnresolved})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("linked %d modules: %d bytes code, %d bytes data, entry %#x, %d PLT entries\n",
+		len(objs), len(img.Code), len(img.Data), img.Entry, len(img.PLT))
+	for _, m := range img.Modules {
+		fmt.Printf("  %-12s code [%#x, %#x)  data [%#x, %#x)\n",
+			m.Name, m.CodeStart, m.CodeEnd, m.DataStart, m.DataEnd)
+	}
+	if *stats {
+		g := cfg.Generate(cfg.Input{
+			Funcs: img.Aux.Funcs, IBs: img.Aux.IBs,
+			RetSites: img.Aux.RetSites, SetjmpConts: img.Aux.SetjmpConts,
+			Annotations: img.Aux.AsmAnnotations, Profile: img.Profile,
+		})
+		fmt.Printf("CFG: %d indirect branches, %d targets, %d equivalence classes\n",
+			g.Stats.IBs, g.Stats.IBTs, g.Stats.EQCs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcfi-ld:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module mcfi
+
+go 1.22

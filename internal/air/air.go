@@ -1,0 +1,33 @@
+// Package air computes the Average Indirect-target Reduction metric
+// (AIR, from Zhang & Sekar's binCFI, used by the paper in §8.3):
+//
+//	AIR = 1 - (1/n) * Σ_j |T_j| / S
+//
+// where n is the number of indirect branches, T_j the target set the
+// CFI policy allows branch j, and S the size of the unrestricted
+// target space (all code addresses). A program without CFI has AIR 0;
+// tighter policies approach 1.
+package air
+
+// Compute evaluates the AIR formula over per-branch target-set sizes.
+// space is S; it must be positive. With no branches the reduction is
+// vacuously perfect (1).
+func Compute(targetSizes []int, space int) float64 {
+	if space <= 0 {
+		return 0
+	}
+	if len(targetSizes) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, t := range targetSizes {
+		if t < 0 {
+			t = 0
+		}
+		if t > space {
+			t = space
+		}
+		sum += float64(t) / float64(space)
+	}
+	return 1 - sum/float64(len(targetSizes))
+}

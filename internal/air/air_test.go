@@ -1,0 +1,58 @@
+package air
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeBounds(t *testing.T) {
+	// No protection: every branch targets the whole space -> AIR 0.
+	if got := Compute([]int{1000, 1000}, 1000); got != 0 {
+		t.Errorf("unprotected AIR = %v, want 0", got)
+	}
+	// Perfect protection: single-target branches in a big space.
+	got := Compute([]int{1, 1, 1}, 1_000_000)
+	if got < 0.999996 || got > 1 {
+		t.Errorf("tight AIR = %v", got)
+	}
+	// Empty and degenerate inputs.
+	if Compute(nil, 100) != 1 {
+		t.Error("no branches should give AIR 1")
+	}
+	if Compute([]int{5}, 0) != 0 {
+		t.Error("zero space should give 0")
+	}
+}
+
+func TestComputeKnownValue(t *testing.T) {
+	// Two branches: |T| = 10 and 30 in S=100: AIR = 1 - (0.1+0.3)/2 = 0.8.
+	got := Compute([]int{10, 30}, 100)
+	if math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("AIR = %v, want 0.8", got)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// Shrinking any target set cannot decrease AIR.
+	a := Compute([]int{50, 50}, 100)
+	b := Compute([]int{50, 10}, 100)
+	if b <= a {
+		t.Errorf("AIR should improve when a set shrinks: %v -> %v", a, b)
+	}
+}
+
+func TestPropRange(t *testing.T) {
+	f := func(sizes []uint16, space uint16) bool {
+		s := int(space%10000) + 1
+		ts := make([]int, len(sizes))
+		for i, v := range sizes {
+			ts[i] = int(v)
+		}
+		got := Compute(ts, s)
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,462 @@
+// Package analyzer implements MCFI's source analyzer (paper §6): it
+// over-approximates violations of the two conditions required for
+// type-matching CFG generation —
+//
+//	C1: no type cast to or from function pointer types (explicit or
+//	    implicit, including through struct/union members), and
+//	C2: no inline assembly (without type annotations),
+//
+// — then eliminates the paper's five classes of false positives
+// (UC upcast, DC tagged downcast, MF malloc/free, SU literal update,
+// NF non-function-pointer access) and classifies what remains into the
+// paper's K1 (incompatible function-pointer initialization, needs a
+// source fix) and K2 (round-trip casts, no fix needed) kinds. This is
+// the pipeline behind Tables 1 and 2.
+package analyzer
+
+import (
+	"fmt"
+
+	"mcfi/internal/ctypes"
+	"mcfi/internal/minic"
+	"mcfi/internal/sema"
+)
+
+// Kind classifies one C1 finding through the elimination pipeline.
+type Kind int
+
+// Finding kinds.
+const (
+	// KindViolation is a raw, uneliminated C1 violation before
+	// K1/K2 classification.
+	KindViolation Kind = iota
+	// KindUC is an upcast between physical-subtype structs.
+	KindUC
+	// KindDC is a downcast guarded by a type-tag field.
+	KindDC
+	// KindMF is a malloc/calloc/realloc/free void* conversion.
+	KindMF
+	// KindSU is a function-pointer update with a literal (e.g. NULL).
+	KindSU
+	// KindNF is a cast whose result only touches non-fp fields.
+	KindNF
+	// KindK1 is an incompatible function-pointer initialization: the
+	// cases that require source changes for the CFG to be complete.
+	KindK1
+	// KindK2 is a round-trip cast (fp -> other type -> fp).
+	KindK2
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindUC:
+		return "UC"
+	case KindDC:
+		return "DC"
+	case KindMF:
+		return "MF"
+	case KindSU:
+		return "SU"
+	case KindNF:
+		return "NF"
+	case KindK1:
+		return "K1"
+	case KindK2:
+		return "K2"
+	}
+	return "VBE"
+}
+
+// Finding is one cast involving function-pointer types.
+type Finding struct {
+	Pos      minic.Pos
+	From, To *ctypes.Type
+	Kind     Kind
+	Implicit bool
+	Note     string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] cast %s -> %s %s", f.Pos, f.Kind, f.From, f.To, f.Note)
+}
+
+// Report aggregates one translation unit's findings — one row of the
+// paper's Tables 1 and 2.
+type Report struct {
+	Name string
+	SLOC int
+	// VBE is the violation count before false-positive elimination.
+	VBE int
+	// Per-rule elimination counts (Table 1 columns).
+	UC, DC, MF, SU, NF int
+	// VAE is the count after elimination.
+	VAE int
+	// K1/K2 classification of the remainder (Table 2).
+	K1, K2 int
+	// AsmTotal/AsmAnnotated count inline assemblies (condition C2).
+	AsmTotal, AsmAnnotated int
+	Findings               []Finding
+}
+
+// Add accumulates another report (for suite-level totals).
+func (r *Report) Add(o *Report) {
+	r.SLOC += o.SLOC
+	r.VBE += o.VBE
+	r.UC += o.UC
+	r.DC += o.DC
+	r.MF += o.MF
+	r.SU += o.SU
+	r.NF += o.NF
+	r.VAE += o.VAE
+	r.K1 += o.K1
+	r.K2 += o.K2
+	r.AsmTotal += o.AsmTotal
+	r.AsmAnnotated += o.AsmAnnotated
+}
+
+type walker struct {
+	rep *Report
+}
+
+// Analyze inspects a type-checked unit.
+func Analyze(unit *sema.Unit) *Report {
+	w := &walker{rep: &Report{Name: unit.File.Name}}
+	for _, d := range unit.File.Decls {
+		switch decl := d.(type) {
+		case *minic.FuncDecl:
+			if decl.Body != nil {
+				w.stmt(decl.Body)
+			}
+		case *minic.VarDecl:
+			if decl.Init != nil {
+				w.expr(decl.Init, nil)
+			}
+		}
+	}
+	// Classify and count.
+	for i := range w.rep.Findings {
+		f := &w.rep.Findings[i]
+		w.rep.VBE++
+		switch f.Kind {
+		case KindUC:
+			w.rep.UC++
+		case KindDC:
+			w.rep.DC++
+		case KindMF:
+			w.rep.MF++
+		case KindSU:
+			w.rep.SU++
+		case KindNF:
+			w.rep.NF++
+		default:
+			w.rep.VAE++
+			if f.Kind == KindK1 {
+				w.rep.K1++
+			} else {
+				f.Kind = KindK2
+				w.rep.K2++
+			}
+		}
+	}
+	return w.rep
+}
+
+// involvesFP reports whether a type involves function pointers at any
+// depth, following pointers, arrays, and record members (the paper's
+// over-approximation; the elimination rules cut the survivors down).
+func involvesFP(t *ctypes.Type) bool { return fpRec(t, map[*ctypes.Type]bool{}) }
+
+func fpRec(t *ctypes.Type, seen map[*ctypes.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t.Kind {
+	case ctypes.Func:
+		return true
+	case ctypes.Pointer, ctypes.Array:
+		return fpRec(t.Elem, seen)
+	case ctypes.Struct, ctypes.Union:
+		for _, f := range t.Fields {
+			if fpRec(f.Type, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recordOf unwraps a pointer-to-record type.
+func recordOf(t *ctypes.Type) *ctypes.Type {
+	if t != nil && t.Kind == ctypes.Pointer && t.Elem != nil &&
+		(t.Elem.Kind == ctypes.Struct || t.Elem.Kind == ctypes.Union) {
+		return t.Elem
+	}
+	return nil
+}
+
+// hasTypeTag reports the paper's tagged-struct heuristic: the abstract
+// struct's leading field is an integer discriminator.
+func hasTypeTag(s *ctypes.Type) bool {
+	return s != nil && s.Kind == ctypes.Struct && len(s.Fields) > 0 &&
+		s.Fields[0].Type.IsInteger()
+}
+
+// isAllocCall matches malloc/calloc/realloc calls.
+func isAllocCall(e minic.Expr) bool {
+	call, ok := e.(*minic.Call)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*minic.Ident)
+	if !ok {
+		return false
+	}
+	switch id.Name {
+	case "malloc", "calloc", "realloc":
+		return true
+	}
+	return false
+}
+
+// isFuncConstant reports whether e denotes a function's address (the
+// K1 shape: a function designator of the wrong type).
+func isFuncConstant(e minic.Expr) bool {
+	switch x := e.(type) {
+	case *minic.Ident:
+		return x.Sym != nil && x.Sym.Kind == minic.SymFunc
+	case *minic.Unary:
+		if x.Op == minic.AMP {
+			return isFuncConstant(x.X)
+		}
+	case *minic.Cast:
+		return isFuncConstant(x.X)
+	case *minic.ImplicitCast:
+		return isFuncConstant(x.X)
+	}
+	return false
+}
+
+// isIntLiteral matches literal scalars (NULL-style updates).
+func isIntLiteral(e minic.Expr) bool {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return true
+	case *minic.Cast:
+		return isIntLiteral(x.X)
+	case *minic.ImplicitCast:
+		return isIntLiteral(x.X)
+	}
+	return false
+}
+
+// classify runs the elimination pipeline on one cast. parent is the
+// expression consuming the cast result (for the NF rule), or nil.
+func (w *walker) classify(pos minic.Pos, from, to *ctypes.Type, inner minic.Expr,
+	implicit bool, parent minic.Expr) {
+	if from == nil || to == nil {
+		return
+	}
+	if !involvesFP(from) && !involvesFP(to) {
+		return // does not involve function pointer types at all
+	}
+	if ctypes.Equal(from, to) {
+		return // identity conversions are no violation
+	}
+	f := Finding{Pos: pos, From: from, To: to, Implicit: implicit, Kind: KindViolation}
+
+	fromRec, toRec := recordOf(from), recordOf(to)
+	fromFP := from.IsFuncPointer()
+	toFP := to.IsFuncPointer()
+	isVoidPtr := func(t *ctypes.Type) bool {
+		return t.Kind == ctypes.Pointer && t.Elem != nil && t.Elem.Kind == ctypes.Void
+	}
+
+	switch {
+	// UC: concrete-to-abstract struct cast (abstract is a physical
+	// prefix of concrete) — parametric-polymorphism emulation.
+	case fromRec != nil && toRec != nil && ctypes.IsPrefixStruct(fromRec, toRec):
+		f.Kind = KindUC
+		f.Note = "(upcast to physical supertype)"
+
+	// DC: abstract-to-concrete downcast with a type-tag discipline.
+	case fromRec != nil && toRec != nil && ctypes.IsPrefixStruct(toRec, fromRec) &&
+		hasTypeTag(fromRec):
+		f.Kind = KindDC
+		f.Note = "(tagged downcast)"
+
+	// MF: malloc family returns void*; free takes void*.
+	case isAllocCall(inner) && toRec != nil:
+		f.Kind = KindMF
+		f.Note = "(malloc result)"
+	case isVoidPtr(to) && fromRec != nil && parentIsFreeCall(parent):
+		f.Kind = KindMF
+		f.Note = "(free argument)"
+
+	// SU: updating a function pointer with a literal (NULL etc).
+	case toFP && isIntLiteral(inner):
+		f.Kind = KindSU
+		f.Note = "(literal update)"
+
+	// NF: the cast result is immediately used to access a field that
+	// has no function-pointer type.
+	case toRec != nil && parentAccessesNonFPField(parent, toRec):
+		f.Kind = KindNF
+		f.Note = "(non-fp field access)"
+
+	// K1: a function constant of an incompatible type flows into a
+	// function-pointer slot — the case that breaks the generated CFG.
+	case toFP && isFuncConstant(inner) && fromFP && !ctypes.Equal(from, to):
+		f.Kind = KindK1
+		f.Note = "(incompatible function-pointer initialization)"
+	}
+	w.rep.Findings = append(w.rep.Findings, f)
+}
+
+// parentIsFreeCall reports whether the consuming expression is a call
+// to free().
+func parentIsFreeCall(parent minic.Expr) bool {
+	call, ok := parent.(*minic.Call)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*minic.Ident)
+	return ok && id.Name == "free"
+}
+
+// parentAccessesNonFPField reports the NF shape: the parent is a
+// member access (directly or through one dereference) into a field
+// whose type involves no function pointer.
+func parentAccessesNonFPField(parent minic.Expr, rec *ctypes.Type) bool {
+	m, ok := parent.(*minic.Member)
+	if !ok {
+		return false
+	}
+	fld, ok := rec.Field(m.Name)
+	if !ok {
+		return false
+	}
+	return !involvesFP(fld.Type)
+}
+
+func (w *walker) stmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *minic.Block:
+		for _, inner := range st.Stmts {
+			w.stmt(inner)
+		}
+	case *minic.DeclGroup:
+		for _, d := range st.Decls {
+			w.stmt(d)
+		}
+	case *minic.ExprStmt:
+		w.expr(st.X, nil)
+	case *minic.DeclStmt:
+		if st.Init != nil {
+			w.expr(st.Init, nil)
+		}
+	case *minic.If:
+		w.expr(st.Cond, nil)
+		w.stmt(st.Then)
+		w.stmt(st.Else)
+	case *minic.While:
+		w.expr(st.Cond, nil)
+		w.stmt(st.Body)
+	case *minic.DoWhile:
+		w.stmt(st.Body)
+		w.expr(st.Cond, nil)
+	case *minic.For:
+		w.stmt(st.Init)
+		if st.Cond != nil {
+			w.expr(st.Cond, nil)
+		}
+		if st.Post != nil {
+			w.expr(st.Post, nil)
+		}
+		w.stmt(st.Body)
+	case *minic.Switch:
+		w.expr(st.Cond, nil)
+		for _, arm := range st.Cases {
+			for _, inner := range arm.Stmts {
+				w.stmt(inner)
+			}
+		}
+	case *minic.Return:
+		if st.X != nil {
+			w.expr(st.X, nil)
+		}
+	case *minic.Label:
+		w.stmt(st.Stmt)
+	case *minic.AsmStmt:
+		w.rep.AsmTotal++
+		if len(st.Annotations) > 0 {
+			w.rep.AsmAnnotated++
+		}
+	}
+}
+
+// expr walks an expression; parent is the consuming expression.
+func (w *walker) expr(e minic.Expr, parent minic.Expr) {
+	switch x := e.(type) {
+	case nil:
+	case *minic.Cast:
+		w.classify(x.Pos, x.X.ExprType(), x.To, x.X, false, parent)
+		w.expr(x.X, x)
+	case *minic.ImplicitCast:
+		w.classify(x.Pos, x.X.ExprType(), x.To, x.X, true, parent)
+		w.expr(x.X, x)
+	case *minic.Unary:
+		w.expr(x.X, x)
+	case *minic.Postfix:
+		w.expr(x.X, x)
+	case *minic.Binary:
+		w.expr(x.L, x)
+		w.expr(x.R, x)
+	case *minic.Assign:
+		w.expr(x.L, x)
+		w.expr(x.R, x)
+	case *minic.Cond:
+		w.expr(x.C, x)
+		w.expr(x.T, x)
+		w.expr(x.F, x)
+	case *minic.Call:
+		w.expr(x.Fun, x)
+		for _, a := range x.Args {
+			w.expr(a, x)
+		}
+	case *minic.Index:
+		w.expr(x.X, x)
+		w.expr(x.I, x)
+	case *minic.Member:
+		w.expr(x.X, x)
+	case *minic.InitList:
+		for _, el := range x.Elems {
+			w.expr(el, x)
+		}
+	}
+}
+
+// CountSLOC counts non-blank source lines (the Table 1 SLOC column).
+func CountSLOC(src string) int {
+	n := 0
+	blank := true
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == '\n' {
+			if !blank {
+				n++
+			}
+			blank = true
+			continue
+		}
+		if c != ' ' && c != '\t' && c != '\r' {
+			blank = false
+		}
+	}
+	if !blank {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,284 @@
+package analyzer_test
+
+import (
+	"testing"
+
+	"mcfi/internal/analyzer"
+	"mcfi/internal/libc"
+	"mcfi/internal/minic"
+	"mcfi/internal/sema"
+	"mcfi/internal/toolchain"
+)
+
+func analyze(t *testing.T, src string) *analyzer.Report {
+	t.Helper()
+	f, err := minic.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	u, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return analyzer.Analyze(u)
+}
+
+func TestCleanProgramNoViolations(t *testing.T) {
+	rep := analyze(t, `
+int add(int a, int b) { return a + b; }
+int (*op)(int, int) = add;
+int run(void) { return op(1, 2); }
+char *greet = "hi";
+long touint(char c) { return (long)c; }
+`)
+	if rep.VBE != 0 {
+		t.Errorf("VBE = %d, want 0; findings: %v", rep.VBE, rep.Findings)
+	}
+}
+
+func TestExplicitFPCastDetected(t *testing.T) {
+	rep := analyze(t, `
+void target(void) {}
+void (*keep)(void) = target;
+int main(void) {
+	int (*bad)(int) = (int (*)(int))target;
+	return bad(0);
+}`)
+	if rep.VBE != 1 {
+		t.Fatalf("VBE = %d, want 1; %v", rep.VBE, rep.Findings)
+	}
+	// A function constant of the wrong type: K1, needs a fix.
+	if rep.K1 != 1 || rep.VAE != 1 {
+		t.Errorf("K1=%d VAE=%d, want 1/1; %v", rep.K1, rep.VAE, rep.Findings)
+	}
+}
+
+func TestImplicitFPCastDetected(t *testing.T) {
+	// The K2 shape: fp stored into void* (implicit), later cast back.
+	rep := analyze(t, `
+int worker(int x) { return x; }
+int (*keep)(int) = worker;
+void *slot;
+void stash(void) { slot = keep; }
+int (*restore(void))(int) { return (int (*)(int))slot; }
+`)
+	if rep.VBE != 2 {
+		t.Fatalf("VBE = %d, want 2; %v", rep.VBE, rep.Findings)
+	}
+	if rep.K2 != 2 || rep.K1 != 0 {
+		t.Errorf("K1=%d K2=%d, want 0/2; %v", rep.K1, rep.K2, rep.Findings)
+	}
+}
+
+func TestUpcastEliminated(t *testing.T) {
+	rep := analyze(t, `
+struct base { int tag; void (*vfn)(void); };
+struct derived { int tag; void (*vfn)(void); int extra; };
+void handle(struct base *b) {}
+int main(void) {
+	struct derived d;
+	handle((struct base*)&d);
+	return 0;
+}`)
+	if rep.VBE != 1 || rep.UC != 1 || rep.VAE != 0 {
+		t.Errorf("VBE=%d UC=%d VAE=%d, want 1/1/0; %v",
+			rep.VBE, rep.UC, rep.VAE, rep.Findings)
+	}
+}
+
+func TestTaggedDowncastEliminated(t *testing.T) {
+	rep := analyze(t, `
+struct base { int tag; void (*vfn)(void); };
+struct derived { int tag; void (*vfn)(void); int extra; };
+int use(struct base *b) {
+	if (b->tag == 1) {
+		struct derived *d = (struct derived*)b;
+		return d->extra;
+	}
+	return 0;
+}`)
+	if rep.VBE != 1 || rep.DC != 1 || rep.VAE != 0 {
+		t.Errorf("VBE=%d DC=%d VAE=%d, want 1/1/0; %v",
+			rep.VBE, rep.DC, rep.VAE, rep.Findings)
+	}
+}
+
+func TestUntaggedDowncastRemains(t *testing.T) {
+	// No integer tag leading the abstract struct: the downcast cannot
+	// be proven safe and must survive elimination (a K2 case, as in
+	// perlbench/gcc, which "decided those downcasts are safe").
+	rep := analyze(t, `
+struct base { void (*vfn)(void); };
+struct derived { void (*vfn)(void); int extra; };
+int use(struct base *b) {
+	struct derived *d = (struct derived*)b;
+	return d->extra;
+}`)
+	if rep.VBE != 1 || rep.DC != 0 || rep.VAE != 1 || rep.K2 != 1 {
+		t.Errorf("VBE=%d DC=%d VAE=%d K2=%d, want 1/0/1/1; %v",
+			rep.VBE, rep.DC, rep.VAE, rep.K2, rep.Findings)
+	}
+}
+
+func TestMallocFreeEliminated(t *testing.T) {
+	rep := analyze(t, `
+void *malloc(long n);
+void free(void *p);
+struct cbs { void (*f)(void); int n; };
+int main(void) {
+	struct cbs *c = (struct cbs*)malloc(sizeof(struct cbs));
+	free(c);
+	return 0;
+}`)
+	if rep.VBE != 2 || rep.MF != 2 || rep.VAE != 0 {
+		t.Errorf("VBE=%d MF=%d VAE=%d, want 2/2/0; %v",
+			rep.VBE, rep.MF, rep.VAE, rep.Findings)
+	}
+}
+
+func TestNullUpdateEliminated(t *testing.T) {
+	rep := analyze(t, `
+void (*handler)(void) = (void (*)(void))0;
+void reset(void) { handler = 0; }
+`)
+	if rep.VBE != 2 || rep.SU != 2 || rep.VAE != 0 {
+		t.Errorf("VBE=%d SU=%d VAE=%d, want 2/2/0; %v",
+			rep.VBE, rep.SU, rep.VAE, rep.Findings)
+	}
+}
+
+func TestNonFPAccessEliminated(t *testing.T) {
+	// The perlbench XPVLV example: struct has an fp field, but only a
+	// non-fp field is touched after the cast.
+	rep := analyze(t, `
+struct xpvlv { long xlv_targlen; int (*magic)(int); };
+struct sv { void *sv_any; };
+long peek(struct sv *sv) {
+	return ((struct xpvlv*)(sv->sv_any))->xlv_targlen;
+}`)
+	if rep.VBE != 1 || rep.NF != 1 || rep.VAE != 0 {
+		t.Errorf("VBE=%d NF=%d VAE=%d, want 1/1/0; %v",
+			rep.VBE, rep.NF, rep.VAE, rep.Findings)
+	}
+}
+
+func TestFPFieldAccessNotEliminated(t *testing.T) {
+	// Same shape, but the accessed field IS the function pointer: this
+	// is a real violation.
+	rep := analyze(t, `
+struct xpvlv { long xlv_targlen; int (*magic)(int); };
+struct sv { void *sv_any; };
+int call(struct sv *sv) {
+	return ((struct xpvlv*)(sv->sv_any))->magic(1);
+}`)
+	if rep.NF != 0 || rep.VAE != 1 {
+		t.Errorf("NF=%d VAE=%d, want 0/1; %v", rep.NF, rep.VAE, rep.Findings)
+	}
+}
+
+func TestGccSplayTreeK1(t *testing.T) {
+	// The paper's gcc case: a key comparator typed over unsigned long
+	// is set to strcmp (typed over char*). K1: needs a wrapper.
+	rep := analyze(t, `
+int strcmp(char *a, char *b);
+int (*key_cmp)(unsigned long, unsigned long);
+void setup(void) {
+	key_cmp = (int (*)(unsigned long, unsigned long))strcmp;
+}`)
+	if rep.K1 != 1 || rep.VAE != 1 {
+		t.Errorf("K1=%d VAE=%d, want 1/1; %v", rep.K1, rep.VAE, rep.Findings)
+	}
+	// And the fixed version (a wrapper) is clean.
+	fixed := analyze(t, `
+int strcmp(char *a, char *b);
+int cmp_ul(unsigned long a, unsigned long b) {
+	return strcmp((char*)a, (char*)b);
+}
+int (*key_cmp)(unsigned long, unsigned long) = cmp_ul;
+`)
+	if fixed.K1 != 0 {
+		t.Errorf("wrapper fix should clear K1, got %d; %v", fixed.K1, fixed.Findings)
+	}
+}
+
+func TestAsmCounting(t *testing.T) {
+	rep := analyze(t, `
+void plain(void) { asm("nop"); }
+void annotated(void) { asm("call *%rax" : "helper : f(i,)->i"); }
+`)
+	if rep.AsmTotal != 2 || rep.AsmAnnotated != 1 {
+		t.Errorf("asm=%d annotated=%d, want 2/1", rep.AsmTotal, rep.AsmAnnotated)
+	}
+}
+
+func TestUnionWithFPMember(t *testing.T) {
+	// A union that includes a function pointer field: implicit
+	// conversions into it are C1 violations (paper §6).
+	rep := analyze(t, `
+union u { void (*f)(void); long v; };
+void set(union u *p, long raw) {
+	p->v = raw;               // fine: no cast involving fp
+	p->f = (void (*)(void))raw;  // violation (K2: int -> fp)
+}`)
+	if rep.VBE != 1 || rep.K2 != 1 {
+		t.Errorf("VBE=%d K2=%d, want 1/1; %v", rep.VBE, rep.K2, rep.Findings)
+	}
+}
+
+func TestLibcFindings(t *testing.T) {
+	// The libc deliberately mirrors MUSL's syscall-boundary casts:
+	// the analyzer must find violations, all of kind K2 (no K1), plus
+	// the annotated memcpy assembly (paper §7 reports 45 findings in
+	// MUSL: 5 K1 + 40 K2; our libc is far smaller).
+	f, err := minic.Parse("libc", libc.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := analyzer.Analyze(u)
+	if rep.VBE == 0 {
+		t.Error("libc should have C1 findings (syscall-boundary casts)")
+	}
+	if rep.K1 != 0 {
+		t.Errorf("libc K1 = %d, want 0 (all boundary casts are round-trips); %v",
+			rep.K1, rep.Findings)
+	}
+	if rep.AsmTotal != 1 || rep.AsmAnnotated != 1 {
+		t.Errorf("libc asm=%d annotated=%d, want 1/1", rep.AsmTotal, rep.AsmAnnotated)
+	}
+	t.Logf("libc: VBE=%d UC=%d DC=%d MF=%d SU=%d NF=%d VAE=%d K1=%d K2=%d",
+		rep.VBE, rep.UC, rep.DC, rep.MF, rep.SU, rep.NF, rep.VAE, rep.K1, rep.K2)
+}
+
+func TestReportAdd(t *testing.T) {
+	a := &analyzer.Report{VBE: 2, UC: 1, VAE: 1, K1: 1, SLOC: 10}
+	b := &analyzer.Report{VBE: 3, MF: 2, VAE: 1, K2: 1, SLOC: 20}
+	a.Add(b)
+	if a.VBE != 5 || a.UC != 1 || a.MF != 2 || a.VAE != 2 || a.K1 != 1 || a.K2 != 1 || a.SLOC != 30 {
+		t.Errorf("Add result wrong: %+v", a)
+	}
+}
+
+func TestCountSLOC(t *testing.T) {
+	if n := analyzer.CountSLOC("a\n\n  \nb\nc"); n != 3 {
+		t.Errorf("SLOC = %d, want 3", n)
+	}
+	if n := analyzer.CountSLOC(""); n != 0 {
+		t.Errorf("SLOC(empty) = %d, want 0", n)
+	}
+}
+
+func TestAnalyzeViaToolchain(t *testing.T) {
+	u, err := toolchain.AnalyzeSource(toolchain.Source{Name: "x", Text: `
+int main(void) { return 0; }`}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := analyzer.Analyze(u)
+	if rep.K1 != 0 {
+		t.Errorf("prelude-only program has K1=%d", rep.K1)
+	}
+}

@@ -1,0 +1,174 @@
+// Package baseline models the comparison CFI policies of the paper's
+// evaluation (§3, §8.3): no protection, chunk-based CFI (NaCl/MIP),
+// coarse-grained CFI with two target classes (binCFI/CCFIR), and the
+// classic CFI whose published CFG generation lets any indirect call
+// target any address-taken function. Each policy produces the
+// per-branch allowed-target-set sizes that the AIR metric consumes,
+// and a membership predicate used by the attack demos.
+package baseline
+
+import (
+	"mcfi/internal/cfg"
+	"mcfi/internal/linker"
+	"mcfi/internal/module"
+)
+
+// Policy is one CFI policy evaluated over a linked image.
+type Policy struct {
+	// Name labels the policy in reports ("none", "NaCl", "binCFI",
+	// "classic CFI", "MCFI").
+	Name string
+	// TargetSizes holds |T_j| for each instrumented indirect branch.
+	TargetSizes []int
+	// Allows reports whether the given branch (by code address) may
+	// transfer to the given target address under this policy.
+	Allows func(branch, target int) bool
+}
+
+// Evaluate computes every comparison policy for an image whose
+// fine-grained policy is g. codeSize is the unrestricted target-space
+// size S (the image's code bytes).
+func Evaluate(img *linker.Image, g *cfg.Graph, codeSize int) []Policy {
+	// Shared facts.
+	var branches []module.IndirectBranch
+	for _, ib := range img.Aux.IBs {
+		if ib.Kind == module.IBSwitch {
+			continue
+		}
+		branches = append(branches, ib)
+	}
+	n := len(branches)
+
+	addrTaken := map[int]bool{} // entry addresses of address-taken functions
+	for _, f := range img.Aux.Funcs {
+		if f.AddrTaken {
+			addrTaken[f.Offset] = true
+		}
+	}
+	retSites := map[int]bool{}
+	for _, rs := range img.Aux.RetSites {
+		retSites[rs.Offset] = true
+	}
+
+	var policies []Policy
+
+	// No CFI: every branch reaches every code byte.
+	none := make([]int, n)
+	for i := range none {
+		none[i] = codeSize
+	}
+	policies = append(policies, Policy{
+		Name:        "none",
+		TargetSizes: none,
+		Allows:      func(branch, target int) bool { return true },
+	})
+
+	// Chunk CFI (NaCl 32-byte, MIP-style): any chunk start.
+	for _, chunk := range []int{16, 32} {
+		c := chunk
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = codeSize / c
+		}
+		name := "NaCl-32"
+		if c == 16 {
+			name = "chunk-16"
+		}
+		policies = append(policies, Policy{
+			Name:        name,
+			TargetSizes: sizes,
+			Allows: func(branch, target int) bool {
+				return target%c == 0
+			},
+		})
+	}
+
+	// Coarse two-class CFI (binCFI/CCFIR): indirect calls and jumps may
+	// target any address-taken function entry; returns may target any
+	// address following a call.
+	coarse := make([]int, n)
+	coarseKind := map[int]module.IBKind{}
+	for i, ib := range branches {
+		coarseKind[ib.Offset] = ib.Kind
+		if ib.Kind == module.IBRet || ib.Kind == module.IBLongjmp {
+			coarse[i] = len(retSites)
+		} else {
+			coarse[i] = len(addrTaken)
+		}
+	}
+	policies = append(policies, Policy{
+		Name:        "binCFI",
+		TargetSizes: coarse,
+		Allows: func(branch, target int) bool {
+			k, ok := coarseKind[branch]
+			if !ok {
+				return false
+			}
+			if k == module.IBRet || k == module.IBLongjmp {
+				return retSites[target]
+			}
+			return addrTaken[target]
+		},
+	})
+
+	// Classic CFI: fine-grained returns (the same call-graph analysis
+	// as MCFI) but, per its published CFG generation, any indirect call
+	// may target any address-taken function (paper §8.2).
+	classic := make([]int, n)
+	for i, ib := range branches {
+		switch ib.Kind {
+		case module.IBCall, module.IBTailJmp, module.IBPLT:
+			classic[i] = len(addrTaken)
+		default:
+			classic[i] = len(g.BranchTargets[ib.Offset])
+		}
+	}
+	policies = append(policies, Policy{
+		Name:        "classic CFI",
+		TargetSizes: classic,
+		Allows: func(branch, target int) bool {
+			k, ok := coarseKind[branch]
+			if !ok {
+				return false
+			}
+			switch k {
+			case module.IBCall, module.IBTailJmp, module.IBPLT:
+				return addrTaken[target]
+			}
+			for _, t := range g.BranchTargets[branch] {
+				if t == target {
+					return true
+				}
+			}
+			return false
+		},
+	})
+
+	// MCFI: each branch reaches its merged equivalence class.
+	mcfiSizes := make([]int, n)
+	branchClass := map[int][]int{}
+	for i, ib := range branches {
+		ecn, ok := g.BranchECN[ib.Offset]
+		if !ok {
+			mcfiSizes[i] = 0
+			continue
+		}
+		members := g.ClassMembers[ecn]
+		branchClass[ib.Offset] = members
+		mcfiSizes[i] = len(members)
+	}
+	policies = append(policies, Policy{
+		Name:        "MCFI",
+		TargetSizes: mcfiSizes,
+		Allows: func(branch, target int) bool {
+			for _, t := range branchClass[branch] {
+				if t == target {
+					return true
+				}
+			}
+			return false
+		},
+	})
+
+	return policies
+}

@@ -1,0 +1,125 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"mcfi/internal/air"
+	"mcfi/internal/baseline"
+	"mcfi/internal/cfg"
+	"mcfi/internal/linker"
+	"mcfi/internal/toolchain"
+	"mcfi/internal/visa"
+)
+
+const progSrc = `
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+void note(void) {}
+int (*ops[2])(int, int) = {add, sub};
+void (*cb)(void) = note;
+int main(void) {
+	int acc = 0;
+	for (int i = 0; i < 4; i++) acc = ops[i & 1](acc, i);
+	cb();
+	return acc;
+}`
+
+func buildPolicies(t *testing.T) ([]baseline.Policy, *cfg.Graph, *linker.Image) {
+	t.Helper()
+	img, err := toolchain.BuildProgram(
+		toolchain.Config{Profile: visa.Profile64, Instrument: true},
+		linker.Options{},
+		toolchain.Source{Name: "prog", Text: progSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Generate(cfg.Input{
+		Funcs: img.Aux.Funcs, IBs: img.Aux.IBs, RetSites: img.Aux.RetSites,
+		SetjmpConts: img.Aux.SetjmpConts, Annotations: img.Aux.AsmAnnotations,
+		Profile: img.Profile,
+	})
+	return baseline.Evaluate(img, g, len(img.Code)), g, img
+}
+
+func policyByName(t *testing.T, ps []baseline.Policy, name string) baseline.Policy {
+	t.Helper()
+	for _, p := range ps {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("policy %q missing", name)
+	return baseline.Policy{}
+}
+
+func TestAIROrdering(t *testing.T) {
+	ps, _, img := buildPolicies(t)
+	airOf := map[string]float64{}
+	for _, p := range ps {
+		airOf[p.Name] = air.Compute(p.TargetSizes, len(img.Code))
+		t.Logf("%-12s AIR = %.4f", p.Name, airOf[p.Name])
+	}
+	// The paper's ordering (§8.3): none < chunk CFI < binCFI <=
+	// classic CFI <= MCFI, with MCFI the best.
+	if airOf["none"] != 0 {
+		t.Errorf("none AIR = %v, want 0", airOf["none"])
+	}
+	if !(airOf["NaCl-32"] > airOf["none"]) {
+		t.Error("chunk CFI should beat no CFI")
+	}
+	if !(airOf["binCFI"] > airOf["NaCl-32"]) {
+		t.Error("binCFI should beat chunk CFI")
+	}
+	if !(airOf["classic CFI"] >= airOf["binCFI"]) {
+		t.Error("classic CFI should be at least as strong as binCFI")
+	}
+	if !(airOf["MCFI"] >= airOf["classic CFI"]) {
+		t.Error("MCFI should produce the best AIR (paper Table, §8.3)")
+	}
+	if airOf["MCFI"] < 0.97 {
+		t.Errorf("MCFI AIR = %v, expected > 0.97", airOf["MCFI"])
+	}
+}
+
+func TestAllowsSemantics(t *testing.T) {
+	ps, g, img := buildPolicies(t)
+	// Find the indirect call through ops[] and the note() entry.
+	var icall int
+	for _, ib := range img.Aux.IBs {
+		if ib.Kind.String() == "icall" && ib.FpSig != "" && icall == 0 {
+			icall = ib.Offset
+		}
+	}
+	if icall == 0 {
+		t.Fatal("no indirect call found")
+	}
+	var noteAddr, addAddr int
+	for _, f := range img.Aux.Funcs {
+		switch f.Name {
+		case "note":
+			noteAddr = f.Offset
+		case "add":
+			addAddr = f.Offset
+		}
+	}
+	mcfi := policyByName(t, ps, "MCFI")
+	coarse := policyByName(t, ps, "binCFI")
+	classic := policyByName(t, ps, "classic CFI")
+
+	// The int(int,int) call may reach add under every policy.
+	if !mcfi.Allows(icall, addAddr) {
+		t.Error("MCFI must allow the type-matched target")
+	}
+	// note (void(void)) is address-taken, so coarse policies allow the
+	// hijack, but MCFI's type matching forbids it — the GnuPG argument.
+	if !coarse.Allows(icall, noteAddr) {
+		t.Error("binCFI-style policy should allow any address-taken function")
+	}
+	if !classic.Allows(icall, noteAddr) {
+		t.Error("classic CFI's published CFG generation allows any address-taken function")
+	}
+	if mcfi.Allows(icall, noteAddr) {
+		t.Error("MCFI must reject the type-mismatched target")
+	}
+	_ = g
+}

@@ -1,0 +1,287 @@
+// Package cfg implements MCFI's type-matching control-flow-graph
+// generation (paper §6) and the equivalence-class construction from
+// the classic CFI (paper §2), producing the ECN assignments that the
+// ID tables publish.
+//
+// The generator consumes the merged auxiliary information of all
+// currently loaded modules — function types, indirect-branch sites,
+// return sites, setjmp continuations — with code offsets already
+// rebased to absolute guest addresses. It is deliberately fast
+// (straight scans plus a union-find) because it runs inside dynamic
+// linking (paper §8.2 reports ~150 ms for gcc-sized inputs).
+package cfg
+
+import (
+	"sort"
+
+	"mcfi/internal/module"
+	"mcfi/internal/visa"
+)
+
+// Input is the merged auxiliary information of the loaded modules.
+type Input struct {
+	Funcs       []module.FuncInfo
+	IBs         []module.IndirectBranch
+	RetSites    []module.RetSite
+	SetjmpConts []int
+	Profile     visa.Profile
+	// Annotations are inline-assembly "name : signature" records
+	// (paper §6, condition C2): they declare extra functions or
+	// function pointers visible only to assembly, which the generator
+	// honors by treating the named function as address-taken with the
+	// annotated type.
+	Annotations []string
+}
+
+// Graph is the generated control-flow policy.
+type Graph struct {
+	// TaryECN maps a code address to its equivalence-class number (the
+	// getTaryECN function of paper Fig. 3); addresses absent from the
+	// map are not indirect-branch targets.
+	TaryECN map[int]int
+	// BranchECN maps an instrumented indirect branch (keyed by the
+	// branch instruction's address) to its branch ECN (getBaryECN).
+	BranchECN map[int]int
+	// BranchTargets maps each instrumented branch address to its
+	// resolved target set (sorted), before equivalence-class merging.
+	// Used by the AIR metric, which wants per-branch target counts.
+	BranchTargets map[int][]int
+	// Classes is the number of target equivalence classes (the EQC
+	// column of paper Table 3).
+	Classes int
+	// ClassMembers lists the target addresses of each class.
+	ClassMembers map[int][]int
+	// Stats summarizes Table 3 quantities.
+	Stats Stats
+}
+
+// Stats are the Table 3 quantities for one linked program.
+type Stats struct {
+	IBs  int // instrumented indirect branches
+	IBTs int // possible indirect-branch targets
+	EQCs int // equivalence classes of target addresses
+}
+
+// union-find over target addresses.
+type dsu struct{ parent map[int]int }
+
+func newDSU() *dsu { return &dsu{parent: map[int]int{}} }
+
+func (d *dsu) find(x int) int {
+	p, ok := d.parent[x]
+	if !ok {
+		d.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	r := d.find(p)
+	d.parent[x] = r
+	return r
+}
+
+func (d *dsu) union(a, b int) {
+	ra, rb := d.find(a), d.find(b)
+	if ra != rb {
+		d.parent[ra] = rb
+	}
+}
+
+// Generate builds the control-flow policy for the merged modules.
+func Generate(in Input) *Graph {
+	g := &Graph{
+		TaryECN:       map[int]int{},
+		BranchECN:     map[int]int{},
+		BranchTargets: map[int][]int{},
+		ClassMembers:  map[int][]int{},
+	}
+
+	funcsByName := map[string]*module.FuncInfo{}
+	for i := range in.Funcs {
+		funcsByName[in.Funcs[i].Name] = &in.Funcs[i]
+	}
+
+	// Inline-assembly annotations add address-taken functions with
+	// explicit signatures.
+	annotated := parseAnnotations(in.Annotations)
+	addrTaken := func(f *module.FuncInfo) bool {
+		if f.AddrTaken {
+			return true
+		}
+		_, ok := annotated[f.Name]
+		return ok
+	}
+	sigOf := func(f *module.FuncInfo) string {
+		if s, ok := annotated[f.Name]; ok && s != "" {
+			return s
+		}
+		return f.Sig
+	}
+
+	// Return-edge computation: retTargets[fname] = the return sites a
+	// return in fname may target. Start from the call graph, then chase
+	// tail calls (paper §6: "if in function f there is a call node
+	// calling g, and g calls h through a series of tail calls, then an
+	// edge from the call node in f to h is added").
+	retSitesOf := map[string][]int{}
+	for _, rs := range in.RetSites {
+		if rs.Callee != "" {
+			retSitesOf[rs.Callee] = append(retSitesOf[rs.Callee], rs.Offset)
+			continue
+		}
+		// Indirect call: any type-matched address-taken function.
+		for i := range in.Funcs {
+			f := &in.Funcs[i]
+			if addrTaken(f) && SigCallMatch(rs.FpSig, sigOf(f)) {
+				retSitesOf[f.Name] = append(retSitesOf[f.Name], rs.Offset)
+			}
+		}
+	}
+	// Tail-call chasing: propagate return sites from caller to tail
+	// callee until a fixed point.
+	if in.Profile == visa.Profile64 {
+		chaseTailCalls(in.Funcs, retSitesOf, addrTaken, sigOf)
+	}
+
+	// Resolve each instrumented branch's target set.
+	for i := range in.IBs {
+		ib := &in.IBs[i]
+		var targets []int
+		switch ib.Kind {
+		case module.IBRet:
+			targets = retSitesOf[ib.Func]
+		case module.IBCall, module.IBTailJmp:
+			for j := range in.Funcs {
+				f := &in.Funcs[j]
+				if addrTaken(f) && SigCallMatch(ib.FpSig, sigOf(f)) {
+					targets = append(targets, f.Offset)
+				}
+			}
+		case module.IBLongjmp:
+			targets = append(targets, in.SetjmpConts...)
+		case module.IBPLT:
+			if f, ok := funcsByName[ib.PLTSym]; ok {
+				targets = append(targets, f.Offset)
+			}
+		case module.IBSwitch:
+			// Statically verified; not table-checked.
+			continue
+		}
+		targets = dedupSorted(targets)
+		g.BranchTargets[ib.Offset] = targets
+	}
+
+	// Equivalence classes: merge overlapping target sets (paper §2).
+	d := newDSU()
+	for _, targets := range g.BranchTargets {
+		if len(targets) == 0 {
+			continue
+		}
+		for _, t := range targets[1:] {
+			d.union(targets[0], t)
+		}
+	}
+
+	// Assign dense ECNs per class root, deterministically (by smallest
+	// member address).
+	rootMembers := map[int][]int{}
+	for _, targets := range g.BranchTargets {
+		for _, t := range targets {
+			r := d.find(t)
+			rootMembers[r] = append(rootMembers[r], t)
+		}
+	}
+	roots := make([]int, 0, len(rootMembers))
+	for r := range rootMembers {
+		rootMembers[r] = dedupSorted(rootMembers[r])
+		roots = append(roots, rootMembers[r][0])
+	}
+	sort.Ints(roots)
+	ecnOf := map[int]int{} // class root -> ECN
+	next := 1              // ECN 0 is never used: a zero Tary word must stay invalid
+	for _, smallest := range roots {
+		r := d.find(smallest)
+		if _, ok := ecnOf[r]; !ok {
+			ecnOf[r] = next
+			g.ClassMembers[next] = rootMembers[r]
+			next++
+		}
+	}
+	g.Classes = next - 1
+
+	for addr := range d.parent {
+		g.TaryECN[addr] = ecnOf[d.find(addr)]
+	}
+	nIBs := 0
+	for i := range in.IBs {
+		ib := &in.IBs[i]
+		if ib.Kind == module.IBSwitch {
+			continue
+		}
+		nIBs++
+		targets := g.BranchTargets[ib.Offset]
+		if len(targets) == 0 {
+			// No legal target: give the branch a class of its own so
+			// every transfer violates (ECN with no members).
+			g.BranchECN[ib.Offset] = next
+			next++
+			continue
+		}
+		g.BranchECN[ib.Offset] = ecnOf[d.find(targets[0])]
+	}
+
+	g.Stats = Stats{IBs: nIBs, IBTs: len(g.TaryECN), EQCs: g.Classes}
+	return g
+}
+
+// chaseTailCalls propagates return sites through tail-call edges to a
+// fixed point.
+func chaseTailCalls(funcs []module.FuncInfo, retSitesOf map[string][]int,
+	addrTaken func(*module.FuncInfo) bool, sigOf func(*module.FuncInfo) string) {
+	// Build tail edges g -> h (g tail-calls h).
+	edges := map[string][]string{}
+	for i := range funcs {
+		g := &funcs[i]
+		edges[g.Name] = append(edges[g.Name], g.TailCalls...)
+		for _, sig := range g.TailSigs {
+			for j := range funcs {
+				h := &funcs[j]
+				if addrTaken(h) && SigCallMatch(sig, sigOf(h)) {
+					edges[g.Name] = append(edges[g.Name], h.Name)
+				}
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for gname, callees := range edges {
+			sites := retSitesOf[gname]
+			if len(sites) == 0 {
+				continue
+			}
+			for _, h := range callees {
+				before := len(retSitesOf[h])
+				retSitesOf[h] = dedupSorted(append(retSitesOf[h], sites...))
+				if len(retSitesOf[h]) != before {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func dedupSorted(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	sort.Ints(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

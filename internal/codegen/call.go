@@ -1,0 +1,336 @@
+package codegen
+
+import (
+	"mcfi/internal/ctypes"
+	"mcfi/internal/minic"
+	"mcfi/internal/module"
+	"mcfi/internal/rewrite"
+	"mcfi/internal/visa"
+)
+
+// calleeFuncType returns the function type being invoked by the call
+// and whether it is a direct call to a named function.
+func calleeFuncType(x *minic.Call) (ft *ctypes.Type, direct *minic.Ident) {
+	t := x.Fun.ExprType()
+	if t == nil {
+		return nil, nil
+	}
+	if t.Kind == ctypes.Func {
+		d, _ := x.Fun.(*minic.Ident)
+		return t, d
+	}
+	if t.IsFuncPointer() {
+		return t.Elem, nil
+	}
+	return nil, nil
+}
+
+// argArea computes the argument-area layout of a call: per-arg slot
+// offsets and the total size, including the hidden sret slot.
+func argArea(ft *ctypes.Type, args []minic.Expr) (offs []int, total int, sret bool) {
+	sret = isRecord(ft.Result)
+	if sret {
+		total += 8
+	}
+	offs = make([]int, len(args))
+	for i, a := range args {
+		offs[i] = total
+		at := a.ExprType()
+		if at == nil {
+			total += 8
+			continue
+		}
+		total += slotSize(at)
+	}
+	return offs, total, sret
+}
+
+func (c *compiler) genCall(x *minic.Call) {
+	if id, ok := x.Fun.(*minic.Ident); ok {
+		if c.genBuiltin(id.Name, x) {
+			return
+		}
+	}
+	ft, direct := calleeFuncType(x)
+	if ft == nil {
+		c.errf(x.Pos, "call through non-function value")
+		return
+	}
+	offs, total, sret := argArea(ft, x.Args)
+
+	var sretTemp int
+	if sret {
+		sretTemp = c.allocTemp(ft.Result.Size())
+	}
+
+	// Reserve the argument area and fill it left to right.
+	if total > 0 {
+		c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.SP, Imm: int64(-total)})
+	}
+	for i, a := range x.Args {
+		at := a.ExprType()
+		if isRecord(at) {
+			c.genExpr(a) // source address
+			c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R1, R2: visa.R0})
+			c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R2, R2: visa.SP})
+			c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.R2, Imm: int64(offs[i])})
+			c.genMemCopy(visa.R2, visa.R1, at.Size())
+			continue
+		}
+		c.genExpr(a)
+		c.asm.Emit(visa.Instr{Op: visa.ST64, R1: visa.R0, R2: visa.SP, Imm: int64(offs[i])})
+	}
+	if sret {
+		c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R1, R2: visa.FP})
+		c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.R1, Imm: int64(sretTemp)})
+		c.asm.Emit(visa.Instr{Op: visa.ST64, R1: visa.R1, R2: visa.SP, Imm: 0})
+	}
+
+	if direct != nil {
+		c.genDirectCall(direct.Name, ft)
+	} else {
+		// Evaluate the function pointer after the arguments.
+		c.genExpr(x.Fun)
+		c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R11, R2: visa.R0})
+		site := rewrite.EmitIndirectCall(c.asm, c.opts.Instrument)
+		sig := ctypes.Signature(ft)
+		c.aux.IBs = append(c.aux.IBs, module.IndirectBranch{
+			Offset:       site.BranchOffset,
+			Kind:         module.IBCall,
+			Func:         c.fn.Name,
+			FpSig:        sig,
+			TLoadIOffset: site.TLoadIOffset,
+			GotSlot:      -1,
+		})
+		c.aux.RetSites = append(c.aux.RetSites, module.RetSite{
+			Offset: c.asm.Pos(),
+			FpSig:  sig,
+		})
+	}
+
+	if total > 0 {
+		c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.SP, Imm: int64(total)})
+	}
+	// Result: scalars in R0; records as the sret address (already in R0
+	// per the callee's return protocol).
+}
+
+// genDirectCall emits a direct CALL to a named function, with return-
+// site alignment and aux recording. Cross-module calls carry a
+// RelCall32 relocation the linker resolves (possibly via a PLT entry).
+func (c *compiler) genDirectCall(name string, ft *ctypes.Type) {
+	callSize := visa.Instr{Op: visa.CALL}.Size()
+	if c.opts.Instrument {
+		rewrite.PadForAlignedEnd(c.asm, callSize)
+	}
+	if c.definedFunc(name) {
+		c.asm.EmitBranch(visa.CALL, "fn."+name)
+	} else {
+		c.markRef(name)
+		start := c.asm.Pos()
+		c.asm.Emit(visa.Instr{Op: visa.CALL, Imm: 0})
+		c.callRelocs = append(c.callRelocs, module.Reloc{
+			Offset: start + 1, // rel32 field
+			Symbol: name,
+			Kind:   module.RelCall32,
+		})
+	}
+	c.aux.RetSites = append(c.aux.RetSites, module.RetSite{
+		Offset: c.asm.Pos(),
+		Callee: name,
+	})
+}
+
+// genBuiltin lowers compiler-intrinsic calls; returns false when the
+// name is an ordinary function.
+func (c *compiler) genBuiltin(name string, x *minic.Call) bool {
+	switch name {
+	case "setjmp", "_setjmp":
+		if len(x.Args) != 1 {
+			c.errf(x.Pos, "setjmp takes one argument")
+			return true
+		}
+		c.genExpr(x.Args[0]) // env pointer in R0
+		setjSize := visa.Instr{Op: visa.SETJ}.Size()
+		if c.opts.Instrument {
+			rewrite.PadForAlignedEnd(c.asm, setjSize)
+		}
+		c.asm.Emit(visa.Instr{Op: visa.SETJ, R1: visa.R0})
+		// The instruction after SETJ is the longjmp continuation — an
+		// indirect-branch target (paper §6: "connects the longjmp's
+		// indirect jump to the return address of each setjmp").
+		c.aux.SetjmpConts = append(c.aux.SetjmpConts, c.asm.Pos())
+		return true
+	case "longjmp", "_longjmp":
+		if len(x.Args) != 2 {
+			c.errf(x.Pos, "longjmp takes two arguments")
+			return true
+		}
+		c.genExpr(x.Args[0])
+		c.push() // env
+		c.genExpr(x.Args[1])
+		c.popTo(visa.R1) // env
+		// R0 = val, forced nonzero (C11 7.13.2.1p4).
+		nz := c.label("ljnz")
+		c.asm.Emit(visa.Instr{Op: visa.CMPI, R1: visa.R0, Imm: 0})
+		c.asm.EmitBranch(visa.JNE, nz)
+		c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R0, Imm: 1})
+		c.asm.Label(nz)
+		c.asm.Emit(visa.Instr{Op: visa.LD64, R1: visa.R3, R2: visa.R1, Imm: 0})   // SP
+		c.asm.Emit(visa.Instr{Op: visa.LD64, R1: visa.R4, R2: visa.R1, Imm: 8})   // FP
+		c.asm.Emit(visa.Instr{Op: visa.LD64, R1: visa.R11, R2: visa.R1, Imm: 16}) // PC
+		site := rewrite.EmitLongjmp(c.asm, c.opts.Instrument)
+		c.aux.IBs = append(c.aux.IBs, module.IndirectBranch{
+			Offset:       site.BranchOffset,
+			Kind:         module.IBLongjmp,
+			Func:         c.fn.Name,
+			TLoadIOffset: site.TLoadIOffset,
+			GotSlot:      -1,
+		})
+		return true
+	case "__sys0", "__sys1", "__sys2", "__sys3":
+		nargs := int(name[5] - '0')
+		if len(x.Args) != nargs+1 {
+			c.errf(x.Pos, "%s takes %d arguments", name, nargs+1)
+			return true
+		}
+		num, err := minic.EvalConstExpr(x.Args[0], c.unit.File.EnumConsts)
+		if err != nil {
+			c.errf(x.Pos, "syscall number must be constant: %v", err)
+			return true
+		}
+		for i := 1; i <= nargs; i++ {
+			c.genExpr(x.Args[i])
+			c.push()
+		}
+		for i := nargs - 1; i >= 0; i-- {
+			c.popTo(byte(i)) // R0..R2
+		}
+		c.asm.Emit(visa.Instr{Op: visa.SYS, Imm: num})
+		return true
+	case "__vararg", "__vararg_d":
+		if len(x.Args) != 1 {
+			c.errf(x.Pos, "%s takes one argument", name)
+			return true
+		}
+		if !c.fn.Type.Variadic {
+			c.errf(x.Pos, "%s used outside a variadic function", name)
+			return true
+		}
+		fixed := 16
+		if c.sretHidden {
+			fixed += 8
+		}
+		for _, pt := range c.fn.Type.Params {
+			fixed += slotSize(pt)
+		}
+		c.genExpr(x.Args[0])
+		c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R1, Imm: 8})
+		c.asm.Emit(visa.Instr{Op: visa.MUL, R1: visa.R0, R2: visa.R1})
+		c.asm.Emit(visa.Instr{Op: visa.ADD, R1: visa.R0, R2: visa.FP})
+		c.asm.Emit(visa.Instr{Op: visa.LD64, R1: visa.R0, R2: visa.R0, Imm: int64(fixed)})
+		return true
+	case "__trap":
+		c.asm.Emit(visa.Instr{Op: visa.HLT})
+		return true
+	}
+	return false
+}
+
+// fnParamBytes is the size of the current function's incoming argument
+// area.
+func (c *compiler) fnParamBytes() int {
+	total := 0
+	if c.sretHidden {
+		total += 8
+	}
+	for _, pt := range c.fn.Type.Params {
+		total += slotSize(pt)
+	}
+	return total
+}
+
+// tryTailCall emits a tail-call for "return f(args);" when legal on
+// this profile, returning true on success. The transformation requires
+// the callee's argument area to have exactly the caller's size so the
+// frame can be reused in place — the restriction real compilers share.
+func (c *compiler) tryTailCall(e minic.Expr) bool {
+	x, ok := e.(*minic.Call)
+	if !ok {
+		return false
+	}
+	if id, ok := x.Fun.(*minic.Ident); ok {
+		switch id.Name {
+		case "setjmp", "_setjmp", "longjmp", "_longjmp",
+			"__sys0", "__sys1", "__sys2", "__sys3",
+			"__vararg", "__vararg_d", "__trap":
+			return false
+		}
+	}
+	ft, direct := calleeFuncType(x)
+	if ft == nil || ft.Variadic || c.fn.Type.Variadic {
+		return false
+	}
+	if isRecord(ft.Result) || c.sretHidden {
+		return false
+	}
+	for _, a := range x.Args {
+		if isRecord(a.ExprType()) {
+			return false
+		}
+	}
+	offs, total, _ := argArea(ft, x.Args)
+	if total != c.fnParamBytes() {
+		return false
+	}
+	// Direct tail calls must stay within the module (PLT round trips
+	// are not tail-callable).
+	if direct != nil && !c.definedFunc(direct.Name) {
+		return false
+	}
+
+	// Evaluate arguments into a temporary area below SP.
+	if total > 0 {
+		c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.SP, Imm: int64(-total)})
+	}
+	for i, a := range x.Args {
+		c.genExpr(a)
+		c.asm.Emit(visa.Instr{Op: visa.ST64, R1: visa.R0, R2: visa.SP, Imm: int64(offs[i])})
+	}
+	var sig string
+	if direct == nil {
+		c.genExpr(x.Fun)
+		c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R12, R2: visa.R0})
+		sig = ctypes.Signature(ft)
+	}
+	// Copy into the incoming argument slots, which the callee will own.
+	for w := 0; w < total; w += 8 {
+		c.asm.Emit(visa.Instr{Op: visa.LD64, R1: visa.R1, R2: visa.SP, Imm: int64(w)})
+		c.asm.Emit(visa.Instr{Op: visa.ST64, R1: visa.R1, R2: visa.FP, Imm: int64(16 + w)})
+	}
+	if total > 0 {
+		c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.SP, Imm: int64(total)})
+	}
+	// Tear down the frame; the caller's return address becomes the
+	// callee's.
+	c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.SP, R2: visa.FP})
+	c.asm.Emit(visa.Instr{Op: visa.POP, R1: visa.FP})
+
+	if direct != nil {
+		c.asm.EmitBranch(visa.JMP, "fn."+direct.Name)
+		c.curFuncInfo.TailCalls = append(c.curFuncInfo.TailCalls, direct.Name)
+		return true
+	}
+	c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R11, R2: visa.R12})
+	site := rewrite.EmitTailJump(c.asm, c.opts.Instrument)
+	c.aux.IBs = append(c.aux.IBs, module.IndirectBranch{
+		Offset:       site.BranchOffset,
+		Kind:         module.IBTailJmp,
+		Func:         c.fn.Name,
+		FpSig:        sig,
+		TLoadIOffset: site.TLoadIOffset,
+		GotSlot:      -1,
+	})
+	c.curFuncInfo.TailSigs = append(c.curFuncInfo.TailSigs, sig)
+	return true
+}

@@ -1,0 +1,735 @@
+// Package codegen lowers a type-checked MiniC translation unit to a
+// VISA object module, emitting MCFI instrumentation (via
+// internal/rewrite) and the auxiliary type information that CFG
+// generation consumes at link time.
+//
+// The calling convention is stack-based, matching the x86-ish threat
+// model: the caller reserves an argument area below its stack pointer,
+// stores evaluated arguments into it left to right, then CALL pushes
+// the return address. Inside a function, FP+16 addresses the first
+// argument slot (above the saved FP and the return address) and
+// locals live at negative FP offsets. Struct values travel by copy;
+// struct returns use a hidden destination pointer in the first slot.
+//
+// On Profile64 the compiler performs tail-call optimization for
+// same-argument-size calls in tail position (the LLVM behaviour the
+// paper credits for the smaller x86-64 equivalence-class counts) and
+// records all tail calls in the module's aux info for return-edge
+// chasing during CFG generation.
+package codegen
+
+import (
+	"fmt"
+
+	"mcfi/internal/ctypes"
+	"mcfi/internal/minic"
+	"mcfi/internal/module"
+	"mcfi/internal/rewrite"
+	"mcfi/internal/sema"
+	"mcfi/internal/visa"
+)
+
+// Options configures a compilation.
+type Options struct {
+	Profile visa.Profile
+	// Instrument enables MCFI check transactions, target alignment,
+	// and store sandboxing. Baseline (false) builds are used by the
+	// Fig. 5/6 overhead experiments.
+	Instrument bool
+	// ModuleName names the emitted module; defaults to the file name.
+	ModuleName string
+}
+
+// Error is a code-generation error.
+type Error struct {
+	Pos minic.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type compiler struct {
+	unit *sema.Unit
+	opts Options
+	asm  *visa.Asm
+
+	// data section state.
+	data       []byte
+	bss        int
+	dataSyms   map[string]int // symbol -> data offset (or BSS offset encoded later)
+	bssSyms    map[string]int // symbol -> bss-relative offset
+	dataSizes  map[string]int
+	dataLocal  map[string]bool
+	dataOrder  []string
+	dataRelocs []module.Reloc
+	strCount   int
+	strPool    map[string]string // literal -> rodata symbol
+
+	// per-function state.
+	fn          *minic.FuncDecl
+	fnStart     int
+	locals      map[*minic.Symbol]int // FP-relative offsets (negative)
+	paramOff    map[string]int        // param name -> positive FP offset
+	frame       int                   // current frame size (bytes)
+	frameFixup  int                   // code offset of the ADDI SP imm32 field
+	breakLbl    []string
+	contLbl     []string
+	nextLbl     int
+	sretHidden  bool // function returns a struct via hidden pointer
+	curFuncInfo *module.FuncInfo
+
+	// aux accumulation.
+	aux           module.AuxInfo
+	undefined     map[string]bool
+	statics       []staticInit
+	pendingTables []pendingTable
+	callRelocs    []module.Reloc
+
+	errs []error
+}
+
+// caseVal pairs one switch case constant with its arm label.
+type caseVal struct {
+	val int64
+	lbl string
+}
+
+type staticInit struct {
+	name string
+	typ  *ctypes.Type
+	init minic.Expr
+}
+
+// Compile lowers unit to an object module.
+func Compile(unit *sema.Unit, opts Options) (*module.Object, error) {
+	if opts.Profile == 0 {
+		opts.Profile = visa.Profile64
+	}
+	if opts.ModuleName == "" {
+		opts.ModuleName = unit.File.Name
+	}
+	c := &compiler{
+		unit:      unit,
+		opts:      opts,
+		asm:       visa.NewAsm(),
+		dataSyms:  map[string]int{},
+		bssSyms:   map[string]int{},
+		dataSizes: map[string]int{},
+		dataLocal: map[string]bool{},
+		strPool:   map[string]string{},
+		undefined: map[string]bool{},
+	}
+
+	// Emit all function bodies.
+	for _, fd := range unit.Funcs {
+		c.genFunc(fd)
+		if len(c.errs) > 0 {
+			return nil, c.errs[0]
+		}
+	}
+	if err := c.asm.Finish(); err != nil {
+		return nil, err
+	}
+
+	// Lay out globals (including statics hoisted from function bodies).
+	for _, g := range unit.Globals {
+		c.genGlobal(g.Name, g.Type, g.Init, g.Static)
+	}
+	for _, s := range c.statics {
+		c.genGlobal(s.name, s.typ, s.init, true)
+	}
+	if len(c.errs) > 0 {
+		return nil, c.errs[0]
+	}
+
+	return c.finishObject(), nil
+}
+
+func (c *compiler) errf(pos minic.Pos, format string, args ...interface{}) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *compiler) label(what string) string {
+	c.nextLbl++
+	return fmt.Sprintf("%s.%s.%d", c.fn.Name, what, c.nextLbl)
+}
+
+// slotSize returns the argument-slot size of a type (rounded to 8).
+func slotSize(t *ctypes.Type) int {
+	s := t.Size()
+	if s < 8 {
+		return 8
+	}
+	return (s + 7) &^ 7
+}
+
+// isRecord reports whether t is passed/returned by copy.
+func isRecord(t *ctypes.Type) bool {
+	return t != nil && (t.Kind == ctypes.Struct || t.Kind == ctypes.Union)
+}
+
+// defined reports whether name is a function defined (with body) in
+// this unit.
+func (c *compiler) definedFunc(name string) bool {
+	s, ok := c.unit.Syms[name]
+	if !ok || s.Kind != minic.SymFunc {
+		return false
+	}
+	fd, ok := s.Def.(*minic.FuncDecl)
+	return ok && fd.Body != nil
+}
+
+func (c *compiler) genFunc(fd *minic.FuncDecl) {
+	c.fn = fd
+	c.locals = map[*minic.Symbol]int{}
+	c.paramOff = map[string]int{}
+	c.frame = 0
+	c.breakLbl, c.contLbl = nil, nil
+	c.sretHidden = isRecord(fd.Type.Result)
+
+	if c.opts.Instrument {
+		rewrite.AlignIBT(c.asm)
+	}
+	c.fnStart = c.asm.Pos()
+	c.asm.Label("fn." + fd.Name)
+
+	sym := c.unit.Syms[fd.Name]
+	c.aux.Funcs = append(c.aux.Funcs, module.FuncInfo{
+		Name:      fd.Name,
+		Offset:    c.fnStart,
+		Sig:       ctypes.Signature(fd.Type),
+		AddrTaken: sym != nil && sym.AddrTaken,
+	})
+	c.curFuncInfo = &c.aux.Funcs[len(c.aux.Funcs)-1]
+
+	// Parameter offsets: FP+16 upward; hidden sret pointer first.
+	off := 16
+	if c.sretHidden {
+		c.paramOff["__sret"] = off
+		off += 8
+	}
+	for i, pt := range fd.Type.Params {
+		name := ""
+		if i < len(fd.ParamNames) {
+			name = fd.ParamNames[i]
+		}
+		c.paramOff[name] = off
+		off += slotSize(pt)
+	}
+
+	// Prologue.
+	c.asm.Emit(visa.Instr{Op: visa.PUSH, R1: visa.FP})
+	c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.FP, R2: visa.SP})
+	c.frameFixup = c.asm.Pos() + 2 // offset of the imm32 in the ADDI below
+	c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.SP, Imm: 0})
+
+	for _, s := range fd.Body.Stmts {
+		c.genStmt(s)
+	}
+
+	// Implicit return (void or falling off the end); skipped when the
+	// body already ends with an unconditional return.
+	n := len(fd.Body.Stmts)
+	if n == 0 {
+		c.genEpilogueReturn()
+	} else if _, endsWithRet := fd.Body.Stmts[n-1].(*minic.Return); !endsWithRet {
+		c.genEpilogueReturn()
+	}
+
+	// Materialize jump tables at the end of the function: read-only
+	// data hard-coded into the code region (paper §6).
+	c.materializeTables()
+
+	// Patch the frame size into the prologue ADDI.
+	fr := int32(-c.frame)
+	c.asm.Code[c.frameFixup] = byte(fr)
+	c.asm.Code[c.frameFixup+1] = byte(fr >> 8)
+	c.asm.Code[c.frameFixup+2] = byte(fr >> 16)
+	c.asm.Code[c.frameFixup+3] = byte(fr >> 24)
+
+	c.curFuncInfo.Size = c.asm.Pos() - c.fnStart
+	c.fn = nil
+}
+
+// genEpilogueReturn tears the frame down and emits the (instrumented)
+// return, recording it as an IBRet.
+func (c *compiler) genEpilogueReturn() {
+	c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.SP, R2: visa.FP})
+	c.asm.Emit(visa.Instr{Op: visa.POP, R1: visa.FP})
+	site := rewrite.EmitReturn(c.asm, c.opts.Instrument)
+	c.aux.IBs = append(c.aux.IBs, module.IndirectBranch{
+		Offset:       site.BranchOffset,
+		Kind:         module.IBRet,
+		Func:         c.fn.Name,
+		TLoadIOffset: site.TLoadIOffset,
+		GotSlot:      -1,
+	})
+}
+
+// allocLocal reserves frame space for a local of the given type and
+// returns its FP-relative (negative) offset.
+func (c *compiler) allocLocal(t *ctypes.Type) int {
+	sz := t.Size()
+	if sz < 1 {
+		sz = 8
+	}
+	al := t.Align()
+	if al < 1 {
+		al = 8
+	}
+	c.frame = (c.frame + sz + al - 1) / al * al
+	// Keep the frame 8-aligned overall so SP stays aligned.
+	if c.frame%8 != 0 {
+		c.frame = (c.frame + 7) &^ 7
+	}
+	return -c.frame
+}
+
+// allocTemp reserves an 8-aligned scratch slot of sz bytes.
+func (c *compiler) allocTemp(sz int) int {
+	c.frame = (c.frame + sz + 7) &^ 7
+	return -c.frame
+}
+
+func (c *compiler) genStmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *minic.Block:
+		for _, inner := range st.Stmts {
+			c.genStmt(inner)
+		}
+	case *minic.ExprStmt:
+		c.genExpr(st.X)
+	case *minic.DeclGroup:
+		for _, d := range st.Decls {
+			c.genDeclStmt(d)
+		}
+	case *minic.DeclStmt:
+		c.genDeclStmt(st)
+	case *minic.If:
+		els := c.label("else")
+		end := c.label("endif")
+		c.genCondBranch(st.Cond, els)
+		c.genStmt(st.Then)
+		if st.Else != nil {
+			c.asm.EmitBranch(visa.JMP, end)
+			c.asm.Label(els)
+			c.genStmt(st.Else)
+			c.asm.Label(end)
+		} else {
+			c.asm.Label(els)
+		}
+	case *minic.While:
+		head := c.label("while")
+		end := c.label("endwhile")
+		c.asm.Label(head)
+		c.genCondBranch(st.Cond, end)
+		c.pushLoop(end, head)
+		c.genStmt(st.Body)
+		c.popLoop()
+		c.asm.EmitBranch(visa.JMP, head)
+		c.asm.Label(end)
+	case *minic.DoWhile:
+		head := c.label("do")
+		cond := c.label("docond")
+		end := c.label("enddo")
+		c.asm.Label(head)
+		c.pushLoop(end, cond)
+		c.genStmt(st.Body)
+		c.popLoop()
+		c.asm.Label(cond)
+		c.genExpr(st.Cond)
+		c.asm.Emit(visa.Instr{Op: visa.CMPI, R1: visa.R0, Imm: 0})
+		c.asm.EmitBranch(visa.JNE, head)
+		c.asm.Label(end)
+	case *minic.For:
+		head := c.label("for")
+		post := c.label("forpost")
+		end := c.label("endfor")
+		if st.Init != nil {
+			c.genStmt(st.Init)
+		}
+		c.asm.Label(head)
+		if st.Cond != nil {
+			c.genCondBranch(st.Cond, end)
+		}
+		c.pushLoop(end, post)
+		c.genStmt(st.Body)
+		c.popLoop()
+		c.asm.Label(post)
+		if st.Post != nil {
+			c.genExpr(st.Post)
+		}
+		c.asm.EmitBranch(visa.JMP, head)
+		c.asm.Label(end)
+	case *minic.Switch:
+		c.genSwitch(st)
+	case *minic.Break:
+		if n := len(c.breakLbl); n > 0 {
+			c.asm.EmitBranch(visa.JMP, c.breakLbl[n-1])
+		}
+	case *minic.Continue:
+		if n := len(c.contLbl); n > 0 {
+			c.asm.EmitBranch(visa.JMP, c.contLbl[n-1])
+		}
+	case *minic.Return:
+		c.genReturn(st)
+	case *minic.Goto:
+		c.asm.EmitBranch(visa.JMP, "user."+c.fn.Name+"."+st.Label)
+	case *minic.Label:
+		c.asm.Label("user." + c.fn.Name + "." + st.Name)
+		c.genStmt(st.Stmt)
+	case *minic.AsmStmt:
+		// The assembly text itself is opaque to VISA; a NOP stands in.
+		// Its function-pointer type annotations flow into aux info so
+		// the CFG generator can honor them (paper §6, condition C2).
+		c.asm.Emit(visa.Instr{Op: visa.NOP})
+		c.aux.AsmAnnotations = append(c.aux.AsmAnnotations, st.Annotations...)
+	default:
+		c.errf(s.NodePos(), "codegen: unhandled statement %T", s)
+	}
+}
+
+func (c *compiler) pushLoop(brk, cont string) {
+	c.breakLbl = append(c.breakLbl, brk)
+	c.contLbl = append(c.contLbl, cont)
+}
+
+func (c *compiler) popLoop() {
+	c.breakLbl = c.breakLbl[:len(c.breakLbl)-1]
+	c.contLbl = c.contLbl[:len(c.contLbl)-1]
+}
+
+// genCondBranch evaluates cond and branches to target when it is false.
+func (c *compiler) genCondBranch(cond minic.Expr, target string) {
+	c.genExpr(cond)
+	c.asm.Emit(visa.Instr{Op: visa.CMPI, R1: visa.R0, Imm: 0})
+	c.asm.EmitBranch(visa.JE, target)
+}
+
+func (c *compiler) genDeclStmt(st *minic.DeclStmt) {
+	if st.Static {
+		// Hoist to module data with a mangled name; rewrite the symbol
+		// so later references hit the global path.
+		mangled := fmt.Sprintf("%s.%s.%d", c.fn.Name, st.Name, len(c.statics))
+		c.statics = append(c.statics, staticInit{name: mangled, typ: st.Type, init: st.Init})
+		st.Sym.Global = true
+		st.Sym.Name = mangled
+		c.dataLocal[mangled] = true
+		return
+	}
+	off := c.allocLocal(st.Type)
+	c.locals[st.Sym] = off
+	if st.Init == nil {
+		return
+	}
+	c.genLocalInit(st.Type, off, st.Init)
+}
+
+// genLocalInit stores an initializer into FP+off.
+func (c *compiler) genLocalInit(t *ctypes.Type, off int, init minic.Expr) {
+	switch iv := init.(type) {
+	case *minic.InitList:
+		c.genZeroFill(off, t.Size())
+		switch t.Kind {
+		case ctypes.Array:
+			esz := t.Elem.Size()
+			for i, el := range iv.Elems {
+				c.genLocalInit(t.Elem, off+i*esz, el)
+			}
+		case ctypes.Struct, ctypes.Union:
+			for i, el := range iv.Elems {
+				if i < len(t.Fields) {
+					c.genLocalInit(t.Fields[i].Type, off+t.Fields[i].Offset, el)
+				}
+			}
+		default:
+			if len(iv.Elems) == 1 {
+				c.genLocalInit(t, off, iv.Elems[0])
+			}
+		}
+	case *minic.StrLit:
+		if t.Kind == ctypes.Array {
+			// char buf[N] = "str": copy bytes, zero the rest.
+			c.genZeroFill(off, t.Size())
+			sym := c.internString(iv.Value)
+			c.asm.EmitMoviSym(visa.R1, sym, 0)
+			c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R2, R2: visa.FP})
+			c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.R2, Imm: int64(off)})
+			n := len(iv.Value) + 1
+			if n > t.Size() {
+				n = t.Size()
+			}
+			c.genMemCopy(visa.R2, visa.R1, n)
+			return
+		}
+		c.genExpr(init)
+		c.storeToFP(off, t)
+	default:
+		if isRecord(t) {
+			c.genExpr(init) // address of the source record in R0
+			c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R1, R2: visa.R0})
+			c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R2, R2: visa.FP})
+			c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.R2, Imm: int64(off)})
+			c.genMemCopy(visa.R2, visa.R1, t.Size())
+			return
+		}
+		c.genExpr(init)
+		c.storeToFP(off, t)
+	}
+}
+
+// storeToFP stores R0 into FP+off with the width of t.
+func (c *compiler) storeToFP(off int, t *ctypes.Type) {
+	c.asm.Emit(visa.Instr{Op: storeOp(t), R1: visa.R0, R2: visa.FP, Imm: int64(off)})
+}
+
+// genZeroFill zeroes size bytes at FP+off.
+func (c *compiler) genZeroFill(off, size int) {
+	if size <= 0 {
+		return
+	}
+	c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R1, Imm: 0})
+	if size <= 128 {
+		for b := 0; b+8 <= size; b += 8 {
+			c.asm.Emit(visa.Instr{Op: visa.ST64, R1: visa.R1, R2: visa.FP, Imm: int64(off + b)})
+		}
+		for b := size &^ 7; b < size; b++ {
+			c.asm.Emit(visa.Instr{Op: visa.ST8, R1: visa.R1, R2: visa.FP, Imm: int64(off + b)})
+		}
+		return
+	}
+	// Loop for large objects: R2 = dest cursor, R3 = end.
+	c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R2, R2: visa.FP})
+	c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.R2, Imm: int64(off)})
+	c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R3, R2: visa.R2})
+	c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.R3, Imm: int64(size &^ 7)})
+	loop := c.label("zfill")
+	c.asm.Label(loop)
+	rewrite.EmitStoreMask(c.asm, visa.R2, c.opts.Instrument, c.opts.Profile)
+	c.asm.Emit(visa.Instr{Op: visa.ST64, R1: visa.R1, R2: visa.R2, Imm: 0})
+	c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.R2, Imm: 8})
+	c.asm.Emit(visa.Instr{Op: visa.CMP, R1: visa.R2, R2: visa.R3})
+	c.asm.EmitBranch(visa.JB, loop)
+	for b := size &^ 7; b < size; b++ {
+		c.asm.Emit(visa.Instr{Op: visa.ST8, R1: visa.R1, R2: visa.FP, Imm: int64(off + b)})
+	}
+}
+
+// genMemCopy copies n bytes from [src] to [dst]; clobbers R5 and the
+// cursor registers. dst and src must be distinct registers other than
+// R5.
+func (c *compiler) genMemCopy(dst, src byte, n int) {
+	if n <= 0 {
+		return
+	}
+	if n <= 64 {
+		for b := 0; b+8 <= n; b += 8 {
+			c.asm.Emit(visa.Instr{Op: visa.LD64, R1: visa.R5, R2: src, Imm: int64(b)})
+			rewrite.EmitStoreMask(c.asm, dst, c.opts.Instrument, c.opts.Profile)
+			c.asm.Emit(visa.Instr{Op: visa.ST64, R1: visa.R5, R2: dst, Imm: int64(b)})
+		}
+		for b := n &^ 7; b < n; b++ {
+			c.asm.Emit(visa.Instr{Op: visa.LD8U, R1: visa.R5, R2: src, Imm: int64(b)})
+			rewrite.EmitStoreMask(c.asm, dst, c.opts.Instrument, c.opts.Profile)
+			c.asm.Emit(visa.Instr{Op: visa.ST8, R1: visa.R5, R2: dst, Imm: int64(b)})
+		}
+		return
+	}
+	// Word-copy loop; uses R4 as the byte counter.
+	c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R4, Imm: 0})
+	loop := c.label("memcpy")
+	tail := c.label("memcpytail")
+	c.asm.Label(loop)
+	c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R5, R2: visa.R4})
+	c.asm.Emit(visa.Instr{Op: visa.CMPI, R1: visa.R5, Imm: int64(n &^ 7)})
+	c.asm.EmitBranch(visa.JAE, tail)
+	c.asm.Emit(visa.Instr{Op: visa.ADD, R1: visa.R5, R2: src})
+	c.asm.Emit(visa.Instr{Op: visa.LD64, R1: visa.R5, R2: visa.R5, Imm: 0})
+	c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R3, R2: visa.R4})
+	c.asm.Emit(visa.Instr{Op: visa.ADD, R1: visa.R3, R2: dst})
+	rewrite.EmitStoreMask(c.asm, visa.R3, c.opts.Instrument, c.opts.Profile)
+	c.asm.Emit(visa.Instr{Op: visa.ST64, R1: visa.R5, R2: visa.R3, Imm: 0})
+	c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.R4, Imm: 8})
+	c.asm.EmitBranch(visa.JMP, loop)
+	c.asm.Label(tail)
+	for b := n &^ 7; b < n; b++ {
+		c.asm.Emit(visa.Instr{Op: visa.LD8U, R1: visa.R5, R2: src, Imm: int64(b)})
+		rewrite.EmitStoreMask(c.asm, dst, c.opts.Instrument, c.opts.Profile)
+		c.asm.Emit(visa.Instr{Op: visa.ST8, R1: visa.R5, R2: dst, Imm: int64(b)})
+	}
+}
+
+func (c *compiler) genReturn(st *minic.Return) {
+	if st.X != nil {
+		if c.sretHidden {
+			// Copy the record into *__sret and return the pointer.
+			c.genExpr(st.X) // source address in R0
+			c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R1, R2: visa.R0})
+			c.asm.Emit(visa.Instr{Op: visa.LD64, R1: visa.R2, R2: visa.FP, Imm: int64(c.paramOff["__sret"])})
+			c.genMemCopy(visa.R2, visa.R1, c.fn.Type.Result.Size())
+			c.asm.Emit(visa.Instr{Op: visa.LD64, R1: visa.R0, R2: visa.FP, Imm: int64(c.paramOff["__sret"])})
+		} else {
+			// Tail-call optimization (Profile64 only).
+			if c.opts.Profile == visa.Profile64 && c.tryTailCall(st.X) {
+				return
+			}
+			c.genExpr(st.X)
+		}
+	}
+	c.genEpilogueReturn()
+}
+
+func (c *compiler) genSwitch(st *minic.Switch) {
+	end := c.label("endswitch")
+	c.breakLbl = append(c.breakLbl, end)
+	c.contLbl = append(c.contLbl, "") // switch does not catch continue
+	defer func() {
+		c.breakLbl = c.breakLbl[:len(c.breakLbl)-1]
+		c.contLbl = c.contLbl[:len(c.contLbl)-1]
+	}()
+
+	c.genExpr(st.Cond)
+
+	var vals []caseVal
+	defaultLbl := end
+	armLbls := make([]string, len(st.Cases))
+	for i, arm := range st.Cases {
+		armLbls[i] = c.label(fmt.Sprintf("case%d", i))
+		if arm.IsDefault {
+			defaultLbl = armLbls[i]
+		}
+		for _, v := range arm.Vals {
+			cv, err := minic.EvalConstExpr(v, c.unit.File.EnumConsts)
+			if err != nil {
+				c.errf(v.NodePos(), "non-constant case: %v", err)
+				continue
+			}
+			vals = append(vals, caseVal{val: cv, lbl: armLbls[i]})
+		}
+	}
+
+	lo, hi := int64(0), int64(0)
+	for i, v := range vals {
+		if i == 0 || v.val < lo {
+			lo = v.val
+		}
+		if i == 0 || v.val > hi {
+			hi = v.val
+		}
+	}
+	span := hi - lo + 1
+	dense := len(vals) >= 4 && span <= int64(4*len(vals)) && span < 4096
+
+	if dense {
+		c.genJumpTableSwitch(vals, lo, span, defaultLbl)
+	} else {
+		for _, v := range vals {
+			c.asm.Emit(visa.Instr{Op: visa.CMPI, R1: visa.R0, Imm: v.val})
+			c.asm.EmitBranch(visa.JE, v.lbl)
+		}
+		c.asm.EmitBranch(visa.JMP, defaultLbl)
+	}
+
+	for i, arm := range st.Cases {
+		c.asm.Label(armLbls[i])
+		for _, inner := range arm.Stmts {
+			c.genStmt(inner)
+		}
+		// fallthrough to the next arm (C semantics)
+	}
+	c.asm.Label(end)
+}
+
+// pendingTable defers jump-table materialization to the end of the
+// function; entries are function-relative offsets of case labels.
+type pendingTable struct {
+	labels     []string
+	relocIndex int // index into asm.Relocs of the table-base MOVI
+	ibIndex    int // index into c.aux.IBs of the IBSwitch record
+}
+
+// genJumpTableSwitch emits the jump-table lowering: the
+// intraprocedural indirect jump whose targets are "organized in
+// read-only jump tables, which are hard-coded into the program" and
+// are "statically analyzed to determine their control-flow targets"
+// rather than instrumented (paper §6).
+func (c *compiler) genJumpTableSwitch(vals []caseVal, lo, span int64, defaultLbl string) {
+	// Index = cond - lo; bounds-check against span.
+	c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.R0, Imm: -lo})
+	c.asm.Emit(visa.Instr{Op: visa.CMPI, R1: visa.R0, Imm: span})
+	c.asm.EmitBranch(visa.JAE, defaultLbl)
+
+	// R1 = table base (function symbol + table delta, patched later).
+	c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R1})
+	relocIdx := len(c.asm.Relocs)
+	c.asm.Relocs = append(c.asm.Relocs, visa.Reloc{
+		Offset: c.asm.Pos() - 8, Symbol: c.fn.Name, JumpTable: true, // addend patched
+	})
+	// R2 = 8 * index; R1 = &table[index]; R2 = entry (fn-relative).
+	c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R2, R2: visa.R0})
+	c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R3, Imm: 3})
+	c.asm.Emit(visa.Instr{Op: visa.SHL, R1: visa.R2, R2: visa.R3})
+	c.asm.Emit(visa.Instr{Op: visa.ADD, R1: visa.R1, R2: visa.R2})
+	c.asm.Emit(visa.Instr{Op: visa.LD64, R1: visa.R2, R2: visa.R1, Imm: 0})
+	// R1 = function base; target = base + entry.
+	c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R1})
+	c.asm.Relocs = append(c.asm.Relocs, visa.Reloc{
+		Offset: c.asm.Pos() - 8, Symbol: c.fn.Name, JumpTable: true,
+	})
+	c.asm.Emit(visa.Instr{Op: visa.ADD, R1: visa.R2, R2: visa.R1})
+	ibOff := c.asm.Pos()
+	c.asm.Emit(visa.Instr{Op: visa.JMPR, R1: visa.R2})
+
+	// Table entries: one per span slot, default for holes.
+	labels := make([]string, span)
+	for i := range labels {
+		labels[i] = defaultLbl
+	}
+	for _, v := range vals {
+		labels[v.val-lo] = v.lbl
+	}
+	c.aux.IBs = append(c.aux.IBs, module.IndirectBranch{
+		Offset:       ibOff,
+		Kind:         module.IBSwitch,
+		Func:         c.fn.Name,
+		TLoadIOffset: -1,
+		GotSlot:      -1,
+	})
+	c.pendingTables = append(c.pendingTables, pendingTable{
+		labels:     labels,
+		relocIndex: relocIdx,
+		ibIndex:    len(c.aux.IBs) - 1,
+	})
+}
+
+// materializeTables appends this function's pending jump tables to the
+// code stream. All case labels are bound by the end of the function,
+// so entries (function-relative target offsets) resolve immediately.
+func (c *compiler) materializeTables() {
+	for _, pt := range c.pendingTables {
+		for c.asm.Pos()%8 != 0 {
+			c.asm.Emit(visa.Instr{Op: visa.NOP})
+		}
+		tableOff := c.asm.Pos()
+		c.asm.Relocs[pt.relocIndex].Addend = int64(tableOff - c.fnStart)
+		ib := &c.aux.IBs[pt.ibIndex]
+		ib.TableOff = tableOff
+		ib.TableLen = 8 * len(pt.labels)
+		var entries []byte
+		for _, lbl := range pt.labels {
+			off, ok := c.asm.LabelAt(lbl)
+			if !ok {
+				c.errf(c.fn.Pos, "jump table label %q unbound", lbl)
+				off = c.fnStart
+			}
+			ib.Targets = append(ib.Targets, off)
+			rel := uint64(off - c.fnStart)
+			for b := 0; b < 8; b++ {
+				entries = append(entries, byte(rel>>(8*b)))
+			}
+		}
+		c.asm.EmitRaw(entries)
+	}
+	c.pendingTables = c.pendingTables[:0]
+}

@@ -1,0 +1,377 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"mcfi/internal/codegen"
+	"mcfi/internal/ctypes"
+	"mcfi/internal/minic"
+	"mcfi/internal/module"
+	"mcfi/internal/sema"
+	"mcfi/internal/visa"
+)
+
+func compile(t *testing.T, src string, opts codegen.Options) *module.Object {
+	t.Helper()
+	f, err := minic.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	u, err := sema.Analyze(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	obj, err := codegen.Compile(u, opts)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	return obj
+}
+
+func instrOpts() codegen.Options {
+	return codegen.Options{Profile: visa.Profile64, Instrument: true, ModuleName: "t"}
+}
+
+func TestAuxRecordsFunctions(t *testing.T) {
+	obj := compile(t, `
+static int hidden(int x) { return x; }
+int visible(int x) { return hidden(x); }
+int (*fp)(int) = visible;
+`, instrOpts())
+	byName := map[string]module.FuncInfo{}
+	for _, f := range obj.Aux.Funcs {
+		byName[f.Name] = f
+	}
+	if len(byName) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(byName))
+	}
+	if !byName["visible"].AddrTaken {
+		t.Error("visible should be address-taken")
+	}
+	if byName["hidden"].AddrTaken {
+		t.Error("hidden is never address-taken")
+	}
+	sig := ctypes.Signature(ctypes.FuncOf(ctypes.IntType, []*ctypes.Type{ctypes.IntType}, false))
+	if byName["visible"].Sig != sig {
+		t.Errorf("visible sig = %q, want %q", byName["visible"].Sig, sig)
+	}
+	// Function symbols carry linkage.
+	if s := obj.FindSymbol("hidden"); s == nil || !s.Local {
+		t.Error("static function should be a local symbol")
+	}
+	if s := obj.FindSymbol("visible"); s == nil || s.Local {
+		t.Error("extern function should be global")
+	}
+}
+
+func TestIndirectCallAux(t *testing.T) {
+	obj := compile(t, `
+int cb(int x) { return x; }
+int (*fp)(int) = cb;
+int main(void) { return fp(1); }
+`, instrOpts())
+	var icalls, rets int
+	for _, ib := range obj.Aux.IBs {
+		switch ib.Kind {
+		case module.IBCall:
+			icalls++
+			if ib.FpSig == "" {
+				t.Error("icall without a type signature")
+			}
+			if ib.TLoadIOffset < 0 {
+				t.Error("instrumented icall must record its TLOADI")
+			}
+		case module.IBRet:
+			rets++
+			if ib.Func == "" {
+				t.Error("ret without enclosing function")
+			}
+		}
+	}
+	if icalls != 1 {
+		t.Errorf("icalls = %d, want 1", icalls)
+	}
+	if rets != 2 {
+		t.Errorf("rets = %d, want 2 (cb + main)", rets)
+	}
+	// Indirect ret-site recorded with the fp signature.
+	found := false
+	for _, rs := range obj.Aux.RetSites {
+		if rs.FpSig != "" {
+			found = true
+			if rs.Offset%4 != 0 {
+				t.Error("instrumented ret site must be 4-byte aligned")
+			}
+		}
+	}
+	if !found {
+		t.Error("no indirect-call ret site recorded")
+	}
+}
+
+func TestBaselineHasNoChecks(t *testing.T) {
+	src := `
+int cb(int x) { return x; }
+int (*fp)(int) = cb;
+int main(void) { return fp(1); }
+`
+	obj := compile(t, src, codegen.Options{Profile: visa.Profile64, Instrument: false})
+	instrs, err := visa.DecodeAll(obj.Code)
+	if err != nil {
+		t.Fatalf("baseline must fully decode: %v", err)
+	}
+	for _, i := range instrs {
+		switch i.Op {
+		case visa.TLOAD, visa.TLOADI, visa.CMPW, visa.TESTB:
+			t.Fatalf("baseline contains check instruction %s", i.Op.Name())
+		}
+	}
+	// Baseline keeps plain RETs.
+	hasRet := false
+	for _, i := range instrs {
+		if i.Op == visa.RET {
+			hasRet = true
+		}
+	}
+	if !hasRet {
+		t.Error("baseline should use plain ret")
+	}
+}
+
+func TestInstrumentedAlignment(t *testing.T) {
+	obj := compile(t, `
+int a(int x) { return x + 1; }
+int b(int x) { return a(x) + a(x + 1); }
+int (*fp)(int) = a;
+int main(void) { return b(fp(1)); }
+`, instrOpts())
+	for _, f := range obj.Aux.Funcs {
+		if f.AddrTaken && f.Offset%4 != 0 {
+			t.Errorf("address-taken %s at %#x not aligned", f.Name, f.Offset)
+		}
+	}
+	for _, rs := range obj.Aux.RetSites {
+		if rs.Offset%4 != 0 {
+			t.Errorf("ret site %#x not aligned", rs.Offset)
+		}
+	}
+}
+
+func TestSwitchEmitsJumpTable(t *testing.T) {
+	obj := compile(t, `
+int f(int x) {
+	switch (x) {
+	case 0: return 5;
+	case 1: return 6;
+	case 2: return 7;
+	case 3: return 8;
+	case 4: return 9;
+	default: return -1;
+	}
+}
+int main(void) { return f(3); }
+`, instrOpts())
+	var sw *module.IndirectBranch
+	for i := range obj.Aux.IBs {
+		if obj.Aux.IBs[i].Kind == module.IBSwitch {
+			sw = &obj.Aux.IBs[i]
+		}
+	}
+	if sw == nil {
+		t.Fatal("no jump-table switch emitted for a dense case set")
+	}
+	if sw.TableLen != 8*5 {
+		t.Errorf("table len = %d, want 40 (5 slots)", sw.TableLen)
+	}
+	if len(sw.Targets) != 5 {
+		t.Errorf("targets = %d, want 5", len(sw.Targets))
+	}
+	if sw.TLoadIOffset != -1 {
+		t.Error("switch jumps are statically verified, not table-checked")
+	}
+}
+
+func TestSparseSwitchAvoidsTable(t *testing.T) {
+	obj := compile(t, `
+int f(int x) {
+	switch (x) {
+	case 1: return 5;
+	case 1000: return 6;
+	case 100000: return 7;
+	default: return -1;
+	}
+}
+int main(void) { return f(1000); }
+`, instrOpts())
+	for _, ib := range obj.Aux.IBs {
+		if ib.Kind == module.IBSwitch {
+			t.Error("sparse switch should compile to compare chains")
+		}
+	}
+}
+
+func TestTailCallAuxProfile64(t *testing.T) {
+	src := `
+int sink(int x) { return x; }
+int relay(int x) { return sink(x + 1); }
+int main(void) { return relay(1); }
+`
+	obj64 := compile(t, src, instrOpts())
+	var relay64 *module.FuncInfo
+	for i := range obj64.Aux.Funcs {
+		if obj64.Aux.Funcs[i].Name == "relay" {
+			relay64 = &obj64.Aux.Funcs[i]
+		}
+	}
+	if relay64 == nil || len(relay64.TailCalls) != 1 || relay64.TailCalls[0] != "sink" {
+		t.Errorf("Profile64 should record the tail call, got %+v", relay64)
+	}
+	obj32 := compile(t, src, codegen.Options{Profile: visa.Profile32, Instrument: true})
+	for _, f := range obj32.Aux.Funcs {
+		if f.Name == "relay" && len(f.TailCalls) != 0 {
+			t.Error("Profile32 must not tail-call optimize")
+		}
+	}
+}
+
+func TestStaticLocalHoisted(t *testing.T) {
+	obj := compile(t, `
+int counter(void) {
+	static int n;
+	n++;
+	return n;
+}
+int main(void) { counter(); return counter(); }
+`, instrOpts())
+	found := false
+	for _, s := range obj.Symbols {
+		if s.Kind == module.SymData && s.Local && s.Size == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("static local should become a local data symbol")
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	obj := compile(t, `
+int answer = 42;
+long big = 1234567890123;
+double pi = 3.25;
+char msg[8] = "hi";
+int *ptr = &answer;
+int arr[3] = {7, 8, 9};
+`, instrOpts())
+	sym := func(name string) module.Symbol {
+		s := obj.FindSymbol(name)
+		if s == nil {
+			t.Fatalf("symbol %s missing", name)
+		}
+		return *s
+	}
+	get32 := func(off int) uint32 {
+		d := obj.Data[off:]
+		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+	}
+	if v := get32(sym("answer").Offset); v != 42 {
+		t.Errorf("answer = %d", v)
+	}
+	if obj.Data[sym("msg").Offset] != 'h' {
+		t.Error("msg bytes wrong")
+	}
+	if v := get32(sym("arr").Offset + 8); v != 9 {
+		t.Errorf("arr[2] = %d", v)
+	}
+	// ptr carries a data relocation to answer.
+	found := false
+	for _, r := range obj.DataRelocs {
+		if r.Symbol == "answer" && r.Offset == sym("ptr").Offset {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing data relocation for &answer")
+	}
+}
+
+func TestBSSAllocation(t *testing.T) {
+	obj := compile(t, `
+int zeroed[1000];
+int initialized = 1;
+`, instrOpts())
+	if obj.BSS < 4000 {
+		t.Errorf("BSS = %d, want >= 4000", obj.BSS)
+	}
+	z := obj.FindSymbol("zeroed")
+	if z == nil || z.Offset < len(obj.Data) {
+		t.Error("zeroed should live in BSS (offset past initialized data)")
+	}
+}
+
+func TestUndefinedCollected(t *testing.T) {
+	obj := compile(t, `
+int external_fn(int);
+int main(void) { return external_fn(1); }
+`, instrOpts())
+	if len(obj.Undefined) != 1 || obj.Undefined[0] != "external_fn" {
+		t.Errorf("undefined = %v", obj.Undefined)
+	}
+}
+
+func TestSetjmpContinuationRecorded(t *testing.T) {
+	obj := compile(t, `
+typedef long jmp_buf[4];
+int setjmp(long *env);
+void longjmp(long *env, int val);
+jmp_buf env;
+int main(void) {
+	if (setjmp(env) == 0) longjmp(env, 3);
+	return 0;
+}
+`, instrOpts())
+	if len(obj.Aux.SetjmpConts) != 1 {
+		t.Fatalf("setjmp continuations = %d, want 1", len(obj.Aux.SetjmpConts))
+	}
+	if obj.Aux.SetjmpConts[0]%4 != 0 {
+		t.Error("setjmp continuation must be aligned")
+	}
+	haveLJ := false
+	for _, ib := range obj.Aux.IBs {
+		if ib.Kind == module.IBLongjmp {
+			haveLJ = true
+		}
+	}
+	if !haveLJ {
+		t.Error("longjmp branch not recorded")
+	}
+}
+
+func TestAsmAnnotationsFlow(t *testing.T) {
+	obj := compile(t, `
+void fast(void) { asm("xyz" : "fast : f()->v"); }
+int main(void) { fast(); return 0; }
+`, instrOpts())
+	if len(obj.Aux.AsmAnnotations) != 1 {
+		t.Errorf("annotations = %v", obj.Aux.AsmAnnotations)
+	}
+}
+
+func TestInstrumentedCodeLarger(t *testing.T) {
+	src := `
+int work(int x) { return x * 3 + 1; }
+int main(void) {
+	int acc = 0;
+	for (int i = 0; i < 10; i++) acc += work(i);
+	return acc;
+}`
+	base := compile(t, src, codegen.Options{Profile: visa.Profile64})
+	inst := compile(t, src, instrOpts())
+	if len(inst.Code) <= len(base.Code) {
+		t.Errorf("instrumented %d <= baseline %d", len(inst.Code), len(base.Code))
+	}
+	growth := float64(len(inst.Code)-len(base.Code)) / float64(len(base.Code))
+	if growth > 1.0 {
+		t.Errorf("code growth %.0f%% implausible", growth*100)
+	}
+}

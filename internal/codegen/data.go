@@ -1,0 +1,228 @@
+package codegen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"mcfi/internal/ctypes"
+	"mcfi/internal/minic"
+	"mcfi/internal/module"
+)
+
+// internString places a string literal (NUL-terminated) in the data
+// section once and returns its local symbol name.
+func (c *compiler) internString(s string) string {
+	if sym, ok := c.strPool[s]; ok {
+		return sym
+	}
+	sym := fmt.Sprintf(".Lstr%d", c.strCount)
+	c.strCount++
+	off := len(c.data)
+	c.data = append(c.data, s...)
+	c.data = append(c.data, 0)
+	c.strPool[s] = sym
+	c.dataSyms[sym] = off
+	c.dataSizes[sym] = len(s) + 1
+	c.dataLocal[sym] = true
+	c.dataOrder = append(c.dataOrder, sym)
+	return sym
+}
+
+func (c *compiler) alignData(a int) {
+	if a < 1 {
+		a = 1
+	}
+	for len(c.data)%a != 0 {
+		c.data = append(c.data, 0)
+	}
+}
+
+// genGlobal lays out one global variable.
+func (c *compiler) genGlobal(name string, t *ctypes.Type, init minic.Expr, static bool) {
+	size := t.Size()
+	if size < 1 {
+		size = 8
+	}
+	if init == nil {
+		// BSS: offset assigned after initialized data in finishObject.
+		c.bss = (c.bss + t.Align() - 1) / max(t.Align(), 1) * max(t.Align(), 1)
+		c.bssSyms[name] = c.bss
+		c.bss += size
+	} else {
+		c.alignData(t.Align())
+		off := len(c.data)
+		c.data = append(c.data, make([]byte, size)...)
+		c.dataSyms[name] = off
+		c.serializeInit(t, off, init)
+	}
+	c.dataSizes[name] = size
+	if static {
+		c.dataLocal[name] = true
+	}
+	c.dataOrder = append(c.dataOrder, name)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// serializeInit writes a constant initializer into the data section at
+// byte offset off, emitting data relocations for address constants.
+func (c *compiler) serializeInit(t *ctypes.Type, off int, init minic.Expr) {
+	switch iv := init.(type) {
+	case *minic.IntLit:
+		c.putScalar(t, off, uint64(iv.Value))
+	case *minic.FloatLit:
+		if t.Kind == ctypes.Double {
+			c.putScalar(t, off, math.Float64bits(iv.Value))
+		} else {
+			c.putScalar(t, off, uint64(int64(iv.Value)))
+		}
+	case *minic.StrLit:
+		if t.Kind == ctypes.Array {
+			n := len(iv.Value) + 1
+			if n > t.Size() {
+				n = t.Size()
+			}
+			copy(c.data[off:off+n], iv.Value)
+			return
+		}
+		sym := c.internString(iv.Value)
+		c.dataRelocs = append(c.dataRelocs, module.Reloc{Offset: off, Symbol: sym})
+	case *minic.Ident:
+		if iv.Sym == nil {
+			c.errf(iv.Pos, "unresolved initializer %q", iv.Name)
+			return
+		}
+		c.dataRelocs = append(c.dataRelocs, module.Reloc{Offset: off, Symbol: iv.Sym.Name})
+		c.markRef(iv.Sym.Name)
+	case *minic.Unary:
+		if iv.Op == minic.AMP {
+			if id, ok := iv.X.(*minic.Ident); ok && id.Sym != nil {
+				c.dataRelocs = append(c.dataRelocs, module.Reloc{Offset: off, Symbol: id.Sym.Name})
+				c.markRef(id.Sym.Name)
+				return
+			}
+		}
+		c.serializeConst(t, off, init)
+	case *minic.Cast:
+		c.serializeInit(t, off, iv.X)
+	case *minic.ImplicitCast:
+		c.serializeInit(t, off, iv.X)
+	case *minic.InitList:
+		switch t.Kind {
+		case ctypes.Array:
+			esz := t.Elem.Size()
+			for i, el := range iv.Elems {
+				c.serializeInit(t.Elem, off+i*esz, el)
+			}
+		case ctypes.Struct, ctypes.Union:
+			for i, el := range iv.Elems {
+				if i < len(t.Fields) {
+					c.serializeInit(t.Fields[i].Type, off+t.Fields[i].Offset, el)
+				}
+			}
+		default:
+			if len(iv.Elems) == 1 {
+				c.serializeInit(t, off, iv.Elems[0])
+			}
+		}
+	case *minic.SizeofType:
+		c.putScalar(t, off, uint64(iv.Of.Size()))
+	default:
+		c.serializeConst(t, off, init)
+	}
+}
+
+// serializeConst folds an arbitrary constant expression.
+func (c *compiler) serializeConst(t *ctypes.Type, off int, init minic.Expr) {
+	v, err := minic.EvalConstExpr(init, c.unit.File.EnumConsts)
+	if err != nil {
+		c.errf(init.NodePos(), "global initializer is not constant: %v", err)
+		return
+	}
+	c.putScalar(t, off, uint64(v))
+}
+
+// putScalar writes a little-endian scalar of t's width at off.
+func (c *compiler) putScalar(t *ctypes.Type, off int, v uint64) {
+	switch t.Size() {
+	case 1:
+		c.data[off] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(c.data[off:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(c.data[off:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(c.data[off:], v)
+	}
+}
+
+// finishObject assembles the final module object.
+func (c *compiler) finishObject() *module.Object {
+	o := &module.Object{
+		Name:         c.opts.ModuleName,
+		Profile:      c.opts.Profile,
+		Instrumented: c.opts.Instrument,
+		Code:         c.asm.Code,
+		Data:         c.data,
+		BSS:          c.bss,
+		DataRelocs:   c.dataRelocs,
+		Aux:          c.aux,
+	}
+
+	// Function symbols, from aux (sizes are final).
+	for _, f := range c.aux.Funcs {
+		var local bool
+		if sym, ok := c.unit.Syms[f.Name]; ok {
+			if fd, ok := sym.Def.(*minic.FuncDecl); ok {
+				local = fd.Static
+			}
+		}
+		o.Symbols = append(o.Symbols, module.Symbol{
+			Name: f.Name, Kind: module.SymFunc,
+			Offset: f.Offset, Size: f.Size, Local: local,
+		})
+	}
+	// Data symbols: initialized first, then BSS shifted past Data.
+	for _, name := range c.dataOrder {
+		if off, ok := c.dataSyms[name]; ok {
+			o.Symbols = append(o.Symbols, module.Symbol{
+				Name: name, Kind: module.SymData,
+				Offset: off, Size: c.dataSizes[name], Local: c.dataLocal[name],
+			})
+		}
+	}
+	for name, boff := range c.bssSyms {
+		o.Symbols = append(o.Symbols, module.Symbol{
+			Name: name, Kind: module.SymData,
+			Offset: len(c.data) + boff, Size: c.dataSizes[name], Local: c.dataLocal[name],
+		})
+	}
+
+	// Code relocations: absolute MOVI immediates from the assembler
+	// plus rel32 call fixups.
+	for _, r := range c.asm.Relocs {
+		kind := module.RelAbs64
+		if r.JumpTable {
+			kind = module.RelJumpTable
+		}
+		o.CodeRelocs = append(o.CodeRelocs, module.Reloc{
+			Offset: r.Offset, Symbol: r.Symbol, Addend: r.Addend, Kind: kind,
+		})
+	}
+	o.CodeRelocs = append(o.CodeRelocs, c.callRelocs...)
+
+	var undef []string
+	for name := range c.undefined {
+		undef = append(undef, name)
+	}
+	sort.Strings(undef)
+	o.Undefined = undef
+	return o
+}

@@ -1,0 +1,650 @@
+package codegen
+
+import (
+	"math"
+
+	"mcfi/internal/ctypes"
+	"mcfi/internal/minic"
+	"mcfi/internal/rewrite"
+	"mcfi/internal/visa"
+)
+
+// loadOp picks the typed load instruction for t.
+func loadOp(t *ctypes.Type) visa.Op {
+	switch t.Kind {
+	case ctypes.Char:
+		return visa.LD8
+	case ctypes.Bool, ctypes.UChar:
+		return visa.LD8U
+	case ctypes.Short:
+		return visa.LD16
+	case ctypes.UShort:
+		return visa.LD16U
+	case ctypes.Int, ctypes.Enum:
+		return visa.LD32
+	case ctypes.UInt:
+		return visa.LD32U
+	}
+	return visa.LD64
+}
+
+// storeOp picks the typed store instruction for t.
+func storeOp(t *ctypes.Type) visa.Op {
+	switch t.Size() {
+	case 1:
+		return visa.ST8
+	case 2:
+		return visa.ST16
+	case 4:
+		return visa.ST32
+	}
+	return visa.ST64
+}
+
+func (c *compiler) push() { c.asm.Emit(visa.Instr{Op: visa.PUSH, R1: visa.R0}) }
+
+func (c *compiler) popTo(r byte) { c.asm.Emit(visa.Instr{Op: visa.POP, R1: r}) }
+
+// markRef records a cross-module reference if name is not defined here.
+func (c *compiler) markRef(name string) {
+	if sym, ok := c.unit.Syms[name]; ok {
+		switch d := sym.Def.(type) {
+		case *minic.FuncDecl:
+			if d.Body != nil {
+				return
+			}
+		case *minic.VarDecl:
+			if !d.Extern {
+				return
+			}
+		case *minic.DeclStmt:
+			return // hoisted static
+		}
+	} else {
+		// Locally hoisted statics are defined in this module.
+		if c.dataLocal[name] {
+			return
+		}
+	}
+	if c.dataLocal[name] {
+		return
+	}
+	c.undefined[name] = true
+}
+
+// genExpr evaluates e into R0. Scalars are 64-bit normalized per their
+// static type; struct/union values evaluate to their address.
+func (c *compiler) genExpr(e minic.Expr) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R0, Imm: x.Value})
+	case *minic.FloatLit:
+		c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R0, Imm: int64(math.Float64bits(x.Value))})
+	case *minic.StrLit:
+		sym := c.internString(x.Value)
+		c.asm.EmitMoviSym(visa.R0, sym, 0)
+	case *minic.Ident:
+		c.genIdentValue(x)
+	case *minic.Unary:
+		c.genUnary(x)
+	case *minic.Postfix:
+		c.genIncDec(x.X, x.Op == minic.INC, false)
+	case *minic.Binary:
+		c.genBinary(x)
+	case *minic.Assign:
+		c.genAssign(x)
+	case *minic.Cond:
+		els := c.label("condF")
+		end := c.label("condEnd")
+		c.genCondBranch(x.C, els)
+		c.genExpr(x.T)
+		c.asm.EmitBranch(visa.JMP, end)
+		c.asm.Label(els)
+		c.genExpr(x.F)
+		c.asm.Label(end)
+	case *minic.Call:
+		c.genCall(x)
+	case *minic.Index:
+		// Use the raw element type: sema decays array-typed elements
+		// to pointers, but an array-valued element evaluates to its
+		// address, not to an 8-byte load.
+		raw := e.ExprType()
+		if bt := x.X.ExprType(); bt != nil && bt.Elem != nil {
+			raw = bt.Elem
+		}
+		c.genAddr(e)
+		c.genLoadFromR0(raw)
+	case *minic.Member:
+		raw := e.ExprType()
+		rt := x.X.ExprType()
+		if x.Arrow && rt != nil {
+			rt = rt.Elem
+		}
+		if rt != nil {
+			if f, ok := rt.Field(x.Name); ok {
+				raw = f.Type
+			}
+		}
+		c.genAddr(e)
+		c.genLoadFromR0(raw)
+	case *minic.Cast:
+		c.genExpr(x.X)
+		c.genConvert(x.X.ExprType(), x.To)
+	case *minic.ImplicitCast:
+		c.genExpr(x.X)
+		c.genConvert(x.X.ExprType(), x.To)
+	case *minic.SizeofType:
+		c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R0, Imm: int64(x.Of.Size())})
+	case *minic.InitList:
+		c.errf(x.Pos, "braced initializer used as an expression")
+	default:
+		c.errf(e.NodePos(), "codegen: unhandled expression %T", e)
+	}
+}
+
+// genLoadFromR0 loads the value at address R0 according to type t.
+// Records and arrays stay as addresses.
+func (c *compiler) genLoadFromR0(t *ctypes.Type) {
+	if t == nil || isRecord(t) || t.Kind == ctypes.Array {
+		return
+	}
+	c.asm.Emit(visa.Instr{Op: loadOp(t), R1: visa.R0, R2: visa.R0, Imm: 0})
+}
+
+func (c *compiler) genIdentValue(x *minic.Ident) {
+	sym := x.Sym
+	if sym == nil {
+		c.errf(x.Pos, "unresolved identifier %q", x.Name)
+		return
+	}
+	if sym.Kind == minic.SymFunc {
+		// Decayed function value: its address (an indirect-call target).
+		c.asm.EmitMoviSym(visa.R0, sym.Name, 0)
+		c.markRef(sym.Name)
+		return
+	}
+	t := sym.Type
+	if sym.Global {
+		c.asm.EmitMoviSym(visa.R0, sym.Name, 0)
+		c.markRef(sym.Name)
+		c.genLoadFromR0(t)
+		return
+	}
+	off, isParam := c.localOffset(sym)
+	if t.Kind == ctypes.Array || (isRecord(t) && !isParam) || (isRecord(t) && isParam) {
+		// Address-valued: arrays decay; records evaluate to addresses.
+		c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R0, R2: visa.FP})
+		c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.R0, Imm: int64(off)})
+		return
+	}
+	c.asm.Emit(visa.Instr{Op: loadOp(t), R1: visa.R0, R2: visa.FP, Imm: int64(off)})
+}
+
+// localOffset returns the FP-relative offset of a local or parameter.
+func (c *compiler) localOffset(sym *minic.Symbol) (off int, isParam bool) {
+	if sym.Kind == minic.SymParam {
+		return c.paramOff[sym.Name], true
+	}
+	if o, ok := c.locals[sym]; ok {
+		return o, false
+	}
+	// Late-allocated local (declared in a block we pre-walked past).
+	o := c.allocLocal(sym.Type)
+	c.locals[sym] = o
+	return o, false
+}
+
+// genAddr evaluates the address of an lvalue into R0.
+func (c *compiler) genAddr(e minic.Expr) {
+	switch x := e.(type) {
+	case *minic.Ident:
+		sym := x.Sym
+		if sym == nil {
+			c.errf(x.Pos, "unresolved identifier %q", x.Name)
+			return
+		}
+		if sym.Kind == minic.SymFunc || sym.Global {
+			c.asm.EmitMoviSym(visa.R0, sym.Name, 0)
+			c.markRef(sym.Name)
+			return
+		}
+		off, _ := c.localOffset(sym)
+		c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R0, R2: visa.FP})
+		c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.R0, Imm: int64(off)})
+	case *minic.Index:
+		bt := x.X.ExprType()
+		elem := bt.Elem
+		c.genExpr(x.X) // pointer value or array address
+		c.push()
+		c.genExpr(x.I)
+		if sz := elem.Size(); sz != 1 {
+			c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R1, Imm: int64(sz)})
+			c.asm.Emit(visa.Instr{Op: visa.MUL, R1: visa.R0, R2: visa.R1})
+		}
+		c.popTo(visa.R1)
+		c.asm.Emit(visa.Instr{Op: visa.ADD, R1: visa.R0, R2: visa.R1})
+	case *minic.Member:
+		rt := x.X.ExprType()
+		if x.Arrow {
+			c.genExpr(x.X) // pointer value
+			rt = rt.Elem
+		} else {
+			c.genAddr(x.X)
+		}
+		f, ok := rt.Field(x.Name)
+		if !ok {
+			c.errf(x.Pos, "no field %q", x.Name)
+			return
+		}
+		if f.Offset != 0 {
+			c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.R0, Imm: int64(f.Offset)})
+		}
+	case *minic.Unary:
+		if x.Op == minic.STAR {
+			c.genExpr(x.X)
+			return
+		}
+		c.errf(x.Pos, "expression is not addressable")
+	case *minic.Call:
+		// Struct-returning call used as an lvalue source (e.g. f().x):
+		// its value is already an address.
+		c.genExpr(x)
+	case *minic.ImplicitCast:
+		c.genAddr(x.X)
+	default:
+		c.errf(e.NodePos(), "expression is not addressable (%T)", e)
+	}
+}
+
+// genConvert emits the conversion from type 'from' to type 'to' on R0.
+func (c *compiler) genConvert(from, to *ctypes.Type) {
+	if from == nil || to == nil {
+		return
+	}
+	fd := from.Kind == ctypes.Double
+	td := to.Kind == ctypes.Double
+	switch {
+	case fd && td:
+		return
+	case fd && !td:
+		c.asm.Emit(visa.Instr{Op: visa.CVFI, R1: visa.R0})
+		c.genNormalize(to)
+	case !fd && td:
+		c.asm.Emit(visa.Instr{Op: visa.CVIF, R1: visa.R0})
+	default:
+		c.genNormalize(to)
+	}
+}
+
+// genNormalize truncates/extends R0 to the representation of an
+// integer type.
+func (c *compiler) genNormalize(t *ctypes.Type) {
+	switch t.Kind {
+	case ctypes.Char:
+		c.asm.Emit(visa.Instr{Op: visa.SX8, R1: visa.R0})
+	case ctypes.Bool, ctypes.UChar:
+		c.asm.Emit(visa.Instr{Op: visa.ZX8, R1: visa.R0})
+	case ctypes.Short:
+		c.asm.Emit(visa.Instr{Op: visa.SX16, R1: visa.R0})
+	case ctypes.UShort:
+		c.asm.Emit(visa.Instr{Op: visa.ZX16, R1: visa.R0})
+	case ctypes.Int, ctypes.Enum:
+		c.asm.Emit(visa.Instr{Op: visa.SX32, R1: visa.R0})
+	case ctypes.UInt:
+		c.asm.Emit(visa.Instr{Op: visa.AND32, R1: visa.R0})
+	}
+}
+
+func (c *compiler) genUnary(x *minic.Unary) {
+	switch x.Op {
+	case minic.AMP:
+		if id, ok := x.X.(*minic.Ident); ok && id.Sym != nil && id.Sym.Kind == minic.SymFunc {
+			c.asm.EmitMoviSym(visa.R0, id.Sym.Name, 0)
+			c.markRef(id.Sym.Name)
+			return
+		}
+		c.genAddr(x.X)
+	case minic.STAR:
+		c.genExpr(x.X)
+		c.genLoadFromR0(x.ExprType())
+	case minic.MINUS:
+		c.genExpr(x.X)
+		if x.ExprType().Kind == ctypes.Double {
+			c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R1, Imm: int64(-1) << 63})
+			c.asm.Emit(visa.Instr{Op: visa.XOR, R1: visa.R0, R2: visa.R1})
+		} else {
+			c.asm.Emit(visa.Instr{Op: visa.NEG, R1: visa.R0})
+			c.genNarrow(x.ExprType())
+		}
+	case minic.TILDE:
+		c.genExpr(x.X)
+		c.asm.Emit(visa.Instr{Op: visa.NOTI, R1: visa.R0})
+		c.genNarrow(x.ExprType())
+	case minic.NOT:
+		c.genExpr(x.X)
+		c.asm.Emit(visa.Instr{Op: visa.CMPI, R1: visa.R0, Imm: 0})
+		c.asm.Emit(visa.Instr{Op: visa.SET, R1: visa.CcE, R2: visa.R0})
+	case minic.INC:
+		c.genIncDec(x.X, true, true)
+	case minic.DEC:
+		c.genIncDec(x.X, false, true)
+	case minic.KwSizeof:
+		t := x.X.ExprType()
+		sz := 8
+		if t != nil {
+			sz = t.Size()
+		}
+		c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R0, Imm: int64(sz)})
+	default:
+		c.errf(x.Pos, "codegen: unhandled unary %s", x.Op)
+	}
+}
+
+// genNarrow re-normalizes R0 after arithmetic when the result type is a
+// 32-bit integer, so int/unsigned overflow wraps as on x86.
+func (c *compiler) genNarrow(t *ctypes.Type) {
+	if t == nil {
+		return
+	}
+	switch t.Kind {
+	case ctypes.Int, ctypes.Enum:
+		c.asm.Emit(visa.Instr{Op: visa.SX32, R1: visa.R0})
+	case ctypes.UInt:
+		c.asm.Emit(visa.Instr{Op: visa.AND32, R1: visa.R0})
+	}
+}
+
+// genIncDec implements ++/-- (pre when pre is true, post otherwise),
+// with pointer scaling. Result left in R0.
+func (c *compiler) genIncDec(lv minic.Expr, inc, pre bool) {
+	t := lv.ExprType()
+	delta := int64(1)
+	if t.Kind == ctypes.Pointer {
+		delta = int64(t.Elem.Size())
+	}
+	if !inc {
+		delta = -delta
+	}
+	c.genAddr(lv)
+	c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R2, R2: visa.R0})
+	c.asm.Emit(visa.Instr{Op: loadOp(t), R1: visa.R0, R2: visa.R2, Imm: 0})
+	if !pre {
+		c.push() // old value
+	}
+	c.asm.Emit(visa.Instr{Op: visa.ADDI, R1: visa.R0, Imm: delta})
+	c.genNarrow(t)
+	rewrite.EmitStoreMask(c.asm, visa.R2, c.opts.Instrument, c.opts.Profile)
+	c.asm.Emit(visa.Instr{Op: storeOp(t), R1: visa.R0, R2: visa.R2, Imm: 0})
+	if !pre {
+		c.popTo(visa.R0)
+	}
+}
+
+var setCCSigned = map[minic.Tok]byte{
+	minic.EQ: visa.CcE, minic.NE: visa.CcNE, minic.LT: visa.CcL,
+	minic.GT: visa.CcG, minic.LE: visa.CcLE, minic.GE: visa.CcGE,
+}
+
+var setCCUnsigned = map[minic.Tok]byte{
+	minic.EQ: visa.CcE, minic.NE: visa.CcNE, minic.LT: visa.CcB,
+	minic.GT: visa.CcA, minic.LE: visa.CcBE, minic.GE: visa.CcAE,
+}
+
+func (c *compiler) genBinary(x *minic.Binary) {
+	switch x.Op {
+	case minic.LAND, minic.LOR:
+		c.genShortCircuit(x)
+		return
+	}
+	lt := x.L.ExprType()
+	rt := x.R.ExprType()
+
+	// Pointer arithmetic scaling.
+	if x.Op == minic.PLUS || x.Op == minic.MINUS {
+		switch {
+		case lt.Kind == ctypes.Pointer && rt.IsInteger():
+			c.genExpr(x.L)
+			c.push()
+			c.genExpr(x.R)
+			if sz := lt.Elem.Size(); sz != 1 {
+				c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R1, Imm: int64(sz)})
+				c.asm.Emit(visa.Instr{Op: visa.MUL, R1: visa.R0, R2: visa.R1})
+			}
+			c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R1, R2: visa.R0})
+			c.popTo(visa.R0)
+			op := visa.ADD
+			if x.Op == minic.MINUS {
+				op = visa.SUB
+			}
+			c.asm.Emit(visa.Instr{Op: op, R1: visa.R0, R2: visa.R1})
+			return
+		case lt.Kind == ctypes.Pointer && rt.Kind == ctypes.Pointer && x.Op == minic.MINUS:
+			c.genOperands(x)
+			c.asm.Emit(visa.Instr{Op: visa.SUB, R1: visa.R0, R2: visa.R1})
+			if sz := lt.Elem.Size(); sz > 1 {
+				c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R1, Imm: int64(sz)})
+				c.asm.Emit(visa.Instr{Op: visa.DIV, R1: visa.R0, R2: visa.R1})
+			}
+			return
+		case rt.Kind == ctypes.Pointer && lt.IsInteger() && x.Op == minic.PLUS:
+			c.genExpr(x.R)
+			c.push()
+			c.genExpr(x.L)
+			if sz := rt.Elem.Size(); sz != 1 {
+				c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R1, Imm: int64(sz)})
+				c.asm.Emit(visa.Instr{Op: visa.MUL, R1: visa.R0, R2: visa.R1})
+			}
+			c.popTo(visa.R1)
+			c.asm.Emit(visa.Instr{Op: visa.ADD, R1: visa.R0, R2: visa.R1})
+			return
+		}
+	}
+
+	isF := lt.Kind == ctypes.Double
+	unsigned := lt.IsUnsigned() || lt.Kind == ctypes.Pointer
+
+	// Comparisons.
+	if cc, ok := setCCSigned[x.Op]; ok {
+		c.genOperands(x)
+		if isF {
+			c.asm.Emit(visa.Instr{Op: visa.FCMP, R1: visa.R0, R2: visa.R1})
+		} else {
+			c.asm.Emit(visa.Instr{Op: visa.CMP, R1: visa.R0, R2: visa.R1})
+		}
+		if unsigned {
+			cc = setCCUnsigned[x.Op]
+		}
+		c.asm.Emit(visa.Instr{Op: visa.SET, R1: cc, R2: visa.R0})
+		return
+	}
+
+	c.genOperands(x)
+	var op visa.Op
+	switch x.Op {
+	case minic.PLUS:
+		op = visa.ADD
+		if isF {
+			op = visa.FADD
+		}
+	case minic.MINUS:
+		op = visa.SUB
+		if isF {
+			op = visa.FSUB
+		}
+	case minic.STAR:
+		op = visa.MUL
+		if isF {
+			op = visa.FMUL
+		}
+	case minic.SLASH:
+		switch {
+		case isF:
+			op = visa.FDIV
+		case unsigned:
+			op = visa.UDIV
+		default:
+			op = visa.DIV
+		}
+	case minic.PERCENT:
+		op = visa.MOD
+		if unsigned {
+			op = visa.UMOD
+		}
+	case minic.AMP:
+		op = visa.AND
+	case minic.PIPE:
+		op = visa.OR
+	case minic.CARET:
+		op = visa.XOR
+	case minic.SHL:
+		op = visa.SHL
+	case minic.SHR:
+		op = visa.SHR
+		if !unsigned {
+			op = visa.SAR
+		}
+	default:
+		c.errf(x.Pos, "codegen: unhandled binary %s", x.Op)
+		return
+	}
+	c.asm.Emit(visa.Instr{Op: op, R1: visa.R0, R2: visa.R1})
+	switch x.Op {
+	case minic.PLUS, minic.MINUS, minic.STAR, minic.SHL:
+		if !isF {
+			c.genNarrow(x.ExprType())
+		}
+	}
+}
+
+// genOperands evaluates L into R0 and R into R1.
+func (c *compiler) genOperands(x *minic.Binary) {
+	c.genExpr(x.L)
+	c.push()
+	c.genExpr(x.R)
+	c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R1, R2: visa.R0})
+	c.popTo(visa.R0)
+}
+
+func (c *compiler) genShortCircuit(x *minic.Binary) {
+	end := c.label("sc")
+	if x.Op == minic.LAND {
+		fail := c.label("scF")
+		c.genExpr(x.L)
+		c.asm.Emit(visa.Instr{Op: visa.CMPI, R1: visa.R0, Imm: 0})
+		c.asm.EmitBranch(visa.JE, fail)
+		c.genExpr(x.R)
+		c.asm.Emit(visa.Instr{Op: visa.CMPI, R1: visa.R0, Imm: 0})
+		c.asm.Emit(visa.Instr{Op: visa.SET, R1: visa.CcNE, R2: visa.R0})
+		c.asm.EmitBranch(visa.JMP, end)
+		c.asm.Label(fail)
+		c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R0, Imm: 0})
+		c.asm.Label(end)
+		return
+	}
+	succ := c.label("scT")
+	c.genExpr(x.L)
+	c.asm.Emit(visa.Instr{Op: visa.CMPI, R1: visa.R0, Imm: 0})
+	c.asm.EmitBranch(visa.JNE, succ)
+	c.genExpr(x.R)
+	c.asm.Emit(visa.Instr{Op: visa.CMPI, R1: visa.R0, Imm: 0})
+	c.asm.Emit(visa.Instr{Op: visa.SET, R1: visa.CcNE, R2: visa.R0})
+	c.asm.EmitBranch(visa.JMP, end)
+	c.asm.Label(succ)
+	c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R0, Imm: 1})
+	c.asm.Label(end)
+}
+
+func (c *compiler) genAssign(x *minic.Assign) {
+	lt := x.L.ExprType()
+	if isRecord(lt) && x.Op == minic.ASSIGN {
+		c.genAddr(x.L)
+		c.push()
+		c.genExpr(x.R) // source record address
+		c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R1, R2: visa.R0})
+		c.popTo(visa.R2)
+		c.genMemCopy(visa.R2, visa.R1, lt.Size())
+		c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R0, R2: visa.R2})
+		return
+	}
+	if x.Op == minic.ASSIGN {
+		c.genAddr(x.L)
+		c.push()
+		c.genExpr(x.R)
+		c.popTo(visa.R2)
+		rewrite.EmitStoreMask(c.asm, visa.R2, c.opts.Instrument, c.opts.Profile)
+		c.asm.Emit(visa.Instr{Op: storeOp(lt), R1: visa.R0, R2: visa.R2, Imm: 0})
+		return
+	}
+	// Compound assignment: load, combine, store back.
+	c.genAddr(x.L)
+	c.push() // address
+	c.asm.Emit(visa.Instr{Op: loadOp(lt), R1: visa.R0, R2: visa.R0, Imm: 0})
+	c.push() // old value
+	c.genExpr(x.R)
+	c.asm.Emit(visa.Instr{Op: visa.MOV, R1: visa.R1, R2: visa.R0}) // rhs in R1
+	c.popTo(visa.R0)                                               // old value
+
+	isF := lt.Kind == ctypes.Double
+	unsigned := lt.IsUnsigned() || lt.Kind == ctypes.Pointer
+	if lt.Kind == ctypes.Pointer {
+		if sz := lt.Elem.Size(); sz != 1 {
+			c.asm.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R3, Imm: int64(sz)})
+			c.asm.Emit(visa.Instr{Op: visa.MUL, R1: visa.R1, R2: visa.R3})
+		}
+	}
+	var op visa.Op
+	switch x.Op {
+	case minic.ADDEQ:
+		op = visa.ADD
+		if isF {
+			op = visa.FADD
+		}
+	case minic.SUBEQ:
+		op = visa.SUB
+		if isF {
+			op = visa.FSUB
+		}
+	case minic.MULEQ:
+		op = visa.MUL
+		if isF {
+			op = visa.FMUL
+		}
+	case minic.DIVEQ:
+		switch {
+		case isF:
+			op = visa.FDIV
+		case unsigned:
+			op = visa.UDIV
+		default:
+			op = visa.DIV
+		}
+	case minic.MODEQ:
+		op = visa.MOD
+		if unsigned {
+			op = visa.UMOD
+		}
+	case minic.ANDEQ:
+		op = visa.AND
+	case minic.OREQ:
+		op = visa.OR
+	case minic.XOREQ:
+		op = visa.XOR
+	case minic.SHLEQ:
+		op = visa.SHL
+	case minic.SHREQ:
+		op = visa.SHR
+		if !unsigned {
+			op = visa.SAR
+		}
+	default:
+		c.errf(x.Pos, "codegen: unhandled compound assignment %s", x.Op)
+		return
+	}
+	c.asm.Emit(visa.Instr{Op: op, R1: visa.R0, R2: visa.R1})
+	if !isF {
+		c.genNarrow(lt)
+	}
+	c.popTo(visa.R2) // address
+	rewrite.EmitStoreMask(c.asm, visa.R2, c.opts.Instrument, c.opts.Profile)
+	c.asm.Emit(visa.Instr{Op: storeOp(lt), R1: visa.R0, R2: visa.R2, Imm: 0})
+}

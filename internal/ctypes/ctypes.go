@@ -1,0 +1,591 @@
+// Package ctypes implements the C-like type system used by the MiniC
+// front end and by MCFI's type-matching CFG generation.
+//
+// The central operation is structural type equivalence (Equal): MCFI
+// allows an indirect call through a function pointer of type τ* to
+// target any address-taken function whose type is structurally
+// equivalent to τ, where named types (typedefs, struct tags) are
+// replaced by their definitions. Recursive struct types are handled
+// coinductively with an assumption set, the standard algorithm for
+// equi-recursive structural equality.
+package ctypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the kinds of MiniC types.
+type Kind int
+
+const (
+	// Void is the C void type (valid only as a return type or behind a pointer).
+	Void Kind = iota
+	// Bool is the boolean type produced by comparisons.
+	Bool
+	// Char is a signed 8-bit integer.
+	Char
+	// Short is a signed 16-bit integer.
+	Short
+	// Int is a signed 32-bit integer.
+	Int
+	// Long is a signed 64-bit integer.
+	Long
+	// UChar is an unsigned 8-bit integer.
+	UChar
+	// UShort is an unsigned 16-bit integer.
+	UShort
+	// UInt is an unsigned 32-bit integer.
+	UInt
+	// ULong is an unsigned 64-bit integer.
+	ULong
+	// Double is a 64-bit IEEE float.
+	Double
+	// Pointer is a pointer to Elem.
+	Pointer
+	// Array is a fixed-size array of Elem with Len elements.
+	Array
+	// Struct is a record with ordered named fields.
+	Struct
+	// Union is an overlapping record.
+	Union
+	// Func is a function type with Params, Result, and optional variadic tail.
+	Func
+	// Enum is an enumerated type; represented with Int's layout.
+	Enum
+)
+
+// Type represents a MiniC type. Types are immutable after construction
+// except for struct/union bodies, which may be completed after the type
+// object is created (to permit self-referential structs).
+type Type struct {
+	Kind Kind
+
+	// Elem is the pointee for Pointer, the element for Array.
+	Elem *Type
+	// Len is the element count for Array.
+	Len int
+
+	// Name is the tag for Struct/Union/Enum or the typedef name that
+	// introduced the type. Equality never depends on Name.
+	Name string
+	// Fields holds the members of a Struct or Union in declaration order.
+	Fields []Field
+	// Incomplete marks a struct/union that was declared but not yet defined.
+	Incomplete bool
+
+	// Params and Result describe a Func. Variadic marks a "..." tail.
+	Params   []*Type
+	Result   *Type
+	Variadic bool
+}
+
+// Field is one member of a struct or union.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int // byte offset within the record, filled by Layout
+}
+
+// Basic singleton types. These are shared; callers must not mutate them.
+var (
+	VoidType   = &Type{Kind: Void}
+	BoolType   = &Type{Kind: Bool}
+	CharType   = &Type{Kind: Char}
+	ShortType  = &Type{Kind: Short}
+	IntType    = &Type{Kind: Int}
+	LongType   = &Type{Kind: Long}
+	UCharType  = &Type{Kind: UChar}
+	UShortType = &Type{Kind: UShort}
+	UIntType   = &Type{Kind: UInt}
+	ULongType  = &Type{Kind: ULong}
+	DoubleType = &Type{Kind: Double}
+)
+
+// PointerTo returns a pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: Pointer, Elem: elem} }
+
+// ArrayOf returns an array type of n elems.
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: Array, Elem: elem, Len: n} }
+
+// FuncOf returns a function type.
+func FuncOf(result *Type, params []*Type, variadic bool) *Type {
+	return &Type{Kind: Func, Result: result, Params: params, Variadic: variadic}
+}
+
+// IsInteger reports whether t is an integer type (including bool, char,
+// and enum, which all participate in integer arithmetic).
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case Bool, Char, Short, Int, Long, UChar, UShort, UInt, ULong, Enum:
+		return true
+	}
+	return false
+}
+
+// IsUnsigned reports whether t is an unsigned integer type.
+func (t *Type) IsUnsigned() bool {
+	switch t.Kind {
+	case UChar, UShort, UInt, ULong, Bool:
+		return true
+	}
+	return false
+}
+
+// IsArithmetic reports whether t is an integer or floating type.
+func (t *Type) IsArithmetic() bool { return t.IsInteger() || t.Kind == Double }
+
+// IsScalar reports whether t is arithmetic or a pointer.
+func (t *Type) IsScalar() bool { return t.IsArithmetic() || t.Kind == Pointer }
+
+// IsFuncPointer reports whether t is a pointer to a function type.
+func (t *Type) IsFuncPointer() bool {
+	return t.Kind == Pointer && t.Elem != nil && t.Elem.Kind == Func
+}
+
+// HasFuncPointer reports whether t contains a function pointer anywhere
+// in its structure (directly, or inside a struct/union/array member).
+// It is used by the C1 analyzer to decide whether a cast "involves"
+// function pointer types. Recursive structs are handled with a visited set.
+func (t *Type) HasFuncPointer() bool { return hasFP(t, map[*Type]bool{}) }
+
+func hasFP(t *Type, seen map[*Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t.Kind {
+	case Pointer:
+		return t.Elem != nil && t.Elem.Kind == Func
+	case Array:
+		return hasFP(t.Elem, seen)
+	case Struct, Union:
+		for _, f := range t.Fields {
+			if hasFP(f.Type, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Size returns the size of t in bytes under the MCFI data model
+// (ILP32-like integer widths, 8-byte pointers and longs — matching the
+// visa64 profile; the visa32 profile uses 4-byte pointers but layout
+// differences never affect type equivalence).
+func (t *Type) Size() int { return t.sizeRec(map[*Type]bool{}) }
+
+func (t *Type) sizeRec(seen map[*Type]bool) int {
+	switch t.Kind {
+	case Void:
+		return 0
+	case Bool, Char, UChar:
+		return 1
+	case Short, UShort:
+		return 2
+	case Int, UInt, Enum:
+		return 4
+	case Long, ULong, Double, Pointer, Func:
+		return 8
+	case Array:
+		return t.Len * t.Elem.sizeRec(seen)
+	case Struct:
+		// seen guards cycles along the current path only (a struct can
+		// legally appear as a field type in several siblings); it is
+		// unmarked on exit.
+		if seen[t] {
+			return 0 // malformed direct self-reference; be total
+		}
+		seen[t] = true
+		size, maxAlign := 0, 1
+		for _, f := range t.Fields {
+			a := f.Type.alignRec(map[*Type]bool{})
+			if a > maxAlign {
+				maxAlign = a
+			}
+			size = alignUp(size, a)
+			size += f.Type.sizeRec(seen)
+		}
+		delete(seen, t)
+		return alignUp(size, maxAlign)
+	case Union:
+		if seen[t] {
+			return 0
+		}
+		seen[t] = true
+		size, maxAlign := 0, 1
+		for _, f := range t.Fields {
+			if a := f.Type.alignRec(map[*Type]bool{}); a > maxAlign {
+				maxAlign = a
+			}
+			if s := f.Type.sizeRec(seen); s > size {
+				size = s
+			}
+		}
+		delete(seen, t)
+		return alignUp(size, maxAlign)
+	}
+	return 0
+}
+
+// Align returns the alignment of t in bytes.
+func (t *Type) Align() int { return t.alignRec(map[*Type]bool{}) }
+
+func (t *Type) alignRec(seen map[*Type]bool) int {
+	switch t.Kind {
+	case Bool, Char, UChar, Void:
+		return 1
+	case Short, UShort:
+		return 2
+	case Int, UInt, Enum:
+		return 4
+	case Long, ULong, Double, Pointer, Func:
+		return 8
+	case Array:
+		return t.Elem.alignRec(seen)
+	case Struct, Union:
+		if seen[t] {
+			return 1
+		}
+		seen[t] = true
+		a := 1
+		for _, f := range t.Fields {
+			if fa := f.Type.alignRec(seen); fa > a {
+				a = fa
+			}
+		}
+		delete(seen, t)
+		return a
+	}
+	return 1
+}
+
+func alignUp(n, a int) int {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// Layout computes field offsets for a struct or union in place.
+func (t *Type) Layout() {
+	if t.Kind == Union {
+		for i := range t.Fields {
+			t.Fields[i].Offset = 0
+		}
+		return
+	}
+	if t.Kind != Struct {
+		return
+	}
+	off := 0
+	for i := range t.Fields {
+		a := t.Fields[i].Type.alignRec(map[*Type]bool{t: true})
+		off = alignUp(off, a)
+		t.Fields[i].Offset = off
+		off += t.Fields[i].Type.sizeRec(map[*Type]bool{t: true})
+	}
+}
+
+// Field returns the field with the given name and true, or a zero Field
+// and false if no such member exists.
+func (t *Type) Field(name string) (Field, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// typePair keys the coinductive assumption set for Equal.
+type typePair struct{ a, b *Type }
+
+// Equal reports structural equivalence of a and b, unfolding named
+// types. It is the equivalence relation used by MCFI's type-matching
+// CFG generation (paper §6).
+func Equal(a, b *Type) bool { return equalRec(a, b, map[typePair]bool{}) }
+
+func equalRec(a, b *Type, assume map[typePair]bool) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	pair := typePair{a, b}
+	if assume[pair] {
+		return true // coinductive hypothesis
+	}
+	assume[pair] = true
+	switch a.Kind {
+	case Void, Bool, Char, Short, Int, Long, UChar, UShort, UInt, ULong, Double:
+		return true
+	case Enum:
+		return true // enums all share int layout; names are ignored
+	case Pointer:
+		return equalRec(a.Elem, b.Elem, assume)
+	case Array:
+		return a.Len == b.Len && equalRec(a.Elem, b.Elem, assume)
+	case Struct, Union:
+		if len(a.Fields) != len(b.Fields) || a.Incomplete != b.Incomplete {
+			return false
+		}
+		for i := range a.Fields {
+			// Field names are part of structural identity for records,
+			// matching the physical-subtyping treatment in the paper's
+			// analyzer; types must match too.
+			if a.Fields[i].Name != b.Fields[i].Name {
+				return false
+			}
+			if !equalRec(a.Fields[i].Type, b.Fields[i].Type, assume) {
+				return false
+			}
+		}
+		return true
+	case Func:
+		if a.Variadic != b.Variadic || len(a.Params) != len(b.Params) {
+			return false
+		}
+		if !equalRec(a.Result, b.Result, assume) {
+			return false
+		}
+		for i := range a.Params {
+			if !equalRec(a.Params[i], b.Params[i], assume) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// VariadicMatch implements the paper's rule for variadic function
+// pointers (§6): an indirect call through a pointer of variadic
+// function type fp may target function fn when fn's address is taken,
+// return types match, and fn's parameter list begins with fp's fixed
+// parameter types. fp must be a Func type with Variadic set.
+func VariadicMatch(fp, fn *Type) bool {
+	if fp == nil || fn == nil || fp.Kind != Func || fn.Kind != Func || !fp.Variadic {
+		return false
+	}
+	if !Equal(fp.Result, fn.Result) {
+		return false
+	}
+	if len(fn.Params) < len(fp.Params) {
+		return false
+	}
+	for i := range fp.Params {
+		if !Equal(fp.Params[i], fn.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CallMatch reports whether an indirect call through a function pointer
+// with pointee type fp may target a function of type fn under MCFI's
+// type-matching policy. Non-variadic pointers require full structural
+// equality; variadic pointers use the prefix rule.
+func CallMatch(fp, fn *Type) bool {
+	if fp == nil || fn == nil {
+		return false
+	}
+	if fp.Variadic {
+		return VariadicMatch(fp, fn)
+	}
+	return Equal(fp, fn)
+}
+
+// IsPrefixStruct reports whether inner's fields are a prefix of outer's
+// fields (same names and structurally equal types). This is the
+// "physical subtype" relation used to recognize upcasts (UC) in the
+// analyzer's false-positive elimination.
+func IsPrefixStruct(outer, inner *Type) bool {
+	if outer == nil || inner == nil || outer.Kind != Struct || inner.Kind != Struct {
+		return false
+	}
+	if len(inner.Fields) > len(outer.Fields) {
+		return false
+	}
+	for i := range inner.Fields {
+		if outer.Fields[i].Name != inner.Fields[i].Name {
+			return false
+		}
+		if !Equal(outer.Fields[i].Type, inner.Fields[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders t in a C-like syntax. Recursive structs print their
+// tag instead of recursing forever.
+func (t *Type) String() string { return t.str(map[*Type]bool{}) }
+
+func (t *Type) str(seen map[*Type]bool) string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case Void:
+		return "void"
+	case Bool:
+		return "bool"
+	case Char:
+		return "char"
+	case Short:
+		return "short"
+	case Int:
+		return "int"
+	case Long:
+		return "long"
+	case UChar:
+		return "unsigned char"
+	case UShort:
+		return "unsigned short"
+	case UInt:
+		return "unsigned int"
+	case ULong:
+		return "unsigned long"
+	case Double:
+		return "double"
+	case Enum:
+		if t.Name != "" {
+			return "enum " + t.Name
+		}
+		return "enum"
+	case Pointer:
+		return t.Elem.str(seen) + "*"
+	case Array:
+		return fmt.Sprintf("%s[%d]", t.Elem.str(seen), t.Len)
+	case Struct, Union:
+		kw := "struct"
+		if t.Kind == Union {
+			kw = "union"
+		}
+		if seen[t] {
+			if t.Name != "" {
+				return kw + " " + t.Name
+			}
+			return kw + " <anon>"
+		}
+		seen[t] = true
+		var b strings.Builder
+		b.WriteString(kw)
+		if t.Name != "" {
+			b.WriteString(" " + t.Name)
+		}
+		b.WriteString("{")
+		for i, f := range t.Fields {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(f.Name + ":" + f.Type.str(seen))
+		}
+		b.WriteString("}")
+		return b.String()
+	case Func:
+		var b strings.Builder
+		b.WriteString(t.Result.str(seen))
+		b.WriteString("(")
+		for i, p := range t.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.str(seen))
+		}
+		if t.Variadic {
+			if len(t.Params) > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("...")
+		}
+		b.WriteString(")")
+		return b.String()
+	}
+	return "<unknown>"
+}
+
+// Signature returns a canonical, structure-only string for t, suitable
+// as a map key for grouping structurally equal function types. Two
+// types with equal signatures are structurally equal; the converse
+// holds for the types MiniC can express (recursive records are keyed by
+// a stable visit index so isomorphic cycles agree).
+func Signature(t *Type) string {
+	var b strings.Builder
+	sigRec(t, &b, map[*Type]int{}, new(int))
+	return b.String()
+}
+
+func sigRec(t *Type, b *strings.Builder, idx map[*Type]int, n *int) {
+	if t == nil {
+		b.WriteString("?")
+		return
+	}
+	switch t.Kind {
+	case Void:
+		b.WriteString("v")
+	case Bool:
+		b.WriteString("b")
+	case Char:
+		b.WriteString("c")
+	case Short:
+		b.WriteString("s")
+	case Int:
+		b.WriteString("i")
+	case Long:
+		b.WriteString("l")
+	case UChar:
+		b.WriteString("C")
+	case UShort:
+		b.WriteString("S")
+	case UInt:
+		b.WriteString("I")
+	case ULong:
+		b.WriteString("L")
+	case Double:
+		b.WriteString("d")
+	case Enum:
+		b.WriteString("i") // enum == int for matching purposes
+	case Pointer:
+		b.WriteString("*")
+		sigRec(t.Elem, b, idx, n)
+	case Array:
+		fmt.Fprintf(b, "[%d]", t.Len)
+		sigRec(t.Elem, b, idx, n)
+	case Struct, Union:
+		if i, ok := idx[t]; ok {
+			fmt.Fprintf(b, "@%d", i)
+			return
+		}
+		*n++
+		idx[t] = *n
+		if t.Kind == Union {
+			b.WriteString("u{")
+		} else {
+			b.WriteString("r{")
+		}
+		for _, f := range t.Fields {
+			b.WriteString(f.Name)
+			b.WriteString(":")
+			sigRec(f.Type, b, idx, n)
+			b.WriteString(";")
+		}
+		b.WriteString("}")
+	case Func:
+		b.WriteString("f(")
+		for _, p := range t.Params {
+			sigRec(p, b, idx, n)
+			b.WriteString(",")
+		}
+		if t.Variadic {
+			b.WriteString("...")
+		}
+		b.WriteString(")->")
+		sigRec(t.Result, b, idx, n)
+	}
+}

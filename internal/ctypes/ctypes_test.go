@@ -1,0 +1,382 @@
+package ctypes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicEquality(t *testing.T) {
+	cases := []struct {
+		a, b *Type
+		want bool
+	}{
+		{IntType, IntType, true},
+		{IntType, LongType, false},
+		{IntType, UIntType, false},
+		{CharType, UCharType, false},
+		{DoubleType, DoubleType, true},
+		{PointerTo(IntType), PointerTo(IntType), true},
+		{PointerTo(IntType), PointerTo(CharType), false},
+		{ArrayOf(IntType, 4), ArrayOf(IntType, 4), true},
+		{ArrayOf(IntType, 4), ArrayOf(IntType, 5), false},
+		{VoidType, VoidType, true},
+	}
+	for i, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Equal(%s, %s) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNamedTypesUnfold(t *testing.T) {
+	// typedef int myint; myint and int must be structurally equal.
+	myint := &Type{Kind: Int, Name: "myint"}
+	if !Equal(myint, IntType) {
+		t.Error("typedef'd int should equal int")
+	}
+	// Two structs with different tags but identical bodies are equal.
+	a := &Type{Kind: Struct, Name: "A", Fields: []Field{{Name: "x", Type: IntType}}}
+	b := &Type{Kind: Struct, Name: "B", Fields: []Field{{Name: "x", Type: IntType}}}
+	if !Equal(a, b) {
+		t.Error("identically-shaped structs with different tags should be equal")
+	}
+	// Differing field names break equality.
+	c := &Type{Kind: Struct, Fields: []Field{{Name: "y", Type: IntType}}}
+	if Equal(a, c) {
+		t.Error("structs with different field names should differ")
+	}
+}
+
+func TestRecursiveStructEquality(t *testing.T) {
+	// struct list { int v; struct list *next; } in two separate instances.
+	mk := func() *Type {
+		s := &Type{Kind: Struct, Name: "list"}
+		s.Fields = []Field{
+			{Name: "v", Type: IntType},
+			{Name: "next", Type: PointerTo(s)},
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	if !Equal(a, b) {
+		t.Error("isomorphic recursive structs should be equal")
+	}
+	// A recursive struct vs one extra field should differ.
+	c := mk()
+	c.Fields = append(c.Fields, Field{Name: "extra", Type: CharType})
+	if Equal(a, c) {
+		t.Error("recursive structs with different field counts should differ")
+	}
+	// Mutually recursive pair vs self-recursive: isomorphic unfolding.
+	x := &Type{Kind: Struct, Name: "x"}
+	y := &Type{Kind: Struct, Name: "y"}
+	x.Fields = []Field{{Name: "v", Type: IntType}, {Name: "next", Type: PointerTo(y)}}
+	y.Fields = []Field{{Name: "v", Type: IntType}, {Name: "next", Type: PointerTo(x)}}
+	if !Equal(a, x) {
+		t.Error("mutually recursive structs with isomorphic unfolding should equal self-recursive struct")
+	}
+}
+
+func TestFuncEquality(t *testing.T) {
+	f1 := FuncOf(IntType, []*Type{IntType, IntType}, false)
+	f2 := FuncOf(IntType, []*Type{IntType, IntType}, false)
+	f3 := FuncOf(IntType, []*Type{IntType}, false)
+	f4 := FuncOf(LongType, []*Type{IntType, IntType}, false)
+	f5 := FuncOf(IntType, []*Type{IntType, IntType}, true)
+	if !Equal(f1, f2) {
+		t.Error("identical func types should be equal")
+	}
+	for i, f := range []*Type{f3, f4, f5} {
+		if Equal(f1, f) {
+			t.Errorf("func variant %d should differ from f1", i)
+		}
+	}
+}
+
+func TestVariadicMatch(t *testing.T) {
+	// int (*)(int, ...) matches int f(int), int f(int,char), but not
+	// long f(int) and not int f(char).
+	fp := FuncOf(IntType, []*Type{IntType}, true)
+	ok := []*Type{
+		FuncOf(IntType, []*Type{IntType}, false),
+		FuncOf(IntType, []*Type{IntType, CharType}, false),
+		FuncOf(IntType, []*Type{IntType}, true),
+	}
+	bad := []*Type{
+		FuncOf(LongType, []*Type{IntType}, false),
+		FuncOf(IntType, []*Type{CharType}, false),
+		FuncOf(IntType, nil, false),
+	}
+	for i, f := range ok {
+		if !VariadicMatch(fp, f) {
+			t.Errorf("ok[%d]: VariadicMatch(%s, %s) = false, want true", i, fp, f)
+		}
+	}
+	for i, f := range bad {
+		if VariadicMatch(fp, f) {
+			t.Errorf("bad[%d]: VariadicMatch(%s, %s) = true, want false", i, fp, f)
+		}
+	}
+	// Non-variadic fp never VariadicMatches.
+	if VariadicMatch(FuncOf(IntType, nil, false), FuncOf(IntType, nil, false)) {
+		t.Error("non-variadic fp should not use variadic matching")
+	}
+}
+
+func TestCallMatch(t *testing.T) {
+	fp := FuncOf(IntType, []*Type{PointerTo(CharType)}, false)
+	fnGood := FuncOf(IntType, []*Type{PointerTo(CharType)}, false)
+	fnBad := FuncOf(IntType, []*Type{PointerTo(ULongType)}, false)
+	if !CallMatch(fp, fnGood) {
+		t.Error("exact match should succeed")
+	}
+	if CallMatch(fp, fnBad) {
+		t.Error("strcmp-vs-ulong-comparator case (paper §6 gcc splay tree) must NOT match")
+	}
+	vfp := FuncOf(IntType, []*Type{PointerTo(CharType)}, true)
+	if !CallMatch(vfp, fnGood) {
+		t.Error("variadic pointer should prefix-match")
+	}
+}
+
+func TestHasFuncPointer(t *testing.T) {
+	fp := PointerTo(FuncOf(VoidType, nil, false))
+	s := &Type{Kind: Struct, Fields: []Field{{Name: "cb", Type: fp}}}
+	u := &Type{Kind: Union, Fields: []Field{{Name: "f", Type: fp}, {Name: "i", Type: IntType}}}
+	rec := &Type{Kind: Struct, Name: "r"}
+	rec.Fields = []Field{{Name: "next", Type: PointerTo(rec)}}
+
+	cases := []struct {
+		t    *Type
+		want bool
+	}{
+		{fp, true},
+		{s, true},
+		{u, true},
+		{PointerTo(s), false}, // pointer to struct-with-fp is not itself an fp container
+		{ArrayOf(fp, 3), true},
+		{IntType, false},
+		{rec, false},
+		{PointerTo(IntType), false},
+	}
+	for i, c := range cases {
+		if got := c.t.HasFuncPointer(); got != c.want {
+			t.Errorf("case %d: HasFuncPointer(%s) = %v, want %v", i, c.t, got, c.want)
+		}
+	}
+}
+
+func TestSizeAlign(t *testing.T) {
+	cases := []struct {
+		t          *Type
+		size, algn int
+	}{
+		{CharType, 1, 1},
+		{ShortType, 2, 2},
+		{IntType, 4, 4},
+		{LongType, 8, 8},
+		{DoubleType, 8, 8},
+		{PointerTo(IntType), 8, 8},
+		{ArrayOf(IntType, 10), 40, 4},
+		{&Type{Kind: Struct, Fields: []Field{{Name: "c", Type: CharType}, {Name: "i", Type: IntType}}}, 8, 4},
+		{&Type{Kind: Struct, Fields: []Field{{Name: "c", Type: CharType}, {Name: "l", Type: LongType}, {Name: "c2", Type: CharType}}}, 24, 8},
+		{&Type{Kind: Union, Fields: []Field{{Name: "c", Type: CharType}, {Name: "l", Type: LongType}}}, 8, 8},
+	}
+	for i, c := range cases {
+		if got := c.t.Size(); got != c.size {
+			t.Errorf("case %d: Size(%s) = %d, want %d", i, c.t, got, c.size)
+		}
+		if got := c.t.Align(); got != c.algn {
+			t.Errorf("case %d: Align(%s) = %d, want %d", i, c.t, got, c.algn)
+		}
+	}
+}
+
+func TestLayoutOffsets(t *testing.T) {
+	s := &Type{Kind: Struct, Fields: []Field{
+		{Name: "c", Type: CharType},
+		{Name: "i", Type: IntType},
+		{Name: "l", Type: LongType},
+		{Name: "c2", Type: CharType},
+	}}
+	s.Layout()
+	want := []int{0, 4, 8, 16}
+	for i, w := range want {
+		if s.Fields[i].Offset != w {
+			t.Errorf("field %d offset = %d, want %d", i, s.Fields[i].Offset, w)
+		}
+	}
+	u := &Type{Kind: Union, Fields: []Field{{Name: "a", Type: LongType}, {Name: "b", Type: CharType}}}
+	u.Layout()
+	for i := range u.Fields {
+		if u.Fields[i].Offset != 0 {
+			t.Errorf("union field %d offset = %d, want 0", i, u.Fields[i].Offset)
+		}
+	}
+}
+
+func TestRecursiveStructSizeTerminates(t *testing.T) {
+	s := &Type{Kind: Struct, Name: "node"}
+	s.Fields = []Field{{Name: "v", Type: LongType}, {Name: "next", Type: PointerTo(s)}}
+	if got := s.Size(); got != 16 {
+		t.Errorf("recursive node size = %d, want 16", got)
+	}
+	s.Layout()
+	if s.Fields[1].Offset != 8 {
+		t.Errorf("next offset = %d, want 8", s.Fields[1].Offset)
+	}
+}
+
+func TestIsPrefixStruct(t *testing.T) {
+	base := &Type{Kind: Struct, Fields: []Field{{Name: "tag", Type: IntType}}}
+	derived := &Type{Kind: Struct, Fields: []Field{
+		{Name: "tag", Type: IntType},
+		{Name: "payload", Type: LongType},
+	}}
+	if !IsPrefixStruct(derived, base) {
+		t.Error("base should be a physical prefix of derived")
+	}
+	if IsPrefixStruct(base, derived) {
+		t.Error("derived is not a prefix of base")
+	}
+	renamed := &Type{Kind: Struct, Fields: []Field{{Name: "kind", Type: IntType}}}
+	if IsPrefixStruct(derived, renamed) {
+		t.Error("field-name mismatch must not be a prefix")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	fp := PointerTo(FuncOf(IntType, []*Type{IntType}, true))
+	if got := fp.String(); got != "int(int, ...)*" {
+		t.Errorf("String() = %q", got)
+	}
+	rec := &Type{Kind: Struct, Name: "n"}
+	rec.Fields = []Field{{Name: "next", Type: PointerTo(rec)}}
+	// Must terminate and mention the tag.
+	s := rec.String()
+	if len(s) == 0 || len(s) > 200 {
+		t.Errorf("recursive String() suspicious: %q", s)
+	}
+}
+
+func TestSignatureAgreesWithEqual(t *testing.T) {
+	mkList := func() *Type {
+		s := &Type{Kind: Struct, Name: "l"}
+		s.Fields = []Field{{Name: "v", Type: IntType}, {Name: "next", Type: PointerTo(s)}}
+		return s
+	}
+	pairs := []struct {
+		a, b *Type
+	}{
+		{FuncOf(IntType, []*Type{IntType}, false), FuncOf(IntType, []*Type{IntType}, false)},
+		{mkList(), mkList()},
+		{PointerTo(mkList()), PointerTo(mkList())},
+	}
+	for i, p := range pairs {
+		if !Equal(p.a, p.b) {
+			t.Fatalf("pair %d should be Equal", i)
+		}
+		if Signature(p.a) != Signature(p.b) {
+			t.Errorf("pair %d: equal types have different signatures:\n%s\n%s",
+				i, Signature(p.a), Signature(p.b))
+		}
+	}
+	unequal := []struct {
+		a, b *Type
+	}{
+		{IntType, LongType},
+		{FuncOf(IntType, nil, false), FuncOf(IntType, nil, true)},
+		{PointerTo(IntType), PointerTo(CharType)},
+	}
+	for i, p := range unequal {
+		if Signature(p.a) == Signature(p.b) {
+			t.Errorf("unequal pair %d has identical signatures", i)
+		}
+	}
+}
+
+// genType builds a deterministic pseudo-random type from a seed; used
+// by property tests below.
+func genType(seed uint64, depth int) *Type {
+	basics := []*Type{VoidType, CharType, ShortType, IntType, LongType,
+		UCharType, UIntType, ULongType, DoubleType}
+	next := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 33
+	}
+	var build func(d int) *Type
+	build = func(d int) *Type {
+		if d <= 0 {
+			return basics[1+next()%uint64(len(basics)-1)] // never bare void at leaf
+		}
+		switch next() % 5 {
+		case 0:
+			return basics[1+next()%uint64(len(basics)-1)]
+		case 1:
+			return PointerTo(build(d - 1))
+		case 2:
+			return ArrayOf(build(d-1), int(1+next()%8))
+		case 3:
+			n := int(1 + next()%3)
+			fs := make([]Field, n)
+			for i := range fs {
+				fs[i] = Field{Name: string(rune('a' + i)), Type: build(d - 1)}
+			}
+			return &Type{Kind: Struct, Fields: fs}
+		default:
+			n := int(next() % 3)
+			ps := make([]*Type, n)
+			for i := range ps {
+				ps[i] = build(d - 1)
+			}
+			return FuncOf(build(d-1), ps, next()%4 == 0)
+		}
+	}
+	return build(depth)
+}
+
+func TestPropEqualReflexiveSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := genType(seed, 4)
+		b := genType(seed, 4) // same seed → isomorphic copy
+		c := genType(seed+1, 4)
+		if !Equal(a, a) || !Equal(a, b) || !Equal(b, a) {
+			return false
+		}
+		// Symmetry on arbitrary pairs.
+		return Equal(a, c) == Equal(c, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSignatureCharacterizesEqual(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		a := genType(s1, 4)
+		b := genType(s2, 4)
+		eq := Equal(a, b)
+		sig := Signature(a) == Signature(b)
+		return eq == sig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSizeNonNegativeAndAlignDivides(t *testing.T) {
+	f := func(seed uint64) bool {
+		tt := genType(seed, 4)
+		sz, al := tt.Size(), tt.Align()
+		if sz < 0 || al < 1 {
+			return false
+		}
+		if tt.Kind == Struct && al > 0 && sz%al != 0 {
+			return false // struct size must be a multiple of its alignment
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"testing"
+
+	"mcfi/internal/visa"
+)
+
+// Quick-scale config so the whole experiment suite smoke-tests in
+// seconds; reference numbers come from cmd/mcfi-bench.
+func quick() Config {
+	return Config{Profile: visa.Profile64, Work: 2, GenScale: 0.05}
+}
+
+func TestFig5ShapeHolds(t *testing.T) {
+	rows, err := Fig5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 { // 12 benchmarks + average
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[:12] {
+		if r.MCFI <= r.Baseline {
+			t.Errorf("%s: MCFI %d <= baseline %d", r.Name, r.MCFI, r.Baseline)
+		}
+		if r.OverheadPct < 0 || r.OverheadPct > 60 {
+			t.Errorf("%s: overhead %.1f%% out of plausible range", r.Name, r.OverheadPct)
+		}
+	}
+	avg := rows[12]
+	if avg.Name != "average" || avg.OverheadPct <= 0 || avg.OverheadPct > 30 {
+		t.Errorf("average overhead %.2f%% unexpected", avg.OverheadPct)
+	}
+}
+
+func TestFig6RunsWithUpdates(t *testing.T) {
+	rows, err := Fig6(quick(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows[:12] {
+		if r.MCFI <= 0 {
+			t.Errorf("%s did not run", r.Name)
+		}
+	}
+}
+
+func TestSpaceShape(t *testing.T) {
+	rows, err := Space(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows[:12] {
+		if r.MCFICode <= r.BaselineCode {
+			t.Errorf("%s: instrumented code not larger", r.Name)
+		}
+		if r.TaryBytes != r.MCFICode {
+			t.Errorf("%s: Tary must be sized as the code", r.Name)
+		}
+	}
+}
+
+func TestTables12Shape(t *testing.T) {
+	rows, err := Tables12(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 { // 12 + libc
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[12].Name != "libc(musl)" || rows[12].Rep.VBE == 0 {
+		t.Error("libc row missing or empty")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.IBs <= 0 || r.IBTs <= 0 || r.EQCs <= 0 {
+			t.Errorf("%s: degenerate stats %+v", r.Name, r)
+		}
+		// Fine-grained: EQC count far above coarse CFI's 1-2 classes.
+		if r.EQCs < 10 {
+			t.Errorf("%s: only %d classes", r.Name, r.EQCs)
+		}
+	}
+	// gcc is the largest program (Table 3 shape).
+	var gcc, lbm CFGRow
+	for _, r := range rows {
+		if r.Name == "gcc" {
+			gcc = r
+		}
+		if r.Name == "lbm" {
+			lbm = r
+		}
+	}
+	if gcc.IBs <= lbm.IBs {
+		t.Errorf("gcc (%d IBs) should exceed lbm (%d IBs)", gcc.IBs, lbm.IBs)
+	}
+}
+
+func TestProfile64FewerEQCs(t *testing.T) {
+	// Paper Table 3: "On x86-64, fewer equivalence classes are
+	// generated, mainly because more tail calls are replaced with
+	// jumps".
+	c64 := quick()
+	c32 := quick()
+	c32.Profile = visa.Profile32
+	r64, err := Table3(c64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r32, err := Table3(c32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum64, sum32 := 0, 0
+	for i := range r64 {
+		sum64 += r64[i].EQCs
+		sum32 += r32[i].EQCs
+	}
+	if sum64 >= sum32 {
+		t.Errorf("EQCs on 64-bit (%d) should be fewer than 32-bit (%d)", sum64, sum32)
+	}
+}
+
+func TestAIRTableShape(t *testing.T) {
+	rows, err := AIRTable(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !(r.Values["MCFI"] >= r.Values["binCFI"]) {
+			t.Errorf("%s: MCFI AIR %.4f < binCFI %.4f", r.Name,
+				r.Values["MCFI"], r.Values["binCFI"])
+		}
+		if r.Values["none"] != 0 {
+			t.Errorf("%s: no-CFI AIR must be 0", r.Name)
+		}
+	}
+}
+
+func TestROPShape(t *testing.T) {
+	rows, err := ROP(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows[:12] {
+		if r.Original == 0 {
+			t.Errorf("%s: no gadgets in the baseline image?", r.Name)
+		}
+		if r.EliminationPct < 90 {
+			t.Errorf("%s: elimination %.1f%% below the paper's ~95%%", r.Name, r.EliminationPct)
+		}
+	}
+}
+
+func TestSTMOrdering(t *testing.T) {
+	rows := STM(200_000, 4, 200)
+	if len(rows) != 4 || rows[0].Name != "MCFI" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// The reproducible claim is the ordering: lock-based schemes are
+	// substantially slower than MCFI's fused-word transaction.
+	mcfi := rows[0].NsPerCheck
+	for _, r := range rows[2:] { // RWL, Mutex
+		if r.NsPerCheck < mcfi {
+			t.Errorf("%s (%.1fns) should be slower than MCFI (%.1fns)",
+				r.Name, r.NsPerCheck, mcfi)
+		}
+	}
+}
+
+func TestCFGGenFast(t *testing.T) {
+	ms, stats, err := CFGGen(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms > 1000 {
+		t.Errorf("CFG generation took %.1f ms; the paper's point is that it is fast", ms)
+	}
+	if stats.EQCs == 0 {
+		t.Error("no classes generated")
+	}
+}
+
+func TestSanityHelpers(t *testing.T) {
+	if err := VerifyIDEncoding(); err != nil {
+		t.Error(err)
+	}
+	if _, err := ModuleOf("gcc", quick()); err != nil {
+		t.Error(err)
+	}
+	if _, err := ModuleOf("nope", quick()); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}

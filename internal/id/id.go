@@ -1,0 +1,76 @@
+// Package id implements MCFI's ID encoding (paper Fig. 2).
+//
+// An ID is four bytes. The least-significant bit of each byte is
+// reserved with the fixed values 0, 0, 0, 1 from the high byte to the
+// low byte; an ID carrying those values is "valid". The reserved bits
+// guarantee that a four-byte load from a misaligned address — which
+// straddles two IDs or picks up an ID's interior — cannot itself be a
+// valid ID, which is how MCFI rejects indirect branches to addresses
+// that are not four-byte aligned without masking them.
+//
+// The remaining 28 bits hold a 14-bit equivalence-class number (ECN) in
+// the high two bytes and a 14-bit version number in the low two bytes.
+// Fusing the ECN (real data) and the version (transaction metadata)
+// into one atomically-loadable word is the paper's key departure from
+// generic STM: one load retrieves both, and one comparison checks
+// validity, version, and ECN simultaneously (§5.2).
+package id
+
+// Limits imposed by the 14-bit fields.
+const (
+	// MaxECN is the number of distinct equivalence classes (2^14).
+	MaxECN = 1 << 14
+	// MaxVersion is the number of distinct version numbers (2^14).
+	MaxVersion = 1 << 14
+)
+
+// ID is an MCFI identifier.
+type ID uint32
+
+// reservedMask selects the reserved (low) bit of each byte; a valid ID
+// has exactly reservedWant in those positions.
+const (
+	reservedMask = 0x01010101
+	reservedWant = 0x00000001
+)
+
+// Encode builds a valid ID from an ECN and a version number. Values
+// out of range are truncated to 14 bits.
+func Encode(ecn, version int) ID {
+	e := uint32(ecn) & (MaxECN - 1)
+	v := uint32(version) & (MaxVersion - 1)
+	b3 := ((e >> 7) & 0x7F) << 1
+	b2 := (e & 0x7F) << 1
+	b1 := ((v >> 7) & 0x7F) << 1
+	b0 := (v&0x7F)<<1 | 1
+	return ID(b3<<24 | b2<<16 | b1<<8 | b0)
+}
+
+// Valid reports whether the reserved bits carry their required values.
+// An all-zero Tary entry (no indirect-branch target at this address)
+// and any word fetched from a misaligned address are invalid.
+func (d ID) Valid() bool { return uint32(d)&reservedMask == reservedWant }
+
+// ECN extracts the 14-bit equivalence class number.
+func (d ID) ECN() int {
+	b3 := (uint32(d) >> 24) & 0xFF
+	b2 := (uint32(d) >> 16) & 0xFF
+	return int((b3>>1)<<7 | b2>>1)
+}
+
+// Version extracts the 14-bit version number.
+func (d ID) Version() int {
+	b1 := (uint32(d) >> 8) & 0xFF
+	b0 := uint32(d) & 0xFF
+	return int((b1>>1)<<7 | b0>>1)
+}
+
+// SameVersion reports whether two IDs carry the same version number —
+// the CMPW (16-bit compare) of the check transaction. Per Fig. 4 the
+// low two bytes hold the version, so comparing the low 16 bits
+// compares versions (plus two reserved bits that are fixed anyway).
+func SameVersion(a, b ID) bool { return uint32(a)&0xFFFF == uint32(b)&0xFFFF }
+
+// LowBitSet reports the "testb $1" validity probe of the check
+// transaction: the lowest bit of the low byte must be 1.
+func (d ID) LowBitSet() bool { return uint32(d)&1 == 1 }

@@ -1,0 +1,74 @@
+package id
+
+// This file implements the paper's proposed ABA hardening (§5.2):
+// "MCFI could use a larger space for version numbers such as 8-byte
+// IDs on x86-64". ID64 widens both fields — a 28-bit ECN and a 28-bit
+// version — while keeping the reserved-bit discipline: the lowest bit
+// of each of the eight bytes is reserved, with values 0 everywhere
+// except the lowest byte, so a misaligned 8-byte load can never parse
+// as a valid wide ID. The runtime keeps 4-byte IDs (an 8-byte Tary
+// would double table memory, and 2^14 versions already make ABA a
+// counter-checkable non-event); ID64 exists as the drop-in encoding a
+// port would use, with the same operations and tests.
+
+// Wide-ID limits.
+const (
+	// MaxECN64 is the number of equivalence classes for wide IDs (2^28).
+	MaxECN64 = 1 << 28
+	// MaxVersion64 is the number of wide version numbers (2^28).
+	MaxVersion64 = 1 << 28
+)
+
+// ID64 is the widened MCFI identifier.
+type ID64 uint64
+
+const (
+	reservedMask64 = 0x0101010101010101
+	reservedWant64 = 0x0000000000000001
+)
+
+// Encode64 packs ecn and version into a valid wide ID. The ECN
+// occupies the payload bits of the four high bytes, the version those
+// of the four low bytes (7 payload bits per byte).
+func Encode64(ecn, version int) ID64 {
+	e := uint64(ecn) & (MaxECN64 - 1)
+	v := uint64(version) & (MaxVersion64 - 1)
+	var out uint64
+	for b := 0; b < 4; b++ {
+		out |= ((v >> (7 * b)) & 0x7F) << (8*b + 1)
+	}
+	for b := 0; b < 4; b++ {
+		out |= ((e >> (7 * b)) & 0x7F) << (8*(b+4) + 1)
+	}
+	return ID64(out | 1) // reserved low bit of the lowest byte
+}
+
+// Valid reports whether the reserved bits carry their required values.
+func (d ID64) Valid() bool { return uint64(d)&reservedMask64 == reservedWant64 }
+
+// ECN extracts the 28-bit equivalence-class number.
+func (d ID64) ECN() int {
+	var e uint64
+	for b := 0; b < 4; b++ {
+		e |= ((uint64(d) >> (8*(b+4) + 1)) & 0x7F) << (7 * b)
+	}
+	return int(e)
+}
+
+// Version extracts the 28-bit version number.
+func (d ID64) Version() int {
+	var v uint64
+	for b := 0; b < 4; b++ {
+		v |= ((uint64(d) >> (8*b + 1)) & 0x7F) << (7 * b)
+	}
+	return int(v)
+}
+
+// SameVersion compares the version halves (the wide CMPW analogue: a
+// 32-bit compare of the low words).
+func SameVersion64(a, b ID64) bool {
+	return uint64(a)&0xFFFFFFFF == uint64(b)&0xFFFFFFFF
+}
+
+// LowBitSet is the testb validity probe.
+func (d ID64) LowBitSet() bool { return uint64(d)&1 == 1 }

@@ -1,0 +1,91 @@
+package id
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncode64RoundTrip(t *testing.T) {
+	cases := []struct{ ecn, ver int }{
+		{0, 0}, {1, 2}, {127, 127}, {128, 129},
+		{MaxECN64 - 1, MaxVersion64 - 1}, {1 << 20, 1 << 21},
+	}
+	for _, c := range cases {
+		d := Encode64(c.ecn, c.ver)
+		if !d.Valid() {
+			t.Errorf("Encode64(%d,%d) not valid: %016x", c.ecn, c.ver, uint64(d))
+		}
+		if d.ECN() != c.ecn || d.Version() != c.ver {
+			t.Errorf("round trip (%d,%d) -> (%d,%d)", c.ecn, c.ver, d.ECN(), d.Version())
+		}
+	}
+}
+
+func TestID64ReservedBits(t *testing.T) {
+	d := Encode64(MaxECN64-1, MaxVersion64-1)
+	b := uint64(d)
+	for byteIdx := 1; byteIdx < 8; byteIdx++ {
+		if (b>>(8*byteIdx))&1 != 0 {
+			t.Errorf("reserved bit of byte %d set in %016x", byteIdx, b)
+		}
+	}
+	if b&1 != 1 {
+		t.Error("lowest reserved bit must be 1")
+	}
+	if ID64(0).Valid() {
+		t.Error("zero wide ID must be invalid")
+	}
+}
+
+func TestID64MisalignedNeverValid(t *testing.T) {
+	// Lay out consecutive valid wide IDs and read at all misaligned
+	// 8-byte offsets.
+	ids := []ID64{Encode64(3, 5), Encode64(4, 5), Encode64(5, 5)}
+	var bytes []byte
+	for _, w := range ids {
+		for i := 0; i < 8; i++ {
+			bytes = append(bytes, byte(uint64(w)>>(8*i)))
+		}
+	}
+	for off := 0; off+8 <= len(bytes); off++ {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(bytes[off+i]) << (8 * i)
+		}
+		if off%8 == 0 {
+			if !ID64(v).Valid() {
+				t.Errorf("aligned read at %d invalid", off)
+			}
+		} else if ID64(v).Valid() {
+			t.Errorf("misaligned read at %d valid: %016x", off, v)
+		}
+	}
+}
+
+func TestID64VersionSpaceExceeds32Bit(t *testing.T) {
+	// The point of the extension: the version space is 2^28, far past
+	// the 2^14 where narrow IDs could hit the ABA bound.
+	if MaxVersion64 <= MaxVersion {
+		t.Fatal("wide version space must exceed the narrow one")
+	}
+	a := Encode64(1, MaxVersion+1) // would have wrapped in 14-bit space
+	if a.Version() != MaxVersion+1 {
+		t.Errorf("version %d wrapped prematurely", a.Version())
+	}
+}
+
+func TestPropEncode64Injective(t *testing.T) {
+	f := func(e1, v1, e2, v2 uint32) bool {
+		a := Encode64(int(e1)%MaxECN64, int(v1)%MaxVersion64)
+		b := Encode64(int(e2)%MaxECN64, int(v2)%MaxVersion64)
+		same := int(e1)%MaxECN64 == int(e2)%MaxECN64 &&
+			int(v1)%MaxVersion64 == int(v2)%MaxVersion64
+		if (a == b) != same {
+			return false
+		}
+		return SameVersion64(a, Encode64(int(e2)%MaxECN64, int(v1)%MaxVersion64))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package id
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeRoundTrip(t *testing.T) {
+	cases := []struct{ ecn, ver int }{
+		{0, 0}, {1, 0}, {0, 1}, {127, 127}, {128, 128},
+		{MaxECN - 1, MaxVersion - 1}, {4242, 137}, {9999, 16000},
+	}
+	for _, c := range cases {
+		d := Encode(c.ecn, c.ver)
+		if !d.Valid() {
+			t.Errorf("Encode(%d,%d) = %08x not valid", c.ecn, c.ver, uint32(d))
+		}
+		if d.ECN() != c.ecn {
+			t.Errorf("ECN(Encode(%d,%d)) = %d", c.ecn, c.ver, d.ECN())
+		}
+		if d.Version() != c.ver {
+			t.Errorf("Version(Encode(%d,%d)) = %d", c.ecn, c.ver, d.Version())
+		}
+	}
+}
+
+func TestReservedBitLayout(t *testing.T) {
+	d := Encode(MaxECN-1, MaxVersion-1)
+	// From high byte to low byte, the reserved (low) bits must be 0,0,0,1.
+	b := uint32(d)
+	if (b>>24)&1 != 0 || (b>>16)&1 != 0 || (b>>8)&1 != 0 || b&1 != 1 {
+		t.Errorf("reserved bits wrong in %08x", b)
+	}
+	if !d.LowBitSet() {
+		t.Error("LowBitSet must hold on a valid ID")
+	}
+}
+
+func TestZeroIsInvalid(t *testing.T) {
+	// An all-zero Tary entry must never validate: that is how MCFI
+	// rejects jumps to addresses that are not indirect-branch targets.
+	if ID(0).Valid() {
+		t.Error("zero ID must be invalid")
+	}
+	if ID(0).LowBitSet() {
+		t.Error("zero ID must fail the testb probe")
+	}
+}
+
+func TestMisalignedReadCannotBeValid(t *testing.T) {
+	// Simulate the Tary table as consecutive valid IDs and check that a
+	// 4-byte load at any misaligned offset yields an invalid ID — the
+	// guarantee the reserved bits exist for (paper §5.1).
+	words := []ID{Encode(5, 9), Encode(6, 9), Encode(7, 9), Encode(8, 9)}
+	var bytes []byte
+	for _, w := range words {
+		bytes = append(bytes, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	for off := 0; off+4 <= len(bytes); off++ {
+		v := ID(uint32(bytes[off]) | uint32(bytes[off+1])<<8 |
+			uint32(bytes[off+2])<<16 | uint32(bytes[off+3])<<24)
+		if off%4 == 0 {
+			if !v.Valid() {
+				t.Errorf("aligned read at %d should be valid", off)
+			}
+		} else if v.Valid() {
+			t.Errorf("misaligned read at %d yields valid ID %08x", off, uint32(v))
+		}
+	}
+}
+
+func TestSameVersion(t *testing.T) {
+	a := Encode(1, 77)
+	b := Encode(2, 77)
+	c := Encode(1, 78)
+	if !SameVersion(a, b) {
+		t.Error("same version, different ECN should report SameVersion")
+	}
+	if SameVersion(a, c) {
+		t.Error("different versions should not report SameVersion")
+	}
+}
+
+func TestVersionWraparound(t *testing.T) {
+	d := Encode(3, MaxVersion+5) // wraps to 5
+	if d.Version() != 5 {
+		t.Errorf("wrapped version = %d, want 5", d.Version())
+	}
+	e := Encode(MaxECN+7, 0) // wraps to 7
+	if e.ECN() != 7 {
+		t.Errorf("wrapped ECN = %d, want 7", e.ECN())
+	}
+}
+
+func TestPropEncodeDistinct(t *testing.T) {
+	// Distinct (ecn, version) pairs encode to distinct IDs: the check
+	// transaction's single comparison can only pass on an exact match.
+	f := func(e1, v1, e2, v2 uint16) bool {
+		a := Encode(int(e1)%MaxECN, int(v1)%MaxVersion)
+		b := Encode(int(e2)%MaxECN, int(v2)%MaxVersion)
+		sameInput := int(e1)%MaxECN == int(e2)%MaxECN && int(v1)%MaxVersion == int(v2)%MaxVersion
+		return (a == b) == sameInput
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEqualIDsMatchECNAndVersion(t *testing.T) {
+	// ID equality must be exactly "same ECN and same version" — the
+	// single-comparison fast path of TxCheck (paper Fig. 4 case 1).
+	f := func(e1, v1 uint16) bool {
+		d := Encode(int(e1), int(v1))
+		return d.Valid() &&
+			d.ECN() == int(e1)%MaxECN &&
+			d.Version() == int(v1)%MaxVersion
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,369 @@
+// Package libc provides the MiniC standard library — the reproduction's
+// MUSL port (paper §7). It is compiled as an ordinary MCFI module,
+// instrumented like any other, and exposes syscall-like wrappers over
+// the runtime's interposed system calls, a free-list malloc, string and
+// formatting routines, qsort with a comparator function pointer, and
+// the thread trampoline used by the runtime's spawn syscall.
+//
+// Like MUSL in the paper, the library contains a handful of known
+// C1-condition violations (function-pointer/integer casts at the
+// syscall boundary) and one inline-assembly function with a type
+// annotation — the analyzer is expected to find them (paper §7 reports
+// 45 violations in MUSL, 5 of kind K1 and 40 of kind K2).
+package libc
+
+// Header declares the public libc interface. The toolchain prepends it
+// to every translation unit (MiniC has no preprocessor; this plays the
+// role of the C headers).
+const Header = `
+enum {
+	SYS_EXIT = 0, SYS_WRITE = 1, SYS_SBRK = 2, SYS_MMAP = 3,
+	SYS_MPROTECT = 4, SYS_DLOPEN = 5, SYS_DLSYM = 6, SYS_CLOCK = 7,
+	SYS_SPAWN = 8, SYS_JOIN = 9, SYS_YIELD = 10, SYS_RAND = 11,
+	SYS_TEXIT = 12
+};
+
+long __sys0(long n);
+long __sys1(long n, long a);
+long __sys2(long n, long a, long b);
+long __sys3(long n, long a, long b, long c);
+long __vararg(long i);
+
+typedef long jmp_buf[4];
+int setjmp(long *env);
+void longjmp(long *env, int val);
+
+void exit(int code);
+long write(char *buf, long n);
+long clock_instr(void);
+long sys_rand(void);
+
+void *malloc(long n);
+void free(void *p);
+void *calloc(long n, long sz);
+
+long strlen(char *s);
+int strcmp(char *a, char *b);
+char *strcpy(char *dst, char *src);
+char *strchr(char *s, int c);
+void *memcpy(void *dst, void *src, long n);
+void *memcpy_fast(void *dst, void *src, long n);
+void *memset(void *p, int c, long n);
+int memcmp(void *a, void *b, long n);
+
+int putchar(int c);
+int puts(char *s);
+void print_long(long v);
+void print_hex(unsigned long v);
+void print_double(double d);
+int printf(char *fmt, ...);
+
+int abs(int x);
+long labs(long x);
+
+void qsort(void *base, long n, long size, int (*cmp)(void *, void *));
+
+long thread_spawn(long (*fn)(long), long arg);
+long thread_join(long tid);
+
+long dlopen(char *name);
+long dlsym(long handle, char *name);
+`
+
+// Source is the library implementation.
+const Source = Header + `
+// ---- syscall wrappers ----
+
+void exit(int code) { __sys1(SYS_EXIT, code); }
+
+long write(char *buf, long n) { return __sys2(SYS_WRITE, (long)buf, n); }
+
+long clock_instr(void) { return __sys0(SYS_CLOCK); }
+
+long sys_rand(void) { return __sys0(SYS_RAND); }
+
+// ---- memory allocator: first-fit free list over sbrk ----
+
+struct __blk {
+	long size;            // payload size
+	struct __blk *next;   // next free block
+};
+
+static struct __blk *__free_list;
+
+static long __align16(long n) { return (n + 15) & ~15; }
+
+void *malloc(long n) {
+	if (n <= 0) n = 16;
+	n = __align16(n);
+	struct __blk *prev = (struct __blk*)0;
+	struct __blk *b = __free_list;
+	while (b) {
+		if (b->size >= n) {
+			if (prev) prev->next = b->next;
+			else __free_list = b->next;
+			return (void*)((char*)b + 16);
+		}
+		prev = b;
+		b = b->next;
+	}
+	long want = n + 16;
+	if (want < 4096) want = 4096;
+	long base = __sys1(SYS_SBRK, want);
+	if (base == -1) return (void*)0;
+	struct __blk *nb = (struct __blk*)base;
+	nb->size = want - 16;
+	nb->next = (struct __blk*)0;
+	if (nb->size > n + 32) {
+		// split: the tail becomes a free block
+		struct __blk *tail = (struct __blk*)((char*)nb + 16 + n);
+		tail->size = nb->size - n - 16;
+		tail->next = __free_list;
+		__free_list = tail;
+		nb->size = n;
+	}
+	return (void*)((char*)nb + 16);
+}
+
+void free(void *p) {
+	if (!p) return;
+	struct __blk *b = (struct __blk*)((char*)p - 16);
+	b->next = __free_list;
+	__free_list = b;
+}
+
+void *calloc(long n, long sz) {
+	long total = n * sz;
+	void *p = malloc(total);
+	if (p) memset(p, 0, total);
+	return p;
+}
+
+// ---- string routines ----
+
+long strlen(char *s) {
+	long n = 0;
+	while (s[n]) n++;
+	return n;
+}
+
+int strcmp(char *a, char *b) {
+	long i = 0;
+	while (a[i] && a[i] == b[i]) i++;
+	return (int)(unsigned char)a[i] - (int)(unsigned char)b[i];
+}
+
+char *strcpy(char *dst, char *src) {
+	long i = 0;
+	while (src[i]) { dst[i] = src[i]; i++; }
+	dst[i] = 0;
+	return dst;
+}
+
+char *strchr(char *s, int c) {
+	long i = 0;
+	while (s[i]) {
+		if (s[i] == (char)c) return s + i;
+		i++;
+	}
+	return (char*)0;
+}
+
+void *memcpy(void *dst, void *src, long n) {
+	char *d = (char*)dst;
+	char *s = (char*)src;
+	long i;
+	for (i = 0; i + 8 <= n; i += 8) {
+		*(long*)(d + i) = *(long*)(s + i);
+	}
+	for (; i < n; i++) d[i] = s[i];
+	return dst;
+}
+
+// The CPU-specific memcpy uses inline assembly, with the function
+// pointer type annotation MCFI requires for assembly (paper §6, C2).
+void *memcpy_fast(void *dst, void *src, long n) {
+	asm("rep movsb" : "memcpy_fast : f(*v,*v,l,)->*v");
+	return memcpy(dst, src, n);
+}
+
+void *memset(void *p, int c, long n) {
+	char *d = (char*)p;
+	long i;
+	long word = (long)(unsigned char)c;
+	word = word | (word << 8);
+	word = word | (word << 16);
+	word = word | (word << 32);
+	for (i = 0; i + 8 <= n; i += 8) *(long*)(d + i) = word;
+	for (; i < n; i++) d[i] = (char)c;
+	return p;
+}
+
+int memcmp(void *a, void *b, long n) {
+	unsigned char *x = (unsigned char*)a;
+	unsigned char *y = (unsigned char*)b;
+	long i;
+	for (i = 0; i < n; i++) {
+		if (x[i] != y[i]) return (int)x[i] - (int)y[i];
+	}
+	return 0;
+}
+
+// ---- output ----
+
+int putchar(int c) {
+	char buf[1];
+	buf[0] = (char)c;
+	write(buf, 1);
+	return c;
+}
+
+int puts(char *s) {
+	write(s, strlen(s));
+	putchar(10);
+	return 0;
+}
+
+static void __print_ulong(unsigned long v, int base) {
+	char buf[32];
+	char digits[17];
+	strcpy(digits, "0123456789abcdef");
+	int i = 0;
+	if (v == 0) { putchar('0'); return; }
+	while (v) {
+		buf[i] = digits[v % (unsigned long)base];
+		v = v / (unsigned long)base;
+		i++;
+	}
+	while (i > 0) { i--; putchar(buf[i]); }
+}
+
+void print_long(long v) {
+	if (v < 0) { putchar('-'); __print_ulong((unsigned long)(-v), 10); return; }
+	__print_ulong((unsigned long)v, 10);
+}
+
+void print_hex(unsigned long v) { __print_ulong(v, 16); }
+
+void print_double(double d) {
+	if (d < 0.0) { putchar('-'); d = -d; }
+	long ip = (long)d;
+	print_long(ip);
+	putchar('.');
+	double frac = d - (double)ip;
+	int i;
+	for (i = 0; i < 6; i++) {
+		frac = frac * 10.0;
+		int digit = (int)frac;
+		putchar('0' + digit);
+		frac = frac - (double)digit;
+	}
+}
+
+// printf supports %d %ld %u %x %s %c %f %% — enough for the workloads.
+// Variadic arguments arrive through the __vararg builtin.
+int printf(char *fmt, ...) {
+	long ai = 0;
+	long i = 0;
+	int n = 0;
+	while (fmt[i]) {
+		char c = fmt[i];
+		if (c != '%') { putchar(c); i++; n++; continue; }
+		i++;
+		char k = fmt[i];
+		if (k == 'l') { i++; k = fmt[i]; }   // %ld, %lu, %lx
+		if (k == 'd') {
+			print_long(__vararg(ai)); ai++;
+		} else if (k == 'u') {
+			__print_ulong((unsigned long)__vararg(ai), 10); ai++;
+		} else if (k == 'x') {
+			print_hex((unsigned long)__vararg(ai)); ai++;
+		} else if (k == 's') {
+			char *s = (char*)__vararg(ai); ai++;
+			write(s, strlen(s));
+		} else if (k == 'c') {
+			putchar((int)__vararg(ai)); ai++;
+		} else if (k == 'f') {
+			// doubles travel as raw bit patterns in the vararg slots
+			long bits = __vararg(ai); ai++;
+			double *pd = (double*)&bits;
+			print_double(*pd);
+		} else if (k == '%') {
+			putchar('%');
+		} else {
+			putchar('%'); putchar(k);
+		}
+		i++;
+		n++;
+	}
+	return n;
+}
+
+// ---- misc ----
+
+int abs(int x) { if (x < 0) return -x; return x; }
+long labs(long x) { if (x < 0) return -x; return x; }
+
+// ---- qsort: in-place quicksort through a comparator function
+// pointer — the indirect-call workhorse of the libc (every call is a
+// checked MCFI indirect branch of type int(void*,void*)) ----
+
+static void __swap_bytes(char *a, char *b, long size) {
+	long i;
+	for (i = 0; i < size; i++) {
+		char t = a[i];
+		a[i] = b[i];
+		b[i] = t;
+	}
+}
+
+static void __qsort_rec(char *base, long lo, long hi, long size,
+                        int (*cmp)(void *, void *)) {
+	if (lo >= hi) return;
+	long mid = lo + (hi - lo) / 2;
+	__swap_bytes(base + mid * size, base + hi * size, size);
+	long store = lo;
+	long i;
+	for (i = lo; i < hi; i++) {
+		if (cmp((void*)(base + i * size), (void*)(base + hi * size)) < 0) {
+			__swap_bytes(base + i * size, base + store * size, size);
+			store++;
+		}
+	}
+	__swap_bytes(base + store * size, base + hi * size, size);
+	__qsort_rec(base, lo, store - 1, size, cmp);
+	__qsort_rec(base, store + 1, hi, size, cmp);
+}
+
+void qsort(void *base, long n, long size, int (*cmp)(void *, void *)) {
+	if (n > 1) __qsort_rec((char*)base, 0, n - 1, size, cmp);
+}
+
+// ---- threads ----
+
+struct __thread_ctl {
+	long (*fn)(long);
+	long arg;
+};
+
+// __thread_main is entered raw by the runtime's spawn syscall with a
+// control block argument; it invokes the user function through a
+// checked indirect call and never returns.
+void __thread_main(struct __thread_ctl *ctl) {
+	long r = ctl->fn(ctl->arg);
+	__sys1(SYS_TEXIT, r);
+}
+
+// Casting the function pointer to long for the syscall is a known C1
+// violation (kind K2), mirroring MUSL's syscall-boundary casts.
+long thread_spawn(long (*fn)(long), long arg) {
+	return __sys2(SYS_SPAWN, (long)fn, arg);
+}
+
+long thread_join(long tid) { return __sys1(SYS_JOIN, tid); }
+
+// ---- dynamic linking ----
+
+long dlopen(char *name) { return __sys1(SYS_DLOPEN, (long)name); }
+long dlsym(long handle, char *name) { return __sys2(SYS_DLSYM, handle, (long)name); }
+`

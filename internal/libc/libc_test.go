@@ -1,0 +1,167 @@
+package libc_test
+
+import (
+	"strings"
+	"testing"
+
+	"mcfi/internal/toolchain"
+	"mcfi/internal/visa"
+)
+
+// run executes a MiniC program (with the libc prelude) and returns its
+// output; the libc under test is linked in by BuildProgram.
+func run(t *testing.T, src string) string {
+	t.Helper()
+	code, out, _, err := toolchain.Run(
+		toolchain.Config{Profile: visa.Profile64, Instrument: true},
+		500_000_000, toolchain.Source{Name: "t", Text: src})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d, output %q", code, out)
+	}
+	return out
+}
+
+func TestStringFunctions(t *testing.T) {
+	out := run(t, `
+int main(void) {
+	char buf[32];
+	strcpy(buf, "hello");
+	printf("%ld %d %d %d\n",
+		strlen(buf),
+		strcmp(buf, "hello"),
+		strcmp(buf, "help") < 0 ? 1 : 0,
+		strcmp("b", "a") > 0 ? 1 : 0);
+	char *c = strchr(buf, 'l');
+	printf("%d %d\n", (int)(c - buf), strchr(buf, 'z') == (char*)0 ? 1 : 0);
+	return 0;
+}`)
+	if out != "5 0 1 1\n2 1\n" {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestMemFunctions(t *testing.T) {
+	out := run(t, `
+int main(void) {
+	char a[64];
+	char b[64];
+	memset(a, 0x41, 64);
+	memcpy(b, a, 64);
+	printf("%d %d\n", memcmp(a, b, 64), a[63]);
+	b[10] = 'B';
+	printf("%d\n", memcmp(a, b, 64) != 0 ? 1 : 0);
+	void *r = memcpy_fast(b, a, 64);
+	printf("%d %d\n", memcmp(a, b, 64), r == (void*)b ? 1 : 0);
+	return 0;
+}`)
+	if out != "0 65\n1\n0 1\n" {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestMallocFreeReuse(t *testing.T) {
+	out := run(t, `
+int main(void) {
+	long first = 0;
+	for (int i = 0; i < 200; i++) {
+		long *p = (long*)malloc(64);
+		if (i == 0) first = (long)p;
+		p[0] = (long)i;
+		p[7] = (long)i * 2;
+		if (p[0] + p[7] != (long)i * 3) return 1;
+		free(p);
+	}
+	long *q = (long*)malloc(64);
+	printf("%d\n", (long)q == first ? 1 : 0);   // free list reuses blocks
+	return 0;
+}`)
+	if out != "1\n" {
+		t.Errorf("free list did not recycle: %q", out)
+	}
+}
+
+func TestPrintfFormats(t *testing.T) {
+	out := run(t, `
+int main(void) {
+	printf("%d %ld %u %x %s %c %% %f\n",
+		-5, 1234567890123, 4000000000u, 48879, "txt", 'Q', 2.5);
+	printf("%q\n", 0);   // unknown verb passes through
+	return 0;
+}`)
+	want := "-5 1234567890123 4000000000 beef txt Q % 2.500000\n%q\n"
+	if out != want {
+		t.Errorf("printf output %q, want %q", out, want)
+	}
+}
+
+func TestQsortStructs(t *testing.T) {
+	out := run(t, `
+struct kv { long key; long val; };
+int cmp_kv(void *a, void *b) {
+	long x = ((struct kv*)a)->key;
+	long y = ((struct kv*)b)->key;
+	if (x < y) return -1;
+	if (x > y) return 1;
+	return 0;
+}
+int main(void) {
+	struct kv v[5];
+	long keys[5];
+	keys[0] = 42; keys[1] = 7; keys[2] = 99; keys[3] = 7; keys[4] = 1;
+	for (int i = 0; i < 5; i++) { v[i].key = keys[i]; v[i].val = (long)i; }
+	qsort(v, 5, sizeof(struct kv), cmp_kv);
+	for (int i = 0; i < 5; i++) printf("%ld ", v[i].key);
+	putchar(10);
+	return 0;
+}`)
+	if out != "1 7 7 42 99 \n" {
+		t.Errorf("qsort output %q", out)
+	}
+}
+
+func TestCallocZeroes(t *testing.T) {
+	out := run(t, `
+int main(void) {
+	// Dirty a block, free it, then calloc must hand back zeroed memory.
+	char *d = (char*)malloc(128);
+	memset(d, 0x55, 128);
+	free(d);
+	char *z = (char*)calloc(16, 8);
+	int bad = 0;
+	for (int i = 0; i < 128; i++) if (z[i] != 0) bad++;
+	printf("%d\n", bad);
+	return 0;
+}`)
+	if out != "0\n" {
+		t.Errorf("calloc not zeroing: %q", out)
+	}
+}
+
+func TestAbsAndRand(t *testing.T) {
+	out := run(t, `
+int main(void) {
+	printf("%d %d %ld\n", abs(-9), abs(9), labs(-1000000000000));
+	long a = sys_rand();
+	long b = sys_rand();
+	printf("%d %d\n", a != b ? 1 : 0, a >= 0 && b >= 0 ? 1 : 0);
+	return 0;
+}`)
+	if !strings.HasPrefix(out, "9 9 1000000000000\n1 1\n") {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestLibcCompilesOnBothProfilesBaseline(t *testing.T) {
+	for _, p := range []visa.Profile{visa.Profile32, visa.Profile64} {
+		for _, instr := range []bool{false, true} {
+			if _, err := toolchain.CompileLibc(toolchain.Config{
+				Profile: p, Instrument: instr,
+			}); err != nil {
+				t.Errorf("profile %s instrument=%v: %v", p, instr, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,428 @@
+// Package linker implements MCFI's static linker: it combines
+// separately compiled, separately instrumented MCFI modules into one
+// loadable image, merging their auxiliary information (paper §6:
+// "combining type information of multiple modules during linking is a
+// simple union operation"), resolving relocations, and emitting
+// MCFI-instrumented PLT entries for symbols left to dynamic linking
+// (paper §5.2, §6).
+package linker
+
+import (
+	"fmt"
+
+	"mcfi/internal/module"
+	"mcfi/internal/rewrite"
+	"mcfi/internal/visa"
+)
+
+// Options configures a link.
+type Options struct {
+	// AllowUnresolved routes calls to undefined functions through PLT
+	// entries backed by GOT slots the dynamic linker fills later.
+	// Without it, undefined symbols are link errors.
+	AllowUnresolved bool
+	// NoEntry skips _start generation (used when linking a shared
+	// library for dlopen).
+	NoEntry bool
+}
+
+// SymInfo describes one resolved global symbol.
+type SymInfo struct {
+	Addr int64
+	Kind module.SymKind
+	Size int
+	// Module is the name of the defining module.
+	Module string
+}
+
+// ModuleRange records where one module landed in the image.
+type ModuleRange struct {
+	Name      string
+	CodeStart int64 // absolute
+	CodeEnd   int64
+	DataStart int64
+	DataEnd   int64
+}
+
+// Image is a linked, loadable MCFI program.
+type Image struct {
+	Profile      visa.Profile
+	Instrumented bool
+	// Code is loaded at visa.CodeBase.
+	Code []byte
+	// Data (including zeroed BSS and the GOT) is loaded at
+	// visa.DataBase.
+	Data []byte
+	// Entry is the absolute address of _start (0 with NoEntry).
+	Entry int64
+	// Syms maps global symbols to their absolute addresses.
+	Syms map[string]SymInfo
+	// Aux is the merged auxiliary information with every code offset
+	// rebased to an absolute guest address.
+	Aux module.AuxInfo
+	// GOT maps imported symbols to the absolute addresses of their GOT
+	// slots; PLT maps them to their PLT entry addresses.
+	GOT map[string]int64
+	PLT map[string]int64
+	// Modules lists the layout, in link order.
+	Modules []ModuleRange
+}
+
+// CodeLimit returns the end of the code region (the Tary table must
+// cover [0, CodeLimit)).
+func (im *Image) CodeLimit() int { return visa.CodeBase + len(im.Code) }
+
+// Link combines objects into an image. The first object conventionally
+// contains main.
+func Link(objs []*module.Object, opts Options) (*Image, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("linker: no input modules")
+	}
+	profile := objs[0].Profile
+	instrumented := objs[0].Instrumented
+	for _, o := range objs[1:] {
+		if o.Profile != profile {
+			return nil, fmt.Errorf("linker: mixed profiles (%s vs %s in %s)", profile, o.Profile, o.Name)
+		}
+		if o.Instrumented != instrumented {
+			return nil, fmt.Errorf("linker: mixing instrumented and baseline modules (%s)", o.Name)
+		}
+	}
+
+	ld := &linkState{
+		img: &Image{
+			Profile:      profile,
+			Instrumented: instrumented,
+			Syms:         map[string]SymInfo{},
+			GOT:          map[string]int64{},
+			PLT:          map[string]int64{},
+		},
+		objs:       objs,
+		localSyms:  make([]map[string]SymInfo, len(objs)),
+		instrument: instrumented,
+	}
+
+	if !opts.NoEntry {
+		start, err := makeStartObject(profile, instrumented)
+		if err != nil {
+			return nil, err
+		}
+		ld.objs = append([]*module.Object{start}, objs...)
+		ld.localSyms = make([]map[string]SymInfo, len(ld.objs))
+	}
+
+	ld.layout()
+	if err := ld.resolveSymbols(); err != nil {
+		return nil, err
+	}
+	ld.mergeAux()
+	if err := ld.applyRelocs(opts); err != nil {
+		return nil, err
+	}
+	ld.markCrossModuleAddrTaken()
+
+	if !opts.NoEntry {
+		st, ok := ld.img.Syms["_start"]
+		if !ok {
+			return nil, fmt.Errorf("linker: missing _start")
+		}
+		ld.img.Entry = st.Addr
+		if _, ok := ld.img.Syms["main"]; !ok {
+			return nil, fmt.Errorf("linker: undefined symbol main")
+		}
+	}
+	return ld.img, nil
+}
+
+type linkState struct {
+	img        *Image
+	objs       []*module.Object
+	codeStarts []int   // per-object code offset within image code
+	dataStarts []int64 // per-object absolute data base
+	localSyms  []map[string]SymInfo
+	instrument bool
+}
+
+const codeAlign = 16
+
+// layout places every object's code and data.
+func (ld *linkState) layout() {
+	img := ld.img
+	for _, o := range ld.objs {
+		for len(img.Code)%codeAlign != 0 {
+			img.Code = append(img.Code, byte(visa.NOP))
+		}
+		start := len(img.Code)
+		ld.codeStarts = append(ld.codeStarts, start)
+		img.Code = append(img.Code, o.Code...)
+
+		for len(img.Data)%codeAlign != 0 {
+			img.Data = append(img.Data, 0)
+		}
+		dstart := int64(visa.DataBase + len(img.Data))
+		ld.dataStarts = append(ld.dataStarts, dstart)
+		img.Data = append(img.Data, o.Data...)
+		img.Data = append(img.Data, make([]byte, o.BSS)...)
+
+		img.Modules = append(img.Modules, ModuleRange{
+			Name:      o.Name,
+			CodeStart: int64(visa.CodeBase + start),
+			CodeEnd:   int64(visa.CodeBase + start + len(o.Code)),
+			DataStart: dstart,
+			DataEnd:   dstart + int64(len(o.Data)+o.BSS),
+		})
+	}
+}
+
+func (ld *linkState) resolveSymbols() error {
+	for i, o := range ld.objs {
+		ld.localSyms[i] = map[string]SymInfo{}
+		for _, s := range o.Symbols {
+			var addr int64
+			if s.Kind == module.SymFunc {
+				addr = int64(visa.CodeBase + ld.codeStarts[i] + s.Offset)
+			} else {
+				addr = ld.dataStarts[i] + int64(s.Offset)
+			}
+			info := SymInfo{Addr: addr, Kind: s.Kind, Size: s.Size, Module: o.Name}
+			if s.Local {
+				ld.localSyms[i][s.Name] = info
+				continue
+			}
+			if prev, dup := ld.img.Syms[s.Name]; dup {
+				return fmt.Errorf("linker: duplicate symbol %q (in %s and %s)",
+					s.Name, prev.Module, o.Name)
+			}
+			ld.img.Syms[s.Name] = info
+		}
+	}
+	return nil
+}
+
+// lookup resolves a symbol for object i: locals shadow globals.
+func (ld *linkState) lookup(i int, name string) (SymInfo, bool) {
+	if s, ok := ld.localSyms[i][name]; ok {
+		return s, true
+	}
+	s, ok := ld.img.Syms[name]
+	return s, ok
+}
+
+// mergeAux rebases and merges every object's auxiliary info.
+func (ld *linkState) mergeAux() {
+	img := ld.img
+	for i, o := range ld.objs {
+		base := visa.CodeBase + ld.codeStarts[i]
+		for _, f := range o.Aux.Funcs {
+			f.Offset += base
+			img.Aux.Funcs = append(img.Aux.Funcs, f)
+		}
+		for _, ib := range o.Aux.IBs {
+			ib.Offset += base
+			if ib.TLoadIOffset >= 0 {
+				ib.TLoadIOffset += base
+			}
+			if ib.TableLen > 0 {
+				ib.TableOff += base
+			}
+			for j := range ib.Targets {
+				ib.Targets[j] += base
+			}
+			img.Aux.IBs = append(img.Aux.IBs, ib)
+		}
+		for _, rs := range o.Aux.RetSites {
+			rs.Offset += base
+			img.Aux.RetSites = append(img.Aux.RetSites, rs)
+		}
+		for _, sc := range o.Aux.SetjmpConts {
+			img.Aux.SetjmpConts = append(img.Aux.SetjmpConts, sc+base)
+		}
+		img.Aux.AsmAnnotations = append(img.Aux.AsmAnnotations, o.Aux.AsmAnnotations...)
+	}
+}
+
+func (ld *linkState) applyRelocs(opts Options) error {
+	img := ld.img
+	for i, o := range ld.objs {
+		cstart := ld.codeStarts[i]
+		for _, r := range o.CodeRelocs {
+			site := cstart + r.Offset
+			sym, ok := ld.lookup(i, r.Symbol)
+			switch r.Kind {
+			case module.RelAbs64, module.RelJumpTable:
+				if !ok {
+					return fmt.Errorf("linker: %s: undefined symbol %q", o.Name, r.Symbol)
+				}
+				put64(img.Code[site:], uint64(sym.Addr+r.Addend))
+			case module.RelCall32:
+				var target int64
+				if ok {
+					target = sym.Addr
+				} else {
+					if !opts.AllowUnresolved {
+						return fmt.Errorf("linker: %s: undefined symbol %q", o.Name, r.Symbol)
+					}
+					target = ld.pltEntry(r.Symbol)
+				}
+				rel := target - int64(visa.CodeBase+site+4)
+				put32(img.Code[site:], uint32(int32(rel)))
+			default:
+				return fmt.Errorf("linker: unknown relocation kind %d", r.Kind)
+			}
+		}
+		dstart := ld.dataStarts[i] - visa.DataBase
+		for _, r := range o.DataRelocs {
+			sym, ok := ld.lookup(i, r.Symbol)
+			if !ok {
+				return fmt.Errorf("linker: %s: undefined symbol %q in data", o.Name, r.Symbol)
+			}
+			put64(img.Data[dstart+int64(r.Offset):], uint64(sym.Addr+r.Addend))
+		}
+	}
+	return nil
+}
+
+// pltEntry creates (or returns) the PLT entry for an imported symbol,
+// appending its GOT slot to the data region and its instrumented stub
+// to the code region (paper §5.2: "indirect jumps in the PLT ... need
+// to reload the target address from GOT when a transaction is
+// retried").
+func (ld *linkState) pltEntry(name string) int64 {
+	img := ld.img
+	if addr, ok := img.PLT[name]; ok {
+		return addr
+	}
+	// GOT slot, zero-initialized: a call before the defining library is
+	// loaded faults on the unmapped null page.
+	for len(img.Data)%8 != 0 {
+		img.Data = append(img.Data, 0)
+	}
+	gotAddr := int64(visa.DataBase + len(img.Data))
+	img.Data = append(img.Data, make([]byte, 8)...)
+	img.GOT[name] = gotAddr
+
+	a := visa.NewAsm()
+	try := "plt.try." + name
+	halt := "plt.halt." + name
+	ok := "plt.ok." + name
+	a.Label(try)
+	a.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R11, Imm: gotAddr})
+	a.Emit(visa.Instr{Op: visa.LD64, R1: visa.R11, R2: visa.R11, Imm: 0})
+	var tloadi, branch int
+	if ld.instrument {
+		a.Emit(visa.Instr{Op: visa.AND32, R1: visa.R11})
+		tloadi = a.Pos()
+		a.Emit(visa.Instr{Op: visa.TLOADI, R1: visa.R10, Imm: 0})
+		a.Emit(visa.Instr{Op: visa.TLOAD, R1: visa.R9, R2: visa.R11})
+		a.Emit(visa.Instr{Op: visa.CMP, R1: visa.R10, R2: visa.R9})
+		a.EmitBranch(visa.JE, ok)
+		a.Emit(visa.Instr{Op: visa.TESTB, R1: visa.R9, Imm: 1})
+		a.EmitBranch(visa.JE, halt)
+		a.Emit(visa.Instr{Op: visa.CMPW, R1: visa.R10, R2: visa.R9})
+		a.EmitBranch(visa.JNE, try) // retry reloads the GOT entry
+		a.Label(halt)
+		a.Emit(visa.Instr{Op: visa.HLT})
+		a.Label(ok)
+	} else {
+		tloadi = -1
+	}
+	branch = a.Pos()
+	a.Emit(visa.Instr{Op: visa.JMPR, R1: visa.R11})
+	if err := a.Finish(); err != nil {
+		// Labels are all local and bound; this cannot happen.
+		panic(err)
+	}
+
+	for len(img.Code)%codeAlign != 0 {
+		img.Code = append(img.Code, byte(visa.NOP))
+	}
+	entry := int64(visa.CodeBase + len(img.Code))
+	base := len(img.Code)
+	img.Code = append(img.Code, a.Code...)
+	img.PLT[name] = entry
+
+	tl := -1
+	if tloadi >= 0 {
+		tl = visa.CodeBase + base + tloadi
+	}
+	img.Aux.IBs = append(img.Aux.IBs, module.IndirectBranch{
+		Offset:       visa.CodeBase + base + branch,
+		Kind:         module.IBPLT,
+		Func:         "plt." + name,
+		TLoadIOffset: tl,
+		GotSlot:      int(gotAddr),
+		PLTSym:       name,
+	})
+	return entry
+}
+
+// markCrossModuleAddrTaken marks a function address-taken when any
+// module references it through an address relocation — the
+// cross-module complement of sema's per-unit analysis.
+func (ld *linkState) markCrossModuleAddrTaken() {
+	taken := map[string]bool{}
+	for _, o := range ld.objs {
+		for _, r := range o.CodeRelocs {
+			if r.Kind == module.RelAbs64 {
+				taken[r.Symbol] = true
+			}
+		}
+		for _, r := range o.DataRelocs {
+			taken[r.Symbol] = true
+		}
+	}
+	for i := range ld.img.Aux.Funcs {
+		f := &ld.img.Aux.Funcs[i]
+		if taken[f.Name] {
+			f.AddrTaken = true
+		}
+	}
+}
+
+// makeStartObject builds the _start stub: call main, then exit with
+// its result.
+func makeStartObject(profile visa.Profile, instrumented bool) (*module.Object, error) {
+	a := visa.NewAsm()
+	var aux module.AuxInfo
+	start := a.Pos()
+	callSize := visa.Instr{Op: visa.CALL}.Size()
+	if instrumented {
+		rewrite.PadForAlignedEnd(a, callSize)
+	}
+	callOff := a.Pos()
+	a.Emit(visa.Instr{Op: visa.CALL, Imm: 0})
+	aux.RetSites = append(aux.RetSites, module.RetSite{Offset: a.Pos(), Callee: "main"})
+	a.Emit(visa.Instr{Op: visa.SYS, Imm: visa.SysExit})
+	if err := a.Finish(); err != nil {
+		return nil, err
+	}
+	size := a.Pos() - start
+	aux.Funcs = append(aux.Funcs, module.FuncInfo{
+		Name: "_start", Offset: start, Size: size, Sig: "f()->v",
+	})
+	return &module.Object{
+		Name:         "_start",
+		Profile:      profile,
+		Instrumented: instrumented,
+		Code:         a.Code,
+		CodeRelocs: []module.Reloc{
+			{Offset: callOff + 1, Symbol: "main", Kind: module.RelCall32},
+		},
+		Symbols: []module.Symbol{
+			{Name: "_start", Kind: module.SymFunc, Offset: start, Size: size},
+		},
+		Aux: aux,
+	}, nil
+}
+
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func put32(b []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

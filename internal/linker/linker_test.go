@@ -1,0 +1,222 @@
+package linker_test
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"mcfi/internal/linker"
+	"mcfi/internal/module"
+	"mcfi/internal/toolchain"
+	"mcfi/internal/visa"
+)
+
+func compile(t *testing.T, name, src string, instrument bool) *module.Object {
+	t.Helper()
+	obj, err := toolchain.CompileSource(
+		toolchain.Source{Name: name, Text: src},
+		toolchain.Config{Profile: visa.Profile64, Instrument: instrument, NoPrelude: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+func TestLinkTwoModules(t *testing.T) {
+	a := compile(t, "main", `
+int helper(int);
+int shared = 5;
+int main(void) { return helper(shared); }`, true)
+	b := compile(t, "lib", `
+int shared;
+int helper(int x) { return x * 2; }`, true)
+	// "shared" is defined (non-extern) in both -> duplicate error.
+	_, err := linker.Link([]*module.Object{a, b}, linker.Options{})
+	if err == nil || !strings.Contains(err.Error(), "duplicate symbol") {
+		t.Fatalf("want duplicate-symbol error, got %v", err)
+	}
+}
+
+func TestLinkResolvesCrossModuleCalls(t *testing.T) {
+	a := compile(t, "main", `
+int helper(int);
+int main(void) { return helper(20); }`, true)
+	b := compile(t, "lib", `
+int helper(int x) { return x * 2 + 2; }`, true)
+	img, err := linker.Link([]*module.Object{a, b}, linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry == 0 {
+		t.Error("entry not set")
+	}
+	if _, ok := img.Syms["helper"]; !ok {
+		t.Error("helper not in the symbol table")
+	}
+	// RetSites from both modules merged and rebased into code range.
+	for _, rs := range img.Aux.RetSites {
+		if rs.Offset < visa.CodeBase || rs.Offset > visa.CodeBase+len(img.Code) {
+			t.Errorf("ret site %#x outside code", rs.Offset)
+		}
+	}
+}
+
+func TestLinkMixedInstrumentationRejected(t *testing.T) {
+	a := compile(t, "a", `int main(void) { return 0; }`, true)
+	b := compile(t, "b", `int f(void) { return 1; }`, false)
+	if _, err := linker.Link([]*module.Object{a, b}, linker.Options{}); err == nil {
+		t.Error("mixing instrumented and baseline modules must fail")
+	}
+}
+
+func TestLinkMixedProfilesRejected(t *testing.T) {
+	a := compile(t, "a", `int main(void) { return 0; }`, true)
+	b, err := toolchain.CompileSource(
+		toolchain.Source{Name: "b", Text: `int f(void) { return 1; }`},
+		toolchain.Config{Profile: visa.Profile32, Instrument: true, NoPrelude: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := linker.Link([]*module.Object{a, b}, linker.Options{}); err == nil {
+		t.Error("mixing profiles must fail")
+	}
+}
+
+func TestLinkMissingMain(t *testing.T) {
+	a := compile(t, "a", `int f(void) { return 0; }`, true)
+	if _, err := linker.Link([]*module.Object{a}, linker.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "main") {
+		t.Errorf("want missing-main error, got %v", err)
+	}
+	// NoEntry skips the requirement (shared-library link).
+	img, err := linker.Link([]*module.Object{a}, linker.Options{NoEntry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry != 0 {
+		t.Error("NoEntry image should have no entry point")
+	}
+}
+
+func TestUnresolvedWithoutFlagFails(t *testing.T) {
+	a := compile(t, "a", `
+int ext(int);
+int main(void) { return ext(1); }`, true)
+	if _, err := linker.Link([]*module.Object{a}, linker.Options{}); err == nil {
+		t.Error("unresolved symbol must fail without AllowUnresolved")
+	}
+}
+
+func TestPLTGeneration(t *testing.T) {
+	a := compile(t, "a", `
+int ext(int);
+int ext2(long);
+int main(void) { return ext(1) + ext2(2) + ext(3); }`, true)
+	img, err := linker.Link([]*module.Object{a}, linker.Options{AllowUnresolved: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.PLT) != 2 || len(img.GOT) != 2 {
+		t.Fatalf("PLT=%d GOT=%d, want 2/2 (one per import)", len(img.PLT), len(img.GOT))
+	}
+	// PLT entries appear as IBPLT branches in the merged aux.
+	nplt := 0
+	for _, ib := range img.Aux.IBs {
+		if ib.Kind == module.IBPLT {
+			nplt++
+			if ib.PLTSym != "ext" && ib.PLTSym != "ext2" {
+				t.Errorf("unexpected PLT symbol %q", ib.PLTSym)
+			}
+			if ib.GotSlot != int(img.GOT[ib.PLTSym]) {
+				t.Errorf("PLT %s GOT slot mismatch", ib.PLTSym)
+			}
+		}
+	}
+	if nplt != 2 {
+		t.Errorf("IBPLT count = %d, want 2", nplt)
+	}
+	// GOT slots start zeroed (calls fault until the library loads).
+	for sym, slot := range img.GOT {
+		off := slot - visa.DataBase
+		if v := binary.LittleEndian.Uint64(img.Data[off:]); v != 0 {
+			t.Errorf("GOT[%s] = %#x, want 0 before dynamic linking", sym, v)
+		}
+	}
+}
+
+func TestCrossModuleAddrTakenMarking(t *testing.T) {
+	// lib defines cb but never takes its address; main stores cb into a
+	// function pointer. After linking, cb must be address-taken.
+	a := compile(t, "main", `
+int cb(int);
+int (*fp)(int) = cb;
+int main(void) { return fp(1); }`, true)
+	b := compile(t, "lib", `
+int cb(int x) { return x + 1; }`, true)
+	img, err := linker.Link([]*module.Object{a, b}, linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range img.Aux.Funcs {
+		if f.Name == "cb" {
+			found = true
+			if !f.AddrTaken {
+				t.Error("cb must be marked address-taken after cross-module linking")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("cb missing from merged aux")
+	}
+}
+
+func TestJumpTableRelocDoesNotMarkAddrTaken(t *testing.T) {
+	a := compile(t, "main", `
+int pick(int x) {
+	switch (x) {
+	case 0: return 10;
+	case 1: return 11;
+	case 2: return 12;
+	case 3: return 13;
+	case 4: return 14;
+	default: return -1;
+	}
+}
+int main(void) { return pick(2); }`, true)
+	img, err := linker.Link([]*module.Object{a}, linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range img.Aux.Funcs {
+		if f.Name == "pick" && f.AddrTaken {
+			t.Error("switch lowering must not mark the function address-taken")
+		}
+	}
+}
+
+func TestModuleRangesAndAlignment(t *testing.T) {
+	a := compile(t, "main", `int main(void) { return 0; }`, true)
+	b := compile(t, "lib", `int f(void) { return 1; }`, true)
+	img, err := linker.Link([]*module.Object{a, b}, linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range img.Modules {
+		if m.CodeStart%16 != 0 {
+			t.Errorf("module %d code start %#x not 16-aligned", i, m.CodeStart)
+		}
+		if i > 0 && m.CodeStart < img.Modules[i-1].CodeEnd {
+			t.Errorf("module %d overlaps predecessor", i)
+		}
+	}
+	if img.CodeLimit() != visa.CodeBase+len(img.Code) {
+		t.Error("CodeLimit inconsistent")
+	}
+}
+
+func TestLinkEmptyInput(t *testing.T) {
+	if _, err := linker.Link(nil, linker.Options{}); err == nil {
+		t.Error("empty link must fail")
+	}
+}

@@ -1,0 +1,334 @@
+package minic
+
+import "mcfi/internal/ctypes"
+
+// Node is implemented by every AST node.
+type Node interface {
+	NodePos() Pos
+}
+
+// Expr is an expression node. After semantic analysis every expression
+// carries its computed type in ExprType.
+type Expr interface {
+	Node
+	ExprType() *ctypes.Type
+	SetType(*ctypes.Type)
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// exprBase provides Pos and Type storage for expressions.
+type exprBase struct {
+	Pos  Pos
+	Type *ctypes.Type
+}
+
+func (e *exprBase) NodePos() Pos           { return e.Pos }
+func (e *exprBase) ExprType() *ctypes.Type { return e.Type }
+func (e *exprBase) SetType(t *ctypes.Type) { e.Type = t }
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// StrLit is a string literal; it has type char* after sema (the
+// underlying bytes live in rodata).
+type StrLit struct {
+	exprBase
+	Value string
+}
+
+// Ident is a name reference. Sema resolves it and fills Sym.
+type Ident struct {
+	exprBase
+	Name string
+	Sym  *Symbol // filled by sema
+}
+
+// Unary is a prefix unary expression: - ! ~ * & ++ -- sizeof(expr).
+type Unary struct {
+	exprBase
+	Op Tok
+	X  Expr
+}
+
+// Postfix is a postfix ++ or --.
+type Postfix struct {
+	exprBase
+	Op Tok
+	X  Expr
+}
+
+// Binary is a binary arithmetic/logical/comparison expression.
+type Binary struct {
+	exprBase
+	Op   Tok
+	L, R Expr
+}
+
+// Assign is an assignment; Op is ASSIGN or a compound op (ADDEQ etc.).
+type Assign struct {
+	exprBase
+	Op   Tok
+	L, R Expr
+}
+
+// Cond is the ternary ?: operator.
+type Cond struct {
+	exprBase
+	C, T, F Expr
+}
+
+// Call is a function call; Fun is either an Ident naming a function or
+// an arbitrary expression of function-pointer type (indirect call).
+type Call struct {
+	exprBase
+	Fun  Expr
+	Args []Expr
+}
+
+// Index is array/pointer subscripting.
+type Index struct {
+	exprBase
+	X, I Expr
+}
+
+// Member is field access: X.Name or X->Name (Arrow).
+type Member struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// Cast is an explicit C cast "(T)x".
+type Cast struct {
+	exprBase
+	To *ctypes.Type
+	X  Expr
+}
+
+// ImplicitCast is inserted by sema at implicit conversion points
+// (assignment, argument passing, return, initialization). The C1
+// analyzer inspects both Cast and ImplicitCast nodes.
+type ImplicitCast struct {
+	exprBase
+	To *ctypes.Type
+	X  Expr
+}
+
+// SizeofType is sizeof(T) where T is a type name.
+type SizeofType struct {
+	exprBase
+	Of *ctypes.Type
+}
+
+// InitList is a braced initializer list {a, b, c}.
+type InitList struct {
+	exprBase
+	Elems []Expr
+}
+
+// --- Statements ---
+
+type stmtBase struct{ Pos Pos }
+
+func (s *stmtBase) NodePos() Pos { return s.Pos }
+func (s *stmtBase) stmtNode()    {}
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// DeclStmt declares a local variable.
+type DeclStmt struct {
+	stmtBase
+	Name   string
+	Type   *ctypes.Type
+	Init   Expr // may be nil
+	Sym    *Symbol
+	Static bool
+}
+
+// Block is a compound statement; it opens a new scope.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// DeclGroup holds the DeclStmts of one multi-declarator local
+// declaration ("int a, *b;"). Unlike Block it does NOT open a scope:
+// the variables belong to the enclosing block.
+type DeclGroup struct {
+	stmtBase
+	Decls []*DeclStmt
+}
+
+// If is an if/else statement.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While is a while loop.
+type While struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile is a do/while loop.
+type DoWhile struct {
+	stmtBase
+	Body Stmt
+	Cond Expr
+}
+
+// For is a for loop; any of Init/Cond/Post may be nil. Init may be a
+// DeclStmt or an ExprStmt.
+type For struct {
+	stmtBase
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// SwitchCase is one case arm. IsDefault marks the default arm (an arm
+// may carry both case labels and default). Fallthrough between arms
+// follows C semantics (no implicit break).
+type SwitchCase struct {
+	Pos       Pos
+	Vals      []Expr // constant expressions
+	IsDefault bool
+	Stmts     []Stmt
+}
+
+// Switch is a switch statement; it compiles to a jump table plus an
+// indirect jump (the paper's intraprocedural indirect-jump case).
+type Switch struct {
+	stmtBase
+	Cond  Expr
+	Cases []SwitchCase
+}
+
+// Break exits the nearest loop or switch.
+type Break struct{ stmtBase }
+
+// Continue continues the nearest loop.
+type Continue struct{ stmtBase }
+
+// Return returns from the current function; X may be nil.
+type Return struct {
+	stmtBase
+	X Expr
+}
+
+// Goto jumps to a label in the same function.
+type Goto struct {
+	stmtBase
+	Label string
+}
+
+// Label names a statement.
+type Label struct {
+	stmtBase
+	Name string
+	Stmt Stmt
+}
+
+// AsmStmt is MiniC's inline-assembly escape hatch: asm("text"). It is
+// what the C2 analyzer reports. An optional type annotation list
+// (Annotations) models the paper's requirement that assembly using
+// function pointers be annotated.
+type AsmStmt struct {
+	stmtBase
+	Text        string
+	Annotations []string // "name : type" annotations, if provided
+}
+
+// --- Declarations ---
+
+type declBase struct{ Pos Pos }
+
+func (d *declBase) NodePos() Pos { return d.Pos }
+func (d *declBase) declNode()    {}
+
+// FuncDecl is a function definition or prototype (Body == nil).
+type FuncDecl struct {
+	declBase
+	Name       string
+	Type       *ctypes.Type // always Kind == Func
+	ParamNames []string
+	Body       *Block
+	Static     bool
+	Sym        *Symbol
+}
+
+// VarDecl is a global variable declaration.
+type VarDecl struct {
+	declBase
+	Name   string
+	Type   *ctypes.Type
+	Init   Expr
+	Static bool
+	Extern bool
+	Sym    *Symbol
+}
+
+// File is a parsed translation unit (one MCFI module source).
+type File struct {
+	Name       string
+	Decls      []Decl
+	EnumConsts map[string]int64 // enum constant environment from the parser
+}
+
+// SymKind classifies symbols.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymVar SymKind = iota
+	SymFunc
+	SymParam
+	SymEnumConst
+)
+
+// Symbol is a resolved name, produced by sema.
+type Symbol struct {
+	Name   string
+	Kind   SymKind
+	Type   *ctypes.Type
+	Global bool
+	// AddrTaken is set when the symbol's address is taken anywhere in
+	// the module — the precondition for a function to be an
+	// indirect-call target under MCFI.
+	AddrTaken bool
+	// EnumVal is the value for SymEnumConst.
+	EnumVal int64
+	// Local slot index assigned by codegen.
+	FrameOff int
+	Def      Node // defining node
+}

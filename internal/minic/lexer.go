@@ -1,0 +1,330 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer turns MiniC source text into a token stream. It strips //- and
+// /* */-style comments and decodes the usual C escapes in string and
+// character literals.
+type Lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src; file is used in positions.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// LexError describes a lexical error at a position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) pos() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &LexError{Pos: start, Msg: "unterminated block comment"}
+			}
+		case c == '#':
+			// MiniC has no preprocessor; treat #-lines (e.g. #include in
+			// pasted sources) as comments so fixtures stay readable.
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token, or a token with Kind EOF at end of input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: start}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		begin := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[begin:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Pos: start, Text: text}, nil
+		}
+		return Token{Kind: IDENT, Pos: start, Text: text}, nil
+	case isDigit(c):
+		return l.lexNumber(start)
+	case c == '"':
+		return l.lexString(start)
+	case c == '\'':
+		return l.lexChar(start)
+	}
+	return l.lexOperator(start)
+}
+
+func (l *Lexer) lexNumber(start Pos) (Token, error) {
+	begin := l.off
+	isHex := false
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		isHex = true
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	isFloat := false
+	if !isHex && l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if !isHex && (l.peek() == 'e' || l.peek() == 'E') {
+		save := l.off
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.off = save
+		}
+	}
+	text := l.src[begin:l.off]
+	// Swallow C integer/float suffixes.
+	for l.off < len(l.src) && strings.ContainsRune("uUlLfF", rune(l.peek())) {
+		l.advance()
+	}
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, &LexError{Pos: start, Msg: "bad float literal: " + text}
+		}
+		return Token{Kind: FNUMBER, Pos: start, Text: text, Flt: v}, nil
+	}
+	v, err := strconv.ParseUint(text, 0, 64)
+	if err != nil {
+		return Token{}, &LexError{Pos: start, Msg: "bad integer literal: " + text}
+	}
+	return Token{Kind: NUMBER, Pos: start, Text: text, Int: int64(v)}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *Lexer) lexEscape(start Pos) (byte, error) {
+	if l.off >= len(l.src) {
+		return 0, &LexError{Pos: start, Msg: "unterminated escape"}
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	case 'x':
+		v := 0
+		n := 0
+		for n < 2 && l.off < len(l.src) && isHexDigit(l.peek()) {
+			d, _ := strconv.ParseUint(string(l.advance()), 16, 8)
+			v = v*16 + int(d)
+			n++
+		}
+		if n == 0 {
+			return 0, &LexError{Pos: start, Msg: "bad \\x escape"}
+		}
+		return byte(v), nil
+	}
+	return 0, &LexError{Pos: start, Msg: fmt.Sprintf("unknown escape \\%c", c)}
+}
+
+func (l *Lexer) lexString(start Pos) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, &LexError{Pos: start, Msg: "unterminated string literal"}
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			e, err := l.lexEscape(start)
+			if err != nil {
+				return Token{}, err
+			}
+			b.WriteByte(e)
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return Token{Kind: STRING, Pos: start, Text: b.String()}, nil
+}
+
+func (l *Lexer) lexChar(start Pos) (Token, error) {
+	l.advance() // opening quote
+	if l.off >= len(l.src) {
+		return Token{}, &LexError{Pos: start, Msg: "unterminated char literal"}
+	}
+	var v byte
+	c := l.advance()
+	if c == '\\' {
+		e, err := l.lexEscape(start)
+		if err != nil {
+			return Token{}, err
+		}
+		v = e
+	} else {
+		v = c
+	}
+	if l.off >= len(l.src) || l.advance() != '\'' {
+		return Token{}, &LexError{Pos: start, Msg: "unterminated char literal"}
+	}
+	return Token{Kind: CHARLIT, Pos: start, Int: int64(v)}, nil
+}
+
+// multi-character operators, longest first.
+var operators = []struct {
+	text string
+	kind Tok
+}{
+	{"...", ELLIPSIS}, {"<<=", SHLEQ}, {">>=", SHREQ},
+	{"->", ARROW}, {"++", INC}, {"--", DEC}, {"<<", SHL}, {">>", SHR},
+	{"<=", LE}, {">=", GE}, {"==", EQ}, {"!=", NE}, {"&&", LAND},
+	{"||", LOR}, {"+=", ADDEQ}, {"-=", SUBEQ}, {"*=", MULEQ},
+	{"/=", DIVEQ}, {"%=", MODEQ}, {"&=", ANDEQ}, {"|=", OREQ},
+	{"^=", XOREQ},
+	{"(", LPAREN}, {")", RPAREN}, {"{", LBRACE}, {"}", RBRACE},
+	{"[", LBRACKET}, {"]", RBRACKET}, {";", SEMI}, {",", COMMA},
+	{".", DOT}, {"?", QUESTION}, {":", COLON}, {"=", ASSIGN},
+	{"+", PLUS}, {"-", MINUS}, {"*", STAR}, {"/", SLASH},
+	{"%", PERCENT}, {"<", LT}, {">", GT}, {"!", NOT}, {"&", AMP},
+	{"|", PIPE}, {"^", CARET}, {"~", TILDE},
+}
+
+func (l *Lexer) lexOperator(start Pos) (Token, error) {
+	rest := l.src[l.off:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op.text) {
+			for range op.text {
+				l.advance()
+			}
+			return Token{Kind: op.kind, Pos: start, Text: op.text}, nil
+		}
+	}
+	return Token{}, &LexError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", l.peek())}
+}
+
+// Tokenize runs the lexer to EOF and returns all tokens (excluding the
+// final EOF token).
+func Tokenize(file, src string) ([]Token, error) {
+	l := NewLexer(file, src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

@@ -1,0 +1,1380 @@
+package minic
+
+import (
+	"fmt"
+
+	"mcfi/internal/ctypes"
+)
+
+// Parser is a recursive-descent parser for MiniC. It maintains typedef
+// and struct/union/enum tag environments so that types (including
+// function-pointer declarators) resolve during parsing — the classic
+// "lexer hack" needed to tell a cast from a parenthesized expression.
+type Parser struct {
+	toks []Token
+	pos  int
+
+	typedefs map[string]*ctypes.Type
+	tags     map[string]*ctypes.Type // struct/union/enum tags
+	enums    map[string]int64        // enum constant values
+}
+
+// ParseError reports a syntax error at a position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parse tokenizes and parses a MiniC translation unit.
+func Parse(file, src string) (*File, error) {
+	toks, err := Tokenize(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{
+		toks:     toks,
+		typedefs: map[string]*ctypes.Type{},
+		tags:     map[string]*ctypes.Type{},
+		enums:    map[string]int64{},
+	}
+	f := &File{Name: file}
+	for !p.atEOF() {
+		decls, err := p.topLevel()
+		if err != nil {
+			return nil, err
+		}
+		f.Decls = append(f.Decls, decls...)
+	}
+	f.EnumConsts = p.enums
+	return f, nil
+}
+
+func (p *Parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *Parser) cur() Token {
+	if p.atEOF() {
+		last := Pos{}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return Token{Kind: EOF, Pos: last}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) peekAt(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return Token{Kind: EOF}
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	if !p.atEOF() {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k Tok) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Tok) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, &ParseError{Pos: t.Pos, Msg: fmt.Sprintf("expected %s, found %s %q", k, t.Kind, t.Text)}
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) errf(pos Pos, format string, args ...interface{}) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// --- type parsing ---
+
+// isTypeStart reports whether the token at offset n begins a type name.
+func (p *Parser) isTypeStart(n int) bool {
+	t := p.peekAt(n)
+	switch t.Kind {
+	case KwVoid, KwChar, KwShort, KwInt, KwLong, KwUnsigned, KwSigned,
+		KwDouble, KwStruct, KwUnion, KwEnum, KwConst:
+		return true
+	case IDENT:
+		_, ok := p.typedefs[t.Text]
+		return ok
+	}
+	return false
+}
+
+// declSpecifiers parses the base type of a declaration (everything
+// before the declarator) and the storage-class flags.
+func (p *Parser) declSpecifiers() (base *ctypes.Type, static, extern, isTypedef bool, err error) {
+	for {
+		switch p.cur().Kind {
+		case KwStatic:
+			static = true
+			p.next()
+		case KwExtern:
+			extern = true
+			p.next()
+		case KwTypedef:
+			isTypedef = true
+			p.next()
+		case KwConst:
+			p.next() // const is accepted and ignored
+		default:
+			goto specs
+		}
+	}
+specs:
+	base, err = p.typeSpecifier()
+	return base, static, extern, isTypedef, err
+}
+
+// typeSpecifier parses a type specifier: a basic type (with signedness
+// and length combinations), a struct/union/enum, or a typedef name.
+func (p *Parser) typeSpecifier() (*ctypes.Type, error) {
+	t := p.cur()
+	switch t.Kind {
+	case KwVoid:
+		p.next()
+		return ctypes.VoidType, nil
+	case KwDouble:
+		p.next()
+		return ctypes.DoubleType, nil
+	case KwStruct, KwUnion:
+		return p.recordSpecifier()
+	case KwEnum:
+		return p.enumSpecifier()
+	case IDENT:
+		if td, ok := p.typedefs[t.Text]; ok {
+			p.next()
+			return td, nil
+		}
+		return nil, p.errf(t.Pos, "unknown type name %q", t.Text)
+	}
+	// Integer types: [signed|unsigned] [char|short|int|long [long]]
+	unsigned := false
+	seenSign := false
+	switch t.Kind {
+	case KwUnsigned:
+		unsigned = true
+		seenSign = true
+		p.next()
+	case KwSigned:
+		seenSign = true
+		p.next()
+	}
+	switch p.cur().Kind {
+	case KwChar:
+		p.next()
+		if unsigned {
+			return ctypes.UCharType, nil
+		}
+		return ctypes.CharType, nil
+	case KwShort:
+		p.next()
+		p.accept(KwInt)
+		if unsigned {
+			return ctypes.UShortType, nil
+		}
+		return ctypes.ShortType, nil
+	case KwInt:
+		p.next()
+		if unsigned {
+			return ctypes.UIntType, nil
+		}
+		return ctypes.IntType, nil
+	case KwLong:
+		p.next()
+		p.accept(KwLong) // long long == long
+		p.accept(KwInt)
+		if unsigned {
+			return ctypes.ULongType, nil
+		}
+		return ctypes.LongType, nil
+	}
+	if seenSign {
+		if unsigned {
+			return ctypes.UIntType, nil
+		}
+		return ctypes.IntType, nil
+	}
+	return nil, p.errf(t.Pos, "expected type, found %s %q", t.Kind, t.Text)
+}
+
+// recordSpecifier parses struct/union definitions and references.
+func (p *Parser) recordSpecifier() (*ctypes.Type, error) {
+	kw := p.next() // struct or union
+	kind := ctypes.Struct
+	if kw.Kind == KwUnion {
+		kind = ctypes.Union
+	}
+	tag := ""
+	if p.cur().Kind == IDENT {
+		tag = p.next().Text
+	}
+	key := ""
+	if tag != "" {
+		if kind == ctypes.Union {
+			key = "union " + tag
+		} else {
+			key = "struct " + tag
+		}
+	}
+	var rec *ctypes.Type
+	if key != "" {
+		if existing, ok := p.tags[key]; ok {
+			rec = existing
+		}
+	}
+	if rec == nil {
+		rec = &ctypes.Type{Kind: kind, Name: tag, Incomplete: true}
+		if key != "" {
+			p.tags[key] = rec
+		}
+	}
+	if !p.accept(LBRACE) {
+		if tag == "" {
+			return nil, p.errf(kw.Pos, "anonymous %s requires a body", kw.Text)
+		}
+		return rec, nil
+	}
+	if !rec.Incomplete {
+		return nil, p.errf(kw.Pos, "redefinition of %s", key)
+	}
+	var fields []ctypes.Field
+	for !p.accept(RBRACE) {
+		base, err := p.typeSpecifier()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			name, wrap, err := p.declarator(false)
+			if err != nil {
+				return nil, err
+			}
+			if name == "" {
+				return nil, p.errf(p.cur().Pos, "field name required")
+			}
+			fields = append(fields, ctypes.Field{Name: name, Type: wrap(base)})
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+	}
+	rec.Fields = fields
+	rec.Incomplete = false
+	rec.Layout()
+	return rec, nil
+}
+
+// enumSpecifier parses enum definitions and references; constants are
+// registered in the parser's environment.
+func (p *Parser) enumSpecifier() (*ctypes.Type, error) {
+	kw := p.next() // enum
+	tag := ""
+	if p.cur().Kind == IDENT {
+		tag = p.next().Text
+	}
+	key := "enum " + tag
+	var et *ctypes.Type
+	if tag != "" {
+		if existing, ok := p.tags[key]; ok {
+			et = existing
+		}
+	}
+	if et == nil {
+		et = &ctypes.Type{Kind: ctypes.Enum, Name: tag}
+		if tag != "" {
+			p.tags[key] = et
+		}
+	}
+	if !p.accept(LBRACE) {
+		if tag == "" {
+			return nil, p.errf(kw.Pos, "anonymous enum requires a body")
+		}
+		return et, nil
+	}
+	next := int64(0)
+	for !p.accept(RBRACE) {
+		nameTok, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(ASSIGN) {
+			v, err := p.constExpr()
+			if err != nil {
+				return nil, err
+			}
+			next = v
+		}
+		p.enums[nameTok.Text] = next
+		next++
+		if !p.accept(COMMA) {
+			if _, err := p.expect(RBRACE); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	return et, nil
+}
+
+// declarator parses a (possibly nested, possibly abstract) C
+// declarator. It returns the declared name ("" when abstract), a
+// function that wraps a base type into the declared type, and the
+// parameter names of the function suffix attached directly to the
+// named declarator (for function definitions like
+// "int (*getop(int which))(int)", where "which" belongs to getop).
+// abstractOK permits omitting the name (parameter declarations, casts).
+func (p *Parser) declarator(abstractOK bool) (string, func(*ctypes.Type) *ctypes.Type, error) {
+	name, wrap, _, err := p.declaratorNamed(abstractOK)
+	return name, wrap, err
+}
+
+func (p *Parser) declaratorNamed(abstractOK bool) (string, func(*ctypes.Type) *ctypes.Type, []string, error) {
+	nptr := 0
+	for p.accept(STAR) {
+		nptr++
+		for p.accept(KwConst) {
+		}
+	}
+	name := ""
+	nameHere := false
+	var paramNames []string
+	inner := func(t *ctypes.Type) *ctypes.Type { return t }
+
+	// A '(' here is a nested declarator only if it encloses a
+	// declarator rather than a parameter list: "(*", "(ident", "((".
+	if p.cur().Kind == LPAREN {
+		nk := p.peekAt(1).Kind
+		isNested := nk == STAR || nk == LPAREN ||
+			(nk == IDENT && !p.isTypeStart(1))
+		if isNested {
+			p.next() // (
+			var err error
+			name, inner, paramNames, err = p.declaratorNamed(abstractOK)
+			if err != nil {
+				return "", nil, nil, err
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return "", nil, nil, err
+			}
+		}
+	}
+	if name == "" && p.cur().Kind == IDENT && !p.isTypeStart(0) {
+		name = p.next().Text
+		nameHere = true
+	}
+
+	// Suffixes: arrays and parameter lists. The first suffix binds
+	// outermost around the pointer-decorated base.
+	var suffixes []func(*ctypes.Type) *ctypes.Type
+	first := true
+	for {
+		switch p.cur().Kind {
+		case LBRACKET:
+			p.next()
+			n := 0
+			if p.cur().Kind != RBRACKET {
+				v, err := p.constExpr()
+				if err != nil {
+					return "", nil, nil, err
+				}
+				n = int(v)
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return "", nil, nil, err
+			}
+			ln := n
+			suffixes = append(suffixes, func(t *ctypes.Type) *ctypes.Type {
+				return ctypes.ArrayOf(t, ln)
+			})
+			first = false
+			continue
+		case LPAREN:
+			p.next()
+			names, params, variadic, err := p.paramListNamed()
+			if err != nil {
+				return "", nil, nil, err
+			}
+			if first && nameHere {
+				paramNames = names
+			}
+			ps, vr := params, variadic
+			suffixes = append(suffixes, func(t *ctypes.Type) *ctypes.Type {
+				return ctypes.FuncOf(t, ps, vr)
+			})
+			first = false
+			continue
+		}
+		break
+	}
+
+	np, sfx, in := nptr, suffixes, inner
+	wrap := func(base *ctypes.Type) *ctypes.Type {
+		t := base
+		for i := 0; i < np; i++ {
+			t = ctypes.PointerTo(t)
+		}
+		for i := len(sfx) - 1; i >= 0; i-- {
+			t = sfx[i](t)
+		}
+		return in(t)
+	}
+	return name, wrap, paramNames, nil
+}
+
+// paramList parses a function parameter list after '('; consumes ')'.
+func (p *Parser) paramList() (params []*ctypes.Type, variadic bool, err error) {
+	names, params, variadic, err := p.paramListNamed()
+	_ = names
+	return params, variadic, err
+}
+
+func (p *Parser) paramListNamed() (names []string, params []*ctypes.Type, variadic bool, err error) {
+	if p.accept(RPAREN) {
+		return nil, nil, false, nil
+	}
+	// (void) means no parameters.
+	if p.cur().Kind == KwVoid && p.peekAt(1).Kind == RPAREN {
+		p.next()
+		p.next()
+		return nil, nil, false, nil
+	}
+	for {
+		if p.accept(ELLIPSIS) {
+			variadic = true
+			break
+		}
+		base, err := p.typeSpecifier()
+		if err != nil {
+			return nil, nil, false, err
+		}
+		name, wrap, err := p.declarator(true)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		t := wrap(base)
+		// Parameter decay: arrays become pointers, functions become
+		// function pointers.
+		switch t.Kind {
+		case ctypes.Array:
+			t = ctypes.PointerTo(t.Elem)
+		case ctypes.Func:
+			t = ctypes.PointerTo(t)
+		}
+		names = append(names, name)
+		params = append(params, t)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, nil, false, err
+	}
+	return names, params, variadic, nil
+}
+
+// typeName parses a full type name (for casts and sizeof).
+func (p *Parser) typeName() (*ctypes.Type, error) {
+	base, err := p.typeSpecifier()
+	if err != nil {
+		return nil, err
+	}
+	_, wrap, err := p.declarator(true)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(base), nil
+}
+
+// --- top-level declarations ---
+
+func (p *Parser) topLevel() ([]Decl, error) {
+	startPos := p.cur().Pos
+	base, static, extern, isTypedef, err := p.declSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	if isTypedef {
+		for {
+			name, wrap, err := p.declarator(false)
+			if err != nil {
+				return nil, err
+			}
+			if name == "" {
+				return nil, p.errf(p.cur().Pos, "typedef requires a name")
+			}
+			t := wrap(base)
+			// Record the typedef name for diagnostics without affecting
+			// structural equality.
+			if t.Name == "" && t.Kind != ctypes.Pointer && t.Kind != ctypes.Func {
+				t.Name = name
+			}
+			p.typedefs[name] = t
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	// Bare "struct S {...};" or "enum E {...};"
+	if p.accept(SEMI) {
+		return nil, nil
+	}
+
+	var decls []Decl
+	for {
+		dpos := p.cur().Pos
+		name, wrap, paramNames, err := p.declaratorNamed(false)
+		if err != nil {
+			return nil, err
+		}
+		t := wrap(base)
+		if name == "" {
+			return nil, p.errf(dpos, "declaration requires a name")
+		}
+		if t.Kind == ctypes.Func {
+			fd := &FuncDecl{
+				Name:       name,
+				Type:       t,
+				ParamNames: paramNames,
+				Static:     static,
+			}
+			fd.Pos = dpos
+			if p.cur().Kind == LBRACE {
+				body, err := p.block()
+				if err != nil {
+					return nil, err
+				}
+				fd.Body = body
+				decls = append(decls, fd)
+				return decls, nil // a definition ends the declaration group
+			}
+			decls = append(decls, fd)
+		} else {
+			vd := &VarDecl{Name: name, Type: t, Static: static, Extern: extern}
+			vd.Pos = dpos
+			if p.accept(ASSIGN) {
+				init, err := p.initializer()
+				if err != nil {
+					return nil, err
+				}
+				vd.Init = init
+			}
+			decls = append(decls, vd)
+		}
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, p.errf(startPos, "%v", err)
+	}
+	return decls, nil
+}
+
+func (p *Parser) initializer() (Expr, error) {
+	if p.cur().Kind == LBRACE {
+		pos := p.next().Pos
+		il := &InitList{}
+		il.Pos = pos
+		for !p.accept(RBRACE) {
+			e, err := p.initializer()
+			if err != nil {
+				return nil, err
+			}
+			il.Elems = append(il.Elems, e)
+			if !p.accept(COMMA) {
+				if _, err := p.expect(RBRACE); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+		return il, nil
+	}
+	return p.assignExpr()
+}
+
+// --- statements ---
+
+func (p *Parser) block() (*Block, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	b.Pos = lb.Pos
+	for !p.accept(RBRACE) {
+		if p.atEOF() {
+			return nil, p.errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	return b, nil
+}
+
+func (p *Parser) statement() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case LBRACE:
+		return p.block()
+	case SEMI:
+		p.next()
+		return nil, nil
+	case KwIf:
+		return p.ifStmt()
+	case KwWhile:
+		return p.whileStmt()
+	case KwDo:
+		return p.doWhileStmt()
+	case KwFor:
+		return p.forStmt()
+	case KwSwitch:
+		return p.switchStmt()
+	case KwBreak:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		s := &Break{}
+		s.Pos = t.Pos
+		return s, nil
+	case KwContinue:
+		p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		s := &Continue{}
+		s.Pos = t.Pos
+		return s, nil
+	case KwReturn:
+		p.next()
+		s := &Return{}
+		s.Pos = t.Pos
+		if p.cur().Kind != SEMI {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = e
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case KwGoto:
+		p.next()
+		lbl, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		s := &Goto{Label: lbl.Text}
+		s.Pos = t.Pos
+		return s, nil
+	case KwAsm:
+		return p.asmStmt()
+	case IDENT:
+		// Label?
+		if p.peekAt(1).Kind == COLON {
+			name := p.next().Text
+			p.next() // :
+			inner, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			s := &Label{Name: name, Stmt: inner}
+			s.Pos = t.Pos
+			return s, nil
+		}
+	}
+	if p.isTypeStart(0) || t.Kind == KwStatic || t.Kind == KwConst {
+		return p.localDecl()
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	s := &ExprStmt{X: e}
+	s.Pos = t.Pos
+	return s, nil
+}
+
+// localDecl parses one or more local variable declarations. Multiple
+// declarators become a Block of DeclStmts.
+func (p *Parser) localDecl() (Stmt, error) {
+	pos := p.cur().Pos
+	base, static, _, isTypedef, err := p.declSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	if isTypedef {
+		return nil, p.errf(pos, "typedef not supported at block scope")
+	}
+	var stmts []Stmt
+	for {
+		dpos := p.cur().Pos
+		name, wrap, err := p.declarator(false)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, p.errf(dpos, "variable name required")
+		}
+		ds := &DeclStmt{Name: name, Type: wrap(base), Static: static}
+		ds.Pos = dpos
+		if p.accept(ASSIGN) {
+			init, err := p.initializer()
+			if err != nil {
+				return nil, err
+			}
+			ds.Init = init
+		}
+		stmts = append(stmts, ds)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if len(stmts) == 1 {
+		return stmts[0], nil
+	}
+	g := &DeclGroup{}
+	g.Pos = pos
+	for _, s := range stmts {
+		g.Decls = append(g.Decls, s.(*DeclStmt))
+	}
+	return g, nil
+}
+
+func (p *Parser) parenExpr() (Expr, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	pos := p.next().Pos // if
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	s := &If{Cond: cond, Then: then}
+	s.Pos = pos
+	if p.accept(KwElse) {
+		els, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	pos := p.next().Pos
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	s := &While{Cond: cond, Body: body}
+	s.Pos = pos
+	return s, nil
+}
+
+func (p *Parser) doWhileStmt() (Stmt, error) {
+	pos := p.next().Pos // do
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwWhile); err != nil {
+		return nil, err
+	}
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	s := &DoWhile{Body: body, Cond: cond}
+	s.Pos = pos
+	return s, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	pos := p.next().Pos // for
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	s := &For{}
+	s.Pos = pos
+	if !p.accept(SEMI) {
+		if p.isTypeStart(0) {
+			init, err := p.localDecl() // consumes ';'
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			es := &ExprStmt{X: e}
+			es.Pos = e.NodePos()
+			s.Init = es
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.accept(SEMI) {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().Kind != RPAREN {
+		post, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *Parser) switchStmt() (Stmt, error) {
+	pos := p.next().Pos // switch
+	cond, err := p.parenExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	s := &Switch{Cond: cond}
+	s.Pos = pos
+	for !p.accept(RBRACE) {
+		var sc SwitchCase
+		sc.Pos = p.cur().Pos
+		// One or more case/default labels on the same arm.
+		saw := false
+		for {
+			if p.accept(KwCase) {
+				v, err := p.condExpr()
+				if err != nil {
+					return nil, err
+				}
+				sc.Vals = append(sc.Vals, v)
+				if _, err := p.expect(COLON); err != nil {
+					return nil, err
+				}
+				saw = true
+				continue
+			}
+			if p.cur().Kind == KwDefault {
+				p.next()
+				if _, err := p.expect(COLON); err != nil {
+					return nil, err
+				}
+				saw = true
+				sc.IsDefault = true
+				continue
+			}
+			break
+		}
+		if !saw {
+			return nil, p.errf(p.cur().Pos, "expected case or default in switch body")
+		}
+		for {
+			k := p.cur().Kind
+			if k == KwCase || k == KwDefault || k == RBRACE {
+				break
+			}
+			st, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			if st != nil {
+				sc.Stmts = append(sc.Stmts, st)
+			}
+		}
+		s.Cases = append(s.Cases, sc)
+	}
+	return s, nil
+}
+
+func (p *Parser) asmStmt() (Stmt, error) {
+	pos := p.next().Pos // asm
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	txt, err := p.expect(STRING)
+	if err != nil {
+		return nil, err
+	}
+	s := &AsmStmt{Text: txt.Text}
+	s.Pos = pos
+	if p.accept(COLON) {
+		for {
+			ann, err := p.expect(STRING)
+			if err != nil {
+				return nil, err
+			}
+			s.Annotations = append(s.Annotations, ann.Text)
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// --- expressions ---
+
+func (p *Parser) expr() (Expr, error) { return p.assignExpr() }
+
+func (p *Parser) assignExpr() (Expr, error) {
+	l, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case ASSIGN, ADDEQ, SUBEQ, MULEQ, DIVEQ, MODEQ, SHLEQ, SHREQ, ANDEQ, OREQ, XOREQ:
+		op := p.next()
+		r, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		a := &Assign{Op: op.Kind, L: l, R: r}
+		a.Pos = op.Pos
+		return a, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) condExpr() (Expr, error) {
+	c, err := p.binaryExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != QUESTION {
+		return c, nil
+	}
+	qpos := p.next().Pos
+	t, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	f, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	e := &Cond{C: c, T: t, F: f}
+	e.Pos = qpos
+	return e, nil
+}
+
+// binary operator precedence, C levels 10 (||) down to 3 (* / %).
+var binPrec = map[Tok]int{
+	LOR: 1, LAND: 2, PIPE: 3, CARET: 4, AMP: 5,
+	EQ: 6, NE: 6, LT: 7, GT: 7, LE: 7, GE: 7,
+	SHL: 8, SHR: 8, PLUS: 9, MINUS: 9,
+	STAR: 10, SLASH: 10, PERCENT: 10,
+}
+
+func (p *Parser) binaryExpr(minPrec int) (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, ok := binPrec[op.Kind]
+		if !ok || prec < minPrec {
+			return l, nil
+		}
+		p.next()
+		r, err := p.binaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		b := &Binary{Op: op.Kind, L: l, R: r}
+		b.Pos = op.Pos
+		l = b
+	}
+}
+
+func (p *Parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case PLUS:
+		p.next()
+		return p.unaryExpr()
+	case MINUS, NOT, TILDE, STAR, AMP:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		u := &Unary{Op: t.Kind, X: x}
+		u.Pos = t.Pos
+		return u, nil
+	case INC, DEC:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		u := &Unary{Op: t.Kind, X: x}
+		u.Pos = t.Pos
+		return u, nil
+	case KwSizeof:
+		p.next()
+		if p.cur().Kind == LPAREN && p.isTypeStart(1) {
+			p.next()
+			ty, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			e := &SizeofType{Of: ty}
+			e.Pos = t.Pos
+			return e, nil
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		u := &Unary{Op: KwSizeof, X: x}
+		u.Pos = t.Pos
+		return u, nil
+	case LPAREN:
+		if p.isTypeStart(1) {
+			p.next()
+			ty, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			c := &Cast{To: ty, X: x}
+			c.Pos = t.Pos
+			return c, nil
+		}
+	}
+	return p.postfixExpr()
+}
+
+func (p *Parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case LPAREN:
+			p.next()
+			call := &Call{Fun: x}
+			call.Pos = t.Pos
+			for p.cur().Kind != RPAREN {
+				a, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			x = call
+		case LBRACKET:
+			p.next()
+			i, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return nil, err
+			}
+			ix := &Index{X: x, I: i}
+			ix.Pos = t.Pos
+			x = ix
+		case DOT, ARROW:
+			p.next()
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			m := &Member{X: x, Name: name.Text, Arrow: t.Kind == ARROW}
+			m.Pos = t.Pos
+			x = m
+		case INC, DEC:
+			p.next()
+			pf := &Postfix{Op: t.Kind, X: x}
+			pf.Pos = t.Pos
+			x = pf
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case NUMBER:
+		p.next()
+		e := &IntLit{Value: t.Int}
+		e.Pos = t.Pos
+		return e, nil
+	case CHARLIT:
+		p.next()
+		e := &IntLit{Value: t.Int}
+		e.Pos = t.Pos
+		return e, nil
+	case FNUMBER:
+		p.next()
+		e := &FloatLit{Value: t.Flt}
+		e.Pos = t.Pos
+		return e, nil
+	case STRING:
+		p.next()
+		// Adjacent string literals concatenate.
+		text := t.Text
+		for p.cur().Kind == STRING {
+			text += p.next().Text
+		}
+		e := &StrLit{Value: text}
+		e.Pos = t.Pos
+		return e, nil
+	case IDENT:
+		p.next()
+		e := &Ident{Name: t.Text}
+		e.Pos = t.Pos
+		return e, nil
+	case LPAREN:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf(t.Pos, "unexpected token %s %q in expression", t.Kind, t.Text)
+}
+
+// --- constant expressions (array sizes, enum values, case labels) ---
+
+// constExpr parses a conditional expression and folds it to an integer
+// constant; enum constants resolve through the parser environment.
+func (p *Parser) constExpr() (int64, error) {
+	e, err := p.condExpr()
+	if err != nil {
+		return 0, err
+	}
+	return p.EvalConst(e)
+}
+
+// EvalConst folds an expression to an integer constant. Exported so
+// sema can fold case labels and global initializers with the same
+// environment.
+func (p *Parser) EvalConst(e Expr) (int64, error) {
+	return evalConst(e, p.enums)
+}
+
+// EvalConstExpr folds e using the supplied enum environment.
+func EvalConstExpr(e Expr, enums map[string]int64) (int64, error) {
+	return evalConst(e, enums)
+}
+
+func evalConst(e Expr, enums map[string]int64) (int64, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Value, nil
+	case *Ident:
+		if v, ok := enums[x.Name]; ok {
+			return v, nil
+		}
+		return 0, &ParseError{Pos: x.Pos, Msg: fmt.Sprintf("%q is not a constant", x.Name)}
+	case *Unary:
+		v, err := evalConst(x.X, enums)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case MINUS:
+			return -v, nil
+		case TILDE:
+			return ^v, nil
+		case NOT:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *Binary:
+		l, err := evalConst(x.L, enums)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalConst(x.R, enums)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case PLUS:
+			return l + r, nil
+		case MINUS:
+			return l - r, nil
+		case STAR:
+			return l * r, nil
+		case SLASH:
+			if r == 0 {
+				return 0, &ParseError{Pos: x.Pos, Msg: "division by zero in constant"}
+			}
+			return l / r, nil
+		case PERCENT:
+			if r == 0 {
+				return 0, &ParseError{Pos: x.Pos, Msg: "mod by zero in constant"}
+			}
+			return l % r, nil
+		case SHL:
+			return l << uint(r), nil
+		case SHR:
+			return l >> uint(r), nil
+		case AMP:
+			return l & r, nil
+		case PIPE:
+			return l | r, nil
+		case CARET:
+			return l ^ r, nil
+		case EQ:
+			return b2i(l == r), nil
+		case NE:
+			return b2i(l != r), nil
+		case LT:
+			return b2i(l < r), nil
+		case GT:
+			return b2i(l > r), nil
+		case LE:
+			return b2i(l <= r), nil
+		case GE:
+			return b2i(l >= r), nil
+		case LAND:
+			return b2i(l != 0 && r != 0), nil
+		case LOR:
+			return b2i(l != 0 || r != 0), nil
+		}
+	case *SizeofType:
+		return int64(x.Of.Size()), nil
+	case *Cast:
+		return evalConst(x.X, enums)
+	case *ImplicitCast:
+		return evalConst(x.X, enums)
+	case *Cond:
+		c, err := evalConst(x.C, enums)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return evalConst(x.T, enums)
+		}
+		return evalConst(x.F, enums)
+	}
+	return 0, &ParseError{Pos: e.NodePos(), Msg: "expression is not constant"}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

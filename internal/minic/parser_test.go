@@ -1,0 +1,540 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"mcfi/internal/ctypes"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return f
+}
+
+func firstFunc(t *testing.T, f *File, name string) *FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("function %q not found", name)
+	return nil
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := Tokenize("t.c", `int x = 0x1F + 'a'; // comment
+	/* block */ double d = 3.5e2; char *s = "hi\n";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Tok
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []Tok{KwInt, IDENT, ASSIGN, NUMBER, PLUS, CHARLIT, SEMI,
+		KwDouble, IDENT, ASSIGN, FNUMBER, SEMI,
+		KwChar, STAR, IDENT, ASSIGN, STRING, SEMI}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+	if toks[3].Int != 0x1F {
+		t.Errorf("hex literal = %d, want 31", toks[3].Int)
+	}
+	if toks[5].Int != 'a' {
+		t.Errorf("char literal = %d, want %d", toks[5].Int, 'a')
+	}
+	if toks[10].Flt != 350 {
+		t.Errorf("float literal = %v, want 350", toks[10].Flt)
+	}
+	if toks[16].Text != "hi\n" {
+		t.Errorf("string literal = %q", toks[16].Text)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `'a`, "/* open", "`"} {
+		if _, err := Tokenize("t.c", src); err == nil {
+			t.Errorf("Tokenize(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := Tokenize("f.c", "int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v, want f.c:2:3", toks[1].Pos)
+	}
+}
+
+func TestParseSimpleFunction(t *testing.T) {
+	f := mustParse(t, `
+int add(int a, int b) {
+	return a + b;
+}`)
+	fd := firstFunc(t, f, "add")
+	if fd.Type.Kind != ctypes.Func || len(fd.Type.Params) != 2 {
+		t.Fatalf("bad type: %s", fd.Type)
+	}
+	if fd.ParamNames[0] != "a" || fd.ParamNames[1] != "b" {
+		t.Errorf("param names = %v", fd.ParamNames)
+	}
+	if len(fd.Body.Stmts) != 1 {
+		t.Fatalf("body stmts = %d", len(fd.Body.Stmts))
+	}
+	ret, ok := fd.Body.Stmts[0].(*Return)
+	if !ok {
+		t.Fatalf("not a return: %T", fd.Body.Stmts[0])
+	}
+	if _, ok := ret.X.(*Binary); !ok {
+		t.Errorf("return expr %T, want Binary", ret.X)
+	}
+}
+
+func TestParseFunctionPointerDeclarator(t *testing.T) {
+	f := mustParse(t, `
+int (*handler)(int, char*);
+void install(int (*h)(int, char*)) { handler = h; }
+int (*get(void))(int, char*) { return handler; }
+`)
+	vd, ok := f.Decls[0].(*VarDecl)
+	if !ok {
+		t.Fatalf("decl 0 is %T", f.Decls[0])
+	}
+	if !vd.Type.IsFuncPointer() {
+		t.Fatalf("handler type = %s, want function pointer", vd.Type)
+	}
+	ft := vd.Type.Elem
+	if len(ft.Params) != 2 || ft.Params[1].Kind != ctypes.Pointer {
+		t.Errorf("handler pointee = %s", ft)
+	}
+	inst := firstFunc(t, f, "install")
+	if !inst.Type.Params[0].IsFuncPointer() {
+		t.Errorf("install param type = %s", inst.Type.Params[0])
+	}
+	get := firstFunc(t, f, "get")
+	if get.Type.Kind != ctypes.Func || !get.Type.Result.IsFuncPointer() {
+		t.Errorf("get type = %s, want func returning fp", get.Type)
+	}
+}
+
+func TestParseStructAndTypedef(t *testing.T) {
+	f := mustParse(t, `
+typedef struct node {
+	int value;
+	struct node *next;
+} node_t;
+node_t *head;
+typedef int (*cmp_fn)(int, int);
+cmp_fn comparator;
+`)
+	vd, ok := f.Decls[0].(*VarDecl)
+	if !ok || vd.Name != "head" {
+		t.Fatalf("unexpected decl: %#v", f.Decls[0])
+	}
+	st := vd.Type.Elem
+	if st.Kind != ctypes.Struct || len(st.Fields) != 2 {
+		t.Fatalf("head pointee = %s", st)
+	}
+	// Recursive reference must point back to the same struct.
+	if st.Fields[1].Type.Elem != st {
+		t.Error("struct node.next should point to struct node itself")
+	}
+	cmp, ok := f.Decls[1].(*VarDecl)
+	if !ok || !cmp.Type.IsFuncPointer() {
+		t.Fatalf("comparator = %s", cmp.Type)
+	}
+}
+
+func TestParseUnionEnum(t *testing.T) {
+	f := mustParse(t, `
+union val { long i; double d; char buf[8]; };
+enum color { RED, GREEN = 5, BLUE };
+union val v;
+enum color c;
+int arr[BLUE];
+`)
+	if f.EnumConsts["RED"] != 0 || f.EnumConsts["GREEN"] != 5 || f.EnumConsts["BLUE"] != 6 {
+		t.Errorf("enum consts = %v", f.EnumConsts)
+	}
+	var arr *VarDecl
+	for _, d := range f.Decls {
+		if vd, ok := d.(*VarDecl); ok && vd.Name == "arr" {
+			arr = vd
+		}
+	}
+	if arr == nil || arr.Type.Kind != ctypes.Array || arr.Type.Len != 6 {
+		t.Fatalf("arr type wrong: %v", arr)
+	}
+}
+
+func TestParseVariadicPrototype(t *testing.T) {
+	f := mustParse(t, `int printf(char *fmt, ...);`)
+	fd := firstFunc(t, f, "printf")
+	if !fd.Type.Variadic || len(fd.Type.Params) != 1 {
+		t.Errorf("printf type = %s", fd.Type)
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	f := mustParse(t, `
+int classify(int x) {
+	switch (x) {
+	case 0:
+	case 1:
+		return 10;
+	case 2:
+		x = x + 1;
+		break;
+	default:
+		return -1;
+	}
+	return x;
+}`)
+	fd := firstFunc(t, f, "classify")
+	sw, ok := fd.Body.Stmts[0].(*Switch)
+	if !ok {
+		t.Fatalf("stmt 0 is %T", fd.Body.Stmts[0])
+	}
+	if len(sw.Cases) != 3 {
+		t.Fatalf("cases = %d, want 3", len(sw.Cases))
+	}
+	if len(sw.Cases[0].Vals) != 2 {
+		t.Errorf("first arm vals = %d, want 2 (case 0: case 1:)", len(sw.Cases[0].Vals))
+	}
+	if !sw.Cases[2].IsDefault {
+		t.Error("third arm should be default")
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	f := mustParse(t, `
+int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) s += i;
+	while (s > 100) s /= 2;
+	do { s--; } while (s > 50);
+	if (s == 0) goto done; else s = -s;
+done:
+	return s;
+}`)
+	fd := firstFunc(t, f, "f")
+	if len(fd.Body.Stmts) != 6 {
+		t.Fatalf("stmts = %d, want 6", len(fd.Body.Stmts))
+	}
+	if _, ok := fd.Body.Stmts[1].(*For); !ok {
+		t.Errorf("stmt 1 = %T, want For", fd.Body.Stmts[1])
+	}
+	if _, ok := fd.Body.Stmts[3].(*DoWhile); !ok {
+		t.Errorf("stmt 3 = %T, want DoWhile", fd.Body.Stmts[3])
+	}
+	lbl, ok := fd.Body.Stmts[5].(*Label)
+	if !ok || lbl.Name != "done" {
+		t.Errorf("stmt 5 = %#v, want label done", fd.Body.Stmts[5])
+	}
+}
+
+func TestParseCastVsParen(t *testing.T) {
+	f := mustParse(t, `
+typedef int myint;
+int g(int y) {
+	int a = (myint)y;      // cast via typedef
+	int b = (y) + 1;       // parenthesized expr
+	char *p = (char*)0;    // cast to pointer
+	void (*fp)(void) = (void (*)(void))0;  // cast to function pointer
+	return a + b + (p == (char*)0) + (fp == 0);
+}`)
+	fd := firstFunc(t, f, "g")
+	a := fd.Body.Stmts[0].(*DeclStmt)
+	if _, ok := a.Init.(*Cast); !ok {
+		t.Errorf("a init = %T, want Cast", a.Init)
+	}
+	b := fd.Body.Stmts[1].(*DeclStmt)
+	if _, ok := b.Init.(*Binary); !ok {
+		t.Errorf("b init = %T, want Binary", b.Init)
+	}
+	fp := fd.Body.Stmts[3].(*DeclStmt)
+	cast, ok := fp.Init.(*Cast)
+	if !ok || !cast.To.IsFuncPointer() {
+		t.Errorf("fp init cast = %#v", fp.Init)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := mustParse(t, `int h(int a, int b, int c) { return a + b * c == a << 1 | b; }`)
+	fd := firstFunc(t, f, "h")
+	ret := fd.Body.Stmts[0].(*Return)
+	// Top must be |, left is ==.
+	or, ok := ret.X.(*Binary)
+	if !ok || or.Op != PIPE {
+		t.Fatalf("top = %#v, want |", ret.X)
+	}
+	eq, ok := or.L.(*Binary)
+	if !ok || eq.Op != EQ {
+		t.Fatalf("or.L = %#v, want ==", or.L)
+	}
+}
+
+func TestParseTernaryAndAssignOps(t *testing.T) {
+	f := mustParse(t, `int t(int a) { a += 2; a <<= 1; return a > 0 ? a : -a; }`)
+	fd := firstFunc(t, f, "t")
+	ret := fd.Body.Stmts[2].(*Return)
+	if _, ok := ret.X.(*Cond); !ok {
+		t.Errorf("return = %T, want Cond", ret.X)
+	}
+	as := fd.Body.Stmts[0].(*ExprStmt).X.(*Assign)
+	if as.Op != ADDEQ {
+		t.Errorf("op = %s, want +=", as.Op)
+	}
+}
+
+func TestParseMemberAccessChain(t *testing.T) {
+	f := mustParse(t, `
+struct inner { int v; };
+struct outer { struct inner in; struct inner *pin; };
+int m(struct outer *o) { return o->in.v + o->pin->v; }
+`)
+	fd := firstFunc(t, f, "m")
+	ret := fd.Body.Stmts[0].(*Return)
+	add := ret.X.(*Binary)
+	l := add.L.(*Member)
+	if l.Name != "v" || l.Arrow {
+		t.Errorf("left member = %#v", l)
+	}
+	if inner, ok := l.X.(*Member); !ok || !inner.Arrow || inner.Name != "in" {
+		t.Errorf("left inner = %#v", l.X)
+	}
+}
+
+func TestParseAddressOfFunction(t *testing.T) {
+	f := mustParse(t, `
+int cb(int x) { return x; }
+int (*p1)(int) = cb;
+int (*p2)(int) = &cb;
+`)
+	p2 := f.Decls[2].(*VarDecl)
+	u, ok := p2.Init.(*Unary)
+	if !ok || u.Op != AMP {
+		t.Errorf("p2 init = %#v, want &cb", p2.Init)
+	}
+}
+
+func TestParseAsm(t *testing.T) {
+	f := mustParse(t, `
+void fast_memcpy(void) {
+	asm("rep movsb");
+	asm("call *%rax" : "target: void (*)(void)");
+}`)
+	fd := firstFunc(t, f, "fast_memcpy")
+	a1 := fd.Body.Stmts[0].(*AsmStmt)
+	if a1.Text != "rep movsb" || len(a1.Annotations) != 0 {
+		t.Errorf("asm1 = %#v", a1)
+	}
+	a2 := fd.Body.Stmts[1].(*AsmStmt)
+	if len(a2.Annotations) != 1 || !strings.Contains(a2.Annotations[0], "void (*)(void)") {
+		t.Errorf("asm2 annotations = %v", a2.Annotations)
+	}
+}
+
+func TestParseGlobalInitializers(t *testing.T) {
+	f := mustParse(t, `
+int table[4] = {1, 2, 3, 4};
+char *msg = "hello";
+struct pt { int x; int y; };
+struct pt origin = {0, 0};
+`)
+	tab := f.Decls[0].(*VarDecl)
+	il, ok := tab.Init.(*InitList)
+	if !ok || len(il.Elems) != 4 {
+		t.Errorf("table init = %#v", tab.Init)
+	}
+}
+
+func TestParseSizeof(t *testing.T) {
+	f := mustParse(t, `
+struct s { long a; long b; };
+long sz1 = sizeof(struct s);
+long sz2 = sizeof(long);
+int q(int x) { return sizeof x; }
+`)
+	s1 := f.Decls[0].(*VarDecl)
+	st, ok := s1.Init.(*SizeofType)
+	if !ok || st.Of.Size() != 16 {
+		t.Errorf("sz1 init = %#v", s1.Init)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`int f( {}`,
+		`int x = ;`,
+		`struct s { int }; `,
+		`int f(void) { return 1 }`, // missing semi
+		`int f(void) { case 3: ; }`,
+		`unknown_t x;`,
+		`int f(void) { switch (1) { int x; } }`, // stmt before case
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad.c", src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestConstExprFolding(t *testing.T) {
+	f := mustParse(t, `
+enum { A = 3, B = A * 4 };
+int arr[(B + 2) / 2];   // (12+2)/2 = 7
+int arr2[1 << 4];
+`)
+	a := f.Decls[0].(*VarDecl)
+	if a.Type.Len != 7 {
+		t.Errorf("arr len = %d, want 7", a.Type.Len)
+	}
+	a2 := f.Decls[1].(*VarDecl)
+	if a2.Type.Len != 16 {
+		t.Errorf("arr2 len = %d, want 16", a2.Type.Len)
+	}
+}
+
+func TestParseMultiDeclarators(t *testing.T) {
+	f := mustParse(t, `int a, *b, c[3];`)
+	if len(f.Decls) != 3 {
+		t.Fatalf("decls = %d, want 3", len(f.Decls))
+	}
+	if f.Decls[1].(*VarDecl).Type.Kind != ctypes.Pointer {
+		t.Error("b should be pointer")
+	}
+	if f.Decls[2].(*VarDecl).Type.Kind != ctypes.Array {
+		t.Error("c should be array")
+	}
+}
+
+func TestParsePrototypeThenDefinition(t *testing.T) {
+	f := mustParse(t, `
+int twice(int);
+int twice(int x) { return 2 * x; }
+`)
+	if len(f.Decls) != 2 {
+		t.Fatalf("decls = %d", len(f.Decls))
+	}
+	proto := f.Decls[0].(*FuncDecl)
+	def := f.Decls[1].(*FuncDecl)
+	if proto.Body != nil || def.Body == nil {
+		t.Error("prototype/definition confusion")
+	}
+	if !ctypes.Equal(proto.Type, def.Type) {
+		t.Error("prototype and definition types should match")
+	}
+}
+
+func TestParseIncompleteStructPointer(t *testing.T) {
+	f := mustParse(t, `
+struct opaque;
+struct opaque *make(void);
+`)
+	fd := firstFunc(t, f, "make")
+	if fd.Type.Result.Kind != ctypes.Pointer || fd.Type.Result.Elem.Kind != ctypes.Struct {
+		t.Errorf("make result = %s", fd.Type.Result)
+	}
+}
+
+func TestParseArrayOfFunctionPointers(t *testing.T) {
+	f := mustParse(t, `
+int h0(int);
+int (*dispatch[4])(int) = {h0, h0, h0, h0};
+`)
+	vd := f.Decls[1].(*VarDecl)
+	if vd.Type.Kind != ctypes.Array || vd.Type.Len != 4 {
+		t.Fatalf("dispatch type = %s", vd.Type)
+	}
+	if !vd.Type.Elem.IsFuncPointer() {
+		t.Errorf("dispatch elem = %s", vd.Type.Elem)
+	}
+}
+
+func TestParseUnsignedVariants(t *testing.T) {
+	f := mustParse(t, `
+unsigned int a;
+unsigned char b;
+unsigned long c;
+unsigned d;
+signed char e;
+long long g;
+`)
+	wants := []ctypes.Kind{ctypes.UInt, ctypes.UChar, ctypes.ULong, ctypes.UInt, ctypes.Char, ctypes.Long}
+	for i, w := range wants {
+		vd := f.Decls[i].(*VarDecl)
+		if vd.Type.Kind != w {
+			t.Errorf("decl %d (%s): kind = %v, want %v", i, vd.Name, vd.Type.Kind, w)
+		}
+	}
+}
+
+// TestParserTotality: the parser must return an error, never panic, on
+// arbitrary junk — it is the first untrusted-input surface of the
+// toolchain.
+func TestParserTotality(t *testing.T) {
+	seeds := []string{
+		"int main(void) { return 0; }",
+		"struct s { int a; };",
+		"typedef int (*fp)(int);",
+	}
+	state := uint64(12345)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	tokens := []string{"int", "(", ")", "{", "}", "*", ";", ",", "x",
+		"struct", "typedef", "return", "if", "case", "1", "...", "[", "]",
+		"\"s\"", "'c'", "+", "=", "->", "&&", "switch", "enum", "void"}
+	for round := 0; round < 500; round++ {
+		var b []byte
+		if next(2) == 0 {
+			// Mutated seed.
+			s := []byte(seeds[next(len(seeds))])
+			for k := 0; k < 3; k++ {
+				s[next(len(s))] = byte(next(128))
+			}
+			b = s
+		} else {
+			// Random token soup.
+			for k := 0; k < next(40)+1; k++ {
+				b = append(b, ' ')
+				b = append(b, tokens[next(len(tokens))]...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", b, r)
+				}
+			}()
+			_, _ = Parse("fuzz.c", string(b))
+		}()
+	}
+}
+
+// TestDeepNestingDoesNotOverflow guards the recursive-descent parser
+// against pathological nesting (bounded input, bounded stack).
+func TestDeepNestingDoesNotOverflow(t *testing.T) {
+	depth := 2000
+	src := "int main(void) { return " + strings.Repeat("(", depth) + "1" +
+		strings.Repeat(")", depth) + "; }"
+	if _, err := Parse("deep.c", src); err != nil {
+		t.Logf("deep nesting rejected: %v (acceptable)", err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package minic implements the MiniC front end: a lexer, AST, and
+// recursive-descent parser for the C subset used throughout the MCFI
+// reproduction. MiniC covers the features MCFI's type-matching CFG
+// generation cares about: structs, unions, enums, typedefs, function
+// pointers, variadic prototypes, explicit and implicit casts, switch
+// statements (compiled to jump tables), setjmp/longjmp, and an asm()
+// escape hatch (for the C2 analyzer).
+package minic
+
+import "fmt"
+
+// Tok identifies a lexical token kind.
+type Tok int
+
+// Token kinds.
+const (
+	EOF Tok = iota
+	IDENT
+	NUMBER  // integer literal
+	FNUMBER // floating literal
+	STRING  // string literal
+	CHARLIT // character literal
+
+	// Punctuation and operators.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	SEMI     // ;
+	COMMA    // ,
+	DOT      // .
+	ARROW    // ->
+	ELLIPSIS // ...
+	QUESTION // ?
+	COLON    // :
+	ASSIGN   // =
+	ADDEQ    // +=
+	SUBEQ    // -=
+	MULEQ    // *=
+	DIVEQ    // /=
+	MODEQ    // %=
+	SHLEQ    // <<=
+	SHREQ    // >>=
+	ANDEQ    // &=
+	OREQ     // |=
+	XOREQ    // ^=
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	INC      // ++
+	DEC      // --
+	EQ       // ==
+	NE       // !=
+	LT       // <
+	GT       // >
+	LE       // <=
+	GE       // >=
+	NOT      // !
+	LAND     // &&
+	LOR      // ||
+	AMP      // &
+	PIPE     // |
+	CARET    // ^
+	TILDE    // ~
+	SHL      // <<
+	SHR      // >>
+
+	// Keywords.
+	KwVoid
+	KwChar
+	KwShort
+	KwInt
+	KwLong
+	KwUnsigned
+	KwSigned
+	KwDouble
+	KwStruct
+	KwUnion
+	KwEnum
+	KwTypedef
+	KwIf
+	KwElse
+	KwWhile
+	KwDo
+	KwFor
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBreak
+	KwContinue
+	KwReturn
+	KwGoto
+	KwSizeof
+	KwStatic
+	KwExtern
+	KwConst
+	KwAsm
+)
+
+var tokNames = map[Tok]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number", FNUMBER: "float",
+	STRING: "string", CHARLIT: "char literal",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", SEMI: ";", COMMA: ",", DOT: ".",
+	ARROW: "->", ELLIPSIS: "...", QUESTION: "?", COLON: ":",
+	ASSIGN: "=", ADDEQ: "+=", SUBEQ: "-=", MULEQ: "*=", DIVEQ: "/=",
+	MODEQ: "%=", SHLEQ: "<<=", SHREQ: ">>=", ANDEQ: "&=", OREQ: "|=",
+	XOREQ: "^=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
+	PERCENT: "%", INC: "++", DEC: "--", EQ: "==", NE: "!=", LT: "<",
+	GT: ">", LE: "<=", GE: ">=", NOT: "!", LAND: "&&", LOR: "||",
+	AMP: "&", PIPE: "|", CARET: "^", TILDE: "~", SHL: "<<", SHR: ">>",
+	KwVoid: "void", KwChar: "char", KwShort: "short", KwInt: "int",
+	KwLong: "long", KwUnsigned: "unsigned", KwSigned: "signed",
+	KwDouble: "double", KwStruct: "struct", KwUnion: "union",
+	KwEnum: "enum", KwTypedef: "typedef", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwDo: "do", KwFor: "for", KwSwitch: "switch",
+	KwCase: "case", KwDefault: "default", KwBreak: "break",
+	KwContinue: "continue", KwReturn: "return", KwGoto: "goto",
+	KwSizeof: "sizeof", KwStatic: "static", KwExtern: "extern",
+	KwConst: "const", KwAsm: "asm",
+}
+
+// String returns a printable name for the token kind.
+func (t Tok) String() string {
+	if s, ok := tokNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Tok(%d)", int(t))
+}
+
+var keywords = map[string]Tok{
+	"void": KwVoid, "char": KwChar, "short": KwShort, "int": KwInt,
+	"long": KwLong, "unsigned": KwUnsigned, "signed": KwSigned,
+	"double": KwDouble, "float": KwDouble, // float is widened to double
+	"struct": KwStruct, "union": KwUnion, "enum": KwEnum,
+	"typedef": KwTypedef, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"do": KwDo, "for": KwFor, "switch": KwSwitch, "case": KwCase,
+	"default": KwDefault, "break": KwBreak, "continue": KwContinue,
+	"return": KwReturn, "goto": KwGoto, "sizeof": KwSizeof,
+	"static": KwStatic, "extern": KwExtern, "const": KwConst,
+	"asm": KwAsm, "__asm__": KwAsm,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String renders the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is one lexical token with its source position and payload.
+type Token struct {
+	Kind Tok
+	Pos  Pos
+	Text string  // raw text for IDENT/STRING; decoded for STRING
+	Int  int64   // value for NUMBER/CHARLIT
+	Flt  float64 // value for FNUMBER
+}

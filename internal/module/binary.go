@@ -1,0 +1,564 @@
+package module
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mcfi/internal/visa"
+)
+
+// Binary container format:
+//
+//	magic   "MCFI"            4 bytes
+//	version u32               currently 1
+//	profile u32               32 or 64
+//	flags   u32               bit 0: instrumented
+//	...sections, each:  tag u32, length u32, payload
+//
+// All integers are little-endian. Strings are u32 length + bytes.
+// The format is hand-rolled (no gob/json) so the verifier can parse
+// modules without trusting the producing toolchain's Go types.
+
+const (
+	magic      = "MCFI"
+	version    = 1
+	secName    = 1
+	secCode    = 2
+	secData    = 3
+	secSymbols = 4
+	secRelocs  = 5
+	secAux     = 6
+	secEnd     = 0xFFFF
+)
+
+type writer struct {
+	buf bytes.Buffer
+	err error
+}
+
+func (w *writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf.Write(b[:])
+}
+
+func (w *writer) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf.Write(b[:])
+}
+
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf.WriteString(s)
+}
+
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf.Write(b)
+}
+
+// WriteTo serializes the object to w.
+func (o *Object) WriteTo(out io.Writer) (int64, error) {
+	var w writer
+	w.buf.WriteString(magic)
+	w.u32(version)
+	w.u32(uint32(o.Profile))
+	flags := uint32(0)
+	if o.Instrumented {
+		flags |= 1
+	}
+	w.u32(flags)
+
+	section := func(tag uint32, body func(*writer)) {
+		var sw writer
+		body(&sw)
+		w.u32(tag)
+		w.bytes(sw.buf.Bytes())
+	}
+
+	section(secName, func(sw *writer) {
+		sw.str(o.Name)
+	})
+	section(secCode, func(sw *writer) {
+		sw.bytes(o.Code)
+	})
+	section(secData, func(sw *writer) {
+		sw.bytes(o.Data)
+		sw.u32(uint32(o.BSS))
+	})
+	section(secSymbols, func(sw *writer) {
+		sw.u32(uint32(len(o.Symbols)))
+		for _, s := range o.Symbols {
+			sw.str(s.Name)
+			sw.buf.WriteByte(byte(s.Kind))
+			local := byte(0)
+			if s.Local {
+				local = 1
+			}
+			sw.buf.WriteByte(local)
+			sw.u32(uint32(s.Offset))
+			sw.u32(uint32(s.Size))
+		}
+		sw.u32(uint32(len(o.Undefined)))
+		for _, u := range o.Undefined {
+			sw.str(u)
+		}
+	})
+	section(secRelocs, func(sw *writer) {
+		writeRelocs := func(rs []Reloc) {
+			sw.u32(uint32(len(rs)))
+			for _, r := range rs {
+				sw.u32(uint32(r.Offset))
+				sw.str(r.Symbol)
+				sw.u64(uint64(r.Addend))
+				sw.buf.WriteByte(byte(r.Kind))
+			}
+		}
+		writeRelocs(o.CodeRelocs)
+		writeRelocs(o.DataRelocs)
+	})
+	section(secAux, func(sw *writer) {
+		sw.u32(uint32(len(o.Aux.Funcs)))
+		for _, f := range o.Aux.Funcs {
+			sw.str(f.Name)
+			sw.u32(uint32(f.Offset))
+			sw.u32(uint32(f.Size))
+			sw.str(f.Sig)
+			at := byte(0)
+			if f.AddrTaken {
+				at = 1
+			}
+			sw.buf.WriteByte(at)
+			sw.u32(uint32(len(f.TailCalls)))
+			for _, t := range f.TailCalls {
+				sw.str(t)
+			}
+			sw.u32(uint32(len(f.TailSigs)))
+			for _, t := range f.TailSigs {
+				sw.str(t)
+			}
+		}
+		sw.u32(uint32(len(o.Aux.IBs)))
+		for _, ib := range o.Aux.IBs {
+			sw.u32(uint32(ib.Offset))
+			sw.buf.WriteByte(byte(ib.Kind))
+			sw.str(ib.Func)
+			sw.str(ib.FpSig)
+			sw.u32(uint32(len(ib.Targets)))
+			for _, t := range ib.Targets {
+				sw.u32(uint32(t))
+			}
+			sw.u64(uint64(int64(ib.TLoadIOffset)))
+			sw.u64(uint64(int64(ib.GotSlot)))
+			sw.u32(uint32(ib.TableOff))
+			sw.u32(uint32(ib.TableLen))
+			sw.str(ib.PLTSym)
+		}
+		sw.u32(uint32(len(o.Aux.RetSites)))
+		for _, rs := range o.Aux.RetSites {
+			sw.u32(uint32(rs.Offset))
+			sw.str(rs.Callee)
+			sw.str(rs.FpSig)
+		}
+		sw.u32(uint32(len(o.Aux.SetjmpConts)))
+		for _, c := range o.Aux.SetjmpConts {
+			sw.u32(uint32(c))
+		}
+		sw.u32(uint32(len(o.Aux.AsmAnnotations)))
+		for _, a := range o.Aux.AsmAnnotations {
+			sw.str(a)
+		}
+	})
+	w.u32(secEnd)
+	w.u32(0)
+
+	n, err := out.Write(w.buf.Bytes())
+	return int64(n), err
+}
+
+// Bytes serializes the object to a byte slice.
+func (o *Object) Bytes() []byte {
+	var buf bytes.Buffer
+	o.WriteTo(&buf) //nolint:errcheck // bytes.Buffer cannot fail
+	return buf.Bytes()
+}
+
+type reader struct {
+	b   []byte
+	off int
+}
+
+var errTruncated = fmt.Errorf("module: truncated input")
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, errTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, errTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, errTruncated
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if r.off+int(n) > len(r.b) {
+		return "", errTruncated
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if r.off+int(n) > len(r.b) {
+		return nil, errTruncated
+	}
+	b := make([]byte, n)
+	copy(b, r.b[r.off:])
+	r.off += int(n)
+	return b, nil
+}
+
+// Read parses a serialized module.
+func Read(data []byte) (*Object, error) {
+	r := &reader{b: data}
+	if len(data) < 16 || string(data[:4]) != magic {
+		return nil, fmt.Errorf("module: bad magic")
+	}
+	r.off = 4
+	ver, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("module: unsupported version %d", ver)
+	}
+	prof, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if prof != 32 && prof != 64 {
+		return nil, fmt.Errorf("module: bad profile %d", prof)
+	}
+	flags, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	o := &Object{Profile: visa.Profile(prof), Instrumented: flags&1 != 0}
+
+	for {
+		tag, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if tag == secEnd {
+			if _, err := r.u32(); err != nil {
+				return nil, err
+			}
+			break
+		}
+		payload, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		sr := &reader{b: payload}
+		switch tag {
+		case secName:
+			if o.Name, err = sr.str(); err != nil {
+				return nil, err
+			}
+		case secCode:
+			if o.Code, err = sr.bytes(); err != nil {
+				return nil, err
+			}
+		case secData:
+			if o.Data, err = sr.bytes(); err != nil {
+				return nil, err
+			}
+			bss, err := sr.u32()
+			if err != nil {
+				return nil, err
+			}
+			o.BSS = int(bss)
+		case secSymbols:
+			if err := readSymbols(sr, o); err != nil {
+				return nil, err
+			}
+		case secRelocs:
+			if err := readRelocs(sr, o); err != nil {
+				return nil, err
+			}
+		case secAux:
+			if err := readAux(sr, o); err != nil {
+				return nil, err
+			}
+		default:
+			// Unknown sections are skipped for forward compatibility.
+		}
+	}
+	return o, nil
+}
+
+func readSymbols(sr *reader, o *Object) error {
+	n, err := sr.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		var s Symbol
+		if s.Name, err = sr.str(); err != nil {
+			return err
+		}
+		k, err := sr.byte()
+		if err != nil {
+			return err
+		}
+		s.Kind = SymKind(k)
+		loc, err := sr.byte()
+		if err != nil {
+			return err
+		}
+		s.Local = loc != 0
+		off, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		sz, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		s.Offset, s.Size = int(off), int(sz)
+		o.Symbols = append(o.Symbols, s)
+	}
+	nu, err := sr.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nu; i++ {
+		u, err := sr.str()
+		if err != nil {
+			return err
+		}
+		o.Undefined = append(o.Undefined, u)
+	}
+	return nil
+}
+
+func readRelocs(sr *reader, o *Object) error {
+	read := func() ([]Reloc, error) {
+		n, err := sr.u32()
+		if err != nil {
+			return nil, err
+		}
+		var rs []Reloc
+		for i := uint32(0); i < n; i++ {
+			var rl Reloc
+			off, err := sr.u32()
+			if err != nil {
+				return nil, err
+			}
+			rl.Offset = int(off)
+			if rl.Symbol, err = sr.str(); err != nil {
+				return nil, err
+			}
+			add, err := sr.u64()
+			if err != nil {
+				return nil, err
+			}
+			rl.Addend = int64(add)
+			k, err := sr.byte()
+			if err != nil {
+				return nil, err
+			}
+			rl.Kind = RelocKind(k)
+			rs = append(rs, rl)
+		}
+		return rs, nil
+	}
+	var err error
+	if o.CodeRelocs, err = read(); err != nil {
+		return err
+	}
+	o.DataRelocs, err = read()
+	return err
+}
+
+func readAux(sr *reader, o *Object) error {
+	nf, err := sr.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nf; i++ {
+		var f FuncInfo
+		if f.Name, err = sr.str(); err != nil {
+			return err
+		}
+		off, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		sz, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		f.Offset, f.Size = int(off), int(sz)
+		if f.Sig, err = sr.str(); err != nil {
+			return err
+		}
+		at, err := sr.byte()
+		if err != nil {
+			return err
+		}
+		f.AddrTaken = at != 0
+		ntc, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < ntc; j++ {
+			t, err := sr.str()
+			if err != nil {
+				return err
+			}
+			f.TailCalls = append(f.TailCalls, t)
+		}
+		nts, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < nts; j++ {
+			t, err := sr.str()
+			if err != nil {
+				return err
+			}
+			f.TailSigs = append(f.TailSigs, t)
+		}
+		o.Aux.Funcs = append(o.Aux.Funcs, f)
+	}
+	nib, err := sr.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nib; i++ {
+		var ib IndirectBranch
+		off, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		ib.Offset = int(off)
+		k, err := sr.byte()
+		if err != nil {
+			return err
+		}
+		ib.Kind = IBKind(k)
+		if ib.Func, err = sr.str(); err != nil {
+			return err
+		}
+		if ib.FpSig, err = sr.str(); err != nil {
+			return err
+		}
+		nt, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < nt; j++ {
+			t, err := sr.u32()
+			if err != nil {
+				return err
+			}
+			ib.Targets = append(ib.Targets, int(t))
+		}
+		tl, err := sr.u64()
+		if err != nil {
+			return err
+		}
+		ib.TLoadIOffset = int(int64(tl))
+		gs, err := sr.u64()
+		if err != nil {
+			return err
+		}
+		ib.GotSlot = int(int64(gs))
+		to, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		tl2, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		ib.TableOff, ib.TableLen = int(to), int(tl2)
+		if ib.PLTSym, err = sr.str(); err != nil {
+			return err
+		}
+		o.Aux.IBs = append(o.Aux.IBs, ib)
+	}
+	nrs, err := sr.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nrs; i++ {
+		var rs RetSite
+		off, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		rs.Offset = int(off)
+		if rs.Callee, err = sr.str(); err != nil {
+			return err
+		}
+		if rs.FpSig, err = sr.str(); err != nil {
+			return err
+		}
+		o.Aux.RetSites = append(o.Aux.RetSites, rs)
+	}
+	nsc, err := sr.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nsc; i++ {
+		c, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		o.Aux.SetjmpConts = append(o.Aux.SetjmpConts, int(c))
+	}
+	naa, err := sr.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < naa; i++ {
+		a, err := sr.str()
+		if err != nil {
+			return err
+		}
+		o.Aux.AsmAnnotations = append(o.Aux.AsmAnnotations, a)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+// Package module defines the MCFI object-module format.
+//
+// An MCFI module "not only contains code and data, but also auxiliary
+// information" (paper §4): the types of its functions and function
+// pointers, the location and kind of every indirect branch, every
+// indirect-branch target, and relocations. The auxiliary information is
+// what lets modules be instrumented separately and linked later —
+// statically by internal/linker or dynamically by internal/loader —
+// with the combined module's CFG generated at link time from the merged
+// aux info (paper §6).
+package module
+
+import "mcfi/internal/visa"
+
+// SymKind distinguishes function and data symbols.
+type SymKind byte
+
+// Symbol kinds.
+const (
+	SymFunc SymKind = iota
+	SymData
+)
+
+// Symbol is a defined symbol in a module.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	// Offset is relative to the code section (SymFunc) or the data
+	// section (SymData). Data symbols with Offset >= len(Data) live in
+	// zero-initialized space (BSS).
+	Offset int
+	Size   int
+	// Local symbols (C static) do not participate in cross-module
+	// resolution.
+	Local bool
+}
+
+// RelocKind selects how a relocation patches its site.
+type RelocKind byte
+
+// Relocation kinds.
+const (
+	// RelAbs64 patches an absolute 64-bit field (MOVI immediates, data
+	// pointers) with the address of Symbol plus Addend.
+	RelAbs64 RelocKind = iota
+	// RelCall32 patches the rel32 displacement of a direct CALL or JMP
+	// so it reaches Symbol (possibly via a PLT entry); Offset is the
+	// offset of the 4-byte displacement field, whose value becomes
+	// target - (Offset + 4).
+	RelCall32
+	// RelJumpTable patches like RelAbs64 but does NOT mark the
+	// referenced function address-taken: it is the jump-table base
+	// materialization inside the function's own switch lowering, not a
+	// function-pointer use.
+	RelJumpTable
+)
+
+// Reloc patches a field at Offset in the code or data section with the
+// final address of Symbol plus Addend, as directed by Kind.
+type Reloc struct {
+	Offset int
+	Symbol string
+	Addend int64
+	Kind   RelocKind
+}
+
+// IBKind classifies indirect branches for CFG generation and
+// verification.
+type IBKind byte
+
+// Indirect branch kinds (paper §6).
+const (
+	// IBRet is a return (instrumented to pop+checked-jump).
+	IBRet IBKind = iota
+	// IBCall is an indirect call through a function pointer.
+	IBCall
+	// IBTailJmp is an interprocedural indirect jump implementing an
+	// indirect tail call.
+	IBTailJmp
+	// IBSwitch is an intraprocedural indirect jump through a read-only
+	// jump table; it is statically verified rather than instrumented.
+	IBSwitch
+	// IBLongjmp is the indirect jump performed by longjmp.
+	IBLongjmp
+	// IBPLT is the indirect jump in a PLT entry (emitted by the static
+	// linker); its target is reloaded from the GOT on transaction retry.
+	IBPLT
+)
+
+// String names the IB kind.
+func (k IBKind) String() string {
+	switch k {
+	case IBRet:
+		return "ret"
+	case IBCall:
+		return "icall"
+	case IBTailJmp:
+		return "tailjmp"
+	case IBSwitch:
+		return "switch"
+	case IBLongjmp:
+		return "longjmp"
+	case IBPLT:
+		return "plt"
+	}
+	return "?"
+}
+
+// IndirectBranch describes one indirect branch site in the code.
+type IndirectBranch struct {
+	// Offset of the *branch instruction itself* (the jmpr/callr/
+	// jrestore), relative to the code section.
+	Offset int
+	Kind   IBKind
+	// Func is the enclosing function's symbol name (for IBRet: returns
+	// of this function; used to build return edges).
+	Func string
+	// FpSig is the ctypes.Signature of the function-pointer pointee
+	// type for IBCall and IBTailJmp.
+	FpSig string
+	// Targets lists code offsets reachable through a jump table
+	// (IBSwitch only).
+	Targets []int
+	// TableOff/TableLen locate the read-only jump table bytes inside
+	// the code section (IBSwitch only; the verifier skips this range
+	// when disassembling and validates the entries against Targets).
+	TableOff int
+	TableLen int
+	// TLoadIOffset is the code offset of the TLOADI instruction whose
+	// imm32 the loader patches with the branch's Bary table index
+	// (instrumented kinds only; -1 if absent).
+	TLoadIOffset int
+	// GotSlot is the data offset of the GOT entry read by an IBPLT
+	// entry (-1 otherwise).
+	GotSlot int
+	// PLTSym is the imported symbol name an IBPLT entry forwards to;
+	// its only legal target is that symbol's eventual definition.
+	PLTSym string
+}
+
+// RetSite is an address immediately following a call instruction — an
+// indirect-branch target for returns.
+type RetSite struct {
+	// Offset of the (4-byte aligned, in instrumented builds) return
+	// address in the code section.
+	Offset int
+	// Callee is the direct callee's symbol name; empty for indirect
+	// calls.
+	Callee string
+	// FpSig is the function-pointer pointee signature for indirect
+	// calls; empty for direct calls.
+	FpSig string
+	// TailTargets, for a direct call whose callee performs tail calls,
+	// is unused at codegen time; tail-call chasing happens in the CFG
+	// generator from FuncInfo.TailCalls.
+	_ struct{}
+}
+
+// FuncInfo is the auxiliary type record of one function (paper §6: "an
+// MCFI module comes with the types of its functions and its function
+// pointers").
+type FuncInfo struct {
+	Name   string
+	Offset int
+	Size   int
+	// Sig is the ctypes.Signature of the function's type.
+	Sig string
+	// AddrTaken marks functions whose address is taken in this module.
+	AddrTaken bool
+	// TailCalls lists direct tail-call targets (symbol names) and
+	// whether the function makes indirect tail calls (via TailSigs).
+	TailCalls []string
+	// TailSigs lists fp signatures of indirect tail calls made by this
+	// function.
+	TailSigs []string
+}
+
+// AuxInfo is the module's CFG-generation payload.
+type AuxInfo struct {
+	Funcs       []FuncInfo
+	IBs         []IndirectBranch
+	RetSites    []RetSite
+	SetjmpConts []int // code offsets of setjmp continuation points
+	// AsmAnnotations carries "name : type-signature" annotations for
+	// inline assembly (paper §6 condition C2 handling).
+	AsmAnnotations []string
+}
+
+// Object is one compiled, not-yet-linked MCFI module.
+type Object struct {
+	Name    string
+	Profile visa.Profile
+	// Instrumented records whether check transactions and alignment
+	// no-ops were emitted (false for baseline builds used in the
+	// overhead experiments).
+	Instrumented bool
+
+	Code []byte
+	Data []byte
+	// BSS is the size of zero-initialized data placed after Data.
+	BSS int
+
+	CodeRelocs []Reloc
+	DataRelocs []Reloc
+	Symbols    []Symbol
+	// Undefined lists referenced but not defined symbols (imports).
+	Undefined []string
+	Aux       AuxInfo
+}
+
+// FindSymbol returns the symbol with the given name, or nil.
+func (o *Object) FindSymbol(name string) *Symbol {
+	for i := range o.Symbols {
+		if o.Symbols[i].Name == name {
+			return &o.Symbols[i]
+		}
+	}
+	return nil
+}
+
+// FuncAt returns the FuncInfo containing the given code offset, or nil.
+func (o *Object) FuncAt(off int) *FuncInfo {
+	for i := range o.Aux.Funcs {
+		f := &o.Aux.Funcs[i]
+		if off >= f.Offset && off < f.Offset+f.Size {
+			return f
+		}
+	}
+	return nil
+}

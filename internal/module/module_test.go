@@ -1,0 +1,167 @@
+package module
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mcfi/internal/visa"
+)
+
+func sampleObject() *Object {
+	return &Object{
+		Name:         "libfoo",
+		Profile:      visa.Profile64,
+		Instrumented: true,
+		Code:         []byte{0x02, 0x00, 1, 2, 3, 4, 5, 6, 7, 8, 0x28},
+		Data:         []byte("hello\x00"),
+		BSS:          128,
+		CodeRelocs: []Reloc{
+			{Offset: 2, Symbol: "g_table", Addend: 16},
+			{Offset: 20, Symbol: "printf", Kind: RelCall32},
+		},
+		DataRelocs: []Reloc{
+			{Offset: 0, Symbol: "main", Addend: 0},
+		},
+		Symbols: []Symbol{
+			{Name: "main", Kind: SymFunc, Offset: 0, Size: 11},
+			{Name: "g_table", Kind: SymData, Offset: 0, Size: 6},
+			{Name: "hidden", Kind: SymData, Offset: 6, Size: 8, Local: true},
+		},
+		Undefined: []string{"printf", "malloc"},
+		Aux: AuxInfo{
+			Funcs: []FuncInfo{
+				{Name: "main", Offset: 0, Size: 11, Sig: "f(i,)->i",
+					AddrTaken: true, TailCalls: []string{"helper"},
+					TailSigs: []string{"f(i,)->v"}},
+			},
+			IBs: []IndirectBranch{
+				{Offset: 10, Kind: IBRet, Func: "main", TLoadIOffset: 4, GotSlot: -1},
+				{Offset: 5, Kind: IBSwitch, Func: "main", Targets: []int{1, 2, 3}, TLoadIOffset: -1, GotSlot: -1},
+				{Offset: 7, Kind: IBCall, Func: "main", FpSig: "f(i,)->i", TLoadIOffset: 2, GotSlot: -1},
+			},
+			RetSites: []RetSite{
+				{Offset: 8, Callee: "helper"},
+				{Offset: 12, FpSig: "f(i,)->i"},
+			},
+			SetjmpConts:    []int{20, 24},
+			AsmAnnotations: []string{"memcpy_fast : f(*c,*c,l,)->*c"},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	o := sampleObject()
+	data := o.Bytes()
+	got, err := Read(data)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(o, got) {
+		t.Errorf("round trip mismatch:\n got %#v\nwant %#v", got, o)
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("MCFI\x00\x00\x00"), // truncated header
+		[]byte("MCFI\x09\x00\x00\x00" + "\x40\x00\x00\x00\x00\x00\x00\x00"), // bad version
+	}
+	for i, data := range cases {
+		if _, err := Read(data); err == nil {
+			t.Errorf("case %d: Read should fail", i)
+		}
+	}
+	// Corrupt a valid serialization at every truncation point.
+	valid := sampleObject().Bytes()
+	for cut := 0; cut < len(valid)-1; cut += 7 {
+		if _, err := Read(valid[:cut]); err == nil {
+			t.Errorf("truncation at %d: Read should fail", cut)
+		}
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	o := sampleObject()
+	var buf bytes.Buffer
+	n, err := o.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, buffer has %d", n, buf.Len())
+	}
+}
+
+func TestFindSymbol(t *testing.T) {
+	o := sampleObject()
+	if s := o.FindSymbol("main"); s == nil || s.Kind != SymFunc {
+		t.Errorf("FindSymbol(main) = %v", s)
+	}
+	if s := o.FindSymbol("nonexistent"); s != nil {
+		t.Errorf("FindSymbol(nonexistent) = %v, want nil", s)
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	o := sampleObject()
+	if f := o.FuncAt(5); f == nil || f.Name != "main" {
+		t.Errorf("FuncAt(5) = %v", f)
+	}
+	if f := o.FuncAt(11); f != nil {
+		t.Errorf("FuncAt(11) = %v, want nil (past end)", f)
+	}
+}
+
+func TestEmptyObjectRoundTrip(t *testing.T) {
+	o := &Object{Name: "empty", Profile: visa.Profile32}
+	got, err := Read(o.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "empty" || got.Profile != visa.Profile32 || got.Instrumented {
+		t.Errorf("got %#v", got)
+	}
+}
+
+func TestIBKindString(t *testing.T) {
+	kinds := map[IBKind]string{
+		IBRet: "ret", IBCall: "icall", IBTailJmp: "tailjmp",
+		IBSwitch: "switch", IBLongjmp: "longjmp", IBPLT: "plt",
+		IBKind(99): "?",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestPropReadNeverPanics(t *testing.T) {
+	// Read must be total: arbitrary bytes either parse or error, never
+	// panic — the verifier consumes untrusted module files.
+	f := func(data []byte) bool {
+		_, _ = Read(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Also fuzz around a valid prefix.
+	valid := sampleObject().Bytes()
+	g := func(idx int, b byte) bool {
+		if len(valid) == 0 {
+			return true
+		}
+		mut := append([]byte(nil), valid...)
+		mut[(idx%len(mut)+len(mut))%len(mut)] = b
+		_, _ = Read(mut)
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

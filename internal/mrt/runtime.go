@@ -1,0 +1,360 @@
+// Package mrt implements the trusted MCFI runtime (paper §4, §7): it
+// loads linked images into a fresh sandbox, enforces the invariant
+// that no memory is writable and executable at once, interposes on
+// every system call, generates the initial CFG and ID tables, and
+// performs dynamic linking with table-update transactions.
+package mrt
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"mcfi/internal/cfg"
+	"mcfi/internal/linker"
+	"mcfi/internal/module"
+	"mcfi/internal/tables"
+	"mcfi/internal/visa"
+	"mcfi/internal/vm"
+)
+
+// Guest memory layout managed by the runtime (addresses within the
+// sandbox; see visa layout constants).
+const (
+	// dataRegionSize bounds static + dynamically loaded module data.
+	dataRegionSize = 4 << 20
+	// heapBase is where sbrk/mmap allocations start.
+	heapBase = visa.DataBase + dataRegionSize
+	// stackRegion is carved from the sandbox top.
+	stackRegion = 8 << 20
+	stackTop    = visa.SandboxSize
+	stackBase   = stackTop - stackRegion
+	// StackSize is the per-thread stack size.
+	StackSize = 1 << 20
+	// defaultMaxBranches sizes the Bary table.
+	defaultMaxBranches = 1 << 15
+)
+
+// Options configures a runtime instance.
+type Options struct {
+	// Out receives guest writes (default: an internal buffer).
+	Out io.Writer
+	// MaxBranches caps the Bary table (default 32768).
+	MaxBranches int
+	// ParallelCopy publishes Tary updates with the parallel copier.
+	ParallelCopy bool
+	// Verify, if non-nil, is invoked on every dynamically loaded
+	// module before its code becomes executable (the paper's modular
+	// verifier hook, §6 step 2).
+	Verify func(*module.Object) error
+	// Seed initializes the deterministic guest PRNG.
+	Seed uint64
+}
+
+// Runtime is one loaded MCFI program with its tables and threads.
+type Runtime struct {
+	Proc   *vm.Process
+	Img    *linker.Image
+	Tables *tables.Tables
+
+	opts Options
+	out  io.Writer
+	buf  *bytes.Buffer
+	outM sync.Mutex
+
+	// Dynamic-linking state, guarded by mu.
+	mu          sync.Mutex
+	aux         module.AuxInfo // merged, absolute addresses
+	syms        map[string]linker.SymInfo
+	branchIndex map[int]int // IB offset -> Bary index
+	nextBranch  int
+	codeEnd     int64 // next free code address
+	dataEnd     int64 // next free data address
+	brk         int64
+	stackNext   int64
+	libs        map[string]*module.Object
+	handles     map[int64]*dlHandle
+	nextHandle  int64
+
+	rngMu sync.Mutex
+	rng   uint64
+
+	threadWG sync.WaitGroup
+
+	// ABA quiescence tracking (§5.2): abaSeen records, per live thread,
+	// the update-transaction count observed at its most recent system
+	// call. When every live thread has been observed at or after the
+	// current count, no thread can still hold an old-version ID, and
+	// the ABA counter resets.
+	abaMu   sync.Mutex
+	abaSeen map[*vm.Thread]int64
+}
+
+type dlHandle struct {
+	name    string
+	exports map[string]linker.SymInfo
+}
+
+// New loads a linked image into a fresh sandbox and publishes the
+// initial control-flow policy.
+func New(img *linker.Image, opts Options) (*Runtime, error) {
+	if opts.MaxBranches == 0 {
+		opts.MaxBranches = defaultMaxBranches
+	}
+	r := &Runtime{
+		Proc:        vm.NewProcess(),
+		Img:         img,
+		opts:        opts,
+		aux:         img.Aux,
+		syms:        map[string]linker.SymInfo{},
+		branchIndex: map[int]int{},
+		libs:        map[string]*module.Object{},
+		handles:     map[int64]*dlHandle{},
+		rng:         opts.Seed*2862933555777941757 + 3037000493,
+		abaSeen:     map[*vm.Thread]int64{},
+	}
+	if opts.Out != nil {
+		r.out = opts.Out
+	} else {
+		r.buf = &bytes.Buffer{}
+		r.out = r.buf
+	}
+	for k, v := range img.Syms {
+		r.syms[k] = v
+	}
+
+	p := r.Proc
+	p.Handler = r
+
+	// Load code and data.
+	if visa.CodeBase+len(img.Code) > visa.CodeBase+visa.CodeLimit {
+		return nil, fmt.Errorf("mrt: image code exceeds the code region")
+	}
+	copy(p.Mem[visa.CodeBase:], img.Code)
+	copy(p.Mem[visa.DataBase:], img.Data)
+	r.codeEnd = int64(visa.CodeBase + len(img.Code))
+	r.dataEnd = int64(visa.DataBase + len(img.Data))
+	r.brk = heapBase
+	r.stackNext = stackTop
+
+	// Page protections: code R+X, data R+W, heap/stack mapped on use.
+	p.Protect(visa.CodeBase, int64(len(img.Code)), visa.ProtRead|visa.ProtExec)
+	p.Protect(visa.DataBase, dataRegionSize, visa.ProtRead|visa.ProtWrite)
+	p.Protect(stackBase, stackRegion, visa.ProtRead|visa.ProtWrite)
+	if err := p.CheckWX(); err != nil {
+		return nil, err
+	}
+
+	if img.Instrumented {
+		r.Tables = tables.New(visa.CodeBase+visa.CodeLimit, opts.MaxBranches)
+		// Update transactions rebuild only the loaded code extent
+		// (the paper's Tary is sized to the code region).
+		r.Tables.SetCovered(int(r.codeEnd))
+		p.Tables = r.Tables
+		r.assignBranchIndexes(img.Aux.IBs)
+		if err := r.publishCFG(nil); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Output returns everything the guest has written so far (only when
+// the runtime owns the buffer).
+func (r *Runtime) Output() string {
+	if r.buf == nil {
+		return ""
+	}
+	r.outM.Lock()
+	defer r.outM.Unlock()
+	return r.buf.String()
+}
+
+// assignBranchIndexes gives each instrumented indirect branch a stable
+// Bary index and patches its TLOADI immediate with the table offset
+// (paper §5.1: "MCFI's loader patches the code to embed constant Bary
+// table indexes"). Caller holds mu (or is in single-threaded setup).
+func (r *Runtime) assignBranchIndexes(ibs []module.IndirectBranch) {
+	for _, ib := range ibs {
+		if ib.TLoadIOffset < 0 {
+			continue
+		}
+		idx := r.nextBranch
+		r.nextBranch++
+		r.branchIndex[ib.Offset] = idx
+		// TLOADI layout: opcode, register, imm32.
+		imm := uint32(r.Tables.BaryBase() + 4*idx)
+		off := ib.TLoadIOffset + 2
+		r.Proc.Mem[off] = byte(imm)
+		r.Proc.Mem[off+1] = byte(imm >> 8)
+		r.Proc.Mem[off+2] = byte(imm >> 16)
+		r.Proc.Mem[off+3] = byte(imm >> 24)
+	}
+}
+
+// publishCFG regenerates the control-flow policy from the merged aux
+// info and publishes it with one update transaction. between runs in
+// the transaction's GOT-update slot.
+func (r *Runtime) publishCFG(between func()) error {
+	graph := cfg.Generate(cfg.Input{
+		Funcs:       r.aux.Funcs,
+		IBs:         r.aux.IBs,
+		RetSites:    r.aux.RetSites,
+		SetjmpConts: r.aux.SetjmpConts,
+		Annotations: r.aux.AsmAnnotations,
+		Profile:     r.Img.Profile,
+	})
+	if graph.Classes >= 1<<14 {
+		return fmt.Errorf("mrt: %d equivalence classes exceed the 14-bit ECN space", graph.Classes)
+	}
+	// Bary index -> branch offset (inverse of branchIndex).
+	byIndex := make([]int, r.nextBranch)
+	for i := range byIndex {
+		byIndex[i] = -1
+	}
+	for off, idx := range r.branchIndex {
+		byIndex[idx] = off
+	}
+	r.Tables.Update(
+		func(addr int) int {
+			if ecn, ok := graph.TaryECN[addr]; ok {
+				return ecn
+			}
+			return -1
+		},
+		func(idx int) int {
+			if idx >= len(byIndex) || byIndex[idx] < 0 {
+				return -1
+			}
+			if ecn, ok := graph.BranchECN[byIndex[idx]]; ok {
+				return ecn
+			}
+			return -1
+		},
+		tables.UpdateOpts{Parallel: r.opts.ParallelCopy, Between: between},
+	)
+	return nil
+}
+
+// Graph exposes the current CFG (regenerated on demand) for metrics
+// and the experiment harness.
+func (r *Runtime) Graph() *cfg.Graph {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return cfg.Generate(cfg.Input{
+		Funcs:       r.aux.Funcs,
+		IBs:         r.aux.IBs,
+		RetSites:    r.aux.RetSites,
+		SetjmpConts: r.aux.SetjmpConts,
+		Annotations: r.aux.AsmAnnotations,
+		Profile:     r.Img.Profile,
+	})
+}
+
+// RegisterLibrary makes a compiled module available to guest dlopen
+// under its module name (the runtime's in-memory filesystem).
+func (r *Runtime) RegisterLibrary(obj *module.Object) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.libs[obj.Name] = obj
+}
+
+// allocStack carves a fresh thread stack; returns its initial SP.
+func (r *Runtime) allocStack() (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sp := r.stackNext
+	if sp-StackSize < stackBase {
+		return 0, fmt.Errorf("mrt: out of stack space")
+	}
+	r.stackNext -= StackSize
+	return sp, nil
+}
+
+// MainThread creates the initial thread at the image entry point.
+func (r *Runtime) MainThread() (*vm.Thread, error) {
+	sp, err := r.allocStack()
+	if err != nil {
+		return nil, err
+	}
+	th := r.Proc.NewThread(r.Img.Entry, sp)
+	r.trackThread(th)
+	return th, nil
+}
+
+// trackThread registers a thread for ABA quiescence observation.
+func (r *Runtime) trackThread(th *vm.Thread) {
+	if r.Tables == nil {
+		return
+	}
+	r.abaMu.Lock()
+	r.abaSeen[th] = r.Tables.Updates()
+	r.abaMu.Unlock()
+}
+
+// untrackThread removes an exited thread from observation.
+func (r *Runtime) untrackThread(th *vm.Thread) {
+	if r.Tables == nil {
+		return
+	}
+	r.abaMu.Lock()
+	delete(r.abaSeen, th)
+	r.abaMu.Unlock()
+}
+
+// observeSyscall implements the paper's quiescence rule: a thread at a
+// system call cannot be inside a check transaction, so it has finished
+// using IDs older than the current update count. When every live
+// thread has been observed at or after the current count, the ABA
+// counter resets to zero.
+func (r *Runtime) observeSyscall(th *vm.Thread) {
+	if r.Tables == nil {
+		return
+	}
+	cur := r.Tables.Updates()
+	r.abaMu.Lock()
+	r.abaSeen[th] = cur
+	quiesced := true
+	for _, seen := range r.abaSeen {
+		if seen < cur {
+			quiesced = false
+			break
+		}
+	}
+	r.abaMu.Unlock()
+	if quiesced {
+		r.Tables.QuiescencePoint()
+	}
+}
+
+// Run executes the program to completion (all spawned threads joined
+// or the process exited) and returns the exit code.
+func (r *Runtime) Run(maxInstr int64) (int64, error) {
+	t, err := r.MainThread()
+	if err != nil {
+		return -1, err
+	}
+	err = t.Run(maxInstr)
+	r.threadWG.Wait()
+	if err == vm.ErrExited {
+		_, code := r.Proc.Exited()
+		return code, nil
+	}
+	if err == nil {
+		_, code := r.Proc.Exited()
+		return code, nil
+	}
+	return -1, err
+}
+
+// Instret returns total retired instructions (all threads).
+func (r *Runtime) Instret() int64 { return r.Proc.Instret() }
+
+// Symbol looks up a global symbol's address.
+func (r *Runtime) Symbol(name string) (linker.SymInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.syms[name]
+	return s, ok
+}

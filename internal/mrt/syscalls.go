@@ -1,0 +1,259 @@
+package mrt
+
+import (
+	"fmt"
+
+	"mcfi/internal/visa"
+	"mcfi/internal/vm"
+)
+
+// threadExit is the sentinel error used by SysThreadExit; the spawn
+// wrapper converts it into the thread's join value.
+type threadExit struct{ val int64 }
+
+func (threadExit) Error() string { return "mrt: thread exited" }
+
+// Syscall implements vm.SyscallHandler: MCFI's user-space system-call
+// interposition (paper §7). Every call validates its arguments; mmap
+// and mprotect enforce the W^X invariant.
+func (r *Runtime) Syscall(t *vm.Thread, num int) error {
+	r.observeSyscall(t)
+	switch num {
+	case visa.SysExit:
+		r.Proc.Exit(t.Reg[visa.R0])
+		return nil
+
+	case visa.SysWrite:
+		buf, n := t.Reg[visa.R0], t.Reg[visa.R1]
+		if n < 0 || buf < 0 || buf+n > visa.SandboxSize {
+			t.Reg[visa.R0] = -1
+			return nil
+		}
+		r.outM.Lock()
+		_, err := r.out.Write(r.Proc.Mem[buf : buf+n])
+		r.outM.Unlock()
+		if err != nil {
+			t.Reg[visa.R0] = -1
+			return nil
+		}
+		t.Reg[visa.R0] = n
+		return nil
+
+	case visa.SysSbrk:
+		delta := t.Reg[visa.R0]
+		r.mu.Lock()
+		old := r.brk
+		nb := old + delta
+		if nb < heapBase || nb > stackBase {
+			r.mu.Unlock()
+			t.Reg[visa.R0] = -1
+			return nil
+		}
+		r.brk = nb
+		if delta > 0 {
+			r.Proc.Protect(old, delta, visa.ProtRead|visa.ProtWrite)
+		}
+		r.mu.Unlock()
+		t.Reg[visa.R0] = old
+		return nil
+
+	case visa.SysMmap:
+		length, prot := t.Reg[visa.R0], uint32(t.Reg[visa.R1])
+		// The runtime checks that newly mapped memory cannot be both
+		// writable and executable (paper §7).
+		if prot&visa.ProtWrite != 0 && prot&visa.ProtExec != 0 {
+			t.Reg[visa.R0] = -1
+			return nil
+		}
+		if prot&visa.ProtExec != 0 {
+			// Guest code cannot map executable memory at all; only the
+			// trusted dynamic linker installs code.
+			t.Reg[visa.R0] = -1
+			return nil
+		}
+		if length <= 0 {
+			t.Reg[visa.R0] = -1
+			return nil
+		}
+		length = (length + vm.PageSize - 1) &^ (vm.PageSize - 1)
+		r.mu.Lock()
+		addr := (r.brk + vm.PageSize - 1) &^ (vm.PageSize - 1)
+		if addr+length > stackBase {
+			r.mu.Unlock()
+			t.Reg[visa.R0] = -1
+			return nil
+		}
+		r.brk = addr + length
+		r.Proc.Protect(addr, length, prot)
+		r.mu.Unlock()
+		t.Reg[visa.R0] = addr
+		return nil
+
+	case visa.SysMprotect:
+		addr, length, prot := t.Reg[visa.R0], t.Reg[visa.R1], uint32(t.Reg[visa.R2])
+		if prot&visa.ProtWrite != 0 && prot&visa.ProtExec != 0 {
+			t.Reg[visa.R0] = -1 // W^X refused
+			return nil
+		}
+		if prot&visa.ProtExec != 0 {
+			t.Reg[visa.R0] = -1 // only the runtime makes code executable
+			return nil
+		}
+		if addr < heapBase || addr+length > visa.SandboxSize || length < 0 {
+			t.Reg[visa.R0] = -1 // guest may only reprotect its own heap
+			return nil
+		}
+		r.Proc.Protect(addr, length, prot)
+		t.Reg[visa.R0] = 0
+		return nil
+
+	case visa.SysDlopen:
+		name, err := r.guestString(t.Reg[visa.R0])
+		if err != nil {
+			t.Reg[visa.R0] = 0
+			return nil
+		}
+		h, err := r.Dlopen(name)
+		if err != nil {
+			t.Reg[visa.R0] = 0
+			return nil
+		}
+		t.Reg[visa.R0] = h
+		return nil
+
+	case visa.SysDlsym:
+		name, err := r.guestString(t.Reg[visa.R1])
+		if err != nil {
+			t.Reg[visa.R0] = 0
+			return nil
+		}
+		addr, err := r.Dlsym(t.Reg[visa.R0], name)
+		if err != nil {
+			t.Reg[visa.R0] = 0
+			return nil
+		}
+		t.Reg[visa.R0] = addr
+		return nil
+
+	case visa.SysClock:
+		t.Reg[visa.R0] = r.Proc.Instret() + t.Instret
+		return nil
+
+	case visa.SysSpawn:
+		tid, err := r.spawn(t.Reg[visa.R0], t.Reg[visa.R1])
+		if err != nil {
+			t.Reg[visa.R0] = -1
+			return nil
+		}
+		t.Reg[visa.R0] = tid
+		return nil
+
+	case visa.SysJoin:
+		ch, ok := r.Proc.JoinChan(t.Reg[visa.R0])
+		if !ok {
+			t.Reg[visa.R0] = -1
+			return nil
+		}
+		t.Reg[visa.R0] = <-ch
+		return nil
+
+	case visa.SysYield:
+		return nil
+
+	case visa.SysRand:
+		r.rngMu.Lock()
+		r.rng ^= r.rng << 13
+		r.rng ^= r.rng >> 7
+		r.rng ^= r.rng << 17
+		v := r.rng
+		r.rngMu.Unlock()
+		t.Reg[visa.R0] = int64(v >> 1)
+		return nil
+
+	case visa.SysThreadExit:
+		return threadExit{val: t.Reg[visa.R0]}
+	}
+	return fmt.Errorf("mrt: unknown syscall %d", num)
+}
+
+// guestString reads a NUL-terminated string from guest memory.
+func (r *Runtime) guestString(addr int64) (string, error) {
+	if addr <= 0 || addr >= visa.SandboxSize {
+		return "", fmt.Errorf("mrt: bad string pointer %#x", addr)
+	}
+	end := addr
+	limit := addr + 4096
+	if limit > visa.SandboxSize {
+		limit = visa.SandboxSize
+	}
+	for end < limit && r.Proc.Mem[end] != 0 {
+		end++
+	}
+	if end == limit {
+		return "", fmt.Errorf("mrt: unterminated string at %#x", addr)
+	}
+	return string(r.Proc.Mem[addr:end]), nil
+}
+
+// spawn starts a guest thread running the libc trampoline
+// __thread_main(ctl), where ctl is a two-word control block {fn, arg}
+// allocated from the heap. The trampoline invokes fn through a checked
+// indirect call and exits via SysThreadExit, so spawned control flow
+// obeys the same CFG as everything else.
+func (r *Runtime) spawn(fn, arg int64) (int64, error) {
+	tramp, ok := r.Symbol("__thread_main")
+	if !ok {
+		return 0, fmt.Errorf("mrt: libc does not define __thread_main")
+	}
+	sp, err := r.allocStack()
+	if err != nil {
+		return 0, err
+	}
+	// Control block from the heap.
+	r.mu.Lock()
+	ctl := (r.brk + 15) &^ 15
+	if ctl+16 > stackBase {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("mrt: out of heap for thread control block")
+	}
+	r.brk = ctl + 16
+	r.Proc.Protect(ctl, 16, visa.ProtRead|visa.ProtWrite)
+	r.mu.Unlock()
+	put64guest(r.Proc.Mem, ctl, uint64(fn))
+	put64guest(r.Proc.Mem, ctl+8, uint64(arg))
+
+	// Craft the initial stack: [sp] = unused return address (the
+	// trampoline never returns), [sp+8] = ctl argument slot.
+	sp -= 16
+	put64guest(r.Proc.Mem, sp, 0)
+	put64guest(r.Proc.Mem, sp+8, uint64(ctl))
+
+	tid, ch := r.Proc.RegisterThread()
+	th := r.Proc.NewThread(tramp.Addr, sp)
+	r.trackThread(th)
+	r.threadWG.Add(1)
+	go func() {
+		defer r.threadWG.Done()
+		defer r.untrackThread(th)
+		err := th.Run(0)
+		switch e := err.(type) {
+		case threadExit:
+			ch <- e.val
+		default:
+			// Process exit or a fault terminates the thread; join
+			// observes -1 for faults.
+			if err == vm.ErrExited {
+				ch <- 0
+			} else {
+				ch <- -1
+			}
+		}
+	}()
+	return tid, nil
+}
+
+func put64guest(mem []byte, addr int64, v uint64) {
+	for i := int64(0); i < 8; i++ {
+		mem[addr+i] = byte(v >> (8 * i))
+	}
+}

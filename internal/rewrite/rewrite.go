@@ -1,0 +1,167 @@
+// Package rewrite emits MCFI's instrumentation sequences — the check
+// transactions that guard indirect branches (paper Fig. 4) and the
+// sandboxing masks on memory writes. It corresponds to the paper's
+// rewriter: "three passes inserted into LLVM's backend to reserve
+// scratch registers used in TxCheck transactions, dump type
+// information, and perform instrumentation" (§7). The code generator
+// calls into this package at every indirect-branch site; when
+// instrumentation is disabled (baseline builds for the overhead
+// experiments) the plain branch is emitted instead.
+package rewrite
+
+import (
+	"fmt"
+
+	"mcfi/internal/visa"
+)
+
+// CheckSite records where the pieces of one emitted check transaction
+// landed, for the module's auxiliary information.
+type CheckSite struct {
+	// TLoadIOffset is the code offset of the TLOADI instruction whose
+	// immediate the loader patches with the branch's Bary table index
+	// (-1 when not instrumented).
+	TLoadIOffset int
+	// BranchOffset is the code offset of the final branch instruction
+	// (jmpr/callr/jrestore/ret).
+	BranchOffset int
+}
+
+// seq is a per-assembler label uniquifier.
+func seq(a *visa.Asm, what string) string {
+	return fmt.Sprintf("mcfi.%s.%d", what, a.Pos())
+}
+
+// AlignIBT pads with NOPs until the current position is 4-byte aligned
+// — applied before every indirect-branch target (function entries,
+// case labels reached via jump tables need no Tary entry but return
+// sites and setjmp continuations do). Paper §5.1: "inserts extra no-op
+// instructions into the program to force indirect-branch targets to be
+// four-byte aligned".
+func AlignIBT(a *visa.Asm) {
+	for a.Pos()%4 != 0 {
+		a.Emit(visa.Instr{Op: visa.NOP})
+	}
+}
+
+// PadForAlignedEnd pads with NOPs so that after emitting tailSize more
+// bytes the position is 4-byte aligned. Used to align the address
+// *following* a call (the return address / setjmp continuation).
+func PadForAlignedEnd(a *visa.Asm, tailSize int) {
+	for (a.Pos()+tailSize)%4 != 0 {
+		a.Emit(visa.Instr{Op: visa.NOP})
+	}
+}
+
+// emitCheck emits the core check transaction on the target address in
+// R11, leaving the branch instruction to the caller. Mirrors Fig. 4:
+//
+//	movl %ecx, %ecx            -> and32 r11
+//	Try: movl %gs:Const, %edi  -> tloadi r10, <patched>
+//	movl %gs:(%rcx), %esi      -> tload  r9, r11
+//	cmpl %edi, %esi            -> cmp    r10, r9
+//	jne Check                  -> je     Ok (sense inverted)
+//	Check: testb $1, %sil      -> testb  r9, 1
+//	jz Halt                    -> jz     Halt
+//	cmpw %di, %si              -> cmpw   r10, r9
+//	jne Try                    -> jne    Try
+//	Halt: hlt                  -> hlt
+//	Ok:  jmpq *%rcx            -> (caller emits branch)
+func emitCheck(a *visa.Asm) (tloadiOff int) {
+	try := seq(a, "try")
+	halt := seq(a, "halt")
+	ok := seq(a, "ok")
+
+	a.Emit(visa.Instr{Op: visa.AND32, R1: visa.R11})
+	a.Label(try)
+	tloadiOff = a.Pos()
+	a.Emit(visa.Instr{Op: visa.TLOADI, R1: visa.R10, Imm: 0})
+	a.Emit(visa.Instr{Op: visa.TLOAD, R1: visa.R9, R2: visa.R11})
+	a.Emit(visa.Instr{Op: visa.CMP, R1: visa.R10, R2: visa.R9})
+	a.EmitBranch(visa.JE, ok)
+	a.Emit(visa.Instr{Op: visa.TESTB, R1: visa.R9, Imm: 1})
+	a.EmitBranch(visa.JE, halt) // testb sets ZF when the bit is 0; JE == JZ
+	a.Emit(visa.Instr{Op: visa.CMPW, R1: visa.R10, R2: visa.R9})
+	a.EmitBranch(visa.JNE, try)
+	a.Label(halt)
+	a.Emit(visa.Instr{Op: visa.HLT})
+	a.Label(ok)
+	return tloadiOff
+}
+
+// EmitReturn emits a function return. Instrumented form pops the
+// return address into the reserved register and runs a check
+// transaction before an indirect jump — the popq/jmpq translation that
+// stops a concurrent attacker from swapping the return address after
+// the check (paper §5.2).
+func EmitReturn(a *visa.Asm, instrumented bool) CheckSite {
+	if !instrumented {
+		off := a.Pos()
+		a.Emit(visa.Instr{Op: visa.RET})
+		return CheckSite{TLoadIOffset: -1, BranchOffset: off}
+	}
+	a.Emit(visa.Instr{Op: visa.POP, R1: visa.R11})
+	tl := emitCheck(a)
+	off := a.Pos()
+	a.Emit(visa.Instr{Op: visa.JMPR, R1: visa.R11})
+	return CheckSite{TLoadIOffset: tl, BranchOffset: off}
+}
+
+// EmitIndirectCall emits an indirect call through the function-pointer
+// value already in R11. In instrumented builds the call is preceded by
+// a check transaction and padded so the return address (the byte after
+// the callr) is 4-byte aligned.
+func EmitIndirectCall(a *visa.Asm, instrumented bool) CheckSite {
+	callrSize := visa.Instr{Op: visa.CALLR}.Size()
+	if !instrumented {
+		off := a.Pos()
+		a.Emit(visa.Instr{Op: visa.CALLR, R1: visa.R11})
+		return CheckSite{TLoadIOffset: -1, BranchOffset: off}
+	}
+	tl := emitCheck(a)
+	PadForAlignedEnd(a, callrSize)
+	off := a.Pos()
+	a.Emit(visa.Instr{Op: visa.CALLR, R1: visa.R11})
+	return CheckSite{TLoadIOffset: tl, BranchOffset: off}
+}
+
+// EmitTailJump emits an interprocedural indirect jump (indirect tail
+// call) through R11, checked in instrumented builds.
+func EmitTailJump(a *visa.Asm, instrumented bool) CheckSite {
+	if !instrumented {
+		off := a.Pos()
+		a.Emit(visa.Instr{Op: visa.JMPR, R1: visa.R11})
+		return CheckSite{TLoadIOffset: -1, BranchOffset: off}
+	}
+	tl := emitCheck(a)
+	off := a.Pos()
+	a.Emit(visa.Instr{Op: visa.JMPR, R1: visa.R11})
+	return CheckSite{TLoadIOffset: tl, BranchOffset: off}
+}
+
+// EmitLongjmp emits the longjmp transfer: target PC in R11, saved SP in
+// R3, saved FP in R4. The check transaction validates the (memory-
+// loaded, attacker-corruptible) target before the restoring jump.
+func EmitLongjmp(a *visa.Asm, instrumented bool) CheckSite {
+	if !instrumented {
+		off := a.Pos()
+		a.Emit(visa.Instr{Op: visa.JRESTORE, R1: visa.R3, R2: visa.R4, R3: visa.R11})
+		return CheckSite{TLoadIOffset: -1, BranchOffset: off}
+	}
+	tl := emitCheck(a)
+	off := a.Pos()
+	a.Emit(visa.Instr{Op: visa.JRESTORE, R1: visa.R3, R2: visa.R4, R3: visa.R11})
+	return CheckSite{TLoadIOffset: tl, BranchOffset: off}
+}
+
+// EmitStoreMask emits the sandbox mask on the address register of an
+// upcoming store (paper §5.1: on x86-64 "memory writes are instrumented
+// so that they are restricted to the [0, 4GB) memory region"). No-op in
+// baseline builds and on Profile32, where the paper's sandbox comes for
+// free from memory segmentation (as in NaCl) — the VM's page
+// protections play the segment registers' role there.
+func EmitStoreMask(a *visa.Asm, addrReg byte, instrumented bool, profile visa.Profile) {
+	if instrumented && profile != visa.Profile32 {
+		a.Emit(visa.Instr{Op: visa.ANDI, R1: addrReg, Imm: visa.StoreMask})
+	}
+}

@@ -1,0 +1,191 @@
+package rewrite
+
+import (
+	"testing"
+
+	"mcfi/internal/visa"
+)
+
+func decode(t *testing.T, code []byte) []visa.Instr {
+	t.Helper()
+	is, err := visa.DecodeAll(code)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return is
+}
+
+func ops(is []visa.Instr) []visa.Op {
+	out := make([]visa.Op, len(is))
+	for i, ins := range is {
+		out[i] = ins.Op
+	}
+	return out
+}
+
+// expectSeq checks the instruction stream contains exactly the Fig. 4
+// check-transaction skeleton for the given branch op.
+func expectSeq(t *testing.T, got []visa.Op, want []visa.Op) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("sequence length %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("instr %d = %s, want %s", i, got[i].Name(), want[i].Name())
+		}
+	}
+}
+
+func TestEmitReturnInstrumented(t *testing.T) {
+	a := visa.NewAsm()
+	site := EmitReturn(a, true)
+	if err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	is := decode(t, a.Code)
+	expectSeq(t, ops(is), []visa.Op{
+		visa.POP, visa.AND32, visa.TLOADI, visa.TLOAD, visa.CMP,
+		visa.JE, visa.TESTB, visa.JE, visa.CMPW, visa.JNE, visa.HLT,
+		visa.JMPR,
+	})
+	// Offsets recorded correctly.
+	off := 0
+	for i, ins := range is {
+		if ins.Op == visa.TLOADI && off != site.TLoadIOffset {
+			t.Errorf("TLoadIOffset = %d, want %d", site.TLoadIOffset, off)
+		}
+		if i == len(is)-1 && off != site.BranchOffset {
+			t.Errorf("BranchOffset = %d, want %d", site.BranchOffset, off)
+		}
+		off += ins.Size()
+	}
+	// The retry (jne) must target the tloadi, the halt jump the hlt.
+	var jne, hlt, tl int
+	off = 0
+	for _, ins := range is {
+		switch ins.Op {
+		case visa.TLOADI:
+			tl = off
+		case visa.JNE:
+			jne = off + ins.Size() + int(ins.Imm)
+		case visa.HLT:
+			hlt = off
+		}
+		off += ins.Size()
+	}
+	if jne != tl {
+		t.Errorf("jne retries to %#x, want tloadi at %#x", jne, tl)
+	}
+	_ = hlt
+}
+
+func TestEmitReturnBaseline(t *testing.T) {
+	a := visa.NewAsm()
+	site := EmitReturn(a, false)
+	is := decode(t, a.Code)
+	if len(is) != 1 || is[0].Op != visa.RET {
+		t.Fatalf("baseline return = %v", ops(is))
+	}
+	if site.TLoadIOffset != -1 {
+		t.Error("baseline has no TLOADI")
+	}
+}
+
+func TestEmitIndirectCallAlignsReturnSite(t *testing.T) {
+	for pad := 0; pad < 4; pad++ {
+		a := visa.NewAsm()
+		for i := 0; i < pad; i++ {
+			a.Emit(visa.Instr{Op: visa.MOV, R1: 0, R2: 1}) // 3 bytes each
+		}
+		site := EmitIndirectCall(a, true)
+		end := site.BranchOffset + visa.Instr{Op: visa.CALLR}.Size()
+		if end%4 != 0 {
+			t.Errorf("pad %d: return site at %#x not aligned", pad, end)
+		}
+	}
+}
+
+func TestEmitTailJumpAndLongjmpShapes(t *testing.T) {
+	a := visa.NewAsm()
+	st := EmitTailJump(a, true)
+	if err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	is := decode(t, a.Code)
+	if is[len(is)-1].Op != visa.JMPR {
+		t.Error("tail jump must end in jmpr")
+	}
+	if st.TLoadIOffset < 0 {
+		t.Error("tail jump must be checked")
+	}
+
+	b := visa.NewAsm()
+	lj := EmitLongjmp(b, true)
+	if err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	bis := decode(t, b.Code)
+	last := bis[len(bis)-1]
+	if last.Op != visa.JRESTORE || last.R3 != visa.R11 {
+		t.Errorf("longjmp must end in jrestore via r11, got %s", last.String())
+	}
+	if lj.TLoadIOffset < 0 {
+		t.Error("longjmp must be checked")
+	}
+}
+
+func TestAlignIBT(t *testing.T) {
+	for start := 0; start < 4; start++ {
+		a := visa.NewAsm()
+		for i := 0; i < start; i++ {
+			a.Emit(visa.Instr{Op: visa.NOP})
+		}
+		AlignIBT(a)
+		if a.Pos()%4 != 0 {
+			t.Errorf("start %d: pos %d not aligned", start, a.Pos())
+		}
+	}
+}
+
+func TestEmitStoreMask(t *testing.T) {
+	a := visa.NewAsm()
+	EmitStoreMask(a, visa.R3, true, visa.Profile64)
+	is := decode(t, a.Code)
+	if len(is) != 1 || is[0].Op != visa.ANDI || is[0].R1 != visa.R3 ||
+		is[0].Imm != visa.StoreMask {
+		t.Errorf("mask = %v", is)
+	}
+	b := visa.NewAsm()
+	EmitStoreMask(b, visa.R3, false, visa.Profile64)
+	if len(b.Code) != 0 {
+		t.Error("baseline emits no mask")
+	}
+	// Profile32 relies on segmentation (paper §5.1): no mask emitted.
+	c := visa.NewAsm()
+	EmitStoreMask(c, visa.R3, true, visa.Profile32)
+	if len(c.Code) != 0 {
+		t.Error("Profile32 must not emit store masks (segmentation)")
+	}
+}
+
+// The reserved MCFI scratch registers must be the only registers the
+// check sequence touches (paper §7: a compiler pass reserves them).
+func TestCheckSequenceOnlyUsesReservedRegisters(t *testing.T) {
+	a := visa.NewAsm()
+	EmitIndirectCall(a, true)
+	if err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range decode(t, a.Code) {
+		switch ins.Op {
+		case visa.AND32, visa.TLOADI, visa.TLOAD, visa.CMP, visa.CMPW,
+			visa.TESTB, visa.CALLR:
+			for _, r := range []byte{ins.R1, ins.R2} {
+				if r != 0 && r != visa.R9 && r != visa.R10 && r != visa.R11 {
+					t.Errorf("%s touches non-reserved r%d", ins.Op.Name(), r)
+				}
+			}
+		}
+	}
+}

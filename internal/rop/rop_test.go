@@ -1,0 +1,145 @@
+package rop
+
+import (
+	"testing"
+
+	"mcfi/internal/visa"
+)
+
+// buildCode assembles a tiny image with known gadget structure.
+func buildCode(instrs []visa.Instr) []byte {
+	var code []byte
+	for _, i := range instrs {
+		code = visa.Encode(code, i)
+	}
+	return code
+}
+
+func TestFindsRetGadget(t *testing.T) {
+	code := buildCode([]visa.Instr{
+		{Op: visa.POP, R1: visa.R1},
+		{Op: visa.ADD, R1: visa.R0, R2: visa.R1},
+		{Op: visa.RET},
+	})
+	gs := Find(code, 8)
+	if len(gs) == 0 {
+		t.Fatal("no gadgets found")
+	}
+	// The aligned full sequence plus suffixes must be found; every
+	// gadget ends in ret.
+	for _, g := range gs {
+		if g.End != visa.RET {
+			t.Errorf("gadget at %d ends in %s", g.Offset, g.End.Name())
+		}
+	}
+	// The 1-instruction gadget (bare ret) exists.
+	found := false
+	for _, g := range gs {
+		if g.Instrs == 1 && g.Len == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("bare-ret gadget missing")
+	}
+}
+
+func TestFindsMisalignedGadgets(t *testing.T) {
+	// A MOVI immediate containing the RET encoding yields a gadget
+	// starting inside the instruction — the x86 phenomenon the byte
+	// encoding reproduces.
+	imm := int64(byte(visa.RET)) // low byte of the immediate is 0x28
+	code := buildCode([]visa.Instr{
+		{Op: visa.MOVI, R1: visa.R0, Imm: imm},
+		{Op: visa.HLT},
+	})
+	gs := Find(code, 8)
+	hasInterior := false
+	for _, g := range gs {
+		if g.Offset > 0 && g.Offset < 10 {
+			hasInterior = true
+		}
+	}
+	if !hasInterior {
+		t.Errorf("no mid-instruction gadget found: %+v", gs)
+	}
+}
+
+func TestDedupByContent(t *testing.T) {
+	// The same byte sequence twice counts once (unique gadgets, as
+	// rp++ reports).
+	one := []visa.Instr{
+		{Op: visa.POP, R1: visa.R3},
+		{Op: visa.RET},
+	}
+	code := buildCode(append(one, one...))
+	gs := Find(code, 8)
+	byContent := map[string]int{}
+	for _, g := range gs {
+		byContent[string(code[g.Offset:g.Offset+g.Len])]++
+	}
+	for k, n := range byContent {
+		if n > 1 {
+			t.Errorf("sequence %q reported %d times", k, n)
+		}
+	}
+}
+
+func TestDirectBranchTerminatesScan(t *testing.T) {
+	// A direct jmp between the start and any indirect branch makes the
+	// sequence useless as a gadget.
+	code := buildCode([]visa.Instr{
+		{Op: visa.POP, R1: visa.R1},
+		{Op: visa.JMP, Imm: 4},
+		{Op: visa.RET},
+	})
+	gs := Find(code, 8)
+	for _, g := range gs {
+		if g.Offset == 0 {
+			t.Errorf("gadget through a direct jmp: %+v", g)
+		}
+	}
+}
+
+func TestCountUsableAndElimination(t *testing.T) {
+	code := buildCode([]visa.Instr{
+		{Op: visa.POP, R1: visa.R1},  // offset 0 (aligned)
+		{Op: visa.ADD, R1: 0, R2: 1}, // offset 2
+		{Op: visa.RET},               // offset 5
+	})
+	gs := Find(code, 8)
+	if len(gs) == 0 {
+		t.Fatal("no gadgets")
+	}
+	// Under MCFI, nothing is a valid target: all gadgets die.
+	usable := CountUsable(gs, 0x1000, func(addr int) bool { return false })
+	if usable != 0 {
+		t.Errorf("usable = %d, want 0", usable)
+	}
+	if e := Elimination(len(gs), usable); e != 1 {
+		t.Errorf("elimination = %v, want 1", e)
+	}
+	// If the aligned start were a legal target, that one survives.
+	usable = CountUsable(gs, 0x1000, func(addr int) bool { return addr == 0x1000 })
+	if usable != 1 {
+		t.Errorf("usable = %d, want 1", usable)
+	}
+	if Elimination(0, 0) != 0 {
+		t.Error("degenerate elimination should be 0")
+	}
+}
+
+func TestGadgetsNeverPanicOnRandomBytes(t *testing.T) {
+	raw := make([]byte, 4096)
+	state := uint64(42)
+	for i := range raw {
+		state = state*6364136223846793005 + 1
+		raw[i] = byte(state >> 33)
+	}
+	gs := Find(raw, DefaultMaxLen)
+	for _, g := range gs {
+		if g.Offset < 0 || g.Offset+g.Len > len(raw) {
+			t.Fatalf("gadget out of range: %+v", g)
+		}
+	}
+}

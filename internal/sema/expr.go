@@ -1,0 +1,558 @@
+package sema
+
+import (
+	"mcfi/internal/ctypes"
+	"mcfi/internal/minic"
+)
+
+// checkExpr types an expression, resolving identifiers, performing
+// array/function decay, and returning the (possibly rewritten)
+// expression. On error it reports and returns the expression typed as
+// int so checking can continue.
+func (c *checker) checkExpr(e minic.Expr) minic.Expr {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		// Literals that fit in 32 bits are int; larger are long.
+		if x.Value >= -(1<<31) && x.Value < 1<<31 {
+			x.SetType(ctypes.IntType)
+		} else {
+			x.SetType(ctypes.LongType)
+		}
+		return x
+	case *minic.FloatLit:
+		x.SetType(ctypes.DoubleType)
+		return x
+	case *minic.StrLit:
+		x.SetType(ctypes.PointerTo(ctypes.CharType))
+		return x
+	case *minic.Ident:
+		return c.checkIdent(x, false)
+	case *minic.Unary:
+		return c.checkUnary(x)
+	case *minic.Postfix:
+		x.X = c.checkExpr(x.X)
+		t := x.X.ExprType()
+		if !c.isLvalue(x.X) {
+			c.errf(x.Pos, "operand of %s must be an lvalue", x.Op)
+		}
+		if t != nil && !t.IsArithmetic() && t.Kind != ctypes.Pointer {
+			c.errf(x.Pos, "invalid operand type %s for %s", t, x.Op)
+		}
+		x.SetType(t)
+		return x
+	case *minic.Binary:
+		return c.checkBinary(x)
+	case *minic.Assign:
+		return c.checkAssign(x)
+	case *minic.Cond:
+		x.C = c.checkCond(x.C)
+		x.T = c.checkExpr(x.T)
+		x.F = c.checkExpr(x.F)
+		tt, ft := x.T.ExprType(), x.F.ExprType()
+		switch {
+		case tt == nil || ft == nil:
+			x.SetType(ctypes.IntType)
+		case tt.IsArithmetic() && ft.IsArithmetic():
+			res := usualArith(tt, ft)
+			x.T = c.coerce(res, x.T, "conditional")
+			x.F = c.coerce(res, x.F, "conditional")
+			x.SetType(res)
+		case ctypes.Equal(tt, ft):
+			x.SetType(tt)
+		case tt.Kind == ctypes.Pointer && ft.Kind == ctypes.Pointer:
+			// Unify to the then-arm's type (void* mixing, etc).
+			x.F = c.coerce(tt, x.F, "conditional")
+			x.SetType(tt)
+		case tt.Kind == ctypes.Pointer && ft.IsInteger():
+			x.F = c.coerce(tt, x.F, "conditional")
+			x.SetType(tt)
+		case ft.Kind == ctypes.Pointer && tt.IsInteger():
+			x.T = c.coerce(ft, x.T, "conditional")
+			x.SetType(ft)
+		default:
+			c.errf(x.Pos, "incompatible conditional arms: %s vs %s", tt, ft)
+			x.SetType(tt)
+		}
+		return x
+	case *minic.Call:
+		return c.checkCall(x)
+	case *minic.Index:
+		x.X = c.checkExpr(x.X)
+		x.I = c.checkExpr(x.I)
+		bt := x.X.ExprType()
+		if it := x.I.ExprType(); it != nil && !it.IsInteger() {
+			c.errf(x.Pos, "array index must be an integer, got %s", it)
+		}
+		switch {
+		case bt == nil:
+			x.SetType(ctypes.IntType)
+		case bt.Kind == ctypes.Pointer:
+			x.SetType(bt.Elem)
+		case bt.Kind == ctypes.Array:
+			x.SetType(bt.Elem)
+		default:
+			c.errf(x.Pos, "subscript of non-pointer type %s", bt)
+			x.SetType(ctypes.IntType)
+		}
+		return x
+	case *minic.Member:
+		x.X = c.checkExpr(x.X)
+		rt := x.X.ExprType()
+		if rt == nil {
+			x.SetType(ctypes.IntType)
+			return x
+		}
+		if x.Arrow {
+			if rt.Kind != ctypes.Pointer {
+				c.errf(x.Pos, "-> on non-pointer type %s", rt)
+				x.SetType(ctypes.IntType)
+				return x
+			}
+			rt = rt.Elem
+		}
+		if rt.Kind != ctypes.Struct && rt.Kind != ctypes.Union {
+			c.errf(x.Pos, "member access on non-record type %s", rt)
+			x.SetType(ctypes.IntType)
+			return x
+		}
+		f, ok := rt.Field(x.Name)
+		if !ok {
+			c.errf(x.Pos, "no field %q in %s", x.Name, rt)
+			x.SetType(ctypes.IntType)
+			return x
+		}
+		x.SetType(c.decayType(f.Type))
+		return x
+	case *minic.Cast:
+		x.X = c.checkExpr(x.X)
+		x.SetType(x.To)
+		return x
+	case *minic.SizeofType:
+		x.SetType(ctypes.LongType)
+		return x
+	case *minic.InitList:
+		for i := range x.Elems {
+			x.Elems[i] = c.checkExpr(x.Elems[i])
+		}
+		// The list's own type is assigned by coerceInit against the target.
+		return x
+	case *minic.ImplicitCast:
+		return x // already typed
+	}
+	c.errf(e.NodePos(), "unhandled expression %T", e)
+	e.SetType(ctypes.IntType)
+	return e
+}
+
+// checkIdent resolves an identifier. When a function name appears in a
+// non-callee position it decays to a function pointer and the function
+// is marked address-taken (an MCFI indirect-branch target).
+func (c *checker) checkIdent(x *minic.Ident, isCallee bool) minic.Expr {
+	sym := c.lookup(x.Name)
+	if sym == nil {
+		c.errf(x.Pos, "undeclared identifier %q", x.Name)
+		x.SetType(ctypes.IntType)
+		return x
+	}
+	x.Sym = sym
+	switch sym.Kind {
+	case minic.SymEnumConst:
+		lit := &minic.IntLit{Value: sym.EnumVal}
+		lit.SetType(ctypes.IntType)
+		return lit
+	case minic.SymFunc:
+		if isCallee {
+			x.SetType(sym.Type)
+			return x
+		}
+		sym.AddrTaken = true
+		x.SetType(ctypes.PointerTo(sym.Type))
+		return x
+	default:
+		x.SetType(c.decayType(sym.Type))
+		return x
+	}
+}
+
+// decayType converts array types to pointers in rvalue contexts.
+func (c *checker) decayType(t *ctypes.Type) *ctypes.Type {
+	if t != nil && t.Kind == ctypes.Array {
+		return ctypes.PointerTo(t.Elem)
+	}
+	return t
+}
+
+func (c *checker) checkUnary(x *minic.Unary) minic.Expr {
+	if x.Op == minic.AMP {
+		// &f on a function marks it address-taken; &v on a variable.
+		if id, ok := x.X.(*minic.Ident); ok {
+			if sym := c.lookup(id.Name); sym != nil && sym.Kind == minic.SymFunc {
+				sym.AddrTaken = true
+				id.Sym = sym
+				id.SetType(sym.Type)
+				x.SetType(ctypes.PointerTo(sym.Type))
+				return x
+			}
+		}
+		x.X = c.checkExprNoDecay(x.X)
+		if !c.isLvalue(x.X) {
+			c.errf(x.Pos, "cannot take the address of a non-lvalue")
+		}
+		t := x.X.ExprType()
+		if t == nil {
+			t = ctypes.IntType
+		}
+		x.SetType(ctypes.PointerTo(t))
+		return x
+	}
+	x.X = c.checkExpr(x.X)
+	t := x.X.ExprType()
+	if t == nil {
+		t = ctypes.IntType
+	}
+	switch x.Op {
+	case minic.MINUS, minic.TILDE:
+		if !t.IsArithmetic() {
+			c.errf(x.Pos, "invalid operand type %s for unary %s", t, x.Op)
+		}
+		if x.Op == minic.TILDE && !t.IsInteger() {
+			c.errf(x.Pos, "~ requires an integer operand")
+		}
+		x.SetType(promote(t))
+	case minic.NOT:
+		if !t.IsScalar() {
+			c.errf(x.Pos, "! requires a scalar operand")
+		}
+		x.SetType(ctypes.IntType)
+	case minic.STAR:
+		if t.Kind != ctypes.Pointer {
+			c.errf(x.Pos, "cannot dereference non-pointer type %s", t)
+			x.SetType(ctypes.IntType)
+			return x
+		}
+		// Dereferencing a function pointer yields the function type,
+		// which immediately decays back to the pointer (C semantics).
+		if t.Elem.Kind == ctypes.Func {
+			x.SetType(t)
+			return x.X // *fp == fp
+		}
+		x.SetType(c.decayType(t.Elem))
+	case minic.INC, minic.DEC:
+		if !c.isLvalue(x.X) {
+			c.errf(x.Pos, "operand of %s must be an lvalue", x.Op)
+		}
+		if !t.IsArithmetic() && t.Kind != ctypes.Pointer {
+			c.errf(x.Pos, "invalid operand type %s for %s", t, x.Op)
+		}
+		x.SetType(t)
+	case minic.KwSizeof:
+		x.SetType(ctypes.LongType)
+	default:
+		c.errf(x.Pos, "unhandled unary operator %s", x.Op)
+		x.SetType(ctypes.IntType)
+	}
+	return x
+}
+
+// checkExprNoDecay checks an expression but keeps array types intact
+// (for the operand of &).
+func (c *checker) checkExprNoDecay(e minic.Expr) minic.Expr {
+	if id, ok := e.(*minic.Ident); ok {
+		sym := c.lookup(id.Name)
+		if sym == nil {
+			c.errf(id.Pos, "undeclared identifier %q", id.Name)
+			id.SetType(ctypes.IntType)
+			return id
+		}
+		id.Sym = sym
+		id.SetType(sym.Type)
+		return id
+	}
+	return c.checkExpr(e)
+}
+
+func (c *checker) isLvalue(e minic.Expr) bool {
+	switch x := e.(type) {
+	case *minic.Ident:
+		return x.Sym == nil || x.Sym.Kind == minic.SymVar || x.Sym.Kind == minic.SymParam
+	case *minic.Index, *minic.Member:
+		return true
+	case *minic.Unary:
+		return x.Op == minic.STAR
+	}
+	return false
+}
+
+// promote applies the integer promotions (everything smaller than int
+// becomes int).
+func promote(t *ctypes.Type) *ctypes.Type {
+	switch t.Kind {
+	case ctypes.Bool, ctypes.Char, ctypes.Short, ctypes.Enum:
+		return ctypes.IntType
+	case ctypes.UChar, ctypes.UShort:
+		return ctypes.IntType
+	}
+	return t
+}
+
+// usualArith applies the usual arithmetic conversions.
+func usualArith(a, b *ctypes.Type) *ctypes.Type {
+	if a.Kind == ctypes.Double || b.Kind == ctypes.Double {
+		return ctypes.DoubleType
+	}
+	a, b = promote(a), promote(b)
+	rank := func(t *ctypes.Type) int {
+		switch t.Kind {
+		case ctypes.Int:
+			return 1
+		case ctypes.UInt:
+			return 2
+		case ctypes.Long:
+			return 3
+		case ctypes.ULong:
+			return 4
+		}
+		return 1
+	}
+	ra, rb := rank(a), rank(b)
+	if ra >= rb {
+		return a
+	}
+	return b
+}
+
+func (c *checker) checkBinary(x *minic.Binary) minic.Expr {
+	x.L = c.checkExpr(x.L)
+	x.R = c.checkExpr(x.R)
+	lt, rt := x.L.ExprType(), x.R.ExprType()
+	if lt == nil || rt == nil {
+		x.SetType(ctypes.IntType)
+		return x
+	}
+	switch x.Op {
+	case minic.LAND, minic.LOR:
+		if !lt.IsScalar() || !rt.IsScalar() {
+			c.errf(x.Pos, "logical operator requires scalar operands")
+		}
+		x.SetType(ctypes.IntType)
+		return x
+	case minic.EQ, minic.NE, minic.LT, minic.GT, minic.LE, minic.GE:
+		switch {
+		case lt.IsArithmetic() && rt.IsArithmetic():
+			res := usualArith(lt, rt)
+			x.L = c.coerce(res, x.L, "comparison")
+			x.R = c.coerce(res, x.R, "comparison")
+		case lt.Kind == ctypes.Pointer && rt.Kind == ctypes.Pointer:
+			// Pointer comparison; no coercion needed.
+		case lt.Kind == ctypes.Pointer && rt.IsInteger():
+			x.R = c.coerce(lt, x.R, "comparison")
+		case rt.Kind == ctypes.Pointer && lt.IsInteger():
+			x.L = c.coerce(rt, x.L, "comparison")
+		default:
+			c.errf(x.Pos, "invalid comparison: %s %s %s", lt, x.Op, rt)
+		}
+		x.SetType(ctypes.IntType)
+		return x
+	case minic.PLUS:
+		if lt.Kind == ctypes.Pointer && rt.IsInteger() {
+			x.SetType(lt)
+			return x
+		}
+		if rt.Kind == ctypes.Pointer && lt.IsInteger() {
+			x.SetType(rt)
+			return x
+		}
+	case minic.MINUS:
+		if lt.Kind == ctypes.Pointer && rt.IsInteger() {
+			x.SetType(lt)
+			return x
+		}
+		if lt.Kind == ctypes.Pointer && rt.Kind == ctypes.Pointer {
+			x.SetType(ctypes.LongType)
+			return x
+		}
+	case minic.PERCENT, minic.AMP, minic.PIPE, minic.CARET, minic.SHL, minic.SHR:
+		if !lt.IsInteger() || !rt.IsInteger() {
+			c.errf(x.Pos, "operator %s requires integer operands, got %s and %s", x.Op, lt, rt)
+			x.SetType(ctypes.IntType)
+			return x
+		}
+	}
+	if !lt.IsArithmetic() || !rt.IsArithmetic() {
+		c.errf(x.Pos, "invalid operands to %s: %s and %s", x.Op, lt, rt)
+		x.SetType(ctypes.IntType)
+		return x
+	}
+	res := usualArith(lt, rt)
+	if x.Op == minic.SHL || x.Op == minic.SHR {
+		// Shift result has the promoted left operand's type.
+		res = promote(lt)
+		x.L = c.coerce(res, x.L, "shift")
+		x.SetType(res)
+		return x
+	}
+	x.L = c.coerce(res, x.L, "arithmetic")
+	x.R = c.coerce(res, x.R, "arithmetic")
+	x.SetType(res)
+	return x
+}
+
+func (c *checker) checkAssign(x *minic.Assign) minic.Expr {
+	x.L = c.checkExpr(x.L)
+	if !c.isLvalue(x.L) {
+		c.errf(x.Pos, "assignment target is not an lvalue")
+	}
+	x.R = c.checkExpr(x.R)
+	lt := x.L.ExprType()
+	if lt == nil {
+		x.SetType(ctypes.IntType)
+		return x
+	}
+	if x.Op == minic.ASSIGN {
+		x.R = c.coerce(lt, x.R, "assignment")
+	} else {
+		// Compound assignment: the operation happens at the common
+		// arithmetic type, the result converts back to lt.
+		rt := x.R.ExprType()
+		if lt.Kind == ctypes.Pointer && (x.Op == minic.ADDEQ || x.Op == minic.SUBEQ) {
+			if rt != nil && !rt.IsInteger() {
+				c.errf(x.Pos, "pointer %s requires an integer, got %s", x.Op, rt)
+			}
+		} else if rt != nil {
+			if !lt.IsArithmetic() || !rt.IsArithmetic() {
+				c.errf(x.Pos, "invalid compound assignment: %s %s %s", lt, x.Op, rt)
+			} else {
+				x.R = c.coerce(usualArith(lt, rt), x.R, "assignment")
+			}
+		}
+	}
+	x.SetType(lt)
+	return x
+}
+
+func (c *checker) checkCall(x *minic.Call) minic.Expr {
+	var ft *ctypes.Type
+	if id, ok := x.Fun.(*minic.Ident); ok {
+		fun := c.checkIdent(id, true)
+		x.Fun = fun
+		t := fun.ExprType()
+		switch {
+		case t == nil:
+			x.SetType(ctypes.IntType)
+			return x
+		case t.Kind == ctypes.Func:
+			ft = t // direct call
+		case t.IsFuncPointer():
+			ft = t.Elem // variable of fp type: indirect call
+		default:
+			c.errf(x.Pos, "called object %q is not a function (%s)", id.Name, t)
+			x.SetType(ctypes.IntType)
+			return x
+		}
+	} else {
+		x.Fun = c.checkExpr(x.Fun)
+		t := x.Fun.ExprType()
+		if t == nil || !t.IsFuncPointer() {
+			c.errf(x.Pos, "called expression is not a function pointer (%v)", t)
+			x.SetType(ctypes.IntType)
+			return x
+		}
+		ft = t.Elem
+	}
+	nfixed := len(ft.Params)
+	if len(x.Args) < nfixed || (!ft.Variadic && len(x.Args) > nfixed) {
+		c.errf(x.Pos, "wrong number of arguments: got %d, want %d%s",
+			len(x.Args), nfixed, map[bool]string{true: "+", false: ""}[ft.Variadic])
+	}
+	for i := range x.Args {
+		a := c.checkExpr(x.Args[i])
+		if i < nfixed {
+			a = c.coerce(ft.Params[i], a, "argument")
+		} else if at := a.ExprType(); at != nil && at.IsInteger() && promote(at) != at {
+			// Default argument promotions for variadic tails.
+			a = c.coerce(promote(at), a, "argument")
+		}
+		x.Args[i] = a
+	}
+	x.SetType(ft.Result)
+	return x
+}
+
+// coerce converts expr to type want, inserting an ImplicitCast when the
+// types are not structurally equal. Illegal conversions are reported.
+func (c *checker) coerce(want *ctypes.Type, e minic.Expr, ctx string) minic.Expr {
+	got := e.ExprType()
+	if got == nil || want == nil || ctypes.Equal(want, got) {
+		return e
+	}
+	legal := false
+	switch {
+	case want.IsArithmetic() && got.IsArithmetic():
+		legal = true
+	case want.Kind == ctypes.Pointer && got.Kind == ctypes.Pointer:
+		legal = true // C permits it; the MCFI analyzer may flag it
+	case want.Kind == ctypes.Pointer && got.IsInteger():
+		legal = true // includes NULL-style literals
+	case want.IsInteger() && got.Kind == ctypes.Pointer:
+		legal = true
+	}
+	if !legal {
+		c.errf(e.NodePos(), "cannot convert %s to %s in %s", got, want, ctx)
+		return e
+	}
+	ic := &minic.ImplicitCast{To: want, X: e}
+	ic.Pos = e.NodePos()
+	ic.SetType(want)
+	return ic
+}
+
+// coerceInit handles initializers, including braced lists for arrays
+// and structs.
+func (c *checker) coerceInit(want *ctypes.Type, e minic.Expr) minic.Expr {
+	il, isList := e.(*minic.InitList)
+	if !isList {
+		// "char buf[] = "str"" style: string initializing a char array.
+		if want.Kind == ctypes.Array && want.Elem.Kind == ctypes.Char {
+			if _, isStr := e.(*minic.StrLit); isStr {
+				e.SetType(want)
+				return e
+			}
+		}
+		return c.coerce(want, e, "initialization")
+	}
+	switch want.Kind {
+	case ctypes.Array:
+		if want.Len == 0 {
+			want.Len = len(il.Elems)
+		}
+		if len(il.Elems) > want.Len {
+			c.errf(il.Pos, "too many initializers for %s", want)
+		}
+		for i := range il.Elems {
+			il.Elems[i] = c.coerceInit(want.Elem, il.Elems[i])
+		}
+	case ctypes.Struct:
+		if len(il.Elems) > len(want.Fields) {
+			c.errf(il.Pos, "too many initializers for %s", want)
+		}
+		for i := range il.Elems {
+			if i < len(want.Fields) {
+				il.Elems[i] = c.coerceInit(want.Fields[i].Type, il.Elems[i])
+			}
+		}
+	case ctypes.Union:
+		if len(il.Elems) > 1 {
+			c.errf(il.Pos, "union initializer may set only the first member")
+		}
+		for i := range il.Elems {
+			il.Elems[i] = c.coerceInit(want.Fields[0].Type, il.Elems[i])
+		}
+	default:
+		if len(il.Elems) == 1 {
+			return c.coerce(want, il.Elems[0], "initialization")
+		}
+		c.errf(il.Pos, "braced initializer for scalar type %s", want)
+	}
+	il.SetType(want)
+	return il
+}

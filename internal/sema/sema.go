@@ -1,0 +1,363 @@
+// Package sema implements MiniC semantic analysis: name resolution,
+// type checking, implicit-conversion insertion, and address-taken
+// analysis.
+//
+// Sema matters to MCFI in three ways. First, it types every expression,
+// which is what the module's auxiliary type information is generated
+// from (paper §6: "a modified LLVM ... propagates types from the source
+// level to low level"). Second, it inserts explicit ImplicitCast nodes
+// so the C1 analyzer can see implicit casts involving function-pointer
+// types, not just the syntactic ones. Third, it computes which
+// functions have their address taken — the precondition for being an
+// indirect-call target under the type-matching policy.
+package sema
+
+import (
+	"errors"
+	"fmt"
+
+	"mcfi/internal/ctypes"
+	"mcfi/internal/minic"
+)
+
+// Unit is the result of analyzing one translation unit.
+type Unit struct {
+	File *minic.File
+	// Funcs are function definitions (with bodies), in source order.
+	Funcs []*minic.FuncDecl
+	// Protos are prototypes without a local definition (externs).
+	Protos []*minic.FuncDecl
+	// Globals are file-scope variables defined in this unit.
+	Globals []*minic.VarDecl
+	// Syms maps global names to their symbols.
+	Syms map[string]*minic.Symbol
+}
+
+// Error is a semantic error at a source position.
+type Error struct {
+	Pos minic.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+const maxErrors = 20
+
+type checker struct {
+	unit    *Unit
+	scopes  []map[string]*minic.Symbol
+	curFunc *minic.FuncDecl
+	loops   int
+	switchN int
+	labels  map[string]bool
+	gotos   []*minic.Goto
+	errs    []error
+	enums   map[string]int64
+}
+
+// Analyze resolves and type-checks a parsed file.
+func Analyze(f *minic.File) (*Unit, error) {
+	c := &checker{
+		unit: &Unit{
+			File: f,
+			Syms: map[string]*minic.Symbol{},
+		},
+		enums: f.EnumConsts,
+	}
+	c.push() // global scope
+
+	// Register enum constants as symbols.
+	for name, val := range f.EnumConsts {
+		sym := &minic.Symbol{Name: name, Kind: minic.SymEnumConst,
+			Type: ctypes.IntType, Global: true, EnumVal: val}
+		c.declare(minic.Pos{}, sym)
+	}
+
+	// Pass 1: declare all globals and functions (so forward references work).
+	for _, d := range f.Decls {
+		switch decl := d.(type) {
+		case *minic.FuncDecl:
+			c.declareFunc(decl)
+		case *minic.VarDecl:
+			c.declareVar(decl)
+		}
+	}
+	// Pass 2: check bodies and initializers.
+	for _, d := range f.Decls {
+		switch decl := d.(type) {
+		case *minic.FuncDecl:
+			if decl.Body != nil {
+				c.checkFuncBody(decl)
+			}
+		case *minic.VarDecl:
+			if decl.Init != nil {
+				init := c.checkExpr(decl.Init)
+				decl.Init = c.coerceInit(decl.Type, init)
+			}
+		}
+		if len(c.errs) >= maxErrors {
+			break
+		}
+	}
+	if len(c.errs) > 0 {
+		return nil, errors.Join(c.errs...)
+	}
+	return c.unit, nil
+}
+
+func (c *checker) errf(pos minic.Pos, format string, args ...interface{}) {
+	if len(c.errs) < maxErrors {
+		c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*minic.Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos minic.Pos, sym *minic.Symbol) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, exists := top[sym.Name]; exists && len(c.scopes) > 1 {
+		c.errf(pos, "redeclaration of %q", sym.Name)
+		return
+	}
+	top[sym.Name] = sym
+	if len(c.scopes) == 1 {
+		c.unit.Syms[sym.Name] = sym
+	}
+}
+
+func (c *checker) lookup(name string) *minic.Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) declareFunc(fd *minic.FuncDecl) {
+	if existing := c.lookup(fd.Name); existing != nil {
+		if existing.Kind != minic.SymFunc {
+			c.errf(fd.Pos, "%q redeclared as a function", fd.Name)
+			return
+		}
+		if !ctypes.Equal(existing.Type, fd.Type) {
+			c.errf(fd.Pos, "conflicting types for %q: %s vs %s",
+				fd.Name, existing.Type, fd.Type)
+			return
+		}
+		fd.Sym = existing
+		if fd.Body != nil {
+			existing.Def = fd
+			c.unit.Funcs = append(c.unit.Funcs, fd)
+		}
+		return
+	}
+	sym := &minic.Symbol{Name: fd.Name, Kind: minic.SymFunc,
+		Type: fd.Type, Global: true, Def: fd}
+	fd.Sym = sym
+	c.declare(fd.Pos, sym)
+	if fd.Body != nil {
+		c.unit.Funcs = append(c.unit.Funcs, fd)
+	} else {
+		c.unit.Protos = append(c.unit.Protos, fd)
+	}
+}
+
+func (c *checker) declareVar(vd *minic.VarDecl) {
+	if existing := c.lookup(vd.Name); existing != nil {
+		if existing.Kind == minic.SymVar && ctypes.Equal(existing.Type, vd.Type) {
+			vd.Sym = existing
+			return // tentative redefinition, C-style
+		}
+		c.errf(vd.Pos, "redeclaration of %q", vd.Name)
+		return
+	}
+	if vd.Type.Kind == ctypes.Void {
+		c.errf(vd.Pos, "variable %q has void type", vd.Name)
+		return
+	}
+	sym := &minic.Symbol{Name: vd.Name, Kind: minic.SymVar,
+		Type: vd.Type, Global: true, Def: vd}
+	vd.Sym = sym
+	c.declare(vd.Pos, sym)
+	if !vd.Extern {
+		c.unit.Globals = append(c.unit.Globals, vd)
+	}
+}
+
+func (c *checker) checkFuncBody(fd *minic.FuncDecl) {
+	c.curFunc = fd
+	c.labels = map[string]bool{}
+	c.gotos = nil
+	c.push()
+	for i, pt := range fd.Type.Params {
+		name := ""
+		if i < len(fd.ParamNames) {
+			name = fd.ParamNames[i]
+		}
+		if name == "" {
+			c.errf(fd.Pos, "parameter %d of %q is unnamed in definition", i, fd.Name)
+			continue
+		}
+		sym := &minic.Symbol{Name: name, Kind: minic.SymParam, Type: pt}
+		c.declare(fd.Pos, sym)
+	}
+	// The body's outermost block shares the parameter scope (C11 6.2.1).
+	for _, s := range fd.Body.Stmts {
+		c.checkStmt(s)
+	}
+	c.pop()
+	for _, g := range c.gotos {
+		if !c.labels[g.Label] {
+			c.errf(g.NodePos(), "goto undefined label %q", g.Label)
+		}
+	}
+	c.curFunc = nil
+}
+
+func (c *checker) checkBlock(b *minic.Block) {
+	c.push()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.pop()
+}
+
+func (c *checker) checkStmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case *minic.Block:
+		c.checkBlock(st)
+	case *minic.DeclGroup:
+		for _, d := range st.Decls {
+			c.checkStmt(d)
+		}
+	case *minic.ExprStmt:
+		st.X = c.checkExpr(st.X)
+	case *minic.DeclStmt:
+		if st.Type.Kind == ctypes.Void {
+			c.errf(st.Pos, "variable %q has void type", st.Name)
+			return
+		}
+		if st.Type.Kind == ctypes.Struct && st.Type.Incomplete {
+			c.errf(st.Pos, "variable %q has incomplete type %s", st.Name, st.Type)
+			return
+		}
+		sym := &minic.Symbol{Name: st.Name, Kind: minic.SymVar, Type: st.Type, Def: st}
+		st.Sym = sym
+		if st.Init != nil {
+			init := c.checkExpr(st.Init)
+			st.Init = c.coerceInit(st.Type, init)
+		}
+		c.declare(st.Pos, sym)
+	case *minic.If:
+		st.Cond = c.checkCond(st.Cond)
+		c.checkStmt(st.Then)
+		if st.Else != nil {
+			c.checkStmt(st.Else)
+		}
+	case *minic.While:
+		st.Cond = c.checkCond(st.Cond)
+		c.loops++
+		c.checkStmt(st.Body)
+		c.loops--
+	case *minic.DoWhile:
+		c.loops++
+		c.checkStmt(st.Body)
+		c.loops--
+		st.Cond = c.checkCond(st.Cond)
+	case *minic.For:
+		c.push()
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			st.Cond = c.checkCond(st.Cond)
+		}
+		if st.Post != nil {
+			st.Post = c.checkExpr(st.Post)
+		}
+		c.loops++
+		c.checkStmt(st.Body)
+		c.loops--
+		c.pop()
+	case *minic.Switch:
+		st.Cond = c.checkExpr(st.Cond)
+		if st.Cond.ExprType() != nil && !st.Cond.ExprType().IsInteger() {
+			c.errf(st.Pos, "switch condition must be an integer, got %s", st.Cond.ExprType())
+		}
+		c.switchN++
+		seen := map[int64]bool{}
+		sawDefault := false
+		for i := range st.Cases {
+			arm := &st.Cases[i]
+			if arm.IsDefault {
+				if sawDefault {
+					c.errf(arm.Pos, "duplicate default case")
+				}
+				sawDefault = true
+			}
+			for _, v := range arm.Vals {
+				cv, err := minic.EvalConstExpr(v, c.enums)
+				if err != nil {
+					c.errf(v.NodePos(), "case label is not constant: %v", err)
+					continue
+				}
+				if seen[cv] {
+					c.errf(v.NodePos(), "duplicate case value %d", cv)
+				}
+				seen[cv] = true
+			}
+			for _, inner := range arm.Stmts {
+				c.checkStmt(inner)
+			}
+		}
+		c.switchN--
+	case *minic.Break:
+		if c.loops == 0 && c.switchN == 0 {
+			c.errf(st.Pos, "break outside loop or switch")
+		}
+	case *minic.Continue:
+		if c.loops == 0 {
+			c.errf(st.Pos, "continue outside loop")
+		}
+	case *minic.Return:
+		res := c.curFunc.Type.Result
+		if st.X == nil {
+			if res.Kind != ctypes.Void {
+				c.errf(st.Pos, "return without value in function returning %s", res)
+			}
+			return
+		}
+		if res.Kind == ctypes.Void {
+			c.errf(st.Pos, "return with value in void function")
+			return
+		}
+		x := c.checkExpr(st.X)
+		st.X = c.coerce(res, x, "return")
+	case *minic.Goto:
+		c.gotos = append(c.gotos, st)
+	case *minic.Label:
+		if c.labels[st.Name] {
+			c.errf(st.Pos, "duplicate label %q", st.Name)
+		}
+		c.labels[st.Name] = true
+		if st.Stmt != nil {
+			c.checkStmt(st.Stmt)
+		}
+	case *minic.AsmStmt:
+		// Nothing to check; the C2 analyzer reports these.
+	case nil:
+	default:
+		c.errf(s.NodePos(), "unhandled statement %T", s)
+	}
+}
+
+// checkCond checks a boolean context expression: any scalar is allowed.
+func (c *checker) checkCond(e minic.Expr) minic.Expr {
+	x := c.checkExpr(e)
+	if t := x.ExprType(); t != nil && !t.IsScalar() {
+		c.errf(e.NodePos(), "condition must be scalar, got %s", t)
+	}
+	return x
+}

@@ -1,0 +1,413 @@
+// Package tables implements MCFI's runtime ID tables — the Bary
+// (branch-ID) and Tary (target-ID) tables — and the transactions that
+// access them (paper §5).
+//
+// Both tables live in a dedicated table region outside the sandbox,
+// modelled as a []uint32 accessed only through sync/atomic (the VM's
+// TLOAD/TLOADI instructions route here, standing in for the paper's
+// %gs-relative loads). The Tary table is an array indexed by
+// code address / 4: every four-byte-aligned code address has an entry,
+// either a valid ID or all zeros. The Bary table is a dense array of
+// branch IDs; the loader patches each check sequence with its constant
+// Bary index (paper §5.1).
+//
+// Update transactions (paper Fig. 3) serialize on an update lock,
+// increment the global version, rebuild the Tary table, publish it
+// entry-by-atomic-entry (the movnti parallel copy), execute a memory
+// barrier, and only then update the Bary table — so concurrent check
+// transactions observe either the old CFG or the new CFG, never a mix.
+//
+// Check transactions (paper Fig. 4) are implemented twice: natively in
+// the VM's instrumentation sequence, and here in Check for host-side
+// use (the dynamic linker, tests, and the STM micro-benchmarks).
+package tables
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mcfi/internal/id"
+)
+
+// Verdict is the outcome of a check transaction.
+type Verdict int
+
+// Check outcomes.
+const (
+	// Pass: branch ID equals target ID; control transfer allowed.
+	Pass Verdict = iota
+	// Violation: the target is not a valid indirect-branch target or
+	// belongs to a different equivalence class. Execution must halt.
+	Violation
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	if v == Pass {
+		return "pass"
+	}
+	return "violation"
+}
+
+// Tables is the MCFI table region.
+type Tables struct {
+	// tary has one entry per four bytes of code region.
+	tary []uint32
+	// bary is the dense branch-ID array.
+	bary []uint32
+	// version is the current 14-bit global version number.
+	version uint32
+	// updMu is the global update lock (Fig. 3 line 3).
+	updMu sync.Mutex
+	// updates counts completed update transactions, for ABA tracking
+	// (§5.2 "The ABA Problem").
+	updates atomic.Int64
+	// sinceQuiescence counts update transactions since the last
+	// observed quiescence point — the counter the paper proposes to
+	// keep below 2^14: "if every thread is observed to finish using
+	// old-version IDs (e.g., when each thread invokes a system call),
+	// the counter is reset to zero".
+	sinceQuiescence atomic.Int64
+	// retries counts check-transaction retries observed by host-side
+	// Check calls (telemetry for the Fig. 6 experiment).
+	retries atomic.Int64
+	// codeLimit is the capacity of the Tary table in code bytes.
+	codeLimit int
+	// covered is the currently loaded code extent: update transactions
+	// rebuild only [0, covered), keeping their cost proportional to
+	// the program like the paper's code-sized Tary table. Reads may
+	// still probe the whole capacity (uncovered entries are zero).
+	covered atomic.Int64
+}
+
+// BaryBase is the byte offset of the Bary table within the table
+// region as seen by TLOADI (the Tary table starts at offset 0,
+// mirroring "the Tary table starts at %gs").
+func (t *Tables) BaryBase() int { return t.codeLimit }
+
+// New creates tables covering codeLimit bytes of code and maxBranches
+// indirect branches. codeLimit is rounded up to a multiple of 4.
+func New(codeLimit, maxBranches int) *Tables {
+	codeLimit = (codeLimit + 3) &^ 3
+	t := &Tables{
+		tary:      make([]uint32, codeLimit/4),
+		bary:      make([]uint32, maxBranches),
+		codeLimit: codeLimit,
+	}
+	t.covered.Store(int64(codeLimit))
+	return t
+}
+
+// SetCovered bounds the code extent that update transactions rebuild
+// (rounded up to a word). The loader raises it as modules are linked.
+func (t *Tables) SetCovered(limit int) {
+	if limit < 0 {
+		limit = 0
+	}
+	if limit > t.codeLimit {
+		limit = t.codeLimit
+	}
+	t.covered.Store(int64((limit + 3) &^ 3))
+}
+
+// coveredWords returns the number of Tary words updates must rebuild.
+func (t *Tables) coveredWords() int { return int(t.covered.Load()) / 4 }
+
+// CodeLimit returns the size of the code region covered by Tary.
+func (t *Tables) CodeLimit() int { return t.codeLimit }
+
+// Version returns the current global version number.
+func (t *Tables) Version() int { return int(atomic.LoadUint32(&t.version)) }
+
+// Updates returns the number of completed update transactions.
+func (t *Tables) Updates() int64 { return t.updates.Load() }
+
+// Retries returns the number of host-side check retries observed.
+func (t *Tables) Retries() int64 { return t.retries.Load() }
+
+// Load32 performs the table-region read used by the VM's TLOAD/TLOADI:
+// a single atomic 32-bit load at a byte offset. Offsets in
+// [0, codeLimit) read the Tary table; offsets past BaryBase() read the
+// Bary table. Misaligned or out-of-range offsets return 0 — an invalid
+// ID, so the check transaction treats them as violations, exactly as a
+// stray read of unmapped table memory would behave.
+func (t *Tables) Load32(byteOff int64) uint32 {
+	if byteOff < 0 {
+		return 0
+	}
+	if byteOff < int64(t.codeLimit) {
+		if byteOff&3 != 0 {
+			// A real 4-byte load at a misaligned address returns the
+			// straddled bytes of the neighboring IDs — which the
+			// reserved-bit layout guarantees can never form a valid ID
+			// (paper §5.1). Reproduce the exact bytes hardware would
+			// observe.
+			return t.misalignedLoad(int(byteOff))
+		}
+		return atomic.LoadUint32(&t.tary[byteOff/4])
+	}
+	if byteOff&3 != 0 {
+		return 0
+	}
+	bi := (byteOff - int64(t.codeLimit)) / 4
+	if bi < int64(len(t.bary)) {
+		return atomic.LoadUint32(&t.bary[bi])
+	}
+	return 0
+}
+
+// TaryID returns the target ID stored for a code address (atomic).
+// Misaligned addresses yield an invalid ID by construction.
+func (t *Tables) TaryID(addr int) id.ID {
+	if addr < 0 || addr >= t.codeLimit {
+		return 0
+	}
+	if addr&3 != 0 {
+		// A real 4-byte load at a misaligned address straddles entries;
+		// reconstruct the exact bytes it would observe.
+		return id.ID(t.misalignedLoad(addr))
+	}
+	return id.ID(atomic.LoadUint32(&t.tary[addr/4]))
+}
+
+func (t *Tables) misalignedLoad(addr int) uint32 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		a := addr + i
+		var b byte
+		if a >= 0 && a < t.codeLimit {
+			w := atomic.LoadUint32(&t.tary[a/4])
+			b = byte(w >> (8 * (a % 4)))
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	return v
+}
+
+// BaryID returns the branch ID at a Bary index (atomic).
+func (t *Tables) BaryID(index int) id.ID {
+	if index < 0 || index >= len(t.bary) {
+		return 0
+	}
+	return id.ID(atomic.LoadUint32(&t.bary[index]))
+}
+
+// NumBranches returns the Bary table capacity.
+func (t *Tables) NumBranches() int { return len(t.bary) }
+
+// Check runs a check transaction (TxCheck, paper Fig. 4): given the
+// Bary index embedded at the branch site and the dynamic target
+// address, it decides whether the transfer is allowed. On a version
+// mismatch — an update transaction is concurrently publishing a new
+// CFG — it retries until the relevant IDs agree.
+func (t *Tables) Check(baryIndex, target int) Verdict {
+	for {
+		bid := t.BaryID(baryIndex) // movl %gs:ConstBaryIndex, %edi
+		tid := t.TaryID(target)    // movl %gs:(%rcx), %esi
+		if bid == tid {            // cmpl %edi, %esi — the fast path:
+			return Pass // validity, version, and ECN in one compare
+		}
+		if !tid.LowBitSet() { // testb $1, %sil
+			return Violation // invalid target (misaligned or not an IBT)
+		}
+		if !id.SameVersion(bid, tid) { // cmpw %di, %si
+			// The paper's loader guarantees branch IDs are always valid
+			// (§5.1), so a version mismatch can only mean a concurrent
+			// update. Defensively, an invalid branch ID (unset or out of
+			// range Bary index) is reported as a violation rather than
+			// retried forever.
+			if !bid.Valid() {
+				return Violation
+			}
+			t.retries.Add(1)
+			continue // jne Try — concurrent update in flight
+		}
+		return Violation // same version, different ECN: CFI violation
+	}
+}
+
+// ECNFunc maps a code address to its equivalence-class number, or a
+// negative value when the address is not an indirect-branch target
+// (paper §5.2 getTaryECN) or the index holds no branch (getBaryECN).
+type ECNFunc func(addrOrIndex int) int
+
+// UpdateOpts tunes an update transaction.
+type UpdateOpts struct {
+	// Parallel publishes the new Tary table with multiple goroutines,
+	// modelling the paper's movnti parallel memory copy. Sequential
+	// publication is the ablation baseline (BenchmarkAblationCopy).
+	Parallel bool
+	// Between, if non-nil, runs after the Tary phase and before the
+	// Bary phase — the slot where the dynamic linker rewrites GOT
+	// entries (paper §5.2, PLT discussion), serialized by the same
+	// barrier discipline.
+	Between func()
+}
+
+// Update runs an update transaction (TxUpdate, paper Fig. 3): it
+// acquires the global update lock, increments the version, installs
+// new Tary IDs for every four-byte-aligned code address, issues the
+// memory barrier, then installs new Bary IDs.
+func (t *Tables) Update(getTaryECN, getBaryECN ECNFunc, opts UpdateOpts) {
+	t.updMu.Lock() // globalUpdateLock.acquire()
+	defer t.updMu.Unlock()
+
+	ver := int(t.version+1) % id.MaxVersion
+	atomic.StoreUint32(&t.version, uint32(ver))
+
+	// updTaryTable: construct the new table, then publish it with
+	// atomic per-entry stores (each ID update is atomic; entries are
+	// independent, enabling the parallel copy).
+	nw := t.coveredWords()
+	fresh := make([]uint32, nw)
+	for w := range fresh {
+		addr := w * 4
+		if ecn := getTaryECN(addr); ecn >= 0 {
+			fresh[w] = uint32(id.Encode(ecn, ver))
+		}
+	}
+	t.publish(t.tary[:nw], fresh, opts.Parallel)
+
+	// sfence: all Tary writes complete before any Bary write. Go's
+	// atomic stores are sequentially consistent, which subsumes the
+	// paper's store-ordering barrier; the call below marks the
+	// linearization point.
+	memoryBarrier()
+
+	if opts.Between != nil {
+		opts.Between()
+		memoryBarrier()
+	}
+
+	// updBaryTable.
+	for i := range t.bary {
+		if ecn := getBaryECN(i); ecn >= 0 {
+			atomic.StoreUint32(&t.bary[i], uint32(id.Encode(ecn, ver)))
+		} else {
+			atomic.StoreUint32(&t.bary[i], 0)
+		}
+	}
+	t.updates.Add(1)
+	t.sinceQuiescence.Add(1)
+}
+
+// Reversion re-publishes every existing ID under a new version while
+// preserving ECNs — the synthetic 50 Hz update used in the Fig. 6
+// experiment ("updates the version numbers of all IDs in the ID tables
+// (but preserving the ECNs)").
+func (t *Tables) Reversion(opts UpdateOpts) {
+	t.updMu.Lock()
+	defer t.updMu.Unlock()
+
+	ver := int(t.version+1) % id.MaxVersion
+	atomic.StoreUint32(&t.version, uint32(ver))
+
+	nw := t.coveredWords()
+	fresh := make([]uint32, nw)
+	for w := 0; w < nw; w++ {
+		old := id.ID(atomic.LoadUint32(&t.tary[w]))
+		if old.Valid() {
+			fresh[w] = uint32(id.Encode(old.ECN(), ver))
+		}
+	}
+	t.publish(t.tary[:nw], fresh, opts.Parallel)
+	memoryBarrier()
+	if opts.Between != nil {
+		opts.Between()
+		memoryBarrier()
+	}
+	for i := range t.bary {
+		old := id.ID(atomic.LoadUint32(&t.bary[i]))
+		if old.Valid() {
+			atomic.StoreUint32(&t.bary[i], uint32(id.Encode(old.ECN(), ver)))
+		}
+	}
+	t.updates.Add(1)
+	t.sinceQuiescence.Add(1)
+}
+
+// publish copies fresh into dst with atomic stores, optionally fanned
+// out over goroutines (the movnti parallel copy).
+func (t *Tables) publish(dst, fresh []uint32, parallel bool) {
+	if !parallel || len(dst) < 1<<14 {
+		for w := range dst {
+			atomic.StoreUint32(&dst[w], fresh[w])
+		}
+		return
+	}
+	const shards = 8
+	var wg sync.WaitGroup
+	chunk := (len(dst) + shards - 1) / shards
+	for s := 0; s < shards; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for w := lo; w < hi; w++ {
+				atomic.StoreUint32(&dst[w], fresh[w])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// memoryBarrier is the paper's sfence. Go's sync/atomic operations are
+// sequentially consistent, so a no-op suffices for correctness; the
+// function exists to mark the linearization points in the code.
+func memoryBarrier() {}
+
+// ABARisk reports whether the version space could have wrapped while a
+// check transaction was parked: 2^14 update transactions have completed
+// since the last quiescence point (§5.2). The runtime refuses further
+// policy updates while this holds; QuiescencePoint clears it.
+func (t *Tables) ABARisk() bool {
+	return t.sinceQuiescence.Load() >= id.MaxVersion-1
+}
+
+// UpdatesSinceQuiescence returns the paper's ABA counter.
+func (t *Tables) UpdatesSinceQuiescence() int64 { return t.sinceQuiescence.Load() }
+
+// QuiescencePoint resets the ABA counter. The runtime calls it when
+// every thread has been observed outside a check transaction (at a
+// system call) since the most recent update transaction.
+func (t *Tables) QuiescencePoint() { t.sinceQuiescence.Store(0) }
+
+// Snapshot returns a copy of the live Tary and Bary contents, used by
+// the verifier and by debugging tools.
+func (t *Tables) Snapshot() (tary, bary []uint32) {
+	tary = make([]uint32, len(t.tary))
+	for i := range t.tary {
+		tary[i] = atomic.LoadUint32(&t.tary[i])
+	}
+	bary = make([]uint32, len(t.bary))
+	for i := range t.bary {
+		bary[i] = atomic.LoadUint32(&t.bary[i])
+	}
+	return tary, bary
+}
+
+// String summarizes table occupancy.
+func (t *Tables) String() string {
+	tary, bary := t.Snapshot()
+	nt, nb := 0, 0
+	for _, w := range tary {
+		if id.ID(w).Valid() {
+			nt++
+		}
+	}
+	for _, w := range bary {
+		if id.ID(w).Valid() {
+			nb++
+		}
+	}
+	return fmt.Sprintf("tables{code=%dB, tary=%d/%d, bary=%d/%d, ver=%d}",
+		t.codeLimit, nt, len(tary), nb, len(bary), t.Version())
+}

@@ -1,0 +1,466 @@
+package toolchain
+
+import (
+	"mcfi/internal/linker"
+	"strings"
+	"testing"
+
+	"mcfi/internal/visa"
+)
+
+// runBoth builds and runs a program under all four configurations
+// (both profiles, instrumented and baseline) and checks exit code and
+// output agree everywhere.
+func runBoth(t *testing.T, src string, wantCode int64, wantOut string) {
+	t.Helper()
+	for _, profile := range []visa.Profile{visa.Profile64, visa.Profile32} {
+		for _, instr := range []bool{false, true} {
+			cfg := Config{Profile: profile, Instrument: instr}
+			code, out, _, err := Run(cfg, 200_000_000, Source{Name: "main", Text: src})
+			if err != nil {
+				t.Fatalf("%s instrument=%v: %v", profile, instr, err)
+			}
+			if code != wantCode {
+				t.Errorf("%s instrument=%v: exit code %d, want %d", profile, instr, code, wantCode)
+			}
+			if out != wantOut {
+				t.Errorf("%s instrument=%v: output %q, want %q", profile, instr, out, wantOut)
+			}
+		}
+	}
+}
+
+func TestHelloWorld(t *testing.T) {
+	runBoth(t, `
+int main(void) {
+	puts("hello, MCFI");
+	return 0;
+}`, 0, "hello, MCFI\n")
+}
+
+func TestArithmetic(t *testing.T) {
+	runBoth(t, `
+int main(void) {
+	long a = 1000000007;
+	long b = 998244353;
+	printf("%ld %ld %ld %ld\n", a + b, a - b, (a * b) % 1000003, a / 3);
+	int x = -17;
+	unsigned int u = 3000000000u;
+	printf("%d %u %d %d\n", x / 5, u, x % 5, abs(x));
+	printf("%d %d %d\n", 1 << 20, 255 >> 4, 0x3C ^ 0xFF);
+	return 42;
+}`, 42, "1998244360 1755654 614682 333333335\n-3 3000000000 -2 17\n1048576 15 195\n")
+}
+
+func TestControlFlowAndLoops(t *testing.T) {
+	runBoth(t, `
+int collatz(int n) {
+	int steps = 0;
+	while (n != 1) {
+		if (n % 2 == 0) n = n / 2;
+		else n = 3 * n + 1;
+		steps++;
+	}
+	return steps;
+}
+int main(void) {
+	int total = 0;
+	for (int i = 1; i <= 20; i++) total += collatz(i);
+	printf("%d\n", total);
+	int i = 0;
+	do { i += 3; } while (i < 10);
+	printf("%d\n", i);
+	return 0;
+}`, 0, "196\n12\n")
+}
+
+func TestFunctionPointers(t *testing.T) {
+	runBoth(t, `
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int mul(int a, int b) { return a * b; }
+
+int (*ops[3])(int, int) = {add, sub, mul};
+
+int apply(int (*f)(int, int), int a, int b) { return f(a, b); }
+
+int main(void) {
+	int total = 0;
+	for (int i = 0; i < 3; i++) total += apply(ops[i], 10, 4);
+	int (*p)(int, int) = &mul;
+	total += p(6, 7);
+	printf("%d\n", total);
+	return 0;
+}`, 0, "102\n")
+}
+
+func TestSwitchJumpTable(t *testing.T) {
+	runBoth(t, `
+char *name(int op) {
+	switch (op) {
+	case 0: return "add";
+	case 1: return "sub";
+	case 2: return "mul";
+	case 3: return "div";
+	case 4: return "mod";
+	case 5: return "and";
+	case 6: return "or";
+	default: return "unknown";
+	}
+}
+int eval(int op, int a, int b) {
+	int r;
+	switch (op) {
+	case 0: r = a + b; break;
+	case 1: r = a - b; break;
+	case 2: r = a * b; break;
+	case 3: r = a / b; break;
+	case 4: r = a % b; break;
+	case 5: r = a & b; break;
+	case 6: r = a | b; break;
+	default: r = -1;
+	}
+	return r;
+}
+int main(void) {
+	for (int op = 0; op < 8; op++) {
+		printf("%s=%d\n", name(op), eval(op, 36, 5));
+	}
+	return 0;
+}`, 0, "add=41\nsub=31\nmul=180\ndiv=7\nmod=1\nand=4\nor=37\nunknown=-1\n")
+}
+
+func TestStructsAndPointers(t *testing.T) {
+	runBoth(t, `
+struct point { int x; int y; };
+struct rect { struct point tl; struct point br; };
+
+int area(struct rect *r) {
+	return (r->br.x - r->tl.x) * (r->br.y - r->tl.y);
+}
+struct point mid(struct rect r) {
+	struct point p;
+	p.x = (r.tl.x + r.br.x) / 2;
+	p.y = (r.tl.y + r.br.y) / 2;
+	return p;
+}
+int main(void) {
+	struct rect r = {{1, 2}, {11, 22}};
+	struct point m = mid(r);
+	printf("%d %d %d\n", area(&r), m.x, m.y);
+	return 0;
+}`, 0, "200 6 12\n")
+}
+
+func TestMallocAndStrings(t *testing.T) {
+	runBoth(t, `
+int main(void) {
+	char *buf = (char*)malloc(64);
+	strcpy(buf, "dynamic");
+	printf("%s %ld\n", buf, strlen(buf));
+	long *nums = (long*)malloc(10 * sizeof(long));
+	for (int i = 0; i < 10; i++) nums[i] = (long)i * i;
+	long sum = 0;
+	for (int i = 0; i < 10; i++) sum += nums[i];
+	free(nums);
+	free(buf);
+	char *big = (char*)calloc(100, 8);
+	printf("%ld %d\n", sum, big[500]);
+	return 0;
+}`, 0, "dynamic 7\n285 0\n")
+}
+
+func TestQsortComparator(t *testing.T) {
+	runBoth(t, `
+int cmp_long(void *a, void *b) {
+	long x = *(long*)a;
+	long y = *(long*)b;
+	if (x < y) return -1;
+	if (x > y) return 1;
+	return 0;
+}
+int main(void) {
+	long v[8] = {42, 7, 99, -3, 15, 0, 23, 8};
+	qsort(v, 8, sizeof(long), cmp_long);
+	for (int i = 0; i < 8; i++) printf("%ld ", v[i]);
+	putchar(10);
+	return 0;
+}`, 0, "-3 0 7 8 15 23 42 99 \n")
+}
+
+func TestSetjmpLongjmp(t *testing.T) {
+	runBoth(t, `
+jmp_buf env;
+
+void fail(int depth) {
+	if (depth == 0) longjmp(env, 7);
+	fail(depth - 1);
+}
+int main(void) {
+	int r = setjmp(env);
+	if (r == 0) {
+		puts("trying");
+		fail(5);
+		puts("unreachable");
+	} else {
+		printf("recovered %d\n", r);
+	}
+	return 0;
+}`, 0, "trying\nrecovered 7\n")
+}
+
+func TestRecursionAndGoto(t *testing.T) {
+	runBoth(t, `
+long fib(long n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main(void) {
+	printf("%ld\n", fib(20));
+	int i = 0;
+	int sum = 0;
+again:
+	sum += i;
+	i++;
+	if (i < 5) goto again;
+	printf("%d\n", sum);
+	return 0;
+}`, 0, "6765\n10\n")
+}
+
+func TestDoubles(t *testing.T) {
+	runBoth(t, `
+double mysqrt(double x) {
+	double g = x / 2.0;
+	for (int i = 0; i < 30; i++) g = (g + x / g) / 2.0;
+	return g;
+}
+int main(void) {
+	double s = mysqrt(2.0);
+	print_double(s);
+	putchar(10);
+	double sum = 0.0;
+	for (int i = 1; i <= 10; i++) sum += 1.0 / (double)i;
+	print_double(sum);
+	putchar(10);
+	printf("%d\n", (int)(s * 100.0));
+	return 0;
+}`, 0, "1.414213\n2.928968\n141\n")
+}
+
+func TestGlobalsAndStatics(t *testing.T) {
+	runBoth(t, `
+int counter = 100;
+static int hidden = 5;
+int table[4] = {2, 4, 8, 16};
+char *msg = "global string";
+
+int bump(void) {
+	static int calls;
+	calls++;
+	return calls;
+}
+int main(void) {
+	counter += hidden;
+	bump(); bump();
+	printf("%d %d %d %s\n", counter, bump(), table[3], msg);
+	return 0;
+}`, 0, "105 3 16 global string\n")
+}
+
+func TestEnumsAndTypedef(t *testing.T) {
+	runBoth(t, `
+typedef struct node {
+	int value;
+	struct node *next;
+} node_t;
+
+enum color { RED, GREEN = 10, BLUE };
+
+int main(void) {
+	node_t a, b;
+	a.value = 1; a.next = &b;
+	b.value = 2; b.next = (node_t*)0;
+	int sum = 0;
+	node_t *p = &a;
+	while (p) { sum += p->value; p = p->next; }
+	printf("%d %d %d %d\n", sum, RED, GREEN, BLUE);
+	return 0;
+}`, 0, "3 0 10 11\n")
+}
+
+func TestVariadicPrintfEdge(t *testing.T) {
+	runBoth(t, `
+int main(void) {
+	printf("%%d prints %d; %%s prints %s; %%c prints %c; hex %x\n",
+	       -42, "str", 'Z', 255);
+	return 0;
+}`, 0, "%d prints -42; %s prints str; %c prints Z; hex ff\n")
+}
+
+func TestTernaryShortCircuit(t *testing.T) {
+	runBoth(t, `
+int calls = 0;
+int bump(int v) { calls++; return v; }
+int main(void) {
+	int a = (5 > 3) ? bump(10) : bump(20);
+	int b = 0 && bump(1);
+	int c = 1 || bump(2);
+	printf("%d %d %d %d\n", a, b, c, calls);
+	return 0;
+}`, 0, "10 0 1 1\n")
+}
+
+func TestMultiModuleLink(t *testing.T) {
+	lib := Source{Name: "mathlib", Text: `
+int square(int x) { return x * x; }
+int cube(int x) { return x * x * x; }
+int (*getop(int which))(int) {
+	if (which == 0) return square;
+	return cube;
+}`}
+	main := Source{Name: "main", Text: `
+int square(int x);
+int cube(int x);
+int (*getop(int which))(int);
+int main(void) {
+	int direct = square(5) + cube(3);
+	int (*f)(int) = getop(1);
+	printf("%d %d\n", direct, f(2));
+	return 0;
+}`}
+	for _, instr := range []bool{false, true} {
+		cfg := Config{Profile: visa.Profile64, Instrument: instr}
+		code, out, _, err := Run(cfg, 10_000_000, main, lib)
+		if err != nil {
+			t.Fatalf("instrument=%v: %v", instr, err)
+		}
+		if code != 0 || out != "52 8\n" {
+			t.Errorf("instrument=%v: code=%d out=%q", instr, code, out)
+		}
+	}
+}
+
+func TestTailCallProfile64(t *testing.T) {
+	// Mutual recursion in tail position: deep enough that without TCO
+	// the stack (1 MiB) would overflow on Profile64 if the transform
+	// failed to reuse the frame.
+	src := `
+int is_odd(int n);
+int is_even(int n) {
+	if (n == 0) return 1;
+	return is_odd(n - 1);
+}
+int is_odd(int n) {
+	if (n == 0) return 0;
+	return is_even(n - 1);
+}
+int main(void) {
+	printf("%d %d\n", is_even(100000), is_odd(99999));
+	return 0;
+}`
+	cfg := Config{Profile: visa.Profile64, Instrument: true}
+	code, out, _, err := Run(cfg, 100_000_000, Source{Name: "main", Text: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || out != "1 1\n" {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestInstrumentationOverheadVisible(t *testing.T) {
+	src := `
+int bump(int x) { return x + 1; }
+int main(void) {
+	int v = 0;
+	for (int i = 0; i < 10000; i++) v = bump(v);
+	return v == 10000 ? 0 : 1;
+}`
+	cfg := Config{Profile: visa.Profile64}
+	_, _, base, err := Run(cfg, 50_000_000, Source{Name: "m", Text: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Instrument = true
+	_, _, inst, err := Run(cfg, 50_000_000, Source{Name: "m", Text: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst <= base {
+		t.Errorf("instrumented run (%d instrs) should retire more than baseline (%d)", inst, base)
+	}
+	overhead := float64(inst-base) / float64(base)
+	if overhead > 0.60 {
+		t.Errorf("overhead %.1f%% implausibly high", overhead*100)
+	}
+	t.Logf("baseline=%d instrumented=%d overhead=%.2f%%", base, inst, overhead*100)
+}
+
+func TestCompileErrorsSurface(t *testing.T) {
+	_, _, _, err := Run(Config{}, 1000, Source{Name: "bad", Text: `int main(void) { return undeclared; }`})
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("want undeclared-identifier error, got %v", err)
+	}
+	_, err2 := BuildProgram(Config{}, linker.Options{},
+		Source{Name: "noext", Text: `int missing(int); int main(void) { return missing(1); }`})
+	if err2 == nil || !strings.Contains(err2.Error(), "undefined symbol") {
+		t.Errorf("want undefined-symbol error, got %v", err2)
+	}
+}
+
+// TestCrossModuleTypeMatching: the property separate compilation hangs
+// on (paper §6) — a struct type declared identically in two modules is
+// structurally equal, so a function pointer of that type defined in one
+// module may call a matching function defined in the other, through
+// signatures merged at link time.
+func TestCrossModuleTypeMatching(t *testing.T) {
+	libSrc := Source{Name: "cblib", Text: `
+struct event { int kind; long payload; };
+long handle_event(struct event *e) { return e->payload * (long)e->kind; }
+`}
+	mainSrc := Source{Name: "main", Text: `
+struct event { int kind; long payload; };
+long handle_event(struct event *e);
+long (*handler)(struct event *) = handle_event;
+int main(void) {
+	struct event e;
+	e.kind = 3; e.payload = 14;
+	printf("%ld\n", handler(&e));
+	return 0;
+}`}
+	cfg := Config{Profile: visa.Profile64, Instrument: true}
+	code, out, _, err := Run(cfg, 10_000_000, mainSrc, libSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || out != "42\n" {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+// TestCrossModuleTypeMismatchBlocked: the complement — if the modules
+// declare *different* struct shapes under the same calls, type matching
+// must refuse the edge and the checked call halts.
+func TestCrossModuleTypeMismatchBlocked(t *testing.T) {
+	libSrc := Source{Name: "cblib", Text: `
+struct event { long a; long b; long c; };   // different shape
+long handle_event(struct event *e) { return e->a; }
+long (*expose(void))(struct event *) { return handle_event; }
+`}
+	mainSrc := Source{Name: "main", Text: `
+struct event { int kind; long payload; };
+long (*expose(void))(struct event *);
+int main(void) {
+	long (*h)(struct event *) = expose();
+	struct event e;
+	e.kind = 1; e.payload = 2;
+	h(&e);
+	return 0;
+}`}
+	cfg := Config{Profile: visa.Profile64, Instrument: true}
+	_, _, _, err := Run(cfg, 10_000_000, mainSrc, libSrc)
+	if err == nil {
+		t.Fatal("shape-mismatched cross-module call should be halted by MCFI")
+	}
+}

@@ -1,0 +1,235 @@
+package visa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode appends the encoding of instruction i to buf and returns the
+// extended slice.
+func Encode(buf []byte, i Instr) []byte {
+	info, ok := ops[i.Op]
+	if !ok {
+		return append(buf, byte(i.Op))
+	}
+	buf = append(buf, byte(i.Op))
+	switch info.layout {
+	case L0:
+	case LR:
+		buf = append(buf, i.R1)
+	case LRR:
+		buf = append(buf, i.R1, i.R2)
+	case LRRR:
+		buf = append(buf, i.R1, i.R2, i.R3)
+	case LRI64:
+		buf = append(buf, i.R1)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(i.Imm))
+	case LRI32:
+		buf = append(buf, i.R1)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(i.Imm)))
+	case LRRI32:
+		buf = append(buf, i.R1, i.R2)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(i.Imm)))
+	case LI32:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(i.Imm)))
+	case LI8:
+		buf = append(buf, byte(i.Imm))
+	case LRI8:
+		buf = append(buf, i.R1, byte(i.Imm))
+	case LCR:
+		buf = append(buf, i.R1, i.R2)
+	}
+	return buf
+}
+
+// Decode decodes one instruction at code[off:]. It returns the
+// instruction and the number of bytes consumed. Invalid or truncated
+// encodings return an error; callers that scan at arbitrary offsets
+// (the ROP finder) treat an error as "not an instruction here".
+func Decode(code []byte, off int) (Instr, int, error) {
+	if off < 0 || off >= len(code) {
+		return Instr{}, 0, fmt.Errorf("visa: decode at %d past end of code (%d)", off, len(code))
+	}
+	op := Op(code[off])
+	info := opTable[op]
+	if info.name == "" {
+		return Instr{}, 0, fmt.Errorf("visa: invalid opcode 0x%02x at offset %d", byte(op), off)
+	}
+	size := layoutSize(info.layout)
+	if off+size > len(code) {
+		return Instr{}, 0, fmt.Errorf("visa: truncated %s at offset %d", info.name, off)
+	}
+	i := Instr{Op: op}
+	b := code[off+1 : off+size]
+	switch info.layout {
+	case L0:
+	case LR:
+		i.R1 = b[0]
+	case LRR:
+		i.R1, i.R2 = b[0], b[1]
+	case LRRR:
+		i.R1, i.R2, i.R3 = b[0], b[1], b[2]
+	case LRI64:
+		i.R1 = b[0]
+		i.Imm = int64(binary.LittleEndian.Uint64(b[1:]))
+	case LRI32:
+		i.R1 = b[0]
+		i.Imm = int64(int32(binary.LittleEndian.Uint32(b[1:])))
+	case LRRI32:
+		i.R1, i.R2 = b[0], b[1]
+		i.Imm = int64(int32(binary.LittleEndian.Uint32(b[2:])))
+	case LI32:
+		i.Imm = int64(int32(binary.LittleEndian.Uint32(b)))
+	case LI8:
+		i.Imm = int64(b[0])
+	case LRI8:
+		i.R1 = b[0]
+		i.Imm = int64(b[1])
+	case LCR:
+		i.R1, i.R2 = b[0], b[1]
+	}
+	// Register validity: any register operand must be < NumRegs.
+	switch info.layout {
+	case LR, LRR, LRRR, LRI64, LRI32, LRRI32, LRI8:
+		if i.R1 >= NumRegs || i.R2 >= NumRegs || i.R3 >= NumRegs {
+			return Instr{}, 0, fmt.Errorf("visa: invalid register in %s at offset %d", info.name, off)
+		}
+	case LCR:
+		if i.R1 > CcAE || i.R2 >= NumRegs {
+			return Instr{}, 0, fmt.Errorf("visa: invalid operand in %s at offset %d", info.name, off)
+		}
+	}
+	return i, size, nil
+}
+
+// DecodeAll decodes a code image from offset 0 to the end, failing on
+// the first invalid instruction. Used in tests and by the verifier's
+// full-disassembly pass.
+func DecodeAll(code []byte) ([]Instr, error) {
+	var out []Instr
+	off := 0
+	for off < len(code) {
+		i, n, err := Decode(code, off)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, i)
+		off += n
+	}
+	return out, nil
+}
+
+// Disasm renders a code image as an assembler listing with addresses
+// resolved for relative branches. base is the load address of code[0].
+func Disasm(code []byte, base int64) string {
+	out := ""
+	off := 0
+	for off < len(code) {
+		i, n, err := Decode(code, off)
+		if err != nil {
+			out += fmt.Sprintf("%08x: db 0x%02x\n", base+int64(off), code[off])
+			off++
+			continue
+		}
+		switch i.Op {
+		case JMP, JE, JNE, JL, JG, JLE, JGE, JB, JA, JBE, JAE, CALL:
+			target := base + int64(off) + int64(n) + i.Imm
+			out += fmt.Sprintf("%08x: %s 0x%x\n", base+int64(off), i.Op.Name(), target)
+		default:
+			out += fmt.Sprintf("%08x: %s\n", base+int64(off), i)
+		}
+		off += n
+	}
+	return out
+}
+
+// Asm is a tiny one-pass assembler with labels and late fixups, used by
+// the code generator and by tests to build code images.
+type Asm struct {
+	Code   []byte
+	labels map[string]int
+	fixups []fixup
+	// Relocs collects absolute-address fixups (MOVI of symbol
+	// addresses) to be resolved by the linker; keyed by code offset of
+	// the 8-byte immediate.
+	Relocs []Reloc
+}
+
+// Reloc is a request to patch an absolute 64-bit immediate at Offset
+// (offset of the immediate field, not of the instruction) with the
+// address of Symbol plus Addend. JumpTable marks switch-lowering
+// relocations that must not imply the symbol's address was taken.
+type Reloc struct {
+	Offset    int
+	Symbol    string
+	Addend    int64
+	JumpTable bool
+}
+
+type fixup struct {
+	offset int    // offset of the rel32 field
+	end    int    // offset of the end of the instruction
+	label  string // target label
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: map[string]int{}}
+}
+
+// Pos returns the current code offset.
+func (a *Asm) Pos() int { return len(a.Code) }
+
+// Label binds name to the current offset.
+func (a *Asm) Label(name string) {
+	a.labels[name] = len(a.Code)
+}
+
+// LabelAt returns the offset of a bound label.
+func (a *Asm) LabelAt(name string) (int, bool) {
+	off, ok := a.labels[name]
+	return off, ok
+}
+
+// Emit appends an instruction.
+func (a *Asm) Emit(i Instr) {
+	a.Code = Encode(a.Code, i)
+}
+
+// EmitRaw appends raw bytes (jump tables and other in-code read-only
+// data). Callers must record the range so the verifier can skip it
+// during disassembly.
+func (a *Asm) EmitRaw(b []byte) {
+	a.Code = append(a.Code, b...)
+}
+
+// EmitMoviSym emits "movi r, <addr of symbol>" with a relocation.
+func (a *Asm) EmitMoviSym(r byte, symbol string, addend int64) {
+	a.Emit(Instr{Op: MOVI, R1: r})
+	a.Relocs = append(a.Relocs, Reloc{Offset: len(a.Code) - 8, Symbol: symbol, Addend: addend})
+}
+
+// EmitBranch emits a relative branch to a label (bound now or later).
+func (a *Asm) EmitBranch(op Op, label string) {
+	start := len(a.Code)
+	a.Emit(Instr{Op: op})
+	a.fixups = append(a.fixups, fixup{offset: start + 1, end: start + 5, label: label})
+}
+
+// Finish resolves all label fixups. It returns an error if a label was
+// never bound.
+func (a *Asm) Finish() error {
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return fmt.Errorf("visa: undefined label %q", f.label)
+		}
+		rel := int32(target - f.end)
+		a.Code[f.offset] = byte(rel)
+		a.Code[f.offset+1] = byte(rel >> 8)
+		a.Code[f.offset+2] = byte(rel >> 16)
+		a.Code[f.offset+3] = byte(rel >> 24)
+	}
+	a.fixups = nil
+	return nil
+}

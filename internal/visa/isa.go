@@ -1,0 +1,391 @@
+// Package visa defines the Virtual ISA targeted by the MiniC compiler
+// and executed by the MCFI virtual machine.
+//
+// VISA is deliberately x86-like in the ways that matter to MCFI:
+//
+//   - Variable-length byte encoding, so code can be disassembled at any
+//     byte offset — which is what makes ROP gadgets that start in the
+//     middle of an instruction a real phenomenon, and what makes the
+//     verifier's complete-disassembly guarantee meaningful.
+//   - Return addresses live on the stack (CALL pushes, RET pops), so a
+//     memory-corrupting attacker can redirect returns — the threat MCFI
+//     defends against.
+//   - Dedicated table-region access instructions (TLOAD/TLOADI) mirror
+//     the paper's %gs-relative ID-table reads, and CMPW/TESTB mirror
+//     the 16-bit version compare and the low-bit validity test of the
+//     check transaction (paper Fig. 4).
+//
+// Two profiles exist: Profile32 and Profile64 (paper: x86-32/x86-64).
+// They share the encoding; the profiles differ in pointer width
+// reported to the compiler and in whether the compiler performs
+// tail-call optimization (enabled on Profile64, mirroring the LLVM
+// behaviour the paper credits for the smaller x86-64 EQC counts).
+package visa
+
+import "fmt"
+
+// Register numbers. R15 is the stack pointer and R14 the frame
+// pointer by convention; R9, R10 and R11 are reserved by the compiler
+// as MCFI scratch registers (the paper's reserved-register LLVM pass):
+// R11 holds the indirect-branch target address, R10 the branch ID, and
+// R9 the target ID. Ordinary codegen never touches them.
+const (
+	R0  = 0 // return value / scratch
+	R1  = 1
+	R2  = 2
+	R3  = 3
+	R4  = 4
+	R5  = 5
+	R6  = 6
+	R7  = 7
+	R8  = 8
+	R9  = 9
+	R10 = 10 // MCFI scratch (branch ID)
+	R11 = 11 // MCFI scratch (target ID / target address)
+	R12 = 12
+	R13 = 13
+	FP  = 14
+	SP  = 15
+
+	// NumRegs is the size of the register file.
+	NumRegs = 16
+)
+
+// RegName returns the assembler name of register r.
+func RegName(r byte) string {
+	switch r {
+	case FP:
+		return "fp"
+	case SP:
+		return "sp"
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// Op is a VISA opcode.
+type Op byte
+
+// Opcodes. Gaps are intentionally invalid encodings.
+const (
+	NOP Op = 0x00
+	HLT Op = 0x01
+
+	MOVI Op = 0x02 // movi r, imm64
+	MOV  Op = 0x03 // mov r, r2
+
+	LD8  Op = 0x04 // ld8 r, [r2+off] (sign-extend)
+	LD16 Op = 0x05
+	LD32 Op = 0x06
+	LD64 Op = 0x07
+	ST8  Op = 0x08 // st8 [r2+off], r
+	ST16 Op = 0x09
+	ST32 Op = 0x0A
+	ST64 Op = 0x0B
+
+	ADD Op = 0x0C // add r, r2 (r = r op r2)
+	SUB Op = 0x0D
+	MUL Op = 0x0E
+	DIV Op = 0x0F // signed
+	MOD Op = 0x10 // signed
+	AND Op = 0x11
+	OR  Op = 0x12
+	XOR Op = 0x13
+	SHL Op = 0x14
+	SHR Op = 0x15 // logical
+	SAR Op = 0x16 // arithmetic
+
+	ADDI Op = 0x17 // addi r, imm32 (sign-extended)
+	CMP  Op = 0x18 // cmp r, r2
+	CMPI Op = 0x19 // cmpi r, imm32
+
+	JMP Op = 0x1A // jmp rel32
+	JE  Op = 0x1B
+	JNE Op = 0x1C
+	JL  Op = 0x1D // signed
+	JG  Op = 0x1E
+	JLE Op = 0x1F
+	JGE Op = 0x20
+	JB  Op = 0x21 // unsigned
+	JA  Op = 0x22
+	JBE Op = 0x23
+	JAE Op = 0x24
+
+	CALL  Op = 0x25 // call rel32 (pushes return address)
+	CALLR Op = 0x26 // callr r (indirect call)
+	JMPR  Op = 0x27 // jmpr r (indirect jump)
+	RET   Op = 0x28 // ret (pops return address)
+
+	PUSH Op = 0x29
+	POP  Op = 0x2A
+	SYS  Op = 0x2B // sys imm8 (runtime call; args/results in registers)
+
+	LD8U  Op = 0x30 // zero-extending loads
+	LD16U Op = 0x31
+	LD32U Op = 0x32
+
+	FADD Op = 0x33 // IEEE float64 ops on register bit patterns
+	FSUB Op = 0x34
+	FMUL Op = 0x35
+	FDIV Op = 0x36
+	FCMP Op = 0x37
+	CVIF Op = 0x38 // int64  -> float64
+	CVFI Op = 0x39 // float64-> int64 (truncate)
+
+	SET Op = 0x3A // set cc, r (r = flags satisfy cc ? 1 : 0)
+
+	UDIV Op = 0x3B // unsigned divide
+	UMOD Op = 0x3C
+	NEG  Op = 0x3D // neg r
+	NOTI Op = 0x3E // bitwise not r
+
+	// --- MCFI instrumentation opcodes ---
+
+	TLOAD    Op = 0x40 // tload r, [r2]: r = 32-bit load from table region at byte offset r2
+	TLOADI   Op = 0x41 // tloadi r, imm32: r = 32-bit load from table region at constant offset
+	AND32    Op = 0x42 // and32 r: truncate r to its low 32 bits (sandbox/code mask)
+	ANDI     Op = 0x43 // andi r, imm64
+	CMPW     Op = 0x44 // cmpw r, r2: compare low 16 bits (ID version compare)
+	TESTB    Op = 0x45 // testb r, imm8: ZF = (low byte of r & imm) == 0
+	SETJ     Op = 0x46 // setj r: env=[r]; save SP, FP, continuation PC; R0 = 0
+	JRESTORE Op = 0x48 // jrestore rsp, rfp, rtgt: SP=rsp, FP=rfp, jump rtgt
+
+	SX8  Op = 0x49 // sign-extend low 8 bits of r
+	SX16 Op = 0x4A
+	SX32 Op = 0x4B
+	ZX8  Op = 0x4C // zero-extend low 8 bits of r
+	ZX16 Op = 0x4D // (32-bit zero extension is AND32)
+)
+
+// Condition codes for SET.
+const (
+	CcE  = 0
+	CcNE = 1
+	CcL  = 2
+	CcG  = 3
+	CcLE = 4
+	CcGE = 5
+	CcB  = 6
+	CcA  = 7
+	CcBE = 8
+	CcAE = 9
+)
+
+// CcName returns the assembler name of a condition code.
+func CcName(cc byte) string {
+	names := []string{"e", "ne", "l", "g", "le", "ge", "b", "a", "be", "ae"}
+	if int(cc) < len(names) {
+		return names[cc]
+	}
+	return fmt.Sprintf("cc%d", cc)
+}
+
+// Layout describes an instruction's operand encoding.
+type Layout int
+
+// Operand layouts.
+const (
+	L0     Layout = iota // op
+	LR                   // op r
+	LRR                  // op r r2
+	LRRR                 // op r r2 r3
+	LRI64                // op r imm64
+	LRI32                // op r imm32
+	LRRI32               // op r r2 off32
+	LI32                 // op rel32
+	LI8                  // op imm8
+	LRI8                 // op r imm8
+	LCR                  // op cc r
+)
+
+// opInfo describes one opcode.
+type opInfo struct {
+	name   string
+	layout Layout
+}
+
+var ops = map[Op]opInfo{
+	NOP: {"nop", L0}, HLT: {"hlt", L0},
+	MOVI: {"movi", LRI64}, MOV: {"mov", LRR},
+	LD8: {"ld8", LRRI32}, LD16: {"ld16", LRRI32}, LD32: {"ld32", LRRI32},
+	LD64: {"ld64", LRRI32},
+	LD8U: {"ld8u", LRRI32}, LD16U: {"ld16u", LRRI32}, LD32U: {"ld32u", LRRI32},
+	ST8: {"st8", LRRI32}, ST16: {"st16", LRRI32}, ST32: {"st32", LRRI32},
+	ST64: {"st64", LRRI32},
+	ADD:  {"add", LRR}, SUB: {"sub", LRR}, MUL: {"mul", LRR},
+	DIV: {"div", LRR}, MOD: {"mod", LRR}, UDIV: {"udiv", LRR},
+	UMOD: {"umod", LRR},
+	AND:  {"and", LRR}, OR: {"or", LRR}, XOR: {"xor", LRR},
+	SHL: {"shl", LRR}, SHR: {"shr", LRR}, SAR: {"sar", LRR},
+	NEG: {"neg", LR}, NOTI: {"not", LR},
+	ADDI: {"addi", LRI32}, CMP: {"cmp", LRR}, CMPI: {"cmpi", LRI32},
+	JMP: {"jmp", LI32}, JE: {"je", LI32}, JNE: {"jne", LI32},
+	JL: {"jl", LI32}, JG: {"jg", LI32}, JLE: {"jle", LI32},
+	JGE: {"jge", LI32}, JB: {"jb", LI32}, JA: {"ja", LI32},
+	JBE: {"jbe", LI32}, JAE: {"jae", LI32},
+	CALL: {"call", LI32}, CALLR: {"callr", LR}, JMPR: {"jmpr", LR},
+	RET: {"ret", L0}, PUSH: {"push", LR}, POP: {"pop", LR},
+	SYS:  {"sys", LI8},
+	FADD: {"fadd", LRR}, FSUB: {"fsub", LRR}, FMUL: {"fmul", LRR},
+	FDIV: {"fdiv", LRR}, FCMP: {"fcmp", LRR},
+	CVIF: {"cvif", LR}, CVFI: {"cvfi", LR},
+	SET:      {"set", LCR},
+	TLOAD:    {"tload", LRR},
+	TLOADI:   {"tloadi", LRI32},
+	AND32:    {"and32", LR},
+	ANDI:     {"andi", LRI64},
+	CMPW:     {"cmpw", LRR},
+	TESTB:    {"testb", LRI8},
+	SETJ:     {"setj", LR},
+	JRESTORE: {"jrestore", LRRR},
+	SX8:      {"sx8", LR}, SX16: {"sx16", LR}, SX32: {"sx32", LR},
+	ZX8: {"zx8", LR}, ZX16: {"zx16", LR},
+}
+
+// opTable is the dense lookup used on hot paths (the VM decodes every
+// executed instruction); entries with an empty name are invalid.
+var opTable [256]opInfo
+
+func init() {
+	for op, info := range ops {
+		opTable[op] = info
+	}
+}
+
+// Valid reports whether op is a defined opcode.
+func (o Op) Valid() bool { return opTable[o].name != "" }
+
+// Name returns the mnemonic of op.
+func (o Op) Name() string {
+	if info, ok := ops[o]; ok {
+		return info.name
+	}
+	return fmt.Sprintf("db 0x%02x", byte(o))
+}
+
+// OpLayout returns the operand layout of op.
+func (o Op) OpLayout() Layout { return ops[o].layout }
+
+// layoutSize returns the encoded size of each layout including the
+// opcode byte.
+func layoutSize(l Layout) int {
+	switch l {
+	case L0:
+		return 1
+	case LR, LI8:
+		return 2
+	case LRR, LRI8, LCR:
+		return 3
+	case LRRR:
+		return 4
+	case LI32:
+		return 5
+	case LRI32:
+		return 6
+	case LRRI32:
+		return 7
+	case LRI64:
+		return 10
+	}
+	return 1
+}
+
+// Size returns the encoded byte size of op's instruction.
+func (o Op) Size() int {
+	info, ok := ops[o]
+	if !ok {
+		return 1
+	}
+	return layoutSize(info.layout)
+}
+
+// Instr is one decoded (or to-be-encoded) instruction.
+type Instr struct {
+	Op  Op
+	R1  byte  // first register (or condition code for SET)
+	R2  byte  // second register
+	R3  byte  // third register (JRESTORE)
+	Imm int64 // immediate / offset / relative displacement
+}
+
+// Size returns the encoded size of the instruction in bytes.
+func (i Instr) Size() int { return i.Op.Size() }
+
+// IsIndirectBranch reports whether the instruction is one of MCFI's
+// indirect branches: indirect call, indirect jump, return, or the
+// longjmp restore.
+func (i Instr) IsIndirectBranch() bool {
+	switch i.Op {
+	case CALLR, JMPR, RET, JRESTORE:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the instruction writes data memory.
+func (i Instr) IsStore() bool {
+	switch i.Op {
+	case ST8, ST16, ST32, ST64:
+		return true
+	}
+	return false
+}
+
+// String renders the instruction in assembler syntax (without address
+// resolution; relative branches print their displacement).
+func (i Instr) String() string {
+	info, ok := ops[i.Op]
+	if !ok {
+		return fmt.Sprintf("db 0x%02x", byte(i.Op))
+	}
+	switch info.layout {
+	case L0:
+		return info.name
+	case LR:
+		return fmt.Sprintf("%s %s", info.name, RegName(i.R1))
+	case LRR:
+		return fmt.Sprintf("%s %s, %s", info.name, RegName(i.R1), RegName(i.R2))
+	case LRRR:
+		return fmt.Sprintf("%s %s, %s, %s", info.name, RegName(i.R1), RegName(i.R2), RegName(i.R3))
+	case LRI64:
+		return fmt.Sprintf("%s %s, %d", info.name, RegName(i.R1), i.Imm)
+	case LRI32:
+		return fmt.Sprintf("%s %s, %d", info.name, RegName(i.R1), i.Imm)
+	case LRRI32:
+		if i.IsStore() {
+			return fmt.Sprintf("%s [%s%+d], %s", info.name, RegName(i.R2), i.Imm, RegName(i.R1))
+		}
+		return fmt.Sprintf("%s %s, [%s%+d]", info.name, RegName(i.R1), RegName(i.R2), i.Imm)
+	case LI32:
+		return fmt.Sprintf("%s %+d", info.name, i.Imm)
+	case LI8:
+		return fmt.Sprintf("%s %d", info.name, i.Imm)
+	case LRI8:
+		return fmt.Sprintf("%s %s, %d", info.name, RegName(i.R1), i.Imm)
+	case LCR:
+		return fmt.Sprintf("%s%s %s", info.name, CcName(i.R1), RegName(i.R2))
+	}
+	return info.name
+}
+
+// Profile selects the compilation target (paper: x86-32 vs x86-64).
+type Profile int
+
+// Profiles.
+const (
+	// Profile32 models the paper's x86-32 target: no tail-call
+	// optimization.
+	Profile32 Profile = 32
+	// Profile64 models the paper's x86-64 target: the compiler turns
+	// eligible calls in tail position into jumps, which merges return
+	// equivalence classes exactly as the paper observes in Table 3.
+	Profile64 Profile = 64
+)
+
+// String names the profile.
+func (p Profile) String() string {
+	if p == Profile32 {
+		return "visa32"
+	}
+	return "visa64"
+}

@@ -1,0 +1,65 @@
+package visa
+
+// Guest address-space layout. A single flat address space holds code
+// and data, as on x86; the MCFI runtime maps the regions and enforces
+// that no region is writable and executable at the same time (paper
+// §4, threat model).
+//
+// The paper's x86-64 sandbox restricts memory writes to [0, 4GB) by
+// masking; VISA scales the same scheme down: stores are instrumented
+// with "andi r, StoreMask" so they stay inside [0, SandboxSize), and
+// the ID tables live outside the guest address space entirely
+// (reachable only through TLOAD/TLOADI, the %gs analogue).
+const (
+	// NullGuard is the size of the unmapped page at address 0.
+	NullGuard = 0x1000
+	// CodeBase is where module code is loaded.
+	CodeBase = 0x1000
+	// CodeLimit is the top of the code region (max total code size).
+	CodeLimit = 0x40_0000 // 4 MiB
+	// DataBase is where the data region begins (rodata, data, bss,
+	// heap; stacks are carved from the top of the sandbox).
+	DataBase = CodeLimit
+	// SandboxSize is the size of the guest address space. It is a
+	// power of two so that a single AND masks stores into it.
+	SandboxSize = 1 << 26 // 64 MiB
+	// StoreMask is the sandbox write mask applied before instrumented
+	// stores.
+	StoreMask = SandboxSize - 1
+	// GuardSize is the unwritable band above the sandbox that absorbs
+	// masked-base-plus-displacement stores (|disp| <= MaxStoreDisp).
+	GuardSize = 0x1000
+	// MaxStoreDisp bounds the displacement of sandboxed stores; the
+	// verifier enforces it so a masked base plus displacement cannot
+	// escape the sandbox and its guard band.
+	MaxStoreDisp = 2048
+)
+
+// Syscall numbers for the SYS instruction. The MCFI runtime interposes
+// on every one of them (paper §7: "the runtime does not allow modules
+// to directly invoke native system calls ... wraps system calls as API
+// functions and checks their arguments").
+const (
+	SysExit     = 0 // exit(status R0)
+	SysWrite    = 1 // write(buf R0, len R1) -> bytes written
+	SysSbrk     = 2 // sbrk(delta R0) -> previous break
+	SysMmap     = 3 // mmap(len R0, prot R1) -> addr; W^X enforced
+	SysMprotect = 4 // mprotect(addr R0, len R1, prot R2); W^X enforced
+	SysDlopen   = 5 // dlopen(path R0) -> module handle
+	SysDlsym    = 6 // dlsym(handle R0, name R1) -> function address
+	SysClock    = 7 // clock() -> retired instruction count
+	SysSpawn    = 8 // spawn(fn R0, arg R1) -> thread id
+	SysJoin     = 9 // join(tid R0) -> thread exit value
+	SysYield    = 10
+	SysRand     = 11 // deterministic PRNG for workloads -> R0
+	// SysThreadExit terminates the calling thread with value R0; used
+	// by the libc thread trampoline (threads never return).
+	SysThreadExit = 12
+)
+
+// Memory protection bits for SysMmap/SysMprotect.
+const (
+	ProtRead  = 1
+	ProtWrite = 2
+	ProtExec  = 4
+)

@@ -1,0 +1,262 @@
+package visa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: NOP},
+		{Op: HLT},
+		{Op: MOVI, R1: R3, Imm: -123456789012345},
+		{Op: MOV, R1: R1, R2: R2},
+		{Op: LD32, R1: R0, R2: FP, Imm: -16},
+		{Op: ST64, R1: R4, R2: SP, Imm: 8},
+		{Op: ADD, R1: R0, R2: R1},
+		{Op: ADDI, R1: SP, Imm: -32},
+		{Op: CMPI, R1: R0, Imm: 2147483647},
+		{Op: JMP, Imm: -5},
+		{Op: JNE, Imm: 1024},
+		{Op: CALL, Imm: 0},
+		{Op: CALLR, R1: R11},
+		{Op: JMPR, R1: R11},
+		{Op: RET},
+		{Op: PUSH, R1: R6},
+		{Op: POP, R1: R6},
+		{Op: SYS, Imm: 3},
+		{Op: FADD, R1: R0, R2: R1},
+		{Op: CVIF, R1: R2},
+		{Op: SET, R1: CcLE, R2: R0},
+		{Op: TLOAD, R1: R11, R2: R11},
+		{Op: TLOADI, R1: R10, Imm: 4096},
+		{Op: AND32, R1: R11},
+		{Op: ANDI, R1: R3, Imm: 0xFFFFFFF0},
+		{Op: CMPW, R1: R10, R2: R11},
+		{Op: TESTB, R1: R11, Imm: 1},
+		{Op: SETJ, R1: R0},
+		{Op: JRESTORE, R1: R1, R2: R2, R3: R11},
+	}
+	for _, want := range cases {
+		buf := Encode(nil, want)
+		if len(buf) != want.Size() {
+			t.Errorf("%s: encoded %d bytes, Size() says %d", want, len(buf), want.Size())
+		}
+		got, n, err := Decode(buf, 0)
+		if err != nil {
+			t.Errorf("%s: decode error: %v", want, err)
+			continue
+		}
+		if n != len(buf) {
+			t.Errorf("%s: decoded %d bytes, want %d", want, n, len(buf))
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	// 0xFF is not an opcode.
+	if _, _, err := Decode([]byte{0xFF}, 0); err == nil {
+		t.Error("invalid opcode should fail")
+	}
+	// Truncated MOVI.
+	if _, _, err := Decode([]byte{byte(MOVI), 0, 1, 2}, 0); err == nil {
+		t.Error("truncated instruction should fail")
+	}
+	// Register out of range.
+	if _, _, err := Decode([]byte{byte(PUSH), 99}, 0); err == nil {
+		t.Error("invalid register should fail")
+	}
+	// Decode past end.
+	if _, _, err := Decode([]byte{byte(NOP)}, 5); err == nil {
+		t.Error("offset past end should fail")
+	}
+	// Bad condition code.
+	if _, _, err := Decode([]byte{byte(SET), 50, 0}, 0); err == nil {
+		t.Error("invalid condition code should fail")
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	var buf []byte
+	prog := []Instr{
+		{Op: MOVI, R1: R0, Imm: 42},
+		{Op: PUSH, R1: R0},
+		{Op: POP, R1: R1},
+		{Op: RET},
+	}
+	for _, i := range prog {
+		buf = Encode(buf, i)
+	}
+	got, err := DecodeAll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(prog) {
+		t.Fatalf("decoded %d instrs, want %d", len(got), len(prog))
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Errorf("instr %d: got %+v, want %+v", i, got[i], prog[i])
+		}
+	}
+}
+
+func TestMisalignedDecodeDiffers(t *testing.T) {
+	// Decoding from the middle of a MOVI immediate can yield different
+	// instructions — the property that makes ROP gadgets possible and
+	// Tary validity bits necessary.
+	var buf []byte
+	buf = Encode(buf, Instr{Op: MOVI, R1: R0, Imm: int64(RET)<<8 | int64(byte(HLT))})
+	// At offset 2 the immediate bytes begin; they contain HLT and RET
+	// encodings. DecodeAll from 0 must see one instruction.
+	all, err := DecodeAll(buf)
+	if err != nil || len(all) != 1 {
+		t.Fatalf("aligned decode: %v, %d instrs", err, len(all))
+	}
+	if i, _, err := Decode(buf, 2); err != nil || i.Op != HLT {
+		t.Errorf("mid-instruction decode = %v (%v), want HLT", i.Op, err)
+	}
+}
+
+func TestAsmLabels(t *testing.T) {
+	a := NewAsm()
+	a.EmitBranch(JMP, "end") // forward reference
+	a.Label("loop")
+	a.Emit(Instr{Op: ADDI, R1: R0, Imm: 1})
+	a.EmitBranch(JNE, "loop") // backward reference
+	a.Label("end")
+	a.Emit(Instr{Op: RET})
+	if err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	instrs, err := DecodeAll(a.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// jmp +11: skips addi (6) + jne (5).
+	if instrs[0].Imm != 11 {
+		t.Errorf("forward jmp disp = %d, want 11", instrs[0].Imm)
+	}
+	// jne back to loop: -(6+5) = -11.
+	if instrs[2].Imm != -11 {
+		t.Errorf("backward jne disp = %d, want -11", instrs[2].Imm)
+	}
+}
+
+func TestAsmUndefinedLabel(t *testing.T) {
+	a := NewAsm()
+	a.EmitBranch(JMP, "nowhere")
+	if err := a.Finish(); err == nil {
+		t.Error("Finish should fail on unbound label")
+	}
+}
+
+func TestAsmRelocs(t *testing.T) {
+	a := NewAsm()
+	a.EmitMoviSym(R0, "global_x", 4)
+	if len(a.Relocs) != 1 {
+		t.Fatalf("relocs = %d", len(a.Relocs))
+	}
+	r := a.Relocs[0]
+	if r.Offset != 2 || r.Symbol != "global_x" || r.Addend != 4 {
+		t.Errorf("reloc = %+v", r)
+	}
+}
+
+func TestDisasmOutput(t *testing.T) {
+	a := NewAsm()
+	a.Emit(Instr{Op: MOVI, R1: R0, Imm: 7})
+	a.EmitBranch(CALL, "f")
+	a.Label("f")
+	a.Emit(Instr{Op: RET})
+	if err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	text := Disasm(a.Code, 0x1000)
+	for _, want := range []string{"movi r0, 7", "call 0x100f", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disasm missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestIndirectBranchClassification(t *testing.T) {
+	ib := []Instr{{Op: CALLR}, {Op: JMPR}, {Op: RET}, {Op: JRESTORE}}
+	for _, i := range ib {
+		if !i.IsIndirectBranch() {
+			t.Errorf("%s should be an indirect branch", i.Op.Name())
+		}
+	}
+	notIB := []Instr{{Op: CALL}, {Op: JMP}, {Op: JE}, {Op: NOP}, {Op: SETJ}}
+	for _, i := range notIB {
+		if i.IsIndirectBranch() {
+			t.Errorf("%s should NOT be an indirect branch", i.Op.Name())
+		}
+	}
+}
+
+func TestPropDecodeNeverPanicsAndBounded(t *testing.T) {
+	f := func(raw []byte) bool {
+		for off := 0; off < len(raw); off++ {
+			i, n, err := Decode(raw, off)
+			if err != nil {
+				continue
+			}
+			if n <= 0 || off+n > len(raw) {
+				return false
+			}
+			if !i.Op.Valid() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRoundTripRandomInstr(t *testing.T) {
+	f := func(opRaw byte, r1, r2, r3 byte, imm int64) bool {
+		op := Op(opRaw)
+		if !op.Valid() {
+			return true
+		}
+		i := Instr{Op: op, R1: r1 % NumRegs, R2: r2 % NumRegs, R3: r3 % NumRegs}
+		switch op.OpLayout() {
+		case LRI64:
+			i.Imm = imm
+		case LRI32, LRRI32, LI32:
+			i.Imm = int64(int32(imm))
+		case LI8, LRI8:
+			i.Imm = int64(byte(imm))
+		case LCR:
+			i.R1 = i.R1 % 10 // valid cc
+		case L0:
+			i.R1, i.R2, i.R3 = 0, 0, 0
+		case LR:
+			i.R2, i.R3 = 0, 0
+		case LRR:
+			i.R3 = 0
+		}
+		// zero out unused fields per layout
+		switch op.OpLayout() {
+		case LI32, LI8:
+			i.R1, i.R2, i.R3 = 0, 0, 0
+		case LRI64, LRI32, LRI8:
+			i.R2, i.R3 = 0, 0
+		case LRRI32, LCR:
+			i.R3 = 0
+		}
+		buf := Encode(nil, i)
+		got, n, err := Decode(buf, 0)
+		return err == nil && n == len(buf) && got == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,619 @@
+// Package vm implements the VISA virtual machine: a flat guest address
+// space with page protections, a register-file interpreter, and the
+// MCFI table-access instructions wired to the shared ID tables.
+//
+// The VM is the reproduction's stand-in for the CPU and MMU. Two
+// properties matter for fidelity. First, the ID-table instructions
+// (TLOAD/TLOADI) perform single atomic 32-bit loads against
+// tables.Tables, so guest check transactions genuinely race against
+// host-side update transactions, as in the paper's multithreaded
+// setting. Second, the interpreter counts retired instructions, which
+// is the deterministic cost metric behind the Fig. 5/6 overhead
+// experiments (extra executed instrumentation = overhead).
+package vm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"mcfi/internal/tables"
+	"mcfi/internal/visa"
+)
+
+// PageSize is the protection granularity.
+const PageSize = 4096
+
+// FaultKind classifies execution faults.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultCFI is a halted check transaction: a control-flow-integrity
+	// violation detected by MCFI instrumentation (the hlt of Fig. 4).
+	FaultCFI FaultKind = iota
+	// FaultDecode is an attempt to execute an invalid encoding.
+	FaultDecode
+	// FaultMem is an out-of-range or permission-violating access.
+	FaultMem
+	// FaultExec is execution of non-executable memory.
+	FaultExec
+	// FaultArith is a division by zero.
+	FaultArith
+	// FaultSys is an invalid system call.
+	FaultSys
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCFI:
+		return "CFI violation"
+	case FaultDecode:
+		return "invalid instruction"
+	case FaultMem:
+		return "memory fault"
+	case FaultExec:
+		return "exec fault"
+	case FaultArith:
+		return "arithmetic fault"
+	case FaultSys:
+		return "bad syscall"
+	}
+	return "fault"
+}
+
+// Fault is a guest execution fault.
+type Fault struct {
+	Kind FaultKind
+	PC   int64
+	Msg  string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("%s at pc=%#x: %s", f.Kind, f.PC, f.Msg)
+}
+
+// ErrExited is returned by Run when the process has exited normally.
+var ErrExited = fmt.Errorf("vm: process exited")
+
+// SyscallHandler executes SYS instructions on behalf of a thread. It
+// is the MCFI runtime's system-call interposition hook.
+type SyscallHandler interface {
+	Syscall(t *Thread, num int) error
+}
+
+// Process is one guest address space plus shared execution state.
+type Process struct {
+	// Mem is the flat guest memory: [0, SandboxSize) plus the guard
+	// band.
+	Mem []byte
+	// perms holds per-page protection bits, accessed atomically so the
+	// dynamic linker can flip page protections while threads run.
+	perms []uint32
+
+	// Tables is the MCFI table region (nil for baseline builds).
+	Tables *tables.Tables
+
+	// Handler interposes on system calls.
+	Handler SyscallHandler
+
+	exited   atomic.Bool
+	exitCode atomic.Int64
+	instret  atomic.Int64
+
+	// nextTID hands out thread ids; threads tracks live ones.
+	nextTID  atomic.Int64
+	mu       sync.Mutex
+	joinable map[int64]chan int64
+}
+
+// NewProcess allocates a guest address space.
+func NewProcess() *Process {
+	size := visa.SandboxSize + visa.GuardSize
+	return &Process{
+		Mem:      make([]byte, size),
+		perms:    make([]uint32, size/PageSize),
+		joinable: map[int64]chan int64{},
+	}
+}
+
+// Protect sets protection bits on [addr, addr+size).
+func (p *Process) Protect(addr, size int64, prot uint32) {
+	first := addr / PageSize
+	last := (addr + size + PageSize - 1) / PageSize
+	for pg := first; pg < last && pg < int64(len(p.perms)); pg++ {
+		atomic.StoreUint32(&p.perms[pg], prot)
+	}
+}
+
+// Prot returns the protection bits of the page containing addr.
+func (p *Process) Prot(addr int64) uint32 {
+	pg := addr / PageSize
+	if pg < 0 || pg >= int64(len(p.perms)) {
+		return 0
+	}
+	return atomic.LoadUint32(&p.perms[pg])
+}
+
+// CheckWX reports whether any page is both writable and executable —
+// the invariant MCFI's runtime maintains (paper §4).
+func (p *Process) CheckWX() error {
+	for pg := range p.perms {
+		pr := atomic.LoadUint32(&p.perms[pg])
+		if pr&visa.ProtWrite != 0 && pr&visa.ProtExec != 0 {
+			return fmt.Errorf("vm: page %#x is writable and executable", pg*PageSize)
+		}
+	}
+	return nil
+}
+
+// Exit marks the process exited with the given code.
+func (p *Process) Exit(code int64) {
+	p.exitCode.Store(code)
+	p.exited.Store(true)
+}
+
+// Exited reports whether the process has exited, and its code.
+func (p *Process) Exited() (bool, int64) {
+	return p.exited.Load(), p.exitCode.Load()
+}
+
+// Instret returns the total retired instruction count across all
+// threads that have reported so far (threads flush periodically and on
+// completion).
+func (p *Process) Instret() int64 { return p.instret.Load() }
+
+// RegisterThread allocates a thread id and its join channel.
+func (p *Process) RegisterThread() (int64, chan int64) {
+	tid := p.nextTID.Add(1)
+	ch := make(chan int64, 1)
+	p.mu.Lock()
+	p.joinable[tid] = ch
+	p.mu.Unlock()
+	return tid, ch
+}
+
+// JoinChan returns the join channel for a thread id.
+func (p *Process) JoinChan(tid int64) (chan int64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ch, ok := p.joinable[tid]
+	return ch, ok
+}
+
+// Thread is one virtual CPU.
+type Thread struct {
+	P   *Process
+	Reg [visa.NumRegs]int64
+	PC  int64
+
+	// comparison flags (operands of the last CMP-style instruction).
+	fa, fb   int64
+	ffa, ffb float64
+	fFloat   bool
+
+	// Instret counts instructions retired by this thread.
+	Instret int64
+}
+
+// NewThread creates a thread with its stack pointer set.
+func (p *Process) NewThread(pc, sp int64) *Thread {
+	t := &Thread{P: p, PC: pc}
+	t.Reg[visa.SP] = sp
+	return t
+}
+
+func (t *Thread) fault(kind FaultKind, format string, args ...interface{}) error {
+	return &Fault{Kind: kind, PC: t.PC, Msg: fmt.Sprintf(format, args...)}
+}
+
+// memRange validates [addr, addr+n) and required protection.
+func (t *Thread) memCheck(addr int64, n int64, prot uint32) error {
+	if addr < 0 || addr+n > int64(len(t.P.Mem)) {
+		return t.fault(FaultMem, "access %#x+%d out of range", addr, n)
+	}
+	if t.P.Prot(addr)&prot == 0 {
+		return t.fault(FaultMem, "access %#x lacks prot %d", addr, prot)
+	}
+	return nil
+}
+
+func (t *Thread) load(addr int64, size int) (uint64, error) {
+	if err := t.memCheck(addr, int64(size), visa.ProtRead); err != nil {
+		return 0, err
+	}
+	var v uint64
+	m := t.P.Mem[addr:]
+	switch size {
+	case 1:
+		v = uint64(m[0])
+	case 2:
+		v = uint64(m[0]) | uint64(m[1])<<8
+	case 4:
+		v = uint64(m[0]) | uint64(m[1])<<8 | uint64(m[2])<<16 | uint64(m[3])<<24
+	case 8:
+		for i := 0; i < 8; i++ {
+			v |= uint64(m[i]) << (8 * i)
+		}
+	}
+	return v, nil
+}
+
+func (t *Thread) store(addr int64, size int, v uint64) error {
+	if err := t.memCheck(addr, int64(size), visa.ProtWrite); err != nil {
+		return err
+	}
+	m := t.P.Mem[addr:]
+	switch size {
+	case 1:
+		m[0] = byte(v)
+	case 2:
+		m[0], m[1] = byte(v), byte(v>>8)
+	case 4:
+		m[0], m[1], m[2], m[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	case 8:
+		for i := 0; i < 8; i++ {
+			m[i] = byte(v >> (8 * i))
+		}
+	}
+	return nil
+}
+
+func (t *Thread) push(v int64) error {
+	t.Reg[visa.SP] -= 8
+	return t.store(t.Reg[visa.SP], 8, uint64(v))
+}
+
+func (t *Thread) pop() (int64, error) {
+	v, err := t.load(t.Reg[visa.SP], 8)
+	if err != nil {
+		return 0, err
+	}
+	t.Reg[visa.SP] += 8
+	return int64(v), nil
+}
+
+// cond evaluates a condition code against the flags.
+func (t *Thread) cond(cc byte) bool {
+	if t.fFloat {
+		a, b := t.ffa, t.ffb
+		switch cc {
+		case visa.CcE:
+			return a == b
+		case visa.CcNE:
+			return a != b
+		case visa.CcL, visa.CcB:
+			return a < b
+		case visa.CcG, visa.CcA:
+			return a > b
+		case visa.CcLE, visa.CcBE:
+			return a <= b
+		case visa.CcGE, visa.CcAE:
+			return a >= b
+		}
+		return false
+	}
+	a, b := t.fa, t.fb
+	switch cc {
+	case visa.CcE:
+		return a == b
+	case visa.CcNE:
+		return a != b
+	case visa.CcL:
+		return a < b
+	case visa.CcG:
+		return a > b
+	case visa.CcLE:
+		return a <= b
+	case visa.CcGE:
+		return a >= b
+	case visa.CcB:
+		return uint64(a) < uint64(b)
+	case visa.CcA:
+		return uint64(a) > uint64(b)
+	case visa.CcBE:
+		return uint64(a) <= uint64(b)
+	case visa.CcAE:
+		return uint64(a) >= uint64(b)
+	}
+	return false
+}
+
+var jccToCond = map[visa.Op]byte{
+	visa.JE: visa.CcE, visa.JNE: visa.CcNE, visa.JL: visa.CcL,
+	visa.JG: visa.CcG, visa.JLE: visa.CcLE, visa.JGE: visa.CcGE,
+	visa.JB: visa.CcB, visa.JA: visa.CcA, visa.JBE: visa.CcBE,
+	visa.JAE: visa.CcAE,
+}
+
+// jccCond is the dense version of jccToCond for the interpreter loop.
+var jccCond [256]byte
+
+func init() {
+	for op, cc := range jccToCond {
+		jccCond[op] = cc + 1 // 0 means "not a jcc"
+	}
+}
+
+// Run executes until process exit, a fault, or maxInstr instructions
+// (0 = unlimited). It returns ErrExited on clean process exit.
+func (t *Thread) Run(maxInstr int64) error {
+	defer func() {
+		t.P.instret.Add(t.Instret % 1024)
+	}()
+	for {
+		if maxInstr > 0 && t.Instret >= maxInstr {
+			return fmt.Errorf("vm: instruction budget exhausted (%d)", maxInstr)
+		}
+		if t.Instret%1024 == 0 {
+			if t.P.exited.Load() {
+				return ErrExited
+			}
+			if t.Instret > 0 {
+				t.P.instret.Add(1024)
+			}
+		}
+		if err := t.Step(); err != nil {
+			return err
+		}
+	}
+}
+
+// Step executes one instruction.
+func (t *Thread) Step() error {
+	pc := t.PC
+	if t.P.Prot(pc)&visa.ProtExec == 0 {
+		return t.fault(FaultExec, "pc %#x not executable", pc)
+	}
+	ins, size, err := visa.Decode(t.P.Mem, int(pc))
+	if err != nil {
+		return t.fault(FaultDecode, "%v", err)
+	}
+	next := pc + int64(size)
+	t.Instret++
+
+	r := &t.Reg
+	switch ins.Op {
+	case visa.NOP:
+	case visa.HLT:
+		return t.fault(FaultCFI, "hlt")
+	case visa.MOVI:
+		r[ins.R1] = ins.Imm
+	case visa.MOV:
+		r[ins.R1] = r[ins.R2]
+	case visa.LD8, visa.LD16, visa.LD32, visa.LD64, visa.LD8U, visa.LD16U, visa.LD32U:
+		var v uint64
+		addr := r[ins.R2] + ins.Imm
+		switch ins.Op {
+		case visa.LD8:
+			v, err = t.load(addr, 1)
+			r[ins.R1] = int64(int8(v))
+		case visa.LD8U:
+			v, err = t.load(addr, 1)
+			r[ins.R1] = int64(uint8(v))
+		case visa.LD16:
+			v, err = t.load(addr, 2)
+			r[ins.R1] = int64(int16(v))
+		case visa.LD16U:
+			v, err = t.load(addr, 2)
+			r[ins.R1] = int64(uint16(v))
+		case visa.LD32:
+			v, err = t.load(addr, 4)
+			r[ins.R1] = int64(int32(v))
+		case visa.LD32U:
+			v, err = t.load(addr, 4)
+			r[ins.R1] = int64(uint32(v))
+		case visa.LD64:
+			v, err = t.load(addr, 8)
+			r[ins.R1] = int64(v)
+		}
+		if err != nil {
+			return err
+		}
+	case visa.ST8, visa.ST16, visa.ST32, visa.ST64:
+		addr := r[ins.R2] + ins.Imm
+		var sz int
+		switch ins.Op {
+		case visa.ST8:
+			sz = 1
+		case visa.ST16:
+			sz = 2
+		case visa.ST32:
+			sz = 4
+		case visa.ST64:
+			sz = 8
+		}
+		if err := t.store(addr, sz, uint64(r[ins.R1])); err != nil {
+			return err
+		}
+	case visa.ADD:
+		r[ins.R1] += r[ins.R2]
+	case visa.SUB:
+		r[ins.R1] -= r[ins.R2]
+	case visa.MUL:
+		r[ins.R1] *= r[ins.R2]
+	case visa.DIV:
+		if r[ins.R2] == 0 {
+			return t.fault(FaultArith, "division by zero")
+		}
+		r[ins.R1] /= r[ins.R2]
+	case visa.MOD:
+		if r[ins.R2] == 0 {
+			return t.fault(FaultArith, "mod by zero")
+		}
+		r[ins.R1] %= r[ins.R2]
+	case visa.UDIV:
+		if r[ins.R2] == 0 {
+			return t.fault(FaultArith, "division by zero")
+		}
+		r[ins.R1] = int64(uint64(r[ins.R1]) / uint64(r[ins.R2]))
+	case visa.UMOD:
+		if r[ins.R2] == 0 {
+			return t.fault(FaultArith, "mod by zero")
+		}
+		r[ins.R1] = int64(uint64(r[ins.R1]) % uint64(r[ins.R2]))
+	case visa.AND:
+		r[ins.R1] &= r[ins.R2]
+	case visa.OR:
+		r[ins.R1] |= r[ins.R2]
+	case visa.XOR:
+		r[ins.R1] ^= r[ins.R2]
+	case visa.SHL:
+		r[ins.R1] <<= uint64(r[ins.R2]) & 63
+	case visa.SHR:
+		r[ins.R1] = int64(uint64(r[ins.R1]) >> (uint64(r[ins.R2]) & 63))
+	case visa.SAR:
+		r[ins.R1] >>= uint64(r[ins.R2]) & 63
+	case visa.NEG:
+		r[ins.R1] = -r[ins.R1]
+	case visa.NOTI:
+		r[ins.R1] = ^r[ins.R1]
+	case visa.ADDI:
+		r[ins.R1] += ins.Imm
+	case visa.CMP:
+		t.fa, t.fb, t.fFloat = r[ins.R1], r[ins.R2], false
+	case visa.CMPI:
+		t.fa, t.fb, t.fFloat = r[ins.R1], ins.Imm, false
+	case visa.CMPW:
+		t.fa, t.fb, t.fFloat = r[ins.R1]&0xFFFF, r[ins.R2]&0xFFFF, false
+	case visa.TESTB:
+		t.fa, t.fb, t.fFloat = r[ins.R1]&ins.Imm&0xFF, 0, false
+	case visa.JMP:
+		next += ins.Imm
+	case visa.JE, visa.JNE, visa.JL, visa.JG, visa.JLE, visa.JGE,
+		visa.JB, visa.JA, visa.JBE, visa.JAE:
+		// handled by the jccCond table below
+	case visa.CALL:
+		if err := t.push(next); err != nil {
+			return err
+		}
+		next += ins.Imm
+	case visa.CALLR:
+		if err := t.push(next); err != nil {
+			return err
+		}
+		next = r[ins.R1]
+	case visa.JMPR:
+		next = r[ins.R1]
+	case visa.RET:
+		v, err := t.pop()
+		if err != nil {
+			return err
+		}
+		next = v
+	case visa.PUSH:
+		if err := t.push(r[ins.R1]); err != nil {
+			return err
+		}
+	case visa.POP:
+		v, err := t.pop()
+		if err != nil {
+			return err
+		}
+		r[ins.R1] = v
+	case visa.SYS:
+		if t.P.Handler == nil {
+			return t.fault(FaultSys, "no syscall handler")
+		}
+		t.PC = next // handlers observe the continuation PC
+		if err := t.P.Handler.Syscall(t, int(ins.Imm)); err != nil {
+			return err
+		}
+		if t.P.exited.Load() {
+			return ErrExited
+		}
+		next = t.PC
+	case visa.FADD:
+		t.fop(ins, func(a, b float64) float64 { return a + b })
+	case visa.FSUB:
+		t.fop(ins, func(a, b float64) float64 { return a - b })
+	case visa.FMUL:
+		t.fop(ins, func(a, b float64) float64 { return a * b })
+	case visa.FDIV:
+		t.fop(ins, func(a, b float64) float64 { return a / b })
+	case visa.FCMP:
+		t.ffa = math.Float64frombits(uint64(r[ins.R1]))
+		t.ffb = math.Float64frombits(uint64(r[ins.R2]))
+		t.fFloat = true
+	case visa.CVIF:
+		r[ins.R1] = int64(math.Float64bits(float64(r[ins.R1])))
+	case visa.CVFI:
+		f := math.Float64frombits(uint64(r[ins.R1]))
+		switch {
+		case math.IsNaN(f):
+			r[ins.R1] = 0
+		case f >= math.MaxInt64:
+			r[ins.R1] = math.MaxInt64
+		case f <= math.MinInt64:
+			r[ins.R1] = math.MinInt64
+		default:
+			r[ins.R1] = int64(f)
+		}
+	case visa.SET:
+		if t.cond(ins.R1) {
+			r[ins.R2] = 1
+		} else {
+			r[ins.R2] = 0
+		}
+	case visa.SX8:
+		r[ins.R1] = int64(int8(r[ins.R1]))
+	case visa.SX16:
+		r[ins.R1] = int64(int16(r[ins.R1]))
+	case visa.SX32:
+		r[ins.R1] = int64(int32(r[ins.R1]))
+	case visa.ZX8:
+		r[ins.R1] = int64(uint8(r[ins.R1]))
+	case visa.ZX16:
+		r[ins.R1] = int64(uint16(r[ins.R1]))
+	case visa.AND32:
+		r[ins.R1] = int64(uint32(r[ins.R1]))
+	case visa.ANDI:
+		r[ins.R1] &= ins.Imm
+	case visa.TLOAD:
+		if t.P.Tables == nil {
+			return t.fault(FaultMem, "tload without tables")
+		}
+		r[ins.R1] = int64(t.P.Tables.Load32(r[ins.R2]))
+	case visa.TLOADI:
+		if t.P.Tables == nil {
+			return t.fault(FaultMem, "tloadi without tables")
+		}
+		r[ins.R1] = int64(t.P.Tables.Load32(ins.Imm))
+	case visa.SETJ:
+		env := r[ins.R1]
+		if err := t.store(env, 8, uint64(t.Reg[visa.SP])); err != nil {
+			return err
+		}
+		if err := t.store(env+8, 8, uint64(t.Reg[visa.FP])); err != nil {
+			return err
+		}
+		if err := t.store(env+16, 8, uint64(next)); err != nil {
+			return err
+		}
+		r[visa.R0] = 0
+	case visa.JRESTORE:
+		t.Reg[visa.SP] = r[ins.R1]
+		t.Reg[visa.FP] = r[ins.R2]
+		next = r[ins.R3]
+	default:
+		return t.fault(FaultDecode, "unimplemented opcode %s", ins.Op.Name())
+	}
+
+	// Conditional branches.
+	if cc := jccCond[ins.Op]; cc != 0 {
+		if t.cond(cc - 1) {
+			next += ins.Imm
+		}
+	}
+	t.PC = next
+	return nil
+}
+
+// fop applies a float64 operation on register bit patterns.
+func (t *Thread) fop(ins visa.Instr, f func(a, b float64) float64) {
+	a := math.Float64frombits(uint64(t.Reg[ins.R1]))
+	b := math.Float64frombits(uint64(t.Reg[ins.R2]))
+	t.Reg[ins.R1] = int64(math.Float64bits(f(a, b)))
+}

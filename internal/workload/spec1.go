@@ -1,0 +1,504 @@
+package workload
+
+// Perlbench models the SPEC interpreter workload: tagged scalar values
+// (SVs) with physical subtyping, a bytecode loop dispatching through a
+// function-pointer table, and string hashing. It carries the richest
+// set of C1 patterns, as in the paper's Table 1: UC (sv upcasts), DC
+// (tagged downcasts), MF (malloc), SU (NULL fp updates), NF (the
+// XPVLV-style field peek), K2 (void* round trips), and one dead K1.
+func Perlbench() Workload {
+	return Workload{
+		Name:     "perlbench",
+		Work:     300,
+		TestWork: 20,
+		Gen:      GenParams{Funcs: 900, FPTypes: 40, Callers: 120, Switches: 12},
+		Source: `
+enum { WORK = 300 };
+
+// --- tagged scalar values (physical subtyping, as perl's SV) ---
+struct sv { int tag; int (*magic)(int); };
+struct sv_int { int tag; int (*magic)(int); long iv; };
+struct sv_str { int tag; int (*magic)(int); char buf[24]; long len; };
+
+static int magic_int(int x) { return x + 1; }
+static int magic_str(int x) { return x + 2; }
+
+static struct sv *new_sv_int(long v) {
+	struct sv_int *s = (struct sv_int*)malloc(sizeof(struct sv_int)); // MF
+	s->tag = 1; s->magic = magic_int; s->iv = v;
+	return (struct sv*)s;                                             // UC
+}
+static struct sv *new_sv_str(char *src) {
+	struct sv_str *s = (struct sv_str*)malloc(sizeof(struct sv_str)); // MF
+	s->tag = 2; s->magic = magic_str;
+	strcpy(s->buf, src);
+	s->len = strlen(src);
+	return (struct sv*)s;                                             // UC
+}
+static long sv_value(struct sv *v) {
+	if (v->tag == 1) return ((struct sv_int*)v)->iv;                  // DC (tagged)
+	return ((struct sv_str*)v)->len;                                  // DC (tagged)
+}
+
+// NF: a cast whose result only touches a non-fp field.
+struct xpvlv { long targlen; int (*vtbl)(int); };
+struct svslot { void *any; };
+static long peek_targlen(struct svslot *s) {
+	return ((struct xpvlv*)s->any)->targlen;                          // NF
+}
+
+// --- opcode dispatch ---
+typedef long (*op_fn)(long, long);
+static long op_add(long a, long b) { return a + b; }
+static long op_mul(long a, long b) { return a * 3 + b; }
+static long op_xor(long a, long b) { return a ^ b; }
+static long op_rot(long a, long b) { return ((a << (b & 7)) | (a >> 3)) & 0xFFFFFF; }
+static op_fn optab[4] = {op_add, op_mul, op_xor, op_rot};
+
+static op_fn cur_op = 0;                                              // SU (NULL init)
+static void *saved_op;                                                // K2 stash slot
+
+// Dead K1: a wrong-typed function pointer that is never invoked (the
+// gcc-style dead case from Table 2).
+static long op_wrong(int a) { return a; }
+static op_fn dead_slot = (op_fn)op_wrong;                             // K1 (dead)
+
+static unsigned long hash_str(char *s) {
+	unsigned long h = 5381;
+	long i = 0;
+	while (s[i]) {
+		h = h * 33 + (unsigned long)(unsigned char)s[i];
+		i++;
+	}
+	return h;
+}
+
+int main(void) {
+	char *words[4];
+	words[0] = "my"; words[1] = "hash"; words[2] = "keys"; words[3] = "perl";
+	struct sv *vals[8];
+	for (int i = 0; i < 4; i++) vals[i] = new_sv_int((long)(i * 7 + 1));
+	for (int i = 0; i < 4; i++) vals[4 + i] = new_sv_str(words[i]);
+
+	long acc = 0;
+	for (int it = 0; it < WORK; it++) {
+		for (int i = 0; i < 8; i++) {
+			struct sv *v = vals[i];
+			long x = sv_value(v);
+			cur_op = optab[(it + i) & 3];
+			saved_op = cur_op;                  // K2: fp -> void*
+			op_fn back = (op_fn)saved_op;       // K2: void* -> fp
+			acc = back(acc, x + v->magic(i));
+			acc += (long)hash_str(words[i & 3]) & 0xFFF;
+		}
+	}
+	struct xpvlv lv;
+	lv.targlen = 99; lv.vtbl = magic_int;
+	struct svslot slot;
+	slot.any = (void*)&lv;
+	acc += peek_targlen(&slot);
+	if (dead_slot == 0) acc++;
+	printf("perlbench: %ld\n", acc & 0xFFFFFFF);
+	return 0;
+}
+`,
+	}
+}
+
+// Bzip2 models the compressor: run-length encoding plus move-to-front
+// over a deterministic pseudo-text, with a bz_stream-like struct whose
+// allocator function pointers produce the MF/SU/K2 casts the paper
+// found.
+func Bzip2() Workload {
+	return Workload{
+		Name:     "bzip2",
+		Work:     60,
+		TestWork: 5,
+		Gen:      GenParams{Funcs: 90, FPTypes: 8, Callers: 16, Switches: 3},
+		Source: `
+enum { WORK = 60, N = 2048 };
+
+struct stream {
+	void *(*alloc_fn)(long);
+	void (*free_fn)(void *);
+	unsigned char *in;
+	unsigned char *out;
+	long in_len;
+	long out_len;
+};
+
+static void *wrap_alloc(long n) { return malloc(n); }
+static void wrap_free(void *p) { free(p); }
+
+static struct stream *stream_new(void) {
+	struct stream *s = (struct stream*)malloc(sizeof(struct stream)); // MF
+	s->alloc_fn = wrap_alloc;
+	s->free_fn = 0;                                                   // SU
+	s->free_fn = wrap_free;
+	s->in = (unsigned char*)s->alloc_fn(N);
+	s->out = (unsigned char*)s->alloc_fn(2 * N + 16);
+	s->in_len = N;
+	s->out_len = 0;
+	return s;
+}
+
+static void *handle_slot;  // opaque handle, as in bzlib's user data
+
+static long rle_encode(struct stream *s) {
+	long o = 0;
+	long i = 0;
+	while (i < s->in_len) {
+		unsigned char c = s->in[i];
+		long run = 1;
+		while (i + run < s->in_len && s->in[i + run] == c && run < 255) run++;
+		s->out[o] = c;
+		s->out[o + 1] = (unsigned char)run;
+		o += 2;
+		i += run;
+	}
+	s->out_len = o;
+	return o;
+}
+
+static int mtf_table[256];
+
+static long mtf_transform(unsigned char *data, long n) {
+	for (int i = 0; i < 256; i++) mtf_table[i] = i;
+	long sum = 0;
+	for (long i = 0; i < n; i++) {
+		int c = (int)data[i];
+		int j = 0;
+		while (mtf_table[j] != c) j++;
+		sum += j;
+		while (j > 0) { mtf_table[j] = mtf_table[j - 1]; j--; }
+		mtf_table[0] = c;
+	}
+	return sum;
+}
+
+int main(void) {
+	struct stream *s = stream_new();
+	handle_slot = (void*)s;                       // stash
+	long acc = 0;
+	unsigned long state = 12345;
+	for (int round = 0; round < WORK; round++) {
+		for (long i = 0; i < s->in_len; i++) {
+			state = state * 1103515245 + 12345;
+			// biased bytes so runs exist
+			unsigned char c = (unsigned char)((state >> 20) & 7);
+			s->in[i] = c;
+		}
+		struct stream *h = (struct stream*)handle_slot;
+		long packed = rle_encode(h);
+		acc += packed + mtf_transform(h->out, packed);
+		acc &= 0xFFFFFFF;
+	}
+	s->free_fn((void*)s->in);
+	s->free_fn((void*)s->out);
+	free(s);                                      // MF (free)
+	printf("bzip2: %ld\n", acc);
+	return 0;
+}
+`,
+	}
+}
+
+// Gcc models the compiler workload: a lexer and recursive-descent
+// parser over arithmetic expressions, an AST with tagged subtyping, a
+// constant folder dispatching through function pointers, bytecode
+// emission, and a stack evaluator with a jump-table switch. It embeds
+// the paper's gcc findings: the splay-tree K1 (shown fixed with the
+// strcmp wrapper, §6), two dead K1s, plus DC/UC/MF/SU/NF/K2 cases.
+func Gcc() Workload {
+	return Workload{
+		Name:     "gcc",
+		Work:     120,
+		TestWork: 8,
+		Gen:      GenParams{Funcs: 2000, FPTypes: 90, Callers: 260, Switches: 30},
+		Source: `
+enum { WORK = 120 };
+
+// --- AST with physical subtyping ---
+struct node { int kind; };
+struct num_node { int kind; long value; };
+struct bin_node { int kind; int op; struct node *l; struct node *r; };
+
+enum { K_NUM = 1, K_BIN = 2 };
+
+static struct node *new_num(long v) {
+	struct num_node *n = (struct num_node*)malloc(sizeof(struct num_node));
+	n->kind = K_NUM; n->value = v;
+	return (struct node*)n;                                            // UC
+}
+static struct node *new_bin(int op, struct node *l, struct node *r) {
+	struct bin_node *n = (struct bin_node*)malloc(sizeof(struct bin_node));
+	n->kind = K_BIN; n->op = op; n->l = l; n->r = r;
+	return (struct node*)n;                                            // UC
+}
+
+// --- constant folding via fp dispatch ---
+typedef long (*fold_fn)(long, long);
+static long fold_add(long a, long b) { return a + b; }
+static long fold_sub(long a, long b) { return a - b; }
+static long fold_mul(long a, long b) { return a * b; }
+static long fold_div(long a, long b) { if (b == 0) return 0; return a / b; }
+static fold_fn folds[4] = {fold_add, fold_sub, fold_mul, fold_div};
+
+static long eval_node(struct node *n) {
+	if (n->kind == K_NUM) return ((struct num_node*)n)->value;         // DC
+	struct bin_node *b = (struct bin_node*)n;                          // DC
+	return folds[b->op](eval_node(b->l), eval_node(b->r));
+}
+
+// --- the splay-tree comparator, FIXED with a wrapper (paper §6) ---
+static int cmp_keys(unsigned long a, unsigned long b) {
+	return strcmp((char*)a, (char*)b);
+}
+static int (*key_cmp)(unsigned long, unsigned long) = cmp_keys;
+
+// --- dead K1s: initialized, never used (Table 2's 14 gcc cases) ---
+static long bad_target1(int x) { return x; }
+static long bad_target2(int x, int y) { return x + y; }
+static fold_fn dead1 = (fold_fn)bad_target1;                           // K1 (dead)
+static fold_fn dead2 = (fold_fn)bad_target2;                           // K1 (dead)
+
+// --- language-hook style record with a fp; only non-fp field read ---
+struct lang_hooks { long langid; void (*init)(void); };
+static long read_langid(void *hooks) {
+	return ((struct lang_hooks*)hooks)->langid;                        // NF
+}
+
+static fold_fn pending = 0;                                            // SU
+static void *spill;                                                   // K2 slot
+
+// --- tiny parser over a generated expression string ---
+static char *src_cur;
+static long parse_expr(void);
+static long parse_atom(void) {
+	if (*src_cur == '(') {
+		src_cur++;
+		long v = parse_expr();
+		src_cur++;  // ')'
+		return v;
+	}
+	long v = 0;
+	while (*src_cur >= '0' && *src_cur <= '9') {
+		v = v * 10 + (*src_cur - '0');
+		src_cur++;
+	}
+	return v;
+}
+static long parse_term(void) {
+	long v = parse_atom();
+	while (*src_cur == '*' || *src_cur == '/') {
+		char op = *src_cur;
+		src_cur++;
+		long r = parse_atom();
+		pending = folds[op == '*' ? 2 : 3];
+		spill = pending;                         // K2: fp -> void*
+		v = ((fold_fn)spill)(v, r);              // K2: void* -> fp
+	}
+	return v;
+}
+static long parse_expr(void) {
+	long v = parse_term();
+	while (*src_cur == '+' || *src_cur == '-') {
+		char op = *src_cur;
+		src_cur++;
+		long r = parse_term();
+		v = folds[op == '+' ? 0 : 1](v, r);
+	}
+	return v;
+}
+
+// --- bytecode evaluator (jump-table switch) ---
+enum { OP_PUSH = 0, OP_ADD = 1, OP_SUB = 2, OP_MUL = 3, OP_DUP = 4, OP_SWAP = 5 };
+static long run_bytecode(int *code, long *args, int n) {
+	long stack[64];
+	int sp = 0;
+	for (int i = 0; i < n; i++) {
+		switch (code[i]) {
+		case OP_PUSH: stack[sp] = args[i]; sp++; break;
+		case OP_ADD: sp--; stack[sp - 1] += stack[sp]; break;
+		case OP_SUB: sp--; stack[sp - 1] -= stack[sp]; break;
+		case OP_MUL: sp--; stack[sp - 1] *= stack[sp]; break;
+		case OP_DUP: stack[sp] = stack[sp - 1]; sp++; break;
+		case OP_SWAP: {
+			long t = stack[sp - 1];
+			stack[sp - 1] = stack[sp - 2];
+			stack[sp - 2] = t;
+			break;
+		}
+		default: break;
+		}
+	}
+	return stack[0];
+}
+
+int main(void) {
+	long acc = 0;
+	char expr[64];
+	for (int it = 0; it < WORK; it++) {
+		// build "(a+b)*c+d/e" with varying digits
+		long a = (long)(it % 9 + 1);
+		strcpy(expr, "(0+0)*0+08/2");
+		expr[1] = (char)('0' + (int)a);
+		expr[3] = (char)('0' + (it * 3) % 10);
+		expr[6] = (char)('0' + (it * 7) % 10);
+		expr[8] = (char)('1' + it % 8);
+		src_cur = expr;
+		acc += parse_expr();
+
+		struct node *t = new_bin(2, new_bin(0, new_num(a), new_num(it & 7)), new_num(3));
+		acc += eval_node(t);
+		free(t);
+
+		int code[6];
+		long args[6];
+		code[0] = OP_PUSH; args[0] = a;
+		code[1] = OP_PUSH; args[1] = it & 15;
+		code[2] = OP_DUP;  args[2] = 0;
+		code[3] = OP_MUL;  args[3] = 0;
+		code[4] = OP_ADD;  args[4] = 0;
+		code[5] = OP_PUSH; args[5] = 0;
+		acc += run_bytecode(code, args, 6);
+		acc &= 0xFFFFFFF;
+	}
+	char *ka = "alpha";
+	char *kb = "beta";
+	acc += (long)key_cmp((unsigned long)ka, (unsigned long)kb) & 3;   // K2 x2 (ptr->ulong)
+	struct lang_hooks hooks;
+	hooks.langid = 42; hooks.init = 0;                                 // SU
+	acc += read_langid((void*)&hooks);
+	if (dead1 == dead2) acc--;
+	printf("gcc: %ld\n", acc);
+	return 0;
+}
+`,
+	}
+}
+
+// Mcf models the network-flow workload: successive shortest-path
+// augmentation with Bellman-Ford over a fixed layered network. Pure
+// integer pointer-chasing; like the original, it has no C1 violations.
+func Mcf() Workload {
+	return Workload{
+		Name:     "mcf",
+		Work:     40,
+		TestWork: 4,
+		Gen:      GenParams{Funcs: 80, FPTypes: 6, Callers: 14, Switches: 2},
+		Source: `
+enum { WORK = 40, NODES = 30, ARCS = 128 };
+
+static int arc_from[ARCS];
+static int arc_to[ARCS];
+static long arc_cap[ARCS];
+static long arc_cost[ARCS];
+static long arc_flow[ARCS];
+static int n_arcs;
+
+static void add_arc(int u, int v, long cap, long cost) {
+	arc_from[n_arcs] = u;
+	arc_to[n_arcs] = v;
+	arc_cap[n_arcs] = cap;
+	arc_cost[n_arcs] = cost;
+	arc_flow[n_arcs] = 0;
+	n_arcs++;
+}
+
+static long dist[NODES];
+static int pre[NODES];
+
+// Bellman-Ford over residual arcs; returns 1 if sink reachable.
+static int find_path(int src, int dst) {
+	for (int i = 0; i < NODES; i++) { dist[i] = 1000000000; pre[i] = -1; }
+	dist[src] = 0;
+	for (int round = 0; round < NODES; round++) {
+		int changed = 0;
+		for (int a = 0; a < n_arcs; a++) {
+			// forward residual
+			if (arc_flow[a] < arc_cap[a]) {
+				int u = arc_from[a];
+				int v = arc_to[a];
+				if (dist[u] + arc_cost[a] < dist[v]) {
+					dist[v] = dist[u] + arc_cost[a];
+					pre[v] = a;
+					changed = 1;
+				}
+			}
+			// backward residual
+			if (arc_flow[a] > 0) {
+				int u = arc_to[a];
+				int v = arc_from[a];
+				if (dist[u] - arc_cost[a] < dist[v]) {
+					dist[v] = dist[u] - arc_cost[a];
+					pre[v] = a + ARCS;   // mark reversed
+					changed = 1;
+				}
+			}
+		}
+		if (!changed) break;
+	}
+	return dist[dst] < 1000000000;
+}
+
+static long augment(int src, int dst) {
+	// find bottleneck
+	long push = 1000000000;
+	int v = dst;
+	while (v != src) {
+		int code = pre[v];
+		if (code < ARCS) {
+			long slack = arc_cap[code] - arc_flow[code];
+			if (slack < push) push = slack;
+			v = arc_from[code];
+		} else {
+			int a = code - ARCS;
+			if (arc_flow[a] < push) push = arc_flow[a];
+			v = arc_to[a];
+		}
+	}
+	long cost = 0;
+	v = dst;
+	while (v != src) {
+		int code = pre[v];
+		if (code < ARCS) {
+			arc_flow[code] += push;
+			cost += push * arc_cost[code];
+			v = arc_from[code];
+		} else {
+			int a = code - ARCS;
+			arc_flow[a] -= push;
+			cost -= push * arc_cost[a];
+			v = arc_to[a];
+		}
+	}
+	return cost;
+}
+
+int main(void) {
+	long total = 0;
+	for (int it = 0; it < WORK; it++) {
+		n_arcs = 0;
+		for (int a = 0; a < ARCS; a++) arc_flow[a] = 0;
+		// layered network: 0 -> [1..9] -> [10..19] -> [20..28] -> 29
+		for (int i = 1; i <= 9; i++) add_arc(0, i, 2 + (i + it) % 3, (long)i);
+		for (int i = 1; i <= 9; i++)
+			for (int j = 10; j <= 19; j += 2)
+				add_arc(i, j, 1 + (i + j) % 2, (long)((i * j + it) % 7 + 1));
+		for (int j = 10; j <= 19; j++)
+			for (int k = 20; k <= 28; k += 3)
+				add_arc(j, k, 2, (long)((j + k) % 5 + 1));
+		for (int k = 20; k <= 28; k++) add_arc(k, 29, 3, (long)(k % 4 + 1));
+
+		long cost = 0;
+		while (find_path(0, 29)) cost += augment(0, 29);
+		total += cost;
+		total &= 0xFFFFFFF;
+	}
+	printf("mcf: %ld\n", total);
+	return 0;
+}
+`,
+	}
+}

@@ -1,0 +1,451 @@
+package workload
+
+// Gobmk models the Go-playing workload: influence propagation and
+// flood-fill group counting over a 9x9 board. Array-heavy integer
+// code; like the original, no C1 violations.
+func Gobmk() Workload {
+	return Workload{
+		Name:     "gobmk",
+		Work:     60,
+		TestWork: 5,
+		Gen:      GenParams{Funcs: 1000, FPTypes: 30, Callers: 130, Switches: 24},
+		Source: `
+enum { WORK = 60, SZ = 9 };
+
+static int board[SZ][SZ];
+static int influence[SZ][SZ];
+static int visited[SZ][SZ];
+
+static void seed_board(unsigned long state) {
+	for (int i = 0; i < SZ; i++) {
+		for (int j = 0; j < SZ; j++) {
+			state = state * 6364136223846793005 + 1442695040888963407;
+			int r = (int)((state >> 33) % 8);
+			if (r == 0) board[i][j] = 1;
+			else if (r == 1) board[i][j] = 2;
+			else board[i][j] = 0;
+		}
+	}
+}
+
+static void propagate(void) {
+	for (int i = 0; i < SZ; i++)
+		for (int j = 0; j < SZ; j++)
+			influence[i][j] = 0;
+	for (int i = 0; i < SZ; i++) {
+		for (int j = 0; j < SZ; j++) {
+			if (board[i][j] == 0) continue;
+			int sign = board[i][j] == 1 ? 1 : -1;
+			for (int di = -2; di <= 2; di++) {
+				for (int dj = -2; dj <= 2; dj++) {
+					int ni = i + di;
+					int nj = j + dj;
+					if (ni < 0 || ni >= SZ || nj < 0 || nj >= SZ) continue;
+					int d = abs(di) + abs(dj);
+					influence[ni][nj] += sign * (8 >> d);
+				}
+			}
+		}
+	}
+}
+
+static int flood(int i, int j, int color) {
+	if (i < 0 || i >= SZ || j < 0 || j >= SZ) return 0;
+	if (visited[i][j] || board[i][j] != color) return 0;
+	visited[i][j] = 1;
+	return 1 + flood(i - 1, j, color) + flood(i + 1, j, color)
+	         + flood(i, j - 1, color) + flood(i, j + 1, color);
+}
+
+static int count_groups(int color) {
+	for (int i = 0; i < SZ; i++)
+		for (int j = 0; j < SZ; j++)
+			visited[i][j] = 0;
+	int groups = 0;
+	int biggest = 0;
+	for (int i = 0; i < SZ; i++) {
+		for (int j = 0; j < SZ; j++) {
+			if (board[i][j] == color && !visited[i][j]) {
+				int n = flood(i, j, color);
+				groups++;
+				if (n > biggest) biggest = n;
+			}
+		}
+	}
+	return groups * 100 + biggest;
+}
+
+int main(void) {
+	long acc = 0;
+	for (int it = 0; it < WORK; it++) {
+		seed_board((unsigned long)(it * 2654435761u + 7));
+		propagate();
+		long terr = 0;
+		for (int i = 0; i < SZ; i++)
+			for (int j = 0; j < SZ; j++)
+				terr += influence[i][j] > 0 ? 1 : (influence[i][j] < 0 ? -1 : 0);
+		acc += terr + count_groups(1) - count_groups(2);
+		acc &= 0xFFFFFFF;
+	}
+	printf("gobmk: %ld\n", acc);
+	return 0;
+}
+`,
+	}
+}
+
+// Hmmer models the profile-HMM workload: Viterbi dynamic programming
+// over a small plan7-style model whose malloc'ed profile struct (with
+// a scoring callback) produces the MF findings of Table 1.
+func Hmmer() Workload {
+	return Workload{
+		Name:     "hmmer",
+		Work:     50,
+		TestWork: 5,
+		Gen:      GenParams{Funcs: 260, FPTypes: 14, Callers: 40, Switches: 5},
+		Source: `
+enum { WORK = 50, M = 24, L = 48 };
+
+struct plan7 {
+	int m;                       // model length
+	int (*null_score)(int);      // score callback (real fp in hmmer)
+	long tmat[M][3];             // match/insert/delete transitions
+	long emit[M][4];             // emission scores
+};
+
+static int null_model(int x) { return x / 2; }
+
+static struct plan7 *make_model(unsigned long state) {
+	struct plan7 *p = (struct plan7*)malloc(sizeof(struct plan7));    // MF
+	p->m = M;
+	p->null_score = null_model;
+	for (int k = 0; k < M; k++) {
+		for (int t = 0; t < 3; t++) {
+			state = state * 2862933555777941757 + 3037000493;
+			p->tmat[k][t] = (long)((state >> 40) % 16) - 8;
+		}
+		for (int a = 0; a < 4; a++) {
+			state = state * 2862933555777941757 + 3037000493;
+			p->emit[k][a] = (long)((state >> 40) % 32) - 16;
+		}
+	}
+	return p;
+}
+
+static long vmx[L + 1][M + 1];
+
+static long viterbi(struct plan7 *p, int *seq, int n) {
+	for (int i = 0; i <= n; i++)
+		for (int k = 0; k <= p->m; k++)
+			vmx[i][k] = -100000;
+	vmx[0][0] = 0;
+	for (int i = 1; i <= n; i++) {
+		for (int k = 1; k <= p->m; k++) {
+			long best = vmx[i - 1][k - 1] + p->tmat[k - 1][0];
+			long del = vmx[i][k - 1] + p->tmat[k - 1][2];
+			long ins = vmx[i - 1][k] + p->tmat[k - 1][1];
+			if (del > best) best = del;
+			if (ins > best) best = ins;
+			vmx[i][k] = best + p->emit[k - 1][seq[i - 1] & 3];
+		}
+	}
+	long sc = -100000;
+	for (int k = 1; k <= p->m; k++)
+		if (vmx[n][k] > sc) sc = vmx[n][k];
+	return sc - (long)p->null_score(n);
+}
+
+int main(void) {
+	long acc = 0;
+	int seq[L];
+	for (int it = 0; it < WORK; it++) {
+		struct plan7 *p = make_model((unsigned long)(it + 3));
+		unsigned long st = (unsigned long)(it * 31 + 1);
+		for (int i = 0; i < L; i++) {
+			st = st * 1103515245 + 12345;
+			seq[i] = (int)((st >> 16) & 3);
+		}
+		acc += viterbi(p, seq, L);
+		free(p);                                                      // MF
+		acc &= 0xFFFFFFF;
+	}
+	printf("hmmer: %ld\n", acc);
+	return 0;
+}
+`,
+	}
+}
+
+// Sjeng models the chess workload: negamax search with alpha-beta
+// pruning over a 4x4 capture game. Recursive integer search; clean of
+// C1 violations like the original.
+func Sjeng() Workload {
+	return Workload{
+		Name:     "sjeng",
+		Work:     20,
+		TestWork: 3,
+		Gen:      GenParams{Funcs: 130, FPTypes: 10, Callers: 22, Switches: 8},
+		Source: `
+enum { WORK = 20, B = 4 };
+
+static int cells[B * B];
+
+static int evaluate(int side) {
+	int score = 0;
+	for (int i = 0; i < B * B; i++) {
+		if (cells[i] == side) score += 10 + i % 3;
+		else if (cells[i] == 3 - side) score -= 10 + i % 3;
+	}
+	return score;
+}
+
+static int negamax(int side, int depth, int alpha, int beta) {
+	if (depth == 0) return evaluate(side);
+	int best = -100000;
+	for (int i = 0; i < B * B; i++) {
+		if (cells[i] != 0) continue;
+		cells[i] = side;
+		// capturing rule: taking a cell flips one neighbor
+		int flipped = -1;
+		if (i + 1 < B * B && cells[i + 1] == 3 - side) {
+			cells[i + 1] = side;
+			flipped = i + 1;
+		}
+		int v = -negamax(3 - side, depth - 1, -beta, -alpha);
+		cells[i] = 0;
+		if (flipped >= 0) cells[flipped] = 3 - side;
+		if (v > best) best = v;
+		if (best > alpha) alpha = best;
+		if (alpha >= beta) break;
+	}
+	if (best == -100000) return evaluate(side);
+	return best;
+}
+
+int main(void) {
+	long acc = 0;
+	for (int it = 0; it < WORK; it++) {
+		unsigned long st = (unsigned long)(it * 97 + 13);
+		for (int i = 0; i < B * B; i++) {
+			st = st * 6364136223846793005 + 1;
+			int r = (int)((st >> 33) % 4);
+			cells[i] = r == 3 ? 0 : r;
+		}
+		acc += negamax(1, 5, -100000, 100000);
+		acc &= 0xFFFFFFF;
+	}
+	printf("sjeng: %ld\n", acc);
+	return 0;
+}
+`,
+	}
+}
+
+// Libquantum models the quantum-simulation workload: a state-vector
+// register with rotation and controlled-not gates over fixed-point
+// amplitudes. It carries the single K1 case the paper reports (kept
+// dead, as the fixed source would remove it) plus one MF.
+func Libquantum() Workload {
+	return Workload{
+		Name:     "libquantum",
+		Work:     40,
+		TestWork: 4,
+		Gen:      GenParams{Funcs: 110, FPTypes: 9, Callers: 18, Switches: 2},
+		Source: `
+enum { WORK = 40, QUBITS = 6, STATES = 64 };
+
+struct qreg {
+	int width;
+	void (*collapse)(int);       // measurement hook
+	double re[STATES];
+	double im[STATES];
+};
+
+static void collapse_noop(int s) {}
+
+// The paper's libquantum K1: a gate callback registered with an
+// incompatible type (kept dead; the 1-line fix retypes it).
+typedef void (*gate_hook)(int);
+static void bad_hook(long q) {}
+static gate_hook dead_hook = (gate_hook)bad_hook;                      // K1 (dead)
+
+static struct qreg *qreg_new(void) {
+	struct qreg *r = (struct qreg*)malloc(sizeof(struct qreg));        // MF
+	r->width = QUBITS;
+	r->collapse = collapse_noop;
+	for (int s = 0; s < STATES; s++) { r->re[s] = 0.0; r->im[s] = 0.0; }
+	r->re[0] = 1.0;
+	return r;
+}
+
+// "Hadamard-like" rotation on one qubit.
+static void rot(struct qreg *r, int q) {
+	double inv = 0.7071067811865475;
+	for (int s = 0; s < STATES; s++) {
+		if ((s & (1 << q)) == 0) {
+			int t = s | (1 << q);
+			double ar = r->re[s];
+			double ai = r->im[s];
+			double br = r->re[t];
+			double bi = r->im[t];
+			r->re[s] = (ar + br) * inv;
+			r->im[s] = (ai + bi) * inv;
+			r->re[t] = (ar - br) * inv;
+			r->im[t] = (ai - bi) * inv;
+		}
+	}
+}
+
+static void cnot(struct qreg *r, int c, int t) {
+	for (int s = 0; s < STATES; s++) {
+		if ((s & (1 << c)) != 0 && (s & (1 << t)) == 0) {
+			int u = s | (1 << t);
+			double tr = r->re[s];
+			double ti = r->im[s];
+			r->re[s] = r->re[u];
+			r->im[s] = r->im[u];
+			r->re[u] = tr;
+			r->im[u] = ti;
+		}
+	}
+}
+
+static long norm_fixed(struct qreg *r) {
+	double n = 0.0;
+	for (int s = 0; s < STATES; s++)
+		n += r->re[s] * r->re[s] + r->im[s] * r->im[s];
+	return (long)(n * 1000000.0);
+}
+
+int main(void) {
+	long acc = 0;
+	struct qreg *r = qreg_new();
+	for (int it = 0; it < WORK; it++) {
+		rot(r, it % QUBITS);
+		cnot(r, it % QUBITS, (it + 1) % QUBITS);
+		if (it % 5 == 0) rot(r, (it + 2) % QUBITS);
+		r->collapse(it);
+		acc += norm_fixed(r) + (long)(r->re[it % STATES] * 1000.0);
+		acc &= 0xFFFFFFF;
+	}
+	if (dead_hook == 0) acc++;
+	free(r);                                                           // MF
+	printf("libquantum: %ld\n", acc);
+	return 0;
+}
+`,
+	}
+}
+
+// H264ref models the video encoder: 4x4 integer transform,
+// quantization, and SAD-based mode decision through a prediction-mode
+// function-pointer table (as the original's prediction dispatch). Its
+// malloc'ed macroblock context produces the MF findings.
+func H264ref() Workload {
+	return Workload{
+		Name:     "h264ref",
+		Work:     40,
+		TestWork: 4,
+		Gen:      GenParams{Funcs: 420, FPTypes: 22, Callers: 60, Switches: 10},
+		Source: `
+enum { WORK = 40, BS = 4 };
+
+struct mbctx {
+	int qp;
+	void (*store)(int);         // reconstruction hook
+	int blk[BS][BS];
+	int coef[BS][BS];
+};
+
+static void store_noop(int x) {}
+
+static struct mbctx *mb_new(int qp) {
+	struct mbctx *m = (struct mbctx*)malloc(sizeof(struct mbctx));     // MF
+	m->qp = qp;
+	m->store = store_noop;
+	return m;
+}
+
+// prediction modes through a dispatch table
+typedef int (*pred_fn)(int, int);
+static int pred_dc(int x, int y) { return 128; }
+static int pred_h(int x, int y) { return 100 + y * 8; }
+static int pred_v(int x, int y) { return 100 + x * 8; }
+static int pred_plane(int x, int y) { return 96 + x * 4 + y * 4; }
+static pred_fn preds[4] = {pred_dc, pred_h, pred_v, pred_plane};
+
+static void transform4x4(struct mbctx *m) {
+	int tmp[BS][BS];
+	for (int i = 0; i < BS; i++) {
+		int s03 = m->blk[i][0] + m->blk[i][3];
+		int d03 = m->blk[i][0] - m->blk[i][3];
+		int s12 = m->blk[i][1] + m->blk[i][2];
+		int d12 = m->blk[i][1] - m->blk[i][2];
+		tmp[i][0] = s03 + s12;
+		tmp[i][2] = s03 - s12;
+		tmp[i][1] = 2 * d03 + d12;
+		tmp[i][3] = d03 - 2 * d12;
+	}
+	for (int j = 0; j < BS; j++) {
+		int s03 = tmp[0][j] + tmp[3][j];
+		int d03 = tmp[0][j] - tmp[3][j];
+		int s12 = tmp[1][j] + tmp[2][j];
+		int d12 = tmp[1][j] - tmp[2][j];
+		m->coef[0][j] = s03 + s12;
+		m->coef[2][j] = s03 - s12;
+		m->coef[1][j] = 2 * d03 + d12;
+		m->coef[3][j] = d03 - 2 * d12;
+	}
+}
+
+static long quant_sum(struct mbctx *m) {
+	long s = 0;
+	for (int i = 0; i < BS; i++)
+		for (int j = 0; j < BS; j++) {
+			int q = m->coef[i][j] / (m->qp + 1);
+			s += (long)(q < 0 ? -q : q);
+		}
+	return s;
+}
+
+static long sad_mode(struct mbctx *m, int mode, int base) {
+	long sad = 0;
+	for (int i = 0; i < BS; i++)
+		for (int j = 0; j < BS; j++) {
+			int p = preds[mode](i, j);
+			int d = (base + i * 16 + j * 5) - p;
+			sad += (long)(d < 0 ? -d : d);
+		}
+	return sad;
+}
+
+int main(void) {
+	long acc = 0;
+	struct mbctx *m = mb_new(6);
+	for (int it = 0; it < WORK; it++) {
+		unsigned long st = (unsigned long)(it * 2654435761u + 99);
+		for (int i = 0; i < BS; i++)
+			for (int j = 0; j < BS; j++) {
+				st = st * 1103515245 + 12345;
+				m->blk[i][j] = (int)((st >> 18) & 255) - 128;
+			}
+		transform4x4(m);
+		acc += quant_sum(m);
+		// choose the best prediction mode (indirect calls)
+		long best = 1 << 30;
+		int bestMode = 0;
+		for (int mode = 0; mode < 4; mode++) {
+			long sad = sad_mode(m, mode, (int)(st & 255));
+			if (sad < best) { best = sad; bestMode = mode; }
+		}
+		m->store(bestMode);
+		acc += best + bestMode;
+		acc &= 0xFFFFFFF;
+	}
+	free(m);                                                           // MF
+	printf("h264ref: %ld\n", acc);
+	return 0;
+}
+`,
+	}
+}

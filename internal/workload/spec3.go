@@ -1,0 +1,314 @@
+package workload
+
+// Milc models the lattice-QCD workload: 3x3 complex matrix algebra
+// over a small lattice of sites, accumulating a plaquette-like trace.
+// The site vector is malloc'ed through a struct holding a gauge-fixing
+// callback (MF), and two handle round-trips survive as K2 — matching
+// Table 1's milc row (MF 3, VAE 5).
+func Milc() Workload {
+	return Workload{
+		Name:     "milc",
+		Work:     30,
+		TestWork: 3,
+		Gen:      GenParams{Funcs: 170, FPTypes: 12, Callers: 28, Switches: 2},
+		Source: `
+enum { WORK = 30, SITES = 16 };
+
+// 3x3 complex matrix: [row][col][re/im]
+struct su3 { double m[3][3][2]; };
+
+struct lattice {
+	int n;
+	void (*gauge_fix)(int);      // callback, as milc's generic hooks
+	struct su3 links[SITES];
+};
+
+static void fix_noop(int s) {}
+
+static struct lattice *lat_new(void) {
+	struct lattice *l = (struct lattice*)malloc(sizeof(struct lattice)); // MF
+	l->n = SITES;
+	l->gauge_fix = fix_noop;
+	return l;
+}
+
+static void *lat_handle;   // opaque handle (K2 round trip)
+
+static void mat_mul(struct su3 *a, struct su3 *b, struct su3 *c) {
+	for (int i = 0; i < 3; i++) {
+		for (int j = 0; j < 3; j++) {
+			double re = 0.0;
+			double im = 0.0;
+			for (int k = 0; k < 3; k++) {
+				double ar = a->m[i][k][0];
+				double ai = a->m[i][k][1];
+				double br = b->m[k][j][0];
+				double bi = b->m[k][j][1];
+				re += ar * br - ai * bi;
+				im += ar * bi + ai * br;
+			}
+			c->m[i][j][0] = re;
+			c->m[i][j][1] = im;
+		}
+	}
+}
+
+static double re_trace(struct su3 *a) {
+	return a->m[0][0][0] + a->m[1][1][0] + a->m[2][2][0];
+}
+
+static void seed_links(struct lattice *l, unsigned long st) {
+	for (int s = 0; s < l->n; s++) {
+		for (int i = 0; i < 3; i++)
+			for (int j = 0; j < 3; j++) {
+				st = st * 6364136223846793005 + 1442695040888963407;
+				double v = (double)(long)((st >> 40) & 1023) / 1024.0 - 0.5;
+				l->links[s].m[i][j][0] = i == j ? 1.0 + v * 0.1 : v * 0.2;
+				st = st * 6364136223846793005 + 1442695040888963407;
+				double w = (double)(long)((st >> 40) & 1023) / 1024.0 - 0.5;
+				l->links[s].m[i][j][1] = w * 0.2;
+			}
+	}
+}
+
+int main(void) {
+	long acc = 0;
+	struct lattice *l = lat_new();
+	lat_handle = (void*)l;                                // K2: fp-struct* -> void*
+	for (int it = 0; it < WORK; it++) {
+		struct lattice *ll = (struct lattice*)lat_handle; // K2: void* -> fp-struct*
+		seed_links(ll, (unsigned long)(it * 77 + 5));
+		double plaq = 0.0;
+		struct su3 tmp;
+		struct su3 tmp2;
+		for (int s = 0; s < ll->n; s++) {
+			int s2 = (s + 1) % ll->n;
+			int s3 = (s + 4) % ll->n;
+			mat_mul(&ll->links[s], &ll->links[s2], &tmp);
+			mat_mul(&tmp, &ll->links[s3], &tmp2);
+			plaq += re_trace(&tmp2);
+		}
+		ll->gauge_fix(it);
+		acc += (long)(plaq * 1000.0);
+		acc &= 0xFFFFFFF;
+	}
+	free(l);                                              // MF
+	printf("milc: %ld\n", acc);
+	return 0;
+}
+`,
+	}
+}
+
+// Lbm models the fluid-dynamics workload: a simplified D2Q5
+// lattice-Boltzmann relaxation over a small grid with bounce-back
+// walls. Pure double-precision stencil code; no C1 violations.
+func Lbm() Workload {
+	return Workload{
+		Name:     "lbm",
+		Work:     40,
+		TestWork: 4,
+		Gen:      GenParams{Funcs: 60, FPTypes: 5, Callers: 10, Switches: 1},
+		Source: `
+enum { WORK = 40, NX = 16, NY = 12, Q = 5 };
+
+// distribution functions: f[dir][x][y], directions: rest,E,W,N,S
+static double fcur[Q][NX][NY];
+static double fnew[Q][NX][NY];
+static int solid[NX][NY];
+
+static double weight(int d) { return d == 0 ? 0.4 : 0.15; }
+
+static void init_field(void) {
+	for (int x = 0; x < NX; x++) {
+		for (int y = 0; y < NY; y++) {
+			solid[x][y] = (y == 0 || y == NY - 1) ? 1 : 0;
+			if (x > 5 && x < 9 && y > 3 && y < 7) solid[x][y] = 1;  // obstacle
+			for (int d = 0; d < Q; d++)
+				fcur[d][x][y] = weight(d) * (1.0 + 0.01 * (double)(x + y));
+		}
+	}
+}
+
+static int dx(int d) {
+	switch (d) {
+	case 1: return 1;
+	case 2: return -1;
+	default: return 0;
+	}
+}
+static int dy(int d) {
+	switch (d) {
+	case 3: return 1;
+	case 4: return -1;
+	default: return 0;
+	}
+}
+static int opposite(int d) {
+	switch (d) {
+	case 1: return 2;
+	case 2: return 1;
+	case 3: return 4;
+	case 4: return 3;
+	default: return 0;
+	}
+}
+
+static void step(void) {
+	double omega = 1.2;
+	// collide
+	for (int x = 0; x < NX; x++) {
+		for (int y = 0; y < NY; y++) {
+			if (solid[x][y]) continue;
+			double rho = 0.0;
+			double ux = 0.0;
+			double uy = 0.0;
+			for (int d = 0; d < Q; d++) {
+				rho += fcur[d][x][y];
+				ux += fcur[d][x][y] * (double)dx(d);
+				uy += fcur[d][x][y] * (double)dy(d);
+			}
+			ux = ux / rho + 0.002;   // slight body force driving flow
+			uy = uy / rho;
+			for (int d = 0; d < Q; d++) {
+				double cu = (double)dx(d) * ux + (double)dy(d) * uy;
+				double feq = weight(d) * rho * (1.0 + 3.0 * cu);
+				fcur[d][x][y] += omega * (feq - fcur[d][x][y]);
+			}
+		}
+	}
+	// stream with bounce-back
+	for (int x = 0; x < NX; x++) {
+		for (int y = 0; y < NY; y++) {
+			for (int d = 0; d < Q; d++) {
+				int nx = (x + dx(d) + NX) % NX;
+				int ny = y + dy(d);
+				if (ny < 0 || ny >= NY || solid[nx][ny]) {
+					fnew[opposite(d)][x][y] = fcur[d][x][y];
+				} else {
+					fnew[d][nx][ny] = fcur[d][x][y];
+				}
+			}
+		}
+	}
+	for (int d = 0; d < Q; d++)
+		for (int x = 0; x < NX; x++)
+			for (int y = 0; y < NY; y++)
+				fcur[d][x][y] = fnew[d][x][y];
+}
+
+int main(void) {
+	long acc = 0;
+	for (int it = 0; it < WORK; it++) {
+		init_field();
+		for (int s = 0; s < 12; s++) step();
+		double mass = 0.0;
+		double mom = 0.0;
+		for (int x = 0; x < NX; x++)
+			for (int y = 0; y < NY; y++)
+				for (int d = 0; d < Q; d++) {
+					mass += fcur[d][x][y];
+					mom += fcur[d][x][y] * (double)dx(d);
+				}
+		acc += (long)(mass * 100.0) + (long)(mom * 10000.0);
+		acc &= 0xFFFFFFF;
+	}
+	printf("lbm: %ld\n", acc);
+	return 0;
+}
+`,
+	}
+}
+
+// Sphinx3 models the speech-recognition workload: Gaussian
+// mixture-model scoring of feature frames with a fixed-point log-add,
+// plus a simple beam over senone scores. The malloc'ed model with its
+// log-math callback yields MF findings and one SU.
+func Sphinx3() Workload {
+	return Workload{
+		Name:     "sphinx3",
+		Work:     30,
+		TestWork: 3,
+		Gen:      GenParams{Funcs: 230, FPTypes: 13, Callers: 34, Switches: 4},
+		Source: `
+enum { WORK = 30, DIM = 8, MIX = 4, SEN = 10, FRAMES = 12 };
+
+struct gmm {
+	int nmix;
+	long (*logadd)(long, long);          // log-math hook
+	double mean[MIX][DIM];
+	double ivar[MIX][DIM];
+	long mixw[MIX];
+};
+
+static long logadd_approx(long a, long b) {
+	long hi = a > b ? a : b;
+	long lo = a > b ? b : a;
+	long d = hi - lo;
+	if (d > 512) return hi;
+	return hi + (512 - d) / 8;
+}
+
+static struct gmm *models[SEN];
+
+static struct gmm *gmm_new(unsigned long st) {
+	struct gmm *g = (struct gmm*)malloc(sizeof(struct gmm));          // MF
+	g->nmix = MIX;
+	g->logadd = 0;                                                    // SU
+	g->logadd = logadd_approx;
+	for (int m = 0; m < MIX; m++) {
+		g->mixw[m] = (long)(st % 64);
+		for (int d = 0; d < DIM; d++) {
+			st = st * 2862933555777941757 + 3037000493;
+			g->mean[m][d] = (double)(long)((st >> 40) & 255) / 32.0;
+			g->ivar[m][d] = 0.5 + (double)(long)((st >> 48) & 15) / 16.0;
+		}
+	}
+	return g;
+}
+
+static long score_frame(struct gmm *g, double *feat) {
+	long total = -100000;
+	for (int m = 0; m < g->nmix; m++) {
+		double d2 = 0.0;
+		for (int d = 0; d < DIM; d++) {
+			double diff = feat[d] - g->mean[m][d];
+			d2 += diff * diff * g->ivar[m][d];
+		}
+		long sc = g->mixw[m] - (long)(d2 * 16.0);
+		total = g->logadd(total, sc);
+	}
+	return total;
+}
+
+int main(void) {
+	long acc = 0;
+	for (int s = 0; s < SEN; s++) models[s] = gmm_new((unsigned long)(s * 131 + 17));
+	double feat[DIM];
+	for (int it = 0; it < WORK; it++) {
+		unsigned long st = (unsigned long)(it * 41 + 3);
+		long beam_best = -1000000;
+		for (int f = 0; f < FRAMES; f++) {
+			for (int d = 0; d < DIM; d++) {
+				st = st * 1103515245 + 12345;
+				feat[d] = (double)(long)((st >> 16) & 255) / 32.0;
+			}
+			long best = -1000000;
+			int besti = 0;
+			for (int s = 0; s < SEN; s++) {
+				long sc = score_frame(models[s], feat);
+				if (sc > best) { best = sc; besti = s; }
+			}
+			acc += best + besti;
+			if (best > beam_best) beam_best = best;
+		}
+		acc += beam_best;
+		acc &= 0xFFFFFFF;
+	}
+	for (int s = 0; s < SEN; s++) free(models[s]);                    // MF
+	printf("sphinx3: %ld\n", acc);
+	return 0;
+}
+`,
+	}
+}

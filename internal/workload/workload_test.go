@@ -1,0 +1,194 @@
+package workload_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mcfi/internal/analyzer"
+	"mcfi/internal/toolchain"
+	"mcfi/internal/visa"
+	"mcfi/internal/workload"
+)
+
+// TestAllWorkloadsDifferential builds and runs every benchmark in all
+// four configurations and requires identical output and a zero exit
+// code — the instrumented build must be semantics-preserving.
+func TestAllWorkloadsDifferential(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			var ref string
+			for _, profile := range []visa.Profile{visa.Profile64, visa.Profile32} {
+				for _, instr := range []bool{false, true} {
+					cfg := toolchain.Config{Profile: profile, Instrument: instr}
+					code, out, _, err := toolchain.Run(cfg, 2_000_000_000, w.TestSource())
+					if err != nil {
+						t.Fatalf("%s instr=%v: %v", profile, instr, err)
+					}
+					if code != 0 {
+						t.Fatalf("%s instr=%v: exit %d (out %q)", profile, instr, code, out)
+					}
+					if !strings.HasPrefix(out, w.Name+":") {
+						t.Fatalf("%s instr=%v: unexpected output %q", profile, instr, out)
+					}
+					if ref == "" {
+						ref = out
+					} else if out != ref {
+						t.Fatalf("%s instr=%v: output %q differs from reference %q",
+							profile, instr, out, ref)
+					}
+				}
+			}
+			t.Logf("%s -> %s", w.Name, strings.TrimSpace(ref))
+		})
+	}
+}
+
+// TestWorkloadViolationShape checks that the analyzer findings follow
+// the paper's Table 1 shape: perlbench and gcc carry the most
+// violations; mcf, gobmk, sjeng, and lbm are clean.
+func TestWorkloadViolationShape(t *testing.T) {
+	reps := map[string]*analyzer.Report{}
+	for _, w := range workload.All() {
+		u, err := toolchain.AnalyzeSource(w.TestSource(), true)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		reps[w.Name] = analyzer.Analyze(u)
+	}
+	for _, clean := range []string{"mcf", "gobmk", "sjeng", "lbm"} {
+		if reps[clean].VBE != 0 {
+			t.Errorf("%s should have no C1 violations, got %d: %v",
+				clean, reps[clean].VBE, reps[clean].Findings)
+		}
+	}
+	for _, dirty := range []string{"perlbench", "gcc", "bzip2", "libquantum", "milc"} {
+		if reps[dirty].VBE == 0 {
+			t.Errorf("%s should have C1 violations (Table 1 shape)", dirty)
+		}
+	}
+	if reps["perlbench"].VBE < reps["hmmer"].VBE {
+		t.Error("perlbench should out-violate hmmer (Table 1 shape)")
+	}
+	// Only the five benchmarks of Table 2 keep residual violations.
+	for _, resid := range []string{"perlbench", "bzip2", "gcc", "libquantum", "milc"} {
+		if reps[resid].VAE == 0 {
+			t.Errorf("%s should have residual (VAE) cases, per Table 2", resid)
+		}
+	}
+	for _, noResid := range []string{"hmmer", "h264ref", "sphinx3"} {
+		if reps[noResid].VAE != 0 {
+			t.Errorf("%s should have all violations eliminated, got VAE=%d: %v",
+				noResid, reps[noResid].VAE, reps[noResid].Findings)
+		}
+	}
+	// K1 cases exist only where the paper reports them, and all of
+	// ours are dead code (shipping sources are "fixed").
+	for name, rep := range reps {
+		switch name {
+		case "perlbench", "gcc", "libquantum":
+			if rep.K1 == 0 {
+				t.Errorf("%s should carry (dead) K1 cases", name)
+			}
+		default:
+			if rep.K1 != 0 {
+				t.Errorf("%s should have no K1 cases, got %d", name, rep.K1)
+			}
+		}
+	}
+}
+
+// TestGenerateModuleCompilesAndLinks checks the Table 3 scaling
+// generator produces valid modules that link with a workload.
+func TestGenerateModuleCompilesAndLinks(t *testing.T) {
+	w, _ := workload.ByName("mcf")
+	gen := workload.GenerateModule("mcf", 7, workload.GenParams{
+		Funcs: 60, FPTypes: 6, Callers: 10, Switches: 3,
+	})
+	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
+	code, out, _, err := toolchain.Run(cfg, 2_000_000_000, w.TestSource(), gen)
+	if err != nil {
+		t.Fatalf("link with generated module: %v", err)
+	}
+	if code != 0 || !strings.HasPrefix(out, "mcf:") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestGenerateModuleDeterministic(t *testing.T) {
+	a := workload.GenerateModule("x", 3, workload.GenParams{Funcs: 20, FPTypes: 4, Callers: 5, Switches: 2})
+	b := workload.GenerateModule("x", 3, workload.GenParams{Funcs: 20, FPTypes: 4, Callers: 5, Switches: 2})
+	if a.Text != b.Text {
+		t.Error("generator must be deterministic for equal seeds")
+	}
+	c := workload.GenerateModule("x", 4, workload.GenParams{Funcs: 20, FPTypes: 4, Callers: 5, Switches: 2})
+	if a.Text == c.Text {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSourceWithWork(t *testing.T) {
+	w, ok := workload.ByName("perlbench")
+	if !ok {
+		t.Fatal("perlbench missing")
+	}
+	scaled := w.SourceWithWork(7)
+	if !strings.Contains(scaled, "WORK = 7") {
+		t.Error("WORK not rescaled")
+	}
+	if w.SourceWithWork(0) != w.Source {
+		t.Error("zero keeps default")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := workload.ByName("nope"); ok {
+		t.Error("unknown name should fail")
+	}
+	names := map[string]bool{}
+	for _, w := range workload.All() {
+		if names[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		names[w.Name] = true
+	}
+	if len(names) != 12 {
+		t.Errorf("suite has %d workloads, want 12", len(names))
+	}
+}
+
+// TestInstrumentationOverheadPerWorkload measures the Fig. 5 metric at
+// test scale: instrumented instruction counts should exceed baseline
+// by a modest factor.
+func TestInstrumentationOverheadPerWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var rows []string
+	for _, w := range workload.All() {
+		cfg := toolchain.Config{Profile: visa.Profile64}
+		_, _, base, err := toolchain.Run(cfg, 2_000_000_000, w.TestSource())
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		cfg.Instrument = true
+		_, _, inst, err := toolchain.Run(cfg, 2_000_000_000, w.TestSource())
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		ov := float64(inst-base) / float64(base) * 100
+		rows = append(rows, fmt.Sprintf("%-11s base=%-10d mcfi=%-10d overhead=%5.2f%%",
+			w.Name, base, inst, ov))
+		if inst <= base {
+			t.Errorf("%s: instrumentation did not add instructions", w.Name)
+		}
+		if ov > 60 {
+			t.Errorf("%s: overhead %.1f%% implausible", w.Name, ov)
+		}
+	}
+	for _, r := range rows {
+		t.Log(r)
+	}
+}
