@@ -23,6 +23,7 @@ import (
 	"mcfi/internal/toolchain"
 	"mcfi/internal/verifier"
 	"mcfi/internal/visa"
+	"mcfi/internal/vm"
 	"mcfi/internal/workload"
 )
 
@@ -33,9 +34,10 @@ func buildFor(b *testing.B, name string, instrument bool) *linker.Image {
 	if !ok {
 		b.Fatalf("unknown workload %s", name)
 	}
-	img, err := toolchain.BuildProgram(
-		toolchain.Config{Profile: visa.Profile64, Instrument: instrument},
-		linker.Options{}, w.TestSource())
+	img, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrument(instrument),
+	).Build(w.TestSource())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -43,8 +45,12 @@ func buildFor(b *testing.B, name string, instrument bool) *linker.Image {
 }
 
 func runImage(b *testing.B, img *linker.Image, during func(*mrt.Runtime, <-chan struct{})) int64 {
+	return runImageOpts(b, img, mrt.Options{}, during)
+}
+
+func runImageOpts(b *testing.B, img *linker.Image, opts mrt.Options, during func(*mrt.Runtime, <-chan struct{})) int64 {
 	b.Helper()
-	rt, err := mrt.New(img, mrt.Options{})
+	rt, err := mrt.New(img, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -175,9 +181,10 @@ func BenchmarkSTM(b *testing.B) {
 func BenchmarkCFGGen(b *testing.B) {
 	w, _ := workload.ByName("gcc")
 	gen := workload.GenerateModule("gcc", 42, w.Gen)
-	img, err := toolchain.BuildProgram(
-		toolchain.Config{Profile: visa.Profile64, Instrument: true},
-		linker.Options{}, w.TestSource(), gen)
+	img, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	).Build(w.TestSource(), gen)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -212,17 +219,23 @@ func BenchmarkROPFind(b *testing.B) {
 func BenchmarkCompileGcc(b *testing.B) {
 	w, _ := workload.ByName("gcc")
 	src := w.TestSource()
-	cfgc := toolchain.Config{Profile: visa.Profile64, Instrument: true}
+	tb := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := toolchain.CompileSource(src, cfgc); err != nil {
+		if _, err := tb.Compile(src); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkVerifyLibc(b *testing.B) {
-	lc, err := toolchain.CompileLibc(toolchain.Config{Profile: visa.Profile64, Instrument: true})
+	lc, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	).Libc()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -311,9 +324,10 @@ int main(void) {
 	}
 	return x >= 0 ? 0 : 1;
 }`, extra)
-	img, err := toolchain.BuildProgram(
-		toolchain.Config{Profile: visa.Profile64, Instrument: true},
-		linker.Options{}, toolchain.Source{Name: "align", Text: src})
+	img, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	).Build(toolchain.Source{Name: "align", Text: src})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -340,5 +354,25 @@ func BenchmarkVMThroughput(b *testing.B) {
 	b.StopTimer()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(total)/secs/1e6, "Minstr/s")
+	}
+}
+
+// --- execution engines: decode-every-instruction interpreter vs the
+// predecoded per-page instruction cache ---
+
+func BenchmarkEngineDecodeCache(b *testing.B) {
+	img := buildFor(b, "sjeng", true)
+	for _, e := range []vm.Engine{vm.EngineInterp, vm.EngineCached} {
+		b.Run(e.String(), func(b *testing.B) {
+			total := int64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				total += runImageOpts(b, img, mrt.Options{Engine: e}, nil)
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(total)/secs/1e6, "Minstr/s")
+			}
+		})
 	}
 }

@@ -38,8 +38,12 @@ func main() {
 			fatal(err)
 		}
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		unit, err := toolchain.AnalyzeSource(
-			toolchain.Source{Name: name, Text: string(text)}, !*noprelude)
+		var bopts []toolchain.Option
+		if *noprelude {
+			bopts = append(bopts, toolchain.WithoutPrelude())
+		}
+		unit, err := toolchain.New(bopts...).Analyze(
+			toolchain.Source{Name: name, Text: string(text)})
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}

@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mcfi/internal/experiments"
 	"mcfi/internal/verifier"
 	"mcfi/internal/visa"
+	"mcfi/internal/vm"
 	"mcfi/internal/workload"
 )
 
@@ -28,12 +30,21 @@ func main() {
 	work := flag.Int("work", 0, "override workload iteration count (0 = reference inputs)")
 	scale := flag.Float64("scale", 0.25, "Table 3 synthetic-module scale factor")
 	hz := flag.Int("hz", 50, "update-transaction frequency for fig6")
+	engineF := flag.String("engine", "cached", "VM execution engine: interp or cached")
+	jobs := flag.Int("jobs", 0, "worker-pool width for builds and workloads (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	engine, err := vm.ParseEngine(*engineF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcfi-bench:", err)
+		os.Exit(2)
+	}
 	c := experiments.Config{
 		Profile:  visa.Profile64,
 		Work:     *work,
 		GenScale: *scale,
+		Engine:   engine,
+		Jobs:     *jobs,
 	}
 	if *profile == 32 {
 		c.Profile = visa.Profile32
@@ -43,12 +54,13 @@ func main() {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		fmt.Printf("==== %s (%s) ====\n", name, c.Profile)
+		fmt.Printf("==== %s (%s, %s engine) ====\n", name, c.Profile, engine)
+		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Println()
+		fmt.Printf("[%s wall time: %.2fs]\n\n", name, time.Since(start).Seconds())
 	}
 
 	run("sanity", func() error { return sanity(c) })

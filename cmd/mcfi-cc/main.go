@@ -38,16 +38,19 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := toolchain.Config{
-		Profile:    visa.Profile64,
-		Instrument: !*baseline,
-		NoPrelude:  *noprelude,
-	}
+	prof := visa.Profile64
 	if *profile == 32 {
-		cfg.Profile = visa.Profile32
+		prof = visa.Profile32
+	}
+	opts := []toolchain.Option{
+		toolchain.WithProfile(prof),
+		toolchain.WithInstrument(!*baseline),
+	}
+	if *noprelude {
+		opts = append(opts, toolchain.WithoutPrelude())
 	}
 	name := strings.TrimSuffix(filepath.Base(input), filepath.Ext(input))
-	obj, err := toolchain.CompileSource(toolchain.Source{Name: name, Text: string(src)}, cfg)
+	obj, err := toolchain.New(opts...).Compile(toolchain.Source{Name: name, Text: string(src)})
 	if err != nil {
 		fatal(err)
 	}

@@ -42,10 +42,10 @@ func main() {
 		objs = append(objs, obj)
 	}
 	if *withLibc {
-		lc, err := toolchain.CompileLibc(toolchain.Config{
-			Profile:    objs[0].Profile,
-			Instrument: objs[0].Instrumented,
-		})
+		lc, err := toolchain.New(
+			toolchain.WithProfile(objs[0].Profile),
+			toolchain.WithInstrument(objs[0].Instrumented),
+		).Libc()
 		if err != nil {
 			fatal(err)
 		}

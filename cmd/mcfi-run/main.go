@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mcfi-run [-baseline] [-profile 64] [-lib plugin.c]... [-max N] prog.c [more.c...]
+//	mcfi-run [-baseline] [-profile 64] [-engine cached] [-lib plugin.c]... [-max N] prog.c [more.c...]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"mcfi/internal/toolchain"
 	"mcfi/internal/verifier"
 	"mcfi/internal/visa"
+	"mcfi/internal/vm"
 )
 
 type listFlag []string
@@ -33,6 +34,7 @@ func main() {
 	profile := flag.Int("profile", 64, "VISA profile: 32 or 64")
 	maxInstr := flag.Int64("max", 0, "instruction budget (0 = unlimited)")
 	stats := flag.Bool("stats", false, "print instruction counts and table statistics")
+	engineF := flag.String("engine", "cached", "execution engine: interp or cached")
 	var libs listFlag
 	flag.Var(&libs, "lib", "MiniC source compiled as a dlopen-able library (repeatable)")
 	flag.Parse()
@@ -41,10 +43,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: mcfi-run [flags] prog.c [more.c ...]")
 		os.Exit(2)
 	}
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: !*baselineF}
-	if *profile == 32 {
-		cfg.Profile = visa.Profile32
+	engine, err := vm.ParseEngine(*engineF)
+	if err != nil {
+		fatal(err)
 	}
+	prof := visa.Profile64
+	if *profile == 32 {
+		prof = visa.Profile32
+	}
+	b := toolchain.New(
+		toolchain.WithProfile(prof),
+		toolchain.WithInstrument(!*baselineF),
+		toolchain.WithLinkOptions(linker.Options{AllowUnresolved: true}),
+	)
 
 	var srcs []toolchain.Source
 	for _, path := range flag.Args() {
@@ -54,13 +65,13 @@ func main() {
 		}
 		srcs = append(srcs, toolchain.Source{Name: baseName(path), Text: string(text)})
 	}
-	img, err := toolchain.BuildProgram(cfg, linker.Options{AllowUnresolved: true}, srcs...)
+	img, err := b.Build(srcs...)
 	if err != nil {
 		fatal(err)
 	}
 
-	opts := mrt.Options{Out: os.Stdout}
-	if cfg.Instrument {
+	opts := mrt.Options{Out: os.Stdout, Engine: engine}
+	if b.Instrumented() {
 		opts.Verify = func(obj *module.Object) error { return verifier.Verify(obj) }
 	}
 	rt, err := mrt.New(img, opts)
@@ -72,8 +83,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		obj, err := toolchain.CompileSource(
-			toolchain.Source{Name: baseName(lib), Text: string(text)}, cfg)
+		obj, err := b.Compile(toolchain.Source{Name: baseName(lib), Text: string(text)})
 		if err != nil {
 			fatal(err)
 		}

@@ -42,12 +42,15 @@ func main() {
 			if rerr != nil {
 				fatal(rerr)
 			}
-			cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
+			prof := visa.Profile64
 			if *profile == 32 {
-				cfg.Profile = visa.Profile32
+				prof = visa.Profile32
 			}
 			name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-			obj, err = toolchain.CompileSource(toolchain.Source{Name: name, Text: string(text)}, cfg)
+			obj, err = toolchain.New(
+				toolchain.WithProfile(prof),
+				toolchain.WithInstrumentation(),
+			).Compile(toolchain.Source{Name: name, Text: string(text)})
 		} else {
 			data, rerr := os.ReadFile(path)
 			if rerr != nil {

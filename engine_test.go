@@ -1,0 +1,100 @@
+// Differential test of the two VM execution engines: the predecoded
+// per-page instruction cache must be observationally identical to the
+// decode-every-instruction interpreter — same exit code, same output,
+// and a bit-identical retired-instruction count — across every
+// workload, both VISA profiles, and both instrumentation flavors.
+package mcfi
+
+import (
+	"fmt"
+	"testing"
+
+	"mcfi/internal/linker"
+	"mcfi/internal/mrt"
+	"mcfi/internal/toolchain"
+	"mcfi/internal/visa"
+	"mcfi/internal/vm"
+	"mcfi/internal/workload"
+)
+
+type engineRun struct {
+	code    int64
+	output  string
+	instret int64
+}
+
+func runWithEngine(t *testing.T, img *linker.Image, e vm.Engine) engineRun {
+	t.Helper()
+	rt, err := mrt.New(img, mrt.Options{Engine: e})
+	if err != nil {
+		t.Fatalf("engine %s: %v", e, err)
+	}
+	code, err := rt.Run(2_000_000_000)
+	if err != nil {
+		t.Fatalf("engine %s: %v (output %q)", e, err, rt.Output())
+	}
+	return engineRun{code: code, output: rt.Output(), instret: rt.Instret()}
+}
+
+// TestEnginesDifferential runs every workload under both engines in
+// all four (profile, instrumentation) configurations.
+func TestEnginesDifferential(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, profile := range []visa.Profile{visa.Profile64, visa.Profile32} {
+				for _, instr := range []bool{false, true} {
+					img, err := toolchain.New(
+						toolchain.WithProfile(profile),
+						toolchain.WithInstrument(instr),
+					).Build(w.TestSource())
+					if err != nil {
+						t.Fatalf("%s instr=%v: build: %v", profile, instr, err)
+					}
+					// The workloads never dlopen, so one image can host
+					// several runtimes.
+					interp := runWithEngine(t, img, vm.EngineInterp)
+					cached := runWithEngine(t, img, vm.EngineCached)
+					if interp != cached {
+						t.Errorf("%s instr=%v: engines diverge:\n  interp: code=%d instret=%d out=%q\n  cached: code=%d instret=%d out=%q",
+							profile, instr,
+							interp.code, interp.instret, interp.output,
+							cached.code, cached.instret, cached.output)
+					}
+					if cached.code != 0 {
+						t.Errorf("%s instr=%v: exit %d (out %q)", profile, instr, cached.code, cached.output)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineFlagParsing pins the -engine flag surface of mcfi-run and
+// mcfi-bench to the vm package's parser.
+func TestEngineFlagParsing(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    vm.Engine
+		wantErr bool
+	}{
+		{"cached", vm.EngineCached, false},
+		{"", vm.EngineCached, false},
+		{"interp", vm.EngineInterp, false},
+		{"jit", 0, true},
+	}
+	for _, c := range cases {
+		got, err := vm.ParseEngine(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseEngine(%q): err=%v, wantErr=%v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseEngine(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if fmt.Sprint(vm.EngineCached, vm.EngineInterp) != "cached interp" {
+		t.Errorf("engine names changed: %v %v", vm.EngineCached, vm.EngineInterp)
+	}
+}

@@ -18,7 +18,6 @@ import (
 
 	"mcfi/internal/baseline"
 	"mcfi/internal/cfg"
-	"mcfi/internal/linker"
 	"mcfi/internal/mrt"
 	"mcfi/internal/toolchain"
 	"mcfi/internal/visa"
@@ -59,9 +58,10 @@ int main(void) {
 }`
 
 func run(name, src string, instrumented bool) {
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: instrumented}
-	img, err := toolchain.BuildProgram(cfg, linker.Options{},
-		toolchain.Source{Name: name, Text: src})
+	img, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrument(instrumented),
+	).Build(toolchain.Source{Name: name, Text: src})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,9 +101,10 @@ func main() {
 	// be possible under coarse-grained CFI, but not fine-grained CFI".)
 	fmt.Println()
 	fmt.Println("--- Policy comparison for scenario 2 ---")
-	bcfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img, err := toolchain.BuildProgram(bcfg, linker.Options{},
-		toolchain.Source{Name: "gnupg", Text: gnupgSrc})
+	img, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	).Build(toolchain.Source{Name: "gnupg", Text: gnupgSrc})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,7 +15,6 @@ import (
 	"sync"
 	"time"
 
-	"mcfi/internal/linker"
 	"mcfi/internal/mrt"
 	"mcfi/internal/tables"
 	"mcfi/internal/toolchain"
@@ -62,13 +61,15 @@ long plugin_transform(long x) {
 }`
 
 func main() {
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img, err := toolchain.BuildProgram(cfg, linker.Options{},
-		toolchain.Source{Name: "host", Text: mainSrc})
+	b := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	)
+	img, err := b.Build(toolchain.Source{Name: "host", Text: mainSrc})
 	if err != nil {
 		log.Fatal(err)
 	}
-	plugin, err := toolchain.CompileSource(toolchain.Source{Name: "plugin", Text: pluginSrc}, cfg)
+	plugin, err := b.Compile(toolchain.Source{Name: "plugin", Text: pluginSrc})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,7 +14,6 @@ import (
 	"log"
 	"os"
 
-	"mcfi/internal/linker"
 	"mcfi/internal/mrt"
 	"mcfi/internal/toolchain"
 	"mcfi/internal/visa"
@@ -56,9 +55,11 @@ long %s(long x) {
 }
 
 func main() {
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img, err := toolchain.BuildProgram(cfg, linker.Options{},
-		toolchain.Source{Name: "jit-host", Text: hostSrc})
+	b := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	)
+	img, err := b.Build(toolchain.Source{Name: "jit-host", Text: hostSrc})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for s := 0; s < 8; s++ {
-		obj, err := toolchain.CompileSource(stageSource(s), cfg)
+		obj, err := b.Compile(stageSource(s))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -37,11 +37,14 @@ int main(void) {
 }`
 
 func main() {
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
+	b := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	)
 
 	// 1. Compile: parse -> type-check -> instrumented VISA module with
 	//    auxiliary type information.
-	obj, err := toolchain.CompileSource(toolchain.Source{Name: "calc", Text: program}, cfg)
+	obj, err := b.Compile(toolchain.Source{Name: "calc", Text: program})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,8 +58,9 @@ func main() {
 	}
 	fmt.Println("verified: check transactions, sandboxed stores, aligned targets")
 
-	// 3. Link with libc (also an MCFI module) into one image.
-	lc, err := toolchain.CompileLibc(cfg)
+	// 3. Link with libc (also an MCFI module, memoized per flavor) into
+	//    one image.
+	lc, err := b.Libc()
 	if err != nil {
 		log.Fatal(err)
 	}

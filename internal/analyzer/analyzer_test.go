@@ -272,8 +272,8 @@ func TestCountSLOC(t *testing.T) {
 }
 
 func TestAnalyzeViaToolchain(t *testing.T) {
-	u, err := toolchain.AnalyzeSource(toolchain.Source{Name: "x", Text: `
-int main(void) { return 0; }`}, true)
+	u, err := toolchain.New().Analyze(toolchain.Source{Name: "x", Text: `
+int main(void) { return 0; }`})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,10 +26,10 @@ int main(void) {
 
 func buildPolicies(t *testing.T) ([]baseline.Policy, *cfg.Graph, *linker.Image) {
 	t.Helper()
-	img, err := toolchain.BuildProgram(
-		toolchain.Config{Profile: visa.Profile64, Instrument: true},
-		linker.Options{},
-		toolchain.Source{Name: "prog", Text: progSrc})
+	img, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	).Build(toolchain.Source{Name: "prog", Text: progSrc})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"mcfi/internal/tables"
 	"mcfi/internal/toolchain"
 	"mcfi/internal/visa"
+	"mcfi/internal/vm"
 	"mcfi/internal/workload"
 )
 
@@ -38,16 +40,39 @@ type Config struct {
 	// GenScale multiplies the Table 3 synthetic-module sizes
 	// (1.0 approaches the paper's magnitudes; tests use less).
 	GenScale float64
+	// Engine selects the VM execution engine for workload runs
+	// (default: the predecoded cached engine).
+	Engine vm.Engine
+	// Jobs bounds the worker pool fanning workloads per experiment and
+	// the per-build compile concurrency (0 = GOMAXPROCS).
+	Jobs int
+}
+
+func (c Config) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (c Config) work(w workload.Workload) toolchain.Source {
 	return toolchain.Source{Name: w.Name, Text: w.SourceWithWork(c.Work)}
 }
 
+// builder returns the toolchain Builder for this config's flavor; libc
+// is memoized process-wide, so the twelve workloads of an experiment
+// compile it once per (profile, instrument) pair.
+func (c Config) builder(instrument bool) *toolchain.Builder {
+	return toolchain.New(
+		toolchain.WithProfile(c.Profile),
+		toolchain.WithInstrument(instrument),
+		toolchain.WithJobs(c.jobs()),
+	)
+}
+
 // buildImage links one workload (optionally with its scaling module)
 // against libc.
 func buildImage(w workload.Workload, c Config, instrument, withGen bool) (*linker.Image, error) {
-	cfgc := toolchain.Config{Profile: c.Profile, Instrument: instrument}
 	srcs := []toolchain.Source{c.work(w)}
 	if withGen && c.GenScale > 0 {
 		p := w.Gen
@@ -57,7 +82,7 @@ func buildImage(w workload.Workload, c Config, instrument, withGen bool) (*linke
 		p.Switches = int(float64(p.Switches) * c.GenScale)
 		srcs = append(srcs, workload.GenerateModule(w.Name, 42, p))
 	}
-	return toolchain.BuildProgram(cfgc, linker.Options{}, srcs...)
+	return c.builder(instrument).Build(srcs...)
 }
 
 func maxInt(a, b int) int {
@@ -65,6 +90,33 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// forEachWorkload runs fn over every workload on a bounded worker
+// pool and returns the results in table order (workload.All order).
+// The first error, in that same order, wins.
+func forEachWorkload[T any](c Config, fn func(w workload.Workload) (T, error)) ([]T, error) {
+	ws := workload.All()
+	out := make([]T, len(ws))
+	errs := make([]error, len(ws))
+	sem := make(chan struct{}, c.jobs())
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = fn(w)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // --- E1: Fig. 5 — execution overhead, no concurrent updates ---
@@ -80,8 +132,8 @@ type OverheadRow struct {
 }
 
 // runOnce executes one built image and returns retired instructions.
-func runOnce(img *linker.Image, during func(rt *mrt.Runtime, stop <-chan struct{})) (int64, *mrt.Runtime, error) {
-	rt, err := mrt.New(img, mrt.Options{})
+func (c Config) runOnce(img *linker.Image, during func(rt *mrt.Runtime, stop <-chan struct{})) (int64, *mrt.Runtime, error) {
+	rt, err := mrt.New(img, mrt.Options{Engine: c.Engine})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -107,30 +159,33 @@ func runOnce(img *linker.Image, during func(rt *mrt.Runtime, stop <-chan struct{
 }
 
 // Fig5 measures instrumentation overhead with no concurrent update
-// transactions (paper Fig. 5).
+// transactions (paper Fig. 5). Workloads are fanned across the
+// config's worker pool; rows keep table order.
 func Fig5(c Config) ([]OverheadRow, error) {
-	var rows []OverheadRow
-	for _, w := range workload.All() {
+	rows, err := forEachWorkload(c, func(w workload.Workload) (OverheadRow, error) {
 		base, err := buildImage(w, c, false, false)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return OverheadRow{}, fmt.Errorf("%s: %w", w.Name, err)
 		}
 		inst, err := buildImage(w, c, true, false)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return OverheadRow{}, fmt.Errorf("%s: %w", w.Name, err)
 		}
-		nb, _, err := runOnce(base, nil)
+		nb, _, err := c.runOnce(base, nil)
 		if err != nil {
-			return nil, fmt.Errorf("%s baseline: %w", w.Name, err)
+			return OverheadRow{}, fmt.Errorf("%s baseline: %w", w.Name, err)
 		}
-		ni, _, err := runOnce(inst, nil)
+		ni, _, err := c.runOnce(inst, nil)
 		if err != nil {
-			return nil, fmt.Errorf("%s mcfi: %w", w.Name, err)
+			return OverheadRow{}, fmt.Errorf("%s mcfi: %w", w.Name, err)
 		}
-		rows = append(rows, OverheadRow{
+		return OverheadRow{
 			Name: w.Name, Baseline: nb, MCFI: ni,
 			OverheadPct: pct(ni, nb),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	rows = append(rows, averageRow(rows))
 	return rows, nil
@@ -144,21 +199,20 @@ func Fig6(c Config, hz int) ([]OverheadRow, error) {
 		hz = 50
 	}
 	interval := time.Second / time.Duration(hz)
-	var rows []OverheadRow
-	for _, w := range workload.All() {
+	rows, err := forEachWorkload(c, func(w workload.Workload) (OverheadRow, error) {
 		base, err := buildImage(w, c, false, false)
 		if err != nil {
-			return nil, err
+			return OverheadRow{}, err
 		}
 		inst, err := buildImage(w, c, true, false)
 		if err != nil {
-			return nil, err
+			return OverheadRow{}, err
 		}
-		nb, _, err := runOnce(base, nil)
+		nb, _, err := c.runOnce(base, nil)
 		if err != nil {
-			return nil, fmt.Errorf("%s baseline: %w", w.Name, err)
+			return OverheadRow{}, fmt.Errorf("%s baseline: %w", w.Name, err)
 		}
-		ni, rt, err := runOnce(inst, func(rt *mrt.Runtime, stop <-chan struct{}) {
+		ni, rt, err := c.runOnce(inst, func(rt *mrt.Runtime, stop <-chan struct{}) {
 			tick := time.NewTicker(interval)
 			defer tick.Stop()
 			for {
@@ -171,14 +225,17 @@ func Fig6(c Config, hz int) ([]OverheadRow, error) {
 			}
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s mcfi+updates: %w", w.Name, err)
+			return OverheadRow{}, fmt.Errorf("%s mcfi+updates: %w", w.Name, err)
 		}
-		rows = append(rows, OverheadRow{
+		return OverheadRow{
 			Name: w.Name, Baseline: nb, MCFI: ni,
 			OverheadPct: pct(ni, nb),
 			Retries:     rt.Tables.Retries(),
 			Updates:     rt.Tables.Updates(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	rows = append(rows, averageRow(rows))
 	return rows, nil
@@ -217,16 +274,14 @@ type SpaceRow struct {
 
 // Space measures the static size cost of instrumentation.
 func Space(c Config) ([]SpaceRow, error) {
-	var rows []SpaceRow
-	var totB, totM int
-	for _, w := range workload.All() {
+	rows, err := forEachWorkload(c, func(w workload.Workload) (SpaceRow, error) {
 		base, err := buildImage(w, c, false, false)
 		if err != nil {
-			return nil, err
+			return SpaceRow{}, err
 		}
 		inst, err := buildImage(w, c, true, false)
 		if err != nil {
-			return nil, err
+			return SpaceRow{}, err
 		}
 		nIBs := 0
 		for _, ib := range inst.Aux.IBs {
@@ -234,16 +289,22 @@ func Space(c Config) ([]SpaceRow, error) {
 				nIBs++
 			}
 		}
-		rows = append(rows, SpaceRow{
+		return SpaceRow{
 			Name:         w.Name,
 			BaselineCode: len(base.Code),
 			MCFICode:     len(inst.Code),
 			IncreasePct:  pct(int64(len(inst.Code)), int64(len(base.Code))),
 			TaryBytes:    len(inst.Code), // Tary is one 4-byte ID per 4 code bytes
 			BaryBytes:    4 * nIBs,
-		})
-		totB += len(base.Code)
-		totM += len(inst.Code)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var totB, totM int
+	for _, r := range rows {
+		totB += r.BaselineCode
+		totM += r.MCFICode
 	}
 	rows = append(rows, SpaceRow{
 		Name: "average", IncreasePct: pct(int64(totM), int64(totB)),
@@ -261,19 +322,22 @@ type AnalyzerRow struct {
 
 // Tables12 runs the analyzer over every workload plus libc (§7).
 func Tables12(c Config) ([]AnalyzerRow, error) {
-	var rows []AnalyzerRow
-	for _, w := range workload.All() {
+	rows, err := forEachWorkload(c, func(w workload.Workload) (AnalyzerRow, error) {
 		src := c.work(w)
-		u, err := toolchain.AnalyzeSource(src, true)
+		u, err := toolchain.New().Analyze(src)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return AnalyzerRow{}, fmt.Errorf("%s: %w", w.Name, err)
 		}
 		rep := analyzer.Analyze(u)
 		rep.Name = w.Name
 		rep.SLOC = analyzer.CountSLOC(src.Text)
-		rows = append(rows, AnalyzerRow{Name: w.Name, Rep: rep})
+		return AnalyzerRow{Name: w.Name, Rep: rep}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	u, err := toolchain.AnalyzeSource(toolchain.Source{Name: "libc", Text: libc.Source}, false)
+	u, err := toolchain.New(toolchain.WithoutPrelude()).
+		Analyze(toolchain.Source{Name: "libc", Text: libc.Source})
 	if err != nil {
 		return nil, err
 	}
@@ -296,11 +360,10 @@ type CFGRow struct {
 // Table3 links each workload (with its scaling module) and reports the
 // CFG statistics plus generation time (§8.2 reports ~150 ms for gcc).
 func Table3(c Config) ([]CFGRow, error) {
-	var rows []CFGRow
-	for _, w := range workload.All() {
+	return forEachWorkload(c, func(w workload.Workload) (CFGRow, error) {
 		img, err := buildImage(w, c, true, true)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return CFGRow{}, fmt.Errorf("%s: %w", w.Name, err)
 		}
 		in := cfg.Input{
 			Funcs: img.Aux.Funcs, IBs: img.Aux.IBs,
@@ -310,12 +373,11 @@ func Table3(c Config) ([]CFGRow, error) {
 		start := time.Now()
 		g := cfg.Generate(in)
 		el := time.Since(start)
-		rows = append(rows, CFGRow{
+		return CFGRow{
 			Name: w.Name, IBs: g.Stats.IBs, IBTs: g.Stats.IBTs,
 			EQCs: g.Stats.EQCs, GenerationTimeMs: float64(el.Microseconds()) / 1000,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // --- E8: AIR comparison (§8.3) ---
@@ -329,11 +391,10 @@ type AIRRow struct {
 
 // AIRTable computes the §8.3 comparison.
 func AIRTable(c Config) ([]AIRRow, error) {
-	var rows []AIRRow
-	for _, w := range workload.All() {
+	return forEachWorkload(c, func(w workload.Workload) (AIRRow, error) {
 		img, err := buildImage(w, c, true, true)
 		if err != nil {
-			return nil, err
+			return AIRRow{}, err
 		}
 		g := cfg.Generate(cfg.Input{
 			Funcs: img.Aux.Funcs, IBs: img.Aux.IBs,
@@ -346,9 +407,8 @@ func AIRTable(c Config) ([]AIRRow, error) {
 			row.Values[p.Name] = air.Compute(p.TargetSizes, len(img.Code))
 			row.Order = append(row.Order, p.Name)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // --- E9: ROP gadget elimination (§8.3) ---
@@ -366,16 +426,14 @@ type ROPRow struct {
 
 // ROP measures gadget elimination with the rp++-style finder.
 func ROP(c Config) ([]ROPRow, error) {
-	var rows []ROPRow
-	var sumElim float64
-	for _, w := range workload.All() {
+	rows, err := forEachWorkload(c, func(w workload.Workload) (ROPRow, error) {
 		base, err := buildImage(w, c, false, false)
 		if err != nil {
-			return nil, err
+			return ROPRow{}, err
 		}
 		inst, err := buildImage(w, c, true, false)
 		if err != nil {
-			return nil, err
+			return ROPRow{}, err
 		}
 		orig := rop.Find(base.Code, rop.DefaultMaxLen)
 
@@ -393,15 +451,21 @@ func ROP(c Config) ([]ROPRow, error) {
 			return ok
 		})
 		elim := rop.Elimination(len(orig), usable)
-		rows = append(rows, ROPRow{
+		return ROPRow{
 			Name: w.Name, Original: len(orig), RawHardened: len(hardened),
 			Usable: usable, EliminationPct: elim * 100,
-		})
-		sumElim += elim
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sumElim float64
+	for _, r := range rows {
+		sumElim += r.EliminationPct
 	}
 	rows = append(rows, ROPRow{
 		Name:           "average",
-		EliminationPct: sumElim / float64(len(workload.All())) * 100,
+		EliminationPct: sumElim / float64(len(rows)),
 	})
 	return rows, nil
 }
@@ -534,6 +598,5 @@ func ModuleOf(name string, c Config) (*module.Object, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown workload %q", name)
 	}
-	return toolchain.CompileSource(c.work(w),
-		toolchain.Config{Profile: c.Profile, Instrument: true})
+	return c.builder(true).Compile(c.work(w))
 }

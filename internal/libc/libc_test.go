@@ -12,9 +12,10 @@ import (
 // output; the libc under test is linked in by BuildProgram.
 func run(t *testing.T, src string) string {
 	t.Helper()
-	code, out, _, err := toolchain.Run(
-		toolchain.Config{Profile: visa.Profile64, Instrument: true},
-		500_000_000, toolchain.Source{Name: "t", Text: src})
+	code, out, _, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	).Run(500_000_000, toolchain.Source{Name: "t", Text: src})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -157,9 +158,10 @@ int main(void) {
 func TestLibcCompilesOnBothProfilesBaseline(t *testing.T) {
 	for _, p := range []visa.Profile{visa.Profile32, visa.Profile64} {
 		for _, instr := range []bool{false, true} {
-			if _, err := toolchain.CompileLibc(toolchain.Config{
-				Profile: p, Instrument: instr,
-			}); err != nil {
+			if _, err := toolchain.New(
+				toolchain.WithProfile(p),
+				toolchain.WithInstrument(instr),
+			).Libc(); err != nil {
 				t.Errorf("profile %s instrument=%v: %v", p, instr, err)
 			}
 		}

@@ -225,9 +225,14 @@ func (ld *linkState) mergeAux() {
 			if ib.TableLen > 0 {
 				ib.TableOff += base
 			}
-			for j := range ib.Targets {
-				ib.Targets[j] += base
+			// Rebase into a fresh slice: the object may be linked into
+			// several images (the toolchain memoizes compiled libc), so
+			// its aux info must stay untouched.
+			ts := make([]int, len(ib.Targets))
+			for j, t := range ib.Targets {
+				ts[j] = t + base
 			}
+			ib.Targets = ts
 			img.Aux.IBs = append(img.Aux.IBs, ib)
 		}
 		for _, rs := range o.Aux.RetSites {

@@ -13,9 +13,11 @@ import (
 
 func compile(t *testing.T, name, src string, instrument bool) *module.Object {
 	t.Helper()
-	obj, err := toolchain.CompileSource(
-		toolchain.Source{Name: name, Text: src},
-		toolchain.Config{Profile: visa.Profile64, Instrument: instrument, NoPrelude: true})
+	obj, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrument(instrument),
+		toolchain.WithoutPrelude(),
+	).Compile(toolchain.Source{Name: name, Text: src})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,9 +73,11 @@ func TestLinkMixedInstrumentationRejected(t *testing.T) {
 
 func TestLinkMixedProfilesRejected(t *testing.T) {
 	a := compile(t, "a", `int main(void) { return 0; }`, true)
-	b, err := toolchain.CompileSource(
-		toolchain.Source{Name: "b", Text: `int f(void) { return 1; }`},
-		toolchain.Config{Profile: visa.Profile32, Instrument: true, NoPrelude: true})
+	b, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile32),
+		toolchain.WithInstrumentation(),
+		toolchain.WithoutPrelude(),
+	).Compile(toolchain.Source{Name: "b", Text: `int f(void) { return 1; }`})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,9 +15,9 @@ import (
 	"mcfi/internal/vm"
 )
 
-func build(t *testing.T, cfg toolchain.Config, lopts linker.Options, srcs ...toolchain.Source) *linker.Image {
+func build(t *testing.T, b *toolchain.Builder, srcs ...toolchain.Source) *linker.Image {
 	t.Helper()
-	img, err := toolchain.BuildProgram(cfg, lopts, srcs...)
+	img, err := b.Build(srcs...)
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
@@ -56,8 +56,8 @@ int main(void) {
 	puts("survived");
 	return 0;
 }`
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "attack", Text: src})
+	cfg := toolchain.New(toolchain.WithInstrumentation())
+	img := build(t, cfg, toolchain.Source{Name: "attack", Text: src})
 	rt := newRT(t, img, mrt.Options{})
 	_, err := rt.Run(50_000_000)
 	f, ok := err.(*vm.Fault)
@@ -69,8 +69,8 @@ int main(void) {
 	}
 	// The same program without MCFI instrumentation is hijacked: the
 	// return lands in evil (or at least does not fault with FaultCFI).
-	cfgBase := toolchain.Config{Profile: visa.Profile64, Instrument: false}
-	imgBase := build(t, cfgBase, linker.Options{}, toolchain.Source{Name: "attack", Text: src})
+	cfgBase := toolchain.New()
+	imgBase := build(t, cfgBase, toolchain.Source{Name: "attack", Text: src})
 	rtBase := newRT(t, imgBase, mrt.Options{})
 	_, errBase := rtBase.Run(50_000_000)
 	if fb, ok := errBase.(*vm.Fault); ok && fb.Kind == vm.FaultCFI {
@@ -98,8 +98,8 @@ int main(void) {
 	puts("survived");
 	return 0;
 }`
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "gnupg", Text: src})
+	cfg := toolchain.New(toolchain.WithInstrumentation())
+	img := build(t, cfg, toolchain.Source{Name: "gnupg", Text: src})
 	rt := newRT(t, img, mrt.Options{})
 	_, err := rt.Run(50_000_000)
 	f, ok := err.(*vm.Fault)
@@ -125,8 +125,8 @@ int main(void) {
 	handler();
 	return ok_calls;
 }`
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "ok", Text: src})
+	cfg := toolchain.New(toolchain.WithInstrumentation())
+	img := build(t, cfg, toolchain.Source{Name: "ok", Text: src})
 	rt := newRT(t, img, mrt.Options{})
 	code, err := rt.Run(50_000_000)
 	if err != nil {
@@ -160,9 +160,9 @@ int main(void) {
 // library through a checked function pointer.
 func TestDlopenDlsym(t *testing.T) {
 	for _, instr := range []bool{true, false} {
-		cfg := toolchain.Config{Profile: visa.Profile64, Instrument: instr}
-		img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "main", Text: dlMainSrc})
-		plugin, err := toolchain.CompileSource(toolchain.Source{Name: "plugin", Text: pluginSrc}, cfg)
+		cfg := toolchain.New(toolchain.WithInstrument(instr))
+		img := build(t, cfg, toolchain.Source{Name: "main", Text: dlMainSrc})
+		plugin, err := cfg.Compile(toolchain.Source{Name: "plugin", Text: pluginSrc})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,9 +184,9 @@ func TestDlopenDlsym(t *testing.T) {
 // TestDlopenGrowsCFG checks that dynamic linking extends the policy:
 // the library's functions and branches enter the equivalence classes.
 func TestDlopenGrowsCFG(t *testing.T) {
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "main", Text: dlMainSrc})
-	plugin, err := toolchain.CompileSource(toolchain.Source{Name: "plugin", Text: pluginSrc}, cfg)
+	cfg := toolchain.New(toolchain.WithInstrumentation())
+	img := build(t, cfg, toolchain.Source{Name: "main", Text: dlMainSrc})
+	plugin, err := cfg.Compile(toolchain.Source{Name: "plugin", Text: pluginSrc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,13 +221,13 @@ int main(void) {
 long ext_mul(long a, long b) { return a * b; }
 `
 	for _, instr := range []bool{true, false} {
-		cfg := toolchain.Config{Profile: visa.Profile64, Instrument: instr}
-		img := build(t, cfg, linker.Options{AllowUnresolved: true},
-			toolchain.Source{Name: "main", Text: mainSrc})
+		cfg := toolchain.New(toolchain.WithInstrument(instr),
+			toolchain.WithLinkOptions(linker.Options{AllowUnresolved: true}))
+		img := build(t, cfg, toolchain.Source{Name: "main", Text: mainSrc})
 		if _, ok := img.PLT["ext_mul"]; !ok {
 			t.Fatal("no PLT entry for ext_mul")
 		}
-		ext, err := toolchain.CompileSource(toolchain.Source{Name: "extlib", Text: extSrc}, cfg)
+		ext, err := cfg.Compile(toolchain.Source{Name: "extlib", Text: extSrc})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -252,9 +252,9 @@ long ext_mul(long a, long b);
 int main(void) {
 	return (int)ext_mul(2, 3);
 }`
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg, linker.Options{AllowUnresolved: true},
-		toolchain.Source{Name: "main", Text: mainSrc})
+	cfg := toolchain.New(toolchain.WithInstrumentation(),
+		toolchain.WithLinkOptions(linker.Options{AllowUnresolved: true}))
+	img := build(t, cfg, toolchain.Source{Name: "main", Text: mainSrc})
 	rt := newRT(t, img, mrt.Options{})
 	_, err := rt.Run(10_000_000)
 	if err == nil {
@@ -279,8 +279,8 @@ int main(void) {
 	printf("%ld\n", total);
 	return 0;
 }`
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "threads", Text: src})
+	cfg := toolchain.New(toolchain.WithInstrumentation())
+	img := build(t, cfg, toolchain.Source{Name: "threads", Text: src})
 	rt := newRT(t, img, mrt.Options{})
 	code, err := rt.Run(100_000_000)
 	if err != nil {
@@ -309,8 +309,8 @@ int main(void) {
 	printf("%d\n", acc);
 	return 0;
 }`
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "spin", Text: src})
+	cfg := toolchain.New(toolchain.WithInstrumentation())
+	img := build(t, cfg, toolchain.Source{Name: "spin", Text: src})
 	rt := newRT(t, img, mrt.Options{})
 
 	stop := make(chan struct{})
@@ -355,8 +355,8 @@ int main(void) {
 	if (flip != -1) return 3;                     // guest cannot make code
 	return 0;
 }`
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "wx", Text: src})
+	cfg := toolchain.New(toolchain.WithInstrumentation())
+	img := build(t, cfg, toolchain.Source{Name: "wx", Text: src})
 	rt := newRT(t, img, mrt.Options{})
 	code, err := rt.Run(10_000_000)
 	if err != nil {
@@ -374,8 +374,8 @@ int main(void) {
 // tables at all (no TLOAD instructions were emitted).
 func TestBaselineRunsWithoutTables(t *testing.T) {
 	src := `int main(void) { return 5; }`
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: false}
-	img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "b", Text: src})
+	cfg := toolchain.New()
+	img := build(t, cfg, toolchain.Source{Name: "b", Text: src})
 	rt := newRT(t, img, mrt.Options{})
 	if rt.Tables != nil {
 		t.Error("baseline runtime should not allocate tables")
@@ -389,9 +389,9 @@ func TestBaselineRunsWithoutTables(t *testing.T) {
 // TestDlsymMarksAddrTaken: before dlsym, a never-address-taken library
 // function is not a legal indirect target; after dlsym it is.
 func TestDlsymMarksAddrTaken(t *testing.T) {
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "main", Text: dlMainSrc})
-	plugin, err := toolchain.CompileSource(toolchain.Source{Name: "plugin", Text: pluginSrc}, cfg)
+	cfg := toolchain.New(toolchain.WithInstrumentation())
+	img := build(t, cfg, toolchain.Source{Name: "main", Text: dlMainSrc})
+	plugin, err := cfg.Compile(toolchain.Source{Name: "plugin", Text: pluginSrc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,8 +427,8 @@ int main(void) {
 	}
 	return 0;
 }`
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "aba", Text: src})
+	cfg := toolchain.New(toolchain.WithInstrumentation())
+	img := build(t, cfg, toolchain.Source{Name: "aba", Text: src})
 	rt := newRT(t, img, mrt.Options{})
 	// Pile up update transactions before the program runs.
 	for i := 0; i < 100; i++ {
@@ -452,9 +452,9 @@ int main(void) {
 // "statically verified to obey the CFI policy" before becoming
 // executable) and feeds it a tampered module.
 func TestDlopenVerifierRejectsTamperedLibrary(t *testing.T) {
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "main", Text: dlMainSrc})
-	plugin, err := toolchain.CompileSource(toolchain.Source{Name: "plugin", Text: pluginSrc}, cfg)
+	cfg := toolchain.New(toolchain.WithInstrumentation())
+	img := build(t, cfg, toolchain.Source{Name: "main", Text: dlMainSrc})
+	plugin, err := cfg.Compile(toolchain.Source{Name: "plugin", Text: pluginSrc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,9 +482,9 @@ func TestDlopenVerifierRejectsTamperedLibrary(t *testing.T) {
 
 // TestDlopenVerifierAcceptsCleanLibrary is the complement.
 func TestDlopenVerifierAcceptsCleanLibrary(t *testing.T) {
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "main", Text: dlMainSrc})
-	plugin, err := toolchain.CompileSource(toolchain.Source{Name: "plugin", Text: pluginSrc}, cfg)
+	cfg := toolchain.New(toolchain.WithInstrumentation())
+	img := build(t, cfg, toolchain.Source{Name: "main", Text: dlMainSrc})
+	plugin, err := cfg.Compile(toolchain.Source{Name: "plugin", Text: pluginSrc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -501,16 +501,16 @@ func TestDlopenVerifierAcceptsCleanLibrary(t *testing.T) {
 // TestDlopenDuplicateSymbolRejected: a library exporting a symbol the
 // image already defines must be refused.
 func TestDlopenDuplicateSymbolRejected(t *testing.T) {
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg, linker.Options{}, toolchain.Source{Name: "main", Text: `
+	cfg := toolchain.New(toolchain.WithInstrumentation())
+	img := build(t, cfg, toolchain.Source{Name: "main", Text: `
 long clash(long x) { return x; }
 int main(void) {
 	long h = dlopen("dup");
 	return h == 0 ? 0 : 1;   // load must fail
 }`})
-	dup, err := toolchain.CompileSource(toolchain.Source{Name: "dup", Text: `
+	dup, err := cfg.Compile(toolchain.Source{Name: "dup", Text: `
 long clash(long x) { return x + 1; }
-`}, cfg)
+`})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -525,12 +525,13 @@ long clash(long x) { return x + 1; }
 // TestDlopenProfileMismatchRejected: a 32-bit library cannot be loaded
 // into a 64-bit process.
 func TestDlopenProfileMismatchRejected(t *testing.T) {
-	cfg64 := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	img := build(t, cfg64, linker.Options{}, toolchain.Source{Name: "main", Text: `
+	cfg64 := toolchain.New(toolchain.WithInstrumentation())
+	img := build(t, cfg64, toolchain.Source{Name: "main", Text: `
 int main(void) { return dlopen("p32") == 0 ? 0 : 1; }`})
-	p32, err := toolchain.CompileSource(
-		toolchain.Source{Name: "p32", Text: `long f(long x) { return x; }`},
-		toolchain.Config{Profile: visa.Profile32, Instrument: true})
+	p32, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile32),
+		toolchain.WithInstrumentation(),
+	).Compile(toolchain.Source{Name: "p32", Text: `long f(long x) { return x; }`})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,6 +50,9 @@ type Options struct {
 	Verify func(*module.Object) error
 	// Seed initializes the deterministic guest PRNG.
 	Seed uint64
+	// Engine selects the VM execution engine (default: the predecoded
+	// cached engine; vm.EngineInterp decodes every instruction).
+	Engine vm.Engine
 }
 
 // Runtime is one loaded MCFI program with its tables and threads.
@@ -126,6 +129,7 @@ func New(img *linker.Image, opts Options) (*Runtime, error) {
 
 	p := r.Proc
 	p.Handler = r
+	p.SetEngine(opts.Engine)
 
 	// Load code and data.
 	if visa.CodeBase+len(img.Code) > visa.CodeBase+visa.CodeLimit {

@@ -1,0 +1,177 @@
+package toolchain
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"mcfi/internal/visa"
+)
+
+// TestLibcCacheMemoizes: the same flavor compiles libc once; distinct
+// flavors get distinct entries.
+func TestLibcCacheMemoizes(t *testing.T) {
+	cache := NewLibcCache()
+	b := New(WithInstrumentation(), WithLibcCache(cache))
+	first, err := b.Libc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := b.Libc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Error("same flavor must return the cached libc object")
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache has %d entries, want 1", cache.Len())
+	}
+	other, err := New(WithLibcCache(cache)).Libc() // uninstrumented flavor
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == first {
+		t.Error("different flavors must not share a libc object")
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache has %d entries, want 2", cache.Len())
+	}
+}
+
+// TestLibcCacheConcurrent hammers one cache from many goroutines; the
+// libc must compile exactly once and every caller sees the same object.
+func TestLibcCacheConcurrent(t *testing.T) {
+	cache := NewLibcCache()
+	objs := make([]interface{}, 16)
+	var wg sync.WaitGroup
+	for i := range objs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			obj, err := New(WithInstrumentation(), WithLibcCache(cache)).Libc()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			objs[i] = obj
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(objs); i++ {
+		if objs[i] != objs[0] {
+			t.Fatal("concurrent Libc calls returned different objects")
+		}
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache has %d entries, want 1", cache.Len())
+	}
+}
+
+// TestCachedLibcLinksRepeatedly links the same memoized libc object
+// into many images and checks each program still runs correctly — the
+// linker must not mutate its inputs.
+func TestCachedLibcLinksRepeatedly(t *testing.T) {
+	b := New(WithInstrumentation())
+	for i := 0; i < 3; i++ {
+		src := fmt.Sprintf(`
+int main(void) {
+	printf("round %%d\n", %d);
+	return 0;
+}`, i)
+		code, out, _, err := b.Run(10_000_000, Source{Name: "r", Text: src})
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if code != 0 || out != fmt.Sprintf("round %d\n", i) {
+			t.Errorf("round %d: code=%d out=%q", i, code, out)
+		}
+	}
+}
+
+// TestParallelBuildManyTUs compiles a multi-module program through the
+// bounded worker pool and checks link order (and so image layout) is
+// deterministic regardless of compile-finish order.
+func TestParallelBuildManyTUs(t *testing.T) {
+	var srcs []Source
+	var calls, sum string
+	for i := 0; i < 8; i++ {
+		srcs = append(srcs, Source{
+			Name: fmt.Sprintf("tu%d", i),
+			Text: fmt.Sprintf("int f%d(void) { return %d; }", i, i*i),
+		})
+		calls += fmt.Sprintf("	total += f%d();\n", i)
+	}
+	for i := 0; i < 8; i++ {
+		sum += fmt.Sprintf("int f%d(void);\n", i)
+	}
+	main := Source{Name: "main", Text: sum + `
+int main(void) {
+	int total = 0;
+` + calls + `	printf("%d\n", total);
+	return 0;
+}`}
+	b := New(WithInstrumentation(), WithJobs(4))
+	img1, err := b.Build(append([]Source{main}, srcs...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := b.Build(append([]Source{main}, srcs...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img1.Code) != len(img2.Code) {
+		t.Errorf("parallel builds differ in size: %d vs %d", len(img1.Code), len(img2.Code))
+	}
+	for i, m := range img1.Modules {
+		if img2.Modules[i].Name != m.Name {
+			t.Fatalf("module order not deterministic: %s vs %s", m.Name, img2.Modules[i].Name)
+		}
+	}
+	code, out, _, err := b.Run(10_000_000, append([]Source{main}, srcs...)...)
+	if err != nil || code != 0 || out != "140\n" {
+		t.Errorf("code=%d out=%q err=%v (want 140)", code, out, err)
+	}
+}
+
+// TestBuildReportsFirstErrorInSourceOrder: with several failing TUs the
+// reported error is the first in argument order, like a sequential
+// driver, not whichever goroutine loses the race.
+func TestBuildReportsFirstErrorInSourceOrder(t *testing.T) {
+	_, err := New(WithJobs(4)).Build(
+		Source{Name: "a", Text: `int main(void) { return first_bad; }`},
+		Source{Name: "b", Text: `int g(void) { return second_bad; }`},
+	)
+	if err == nil || !strings.Contains(err.Error(), "first_bad") {
+		t.Errorf("want the first source's error, got %v", err)
+	}
+}
+
+// TestDeprecatedWrappersStillWork keeps the pre-Builder surface alive:
+// Config plus the free functions must behave like the Builder they
+// delegate to.
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	cfg := Config{Profile: visa.Profile32, Instrument: true}
+	src := Source{Name: "m", Text: `int main(void) { printf("ok\n"); return 3; }`}
+	code, out, _, err := Run(cfg, 10_000_000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 3 || out != "ok\n" {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+	obj, err := CompileSource(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Profile != visa.Profile32 || !obj.Instrumented {
+		t.Errorf("wrapper lost config: profile=%v instrumented=%v", obj.Profile, obj.Instrumented)
+	}
+	if _, err := CompileLibc(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeSource(src, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package toolchain
+
+import (
+	"sync"
+
+	"mcfi/internal/module"
+	"mcfi/internal/visa"
+)
+
+// LibcCache memoizes compiled libc modules per (profile,
+// instrumentation) flavor. Every MCFI program links the whole libc, so
+// without memoization each BuildProgram call re-parses and re-compiles
+// it from scratch — by far the largest fixed cost of regenerating the
+// experiment suite. The cache is safe for concurrent use; parallel
+// builders requesting the same flavor block on one compilation.
+//
+// Cached objects are shared by reference: the linker and the runtime
+// both treat input modules as immutable (the linker copies code and
+// rebases aux info into the image), so handing the same *module.Object
+// to many links is safe.
+type LibcCache struct {
+	mu sync.Mutex
+	m  map[libcKey]*libcEntry
+}
+
+type libcKey struct {
+	profile    visa.Profile
+	instrument bool
+}
+
+type libcEntry struct {
+	once sync.Once
+	obj  *module.Object
+	err  error
+}
+
+// NewLibcCache returns an empty cache.
+func NewLibcCache() *LibcCache {
+	return &LibcCache{m: map[libcKey]*libcEntry{}}
+}
+
+var defaultLibcCache = NewLibcCache()
+
+// DefaultLibcCache returns the process-wide cache every Builder uses
+// unless overridden with WithLibcCache.
+func DefaultLibcCache() *LibcCache { return defaultLibcCache }
+
+// get returns the cached libc for the flavor, compiling it at most
+// once per cache.
+func (c *LibcCache) get(p visa.Profile, instrument bool, compile func() (*module.Object, error)) (*module.Object, error) {
+	c.mu.Lock()
+	e, ok := c.m[libcKey{p, instrument}]
+	if !ok {
+		e = &libcEntry{}
+		c.m[libcKey{p, instrument}] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.obj, e.err = compile() })
+	return e.obj, e.err
+}
+
+// Len reports how many flavors are cached (test hook).
+func (c *LibcCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

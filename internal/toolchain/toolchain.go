@@ -3,28 +3,43 @@
 // against the MiniC libc, and loads them into runtimes. The cmd tools,
 // examples, tests, and the experiment harness all build programs
 // through this package.
+//
+// The primary surface is the Builder (see builder.go), constructed via
+// functional options:
+//
+//	b := toolchain.New(toolchain.WithProfile(visa.Profile64),
+//		toolchain.WithInstrumentation())
+//	img, err := b.Build(srcs...)
+//
+// The Config struct and the free functions below are the pre-Builder
+// surface, kept as thin deprecated wrappers.
 package toolchain
 
 import (
-	"fmt"
-
-	"mcfi/internal/codegen"
-	"mcfi/internal/libc"
 	"mcfi/internal/linker"
-	"mcfi/internal/minic"
 	"mcfi/internal/module"
-	"mcfi/internal/mrt"
 	"mcfi/internal/sema"
 	"mcfi/internal/visa"
 )
 
 // Config selects the build flavor.
+//
+// Deprecated: construct a Builder with New and functional options.
 type Config struct {
 	Profile    visa.Profile // default Profile64
 	Instrument bool
 	// NoPrelude skips prepending the libc header (used when compiling
 	// the libc itself or fully self-contained sources).
 	NoPrelude bool
+}
+
+// builder converts the legacy config into an equivalent Builder.
+func (c Config) builder(opts ...Option) *Builder {
+	base := []Option{WithProfile(c.Profile), WithInstrument(c.Instrument)}
+	if c.NoPrelude {
+		base = append(base, WithoutPrelude())
+	}
+	return New(append(base, opts...)...)
 }
 
 // Source is one translation unit.
@@ -35,81 +50,43 @@ type Source struct {
 
 // CompileSource runs parse+sema+codegen on one translation unit and
 // returns its MCFI object module.
+//
+// Deprecated: use Builder.Compile.
 func CompileSource(src Source, cfg Config) (*module.Object, error) {
-	text := src.Text
-	if !cfg.NoPrelude {
-		text = libc.Header + "\n" + text
-	}
-	file, err := minic.Parse(src.Name, text)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", src.Name, err)
-	}
-	unit, err := sema.Analyze(file)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", src.Name, err)
-	}
-	obj, err := codegen.Compile(unit, codegen.Options{
-		Profile:    cfg.Profile,
-		Instrument: cfg.Instrument,
-		ModuleName: src.Name,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", src.Name, err)
-	}
-	return obj, nil
+	return cfg.builder().Compile(src)
 }
 
 // AnalyzeSource runs parse+sema only, returning the typed unit (the
 // C1/C2 analyzer consumes this).
+//
+// Deprecated: use Builder.Analyze.
 func AnalyzeSource(src Source, withPrelude bool) (*sema.Unit, error) {
-	text := src.Text
-	if withPrelude {
-		text = libc.Header + "\n" + text
+	b := New()
+	if !withPrelude {
+		b = New(WithoutPrelude())
 	}
-	file, err := minic.Parse(src.Name, text)
-	if err != nil {
-		return nil, err
-	}
-	return sema.Analyze(file)
+	return b.Analyze(src)
 }
 
 // CompileLibc builds the libc module for the given configuration.
+//
+// Deprecated: use Builder.Libc.
 func CompileLibc(cfg Config) (*module.Object, error) {
-	cfg.NoPrelude = true
-	return CompileSource(Source{Name: "libc", Text: libc.Source}, cfg)
+	return cfg.builder().Libc()
 }
 
 // BuildProgram compiles the given sources, compiles libc, and
 // statically links everything into an executable image.
+//
+// Deprecated: use Builder.Build.
 func BuildProgram(cfg Config, opts linker.Options, sources ...Source) (*linker.Image, error) {
-	var objs []*module.Object
-	for _, s := range sources {
-		obj, err := CompileSource(s, cfg)
-		if err != nil {
-			return nil, err
-		}
-		objs = append(objs, obj)
-	}
-	lc, err := CompileLibc(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("libc: %w", err)
-	}
-	objs = append(objs, lc)
-	return linker.Link(objs, opts)
+	return cfg.builder(WithLinkOptions(opts)).Build(sources...)
 }
 
 // Run builds and executes a program to completion, returning its exit
-// code and captured output. A convenience wrapper used by tests and
-// examples.
+// code and captured output.
+//
+// Deprecated: use Builder.Run.
 func Run(cfg Config, maxInstr int64, sources ...Source) (code int64, output string, instret int64, err error) {
-	img, err := BuildProgram(cfg, linker.Options{}, sources...)
-	if err != nil {
-		return -1, "", 0, err
-	}
-	rt, err := mrt.New(img, mrt.Options{})
-	if err != nil {
-		return -1, "", 0, err
-	}
-	code, err = rt.Run(maxInstr)
-	return code, rt.Output(), rt.Instret(), err
+	return cfg.builder().Run(maxInstr, sources...)
 }

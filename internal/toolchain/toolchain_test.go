@@ -1,7 +1,6 @@
 package toolchain
 
 import (
-	"mcfi/internal/linker"
 	"strings"
 	"testing"
 
@@ -15,8 +14,8 @@ func runBoth(t *testing.T, src string, wantCode int64, wantOut string) {
 	t.Helper()
 	for _, profile := range []visa.Profile{visa.Profile64, visa.Profile32} {
 		for _, instr := range []bool{false, true} {
-			cfg := Config{Profile: profile, Instrument: instr}
-			code, out, _, err := Run(cfg, 200_000_000, Source{Name: "main", Text: src})
+			b := New(WithProfile(profile), WithInstrument(instr))
+			code, out, _, err := b.Run(200_000_000, Source{Name: "main", Text: src})
 			if err != nil {
 				t.Fatalf("%s instrument=%v: %v", profile, instr, err)
 			}
@@ -330,8 +329,7 @@ int main(void) {
 	return 0;
 }`}
 	for _, instr := range []bool{false, true} {
-		cfg := Config{Profile: visa.Profile64, Instrument: instr}
-		code, out, _, err := Run(cfg, 10_000_000, main, lib)
+		code, out, _, err := New(WithInstrument(instr)).Run(10_000_000, main, lib)
 		if err != nil {
 			t.Fatalf("instrument=%v: %v", instr, err)
 		}
@@ -359,8 +357,7 @@ int main(void) {
 	printf("%d %d\n", is_even(100000), is_odd(99999));
 	return 0;
 }`
-	cfg := Config{Profile: visa.Profile64, Instrument: true}
-	code, out, _, err := Run(cfg, 100_000_000, Source{Name: "main", Text: src})
+	code, out, _, err := New(WithInstrumentation()).Run(100_000_000, Source{Name: "main", Text: src})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,13 +374,11 @@ int main(void) {
 	for (int i = 0; i < 10000; i++) v = bump(v);
 	return v == 10000 ? 0 : 1;
 }`
-	cfg := Config{Profile: visa.Profile64}
-	_, _, base, err := Run(cfg, 50_000_000, Source{Name: "m", Text: src})
+	_, _, base, err := New().Run(50_000_000, Source{Name: "m", Text: src})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Instrument = true
-	_, _, inst, err := Run(cfg, 50_000_000, Source{Name: "m", Text: src})
+	_, _, inst, err := New(WithInstrumentation()).Run(50_000_000, Source{Name: "m", Text: src})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,11 +393,11 @@ int main(void) {
 }
 
 func TestCompileErrorsSurface(t *testing.T) {
-	_, _, _, err := Run(Config{}, 1000, Source{Name: "bad", Text: `int main(void) { return undeclared; }`})
+	_, _, _, err := New().Run(1000, Source{Name: "bad", Text: `int main(void) { return undeclared; }`})
 	if err == nil || !strings.Contains(err.Error(), "undeclared") {
 		t.Errorf("want undeclared-identifier error, got %v", err)
 	}
-	_, err2 := BuildProgram(Config{}, linker.Options{},
+	_, err2 := New().Build(
 		Source{Name: "noext", Text: `int missing(int); int main(void) { return missing(1); }`})
 	if err2 == nil || !strings.Contains(err2.Error(), "undefined symbol") {
 		t.Errorf("want undefined-symbol error, got %v", err2)
@@ -429,8 +424,7 @@ int main(void) {
 	printf("%ld\n", handler(&e));
 	return 0;
 }`}
-	cfg := Config{Profile: visa.Profile64, Instrument: true}
-	code, out, _, err := Run(cfg, 10_000_000, mainSrc, libSrc)
+	code, out, _, err := New(WithInstrumentation()).Run(10_000_000, mainSrc, libSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,8 +452,7 @@ int main(void) {
 	h(&e);
 	return 0;
 }`}
-	cfg := Config{Profile: visa.Profile64, Instrument: true}
-	_, _, _, err := Run(cfg, 10_000_000, mainSrc, libSrc)
+	_, _, _, err := New(WithInstrumentation()).Run(10_000_000, mainSrc, libSrc)
 	if err == nil {
 		t.Fatal("shape-mismatched cross-module call should be halted by MCFI")
 	}

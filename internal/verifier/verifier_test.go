@@ -47,9 +47,10 @@ int main(void) {
 
 func compileRich(t *testing.T, instrument bool) *module.Object {
 	t.Helper()
-	obj, err := toolchain.CompileSource(
-		toolchain.Source{Name: "rich", Text: richSrc},
-		toolchain.Config{Profile: visa.Profile64, Instrument: instrument})
+	obj, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrument(instrument),
+	).Compile(toolchain.Source{Name: "rich", Text: richSrc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,10 @@ func TestVerifyAcceptsCompilerOutput(t *testing.T) {
 }
 
 func TestVerifyAcceptsLibc(t *testing.T) {
-	lc, err := toolchain.CompileLibc(toolchain.Config{Profile: visa.Profile64, Instrument: true})
+	lc, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	).Libc()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,9 +211,10 @@ func TestVerifyDetectsUndeclaredIndirectBranch(t *testing.T) {
 
 func TestVerifyAcceptsBothProfiles(t *testing.T) {
 	for _, p := range []visa.Profile{visa.Profile32, visa.Profile64} {
-		obj, err := toolchain.CompileSource(
-			toolchain.Source{Name: "rich", Text: richSrc},
-			toolchain.Config{Profile: p, Instrument: true})
+		obj, err := toolchain.New(
+			toolchain.WithProfile(p),
+			toolchain.WithInstrumentation(),
+		).Compile(toolchain.Source{Name: "rich", Text: richSrc})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,154 @@
+// Predecoded execution engine: a per-executable-page instruction
+// cache. The interpreter's fetch path calls visa.Decode on raw bytes
+// at every retired instruction; for long-running workloads that is the
+// dominant cost of the stand-in CPU. The cached engine decodes each
+// instruction once into its fixed-size internal form (visa.Instr plus
+// encoded length) and dispatches from the cache thereafter.
+//
+// Correctness hinges on precise invalidation. Code can only change
+// while its page is not executable (the W^X invariant), and every
+// protection transition goes through Process.Protect — the runtime's
+// mprotect/mmap analogue and the dlopen path both use it — so Protect
+// drops the cache of every affected page. Because VISA instructions
+// are variable-length (up to 10 bytes), an instruction cached in page
+// P may extend into page P+1; invalidating a range therefore also
+// drops the page immediately before it.
+//
+// Retired-instruction counts and fault behavior are bit-identical to
+// the plain interpreter: both engines feed the same decoded
+// instruction stream to the same execution switch, and the Fig. 5/6
+// cost metric is a property of that stream, not of how it is fetched.
+package vm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mcfi/internal/visa"
+)
+
+// Engine selects the instruction-fetch implementation of a Process.
+type Engine int
+
+// Engines. The zero value is the cached engine, so every Process is
+// fast by default; the plain interpreter remains available for
+// differential testing and as the reference semantics.
+const (
+	// EngineCached fetches from the per-page predecoded cache.
+	EngineCached Engine = iota
+	// EngineInterp decodes raw bytes at every retired instruction.
+	EngineInterp
+)
+
+// String names the engine (flag syntax of cmd/mcfi-run and
+// cmd/mcfi-bench).
+func (e Engine) String() string {
+	if e == EngineInterp {
+		return "interp"
+	}
+	return "cached"
+}
+
+// ParseEngine parses the -engine flag syntax.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "cached", "":
+		return EngineCached, nil
+	case "interp":
+		return EngineInterp, nil
+	}
+	return 0, fmt.Errorf("vm: unknown engine %q (want interp or cached)", s)
+}
+
+// pageCache holds the predecoded instructions of one guest page,
+// indexed by the instruction's starting offset within the page. Slots
+// are published with an atomic bitmap store after their fields are
+// written, so concurrent guest threads can share one cache; fills take
+// the mutex (slow path only — each slot is decoded once per page
+// generation).
+type pageCache struct {
+	mu    sync.Mutex
+	valid [PageSize / 32]uint32
+	size  [PageSize]uint8
+	ins   [PageSize]visa.Instr
+}
+
+// cacheHit returns the predecoded instruction at pc if its cache slot
+// is valid. A hit needs no Prot check: slots are filled only after the
+// executability check passes, and Protect invalidates every affected
+// page on every transition, so a valid slot implies the page has been
+// continuously executable since the fill. The returned pointer aliases
+// the cache entry, which is immutable once its valid bit is published.
+func (p *Process) cacheHit(pc int64) (*visa.Instr, int, bool) {
+	pg := pc / PageSize
+	if pc < 0 || pg >= int64(len(p.icache)) {
+		return nil, 0, false
+	}
+	c := p.icache[pg].Load()
+	if c == nil {
+		return nil, 0, false
+	}
+	off := int(pc & (PageSize - 1))
+	if atomic.LoadUint32(&c.valid[off>>5])&(uint32(1)<<(off&31)) == 0 {
+		return nil, 0, false
+	}
+	return &c.ins[off], int(c.size[off]), true
+}
+
+// cacheFill decodes the instruction at pc and publishes it into the
+// page's cache. The caller has already checked that pc is executable.
+func (p *Process) cacheFill(pc int64) (*visa.Instr, int, error) {
+	ins, n, err := visa.Decode(p.Mem, int(pc))
+	if err != nil {
+		return nil, 0, err
+	}
+	slot := &p.icache[pc/PageSize]
+	c := slot.Load()
+	if c == nil {
+		nc := &pageCache{}
+		if slot.CompareAndSwap(nil, nc) {
+			c = nc
+		} else {
+			c = slot.Load()
+		}
+	}
+	if c == nil {
+		// The page was invalidated while we were decoding; execute the
+		// instruction we decoded without caching it.
+		tmp := ins
+		return &tmp, n, nil
+	}
+	off := int(pc & (PageSize - 1))
+	word, bit := &c.valid[off>>5], uint32(1)<<(off&31)
+	c.mu.Lock()
+	if atomic.LoadUint32(word)&bit == 0 {
+		c.ins[off] = ins
+		c.size[off] = uint8(n)
+		atomic.StoreUint32(word, atomic.LoadUint32(word)|bit)
+	}
+	c.mu.Unlock()
+	return &c.ins[off], n, nil
+}
+
+// invalidate drops the decode cache of pages [first-1, last) — one
+// page before the changed range because a variable-length instruction
+// cached there may span into it.
+func (p *Process) invalidate(first, last int64) {
+	if first > 0 {
+		first--
+	}
+	if first < 0 {
+		first = 0
+	}
+	for pg := first; pg < last && pg < int64(len(p.icache)); pg++ {
+		p.icache[pg].Store(nil)
+	}
+}
+
+// SetEngine selects the fetch implementation. Call it before the
+// process starts executing.
+func (p *Process) SetEngine(e Engine) { p.engine = e }
+
+// Engine reports the process's fetch implementation.
+func (p *Process) Engine() Engine { return p.engine }

@@ -10,6 +10,11 @@
 // setting. Second, the interpreter counts retired instructions, which
 // is the deterministic cost metric behind the Fig. 5/6 overhead
 // experiments (extra executed instrumentation = overhead).
+//
+// Two fetch engines exist (see cache.go): EngineCached, the default,
+// predecodes each instruction once per executable-page generation;
+// EngineInterp decodes raw bytes every step. Both retire the exact
+// same instruction stream, so the cost metric is engine-independent.
 package vm
 
 import (
@@ -99,6 +104,11 @@ type Process struct {
 	// Handler interposes on system calls.
 	Handler SyscallHandler
 
+	// engine selects the fetch implementation (default EngineCached);
+	// icache is the per-page predecoded instruction cache it uses.
+	engine Engine
+	icache []atomic.Pointer[pageCache]
+
 	exited   atomic.Bool
 	exitCode atomic.Int64
 	instret  atomic.Int64
@@ -115,17 +125,26 @@ func NewProcess() *Process {
 	return &Process{
 		Mem:      make([]byte, size),
 		perms:    make([]uint32, size/PageSize),
+		icache:   make([]atomic.Pointer[pageCache], size/PageSize),
 		joinable: map[int64]chan int64{},
 	}
 }
 
-// Protect sets protection bits on [addr, addr+size).
+// Protect sets protection bits on [addr, addr+size). Every W^X
+// transition flows through here (the runtime's mmap/mprotect analogue
+// and the dlopen load path), so it also drops the predecoded
+// instruction cache of the affected pages — before the permission
+// flip, so no thread can fill a cache against bytes about to change,
+// and after it, so entries decoded from the old bytes cannot survive
+// the transition.
 func (p *Process) Protect(addr, size int64, prot uint32) {
 	first := addr / PageSize
 	last := (addr + size + PageSize - 1) / PageSize
+	p.invalidate(first, last)
 	for pg := first; pg < last && pg < int64(len(p.perms)); pg++ {
 		atomic.StoreUint32(&p.perms[pg], prot)
 	}
+	p.invalidate(first, last)
 }
 
 // Prot returns the protection bits of the page containing addr.
@@ -185,8 +204,13 @@ func (p *Process) JoinChan(tid int64) (chan int64, bool) {
 
 // Thread is one virtual CPU.
 type Thread struct {
-	P   *Process
-	Reg [visa.NumRegs]int64
+	P *Process
+	// Reg is the register file. Architecturally only the first
+	// visa.NumRegs entries exist — visa.Decode rejects any register
+	// operand >= NumRegs — but the array is sized so a decoded byte
+	// operand indexes it without a bounds check in the hot dispatch
+	// loop.
+	Reg [256]int64
 	PC  int64
 
 	// comparison flags (operands of the last CMP-style instruction).
@@ -364,12 +388,34 @@ func (t *Thread) Run(maxInstr int64) error {
 // Step executes one instruction.
 func (t *Thread) Step() error {
 	pc := t.PC
-	if t.P.Prot(pc)&visa.ProtExec == 0 {
-		return t.fault(FaultExec, "pc %#x not executable", pc)
-	}
-	ins, size, err := visa.Decode(t.P.Mem, int(pc))
-	if err != nil {
-		return t.fault(FaultDecode, "%v", err)
+	var ins *visa.Instr
+	var size int
+	if t.P.engine == EngineCached {
+		// Fast path: a valid cache entry implies the page was
+		// executable when it was filled and no protection transition
+		// has happened since (Protect invalidates on every call), so
+		// the per-step Prot check is skipped entirely.
+		var ok bool
+		ins, size, ok = t.P.cacheHit(pc)
+		if !ok {
+			if t.P.Prot(pc)&visa.ProtExec == 0 {
+				return t.fault(FaultExec, "pc %#x not executable", pc)
+			}
+			var err error
+			ins, size, err = t.P.cacheFill(pc)
+			if err != nil {
+				return t.fault(FaultDecode, "%v", err)
+			}
+		}
+	} else {
+		if t.P.Prot(pc)&visa.ProtExec == 0 {
+			return t.fault(FaultExec, "pc %#x not executable", pc)
+		}
+		i, n, err := visa.Decode(t.P.Mem, int(pc))
+		if err != nil {
+			return t.fault(FaultDecode, "%v", err)
+		}
+		ins, size = &i, n
 	}
 	next := pc + int64(size)
 	t.Instret++
@@ -385,6 +431,7 @@ func (t *Thread) Step() error {
 		r[ins.R1] = r[ins.R2]
 	case visa.LD8, visa.LD16, visa.LD32, visa.LD64, visa.LD8U, visa.LD16U, visa.LD32U:
 		var v uint64
+		var err error
 		addr := r[ins.R2] + ins.Imm
 		switch ins.Op {
 		case visa.LD8:
@@ -612,7 +659,7 @@ func (t *Thread) Step() error {
 }
 
 // fop applies a float64 operation on register bit patterns.
-func (t *Thread) fop(ins visa.Instr, f func(a, b float64) float64) {
+func (t *Thread) fop(ins *visa.Instr, f func(a, b float64) float64) {
 	a := math.Float64frombits(uint64(t.Reg[ins.R1]))
 	b := math.Float64frombits(uint64(t.Reg[ins.R2]))
 	t.Reg[ins.R1] = int64(math.Float64bits(f(a, b)))

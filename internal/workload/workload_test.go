@@ -22,8 +22,11 @@ func TestAllWorkloadsDifferential(t *testing.T) {
 			var ref string
 			for _, profile := range []visa.Profile{visa.Profile64, visa.Profile32} {
 				for _, instr := range []bool{false, true} {
-					cfg := toolchain.Config{Profile: profile, Instrument: instr}
-					code, out, _, err := toolchain.Run(cfg, 2_000_000_000, w.TestSource())
+					b := toolchain.New(
+						toolchain.WithProfile(profile),
+						toolchain.WithInstrument(instr),
+					)
+					code, out, _, err := b.Run(2_000_000_000, w.TestSource())
 					if err != nil {
 						t.Fatalf("%s instr=%v: %v", profile, instr, err)
 					}
@@ -52,7 +55,7 @@ func TestAllWorkloadsDifferential(t *testing.T) {
 func TestWorkloadViolationShape(t *testing.T) {
 	reps := map[string]*analyzer.Report{}
 	for _, w := range workload.All() {
-		u, err := toolchain.AnalyzeSource(w.TestSource(), true)
+		u, err := toolchain.New().Analyze(w.TestSource())
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}
@@ -107,8 +110,10 @@ func TestGenerateModuleCompilesAndLinks(t *testing.T) {
 	gen := workload.GenerateModule("mcf", 7, workload.GenParams{
 		Funcs: 60, FPTypes: 6, Callers: 10, Switches: 3,
 	})
-	cfg := toolchain.Config{Profile: visa.Profile64, Instrument: true}
-	code, out, _, err := toolchain.Run(cfg, 2_000_000_000, w.TestSource(), gen)
+	code, out, _, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	).Run(2_000_000_000, w.TestSource(), gen)
 	if err != nil {
 		t.Fatalf("link with generated module: %v", err)
 	}
@@ -168,13 +173,16 @@ func TestInstrumentationOverheadPerWorkload(t *testing.T) {
 	}
 	var rows []string
 	for _, w := range workload.All() {
-		cfg := toolchain.Config{Profile: visa.Profile64}
-		_, _, base, err := toolchain.Run(cfg, 2_000_000_000, w.TestSource())
+		_, _, base, err := toolchain.New(
+			toolchain.WithProfile(visa.Profile64),
+		).Run(2_000_000_000, w.TestSource())
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}
-		cfg.Instrument = true
-		_, _, inst, err := toolchain.Run(cfg, 2_000_000_000, w.TestSource())
+		_, _, inst, err := toolchain.New(
+			toolchain.WithProfile(visa.Profile64),
+			toolchain.WithInstrumentation(),
+		).Run(2_000_000_000, w.TestSource())
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}
