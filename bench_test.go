@@ -376,3 +376,30 @@ func BenchmarkEngineDecodeCache(b *testing.B) {
 		})
 	}
 }
+
+// --- check-transaction fusion: all three engines on the Fig. 5 sjeng
+// harness, instrumented (where fusion collapses every check into one
+// host dispatch) and baseline (where fused degenerates to cached —
+// the fusion lookup must not tax uninstrumented code) ---
+
+func BenchmarkCheckFusion(b *testing.B) {
+	for _, flavor := range []struct {
+		name       string
+		instrument bool
+	}{{"mcfi", true}, {"baseline", false}} {
+		img := buildFor(b, "sjeng", flavor.instrument)
+		for _, e := range []vm.Engine{vm.EngineInterp, vm.EngineCached, vm.EngineFused} {
+			b.Run(flavor.name+"/"+e.String(), func(b *testing.B) {
+				total := int64(0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					total += runImageOpts(b, img, mrt.Options{Engine: e}, nil)
+				}
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(total)/secs/1e6, "Minstr/s")
+				}
+			})
+		}
+	}
+}

@@ -6,12 +6,16 @@
 //	mcfi-bench -exp all
 //	mcfi-bench -exp fig5 -profile 32
 //	mcfi-bench -exp table3 -scale 1.0
+//	mcfi-bench -exp fig5 -engine fused -json BENCH_fig5.json
 //
 // Experiments: fig5, fig6, stm, space, table1, table2, table3, air,
-// rop, cfggen, sanity, all.
+// rop, cfggen, sanity, all. With -json, per-experiment results (and
+// per-workload runs for fig5/fig6) are also written as a
+// machine-readable snapshot for perf-trajectory tracking.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,14 +28,57 @@ import (
 	"mcfi/internal/workload"
 )
 
+// record is one row of the -json snapshot: either a whole experiment
+// (Benchmark empty, wall time only) or one workload run within fig5 or
+// fig6 (retired instructions and throughput included).
+type record struct {
+	Experiment   string  `json:"experiment"`
+	Benchmark    string  `json:"benchmark,omitempty"`
+	Engine       string  `json:"engine"`
+	Profile      string  `json:"profile"`
+	Instrumented bool    `json:"instrumented"`
+	WallSecs     float64 `json:"wall_secs"`
+	Instret      int64   `json:"instret,omitempty"`
+	MinstrPerSec float64 `json:"minstr_per_sec,omitempty"`
+}
+
+// records accumulates the -json snapshot across experiments.
+var records []record
+
+// recordOverheadRows flattens fig5/fig6 rows into per-run records.
+func recordOverheadRows(exp string, c experiments.Config, rows []experiments.OverheadRow) {
+	for _, r := range rows {
+		if r.Name == "average" {
+			continue
+		}
+		records = append(records,
+			record{
+				Experiment: exp, Benchmark: r.Name,
+				Engine: c.Engine.String(), Profile: c.Profile.String(),
+				Instrumented: false, WallSecs: r.BaselineSecs,
+				Instret:      r.Baseline,
+				MinstrPerSec: experiments.MinstrPerSec(r.Baseline, r.BaselineSecs),
+			},
+			record{
+				Experiment: exp, Benchmark: r.Name,
+				Engine: c.Engine.String(), Profile: c.Profile.String(),
+				Instrumented: true, WallSecs: r.MCFISecs,
+				Instret:      r.MCFI,
+				MinstrPerSec: experiments.MinstrPerSec(r.MCFI, r.MCFISecs),
+			},
+		)
+	}
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (fig5 fig6 stm space table1 table2 table3 air rop cfggen sanity all)")
 	profile := flag.Int("profile", 64, "VISA profile: 32 or 64")
 	work := flag.Int("work", 0, "override workload iteration count (0 = reference inputs)")
 	scale := flag.Float64("scale", 0.25, "Table 3 synthetic-module scale factor")
 	hz := flag.Int("hz", 50, "update-transaction frequency for fig6")
-	engineF := flag.String("engine", "cached", "VM execution engine: interp or cached")
+	engineF := flag.String("engine", "cached", "VM execution engine: interp, cached, or fused")
 	jobs := flag.Int("jobs", 0, "worker-pool width for builds and workloads (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write per-experiment results to this file as JSON")
 	flag.Parse()
 
 	engine, err := vm.ParseEngine(*engineF)
@@ -60,7 +107,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s wall time: %.2fs]\n\n", name, time.Since(start).Seconds())
+		secs := time.Since(start).Seconds()
+		fmt.Printf("[%s wall time: %.2fs]\n\n", name, secs)
+		records = append(records, record{
+			Experiment: name, Engine: engine.String(),
+			Profile: c.Profile.String(), Instrumented: true,
+			WallSecs: secs,
+		})
 	}
 
 	run("sanity", func() error { return sanity(c) })
@@ -74,6 +127,19 @@ func main() {
 	run("air", func() error { return airTable(c) })
 	run("rop", func() error { return ropTable(c) })
 	run("cfggen", func() error { return cfggen(c) })
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcfi-bench: marshal results:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mcfi-bench: write results:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d result records to %s\n", len(records), *jsonPath)
+	}
 }
 
 func sanity(c experiments.Config) error {
@@ -101,6 +167,7 @@ func fig5(c experiments.Config) error {
 	if err != nil {
 		return err
 	}
+	recordOverheadRows("fig5", c, rows)
 	fmt.Println("Fig. 5 — execution overhead of MCFI instrumentation (no updates)")
 	fmt.Printf("%-12s %14s %14s %10s\n", "benchmark", "baseline", "MCFI", "overhead")
 	for _, r := range rows {
@@ -118,6 +185,7 @@ func fig6(c experiments.Config, hz int) error {
 	if err != nil {
 		return err
 	}
+	recordOverheadRows("fig6", c, rows)
 	fmt.Printf("Fig. 6 — overhead with update transactions at %d Hz\n", hz)
 	fmt.Printf("%-12s %14s %14s %10s %9s %8s\n",
 		"benchmark", "baseline", "MCFI", "overhead", "updates", "retries")

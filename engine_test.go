@@ -1,8 +1,9 @@
-// Differential test of the two VM execution engines: the predecoded
-// per-page instruction cache must be observationally identical to the
-// decode-every-instruction interpreter — same exit code, same output,
-// and a bit-identical retired-instruction count — across every
-// workload, both VISA profiles, and both instrumentation flavors.
+// Differential test of the three VM execution engines: the predecoded
+// per-page instruction cache and the check-fusing engine must be
+// observationally identical to the decode-every-instruction
+// interpreter — same exit code, same output, and a bit-identical
+// retired-instruction count — across every workload, both VISA
+// profiles, and both instrumentation flavors.
 package mcfi
 
 import (
@@ -36,8 +37,8 @@ func runWithEngine(t *testing.T, img *linker.Image, e vm.Engine) engineRun {
 	return engineRun{code: code, output: rt.Output(), instret: rt.Instret()}
 }
 
-// TestEnginesDifferential runs every workload under both engines in
-// all four (profile, instrumentation) configurations.
+// TestEnginesDifferential runs every workload under all three engines
+// in all four (profile, instrumentation) configurations.
 func TestEnginesDifferential(t *testing.T) {
 	for _, w := range workload.All() {
 		w := w
@@ -55,15 +56,17 @@ func TestEnginesDifferential(t *testing.T) {
 					// The workloads never dlopen, so one image can host
 					// several runtimes.
 					interp := runWithEngine(t, img, vm.EngineInterp)
-					cached := runWithEngine(t, img, vm.EngineCached)
-					if interp != cached {
-						t.Errorf("%s instr=%v: engines diverge:\n  interp: code=%d instret=%d out=%q\n  cached: code=%d instret=%d out=%q",
-							profile, instr,
-							interp.code, interp.instret, interp.output,
-							cached.code, cached.instret, cached.output)
+					for _, e := range []vm.Engine{vm.EngineCached, vm.EngineFused} {
+						got := runWithEngine(t, img, e)
+						if interp != got {
+							t.Errorf("%s instr=%v: engines diverge:\n  interp: code=%d instret=%d out=%q\n  %s: code=%d instret=%d out=%q",
+								profile, instr,
+								interp.code, interp.instret, interp.output,
+								e, got.code, got.instret, got.output)
+						}
 					}
-					if cached.code != 0 {
-						t.Errorf("%s instr=%v: exit %d (out %q)", profile, instr, cached.code, cached.output)
+					if interp.code != 0 {
+						t.Errorf("%s instr=%v: exit %d (out %q)", profile, instr, interp.code, interp.output)
 					}
 				}
 			}
@@ -82,6 +85,7 @@ func TestEngineFlagParsing(t *testing.T) {
 		{"cached", vm.EngineCached, false},
 		{"", vm.EngineCached, false},
 		{"interp", vm.EngineInterp, false},
+		{"fused", vm.EngineFused, false},
 		{"jit", 0, true},
 	}
 	for _, c := range cases {
@@ -94,7 +98,7 @@ func TestEngineFlagParsing(t *testing.T) {
 			t.Errorf("ParseEngine(%q) = %v, want %v", c.in, got, c.want)
 		}
 	}
-	if fmt.Sprint(vm.EngineCached, vm.EngineInterp) != "cached interp" {
-		t.Errorf("engine names changed: %v %v", vm.EngineCached, vm.EngineInterp)
+	if fmt.Sprint(vm.EngineCached, vm.EngineInterp, vm.EngineFused) != "cached interp fused" {
+		t.Errorf("engine names changed: %v %v %v", vm.EngineCached, vm.EngineInterp, vm.EngineFused)
 	}
 }

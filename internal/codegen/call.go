@@ -100,6 +100,7 @@ func (c *compiler) genCall(x *minic.Call) {
 			Func:         c.fn.Name,
 			FpSig:        sig,
 			TLoadIOffset: site.TLoadIOffset,
+			CheckStart:   site.CheckStart,
 			GotSlot:      -1,
 		})
 		c.aux.RetSites = append(c.aux.RetSites, module.RetSite{
@@ -185,6 +186,7 @@ func (c *compiler) genBuiltin(name string, x *minic.Call) bool {
 			Kind:         module.IBLongjmp,
 			Func:         c.fn.Name,
 			TLoadIOffset: site.TLoadIOffset,
+			CheckStart:   site.CheckStart,
 			GotSlot:      -1,
 		})
 		return true
@@ -329,6 +331,7 @@ func (c *compiler) tryTailCall(e minic.Expr) bool {
 		Func:         c.fn.Name,
 		FpSig:        sig,
 		TLoadIOffset: site.TLoadIOffset,
+		CheckStart:   site.CheckStart,
 		GotSlot:      -1,
 	})
 	c.curFuncInfo.TailSigs = append(c.curFuncInfo.TailSigs, sig)

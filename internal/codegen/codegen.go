@@ -262,6 +262,7 @@ func (c *compiler) genEpilogueReturn() {
 		Kind:         module.IBRet,
 		Func:         c.fn.Name,
 		TLoadIOffset: site.TLoadIOffset,
+		CheckStart:   site.CheckStart,
 		GotSlot:      -1,
 	})
 }
@@ -694,6 +695,7 @@ func (c *compiler) genJumpTableSwitch(vals []caseVal, lo, span int64, defaultLbl
 		Kind:         module.IBSwitch,
 		Func:         c.fn.Name,
 		TLoadIOffset: -1,
+		CheckStart:   -1,
 		GotSlot:      -1,
 	})
 	c.pendingTables = append(c.pendingTables, pendingTable{

@@ -123,12 +123,23 @@ func forEachWorkload[T any](c Config, fn func(w workload.Workload) (T, error)) (
 
 // OverheadRow is one bar of Fig. 5/6.
 type OverheadRow struct {
-	Name        string
-	Baseline    int64 // retired instructions, uninstrumented
-	MCFI        int64 // retired instructions, instrumented
-	OverheadPct float64
-	Retries     int64 // check-transaction retries (Fig. 6 only)
-	Updates     int64 // update transactions observed (Fig. 6 only)
+	Name         string
+	Baseline     int64 // retired instructions, uninstrumented
+	MCFI         int64 // retired instructions, instrumented
+	OverheadPct  float64
+	Retries      int64   // check-transaction retries (Fig. 6 only)
+	Updates      int64   // update transactions observed (Fig. 6 only)
+	BaselineSecs float64 // wall time of the uninstrumented run
+	MCFISecs     float64 // wall time of the instrumented run
+}
+
+// MinstrPerSec converts a (retired instructions, wall time) pair into
+// the throughput metric reported by bench snapshots.
+func MinstrPerSec(instret int64, secs float64) float64 {
+	if secs <= 0 {
+		return 0
+	}
+	return float64(instret) / secs / 1e6
 }
 
 // runOnce executes one built image and returns retired instructions.
@@ -171,17 +182,22 @@ func Fig5(c Config) ([]OverheadRow, error) {
 		if err != nil {
 			return OverheadRow{}, fmt.Errorf("%s: %w", w.Name, err)
 		}
+		t0 := time.Now()
 		nb, _, err := c.runOnce(base, nil)
+		bsecs := time.Since(t0).Seconds()
 		if err != nil {
 			return OverheadRow{}, fmt.Errorf("%s baseline: %w", w.Name, err)
 		}
+		t0 = time.Now()
 		ni, _, err := c.runOnce(inst, nil)
+		isecs := time.Since(t0).Seconds()
 		if err != nil {
 			return OverheadRow{}, fmt.Errorf("%s mcfi: %w", w.Name, err)
 		}
 		return OverheadRow{
 			Name: w.Name, Baseline: nb, MCFI: ni,
-			OverheadPct: pct(ni, nb),
+			OverheadPct:  pct(ni, nb),
+			BaselineSecs: bsecs, MCFISecs: isecs,
 		}, nil
 	})
 	if err != nil {
@@ -208,10 +224,13 @@ func Fig6(c Config, hz int) ([]OverheadRow, error) {
 		if err != nil {
 			return OverheadRow{}, err
 		}
+		t0 := time.Now()
 		nb, _, err := c.runOnce(base, nil)
+		bsecs := time.Since(t0).Seconds()
 		if err != nil {
 			return OverheadRow{}, fmt.Errorf("%s baseline: %w", w.Name, err)
 		}
+		t0 = time.Now()
 		ni, rt, err := c.runOnce(inst, func(rt *mrt.Runtime, stop <-chan struct{}) {
 			tick := time.NewTicker(interval)
 			defer tick.Stop()
@@ -224,14 +243,16 @@ func Fig6(c Config, hz int) ([]OverheadRow, error) {
 				}
 			}
 		})
+		isecs := time.Since(t0).Seconds()
 		if err != nil {
 			return OverheadRow{}, fmt.Errorf("%s mcfi+updates: %w", w.Name, err)
 		}
 		return OverheadRow{
 			Name: w.Name, Baseline: nb, MCFI: ni,
-			OverheadPct: pct(ni, nb),
-			Retries:     rt.Tables.Retries(),
-			Updates:     rt.Tables.Updates(),
+			OverheadPct:  pct(ni, nb),
+			Retries:      rt.Tables.Retries(),
+			Updates:      rt.Tables.Updates(),
+			BaselineSecs: bsecs, MCFISecs: isecs,
 		}, nil
 	})
 	if err != nil {

@@ -9,7 +9,7 @@ import (
 )
 
 // run executes a MiniC program (with the libc prelude) and returns its
-// output; the libc under test is linked in by BuildProgram.
+// output; the libc under test is linked in by the Builder.
 func run(t *testing.T, src string) string {
 	t.Helper()
 	code, out, _, err := toolchain.New(

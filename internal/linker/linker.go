@@ -222,6 +222,9 @@ func (ld *linkState) mergeAux() {
 			if ib.TLoadIOffset >= 0 {
 				ib.TLoadIOffset += base
 			}
+			if ib.CheckStart >= 0 {
+				ib.CheckStart += base
+			}
 			if ib.TableLen > 0 {
 				ib.TableOff += base
 			}
@@ -355,8 +358,11 @@ func (ld *linkState) pltEntry(name string) int64 {
 		Kind:         module.IBPLT,
 		Func:         "plt." + name,
 		TLoadIOffset: tl,
-		GotSlot:      int(gotAddr),
-		PLTSym:       name,
+		// The PLT check is non-canonical (its retry loop reloads the GOT
+		// entry, §5.2) and is never fused.
+		CheckStart: -1,
+		GotSlot:    int(gotAddr),
+		PLTSym:     name,
 	})
 	return entry
 }

@@ -23,7 +23,7 @@ import (
 
 const (
 	magic      = "MCFI"
-	version    = 1
+	version    = 2
 	secName    = 1
 	secCode    = 2
 	secData    = 3
@@ -152,6 +152,7 @@ func (o *Object) WriteTo(out io.Writer) (int64, error) {
 				sw.u32(uint32(t))
 			}
 			sw.u64(uint64(int64(ib.TLoadIOffset)))
+			sw.u64(uint64(int64(ib.CheckStart)))
 			sw.u64(uint64(int64(ib.GotSlot)))
 			sw.u32(uint32(ib.TableOff))
 			sw.u32(uint32(ib.TableLen))
@@ -500,6 +501,11 @@ func readAux(sr *reader, o *Object) error {
 			return err
 		}
 		ib.TLoadIOffset = int(int64(tl))
+		cs, err := sr.u64()
+		if err != nil {
+			return err
+		}
+		ib.CheckStart = int(int64(cs))
 		gs, err := sr.u64()
 		if err != nil {
 			return err

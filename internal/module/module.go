@@ -130,6 +130,13 @@ type IndirectBranch struct {
 	// imm32 the loader patches with the branch's Bary table index
 	// (instrumented kinds only; -1 if absent).
 	TLoadIOffset int
+	// CheckStart is the code offset of the first instruction (the and32
+	// mask) of the canonical rewrite.CheckSeqSize-byte check transaction
+	// guarding this branch, when the site carries one in the canonical
+	// shape; -1 for uninstrumented sites and non-canonical variants
+	// (the PLT stub reloads the GOT inside its retry loop). A fusing VM
+	// engine may replace the span with one superinstruction.
+	CheckStart int
 	// GotSlot is the data offset of the GOT entry read by an IBPLT
 	// entry (-1 otherwise).
 	GotSlot int

@@ -153,8 +153,10 @@ func (r *Runtime) Dlopen(name string) (int64, error) {
 	}
 
 	if r.Img.Instrumented {
-		// Patch Bary indexes into the freshly loaded code.
+		// Patch Bary indexes into the freshly loaded code, and let the
+		// fused engine know about its check transactions.
 		r.assignBranchIndexes(rebased.IBs)
+		r.registerFusedSites(rebased.IBs)
 	}
 
 	// Verify the patched module before it becomes executable.
@@ -248,6 +250,9 @@ func rebaseAux(in module.AuxInfo, base int) module.AuxInfo {
 		ib.Offset += base
 		if ib.TLoadIOffset >= 0 {
 			ib.TLoadIOffset += base
+		}
+		if ib.CheckStart >= 0 {
+			ib.CheckStart += base
 		}
 		if ib.TableLen > 0 {
 			ib.TableOff += base

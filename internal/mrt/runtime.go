@@ -156,12 +156,35 @@ func New(img *linker.Image, opts Options) (*Runtime, error) {
 		// (the paper's Tary is sized to the code region).
 		r.Tables.SetCovered(int(r.codeEnd))
 		p.Tables = r.Tables
+		// Every completed update transaction invalidates the fused
+		// engine's check-verdict cache: a verdict is only reusable
+		// within one published CFG.
+		r.Tables.OnUpdate(p.BumpCheckEpoch)
 		r.assignBranchIndexes(img.Aux.IBs)
+		r.registerFusedSites(img.Aux.IBs)
 		if err := r.publishCFG(nil); err != nil {
 			return nil, err
 		}
 	}
 	return r, nil
+}
+
+// registerFusedSites tells the VM where the image's canonical check
+// transactions start, so the fused engine can predecode each into one
+// superinstruction. Sites without a canonical span (uninstrumented
+// branches, PLT stubs with their GOT-reloading retry loop) carry
+// CheckStart < 0 and are skipped; the VM byte-verifies every
+// registration at predecode time anyway.
+func (r *Runtime) registerFusedSites(ibs []module.IndirectBranch) {
+	var starts []int64
+	for _, ib := range ibs {
+		if ib.CheckStart > 0 && ib.TLoadIOffset >= 0 {
+			starts = append(starts, int64(ib.CheckStart))
+		}
+	}
+	if len(starts) > 0 {
+		r.Proc.RegisterCheckSites(starts)
+	}
 }
 
 // Output returns everything the guest has written so far (only when

@@ -136,7 +136,7 @@ func (r *Runtime) Syscall(t *vm.Thread, num int) error {
 		return nil
 
 	case visa.SysClock:
-		t.Reg[visa.R0] = r.Proc.Instret() + t.Instret
+		t.Reg[visa.R0] = r.Proc.Instret() + t.PendingInstret()
 		return nil
 
 	case visa.SysSpawn:

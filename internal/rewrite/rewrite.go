@@ -25,6 +25,73 @@ type CheckSite struct {
 	// BranchOffset is the code offset of the final branch instruction
 	// (jmpr/callr/jrestore/ret).
 	BranchOffset int
+	// CheckStart is the code offset of the first instruction of the
+	// check transaction (the and32 mask), i.e. the start of the
+	// CheckSeqSize-byte canonical span that a fusing engine may replace
+	// with one superinstruction (-1 when not instrumented).
+	CheckStart int
+}
+
+// Layout of the canonical check-transaction span emitted by emitCheck.
+// The cached VM engine byte-matches executable code against this shape
+// to install a fused superinstruction; the constants let it locate the
+// loader-patched TLOADI immediate and reproduce the interp engine's
+// fault PCs exactly.
+const (
+	// CheckSeqSize is the byte length of the canonical span, from the
+	// and32 mask through the hlt (exclusive of the final branch).
+	CheckSeqSize = 36
+	// CheckImmOffset is the offset within the span of the TLOADI
+	// 32-bit immediate (the Bary byte index, patched by the loader).
+	CheckImmOffset = 4
+	// CheckTryOffset is the offset within the span of the Try label
+	// (the TLOADI instruction) — where a version-mismatch retry lands.
+	CheckTryOffset = 2
+	// CheckHaltOffset is the offset within the span of the HLT.
+	CheckHaltOffset = 35
+)
+
+// checkTemplate is the canonical byte encoding of one check
+// transaction, built once from emitCheck itself so matching can never
+// drift from emission. The TLOADI immediate bytes
+// [CheckImmOffset, CheckImmOffset+4) are per-site and excluded from
+// comparison.
+var checkTemplate [CheckSeqSize]byte
+
+func init() {
+	a := visa.NewAsm()
+	tl := emitCheck(a)
+	if err := a.Finish(); err != nil {
+		panic(fmt.Sprintf("rewrite: check template: %v", err))
+	}
+	code := a.Code
+	if len(code) != CheckSeqSize {
+		panic(fmt.Sprintf("rewrite: check template is %d bytes, want %d", len(code), CheckSeqSize))
+	}
+	if tl != CheckTryOffset {
+		panic(fmt.Sprintf("rewrite: check template tloadi at %d, want %d", tl, CheckTryOffset))
+	}
+	copy(checkTemplate[:], code)
+}
+
+// MatchCheck reports whether code[off:] begins with the canonical
+// check-transaction byte sequence (ignoring the per-site TLOADI
+// immediate). Non-canonical variants — the PLT stub's check reloads
+// the GOT inside its retry loop, so its JNE displacement differs —
+// fail the match and stay unfused.
+func MatchCheck(code []byte, off int) bool {
+	if off < 0 || off+CheckSeqSize > len(code) {
+		return false
+	}
+	for i := 0; i < CheckSeqSize; i++ {
+		if i >= CheckImmOffset && i < CheckImmOffset+4 {
+			continue
+		}
+		if code[off+i] != checkTemplate[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // seq is a per-assembler label uniquifier.
@@ -98,13 +165,14 @@ func EmitReturn(a *visa.Asm, instrumented bool) CheckSite {
 	if !instrumented {
 		off := a.Pos()
 		a.Emit(visa.Instr{Op: visa.RET})
-		return CheckSite{TLoadIOffset: -1, BranchOffset: off}
+		return CheckSite{TLoadIOffset: -1, BranchOffset: off, CheckStart: -1}
 	}
 	a.Emit(visa.Instr{Op: visa.POP, R1: visa.R11})
+	start := a.Pos()
 	tl := emitCheck(a)
 	off := a.Pos()
 	a.Emit(visa.Instr{Op: visa.JMPR, R1: visa.R11})
-	return CheckSite{TLoadIOffset: tl, BranchOffset: off}
+	return CheckSite{TLoadIOffset: tl, BranchOffset: off, CheckStart: start}
 }
 
 // EmitIndirectCall emits an indirect call through the function-pointer
@@ -116,13 +184,14 @@ func EmitIndirectCall(a *visa.Asm, instrumented bool) CheckSite {
 	if !instrumented {
 		off := a.Pos()
 		a.Emit(visa.Instr{Op: visa.CALLR, R1: visa.R11})
-		return CheckSite{TLoadIOffset: -1, BranchOffset: off}
+		return CheckSite{TLoadIOffset: -1, BranchOffset: off, CheckStart: -1}
 	}
+	start := a.Pos()
 	tl := emitCheck(a)
 	PadForAlignedEnd(a, callrSize)
 	off := a.Pos()
 	a.Emit(visa.Instr{Op: visa.CALLR, R1: visa.R11})
-	return CheckSite{TLoadIOffset: tl, BranchOffset: off}
+	return CheckSite{TLoadIOffset: tl, BranchOffset: off, CheckStart: start}
 }
 
 // EmitTailJump emits an interprocedural indirect jump (indirect tail
@@ -131,12 +200,13 @@ func EmitTailJump(a *visa.Asm, instrumented bool) CheckSite {
 	if !instrumented {
 		off := a.Pos()
 		a.Emit(visa.Instr{Op: visa.JMPR, R1: visa.R11})
-		return CheckSite{TLoadIOffset: -1, BranchOffset: off}
+		return CheckSite{TLoadIOffset: -1, BranchOffset: off, CheckStart: -1}
 	}
+	start := a.Pos()
 	tl := emitCheck(a)
 	off := a.Pos()
 	a.Emit(visa.Instr{Op: visa.JMPR, R1: visa.R11})
-	return CheckSite{TLoadIOffset: tl, BranchOffset: off}
+	return CheckSite{TLoadIOffset: tl, BranchOffset: off, CheckStart: start}
 }
 
 // EmitLongjmp emits the longjmp transfer: target PC in R11, saved SP in
@@ -146,12 +216,13 @@ func EmitLongjmp(a *visa.Asm, instrumented bool) CheckSite {
 	if !instrumented {
 		off := a.Pos()
 		a.Emit(visa.Instr{Op: visa.JRESTORE, R1: visa.R3, R2: visa.R4, R3: visa.R11})
-		return CheckSite{TLoadIOffset: -1, BranchOffset: off}
+		return CheckSite{TLoadIOffset: -1, BranchOffset: off, CheckStart: -1}
 	}
+	start := a.Pos()
 	tl := emitCheck(a)
 	off := a.Pos()
 	a.Emit(visa.Instr{Op: visa.JRESTORE, R1: visa.R3, R2: visa.R4, R3: visa.R11})
-	return CheckSite{TLoadIOffset: tl, BranchOffset: off}
+	return CheckSite{TLoadIOffset: tl, BranchOffset: off, CheckStart: start}
 }
 
 // EmitStoreMask emits the sandbox mask on the address register of an

@@ -79,6 +79,11 @@ type Tables struct {
 	// the program like the paper's code-sized Tary table. Reads may
 	// still probe the whole capacity (uncovered entries are zero).
 	covered atomic.Int64
+	// hooks run at the end of every update transaction, while updMu is
+	// still held — after the new Bary IDs are published. Subscribers
+	// (the VM's fused-check verdict cache) use them to drop state bound
+	// to the previous CFG.
+	hooks []func()
 }
 
 // BaryBase is the byte offset of the Bary table within the table
@@ -122,6 +127,24 @@ func (t *Tables) Version() int { return int(atomic.LoadUint32(&t.version)) }
 
 // Updates returns the number of completed update transactions.
 func (t *Tables) Updates() int64 { return t.updates.Load() }
+
+// OnUpdate subscribes fn to run at the end of every update transaction
+// (Update and Reversion), after the new IDs are published and before
+// the update lock is released. fn must be fast and must not call back
+// into update transactions; it may run concurrently with check
+// transactions, which is exactly the situation it exists to signal.
+func (t *Tables) OnUpdate(fn func()) {
+	t.updMu.Lock()
+	defer t.updMu.Unlock()
+	t.hooks = append(t.hooks, fn)
+}
+
+// notifyUpdate runs the subscribed hooks; the caller holds updMu.
+func (t *Tables) notifyUpdate() {
+	for _, fn := range t.hooks {
+		fn()
+	}
+}
 
 // Retries returns the number of host-side check retries observed.
 func (t *Tables) Retries() int64 { return t.retries.Load() }
@@ -290,6 +313,7 @@ func (t *Tables) Update(getTaryECN, getBaryECN ECNFunc, opts UpdateOpts) {
 	}
 	t.updates.Add(1)
 	t.sinceQuiescence.Add(1)
+	t.notifyUpdate()
 }
 
 // Reversion re-publishes every existing ID under a new version while
@@ -325,6 +349,7 @@ func (t *Tables) Reversion(opts UpdateOpts) {
 	}
 	t.updates.Add(1)
 	t.sinceQuiescence.Add(1)
+	t.notifyUpdate()
 }
 
 // publish copies fresh into dst with atomic stores, optionally fanned

@@ -5,8 +5,6 @@ import (
 	"strings"
 	"sync"
 	"testing"
-
-	"mcfi/internal/visa"
 )
 
 // TestLibcCacheMemoizes: the same flavor compiles libc once; distinct
@@ -145,33 +143,5 @@ func TestBuildReportsFirstErrorInSourceOrder(t *testing.T) {
 	)
 	if err == nil || !strings.Contains(err.Error(), "first_bad") {
 		t.Errorf("want the first source's error, got %v", err)
-	}
-}
-
-// TestDeprecatedWrappersStillWork keeps the pre-Builder surface alive:
-// Config plus the free functions must behave like the Builder they
-// delegate to.
-func TestDeprecatedWrappersStillWork(t *testing.T) {
-	cfg := Config{Profile: visa.Profile32, Instrument: true}
-	src := Source{Name: "m", Text: `int main(void) { printf("ok\n"); return 3; }`}
-	code, out, _, err := Run(cfg, 10_000_000, src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if code != 3 || out != "ok\n" {
-		t.Errorf("code=%d out=%q", code, out)
-	}
-	obj, err := CompileSource(src, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if obj.Profile != visa.Profile32 || !obj.Instrumented {
-		t.Errorf("wrapper lost config: profile=%v instrumented=%v", obj.Profile, obj.Instrumented)
-	}
-	if _, err := CompileLibc(cfg); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := AnalyzeSource(src, true); err != nil {
-		t.Fatal(err)
 	}
 }

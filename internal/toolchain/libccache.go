@@ -9,7 +9,7 @@ import (
 
 // LibcCache memoizes compiled libc modules per (profile,
 // instrumentation) flavor. Every MCFI program links the whole libc, so
-// without memoization each BuildProgram call re-parses and re-compiles
+// without memoization each Builder.Build call re-parses and re-compiles
 // it from scratch — by far the largest fixed cost of regenerating the
 // experiment suite. The cache is safe for concurrent use; parallel
 // builders requesting the same flavor block on one compilation.

@@ -4,89 +4,16 @@
 // examples, tests, and the experiment harness all build programs
 // through this package.
 //
-// The primary surface is the Builder (see builder.go), constructed via
+// The surface is the Builder (see builder.go), constructed via
 // functional options:
 //
 //	b := toolchain.New(toolchain.WithProfile(visa.Profile64),
 //		toolchain.WithInstrumentation())
 //	img, err := b.Build(srcs...)
-//
-// The Config struct and the free functions below are the pre-Builder
-// surface, kept as thin deprecated wrappers.
 package toolchain
-
-import (
-	"mcfi/internal/linker"
-	"mcfi/internal/module"
-	"mcfi/internal/sema"
-	"mcfi/internal/visa"
-)
-
-// Config selects the build flavor.
-//
-// Deprecated: construct a Builder with New and functional options.
-type Config struct {
-	Profile    visa.Profile // default Profile64
-	Instrument bool
-	// NoPrelude skips prepending the libc header (used when compiling
-	// the libc itself or fully self-contained sources).
-	NoPrelude bool
-}
-
-// builder converts the legacy config into an equivalent Builder.
-func (c Config) builder(opts ...Option) *Builder {
-	base := []Option{WithProfile(c.Profile), WithInstrument(c.Instrument)}
-	if c.NoPrelude {
-		base = append(base, WithoutPrelude())
-	}
-	return New(append(base, opts...)...)
-}
 
 // Source is one translation unit.
 type Source struct {
 	Name string
 	Text string
-}
-
-// CompileSource runs parse+sema+codegen on one translation unit and
-// returns its MCFI object module.
-//
-// Deprecated: use Builder.Compile.
-func CompileSource(src Source, cfg Config) (*module.Object, error) {
-	return cfg.builder().Compile(src)
-}
-
-// AnalyzeSource runs parse+sema only, returning the typed unit (the
-// C1/C2 analyzer consumes this).
-//
-// Deprecated: use Builder.Analyze.
-func AnalyzeSource(src Source, withPrelude bool) (*sema.Unit, error) {
-	b := New()
-	if !withPrelude {
-		b = New(WithoutPrelude())
-	}
-	return b.Analyze(src)
-}
-
-// CompileLibc builds the libc module for the given configuration.
-//
-// Deprecated: use Builder.Libc.
-func CompileLibc(cfg Config) (*module.Object, error) {
-	return cfg.builder().Libc()
-}
-
-// BuildProgram compiles the given sources, compiles libc, and
-// statically links everything into an executable image.
-//
-// Deprecated: use Builder.Build.
-func BuildProgram(cfg Config, opts linker.Options, sources ...Source) (*linker.Image, error) {
-	return cfg.builder(WithLinkOptions(opts)).Build(sources...)
-}
-
-// Run builds and executes a program to completion, returning its exit
-// code and captured output.
-//
-// Deprecated: use Builder.Run.
-func Run(cfg Config, maxInstr int64, sources ...Source) (code int64, output string, instret int64, err error) {
-	return cfg.builder().Run(maxInstr, sources...)
 }

@@ -39,13 +39,22 @@ const (
 	EngineCached Engine = iota
 	// EngineInterp decodes raw bytes at every retired instruction.
 	EngineInterp
+	// EngineFused is the cached engine plus check-transaction fusion:
+	// at decode time each registered canonical check sequence is
+	// replaced by one superinstruction executing the whole transaction
+	// in host Go (see fused.go). Retired-instruction counts stay
+	// bit-identical to the other engines.
+	EngineFused
 )
 
 // String names the engine (flag syntax of cmd/mcfi-run and
 // cmd/mcfi-bench).
 func (e Engine) String() string {
-	if e == EngineInterp {
+	switch e {
+	case EngineInterp:
 		return "interp"
+	case EngineFused:
+		return "fused"
 	}
 	return "cached"
 }
@@ -57,8 +66,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineCached, nil
 	case "interp":
 		return EngineInterp, nil
+	case "fused":
+		return EngineFused, nil
 	}
-	return 0, fmt.Errorf("vm: unknown engine %q (want interp or cached)", s)
+	return 0, fmt.Errorf("vm: unknown engine %q (want interp, cached, or fused)", s)
 }
 
 // pageCache holds the predecoded instructions of one guest page,
@@ -98,10 +109,16 @@ func (p *Process) cacheHit(pc int64) (*visa.Instr, int, bool) {
 
 // cacheFill decodes the instruction at pc and publishes it into the
 // page's cache. The caller has already checked that pc is executable.
+// Under EngineFused a registered, byte-verified check transaction is
+// predecoded as one fused superinstruction instead.
 func (p *Process) cacheFill(pc int64) (*visa.Instr, int, error) {
-	ins, n, err := visa.Decode(p.Mem, int(pc))
-	if err != nil {
-		return nil, 0, err
+	ins, n, ok := p.tryFuse(pc)
+	if !ok {
+		var err error
+		ins, n, err = visa.Decode(p.Mem, int(pc))
+		if err != nil {
+			return nil, 0, err
+		}
 	}
 	slot := &p.icache[pc/PageSize]
 	c := slot.Load()

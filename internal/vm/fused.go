@@ -1,0 +1,243 @@
+// Check-transaction fusion: the EngineFused fetch path recognizes the
+// canonical check sequence the rewriter emits before every indirect
+// branch (paper Fig. 4 — and32; Try: tloadi, tload, cmp, je Ok; testb,
+// je Halt; cmpw, jne Try; Halt: hlt) and predecodes the whole
+// 36-byte span as ONE superinstruction that runs the transaction in
+// host Go: one atomic Bary load, one atomic Tary load, the ID compare,
+// and the version-mismatch retry loop. The instrumented program pays
+// one dispatch instead of nine per check, while Instret is credited
+// with the exact number of guest instructions the interp engine would
+// have retired, so the Fig. 5/6 cost metric and the differential tests
+// stay bit-identical.
+//
+// On top of fusion sits a per-site verdict cache keyed by an epoch
+// counter: a site that passed for (epoch, target) skips the table
+// loads entirely until the target changes or the epoch moves. The
+// epoch is bumped by every completed update transaction (via
+// tables.Tables.OnUpdate) and by every page-protection transition, so
+// a cached verdict is only ever reused within one published CFG —
+// the same old-CFG/new-CFG atomicity argument as the paper's §5:
+// a check that reuses a verdict while an update is in flight
+// linearizes before that update. The epoch is 64-bit, so unlike the
+// 14-bit version field it cannot wrap around (no ABA).
+package vm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mcfi/internal/rewrite"
+	"mcfi/internal/visa"
+)
+
+// opFusedCheck is the pseudo-opcode of the fused check transaction. It
+// occupies a hole in the ISA encoding space — visa.Decode rejects the
+// byte, so the opcode can only ever enter the pipeline through a
+// predecoded cache slot installed by tryFuse, never from guest bytes.
+const opFusedCheck = visa.Op(0xF8)
+
+// maxFusedRetries bounds the host-side retry loop of one fused step.
+// The guest loop is unbounded (a check spins until the versions agree,
+// Fig. 4), but an unbounded host loop would be invisible to Run's
+// exit/budget polling; after this many version mismatches the fused
+// step retires its rounds and hands the PC back to the per-instruction
+// engine at Try, which preserves the spin semantics interruptibly.
+const maxFusedRetries = 64
+
+// fusedVerdict is one cached check outcome: at epoch, the branch
+// whose site this is was allowed to reach target (both table loads
+// returned id). Reusing it is sound while the epoch is unchanged — no
+// update transaction has completed since the loads, so they would
+// return the same IDs.
+type fusedVerdict struct {
+	epoch      int64
+	target, id uint32
+}
+
+// fusedSite is the runtime state of one registered check transaction.
+type fusedSite struct {
+	// start is the guest address of the span's first instruction (the
+	// and32 mask).
+	start int64
+	// baryOff is the TLOADI immediate — the Bary byte offset patched
+	// into the code by the loader — read from memory at predecode time
+	// (-1 until the first fill).
+	baryOff atomic.Int64
+	// verdict is the last successful check outcome, nil if none.
+	verdict atomic.Pointer[fusedVerdict]
+}
+
+// fusedState is the Process's fusion state. Sites only accumulate
+// (modules are never unloaded); the slice is copy-on-write under mu so
+// stepFused can index it with one atomic load while Dlopen registers
+// new sites.
+type fusedState struct {
+	mu    sync.Mutex
+	sites atomic.Pointer[[]*fusedSite]
+	index map[int64]int // start address → slice index; guarded by mu
+
+	// epoch invalidates every cached verdict when bumped: wired to
+	// tables update transactions and to page-protection transitions.
+	epoch atomic.Int64
+}
+
+// RegisterCheckSites tells the process where canonical check
+// transactions start (absolute guest addresses of their and32 masks).
+// The fused engine may predecode each into one superinstruction; the
+// other engines ignore the registration. Safe to call while threads
+// run (the dlopen path registers freshly loaded modules). Addresses
+// already registered are skipped; addresses that do not actually hold
+// the canonical byte sequence are harmless — predecode re-verifies
+// with rewrite.MatchCheck and falls back to plain decoding.
+func (p *Process) RegisterCheckSites(starts []int64) {
+	f := &p.fused
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var sites []*fusedSite
+	if cur := f.sites.Load(); cur != nil {
+		sites = append(sites, *cur...)
+	}
+	if f.index == nil {
+		f.index = make(map[int64]int)
+	}
+	for _, s := range starts {
+		if _, dup := f.index[s]; dup || s < 0 {
+			continue
+		}
+		fs := &fusedSite{start: s}
+		fs.baryOff.Store(-1)
+		f.index[s] = len(sites)
+		sites = append(sites, fs)
+	}
+	f.sites.Store(&sites)
+}
+
+// BumpCheckEpoch invalidates every cached check verdict. The runtime
+// subscribes it to tables.Tables.OnUpdate so each completed update
+// transaction kills verdicts bound to the previous CFG.
+func (p *Process) BumpCheckEpoch() { p.fused.epoch.Add(1) }
+
+// CheckEpoch returns the current verdict-cache epoch.
+func (p *Process) CheckEpoch() int64 { return p.fused.epoch.Load() }
+
+// fusedSiteAt returns the registered site starting at pc, if any.
+func (p *Process) fusedSiteAt(pc int64) (int, *fusedSite) {
+	f := &p.fused
+	f.mu.Lock()
+	idx, ok := f.index[pc]
+	f.mu.Unlock()
+	if !ok {
+		return -1, nil
+	}
+	return idx, (*f.sites.Load())[idx]
+}
+
+// tryFuse attempts to predecode the bytes at pc as one fused check
+// transaction. It requires the fused engine, live tables, a registered
+// site, an executable span, and an exact byte match against the
+// canonical sequence (the loader-patched TLOADI immediate excepted) —
+// anything else falls back to ordinary decoding, so a stale or wrong
+// registration can never change semantics.
+func (p *Process) tryFuse(pc int64) (visa.Instr, int, bool) {
+	if p.engine != EngineFused || p.Tables == nil {
+		return visa.Instr{}, 0, false
+	}
+	idx, site := p.fusedSiteAt(pc)
+	if site == nil {
+		return visa.Instr{}, 0, false
+	}
+	end := pc + rewrite.CheckSeqSize
+	if end > int64(len(p.Mem)) || p.Prot(end-1)&visa.ProtExec == 0 {
+		return visa.Instr{}, 0, false
+	}
+	if !rewrite.MatchCheck(p.Mem, int(pc)) {
+		return visa.Instr{}, 0, false
+	}
+	m := p.Mem[pc+rewrite.CheckImmOffset:]
+	imm := uint32(m[0]) | uint32(m[1])<<8 | uint32(m[2])<<16 | uint32(m[3])<<24
+	site.baryOff.Store(int64(imm))
+	return visa.Instr{Op: opFusedCheck, Imm: int64(idx)}, rewrite.CheckSeqSize, true
+}
+
+// stepFused executes one fused check transaction. Step has already
+// retired the and32 (Instret++); this routine retires the rest of the
+// guest instructions the interp engine would have executed, reproducing
+// its architectural effects exactly: registers R9–R11, the comparison
+// flags, the continuation PC, and on a violation the fault PC of the
+// hlt. pc is the span start.
+func (t *Thread) stepFused(pc int64, idx int) error {
+	p := t.P
+	sites := p.fused.sites.Load()
+	if sites == nil || idx < 0 || idx >= len(*sites) {
+		return t.fault(FaultDecode, "fused check slot with no registered site")
+	}
+	site := (*sites)[idx]
+	r := &t.Reg
+
+	// and32 r11 — the masked target is what both the guest tload and
+	// the verdict key see.
+	r[visa.R11] = int64(uint32(r[visa.R11]))
+	target := uint32(r[visa.R11])
+	t.FusedExecs++
+
+	// The epoch MUST be read before the table loads: a verdict records
+	// "the loads said yes at this epoch", so the epoch bound to it may
+	// be older than the loads (the verdict dies early — harmless) but
+	// never newer (an old-CFG pass would survive a version bump).
+	epoch := p.fused.epoch.Load()
+
+	if v := site.verdict.Load(); v != nil && v.epoch == epoch && v.target == target {
+		// Cached verdict: architecturally identical to a zero-retry
+		// pass — tloadi, tload, cmp, je Ok — without the table loads.
+		t.FusedVerdictHits++
+		idv := int64(v.id)
+		r[visa.R10], r[visa.R9] = idv, idv
+		t.fa, t.fb, t.fFloat = idv, idv, false
+		t.Instret += 4
+		t.PC = pc + rewrite.CheckSeqSize
+		return nil
+	}
+
+	baryOff := site.baryOff.Load()
+	for retries := 0; ; retries++ {
+		// Try: tloadi r10; tload r9, r11.
+		bid := p.Tables.Load32(baryOff)
+		tid := p.Tables.Load32(int64(target))
+		r[visa.R10], r[visa.R9] = int64(bid), int64(tid)
+
+		if bid == tid {
+			// cmp; je Ok (taken): 4 instructions this round.
+			t.fa, t.fb, t.fFloat = int64(bid), int64(tid), false
+			t.Instret += int64(8*retries) + 4
+			t.PC = pc + rewrite.CheckSeqSize
+			site.verdict.Store(&fusedVerdict{epoch: epoch, target: target, id: bid})
+			return nil
+		}
+		if tid&1 == 0 {
+			// testb finds the validity bit clear; je Halt (taken); hlt:
+			// 7 instructions this round.
+			t.fa, t.fb, t.fFloat = 0, 0, false
+			t.Instret += int64(8*retries) + 7
+			t.PC = pc + rewrite.CheckHaltOffset
+			return t.fault(FaultCFI, "hlt")
+		}
+		t.fa, t.fb, t.fFloat = int64(bid&0xFFFF), int64(tid&0xFFFF), false
+		if bid&0xFFFF == tid&0xFFFF {
+			// Same version, different ECN — a true violation: cmpw;
+			// jne Try falls through; hlt: 9 instructions this round.
+			t.Instret += int64(8*retries) + 9
+			t.PC = pc + rewrite.CheckHaltOffset
+			return t.fault(FaultCFI, "hlt")
+		}
+		// Version mismatch: jne Try (taken), 8 instructions, go again.
+		if retries+1 >= maxFusedRetries {
+			// An update storm (or an unpublished Bary ID) keeps the
+			// versions apart. Retire the rounds and resume per-
+			// instruction at Try so the spin stays interruptible by
+			// Run's exit and budget polling.
+			t.Instret += int64(8 * (retries + 1))
+			t.PC = pc + rewrite.CheckTryOffset
+			return nil
+		}
+	}
+}

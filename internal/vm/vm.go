@@ -109,6 +109,10 @@ type Process struct {
 	engine Engine
 	icache []atomic.Pointer[pageCache]
 
+	// fused holds the registered check-transaction sites, their verdict
+	// cache, and the invalidation epoch (see fused.go).
+	fused fusedState
+
 	exited   atomic.Bool
 	exitCode atomic.Int64
 	instret  atomic.Int64
@@ -145,6 +149,9 @@ func (p *Process) Protect(addr, size int64, prot uint32) {
 		atomic.StoreUint32(&p.perms[pg], prot)
 	}
 	p.invalidate(first, last)
+	// Code (and so the meaning of a cached check verdict) may have
+	// changed across the transition.
+	p.BumpCheckEpoch()
 }
 
 // Prot returns the protection bits of the page containing addr.
@@ -184,6 +191,12 @@ func (p *Process) Exited() (bool, int64) {
 // completion).
 func (p *Process) Instret() int64 { return p.instret.Load() }
 
+// PendingInstret returns instructions retired by this thread but not
+// yet flushed to the process-wide counter, so
+// P.Instret()+t.PendingInstret() counts this thread exactly regardless
+// of the engine's flush cadence.
+func (t *Thread) PendingInstret() int64 { return t.Instret - t.flushed }
+
 // RegisterThread allocates a thread id and its join channel.
 func (p *Process) RegisterThread() (int64, chan int64) {
 	tid := p.nextTID.Add(1)
@@ -220,6 +233,15 @@ type Thread struct {
 
 	// Instret counts instructions retired by this thread.
 	Instret int64
+	// flushed is the portion of Instret already added to the
+	// process-wide counter (Run's periodic flush watermark).
+	flushed int64
+
+	// FusedExecs counts fused check transactions executed by this
+	// thread; FusedVerdictHits counts the subset served from the
+	// verdict cache without touching the tables.
+	FusedExecs       int64
+	FusedVerdictHits int64
 }
 
 // NewThread creates a thread with its stack pointer set.
@@ -363,21 +385,27 @@ func init() {
 
 // Run executes until process exit, a fault, or maxInstr instructions
 // (0 = unlimited). It returns ErrExited on clean process exit.
+//
+// The flush/poll cadence uses a watermark rather than Instret%1024: a
+// fused step retires several guest instructions at once, so Instret
+// skips values and an exact-multiple test would miss flushes.
 func (t *Thread) Run(maxInstr int64) error {
 	defer func() {
-		t.P.instret.Add(t.Instret % 1024)
+		t.P.instret.Add(t.Instret - t.flushed)
+		t.flushed = t.Instret
 	}()
+	poll := true
 	for {
 		if maxInstr > 0 && t.Instret >= maxInstr {
 			return fmt.Errorf("vm: instruction budget exhausted (%d)", maxInstr)
 		}
-		if t.Instret%1024 == 0 {
+		if poll || t.Instret-t.flushed >= 1024 {
 			if t.P.exited.Load() {
 				return ErrExited
 			}
-			if t.Instret > 0 {
-				t.P.instret.Add(1024)
-			}
+			t.P.instret.Add(t.Instret - t.flushed)
+			t.flushed = t.Instret
+			poll = false
 		}
 		if err := t.Step(); err != nil {
 			return err
@@ -390,7 +418,7 @@ func (t *Thread) Step() error {
 	pc := t.PC
 	var ins *visa.Instr
 	var size int
-	if t.P.engine == EngineCached {
+	if t.P.engine != EngineInterp {
 		// Fast path: a valid cache entry implies the page was
 		// executable when it was filled and no protection transition
 		// has happened since (Protect invalidates on every call), so
@@ -425,6 +453,10 @@ func (t *Thread) Step() error {
 	case visa.NOP:
 	case visa.HLT:
 		return t.fault(FaultCFI, "hlt")
+	case opFusedCheck:
+		// The fused check transaction manages PC, flags, and Instret
+		// itself (Instret++ above covered its leading and32).
+		return t.stepFused(pc, int(ins.Imm))
 	case visa.MOVI:
 		r[ins.R1] = ins.Imm
 	case visa.MOV:
