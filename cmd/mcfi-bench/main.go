@@ -7,11 +7,15 @@
 //	mcfi-bench -exp fig5 -profile 32
 //	mcfi-bench -exp table3 -scale 1.0
 //	mcfi-bench -exp fig5 -engine fused -json BENCH_fig5.json
+//	mcfi-bench -diff -threshold 30 old.json new.json
 //
 // Experiments: fig5, fig6, stm, space, table1, table2, table3, air,
 // rop, cfggen, sanity, all. With -json, per-experiment results (and
 // per-workload runs for fig5/fig6) are also written as a
-// machine-readable snapshot for perf-trajectory tracking.
+// machine-readable snapshot for perf-trajectory tracking. With -diff,
+// no experiments run: the two snapshot files given as positional
+// arguments are compared row-by-row and the process exits non-zero if
+// any matched row's Minstr/s dropped by more than -threshold percent.
 package main
 
 import (
@@ -28,22 +32,9 @@ import (
 	"mcfi/internal/workload"
 )
 
-// record is one row of the -json snapshot: either a whole experiment
-// (Benchmark empty, wall time only) or one workload run within fig5 or
-// fig6 (retired instructions and throughput included).
-type record struct {
-	Experiment   string  `json:"experiment"`
-	Benchmark    string  `json:"benchmark,omitempty"`
-	Engine       string  `json:"engine"`
-	Profile      string  `json:"profile"`
-	Instrumented bool    `json:"instrumented"`
-	WallSecs     float64 `json:"wall_secs"`
-	Instret      int64   `json:"instret,omitempty"`
-	MinstrPerSec float64 `json:"minstr_per_sec,omitempty"`
-}
-
-// records accumulates the -json snapshot across experiments.
-var records []record
+// records accumulates the -json snapshot across experiments (schema:
+// experiments.BenchRecord, shared with the -diff reader).
+var records []experiments.BenchRecord
 
 // recordOverheadRows flattens fig5/fig6 rows into per-run records.
 func recordOverheadRows(exp string, c experiments.Config, rows []experiments.OverheadRow) {
@@ -52,14 +43,14 @@ func recordOverheadRows(exp string, c experiments.Config, rows []experiments.Ove
 			continue
 		}
 		records = append(records,
-			record{
+			experiments.BenchRecord{
 				Experiment: exp, Benchmark: r.Name,
 				Engine: c.Engine.String(), Profile: c.Profile.String(),
 				Instrumented: false, WallSecs: r.BaselineSecs,
 				Instret:      r.Baseline,
 				MinstrPerSec: experiments.MinstrPerSec(r.Baseline, r.BaselineSecs),
 			},
-			record{
+			experiments.BenchRecord{
 				Experiment: exp, Benchmark: r.Name,
 				Engine: c.Engine.String(), Profile: c.Profile.String(),
 				Instrumented: true, WallSecs: r.MCFISecs,
@@ -79,7 +70,13 @@ func main() {
 	engineF := flag.String("engine", "cached", "VM execution engine: interp, cached, or fused")
 	jobs := flag.Int("jobs", 0, "worker-pool width for builds and workloads (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write per-experiment results to this file as JSON")
+	diffMode := flag.Bool("diff", false, "compare two -json snapshots: mcfi-bench -diff old.json new.json")
+	threshold := flag.Float64("threshold", 25, "with -diff, fail if any Minstr/s drop exceeds this percent")
 	flag.Parse()
+
+	if *diffMode {
+		os.Exit(runDiff(flag.Args(), *threshold))
+	}
 
 	engine, err := vm.ParseEngine(*engineF)
 	if err != nil {
@@ -109,7 +106,7 @@ func main() {
 		}
 		secs := time.Since(start).Seconds()
 		fmt.Printf("[%s wall time: %.2fs]\n\n", name, secs)
-		records = append(records, record{
+		records = append(records, experiments.BenchRecord{
 			Experiment: name, Engine: engine.String(),
 			Profile: c.Profile.String(), Instrumented: true,
 			WallSecs: secs,
@@ -140,6 +137,37 @@ func main() {
 		}
 		fmt.Printf("wrote %d result records to %s\n", len(records), *jsonPath)
 	}
+}
+
+// runDiff implements -diff: compare two snapshots and return the
+// process exit code (0 = no regression past the threshold, 1 =
+// regression, 2 = usage/IO error).
+func runDiff(args []string, thresholdPct float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: mcfi-bench -diff [-threshold pct] old.json new.json")
+		return 2
+	}
+	oldRecs, err := experiments.ReadSnapshot(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcfi-bench:", err)
+		return 2
+	}
+	newRecs, err := experiments.ReadSnapshot(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcfi-bench:", err)
+		return 2
+	}
+	d := experiments.DiffSnapshots(oldRecs, newRecs)
+	fmt.Printf("diff %s -> %s (threshold %.0f%%)\n", args[0], args[1], thresholdPct)
+	fmt.Print(d.Format(thresholdPct))
+	regs := d.Regressions(thresholdPct)
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "mcfi-bench: %d experiment(s) regressed more than %.0f%%\n",
+			len(regs), thresholdPct)
+		return 1
+	}
+	fmt.Printf("no regressions past %.0f%%\n", thresholdPct)
+	return 0
 }
 
 func sanity(c experiments.Config) error {

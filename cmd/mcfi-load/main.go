@@ -1,0 +1,86 @@
+// mcfi-load drives a running mcfi-serve instance with a mixed
+// workload set at a fixed concurrency and reports serving throughput:
+// jobs/s, aggregate guest Minstr/s (end-to-end and execution-only),
+// build-cache hit rate, and backpressure rejections. With -json it
+// writes the run as a BENCH_*_serving.json snapshot.
+//
+// Usage:
+//
+//	mcfi-load -addr http://127.0.0.1:8377 -c 8 -n 36
+//	mcfi-load -workloads qsort,matmul -work 500 -json BENCH_serving.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"mcfi/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8377", "base URL of the mcfi-serve instance")
+	concurrency := flag.Int("c", 8, "in-flight requests")
+	requests := flag.Int("n", 0, "total jobs to run (0 = 3 per workload)")
+	workloads := flag.String("workloads", "", "comma-separated workload names (default: all)")
+	work := flag.Int("work", 0, "override workload iteration count (0 = reference inputs)")
+	testWork := flag.Bool("test-work", false, "use each workload's reduced test scale")
+	engine := flag.String("engine", "fused", "VM engine for submitted jobs: interp, cached, or fused")
+	baseline := flag.Bool("baseline", false, "run uninstrumented baselines instead of MCFI builds")
+	maxInstr := flag.Int64("max-instr", 0, "per-job instruction budget (0 = server default)")
+	timeoutMs := flag.Int64("timeout-ms", 0, "per-job wall-clock limit in ms (0 = server default)")
+	jsonPath := flag.String("json", "", "write the LoadReport snapshot to this file")
+	flag.Parse()
+
+	cfg := server.LoadConfig{
+		BaseURL:     strings.TrimRight(*addr, "/"),
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		Work:        *work,
+		UseTestWork: *testWork,
+		Engine:      *engine,
+		Baseline:    *baseline,
+		MaxInstr:    *maxInstr,
+		TimeoutMs:   *timeoutMs,
+	}
+	if *workloads != "" {
+		for _, w := range strings.Split(*workloads, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				cfg.Workloads = append(cfg.Workloads, w)
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	rep, err := server.RunLoad(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcfi-load:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Summary())
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcfi-load: marshal report:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mcfi-load: write report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote serving snapshot to %s\n", *jsonPath)
+	}
+
+	if bad := rep.Requests - int(rep.Statuses[server.StatusOK]); bad > 0 {
+		fmt.Fprintf(os.Stderr, "mcfi-load: %d of %d jobs did not complete ok\n", bad, rep.Requests)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+package mrt_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"mcfi/internal/mrt"
+	"mcfi/internal/toolchain"
+	"mcfi/internal/vm"
+)
+
+// TestRunContextTimeoutInterruptsGuest: a guest spinning forever is
+// stopped by context expiry, RunContext returns vm.ErrCancelled (not a
+// CFI fault), and no goroutine keeps executing the guest.
+func TestRunContextTimeoutInterruptsGuest(t *testing.T) {
+	src := `
+int main(void) {
+	while (1) {}
+	return 0;
+}`
+	img := build(t, toolchain.New(toolchain.WithInstrumentation()),
+		toolchain.Source{Name: "spin", Text: src})
+	rt := newRT(t, img, mrt.Options{})
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := rt.RunContext(ctx, 0)
+	if !errors.Is(err, vm.ErrCancelled) {
+		t.Fatalf("RunContext = %v, want vm.ErrCancelled", err)
+	}
+	var f *vm.Fault
+	if errors.As(err, &f) {
+		t.Fatalf("cancellation misclassified as fault %v", f)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancellation took %v", el)
+	}
+	// The watcher and all guest goroutines are reaped before return.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, n)
+	}
+}
+
+// TestRunContextCancelsSpawnedThreads: when the main thread is torn
+// down, spawned guest threads (including one blocked in thread_join)
+// are cancelled too and their host goroutines exit.
+func TestRunContextCancelsSpawnedThreads(t *testing.T) {
+	src := `
+long work(long arg) {
+	while (1) {}
+	return arg;
+}
+int main(void) {
+	long t1 = thread_spawn(work, 1);
+	thread_join(t1);   // blocks forever: worker never exits
+	return 0;
+}`
+	img := build(t, toolchain.New(toolchain.WithInstrumentation()),
+		toolchain.Source{Name: "spinthreads", Text: src})
+	rt := newRT(t, img, mrt.Options{})
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := rt.RunContext(ctx, 0)
+	if !errors.Is(err, vm.ErrCancelled) {
+		t.Fatalf("RunContext = %v, want vm.ErrCancelled", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, n)
+	}
+}
+
+// TestBudgetExhaustionTearsDownThreads: when the main thread's budget
+// runs out while spawned threads spin, Run still returns (the runtime
+// cancels the siblings rather than blocking on threadWG).
+func TestBudgetExhaustionTearsDownThreads(t *testing.T) {
+	src := `
+long work(long arg) {
+	while (1) {}
+	return arg;
+}
+int main(void) {
+	thread_spawn(work, 1);
+	while (1) {}
+	return 0;
+}`
+	img := build(t, toolchain.New(toolchain.WithInstrumentation()),
+		toolchain.Source{Name: "budgetspin", Text: src})
+	rt := newRT(t, img, mrt.Options{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := rt.Run(5_000_000)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, vm.ErrBudget) {
+			t.Fatalf("Run = %v, want vm.ErrBudget", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run blocked on spinning sibling threads after budget exhaustion")
+	}
+}

@@ -7,6 +7,7 @@ package mrt
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -358,22 +359,58 @@ func (r *Runtime) observeSyscall(th *vm.Thread) {
 // Run executes the program to completion (all spawned threads joined
 // or the process exited) and returns the exit code.
 func (r *Runtime) Run(maxInstr int64) (int64, error) {
+	return r.RunContext(context.Background(), maxInstr)
+}
+
+// RunContext is Run with host-side cancellation plumbed into the guest:
+// when ctx is done, every guest thread is cancelled (vm.Process.Cancel)
+// and the call returns vm.ErrCancelled within the VM's poll window —
+// no goroutine keeps running the guest afterwards. The watcher
+// goroutine is always reaped before returning.
+//
+// Whenever the main thread stops abnormally (fault, budget, cancel),
+// the rest of the process is cancelled too, so spawned guest threads
+// cannot outlive the call and leak their host goroutines.
+func (r *Runtime) RunContext(ctx context.Context, maxInstr int64) (int64, error) {
 	t, err := r.MainThread()
 	if err != nil {
 		return -1, err
 	}
-	err = t.Run(maxInstr)
-	r.threadWG.Wait()
-	if err == vm.ErrExited {
-		_, code := r.Proc.Exited()
-		return code, nil
+	watchDone := make(chan struct{})
+	stopWatch := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-ctx.Done():
+				r.Proc.Cancel()
+			case <-stopWatch:
+			}
+		}()
+	} else {
+		close(watchDone)
 	}
-	if err == nil {
+	err = t.Run(maxInstr)
+	if err != nil && err != vm.ErrExited {
+		// Abnormal stop: tear down sibling threads so threadWG.Wait
+		// cannot block on a still-spinning guest.
+		r.Proc.Cancel()
+	}
+	r.threadWG.Wait()
+	close(stopWatch)
+	<-watchDone
+	if err == nil || err == vm.ErrExited {
 		_, code := r.Proc.Exited()
 		return code, nil
 	}
 	return -1, err
 }
+
+// Cancel stops every guest thread of the runtime (idempotent).
+func (r *Runtime) Cancel() { r.Proc.Cancel() }
+
+// CheckStats snapshots the process's check-transaction counters.
+func (r *Runtime) CheckStats() vm.CheckStats { return r.Proc.CheckStatsSnapshot() }
 
 // Instret returns total retired instructions (all threads).
 func (r *Runtime) Instret() int64 { return r.Proc.Instret() }

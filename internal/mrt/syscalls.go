@@ -154,7 +154,15 @@ func (r *Runtime) Syscall(t *vm.Thread, num int) error {
 			t.Reg[visa.R0] = -1
 			return nil
 		}
-		t.Reg[visa.R0] = <-ch
+		// A join is a host-side block: it must also unblock on
+		// cancellation, or a timeout could never free a thread joining
+		// a tid that will never deliver.
+		select {
+		case v := <-ch:
+			t.Reg[visa.R0] = v
+		case <-r.Proc.CancelChan():
+			return vm.ErrCancelled
+		}
 		return nil
 
 	case visa.SysYield:

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mcfi/internal/linker"
+)
+
+// BuildCache is a content-addressed, singleflight cache of linked
+// images, keyed by toolchain.Builder.Fingerprint. Concurrent Gets for
+// the same key share ONE build: the first caller compiles while the
+// rest block on the entry's ready channel, so a burst of identical
+// jobs (the common serving pattern — many tenants running the same
+// workload) costs one compile and N-1 cache hits.
+//
+// Failed builds are cached too: compilation is deterministic, so a
+// source that failed once fails forever, and re-compiling it per
+// request would hand hostile tenants a cheap CPU-burn primitive.
+type BuildCache struct {
+	mu      sync.Mutex
+	entries map[string]*buildEntry
+	// order is the FIFO eviction queue (oldest first). Entries are
+	// only evicted once built, so a key is never in flight twice.
+	order []string
+	max   int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	builds atomic.Int64
+}
+
+type buildEntry struct {
+	ready chan struct{} // closed when img/err are final
+	img   *linker.Image
+	err   error
+}
+
+// DefaultCacheEntries bounds the cache when the config does not.
+const DefaultCacheEntries = 256
+
+// NewBuildCache returns a cache holding at most max images (<= 0 means
+// DefaultCacheEntries).
+func NewBuildCache(max int) *BuildCache {
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	return &BuildCache{entries: map[string]*buildEntry{}, max: max}
+}
+
+// Get returns the image for key, building it with build() if no entry
+// exists. The boolean reports whether the result came from the cache
+// (including waiting on another caller's in-flight build — the build
+// itself was shared, which is what the hit metric means).
+func (c *BuildCache) Get(key string, build func() (*linker.Image, error)) (*linker.Image, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.ready
+		return e.img, true, e.err
+	}
+	e := &buildEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	c.evictLocked()
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	c.builds.Add(1)
+	e.img, e.err = build()
+	close(e.ready)
+	return e.img, false, e.err
+}
+
+// evictLocked drops the oldest BUILT entries until the cache fits.
+// In-flight entries are skipped (waiters hold a pointer to them; the
+// map entry must stay so duplicates keep coalescing).
+func (c *BuildCache) evictLocked() {
+	for len(c.entries) > c.max {
+		evicted := false
+		for i, k := range c.order {
+			e := c.entries[k]
+			select {
+			case <-e.ready:
+			default:
+				continue // still building
+			}
+			delete(c.entries, k)
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything in flight; over-full transiently
+		}
+	}
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Builds  int64   `json:"builds"`
+	Entries int     `json:"entries"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Stats snapshots the counters.
+func (c *BuildCache) Stats() CacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	h, m := c.hits.Load(), c.misses.Load()
+	s := CacheStats{Hits: h, Misses: m, Builds: c.builds.Load(), Entries: n}
+	if h+m > 0 {
+		s.HitRate = float64(h) / float64(h+m)
+	}
+	return s
+}

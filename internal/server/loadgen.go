@@ -1,0 +1,270 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mcfi/internal/workload"
+)
+
+// LoadConfig drives a load run against a serving endpoint.
+type LoadConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// Concurrency is the number of in-flight requests (default 8).
+	Concurrency int
+	// Requests is the total jobs to complete (default 3 per workload).
+	Requests int
+	// Workloads cycles through these benchmark names (default: all 12).
+	Workloads []string
+	// Work overrides the iteration count; 0 = reference inputs;
+	// UseTestWork uses each workload's reduced test scale instead.
+	Work        int
+	UseTestWork bool
+	// Engine/Baseline/MaxInstr/TimeoutMs pass through to every job.
+	Engine    string
+	Baseline  bool
+	MaxInstr  int64
+	TimeoutMs int64
+	// Client overrides the HTTP client (default: 5-minute timeout).
+	Client *http.Client
+}
+
+// LoadReport is the serving-throughput snapshot a load run emits
+// (the BENCH_*_serving.json schema).
+type LoadReport struct {
+	Kind        string   `json:"kind"` // "mcfi-serve-load"
+	Concurrency int      `json:"concurrency"`
+	Requests    int      `json:"requests"`
+	Workloads   []string `json:"workloads"`
+	Engine      string   `json:"engine"`
+
+	WallSecs     float64 `json:"wall_secs"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	GuestInstret int64   `json:"guest_instret"`
+	// MinstrPerSecWall is end-to-end serving throughput: aggregate
+	// retired guest instructions over the whole run's wall time
+	// (queueing, builds, and cache hits included).
+	MinstrPerSecWall float64 `json:"minstr_per_sec_wall"`
+	// MinstrPerSecExec is the server's execution-only throughput from
+	// its /metrics (instret over summed per-job run time).
+	MinstrPerSecExec float64 `json:"minstr_per_sec_exec"`
+
+	CacheHitRate float64          `json:"cache_hit_rate"`
+	Rejected     int64            `json:"rejected_429"`
+	Statuses     map[string]int64 `json:"statuses"`
+	// ServerMetrics is the endpoint's final /metrics document.
+	ServerMetrics *Metrics `json:"server_metrics,omitempty"`
+}
+
+// RunLoad hammers the endpoint with a mixed workload set at the
+// configured concurrency until Requests jobs complete, then snapshots
+// the server's metrics. Queue-full rejections (HTTP 429) are counted
+// and retried with backoff — backpressure is an expected, measured
+// outcome, not a failure. Any transport-level error aborts the run.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if len(cfg.Workloads) == 0 {
+		for _, w := range workload.All() {
+			cfg.Workloads = append(cfg.Workloads, w.Name)
+		}
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 3 * len(cfg.Workloads)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+
+	rep := &LoadReport{
+		Kind:        "mcfi-serve-load",
+		Concurrency: cfg.Concurrency,
+		Requests:    cfg.Requests,
+		Workloads:   cfg.Workloads,
+		Engine:      cfg.Engine,
+		Statuses:    map[string]int64{},
+	}
+
+	reqOf := func(i int) JobRequest {
+		name := cfg.Workloads[i%len(cfg.Workloads)]
+		work := cfg.Work
+		if cfg.UseTestWork {
+			if w, ok := workload.ByName(name); ok {
+				work = w.TestWork
+			}
+		}
+		return JobRequest{
+			Workload: name, Work: work,
+			Engine: cfg.Engine, Baseline: cfg.Baseline,
+			MaxInstr: cfg.MaxInstr, TimeoutMs: cfg.TimeoutMs,
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		hits     int64
+		results  int64
+	)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := postJob(ctx, client, cfg.BaseURL, reqOf(i), &rep.Rejected, &mu)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				results++
+				rep.Statuses[res.Status]++
+				rep.GuestInstret += res.Instret
+				if res.BuildCacheHit {
+					hits++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			i = cfg.Requests
+		}
+	}
+	close(idx)
+	wg.Wait()
+	rep.WallSecs = time.Since(start).Seconds()
+	if firstErr != nil {
+		return rep, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+
+	rep.JobsPerSec = float64(results) / rep.WallSecs
+	if results > 0 {
+		rep.CacheHitRate = float64(hits) / float64(results)
+	}
+	if rep.WallSecs > 0 {
+		rep.MinstrPerSecWall = float64(rep.GuestInstret) / rep.WallSecs / 1e6
+	}
+
+	m, err := fetchMetrics(ctx, client, cfg.BaseURL)
+	if err == nil {
+		rep.ServerMetrics = m
+		rep.MinstrPerSecExec = m.Exec.MinstrPerSec
+	}
+	return rep, nil
+}
+
+// postJob POSTs one job, retrying 429s with backoff (each rejection is
+// counted under the caller's lock).
+func postJob(ctx context.Context, client *http.Client, base string, jr JobRequest, rejected *int64, mu *sync.Mutex) (*JobResult, error) {
+	body, err := json.Marshal(jr)
+	if err != nil {
+		return nil, err
+	}
+	backoff := 5 * time.Millisecond
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/run", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var res JobResult
+			if err := json.Unmarshal(data, &res); err != nil {
+				return nil, fmt.Errorf("bad /run response: %v", err)
+			}
+			return &res, nil
+		case http.StatusTooManyRequests:
+			mu.Lock()
+			*rejected++
+			mu.Unlock()
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if backoff < 200*time.Millisecond {
+				backoff *= 2
+			}
+		default:
+			return nil, fmt.Errorf("POST /run: %s: %s", resp.Status, bytes.TrimSpace(data))
+		}
+	}
+}
+
+func fetchMetrics(ctx context.Context, client *http.Client, base string) (*Metrics, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Summary renders the report as the human-readable table mcfi-load
+// prints.
+func (r *LoadReport) Summary() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "serving load: %d jobs, concurrency %d, %d workloads, %.2fs wall\n",
+		r.Requests, r.Concurrency, len(r.Workloads), r.WallSecs)
+	fmt.Fprintf(&b, "  throughput: %.2f jobs/s, %.2f Minstr/s end-to-end, %.2f Minstr/s exec\n",
+		r.JobsPerSec, r.MinstrPerSecWall, r.MinstrPerSecExec)
+	fmt.Fprintf(&b, "  build cache: %.0f%% hit rate; backpressure: %d rejections retried\n",
+		100*r.CacheHitRate, r.Rejected)
+	var keys []string
+	for k := range r.Statuses {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(&b, "  outcomes:")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, r.Statuses[k])
+	}
+	fmt.Fprintln(&b)
+	if m := r.ServerMetrics; m != nil {
+		fmt.Fprintf(&b, "  server: %d accepted, %d completed, %d CFI violations, %d timeouts, %d checks (%d verdict-cache hits)\n",
+			m.Jobs.Accepted, m.Jobs.Completed, m.Jobs.CFIViolations,
+			m.Jobs.Timeouts, m.Exec.CheckExecs, m.Exec.VerdictHits)
+	}
+	return b.String()
+}

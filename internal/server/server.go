@@ -1,0 +1,600 @@
+// Package server is the MCFI execution service: a long-running,
+// multi-tenant front end over the toolchain + runtime + VM stack.
+// Jobs (a named workload or raw MiniC source) are compiled through a
+// content-addressed build cache, then executed each in its own
+// sandboxed vm.Process on a bounded worker pool with per-job
+// instruction budgets and wall-clock timeouts. Admission is a
+// depth-limited queue — overflow is refused immediately (HTTP 429) —
+// and shutdown is a graceful drain: stop admitting, finish or cancel
+// in-flight jobs, keep /metrics readable throughout.
+//
+// The point of the service (vs. the one-shot CLIs) is that MCFI's
+// policy machinery keeps enforcing while untrusted code runs
+// continuously: enforcement outcomes — clean exit, CFI violation,
+// budget exhaustion, timeout — are first-class, distinguishable
+// results in the API, and a violating job never poisons its worker.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcfi/internal/linker"
+	"mcfi/internal/mrt"
+	"mcfi/internal/toolchain"
+	"mcfi/internal/visa"
+	"mcfi/internal/vm"
+	"mcfi/internal/workload"
+)
+
+// Job statuses: every completed job carries exactly one.
+const (
+	StatusOK         = "ok"               // clean guest exit (see ExitCode)
+	StatusCFI        = "cfi_violation"    // halted check transaction
+	StatusFault      = "fault"            // non-CFI guest fault
+	StatusTimeout    = "timeout"          // wall-clock deadline cancelled the run
+	StatusCancelled  = "cancelled"        // caller went away or server drained
+	StatusBudget     = "budget_exhausted" // instruction budget ran out
+	StatusBuildError = "build_error"      // source failed to compile/link
+)
+
+// Submission errors.
+var (
+	// ErrBusy: the admission queue is full (backpressure; HTTP 429).
+	ErrBusy = errors.New("server: queue full")
+	// ErrDraining: the server no longer admits jobs (HTTP 503).
+	ErrDraining = errors.New("server: draining")
+)
+
+// JobRequest is one execution request.
+type JobRequest struct {
+	// Workload names a built-in benchmark (workload.All); Work
+	// overrides its iteration count (0 = reference input). Mutually
+	// exclusive with Source.
+	Workload string `json:"workload,omitempty"`
+	Work     int    `json:"work,omitempty"`
+	// Source is raw MiniC text compiled as one translation unit; Name
+	// labels it in diagnostics (default "job").
+	Source string `json:"source,omitempty"`
+	Name   string `json:"name,omitempty"`
+	// Baseline skips MCFI instrumentation; Profile selects 32/64
+	// (default 64); Engine selects interp/cached/fused (default fused).
+	Baseline bool   `json:"baseline,omitempty"`
+	Profile  int    `json:"profile,omitempty"`
+	Engine   string `json:"engine,omitempty"`
+	// MaxInstr caps retired guest instructions (0 = server default);
+	// TimeoutMs caps wall time (0 = server default).
+	MaxInstr  int64 `json:"max_instr,omitempty"`
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// FaultInfo describes a guest fault in a result.
+type FaultInfo struct {
+	Kind string `json:"kind"`
+	PC   int64  `json:"pc"`
+	Msg  string `json:"msg"`
+}
+
+// JobResult is the outcome of one completed job.
+type JobResult struct {
+	Status        string     `json:"status"`
+	ExitCode      int64      `json:"exit_code"`
+	Instret       int64      `json:"instret"`
+	BuildCacheHit bool       `json:"build_cache_hit"`
+	QueueMs       float64    `json:"queue_ms"`
+	BuildMs       float64    `json:"build_ms"`
+	RunMs         float64    `json:"run_ms"`
+	Output        string     `json:"output,omitempty"`
+	Error         string     `json:"error,omitempty"`
+	Fault         *FaultInfo `json:"fault,omitempty"`
+}
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the execution pool width (default GOMAXPROCS-ish 4).
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet running; overflow is
+	// rejected with ErrBusy (default 2×Workers).
+	QueueDepth int
+	// CacheEntries bounds the build cache (default DefaultCacheEntries).
+	CacheEntries int
+	// DefaultMaxInstr is the per-job instruction budget when a request
+	// does not set one (default 2e9). <0 disables the default.
+	DefaultMaxInstr int64
+	// DefaultTimeout is the per-job wall-clock limit when a request
+	// does not set one (default 60s).
+	DefaultTimeout time.Duration
+	// MaxOutputBytes truncates captured guest output (default 1 MiB).
+	MaxOutputBytes int64
+	// BuildJobs bounds per-build compile concurrency (default 1: the
+	// pool itself provides the parallelism).
+	BuildJobs int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.DefaultMaxInstr == 0 {
+		c.DefaultMaxInstr = 2_000_000_000
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxOutputBytes <= 0 {
+		c.MaxOutputBytes = 1 << 20
+	}
+	if c.BuildJobs <= 0 {
+		c.BuildJobs = 1
+	}
+}
+
+// job is one queued request plus its completion signal.
+type job struct {
+	req      JobRequest
+	ctx      context.Context
+	queuedAt time.Time
+	res      JobResult
+	done     chan struct{}
+}
+
+// Server is one running MCFI execution service.
+type Server struct {
+	cfg   Config
+	cache *BuildCache
+	queue chan *job
+	start time.Time
+
+	// admitMu orders Submit's enqueue against Drain's close(queue):
+	// submitters hold it shared for the draining-check + send; Drain
+	// takes it exclusively to flip draining, so no send can race the
+	// close.
+	admitMu  sync.RWMutex
+	draining bool
+
+	// force cancels every in-flight guest when Drain's grace period
+	// expires.
+	force     context.Context
+	forceStop context.CancelFunc
+
+	workers sync.WaitGroup
+	busy    atomic.Int64
+
+	// Metrics counters (lock-free).
+	accepted, completed, rejected             atomic.Int64
+	ok, cfi, faults, timeouts, cancelled      atomic.Int64
+	budget, buildErrs                         atomic.Int64
+	instret, execNanos                        atomic.Int64
+	checkExecs, checkHalts, vHits, vMisses    atomic.Int64
+}
+
+// New starts a server's worker pool. Callers must eventually Drain it.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: NewBuildCache(cfg.CacheEntries),
+		queue: make(chan *job, cfg.QueueDepth),
+		start: time.Now(),
+	}
+	s.force, s.forceStop = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits a job and blocks until it completes. It returns
+// ErrBusy when the queue is full and ErrDraining after Drain started;
+// every other outcome (including CFI violations and faults) is a
+// JobResult, not an error.
+func (s *Server) Submit(ctx context.Context, req JobRequest) (JobResult, error) {
+	j := &job{req: req, ctx: ctx, queuedAt: time.Now(), done: make(chan struct{})}
+	s.admitMu.RLock()
+	if s.draining {
+		s.admitMu.RUnlock()
+		return JobResult{}, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		s.admitMu.RUnlock()
+		s.accepted.Add(1)
+	default:
+		s.admitMu.RUnlock()
+		s.rejected.Add(1)
+		return JobResult{}, ErrBusy
+	}
+	<-j.done
+	return j.res, nil
+}
+
+// Drain stops admission, waits for queued and in-flight jobs to finish,
+// and — if ctx expires first — cancels every running guest, then waits
+// for the (now prompt) pool shutdown. Always returns with the pool
+// stopped.
+func (s *Server) Drain(ctx context.Context) {
+	s.admitMu.Lock()
+	if s.draining {
+		s.admitMu.Unlock()
+		s.workers.Wait()
+		return
+	}
+	s.draining = true
+	s.admitMu.Unlock()
+	// No submitter can be inside a send now; workers exit after the
+	// queue empties.
+	close(s.queue)
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.forceStop() // cancel in-flight guests
+		<-done
+	}
+}
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	return s.draining
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.busy.Add(1)
+		j.res = s.runJob(j)
+		s.recordResult(j.res)
+		s.busy.Add(-1)
+		close(j.done)
+	}
+}
+
+// limitWriter truncates guest output host-side past a byte budget (the
+// guest's writes still succeed — a tenant cannot detect or exploit the
+// cap).
+type limitWriter struct {
+	buf []byte
+	max int64
+}
+
+func (w *limitWriter) Write(p []byte) (int, error) {
+	if int64(len(w.buf)) < w.max {
+		keep := w.max - int64(len(w.buf))
+		if keep > int64(len(p)) {
+			keep = int64(len(p))
+		}
+		w.buf = append(w.buf, p[:keep]...)
+	}
+	return len(p), nil
+}
+
+// resolve turns a request into buildable sources plus the builder for
+// its flavor.
+func (s *Server) resolve(req JobRequest) (*toolchain.Builder, toolchain.Source, error) {
+	var src toolchain.Source
+	switch {
+	case req.Workload != "" && req.Source != "":
+		return nil, src, fmt.Errorf("request sets both workload and source")
+	case req.Workload != "":
+		w, ok := workload.ByName(req.Workload)
+		if !ok {
+			return nil, src, fmt.Errorf("unknown workload %q", req.Workload)
+		}
+		src = toolchain.Source{Name: w.Name, Text: w.SourceWithWork(req.Work)}
+	case req.Source != "":
+		name := req.Name
+		if name == "" {
+			name = "job"
+		}
+		src = toolchain.Source{Name: name, Text: req.Source}
+	default:
+		return nil, src, fmt.Errorf("request needs a workload name or source text")
+	}
+	profile := visa.Profile64
+	switch req.Profile {
+	case 0, 64:
+	case 32:
+		profile = visa.Profile32
+	default:
+		return nil, src, fmt.Errorf("unknown profile %d (want 32 or 64)", req.Profile)
+	}
+	b := toolchain.New(
+		toolchain.WithProfile(profile),
+		toolchain.WithInstrument(!req.Baseline),
+		toolchain.WithJobs(s.cfg.BuildJobs),
+	)
+	return b, src, nil
+}
+
+// runJob executes one job end to end: cache-keyed build, bounded run,
+// outcome classification. It never panics the worker: a hostile or
+// violating guest is torn down inside its own vm.Process.
+func (s *Server) runJob(j *job) JobResult {
+	res := JobResult{QueueMs: ms(time.Since(j.queuedAt))}
+	if err := j.ctx.Err(); err != nil {
+		res.Status, res.Error = StatusCancelled, "cancelled before execution"
+		return res
+	}
+
+	b, src, err := s.resolve(j.req)
+	if err != nil {
+		res.Status, res.Error = StatusBuildError, err.Error()
+		return res
+	}
+	engine := vm.EngineFused
+	if j.req.Engine != "" {
+		engine, err = vm.ParseEngine(j.req.Engine)
+		if err != nil {
+			res.Status, res.Error = StatusBuildError, err.Error()
+			return res
+		}
+	}
+
+	t0 := time.Now()
+	img, hit, err := s.cache.Get(b.Fingerprint(src), func() (*linker.Image, error) {
+		return b.Build(src)
+	})
+	res.BuildMs, res.BuildCacheHit = ms(time.Since(t0)), hit
+	if err != nil {
+		res.Status, res.Error = StatusBuildError, err.Error()
+		return res
+	}
+
+	out := &limitWriter{max: s.cfg.MaxOutputBytes}
+	rt, err := mrt.New(img, mrt.Options{Out: out, Engine: engine})
+	if err != nil {
+		res.Status, res.Error = StatusBuildError, err.Error()
+		return res
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if j.req.TimeoutMs > 0 {
+		timeout = time.Duration(j.req.TimeoutMs) * time.Millisecond
+	}
+	maxInstr := s.cfg.DefaultMaxInstr
+	if j.req.MaxInstr > 0 {
+		maxInstr = j.req.MaxInstr
+	}
+	if maxInstr < 0 {
+		maxInstr = 0
+	}
+
+	runCtx, cancel := context.WithTimeout(j.ctx, timeout)
+	watchDone := make(chan struct{})
+	ranDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-s.force.Done():
+			cancel() // drain deadline: stop this guest now
+		case <-ranDone:
+		}
+	}()
+
+	t1 := time.Now()
+	code, runErr := rt.RunContext(runCtx, maxInstr)
+	execDur := time.Since(t1)
+	close(ranDone)
+	<-watchDone
+	cancel()
+
+	res.RunMs = ms(execDur)
+	res.Instret = rt.Instret()
+	res.Output = string(out.buf)
+	s.instret.Add(res.Instret)
+	s.execNanos.Add(execDur.Nanoseconds())
+	st := rt.CheckStats()
+	s.checkExecs.Add(st.Execs)
+	s.checkHalts.Add(st.Halts)
+	s.vHits.Add(st.VerdictHits)
+	s.vMisses.Add(st.VerdictMisses)
+
+	var fault *vm.Fault
+	switch {
+	case runErr == nil:
+		res.Status, res.ExitCode = StatusOK, code
+	case errors.Is(runErr, vm.ErrCancelled):
+		if errors.Is(runCtx.Err(), context.DeadlineExceeded) {
+			res.Status = StatusTimeout
+			res.Error = fmt.Sprintf("wall-clock timeout after %v", timeout)
+		} else {
+			res.Status, res.Error = StatusCancelled, "cancelled"
+		}
+	case errors.Is(runErr, vm.ErrBudget):
+		res.Status = StatusBudget
+		res.Error = runErr.Error()
+	case errors.As(runErr, &fault):
+		res.Fault = &FaultInfo{Kind: fault.Kind.String(), PC: fault.PC, Msg: fault.Msg}
+		if fault.Kind == vm.FaultCFI {
+			res.Status = StatusCFI
+		} else {
+			res.Status = StatusFault
+		}
+		res.Error = fault.Error()
+	default:
+		res.Status, res.Error = StatusFault, runErr.Error()
+	}
+	return res
+}
+
+func (s *Server) recordResult(res JobResult) {
+	s.completed.Add(1)
+	switch res.Status {
+	case StatusOK:
+		s.ok.Add(1)
+	case StatusCFI:
+		s.cfi.Add(1)
+	case StatusFault:
+		s.faults.Add(1)
+	case StatusTimeout:
+		s.timeouts.Add(1)
+	case StatusCancelled:
+		s.cancelled.Add(1)
+	case StatusBudget:
+		s.budget.Add(1)
+	case StatusBuildError:
+		s.buildErrs.Add(1)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// --- metrics ---
+
+// Metrics is the /metrics document.
+type Metrics struct {
+	UptimeSecs float64     `json:"uptime_secs"`
+	Draining   bool        `json:"draining"`
+	Jobs       JobCounts   `json:"jobs"`
+	Queue      QueueState  `json:"queue"`
+	BuildCache CacheStats  `json:"build_cache"`
+	Exec       ExecMetrics `json:"exec"`
+}
+
+// JobCounts breaks down admission and outcomes.
+type JobCounts struct {
+	Accepted        int64 `json:"accepted"`
+	Completed       int64 `json:"completed"`
+	Rejected        int64 `json:"rejected"`
+	Ok              int64 `json:"ok"`
+	CFIViolations   int64 `json:"cfi_violations"`
+	Faults          int64 `json:"faults"`
+	Timeouts        int64 `json:"timeouts"`
+	Cancelled       int64 `json:"cancelled"`
+	BudgetExhausted int64 `json:"budget_exhausted"`
+	BuildErrors     int64 `json:"build_errors"`
+}
+
+// QueueState reports live backpressure.
+type QueueState struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+	Workers  int `json:"workers"`
+	Busy     int `json:"busy"`
+}
+
+// ExecMetrics aggregates guest execution across all completed jobs.
+type ExecMetrics struct {
+	GuestInstret  int64   `json:"guest_instret"`
+	ExecSecs      float64 `json:"exec_secs"`
+	MinstrPerSec  float64 `json:"minstr_per_sec"`
+	CheckExecs    int64   `json:"check_execs"`
+	CheckHalts    int64   `json:"check_halts"`
+	VerdictHits   int64   `json:"verdict_hits"`
+	VerdictMisses int64   `json:"verdict_misses"`
+}
+
+// MetricsSnapshot assembles the live metrics document.
+func (s *Server) MetricsSnapshot() Metrics {
+	execSecs := float64(s.execNanos.Load()) / 1e9
+	instret := s.instret.Load()
+	m := Metrics{
+		UptimeSecs: time.Since(s.start).Seconds(),
+		Draining:   s.Draining(),
+		Jobs: JobCounts{
+			Accepted:        s.accepted.Load(),
+			Completed:       s.completed.Load(),
+			Rejected:        s.rejected.Load(),
+			Ok:              s.ok.Load(),
+			CFIViolations:   s.cfi.Load(),
+			Faults:          s.faults.Load(),
+			Timeouts:        s.timeouts.Load(),
+			Cancelled:       s.cancelled.Load(),
+			BudgetExhausted: s.budget.Load(),
+			BuildErrors:     s.buildErrs.Load(),
+		},
+		Queue: QueueState{
+			Depth:    len(s.queue),
+			Capacity: s.cfg.QueueDepth,
+			Workers:  s.cfg.Workers,
+			Busy:     int(s.busy.Load()),
+		},
+		BuildCache: s.cache.Stats(),
+		Exec: ExecMetrics{
+			GuestInstret:  instret,
+			ExecSecs:      execSecs,
+			CheckExecs:    s.checkExecs.Load(),
+			CheckHalts:    s.checkHalts.Load(),
+			VerdictHits:   s.vHits.Load(),
+			VerdictMisses: s.vMisses.Load(),
+		},
+	}
+	if execSecs > 0 {
+		m.Exec.MinstrPerSec = float64(instret) / execSecs / 1e6
+	}
+	return m
+}
+
+// --- HTTP surface ---
+
+// Handler returns the service mux: POST /run, GET /healthz,
+// GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	res, err := s.Submit(r.Context(), req)
+	switch {
+	case errors.Is(err, ErrBusy):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.MetricsSnapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

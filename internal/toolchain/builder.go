@@ -1,7 +1,10 @@
 package toolchain
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
@@ -103,6 +106,28 @@ func (b *Builder) Profile() visa.Profile { return b.profile }
 
 // Instrumented reports whether the builder instruments code.
 func (b *Builder) Instrumented() bool { return b.instrument }
+
+// Fingerprint returns a content hash identifying the image Build would
+// produce for the given sources: it covers everything that affects the
+// output — the builder flavor (profile, instrumentation, prelude),
+// link options, and every source name and text. The pipeline is
+// deterministic, so equal fingerprints mean identical images; this is
+// the key for content-addressed build caches (mcfi-serve builds each
+// distinct fingerprint once, no matter how many concurrent jobs
+// request it).
+func (b *Builder) Fingerprint(srcs ...Source) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "mcfi-build-v1|profile=%d|instrument=%t|prelude=%t|unresolved=%t|noentry=%t\n",
+		b.profile, b.instrument, !b.noPrelude,
+		b.linkOpts.AllowUnresolved, b.linkOpts.NoEntry)
+	for _, s := range srcs {
+		// Length-prefixed fields keep (name, text) pairs unambiguous.
+		fmt.Fprintf(h, "%d:%s|%d:", len(s.Name), s.Name, len(s.Text))
+		io.WriteString(h, s.Text)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // Compile runs parse+sema+codegen on one translation unit and returns
 // its MCFI object module.

@@ -5,6 +5,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"mcfi/internal/linker"
+	"mcfi/internal/visa"
 )
 
 // TestLibcCacheMemoizes: the same flavor compiles libc once; distinct
@@ -144,4 +147,32 @@ func TestBuildReportsFirstErrorInSourceOrder(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "first_bad") {
 		t.Errorf("want the first source's error, got %v", err)
 	}
+}
+
+// TestFingerprintKeysOnFlavorAndContent: the build-cache key changes
+// with any input that changes the output image — source text, source
+// name, instrumentation, profile, link options — and is stable across
+// builders configured identically.
+func TestFingerprintKeysOnFlavorAndContent(t *testing.T) {
+	src := Source{Name: "p", Text: `int main(void) { return 0; }`}
+	base := New(WithInstrumentation()).Fingerprint(src)
+	if got := New(WithInstrumentation()).Fingerprint(src); got != base {
+		t.Errorf("same flavor+source produced different fingerprints")
+	}
+	distinct := map[string]string{"base": base}
+	add := func(label, fp string) {
+		for prev, pfp := range distinct {
+			if pfp == fp {
+				t.Errorf("%s collides with %s", label, prev)
+			}
+		}
+		distinct[label] = fp
+	}
+	add("uninstrumented", New().Fingerprint(src))
+	add("profile32", New(WithInstrumentation(), WithProfile(visa.Profile32)).Fingerprint(src))
+	add("renamed", New(WithInstrumentation()).Fingerprint(Source{Name: "q", Text: src.Text}))
+	add("edited", New(WithInstrumentation()).Fingerprint(Source{Name: "p", Text: src.Text + " "}))
+	add("linkopts", New(WithInstrumentation(),
+		WithLinkOptions(linker.Options{AllowUnresolved: true})).Fingerprint(src))
+	add("twosources", New(WithInstrumentation()).Fingerprint(src, src))
 }

@@ -201,6 +201,16 @@ func TestFusedVerdictCacheHitsAndInstret(t *testing.T) {
 		t.Errorf("FusedVerdictHits = %d, want %d (every pass after the first)",
 			fth.FusedVerdictHits, iters-1)
 	}
+	// The process-wide counters (the serving /metrics source) must
+	// agree with the thread-local ones once Run has flushed.
+	st := fth.P.CheckStatsSnapshot()
+	if st.Execs != fth.FusedExecs || st.VerdictHits != fth.FusedVerdictHits {
+		t.Errorf("process counters %+v diverge from thread (execs %d, hits %d)",
+			st, fth.FusedExecs, fth.FusedVerdictHits)
+	}
+	if st.VerdictMisses != 1 {
+		t.Errorf("VerdictMisses = %d, want 1 (only the first pass)", st.VerdictMisses)
+	}
 }
 
 // TestFusedVerdictDiesOnUpdate is the stale-verdict check: a site

@@ -83,6 +83,17 @@ func (f *Fault) Error() string {
 // ErrExited is returned by Run when the process has exited normally.
 var ErrExited = fmt.Errorf("vm: process exited")
 
+// ErrCancelled is returned by Run when the process was cancelled from
+// the host side (Process.Cancel) — a timeout or shutdown, NOT a CFI
+// fault: callers that classify outcomes by FaultKind must test for it
+// with errors.Is before inspecting *Fault.
+var ErrCancelled = fmt.Errorf("vm: execution cancelled")
+
+// ErrBudget is the sentinel wrapped by Run's instruction-budget error;
+// match it with errors.Is to distinguish budget exhaustion from
+// faults.
+var ErrBudget = fmt.Errorf("vm: instruction budget exhausted")
+
 // SyscallHandler executes SYS instructions on behalf of a thread. It
 // is the MCFI runtime's system-call interposition hook.
 type SyscallHandler interface {
@@ -117,6 +128,25 @@ type Process struct {
 	exitCode atomic.Int64
 	instret  atomic.Int64
 
+	// cancelled is the host-side stop flag (timeouts, shutdown): every
+	// thread's Run loop polls it at the flush cadence and returns
+	// ErrCancelled. cancelCh is closed on the first Cancel so host-side
+	// blocking points (e.g. the runtime's join syscall) can select on
+	// cancellation instead of polling.
+	cancelled  atomic.Bool
+	cancelOnce sync.Once
+	cancelCh   chan struct{}
+
+	// Process-wide check-transaction counters, flushed from the
+	// per-thread fields at the same watermark cadence as instret (so
+	// the hot loop never touches shared cache lines) and read lock-free
+	// by serving metrics. checkHalts counts CFI faults and is bumped
+	// directly at fault construction — violations are terminal, so
+	// contention is irrelevant there.
+	checkExecs  atomic.Int64
+	checkHalts  atomic.Int64
+	verdictHits atomic.Int64
+
 	// nextTID hands out thread ids; threads tracks live ones.
 	nextTID  atomic.Int64
 	mu       sync.Mutex
@@ -131,6 +161,7 @@ func NewProcess() *Process {
 		perms:    make([]uint32, size/PageSize),
 		icache:   make([]atomic.Pointer[pageCache], size/PageSize),
 		joinable: map[int64]chan int64{},
+		cancelCh: make(chan struct{}),
 	}
 }
 
@@ -186,6 +217,54 @@ func (p *Process) Exited() (bool, int64) {
 	return p.exited.Load(), p.exitCode.Load()
 }
 
+// Cancel requests that every thread of the process stop executing:
+// each Run loop observes the flag within its poll window (at most 1024
+// retired instructions) and returns ErrCancelled. Idempotent and safe
+// from any goroutine; this is how host-side timeouts interrupt a guest
+// mid-execution.
+func (p *Process) Cancel() {
+	p.cancelled.Store(true)
+	p.cancelOnce.Do(func() { close(p.cancelCh) })
+}
+
+// Cancelled reports whether Cancel has been called.
+func (p *Process) Cancelled() bool { return p.cancelled.Load() }
+
+// CancelChan returns a channel closed on the first Cancel, for
+// host-side code that blocks on guest progress (e.g. thread join) and
+// must also unblock on cancellation.
+func (p *Process) CancelChan() <-chan struct{} { return p.cancelCh }
+
+// CheckStats is a lock-free snapshot of the process's MCFI
+// check-transaction counters (the serving /metrics source).
+type CheckStats struct {
+	// Execs counts fused check transactions executed (EngineFused
+	// superinstruction dispatches; the other engines retire checks as
+	// ordinary instructions and do not count here).
+	Execs int64
+	// Halts counts halted checks — CFI faults — under every engine.
+	Halts int64
+	// VerdictHits counts fused checks served from the per-site verdict
+	// cache without touching the tables; Misses is the remainder.
+	VerdictHits   int64
+	VerdictMisses int64
+}
+
+// CheckStatsSnapshot reads the process-wide counters. Threads flush at
+// the same watermark cadence as instret, so in-flight deltas (< 1024
+// instructions per running thread) may be missing; after Run returns
+// the totals are exact.
+func (p *Process) CheckStatsSnapshot() CheckStats {
+	execs := p.checkExecs.Load()
+	hits := p.verdictHits.Load()
+	return CheckStats{
+		Execs:         execs,
+		Halts:         p.checkHalts.Load(),
+		VerdictHits:   hits,
+		VerdictMisses: execs - hits,
+	}
+}
+
 // Instret returns the total retired instruction count across all
 // threads that have reported so far (threads flush periodically and on
 // completion).
@@ -239,9 +318,12 @@ type Thread struct {
 
 	// FusedExecs counts fused check transactions executed by this
 	// thread; FusedVerdictHits counts the subset served from the
-	// verdict cache without touching the tables.
+	// verdict cache without touching the tables. Both flush to the
+	// process-wide counters at the instret watermark cadence.
 	FusedExecs       int64
 	FusedVerdictHits int64
+	flushedExecs     int64
+	flushedHits      int64
 }
 
 // NewThread creates a thread with its stack pointer set.
@@ -252,6 +334,9 @@ func (p *Process) NewThread(pc, sp int64) *Thread {
 }
 
 func (t *Thread) fault(kind FaultKind, format string, args ...interface{}) error {
+	if kind == FaultCFI {
+		t.P.checkHalts.Add(1)
+	}
 	return &Fault{Kind: kind, PC: t.PC, Msg: fmt.Sprintf(format, args...)}
 }
 
@@ -383,28 +468,40 @@ func init() {
 	}
 }
 
-// Run executes until process exit, a fault, or maxInstr instructions
-// (0 = unlimited). It returns ErrExited on clean process exit.
+// flushCounters publishes this thread's retired-instruction and check
+// counters to the process-wide atomics (the watermark flush).
+func (t *Thread) flushCounters() {
+	t.P.instret.Add(t.Instret - t.flushed)
+	t.flushed = t.Instret
+	t.P.checkExecs.Add(t.FusedExecs - t.flushedExecs)
+	t.flushedExecs = t.FusedExecs
+	t.P.verdictHits.Add(t.FusedVerdictHits - t.flushedHits)
+	t.flushedHits = t.FusedVerdictHits
+}
+
+// Run executes until process exit, cancellation, a fault, or maxInstr
+// instructions (0 = unlimited). It returns ErrExited on clean process
+// exit, ErrCancelled if Process.Cancel interrupted the run, and an
+// error wrapping ErrBudget when the instruction budget runs out.
 //
 // The flush/poll cadence uses a watermark rather than Instret%1024: a
 // fused step retires several guest instructions at once, so Instret
 // skips values and an exact-multiple test would miss flushes.
 func (t *Thread) Run(maxInstr int64) error {
-	defer func() {
-		t.P.instret.Add(t.Instret - t.flushed)
-		t.flushed = t.Instret
-	}()
+	defer t.flushCounters()
 	poll := true
 	for {
 		if maxInstr > 0 && t.Instret >= maxInstr {
-			return fmt.Errorf("vm: instruction budget exhausted (%d)", maxInstr)
+			return fmt.Errorf("%w (limit %d)", ErrBudget, maxInstr)
 		}
 		if poll || t.Instret-t.flushed >= 1024 {
 			if t.P.exited.Load() {
 				return ErrExited
 			}
-			t.P.instret.Add(t.Instret - t.flushed)
-			t.flushed = t.Instret
+			if t.P.cancelled.Load() {
+				return ErrCancelled
+			}
+			t.flushCounters()
 			poll = false
 		}
 		if err := t.Step(); err != nil {
