@@ -358,11 +358,11 @@ func BenchmarkVMThroughput(b *testing.B) {
 }
 
 // --- execution engines: decode-every-instruction interpreter vs the
-// predecoded per-page instruction cache ---
+// predecoded per-page instruction cache vs direct-threaded dispatch ---
 
 func BenchmarkEngineDecodeCache(b *testing.B) {
 	img := buildFor(b, "sjeng", true)
-	for _, e := range []vm.Engine{vm.EngineInterp, vm.EngineCached} {
+	for _, e := range []vm.Engine{vm.EngineInterp, vm.EngineCached, vm.EngineThreaded} {
 		b.Run(e.String(), func(b *testing.B) {
 			total := int64(0)
 			b.ResetTimer()
@@ -377,10 +377,11 @@ func BenchmarkEngineDecodeCache(b *testing.B) {
 	}
 }
 
-// --- check-transaction fusion: all three engines on the Fig. 5 sjeng
+// --- check-transaction fusion: every engine on the Fig. 5 sjeng
 // harness, instrumented (where fusion collapses every check into one
-// host dispatch) and baseline (where fused degenerates to cached —
-// the fusion lookup must not tax uninstrumented code) ---
+// host dispatch, and the threaded engine additionally folds the
+// following indirect branch) and baseline (where fused degenerates to
+// cached — the fusion lookup must not tax uninstrumented code) ---
 
 func BenchmarkCheckFusion(b *testing.B) {
 	for _, flavor := range []struct {
@@ -388,7 +389,7 @@ func BenchmarkCheckFusion(b *testing.B) {
 		instrument bool
 	}{{"mcfi", true}, {"baseline", false}} {
 		img := buildFor(b, "sjeng", flavor.instrument)
-		for _, e := range []vm.Engine{vm.EngineInterp, vm.EngineCached, vm.EngineFused} {
+		for _, e := range []vm.Engine{vm.EngineInterp, vm.EngineCached, vm.EngineFused, vm.EngineThreaded} {
 			b.Run(flavor.name+"/"+e.String(), func(b *testing.B) {
 				total := int64(0)
 				b.ResetTimer()

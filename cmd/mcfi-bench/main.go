@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mcfi/internal/experiments"
@@ -67,7 +68,7 @@ func main() {
 	work := flag.Int("work", 0, "override workload iteration count (0 = reference inputs)")
 	scale := flag.Float64("scale", 0.25, "Table 3 synthetic-module scale factor")
 	hz := flag.Int("hz", 50, "update-transaction frequency for fig6")
-	engineF := flag.String("engine", "cached", "VM execution engine: interp, cached, or fused")
+	engineF := flag.String("engine", "cached", "VM execution engine: "+strings.Join(vm.EngineNames(), ", "))
 	jobs := flag.Int("jobs", 0, "worker-pool width for builds and workloads (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write per-experiment results to this file as JSON")
 	diffMode := flag.Bool("diff", false, "compare two -json snapshots: mcfi-bench -diff old.json new.json")

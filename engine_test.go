@@ -1,17 +1,22 @@
-// Differential test of the three VM execution engines: the predecoded
-// per-page instruction cache and the check-fusing engine must be
-// observationally identical to the decode-every-instruction
-// interpreter — same exit code, same output, and a bit-identical
-// retired-instruction count — across every workload, both VISA
-// profiles, and both instrumentation flavors.
+// Differential test of the VM execution engines: the predecoded
+// per-page instruction cache, the check-fusing engine, and the
+// direct-threaded engine must be observationally identical to the
+// decode-every-instruction interpreter — same exit code, same output,
+// and a bit-identical retired-instruction count — across every
+// workload, both VISA profiles, and both instrumentation flavors. The
+// engine list comes from vm.Engines(), so a newly added engine joins
+// the matrix automatically.
 package mcfi
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 
 	"mcfi/internal/linker"
 	"mcfi/internal/mrt"
+	"mcfi/internal/tables"
 	"mcfi/internal/toolchain"
 	"mcfi/internal/visa"
 	"mcfi/internal/vm"
@@ -37,8 +42,19 @@ func runWithEngine(t *testing.T, img *linker.Image, e vm.Engine) engineRun {
 	return engineRun{code: code, output: rt.Output(), instret: rt.Instret()}
 }
 
-// TestEnginesDifferential runs every workload under all three engines
-// in all four (profile, instrumentation) configurations.
+// nonRefEngines returns every engine except the reference interpreter.
+func nonRefEngines() []vm.Engine {
+	var es []vm.Engine
+	for _, e := range vm.Engines() {
+		if e != vm.EngineInterp {
+			es = append(es, e)
+		}
+	}
+	return es
+}
+
+// TestEnginesDifferential runs every workload under all engines in all
+// four (profile, instrumentation) configurations.
 func TestEnginesDifferential(t *testing.T) {
 	for _, w := range workload.All() {
 		w := w
@@ -56,7 +72,7 @@ func TestEnginesDifferential(t *testing.T) {
 					// The workloads never dlopen, so one image can host
 					// several runtimes.
 					interp := runWithEngine(t, img, vm.EngineInterp)
-					for _, e := range []vm.Engine{vm.EngineCached, vm.EngineFused} {
+					for _, e := range nonRefEngines() {
 						got := runWithEngine(t, img, e)
 						if interp != got {
 							t.Errorf("%s instr=%v: engines diverge:\n  interp: code=%d instret=%d out=%q\n  %s: code=%d instret=%d out=%q",
@@ -74,6 +90,107 @@ func TestEnginesDifferential(t *testing.T) {
 	}
 }
 
+// TestEnginesDifferentialDlopen runs a dynamically linked workload —
+// guest dlopen, dlsym, a checked call into the library, and a call
+// through an MCFI-instrumented PLT entry — under every engine and
+// demands bit-identical results: the dlopen path's update
+// transactions, code-page protection flips, and site rebasing must not
+// perturb instret on any engine. A second pass repeats the run under a
+// continuous host-side update-transaction storm, where retry counts
+// are scheduling-dependent, so only exit code and output are compared.
+func TestEnginesDifferentialDlopen(t *testing.T) {
+	mainSrc := `
+long ext_mul(long a, long b);
+int main(void) {
+	long h = dlopen("extlib");
+	if (h == 0) return 1;
+	long addr = dlsym(h, "ext_add");
+	if (addr == 0) return 2;
+	long (*fn)(long, long) = (long (*)(long, long))addr;
+	long acc = 0;
+	for (int i = 0; i < 200; i++) {
+		acc += ext_mul(i, 3);      /* through the PLT entry */
+		acc += fn(acc, i);         /* through a checked fn pointer */
+	}
+	printf("%ld\n", acc);
+	return 0;
+}`
+	extSrc := `
+long ext_mul(long a, long b) { return a * b; }
+long ext_add(long a, long b) { return (a + b) & 0xFFFF; }
+`
+	cfg := toolchain.New(
+		toolchain.WithInstrumentation(),
+		toolchain.WithLinkOptions(linker.Options{AllowUnresolved: true}),
+	)
+	img, err := cfg.Build(toolchain.Source{Name: "main", Text: mainSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := cfg.Compile(toolchain.Source{Name: "extlib", Text: extSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(e vm.Engine, storm bool) (engineRun, vm.CheckStats) {
+		t.Helper()
+		rt, err := mrt.New(img, mrt.Options{Engine: e})
+		if err != nil {
+			t.Fatalf("engine %s: %v", e, err)
+		}
+		rt.RegisterLibrary(ext)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if storm {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						rt.Tables.Reversion(tables.UpdateOpts{Parallel: true})
+					}
+				}
+			}()
+		}
+		code, err := rt.Run(2_000_000_000)
+		close(stop)
+		wg.Wait()
+		if err != nil {
+			t.Fatalf("engine %s storm=%v: %v (output %q)", e, storm, err, rt.Output())
+		}
+		return engineRun{code: code, output: rt.Output(), instret: rt.Instret()},
+			rt.Proc.CheckStatsSnapshot()
+	}
+
+	interp, _ := run(vm.EngineInterp, false)
+	if interp.code != 0 {
+		t.Fatalf("dlopen workload exits %d (output %q)", interp.code, interp.output)
+	}
+	for _, e := range nonRefEngines() {
+		got, st := run(e, false)
+		if interp != got {
+			t.Errorf("quiet dlopen run diverges:\n  interp: %+v\n  %s: %+v", interp, e, got)
+		}
+		if e == vm.EngineFused || e == vm.EngineThreaded {
+			// The PLT call sites must execute as fused superinstructions,
+			// not per-instruction fallback.
+			if st.PLTExecs == 0 {
+				t.Errorf("engine %s: PLTExecs = 0, want > 0 (PLT checks fell back to per-instruction)", e)
+			}
+		}
+	}
+	for _, e := range vm.Engines() {
+		got, _ := run(e, true)
+		if got.code != interp.code || got.output != interp.output {
+			t.Errorf("dlopen run under update storm diverges on %s: code=%d output=%q (want code=%d output=%q)",
+				e, got.code, got.output, interp.code, interp.output)
+		}
+	}
+}
+
 // TestEngineFlagParsing pins the -engine flag surface of mcfi-run and
 // mcfi-bench to the vm package's parser.
 func TestEngineFlagParsing(t *testing.T) {
@@ -86,6 +203,7 @@ func TestEngineFlagParsing(t *testing.T) {
 		{"", vm.EngineCached, false},
 		{"interp", vm.EngineInterp, false},
 		{"fused", vm.EngineFused, false},
+		{"threaded", vm.EngineThreaded, false},
 		{"jit", 0, true},
 	}
 	for _, c := range cases {
@@ -98,7 +216,19 @@ func TestEngineFlagParsing(t *testing.T) {
 			t.Errorf("ParseEngine(%q) = %v, want %v", c.in, got, c.want)
 		}
 	}
-	if fmt.Sprint(vm.EngineCached, vm.EngineInterp, vm.EngineFused) != "cached interp fused" {
-		t.Errorf("engine names changed: %v %v %v", vm.EngineCached, vm.EngineInterp, vm.EngineFused)
+	if fmt.Sprint(vm.EngineCached, vm.EngineInterp, vm.EngineFused, vm.EngineThreaded) != "cached interp fused threaded" {
+		t.Errorf("engine names changed: %v", vm.EngineNames())
+	}
+	// Every name in the shared list round-trips through the parser, and
+	// the parse error enumerates exactly that list — the single source
+	// CLI flags and server-side validation quote.
+	for _, name := range vm.EngineNames() {
+		e, err := vm.ParseEngine(name)
+		if err != nil || e.String() != name {
+			t.Errorf("EngineNames entry %q does not round-trip: %v %v", name, e, err)
+		}
+	}
+	if _, err := vm.ParseEngine("jit"); err == nil || !strings.Contains(err.Error(), strings.Join(vm.EngineNames(), ", ")) {
+		t.Errorf("ParseEngine error %v does not enumerate EngineNames()", err)
 	}
 }

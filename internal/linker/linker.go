@@ -310,31 +310,8 @@ func (ld *linkState) pltEntry(name string) int64 {
 	img.GOT[name] = gotAddr
 
 	a := visa.NewAsm()
-	try := "plt.try." + name
-	halt := "plt.halt." + name
-	ok := "plt.ok." + name
-	a.Label(try)
-	a.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R11, Imm: gotAddr})
-	a.Emit(visa.Instr{Op: visa.LD64, R1: visa.R11, R2: visa.R11, Imm: 0})
-	var tloadi, branch int
-	if ld.instrument {
-		a.Emit(visa.Instr{Op: visa.AND32, R1: visa.R11})
-		tloadi = a.Pos()
-		a.Emit(visa.Instr{Op: visa.TLOADI, R1: visa.R10, Imm: 0})
-		a.Emit(visa.Instr{Op: visa.TLOAD, R1: visa.R9, R2: visa.R11})
-		a.Emit(visa.Instr{Op: visa.CMP, R1: visa.R10, R2: visa.R9})
-		a.EmitBranch(visa.JE, ok)
-		a.Emit(visa.Instr{Op: visa.TESTB, R1: visa.R9, Imm: 1})
-		a.EmitBranch(visa.JE, halt)
-		a.Emit(visa.Instr{Op: visa.CMPW, R1: visa.R10, R2: visa.R9})
-		a.EmitBranch(visa.JNE, try) // retry reloads the GOT entry
-		a.Label(halt)
-		a.Emit(visa.Instr{Op: visa.HLT})
-		a.Label(ok)
-	} else {
-		tloadi = -1
-	}
-	branch = a.Pos()
+	tloadi := rewrite.EmitPLTCheck(a, gotAddr, ld.instrument)
+	branch := a.Pos()
 	a.Emit(visa.Instr{Op: visa.JMPR, R1: visa.R11})
 	if err := a.Finish(); err != nil {
 		// Labels are all local and bound; this cannot happen.
@@ -349,20 +326,24 @@ func (ld *linkState) pltEntry(name string) int64 {
 	img.Code = append(img.Code, a.Code...)
 	img.PLT[name] = entry
 
-	tl := -1
+	tl, checkStart := -1, -1
 	if tloadi >= 0 {
 		tl = visa.CodeBase + base + tloadi
+		// The PLT check span starts at the stub's Try label — the MOVI
+		// that reloads the GOT slot, i.e. the entry itself. A fusing
+		// engine byte-matches it against the PLT template (the §5.2
+		// GOT-reloading variant) and predecodes the whole span as one
+		// superinstruction.
+		checkStart = int(entry)
 	}
 	img.Aux.IBs = append(img.Aux.IBs, module.IndirectBranch{
 		Offset:       visa.CodeBase + base + branch,
 		Kind:         module.IBPLT,
 		Func:         "plt." + name,
 		TLoadIOffset: tl,
-		// The PLT check is non-canonical (its retry loop reloads the GOT
-		// entry, §5.2) and is never fused.
-		CheckStart: -1,
-		GotSlot:    int(gotAddr),
-		PLTSym:     name,
+		CheckStart:   checkStart,
+		GotSlot:      int(gotAddr),
+		PLTSym:       name,
 	})
 	return entry
 }

@@ -170,12 +170,12 @@ func New(img *linker.Image, opts Options) (*Runtime, error) {
 	return r, nil
 }
 
-// registerFusedSites tells the VM where the image's canonical check
-// transactions start, so the fused engine can predecode each into one
-// superinstruction. Sites without a canonical span (uninstrumented
-// branches, PLT stubs with their GOT-reloading retry loop) carry
-// CheckStart < 0 and are skipped; the VM byte-verifies every
-// registration at predecode time anyway.
+// registerFusedSites tells the VM where the image's check transactions
+// start — canonical spans and PLT stubs (the GOT-reloading variant)
+// alike — so a fusing engine can predecode each into one
+// superinstruction. Uninstrumented branches carry CheckStart < 0 and
+// are skipped; the VM byte-verifies every registration against its
+// templates at predecode time anyway.
 func (r *Runtime) registerFusedSites(ibs []module.IndirectBranch) {
 	var starts []int64
 	for _, ib := range ibs {

@@ -94,6 +94,75 @@ func MatchCheck(code []byte, off int) bool {
 	return true
 }
 
+// Layout of the PLT-stub check-transaction span emitted by
+// EmitPLTCheck — the paper's §5.2 variant whose retry loop reloads the
+// target address from the GOT slot ("indirect jumps in the PLT ...
+// need to reload the target address from GOT when a transaction is
+// retried"). The Try label covers the whole span, so a retried
+// transaction re-executes the movi + ld64 reload. Two per-site
+// wildcards: the MOVI's 64-bit GOT address and the TLOADI's 32-bit
+// Bary index.
+const (
+	// PLTCheckSeqSize is the byte length of the PLT check span, from
+	// the movi (== the Try label) through the hlt (exclusive of the
+	// final jmpr).
+	PLTCheckSeqSize = 53
+	// PLTCheckGotOffset is the offset of the MOVI's 64-bit immediate
+	// (the GOT slot address).
+	PLTCheckGotOffset = 2
+	// PLTCheckLoadOffset is the offset of the LD64 GOT reload — the
+	// fault PC when the GOT slot is unreadable.
+	PLTCheckLoadOffset = 10
+	// PLTCheckImmOffset is the offset of the TLOADI 32-bit immediate
+	// (the Bary byte index, patched by the loader).
+	PLTCheckImmOffset = 21
+	// PLTCheckHaltOffset is the offset of the HLT.
+	PLTCheckHaltOffset = 52
+)
+
+// pltCheckTemplate is the canonical byte encoding of the PLT-stub
+// check, built once from EmitPLTCheck itself so matching can never
+// drift from emission. The GOT-address and TLOADI-immediate bytes are
+// per-site and excluded from comparison.
+var pltCheckTemplate [PLTCheckSeqSize]byte
+
+func init() {
+	a := visa.NewAsm()
+	tl := EmitPLTCheck(a, 0, true)
+	if err := a.Finish(); err != nil {
+		panic(fmt.Sprintf("rewrite: PLT check template: %v", err))
+	}
+	code := a.Code
+	if len(code) != PLTCheckSeqSize {
+		panic(fmt.Sprintf("rewrite: PLT check template is %d bytes, want %d", len(code), PLTCheckSeqSize))
+	}
+	if tl != PLTCheckImmOffset-2 {
+		panic(fmt.Sprintf("rewrite: PLT check template tloadi at %d, want %d", tl, PLTCheckImmOffset-2))
+	}
+	copy(pltCheckTemplate[:], code)
+}
+
+// MatchPLTCheck reports whether code[off:] begins with the PLT-stub
+// check-transaction byte sequence, ignoring the per-site GOT address
+// and TLOADI immediate.
+func MatchPLTCheck(code []byte, off int) bool {
+	if off < 0 || off+PLTCheckSeqSize > len(code) {
+		return false
+	}
+	for i := 0; i < PLTCheckSeqSize; i++ {
+		if i >= PLTCheckGotOffset && i < PLTCheckGotOffset+8 {
+			continue
+		}
+		if i >= PLTCheckImmOffset && i < PLTCheckImmOffset+4 {
+			continue
+		}
+		if code[off+i] != pltCheckTemplate[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // seq is a per-assembler label uniquifier.
 func seq(a *visa.Asm, what string) string {
 	return fmt.Sprintf("mcfi.%s.%d", what, a.Pos())
@@ -223,6 +292,54 @@ func EmitLongjmp(a *visa.Asm, instrumented bool) CheckSite {
 	off := a.Pos()
 	a.Emit(visa.Instr{Op: visa.JRESTORE, R1: visa.R3, R2: visa.R4, R3: visa.R11})
 	return CheckSite{TLoadIOffset: tl, BranchOffset: off, CheckStart: start}
+}
+
+// EmitPLTCheck emits the PLT stub's check transaction: load the target
+// from the GOT slot, then validate it with the Fig. 4 transaction whose
+// Try label spans the reload, so a version-mismatch retry observes the
+// freshest GOT value (paper §5.2). The caller emits the final jmpr.
+// Uninstrumented builds get only the reload. Returns the TLOADI offset
+// within the assembler (-1 when not instrumented).
+func EmitPLTCheck(a *visa.Asm, gotAddr int64, instrumented bool) (tloadiOff int) {
+	try := seq(a, "plt.try")
+	halt := seq(a, "plt.halt")
+	ok := seq(a, "plt.ok")
+	a.Label(try)
+	a.Emit(visa.Instr{Op: visa.MOVI, R1: visa.R11, Imm: gotAddr})
+	a.Emit(visa.Instr{Op: visa.LD64, R1: visa.R11, R2: visa.R11, Imm: 0})
+	if !instrumented {
+		return -1
+	}
+	a.Emit(visa.Instr{Op: visa.AND32, R1: visa.R11})
+	tloadiOff = a.Pos()
+	a.Emit(visa.Instr{Op: visa.TLOADI, R1: visa.R10, Imm: 0})
+	a.Emit(visa.Instr{Op: visa.TLOAD, R1: visa.R9, R2: visa.R11})
+	a.Emit(visa.Instr{Op: visa.CMP, R1: visa.R10, R2: visa.R9})
+	a.EmitBranch(visa.JE, ok)
+	a.Emit(visa.Instr{Op: visa.TESTB, R1: visa.R9, Imm: 1})
+	a.EmitBranch(visa.JE, halt)
+	a.Emit(visa.Instr{Op: visa.CMPW, R1: visa.R10, R2: visa.R9})
+	a.EmitBranch(visa.JNE, try) // retry reloads the GOT entry
+	a.Label(halt)
+	a.Emit(visa.Instr{Op: visa.HLT})
+	a.Label(ok)
+	return tloadiOff
+}
+
+// IsMaskStorePair reports whether mask and store form the fusible
+// sandbox-mask + store sequence EmitStoreMask produces: "andi r,
+// StoreMask" immediately followed by a store whose address register is
+// the masked one. The VM's trace-fusing fill path uses this predicate
+// so the matcher can never drift from the emitter.
+func IsMaskStorePair(mask, store visa.Instr) bool {
+	if mask.Op != visa.ANDI || mask.Imm != visa.StoreMask {
+		return false
+	}
+	switch store.Op {
+	case visa.ST8, visa.ST16, visa.ST32, visa.ST64:
+		return store.R2 == mask.R1
+	}
+	return false
 }
 
 // EmitStoreMask emits the sandbox mask on the address register of an

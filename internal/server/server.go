@@ -64,7 +64,8 @@ type JobRequest struct {
 	Source string `json:"source,omitempty"`
 	Name   string `json:"name,omitempty"`
 	// Baseline skips MCFI instrumentation; Profile selects 32/64
-	// (default 64); Engine selects interp/cached/fused (default fused).
+	// (default 64); Engine selects any vm.EngineNames() entry (default
+	// threaded).
 	Baseline bool   `json:"baseline,omitempty"`
 	Profile  int    `json:"profile,omitempty"`
 	Engine   string `json:"engine,omitempty"`
@@ -337,7 +338,7 @@ func (s *Server) runJob(j *job) JobResult {
 		res.Status, res.Error = StatusBuildError, err.Error()
 		return res
 	}
-	engine := vm.EngineFused
+	engine := vm.EngineThreaded
 	if j.req.Engine != "" {
 		engine, err = vm.ParseEngine(j.req.Engine)
 		if err != nil {

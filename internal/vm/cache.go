@@ -22,6 +22,7 @@ package vm
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -45,7 +46,33 @@ const (
 	// in host Go (see fused.go). Retired-instruction counts stay
 	// bit-identical to the other engines.
 	EngineFused
+	// EngineThreaded is the direct-threaded engine (see threaded.go):
+	// every cache slot carries the operation's func pointer alongside
+	// the predecoded instruction, so dispatch is one indirect call. It
+	// subsumes EngineFused's check fusion and adds branch folding (the
+	// jmpr/callr/jrestore after a check joins its superinstruction) and
+	// trace-level superinstructions (sandbox-mask + store pairs).
+	EngineThreaded
 )
+
+// Engines returns every engine, in flag-name order. Differential tests
+// iterate this list so a newly added engine cannot silently drop out
+// of coverage.
+func Engines() []Engine {
+	return []Engine{EngineCached, EngineInterp, EngineFused, EngineThreaded}
+}
+
+// EngineNames returns the flag names of every engine, in Engines()
+// order — the single source for ParseEngine errors, CLI flag help, and
+// server-side request validation.
+func EngineNames() []string {
+	es := Engines()
+	names := make([]string, len(es))
+	for i, e := range es {
+		names[i] = e.String()
+	}
+	return names
+}
 
 // String names the engine (flag syntax of cmd/mcfi-run and
 // cmd/mcfi-bench).
@@ -55,21 +82,23 @@ func (e Engine) String() string {
 		return "interp"
 	case EngineFused:
 		return "fused"
+	case EngineThreaded:
+		return "threaded"
 	}
 	return "cached"
 }
 
 // ParseEngine parses the -engine flag syntax.
 func ParseEngine(s string) (Engine, error) {
-	switch s {
-	case "cached", "":
+	if s == "" {
 		return EngineCached, nil
-	case "interp":
-		return EngineInterp, nil
-	case "fused":
-		return EngineFused, nil
 	}
-	return 0, fmt.Errorf("vm: unknown engine %q (want interp, cached, or fused)", s)
+	for _, e := range Engines() {
+		if s == e.String() {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("vm: unknown engine %q (want one of: %s)", s, strings.Join(EngineNames(), ", "))
 }
 
 // pageCache holds the predecoded instructions of one guest page,
@@ -81,8 +110,20 @@ func ParseEngine(s string) (Engine, error) {
 type pageCache struct {
 	mu    sync.Mutex
 	valid [PageSize / 32]uint32
-	size  [PageSize]uint8
-	ins   [PageSize]visa.Instr
+	slots [PageSize]cacheSlot
+}
+
+// cacheSlot colocates everything one dispatch needs — the predecoded
+// instruction, its encoded size, and the operation's func pointer (the
+// direct-threaded engine's dispatch target) — so a hit touches one
+// cache line instead of three parallel arrays. fn is filled for every
+// slot regardless of engine: it is a pure function of ins.Op, so the
+// extra store costs nothing and a page shared across engine settings
+// stays safe.
+type cacheSlot struct {
+	ins  visa.Instr
+	fn   stepFn
+	size uint8
 }
 
 // cacheHit returns the predecoded instruction at pc if its cache slot
@@ -104,13 +145,16 @@ func (p *Process) cacheHit(pc int64) (*visa.Instr, int, bool) {
 	if atomic.LoadUint32(&c.valid[off>>5])&(uint32(1)<<(off&31)) == 0 {
 		return nil, 0, false
 	}
-	return &c.ins[off], int(c.size[off]), true
+	s := &c.slots[off]
+	return &s.ins, int(s.size), true
 }
 
 // cacheFill decodes the instruction at pc and publishes it into the
 // page's cache. The caller has already checked that pc is executable.
-// Under EngineFused a registered, byte-verified check transaction is
-// predecoded as one fused superinstruction instead.
+// Under EngineFused and EngineThreaded a registered, byte-verified
+// check transaction is predecoded as one fused superinstruction
+// instead; the threaded engine additionally fuses sandbox-mask + store
+// pairs into trace superinstructions.
 func (p *Process) cacheFill(pc int64) (*visa.Instr, int, error) {
 	ins, n, ok := p.tryFuse(pc)
 	if !ok {
@@ -118,6 +162,9 @@ func (p *Process) cacheFill(pc int64) (*visa.Instr, int, error) {
 		ins, n, err = visa.Decode(p.Mem, int(pc))
 		if err != nil {
 			return nil, 0, err
+		}
+		if p.engine == EngineThreaded {
+			ins, n = p.tryFuseTrace(ins, n, pc)
 		}
 	}
 	slot := &p.icache[pc/PageSize]
@@ -140,12 +187,11 @@ func (p *Process) cacheFill(pc int64) (*visa.Instr, int, error) {
 	word, bit := &c.valid[off>>5], uint32(1)<<(off&31)
 	c.mu.Lock()
 	if atomic.LoadUint32(word)&bit == 0 {
-		c.ins[off] = ins
-		c.size[off] = uint8(n)
+		c.slots[off] = cacheSlot{ins: ins, size: uint8(n), fn: opFuncs[ins.Op]}
 		atomic.StoreUint32(word, atomic.LoadUint32(word)|bit)
 	}
 	c.mu.Unlock()
-	return &c.ins[off], n, nil
+	return &c.slots[off].ins, n, nil
 }
 
 // invalidate drops the decode cache of pages [first-1, last) — one

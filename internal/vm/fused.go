@@ -30,11 +30,27 @@ import (
 	"mcfi/internal/visa"
 )
 
-// opFusedCheck is the pseudo-opcode of the fused check transaction. It
-// occupies a hole in the ISA encoding space — visa.Decode rejects the
-// byte, so the opcode can only ever enter the pipeline through a
-// predecoded cache slot installed by tryFuse, never from guest bytes.
-const opFusedCheck = visa.Op(0xF8)
+// The fused pseudo-opcodes occupy holes in the ISA encoding space —
+// visa.Decode rejects the bytes, so they can only ever enter the
+// pipeline through a predecoded cache slot installed at fill time,
+// never from guest bytes.
+const (
+	// opFusedCheck is the fused canonical check transaction (paper
+	// Fig. 4). Under EngineThreaded the slot may also fold the indirect
+	// branch that follows the check: R1 carries the branch opcode byte
+	// (0 = unfolded — no real opcode is 0-valued-and-branching), R2 the
+	// count of alignment NOPs between check and branch, and the slot
+	// size covers the whole folded span.
+	opFusedCheck = visa.Op(0xF8)
+	// opFusedCheckPLT is the fused PLT-stub check: the GOT-slot-
+	// reloading retry variant of §5.2 (the stub reloads the target from
+	// the GOT on every retry, so a retried transaction cannot be split
+	// from its reload). Same R1/R2 branch-folding convention.
+	opFusedCheckPLT = visa.Op(0xF9)
+	// opTraceMaskStore is the trace superinstruction for the rewriter's
+	// sandbox-mask + store pair (see threaded.go).
+	opTraceMaskStore = visa.Op(0xFA)
+)
 
 // maxFusedRetries bounds the host-side retry loop of one fused step.
 // The guest loop is unbounded (a check spins until the versions agree,
@@ -57,12 +73,15 @@ type fusedVerdict struct {
 // fusedSite is the runtime state of one registered check transaction.
 type fusedSite struct {
 	// start is the guest address of the span's first instruction (the
-	// and32 mask).
+	// and32 mask, or the PLT stub's movi).
 	start int64
 	// baryOff is the TLOADI immediate — the Bary byte offset patched
 	// into the code by the loader — read from memory at predecode time
 	// (-1 until the first fill).
 	baryOff atomic.Int64
+	// gotAddr is the GOT slot address a PLT-variant site reloads its
+	// target from (the stub's MOVI immediate), -1 for canonical sites.
+	gotAddr atomic.Int64
 	// verdict is the last successful check outcome, nil if none.
 	verdict atomic.Pointer[fusedVerdict]
 }
@@ -106,6 +125,7 @@ func (p *Process) RegisterCheckSites(starts []int64) {
 		}
 		fs := &fusedSite{start: s}
 		fs.baryOff.Store(-1)
+		fs.gotAddr.Store(-1)
 		f.index[s] = len(sites)
 		sites = append(sites, fs)
 	}
@@ -133,19 +153,28 @@ func (p *Process) fusedSiteAt(pc int64) (int, *fusedSite) {
 }
 
 // tryFuse attempts to predecode the bytes at pc as one fused check
-// transaction. It requires the fused engine, live tables, a registered
-// site, an executable span, and an exact byte match against the
-// canonical sequence (the loader-patched TLOADI immediate excepted) —
-// anything else falls back to ordinary decoding, so a stale or wrong
-// registration can never change semantics.
+// transaction. It requires a fusing engine (fused or threaded), live
+// tables, a registered site, an executable span, and an exact byte
+// match against one of the two check templates — the canonical
+// sequence or the PLT stub's GOT-reloading variant (per-site immediate
+// wildcards excepted). Anything else falls back to ordinary decoding,
+// so a stale or wrong registration can never change semantics.
 func (p *Process) tryFuse(pc int64) (visa.Instr, int, bool) {
-	if p.engine != EngineFused || p.Tables == nil {
+	if (p.engine != EngineFused && p.engine != EngineThreaded) || p.Tables == nil {
 		return visa.Instr{}, 0, false
 	}
 	idx, site := p.fusedSiteAt(pc)
 	if site == nil {
 		return visa.Instr{}, 0, false
 	}
+	if ins, n, ok := p.tryFuseCanonical(pc, idx, site); ok {
+		return ins, n, true
+	}
+	return p.tryFusePLT(pc, idx, site)
+}
+
+// tryFuseCanonical matches the canonical check template at pc.
+func (p *Process) tryFuseCanonical(pc int64, idx int, site *fusedSite) (visa.Instr, int, bool) {
 	end := pc + rewrite.CheckSeqSize
 	if end > int64(len(p.Mem)) || p.Prot(end-1)&visa.ProtExec == 0 {
 		return visa.Instr{}, 0, false
@@ -156,7 +185,80 @@ func (p *Process) tryFuse(pc int64) (visa.Instr, int, bool) {
 	m := p.Mem[pc+rewrite.CheckImmOffset:]
 	imm := uint32(m[0]) | uint32(m[1])<<8 | uint32(m[2])<<16 | uint32(m[3])<<24
 	site.baryOff.Store(int64(imm))
-	return visa.Instr{Op: opFusedCheck, Imm: int64(idx)}, rewrite.CheckSeqSize, true
+	ins := visa.Instr{Op: opFusedCheck, Imm: int64(idx)}
+	size := int(rewrite.CheckSeqSize)
+	if p.engine == EngineThreaded {
+		if bop, nops, bsize, ok := p.scanFoldableBranch(end); ok {
+			ins.R1, ins.R2 = byte(bop), byte(nops)
+			size += nops + bsize
+		}
+	}
+	return ins, size, true
+}
+
+// tryFusePLT matches the PLT-stub check template at pc (§5.2: the
+// retry loop reloads the target address from the GOT slot, so the
+// MOVI's GOT address and the TLOADI immediate are the wildcards).
+func (p *Process) tryFusePLT(pc int64, idx int, site *fusedSite) (visa.Instr, int, bool) {
+	end := pc + rewrite.PLTCheckSeqSize
+	if end > int64(len(p.Mem)) || p.Prot(end-1)&visa.ProtExec == 0 {
+		return visa.Instr{}, 0, false
+	}
+	if !rewrite.MatchPLTCheck(p.Mem, int(pc)) {
+		return visa.Instr{}, 0, false
+	}
+	m := p.Mem[pc+rewrite.PLTCheckImmOffset:]
+	imm := uint32(m[0]) | uint32(m[1])<<8 | uint32(m[2])<<16 | uint32(m[3])<<24
+	site.baryOff.Store(int64(imm))
+	g := p.Mem[pc+rewrite.PLTCheckGotOffset:]
+	var got int64
+	for i := 0; i < 8; i++ {
+		got |= int64(g[i]) << (8 * i)
+	}
+	site.gotAddr.Store(got)
+	ins := visa.Instr{Op: opFusedCheckPLT, Imm: int64(idx)}
+	size := int(rewrite.PLTCheckSeqSize)
+	if p.engine == EngineThreaded {
+		if bop, nops, bsize, ok := p.scanFoldableBranch(end); ok {
+			ins.R1, ins.R2 = byte(bop), byte(nops)
+			size += nops + bsize
+		}
+	}
+	return ins, size, true
+}
+
+// scanFoldableBranch inspects the bytes after a matched check span for
+// the indirect branch the rewriter emits there — up to three alignment
+// NOPs, then exactly JMPR R11, CALLR R11, or the longjmp transfer
+// JRESTORE R3:R4:R11 (returns are a POP into R11 followed by JMPR, so
+// they fold as JMPR). Anything else — including a span that leaves the
+// executable region — refuses the fold; the check superinstruction
+// then ends at the hlt and the branch executes as its own step.
+func (p *Process) scanFoldableBranch(start int64) (visa.Op, int, int, bool) {
+	pc := start
+	nops := 0
+	for ; nops <= 3; nops++ {
+		ins, n, err := visa.Decode(p.Mem, int(pc))
+		if err != nil {
+			return 0, 0, 0, false
+		}
+		if ins.Op == visa.NOP {
+			pc += int64(n)
+			continue
+		}
+		switch {
+		case ins.Op == visa.JMPR && ins.R1 == visa.R11,
+			ins.Op == visa.CALLR && ins.R1 == visa.R11,
+			ins.Op == visa.JRESTORE && ins.R1 == visa.R3 && ins.R2 == visa.R4 && ins.R3 == visa.R11:
+			end := pc + int64(n)
+			if end > int64(len(p.Mem)) || p.Prot(end-1)&visa.ProtExec == 0 {
+				return 0, 0, 0, false
+			}
+			return ins.Op, nops, n, true
+		}
+		return 0, 0, 0, false
+	}
+	return 0, 0, 0, false
 }
 
 // stepFused executes one fused check transaction. Step has already
@@ -164,9 +266,11 @@ func (p *Process) tryFuse(pc int64) (visa.Instr, int, bool) {
 // guest instructions the interp engine would have executed, reproducing
 // its architectural effects exactly: registers R9–R11, the comparison
 // flags, the continuation PC, and on a violation the fault PC of the
-// hlt. pc is the span start.
-func (t *Thread) stepFused(pc int64, idx int) error {
+// hlt. pc is the span start; ins is the cache slot (its R1/R2 carry a
+// folded branch, if any).
+func (t *Thread) stepFused(pc int64, ins *visa.Instr) error {
 	p := t.P
+	idx := int(ins.Imm)
 	sites := p.fused.sites.Load()
 	if sites == nil || idx < 0 || idx >= len(*sites) {
 		return t.fault(FaultDecode, "fused check slot with no registered site")
@@ -195,7 +299,7 @@ func (t *Thread) stepFused(pc int64, idx int) error {
 		t.fa, t.fb, t.fFloat = idv, idv, false
 		t.Instret += 4
 		t.PC = pc + rewrite.CheckSeqSize
-		return nil
+		return t.foldedBranch(ins)
 	}
 
 	baryOff := site.baryOff.Load()
@@ -211,7 +315,7 @@ func (t *Thread) stepFused(pc int64, idx int) error {
 			t.Instret += int64(8*retries) + 4
 			t.PC = pc + rewrite.CheckSeqSize
 			site.verdict.Store(&fusedVerdict{epoch: epoch, target: target, id: bid})
-			return nil
+			return t.foldedBranch(ins)
 		}
 		if tid&1 == 0 {
 			// testb finds the validity bit clear; je Halt (taken); hlt:
@@ -234,9 +338,152 @@ func (t *Thread) stepFused(pc int64, idx int) error {
 			// An update storm (or an unpublished Bary ID) keeps the
 			// versions apart. Retire the rounds and resume per-
 			// instruction at Try so the spin stays interruptible by
-			// Run's exit and budget polling.
+			// Run's exit and budget polling. The folded branch (if any)
+			// is NOT executed — per-instruction stepping will reach its
+			// plain bytes after the re-run check passes.
 			t.Instret += int64(8 * (retries + 1))
 			t.PC = pc + rewrite.CheckTryOffset
+			return nil
+		}
+	}
+}
+
+// foldedBranch completes a passed check whose slot folded the
+// following indirect branch (threaded engine). On entry t.PC is the
+// check span's end — where the interp engine would sit after je Ok —
+// and R11 holds the masked, validated target. The alignment NOPs and
+// the branch itself retire exactly as the interp engine would retire
+// them; a verdict-cache hit reaches here too, so the memoized target
+// transfers without re-decoding the branch. Slots without a fold
+// (ins.R1 == 0) return immediately.
+func (t *Thread) foldedBranch(ins *visa.Instr) error {
+	if ins.R1 == 0 {
+		return nil
+	}
+	r := &t.Reg
+	t.Instret += int64(ins.R2) // alignment NOPs between check and branch
+	branchPC := t.PC + int64(ins.R2)
+	op := visa.Op(ins.R1)
+	t.Instret++ // the branch retires even if its push faults
+	switch op {
+	case visa.JMPR:
+		t.PC = r[visa.R11]
+	case visa.CALLR:
+		// The return address is the byte after the callr; a stack fault
+		// must report the callr's own PC.
+		t.PC = branchPC
+		if err := t.push(branchPC + int64(op.Size())); err != nil {
+			return err
+		}
+		t.PC = r[visa.R11]
+	case visa.JRESTORE:
+		t.Reg[visa.SP] = r[visa.R3]
+		t.Reg[visa.FP] = r[visa.R4]
+		t.PC = r[visa.R11]
+	default:
+		return t.fault(FaultDecode, "fused slot folds unknown branch %s", op.Name())
+	}
+	return nil
+}
+
+// stepFusedPLT executes one fused PLT-stub check transaction — the
+// GOT-slot-reloading variant (§5.2): every retry round re-executes the
+// stub's movi + ld64 so a retried transaction observes the freshest
+// GOT value, exactly as the guest loop would. Step has already retired
+// the leading movi; pc is the stub's try label (= span start). Instret
+// per round is movi, ld64, and32, then the canonical tail: pass = 7,
+// invalid-bit halt = 10, same-version halt = 12, full retry round = 11.
+func (t *Thread) stepFusedPLT(pc int64, ins *visa.Instr) error {
+	p := t.P
+	idx := int(ins.Imm)
+	sites := p.fused.sites.Load()
+	if sites == nil || idx < 0 || idx >= len(*sites) {
+		return t.fault(FaultDecode, "fused PLT slot with no registered site")
+	}
+	site := (*sites)[idx]
+	r := &t.Reg
+	gotAddr := site.gotAddr.Load()
+	baryOff := site.baryOff.Load()
+	t.FusedExecs++
+	t.FusedPLTExecs++
+
+	// Epoch before any load (same ordering argument as stepFused). The
+	// GOT slot is rewritten only inside update transactions, whose
+	// completion bumps the epoch, so a verdict hit may also skip the
+	// GOT reload: a check reusing the verdict linearizes before the
+	// in-flight update, GOT rewrite included.
+	epoch := p.fused.epoch.Load()
+
+	if v := site.verdict.Load(); v != nil && v.epoch == epoch {
+		// Cached verdict: replays a zero-retry pass — movi (already
+		// retired), ld64, and32, tloadi, tload, cmp, je Ok.
+		t.FusedVerdictHits++
+		idv := int64(v.id)
+		r[visa.R11] = int64(v.target)
+		r[visa.R10], r[visa.R9] = idv, idv
+		t.fa, t.fb, t.fFloat = idv, idv, false
+		t.Instret += 6
+		t.PC = pc + rewrite.PLTCheckSeqSize
+		return t.foldedBranch(ins)
+	}
+
+	for retries := 0; ; retries++ {
+		if retries > 0 {
+			t.Instret++ // movi (Step covered round 0's)
+		}
+		r[visa.R11] = gotAddr // movi's architectural effect
+		// ld64 r11, [r11] — the GOT reload. It can fault like any guest
+		// load; the fault PC is the ld64's own address and the load
+		// still retires.
+		t.Instret++
+		t.PC = pc + rewrite.PLTCheckLoadOffset
+		v, err := t.load(gotAddr, 8)
+		// Like Step's load handlers, the destination is clobbered with
+		// the (zero) loaded value even when the load faults.
+		r[visa.R11] = int64(v)
+		if err != nil {
+			return err
+		}
+		// and32 r11.
+		t.Instret++
+		r[visa.R11] = int64(uint32(r[visa.R11]))
+		target := uint32(r[visa.R11])
+
+		// Try tail: tloadi r10; tload r9, r11.
+		bid := p.Tables.Load32(baryOff)
+		tid := p.Tables.Load32(int64(target))
+		r[visa.R10], r[visa.R9] = int64(bid), int64(tid)
+
+		if bid == tid {
+			// cmp; je Ok (taken): 4 more this round.
+			t.fa, t.fb, t.fFloat = int64(bid), int64(tid), false
+			t.Instret += 4
+			t.PC = pc + rewrite.PLTCheckSeqSize
+			site.verdict.Store(&fusedVerdict{epoch: epoch, target: target, id: bid})
+			return t.foldedBranch(ins)
+		}
+		if tid&1 == 0 {
+			// testb; je Halt (taken); hlt: 7 more this round.
+			t.fa, t.fb, t.fFloat = 0, 0, false
+			t.Instret += 7
+			t.PC = pc + rewrite.PLTCheckHaltOffset
+			return t.fault(FaultCFI, "hlt")
+		}
+		t.fa, t.fb, t.fFloat = int64(bid&0xFFFF), int64(tid&0xFFFF), false
+		if bid&0xFFFF == tid&0xFFFF {
+			// cmpw; jne Try falls through; hlt: 9 more this round.
+			t.Instret += 9
+			t.PC = pc + rewrite.PLTCheckHaltOffset
+			return t.fault(FaultCFI, "hlt")
+		}
+		// Version mismatch: jne Try (taken), 8 more, reload the GOT and
+		// go again.
+		t.Instret += 8
+		if retries+1 >= maxFusedRetries {
+			// Hand the spin back to the run loop at Try (= the span
+			// start, so the slot re-enters bounded rounds) to stay
+			// interruptible by exit/budget polling.
+			t.PC = pc
 			return nil
 		}
 	}

@@ -11,10 +11,13 @@
 // is the deterministic cost metric behind the Fig. 5/6 overhead
 // experiments (extra executed instrumentation = overhead).
 //
-// Two fetch engines exist (see cache.go): EngineCached, the default,
+// Four fetch engines exist (see cache.go): EngineCached, the default,
 // predecodes each instruction once per executable-page generation;
-// EngineInterp decodes raw bytes every step. Both retire the exact
-// same instruction stream, so the cost metric is engine-independent.
+// EngineInterp decodes raw bytes every step; EngineFused adds check-
+// transaction superinstructions (fused.go); EngineThreaded dispatches
+// through per-slot func pointers and fuses branch-folded and trace
+// superinstructions on top (threaded.go). All retire the exact same
+// instruction stream, so the cost metric is engine-independent.
 package vm
 
 import (
@@ -146,6 +149,7 @@ type Process struct {
 	checkExecs  atomic.Int64
 	checkHalts  atomic.Int64
 	verdictHits atomic.Int64
+	pltExecs    atomic.Int64
 
 	// nextTID hands out thread ids; threads tracks live ones.
 	nextTID  atomic.Int64
@@ -248,6 +252,11 @@ type CheckStats struct {
 	// cache without touching the tables; Misses is the remainder.
 	VerdictHits   int64
 	VerdictMisses int64
+	// PLTExecs counts the subset of Execs that ran the PLT-stub check
+	// template (the GOT-reloading variant) — the observable proof that
+	// dynamically linked call sites execute fused rather than falling
+	// back to per-instruction stepping.
+	PLTExecs int64
 }
 
 // CheckStatsSnapshot reads the process-wide counters. Threads flush at
@@ -262,6 +271,7 @@ func (p *Process) CheckStatsSnapshot() CheckStats {
 		Halts:         p.checkHalts.Load(),
 		VerdictHits:   hits,
 		VerdictMisses: execs - hits,
+		PLTExecs:      p.pltExecs.Load(),
 	}
 }
 
@@ -318,12 +328,15 @@ type Thread struct {
 
 	// FusedExecs counts fused check transactions executed by this
 	// thread; FusedVerdictHits counts the subset served from the
-	// verdict cache without touching the tables. Both flush to the
+	// verdict cache without touching the tables; FusedPLTExecs the
+	// subset that ran the PLT-stub template. All flush to the
 	// process-wide counters at the instret watermark cadence.
 	FusedExecs       int64
 	FusedVerdictHits int64
+	FusedPLTExecs    int64
 	flushedExecs     int64
 	flushedHits      int64
+	flushedPLT       int64
 }
 
 // NewThread creates a thread with its stack pointer set.
@@ -477,6 +490,8 @@ func (t *Thread) flushCounters() {
 	t.flushedExecs = t.FusedExecs
 	t.P.verdictHits.Add(t.FusedVerdictHits - t.flushedHits)
 	t.flushedHits = t.FusedVerdictHits
+	t.P.pltExecs.Add(t.FusedPLTExecs - t.flushedPLT)
+	t.flushedPLT = t.FusedPLTExecs
 }
 
 // Run executes until process exit, cancellation, a fault, or maxInstr
@@ -489,6 +504,9 @@ func (t *Thread) flushCounters() {
 // skips values and an exact-multiple test would miss flushes.
 func (t *Thread) Run(maxInstr int64) error {
 	defer t.flushCounters()
+	if t.P.engine == EngineThreaded {
+		return t.runThreaded(maxInstr)
+	}
 	poll := true
 	for {
 		if maxInstr > 0 && t.Instret >= maxInstr {
@@ -553,7 +571,14 @@ func (t *Thread) Step() error {
 	case opFusedCheck:
 		// The fused check transaction manages PC, flags, and Instret
 		// itself (Instret++ above covered its leading and32).
-		return t.stepFused(pc, int(ins.Imm))
+		return t.stepFused(pc, ins)
+	case opFusedCheckPLT:
+		// PLT variant: Instret++ above covered the stub's leading movi.
+		return t.stepFusedPLT(pc, ins)
+	case opTraceMaskStore:
+		// Fused sandbox-mask + store pair: Instret++ above covered the
+		// andi; the handler retires and performs the store.
+		return t.stepTraceMaskStore(ins, next)
 	case visa.MOVI:
 		r[ins.R1] = ins.Imm
 	case visa.MOV:

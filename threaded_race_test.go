@@ -1,0 +1,79 @@
+// Race-hardening test for the direct-threaded engine, the
+// branch-folding analogue of fused_race_test.go: an instrumented
+// workload runs on EngineThreaded — folded branches, verdict cache,
+// trace superinstructions and all — while a host goroutine issues
+// table update transactions as fast as it can. Under `go test -race`
+// this exercises the threaded fill path (handler publication in the
+// page cache, fold scanning past the check span) against concurrent
+// epoch bumps and slot invalidation.
+package mcfi
+
+import (
+	"sync"
+	"testing"
+
+	"mcfi/internal/mrt"
+	"mcfi/internal/tables"
+	"mcfi/internal/toolchain"
+	"mcfi/internal/visa"
+	"mcfi/internal/vm"
+	"mcfi/internal/workload"
+)
+
+func TestThreadedEngineUnderUpdateStorm(t *testing.T) {
+	w, ok := workload.ByName("sjeng")
+	if !ok {
+		t.Fatal("sjeng workload missing")
+	}
+	img, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	).Build(w.TestSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := runWithEngine(t, img, vm.EngineInterp)
+
+	rt, err := mrt.New(img, mrt.Options{Engine: vm.EngineThreaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rt.Tables.Reversion(tables.UpdateOpts{Parallel: true})
+			}
+		}
+	}()
+	code, err := rt.Run(2_000_000_000)
+	close(stop)
+	wg.Wait()
+
+	if err != nil {
+		t.Fatalf("threaded run under updates: %v (output %q)", err, rt.Output())
+	}
+	if code != ref.code || rt.Output() != ref.output {
+		t.Errorf("threaded under updates diverges from interp:\n  interp:   code=%d out=%q\n  threaded: code=%d out=%q",
+			ref.code, ref.output, code, rt.Output())
+	}
+	if rt.Tables.Updates() < 2 {
+		t.Logf("only %d updates raced the guest", rt.Tables.Updates())
+	}
+
+	// The quiet run must be bit-identical down to instret: a folded
+	// branch retires exactly the instruction it replaces, and a verdict
+	// hit replays exactly the pass it memoized.
+	quiet := runWithEngine(t, img, vm.EngineThreaded)
+	if quiet != ref {
+		t.Errorf("threaded without updates diverges from interp:\n  interp:   code=%d instret=%d\n  threaded: code=%d instret=%d",
+			ref.code, ref.instret, quiet.code, quiet.instret)
+	}
+}
