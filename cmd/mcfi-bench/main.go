@@ -23,9 +23,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
+	"mcfi/internal/buildstore"
 	"mcfi/internal/experiments"
 	"mcfi/internal/verifier"
 	"mcfi/internal/visa"
@@ -68,8 +68,10 @@ func main() {
 	work := flag.Int("work", 0, "override workload iteration count (0 = reference inputs)")
 	scale := flag.Float64("scale", 0.25, "Table 3 synthetic-module scale factor")
 	hz := flag.Int("hz", 50, "update-transaction frequency for fig6")
-	engineF := flag.String("engine", "cached", "VM execution engine: "+strings.Join(vm.EngineNames(), ", "))
+	engine := vm.EngineCached
+	flag.Var((*vm.EngineFlag)(&engine), "engine", vm.EngineUsage())
 	jobs := flag.Int("jobs", 0, "worker-pool width for builds and workloads (0 = GOMAXPROCS)")
+	storeDir := flag.String("store", "", "persistent build-store directory: reuse compiled artifacts across runs")
 	jsonPath := flag.String("json", "", "write per-experiment results to this file as JSON")
 	diffMode := flag.Bool("diff", false, "compare two -json snapshots: mcfi-bench -diff old.json new.json")
 	threshold := flag.Float64("threshold", 25, "with -diff, fail if any Minstr/s drop exceeds this percent")
@@ -79,11 +81,6 @@ func main() {
 		os.Exit(runDiff(flag.Args(), *threshold))
 	}
 
-	engine, err := vm.ParseEngine(*engineF)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcfi-bench:", err)
-		os.Exit(2)
-	}
 	c := experiments.Config{
 		Profile:  visa.Profile64,
 		Work:     *work,
@@ -94,24 +91,51 @@ func main() {
 	if *profile == 32 {
 		c.Profile = visa.Profile32
 	}
+	if *storeDir != "" {
+		disk, err := buildstore.OpenDisk(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcfi-bench:", err)
+			os.Exit(2)
+		}
+		c.Store = buildstore.NewTiered(buildstore.NewMem(0), disk)
+		defer c.Store.Close()
+	}
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
 		fmt.Printf("==== %s (%s, %s engine) ====\n", name, c.Profile, engine)
+		var before buildstore.Metrics
+		if c.Store != nil {
+			before = c.Store.Metrics()
+		}
 		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
 		secs := time.Since(start).Seconds()
-		fmt.Printf("[%s wall time: %.2fs]\n\n", name, secs)
-		records = append(records, experiments.BenchRecord{
+		rec := experiments.BenchRecord{
 			Experiment: name, Engine: engine.String(),
 			Profile: c.Profile.String(), Instrumented: true,
 			WallSecs: secs,
-		})
+		}
+		if c.Store != nil {
+			after := c.Store.Metrics()
+			rec.StoreBuilds = after.Builds - before.Builds
+			rec.StoreHits = map[string]int64{}
+			for tier, n := range after.TierHits {
+				if d := n - before.TierHits[tier]; d > 0 {
+					rec.StoreHits[tier] = d
+				}
+			}
+			fmt.Printf("[%s wall time: %.2fs; store: %d built, hits %v]\n\n",
+				name, secs, rec.StoreBuilds, rec.StoreHits)
+		} else {
+			fmt.Printf("[%s wall time: %.2fs]\n\n", name, secs)
+		}
+		records = append(records, rec)
 	}
 
 	run("sanity", func() error { return sanity(c) })

@@ -31,7 +31,8 @@ func main() {
 	workloads := flag.String("workloads", "", "comma-separated workload names (default: all)")
 	work := flag.Int("work", 0, "override workload iteration count (0 = reference inputs)")
 	testWork := flag.Bool("test-work", false, "use each workload's reduced test scale")
-	engine := flag.String("engine", "threaded", "VM engine for submitted jobs: "+strings.Join(vm.EngineNames(), ", "))
+	engine := vm.EngineThreaded
+	flag.Var((*vm.EngineFlag)(&engine), "engine", vm.EngineUsage())
 	baseline := flag.Bool("baseline", false, "run uninstrumented baselines instead of MCFI builds")
 	maxInstr := flag.Int64("max-instr", 0, "per-job instruction budget (0 = server default)")
 	timeoutMs := flag.Int64("timeout-ms", 0, "per-job wall-clock limit in ms (0 = server default)")
@@ -44,7 +45,7 @@ func main() {
 		Requests:    *requests,
 		Work:        *work,
 		UseTestWork: *testWork,
-		Engine:      *engine,
+		Engine:      engine.String(),
 		Baseline:    *baseline,
 		MaxInstr:    *maxInstr,
 		TimeoutMs:   *timeoutMs,

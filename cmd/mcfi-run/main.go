@@ -34,7 +34,8 @@ func main() {
 	profile := flag.Int("profile", 64, "VISA profile: 32 or 64")
 	maxInstr := flag.Int64("max", 0, "instruction budget (0 = unlimited)")
 	stats := flag.Bool("stats", false, "print instruction counts and table statistics")
-	engineF := flag.String("engine", "cached", "execution engine: "+strings.Join(vm.EngineNames(), ", "))
+	engine := vm.EngineCached
+	flag.Var((*vm.EngineFlag)(&engine), "engine", vm.EngineUsage())
 	var libs listFlag
 	flag.Var(&libs, "lib", "MiniC source compiled as a dlopen-able library (repeatable)")
 	flag.Parse()
@@ -42,10 +43,6 @@ func main() {
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: mcfi-run [flags] prog.c [more.c ...]")
 		os.Exit(2)
-	}
-	engine, err := vm.ParseEngine(*engineF)
-	if err != nil {
-		fatal(err)
 	}
 	prof := visa.Profile64
 	if *profile == 32 {

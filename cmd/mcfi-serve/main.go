@@ -1,18 +1,25 @@
 // mcfi-serve runs the multi-tenant MCFI execution service: an HTTP
 // daemon that builds submitted MiniC programs (or named workloads)
-// through a content-addressed build cache and executes each job in an
-// isolated MCFI runtime on a bounded worker pool, with per-job
+// through a tiered content-addressed build store and executes each job
+// in an isolated MCFI runtime on a bounded worker pool, with per-job
 // instruction budgets and wall-clock timeouts.
 //
 // Usage:
 //
-//	mcfi-serve -addr :8377 -workers 4 -queue 8
+//	mcfi-serve -addr :8377 -workers 4 -queue 8 -store-dir /var/cache/mcfi
 //
-// Endpoints:
+// Endpoints (versioned under /v1/; the unversioned forms are aliases):
 //
-//	POST /run      {"workload":"qsort","work":2000}  or  {"source":"int main..."}
-//	GET  /healthz  200 while serving, 503 once draining
-//	GET  /metrics  JSON counters: jobs, queue, build cache, execution
+//	POST /v1/run        {"workload":"qsort","work":2000}  or  {"source":"int main..."}
+//	GET  /v1/healthz    200 while serving, 503 once draining
+//	GET  /v1/metrics    JSON counters: jobs, queue, build store, execution
+//	GET  /v1/store/{k}  sealed artifact blobs (also HEAD/PUT) — replica sharing
+//
+// With -store-dir, compiled images and per-flavor libc objects persist
+// across restarts (a warm restart recompiles nothing), and the
+// directory may be shared by concurrent replicas. With -store-remote,
+// a peer's /v1/store endpoint is consulted before building and fresh
+// builds are published back to it.
 //
 // On SIGTERM/SIGINT the server stops admitting jobs, finishes the
 // queue within -drain-grace, force-cancels whatever is still running,
@@ -39,7 +46,9 @@ func main() {
 	queueDepth := flag.Int("queue", 0, "admission queue depth (0 = 2x workers)")
 	maxInstr := flag.Int64("max-instr", 0, "default per-job instruction budget (0 = 2e9)")
 	timeout := flag.Duration("timeout", 0, "default per-job wall-clock limit (0 = 60s)")
-	cacheEntries := flag.Int("cache-entries", 0, "build-cache capacity in images (0 = 256)")
+	cacheEntries := flag.Int("cache-entries", 0, "in-memory store tier capacity in images (0 = 256)")
+	storeDir := flag.String("store-dir", "", "persistent build-store directory (empty = in-memory only)")
+	storeRemote := flag.String("store-remote", "", "base URL of a peer build store to fetch from and publish to")
 	buildJobs := flag.Int("build-jobs", 0, "compile concurrency per build (0 = 1)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "time queued jobs get to finish on shutdown")
 	flag.Parse()
@@ -47,14 +56,27 @@ func main() {
 	log.SetPrefix("mcfi-serve: ")
 	log.SetFlags(log.LstdFlags)
 
-	s := server.New(server.Config{
+	s, err := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
 		CacheEntries:    *cacheEntries,
+		StoreDir:        *storeDir,
+		RemoteStore:     *storeRemote,
 		DefaultMaxInstr: *maxInstr,
 		DefaultTimeout:  *timeout,
 		BuildJobs:       *buildJobs,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *storeDir != "" {
+		st := s.Store().Metrics()
+		for _, tier := range st.Tiers {
+			if tier.Tier == "disk" {
+				log.Printf("build store: %s (%d artifacts, %d KiB)", *storeDir, tier.Entries, tier.Bytes/1024)
+			}
+		}
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -84,6 +106,7 @@ func main() {
 		log.Printf("http shutdown: %v", err)
 	}
 	m := s.MetricsSnapshot()
-	log.Printf("drained: %d jobs completed, %d CFI violations, %.0f%% cache hit rate",
-		m.Jobs.Completed, m.Jobs.CFIViolations, 100*m.BuildCache.HitRate)
+	log.Printf("drained: %d jobs completed, %d CFI violations, %.0f%% store hit rate (%d builds, %d libc compiles)",
+		m.Jobs.Completed, m.Jobs.CFIViolations, 100*m.BuildStore.HitRate,
+		m.BuildStore.Builds, m.BuildStore.ObjectBuilds)
 }

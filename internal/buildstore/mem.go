@@ -1,0 +1,119 @@
+package buildstore
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"mcfi/internal/linker"
+)
+
+// DefaultMemEntries bounds the in-memory tier when the config does not.
+const DefaultMemEntries = 256
+
+// Mem is the in-process tier: decoded images behind an LRU. It
+// replaces the FIFO eviction of the old server.BuildCache — under a
+// burst of one-off raw-source tenants, FIFO evicted the oldest entries
+// regardless of use, which were exactly the hot, expensive shared
+// images (libc-heavy workloads every tenant runs); LRU keeps whatever
+// keeps getting hit.
+//
+// Mem holds successful builds only. Negative caching (deterministic
+// build failures) and build coalescing live in Tiered, which fronts
+// this tier.
+type Mem struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	max     int
+	bytes   int64
+
+	hits, misses, puts atomic.Int64
+}
+
+type memEntry struct {
+	key  string
+	img  *linker.Image
+	size int64
+}
+
+// NewMem returns an in-memory store holding at most max images
+// (<= 0 means DefaultMemEntries).
+func NewMem(max int) *Mem {
+	if max <= 0 {
+		max = DefaultMemEntries
+	}
+	return &Mem{entries: map[string]*list.Element{}, lru: list.New(), max: max}
+}
+
+// Get returns the cached image and marks it most recently used.
+func (m *Mem) Get(key string) (*linker.Image, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[key]
+	if !ok {
+		m.misses.Add(1)
+		return nil, ErrNotFound
+	}
+	m.hits.Add(1)
+	m.lru.MoveToFront(el)
+	return el.Value.(*memEntry).img, nil
+}
+
+// Put inserts (or refreshes) an entry, evicting least-recently-used
+// entries to stay within the bound.
+func (m *Mem) Put(key string, img *linker.Image) error {
+	if !ValidKey(key) {
+		return errBadKey
+	}
+	size := int64(len(img.Code) + len(img.Data))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.puts.Add(1)
+	if el, ok := m.entries[key]; ok {
+		e := el.Value.(*memEntry)
+		m.bytes += size - e.size
+		e.img, e.size = img, size
+		m.lru.MoveToFront(el)
+		return nil
+	}
+	m.entries[key] = m.lru.PushFront(&memEntry{key: key, img: img, size: size})
+	m.bytes += size
+	for len(m.entries) > m.max {
+		el := m.lru.Back()
+		e := el.Value.(*memEntry)
+		m.lru.Remove(el)
+		delete(m.entries, e.key)
+		m.bytes -= e.size
+	}
+	return nil
+}
+
+// Has reports whether key is cached (without touching recency).
+func (m *Mem) Has(key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.entries[key]
+	return ok
+}
+
+// Stats snapshots the tier.
+func (m *Mem) Stats() Stats {
+	m.mu.Lock()
+	n, b := len(m.entries), m.bytes
+	m.mu.Unlock()
+	return Stats{
+		Tier: string(TierMem), Entries: n, Bytes: b,
+		Hits: m.hits.Load(), Misses: m.misses.Load(), Puts: m.puts.Load(),
+	}
+}
+
+// Close drops all entries.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = map[string]*list.Element{}
+	m.lru.Init()
+	m.bytes = 0
+	return nil
+}

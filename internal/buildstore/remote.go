@@ -1,0 +1,208 @@
+package buildstore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mcfi/internal/linker"
+)
+
+// The fetch/publish protocol: sealed blobs move verbatim over
+//
+//	GET  /v1/store/{key}   200 + envelope | 404
+//	HEAD /v1/store/{key}   200 | 404
+//	PUT  /v1/store/{key}   envelope body -> 204 | 400 (bad key/seal)
+//
+// Both ends verify the Seal envelope, so a corrupted transfer (or a
+// hostile peer) is rejected, never decoded. Every mcfi-serve replica
+// mounts Handler over its disk tier, so replicas can point -store-remote
+// at each other (or at a dedicated cache) and share one warm store.
+
+// Remote is a Store backed by another process's /v1/store endpoint.
+type Remote struct {
+	base   string // e.g. "http://cache:8377" (no trailing slash)
+	client *http.Client
+
+	hits, misses, puts, corrupt atomic.Int64
+}
+
+// NewRemote returns a client for the store at base (the server root;
+// "/v1/store/" is appended). A nil client gets a 30s timeout default.
+func NewRemote(base string, client *http.Client) *Remote {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Remote{base: strings.TrimRight(base, "/"), client: client}
+}
+
+func (r *Remote) url(key string) string { return r.base + "/v1/store/" + key }
+
+// GetBlob fetches and verifies the payload under key.
+func (r *Remote) GetBlob(key string) ([]byte, error) {
+	if !ValidKey(key) {
+		return nil, errBadKey
+	}
+	resp, err := r.client.Get(r.url(key))
+	if err != nil {
+		r.misses.Add(1)
+		return nil, fmt.Errorf("buildstore: remote get: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		r.misses.Add(1)
+		return nil, ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		r.misses.Add(1)
+		return nil, fmt.Errorf("buildstore: remote get: %s", resp.Status)
+	}
+	env, err := io.ReadAll(resp.Body)
+	if err != nil {
+		r.misses.Add(1)
+		return nil, fmt.Errorf("buildstore: remote get: %w", err)
+	}
+	payload, err := Open(env)
+	if err != nil {
+		// The peer served bytes that fail verification: refuse them.
+		r.corrupt.Add(1)
+		r.misses.Add(1)
+		return nil, ErrNotFound
+	}
+	r.hits.Add(1)
+	return payload, nil
+}
+
+// PutBlob publishes a payload to the peer. Publish failures are
+// returned but callers treat the remote as best-effort (a down peer
+// must not fail the build).
+func (r *Remote) PutBlob(key string, payload []byte) error {
+	if !ValidKey(key) {
+		return errBadKey
+	}
+	r.puts.Add(1)
+	req, err := http.NewRequest(http.MethodPut, r.url(key), bytes.NewReader(Seal(payload)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("buildstore: remote put: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("buildstore: remote put: %s", resp.Status)
+	}
+	return nil
+}
+
+// HasBlob probes the peer with a HEAD request.
+func (r *Remote) HasBlob(key string) bool {
+	if !ValidKey(key) {
+		return false
+	}
+	resp, err := r.client.Head(r.url(key))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Get fetches and decodes an image.
+func (r *Remote) Get(key string) (*linker.Image, error) {
+	payload, err := r.GetBlob(key)
+	if err != nil {
+		return nil, err
+	}
+	img, err := decodeImage(payload)
+	if err != nil {
+		r.corrupt.Add(1)
+		return nil, ErrNotFound
+	}
+	return img, nil
+}
+
+// Put encodes and publishes an image.
+func (r *Remote) Put(key string, img *linker.Image) error {
+	payload, err := encodeImage(img)
+	if err != nil {
+		return err
+	}
+	return r.PutBlob(key, payload)
+}
+
+// Has probes the peer.
+func (r *Remote) Has(key string) bool { return r.HasBlob(key) }
+
+// Stats snapshots the client-side counters (entry counts live on the
+// serving side).
+func (r *Remote) Stats() Stats {
+	return Stats{
+		Tier: string(TierRemote),
+		Hits: r.hits.Load(), Misses: r.misses.Load(),
+		Puts: r.puts.Load(), Corrupt: r.corrupt.Load(),
+	}
+}
+
+// Close is a no-op (the HTTP client owns no persistent state).
+func (r *Remote) Close() error { return nil }
+
+// Handler serves the fetch/publish protocol from a local blob store.
+// Mount it at "/v1/store/" (and the legacy "/store/" alias if
+// desired); the key is the final path segment.
+func Handler(bs BlobStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		key := req.URL.Path[strings.LastIndexByte(req.URL.Path, '/')+1:]
+		if !ValidKey(key) {
+			http.Error(w, "malformed store key", http.StatusBadRequest)
+			return
+		}
+		switch req.Method {
+		case http.MethodHead:
+			if !bs.HasBlob(key) {
+				w.WriteHeader(http.StatusNotFound)
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+		case http.MethodGet:
+			payload, err := bs.GetBlob(key)
+			if err != nil {
+				http.Error(w, "not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(Seal(payload))
+		case http.MethodPut:
+			env, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBlobBytes))
+			if err != nil {
+				http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			payload, err := Open(env)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := bs.PutBlob(key, payload); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "GET, HEAD, or PUT", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// maxBlobBytes bounds a published blob (64 MiB — far above any linked
+// MCFI image, low enough to stop a hostile peer from exhausting
+// memory).
+const maxBlobBytes = 64 << 20

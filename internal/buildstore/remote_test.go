@@ -1,0 +1,136 @@
+package buildstore
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"mcfi/internal/linker"
+)
+
+// remotePair serves a disk store over the /v1/store protocol and
+// returns a Remote client for it.
+func remotePair(t *testing.T) (*Disk, *Remote) {
+	t.Helper()
+	disk := openTestDisk(t, t.TempDir())
+	mux := http.NewServeMux()
+	mux.Handle("/v1/store/", Handler(disk))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return disk, NewRemote(srv.URL, srv.Client())
+}
+
+func TestRemoteRoundTrip(t *testing.T) {
+	disk, r := remotePair(t)
+	k := testKey("remote")
+	img := testImage(6)
+
+	// Publish through the client; the serving side persists it.
+	if err := r.Put(k, img); err != nil {
+		t.Fatal(err)
+	}
+	if !disk.Has(k) {
+		t.Fatal("PUT did not reach the serving disk store")
+	}
+	if !r.Has(k) {
+		t.Error("HEAD after PUT says absent")
+	}
+	got, err := r.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameImage(t, got, img)
+
+	if _, err := r.Get(testKey("absent")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("absent key: %v, want ErrNotFound", err)
+	}
+	if r.Has(testKey("absent")) {
+		t.Error("HEAD of absent key says present")
+	}
+	st := r.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("client stats: %+v", st)
+	}
+}
+
+// TestRemoteRefusesCorruptPeer: bytes corrupted on the serving side
+// fail client-side verification and surface as a miss, never as a
+// decodable artifact.
+func TestRemoteRefusesCorruptPeer(t *testing.T) {
+	disk, r := remotePair(t)
+	k := testKey("evil-peer")
+	if err := r.Put(k, testImage(8)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload bit at rest; the server's GetBlob quarantines it,
+	// so the client sees 404 → ErrNotFound.
+	path := disk.blobPath(k)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x80
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt peer entry: %v, want ErrNotFound", err)
+	}
+}
+
+func TestRemoteProtocolRejectsBadRequests(t *testing.T) {
+	_, r := remotePair(t)
+	if err := r.PutBlob("not-a-key", []byte("x")); !errors.Is(err, errBadKey) {
+		t.Errorf("bad key: %v", err)
+	}
+	// Handler-side: a malformed envelope is a 400.
+	resp, err := http.Post(r.url(testKey("x")), "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPut, r.url(testKey("x")), nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("PUT of unsealed body = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestTieredRemoteTier: a cold replica with a warm peer serves from
+// the remote tier and backfills locally.
+func TestTieredRemoteTier(t *testing.T) {
+	_, r := remotePair(t)
+	k := testKey("replica")
+	if err := r.Put(k, testImage(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := NewTiered(NewMem(0), r)
+	defer ts.Close()
+	img, tier, err := ts.GetOrBuild(k, func() (*linker.Image, error) {
+		t.Error("built despite warm peer")
+		return nil, errors.New("unreachable")
+	})
+	if err != nil || tier != TierRemote {
+		t.Fatalf("cold replica get: tier=%s err=%v, want remote", tier, err)
+	}
+	sameImage(t, img, testImage(3))
+
+	// Backfilled: second lookup is local.
+	_, tier, err = ts.GetOrBuild(k, nil)
+	if err != nil || tier != TierMem {
+		t.Fatalf("second get: tier=%s err=%v, want mem", tier, err)
+	}
+	if m := ts.Metrics(); m.TierHits["remote"] != 1 || m.TierHits["mem"] != 1 {
+		t.Errorf("metrics: %+v", m)
+	}
+}

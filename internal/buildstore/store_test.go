@@ -1,0 +1,147 @@
+package buildstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mcfi/internal/linker"
+	"mcfi/internal/module"
+	"mcfi/internal/visa"
+)
+
+// testImage builds a small synthetic linked image whose content varies
+// with seed; buildstore never inspects the semantics, only round-trips
+// and verifies bytes.
+func testImage(seed byte) *linker.Image {
+	return &linker.Image{
+		Profile:      visa.Profile64,
+		Instrumented: true,
+		Code:         []byte{seed, 0x01, 0x02, 0x03, seed},
+		Data:         []byte{0x10, seed},
+		Entry:        64,
+		Syms: map[string]linker.SymInfo{
+			"main": {Addr: 64, Kind: module.SymFunc, Size: 5, Module: "t"},
+		},
+		Aux: module.AuxInfo{SetjmpConts: []int{int(seed)}},
+		GOT: map[string]int64{"g": 8},
+		PLT: map[string]int64{"p": 16},
+		Modules: []linker.ModuleRange{
+			{Name: "t", CodeStart: 64, CodeEnd: 69, DataStart: 0, DataEnd: 2},
+		},
+	}
+}
+
+func testKey(s string) string { return HashKey("test-material|" + s) }
+
+func sameImage(t *testing.T, a, b *linker.Image) {
+	t.Helper()
+	ab, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("images differ after round-trip")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	payload := []byte("the compiled artifact bytes")
+	got, err := Open(Seal(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mangled: %q", got)
+	}
+	if _, err := Open(Seal(nil)); err != nil {
+		t.Fatalf("empty payload: %v", err)
+	}
+}
+
+func TestOpenDetectsTruncationAndBitFlips(t *testing.T) {
+	env := Seal([]byte("some artifact that will be damaged at rest"))
+	// Truncation at every boundary, including inside the header.
+	for _, n := range []int{0, 3, blobHdrLen - 1, blobHdrLen, len(env) - 1} {
+		if _, err := Open(env[:n]); err == nil {
+			t.Errorf("truncation to %d bytes not detected", n)
+		}
+	}
+	// A single flipped bit anywhere must fail verification.
+	for _, pos := range []int{0, 5, blobHdrLen - 2, blobHdrLen, len(env) - 1} {
+		bad := append([]byte(nil), env...)
+		bad[pos] ^= 0x40
+		if _, err := Open(bad); err == nil {
+			t.Errorf("bit flip at offset %d not detected", pos)
+		}
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	good := HashKey("x")
+	if !ValidKey(good) {
+		t.Fatalf("HashKey output %q rejected", good)
+	}
+	for _, bad := range []string{
+		"", "abc", good[:63], good + "0",
+		"../../../../etc/passwd0000000000000000000000000000000000000000",
+		"ABCDEF0000000000000000000000000000000000000000000000000000000000", // uppercase
+		"zzzzzz0000000000000000000000000000000000000000000000000000000000"[:64],
+	} {
+		if ValidKey(bad) {
+			t.Errorf("ValidKey(%q) = true", bad)
+		}
+	}
+}
+
+func TestMemLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	m := NewMem(3)
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i] = testKey(fmt.Sprint("k", i))
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Put(keys[i], testImage(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k0 so k1 becomes the LRU entry; a FIFO cache would evict k0.
+	if _, err := m.Get(keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(keys[3], testImage(3)); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(keys[0]) {
+		t.Error("k0 evicted despite being recently used (FIFO behavior)")
+	}
+	if m.Has(keys[1]) {
+		t.Error("k1 (least recently used) survived eviction")
+	}
+	if st := m.Stats(); st.Entries != 3 {
+		t.Errorf("entries = %d, want 3", st.Entries)
+	}
+	if _, err := m.Get(testKey("absent")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("absent key: %v, want ErrNotFound", err)
+	}
+}
+
+func TestMemPutRefreshesExisting(t *testing.T) {
+	m := NewMem(2)
+	k := testKey("refresh")
+	m.Put(k, testImage(1))
+	m.Put(k, testImage(2))
+	img, err := m.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameImage(t, img, testImage(2))
+	if st := m.Stats(); st.Entries != 1 {
+		t.Errorf("entries = %d after refresh, want 1", st.Entries)
+	}
+}

@@ -1,0 +1,320 @@
+package buildstore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mcfi/internal/linker"
+)
+
+// DefaultFailedEntries bounds the negative cache (deterministic build
+// failures remembered so a bad source is not recompiled per request).
+const DefaultFailedEntries = 256
+
+// Tiered composes tiers (checked in order, cheapest first) behind one
+// front end and owns the cross-cutting policies that no single tier
+// should: build coalescing (concurrent requests for one key share one
+// build), negative caching (the pipeline is deterministic, so a source
+// that failed once fails the same way forever), backfill (a hit at a
+// lower tier is copied into the tiers above it), and write-through
+// (a fresh build is published to every tier, best-effort — a full disk
+// or down peer never fails the request).
+type Tiered struct {
+	tiers  []Store
+	labels []Tier      // labels[i] names tiers[i] (from its Stats)
+	blobs  []BlobStore // persistent subset of tiers, same order
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+	failed   map[string]error
+	failOrd  []string // FIFO bound on failed
+	failMax  int
+
+	hits, misses atomic.Int64
+	builds       atomic.Int64
+	objectBuilds atomic.Int64
+	failedBuilds atomic.Int64
+	tierHits     map[Tier]*atomic.Int64
+	closeOnce    sync.Once
+	closeErr     error
+}
+
+type flight struct {
+	done chan struct{}
+	img  *linker.Image
+	err  error
+}
+
+// NewTiered composes the given tiers, checked in argument order. Tiers
+// that also implement BlobStore (disk, remote) serve the object-blob
+// plane for libc artifacts.
+func NewTiered(tiers ...Store) *Tiered {
+	t := &Tiered{
+		tiers:    tiers,
+		inflight: map[string]*flight{},
+		failed:   map[string]error{},
+		failMax:  DefaultFailedEntries,
+		tierHits: map[Tier]*atomic.Int64{},
+	}
+	for _, s := range tiers {
+		label := Tier(s.Stats().Tier)
+		t.labels = append(t.labels, label)
+		if _, ok := t.tierHits[label]; !ok {
+			t.tierHits[label] = new(atomic.Int64)
+		}
+		if bs, ok := s.(BlobStore); ok {
+			t.blobs = append(t.blobs, bs)
+		}
+	}
+	for _, l := range []Tier{TierMem, TierDisk, TierRemote} {
+		if _, ok := t.tierHits[l]; !ok {
+			t.tierHits[l] = new(atomic.Int64)
+		}
+	}
+	return t
+}
+
+func (t *Tiered) countHit(tier Tier) {
+	t.hits.Add(1)
+	if c, ok := t.tierHits[tier]; ok {
+		c.Add(1)
+	}
+}
+
+// probe checks the tiers in order; on a hit the image is backfilled
+// into every tier above the one that had it.
+func (t *Tiered) probe(key string) (*linker.Image, Tier, bool) {
+	for i, s := range t.tiers {
+		img, err := s.Get(key)
+		if err != nil {
+			continue // ErrNotFound, quarantined corruption, or a tier fault
+		}
+		for j := i - 1; j >= 0; j-- {
+			t.tiers[j].Put(key, img)
+		}
+		return img, t.labels[i], true
+	}
+	return nil, "", false
+}
+
+// GetOrBuild returns the image for key, consulting each tier in order
+// and falling back to build on a total miss. The returned Tier names
+// the source: a cache tier, or TierBuilt for a fresh compile.
+// Concurrent callers for one key share a single build (waiters report
+// TierMem: they received an in-memory shared result). Build failures
+// are cached, so repeat requests for a broken source fail fast.
+func (t *Tiered) GetOrBuild(key string, build func() (*linker.Image, error)) (*linker.Image, Tier, error) {
+	if !ValidKey(key) {
+		return nil, "", errBadKey
+	}
+	t.mu.Lock()
+	if err, ok := t.failed[key]; ok {
+		t.mu.Unlock()
+		t.countHit(TierMem)
+		return nil, TierMem, err
+	}
+	if f, ok := t.inflight[key]; ok {
+		t.mu.Unlock()
+		<-f.done
+		// Waiters share the leader's in-memory result (or its failure),
+		// and count as hits either way, like the old BuildCache.
+		t.countHit(TierMem)
+		return f.img, TierMem, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	t.inflight[key] = f
+	t.mu.Unlock()
+
+	img, tier, ok := t.probe(key)
+	if ok {
+		t.countHit(tier)
+		t.settle(key, f, img, nil)
+		return img, tier, nil
+	}
+
+	t.misses.Add(1)
+	t.builds.Add(1)
+	img, err := build()
+	if err != nil {
+		t.failedBuilds.Add(1)
+		t.noteFailed(key, err)
+		t.settle(key, f, nil, err)
+		return nil, TierBuilt, err
+	}
+	for _, s := range t.tiers {
+		s.Put(key, img) // best-effort write-through
+	}
+	t.settle(key, f, img, nil)
+	return img, TierBuilt, nil
+}
+
+// settle publishes a flight's result and releases its waiters.
+func (t *Tiered) settle(key string, f *flight, img *linker.Image, err error) {
+	f.img, f.err = img, err
+	t.mu.Lock()
+	delete(t.inflight, key)
+	t.mu.Unlock()
+	close(f.done)
+}
+
+// noteFailed records a deterministic build failure, evicting the
+// oldest remembered failure when over the bound.
+func (t *Tiered) noteFailed(key string, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.failed[key]; !ok {
+		t.failOrd = append(t.failOrd, key)
+		if len(t.failOrd) > t.failMax {
+			delete(t.failed, t.failOrd[0])
+			t.failOrd = t.failOrd[1:]
+		}
+	}
+	t.failed[key] = err
+}
+
+// BlobTiers reports how many composed tiers carry the raw-blob plane
+// (disk, remote). Zero means GetOrBuildObject can never hit and
+// callers may skip the store for object artifacts entirely.
+func (t *Tiered) BlobTiers() int { return len(t.blobs) }
+
+// GetOrBuildObject is GetOrBuild's raw-blob sibling, used for compiled
+// libc objects: it consults the persistent (blob-capable) tiers only —
+// in-process memoization of decoded objects is the toolchain
+// LibcCache's job — and publishes a fresh build to all of them.
+// ObjectBuilds counts the total-miss path; a warm store keeps it at
+// zero across restarts.
+func (t *Tiered) GetOrBuildObject(key string, build func() ([]byte, error)) ([]byte, Tier, error) {
+	if !ValidKey(key) {
+		return nil, "", errBadKey
+	}
+	for i, bs := range t.blobs {
+		payload, err := bs.GetBlob(key)
+		if err != nil {
+			continue
+		}
+		for j := i - 1; j >= 0; j-- {
+			t.blobs[j].PutBlob(key, payload)
+		}
+		tier := TierDisk
+		if _, isRemote := bs.(*Remote); isRemote {
+			tier = TierRemote
+		}
+		t.countHit(tier)
+		return payload, tier, nil
+	}
+	t.misses.Add(1)
+	t.objectBuilds.Add(1)
+	payload, err := build()
+	if err != nil {
+		return nil, TierBuilt, err
+	}
+	for _, bs := range t.blobs {
+		bs.PutBlob(key, payload) // best-effort
+	}
+	return payload, TierBuilt, nil
+}
+
+// Metrics is the aggregate view the server exports: totals across the
+// composite plus a per-tier breakdown.
+type Metrics struct {
+	Hits         int64            `json:"hits"`
+	Misses       int64            `json:"misses"`
+	Builds       int64            `json:"builds"`
+	ObjectBuilds int64            `json:"object_builds"`
+	FailedBuilds int64            `json:"failed_builds"`
+	HitRate      float64          `json:"hit_rate"`
+	TierHits     map[string]int64 `json:"tier_hits"`
+	Tiers        []Stats          `json:"tiers"`
+}
+
+// Metrics snapshots the composite.
+func (t *Tiered) Metrics() Metrics {
+	m := Metrics{
+		Hits:         t.hits.Load(),
+		Misses:       t.misses.Load(),
+		Builds:       t.builds.Load(),
+		ObjectBuilds: t.objectBuilds.Load(),
+		FailedBuilds: t.failedBuilds.Load(),
+		TierHits:     map[string]int64{},
+	}
+	if total := m.Hits + m.Misses; total > 0 {
+		m.HitRate = float64(m.Hits) / float64(total)
+	}
+	for tier, c := range t.tierHits {
+		m.TierHits[string(tier)] = c.Load()
+	}
+	for _, s := range t.tiers {
+		m.Tiers = append(m.Tiers, s.Stats())
+	}
+	return m
+}
+
+// Get probes the tiers (with backfill) without building.
+func (t *Tiered) Get(key string) (*linker.Image, error) {
+	if !ValidKey(key) {
+		return nil, errBadKey
+	}
+	if img, tier, ok := t.probe(key); ok {
+		t.countHit(tier)
+		return img, nil
+	}
+	t.misses.Add(1)
+	return nil, ErrNotFound
+}
+
+// Put writes through to every tier.
+func (t *Tiered) Put(key string, img *linker.Image) error {
+	if !ValidKey(key) {
+		return errBadKey
+	}
+	var firstErr error
+	for _, s := range t.tiers {
+		if err := s.Put(key, img); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Has reports whether any tier holds key.
+func (t *Tiered) Has(key string) bool {
+	for _, s := range t.tiers {
+		if s.Has(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats aggregates the composite as one Store (per-tier detail is in
+// Metrics). Entries/Bytes report the first tier, which bounds what is
+// servable without I/O.
+func (t *Tiered) Stats() Stats {
+	s := Stats{
+		Tier: "tiered",
+		Hits: t.hits.Load(), Misses: t.misses.Load(),
+	}
+	if len(t.tiers) > 0 {
+		first := t.tiers[0].Stats()
+		s.Entries, s.Bytes = first.Entries, first.Bytes
+	}
+	for _, tier := range t.tiers {
+		st := tier.Stats()
+		s.Puts += st.Puts
+		s.Corrupt += st.Corrupt
+	}
+	return s
+}
+
+// Close closes every tier once; subsequent calls return the first
+// result.
+func (t *Tiered) Close() error {
+	t.closeOnce.Do(func() {
+		for _, s := range t.tiers {
+			if err := s.Close(); err != nil && t.closeErr == nil {
+				t.closeErr = err
+			}
+		}
+	})
+	return t.closeErr
+}

@@ -18,6 +18,7 @@ import (
 	"mcfi/internal/air"
 	"mcfi/internal/analyzer"
 	"mcfi/internal/baseline"
+	"mcfi/internal/buildstore"
 	"mcfi/internal/cfg"
 	"mcfi/internal/id"
 	"mcfi/internal/libc"
@@ -46,6 +47,10 @@ type Config struct {
 	// Jobs bounds the worker pool fanning workloads per experiment and
 	// the per-build compile concurrency (0 = GOMAXPROCS).
 	Jobs int
+	// Store, when non-nil, is the content-addressed build store every
+	// experiment builder consults before compiling and publishes into —
+	// re-running the suite against a warm store skips the builds.
+	Store *buildstore.Tiered
 }
 
 func (c Config) jobs() int {
@@ -67,6 +72,7 @@ func (c Config) builder(instrument bool) *toolchain.Builder {
 		toolchain.WithProfile(c.Profile),
 		toolchain.WithInstrument(instrument),
 		toolchain.WithJobs(c.jobs()),
+		toolchain.WithStore(c.Store),
 	)
 }
 

@@ -26,7 +26,7 @@ func TestDiffSnapshotsMatchesByKey(t *testing.T) {
 		rec("fig5", "gone", true, 50),
 	}
 	newRecs := []BenchRecord{
-		rec("fig5", "qsort", true, 90),  // -10%
+		rec("fig5", "qsort", true, 90),   // -10%
 		rec("fig5", "qsort", false, 150), // +25%
 		rec("fig5", "added", true, 70),
 	}

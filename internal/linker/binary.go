@@ -1,0 +1,356 @@
+package linker
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"mcfi/internal/module"
+	"mcfi/internal/visa"
+)
+
+// Binary image container, the on-disk form of a linked Image in the
+// persistent build store:
+//
+//	magic   "MCFIIMG\x00"     8 bytes
+//	version u32               currently 1
+//	profile u32               32 or 64
+//	flags   u32               bit 0: instrumented
+//	entry   u64
+//	...sections, each:  tag u32, length u32, payload
+//
+// The layout follows internal/module/binary.go: little-endian
+// integers, u32-length-prefixed strings and byte blobs, a terminating
+// end section, and unknown sections skipped for forward compatibility
+// (bump imgVersion for incompatible changes). The aux section embeds
+// the exact module.MarshalAux payload, so the two containers share one
+// aux codec. Maps (symbols, GOT, PLT) are emitted in sorted key order:
+// equal images marshal to equal bytes, which a content-addressed store
+// relies on. Integrity (corruption detection) is the store's job — see
+// buildstore.Seal — not this format's.
+
+const (
+	imgMagic   = "MCFIIMG\x00"
+	imgVersion = 1
+
+	isecCode    = 1
+	isecData    = 2
+	isecSyms    = 3
+	isecAux     = 4
+	isecGOT     = 5
+	isecPLT     = 6
+	isecModules = 7
+	isecEnd     = 0xFFFF
+)
+
+type imgWriter struct {
+	buf bytes.Buffer
+}
+
+func (w *imgWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf.Write(b[:])
+}
+
+func (w *imgWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf.Write(b[:])
+}
+
+func (w *imgWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf.WriteString(s)
+}
+
+func (w *imgWriter) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf.Write(b)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// MarshalBinary serializes the image. The encoding is deterministic:
+// two equal images produce identical bytes.
+func (im *Image) MarshalBinary() ([]byte, error) {
+	var w imgWriter
+	w.buf.WriteString(imgMagic)
+	w.u32(imgVersion)
+	w.u32(uint32(im.Profile))
+	flags := uint32(0)
+	if im.Instrumented {
+		flags |= 1
+	}
+	w.u32(flags)
+	w.u64(uint64(im.Entry))
+
+	section := func(tag uint32, body func(*imgWriter)) {
+		var sw imgWriter
+		body(&sw)
+		w.u32(tag)
+		w.bytes(sw.buf.Bytes())
+	}
+
+	section(isecCode, func(sw *imgWriter) { sw.bytes(im.Code) })
+	section(isecData, func(sw *imgWriter) { sw.bytes(im.Data) })
+	section(isecSyms, func(sw *imgWriter) {
+		sw.u32(uint32(len(im.Syms)))
+		for _, name := range sortedKeys(im.Syms) {
+			s := im.Syms[name]
+			sw.str(name)
+			sw.u64(uint64(s.Addr))
+			sw.buf.WriteByte(byte(s.Kind))
+			sw.u32(uint32(s.Size))
+			sw.str(s.Module)
+		}
+	})
+	section(isecAux, func(sw *imgWriter) {
+		sw.buf.Write(module.MarshalAux(&im.Aux))
+	})
+	writeAddrMap := func(sw *imgWriter, m map[string]int64) {
+		sw.u32(uint32(len(m)))
+		for _, name := range sortedKeys(m) {
+			sw.str(name)
+			sw.u64(uint64(m[name]))
+		}
+	}
+	section(isecGOT, func(sw *imgWriter) { writeAddrMap(sw, im.GOT) })
+	section(isecPLT, func(sw *imgWriter) { writeAddrMap(sw, im.PLT) })
+	section(isecModules, func(sw *imgWriter) {
+		sw.u32(uint32(len(im.Modules)))
+		for _, m := range im.Modules {
+			sw.str(m.Name)
+			sw.u64(uint64(m.CodeStart))
+			sw.u64(uint64(m.CodeEnd))
+			sw.u64(uint64(m.DataStart))
+			sw.u64(uint64(m.DataEnd))
+		}
+	})
+	w.u32(isecEnd)
+	w.u32(0)
+	return w.buf.Bytes(), nil
+}
+
+type imgReader struct {
+	b   []byte
+	off int
+}
+
+var errImgTruncated = fmt.Errorf("linker: truncated image")
+
+func (r *imgReader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, errImgTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *imgReader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, errImgTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *imgReader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, errImgTruncated
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *imgReader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if r.off+int(n) > len(r.b) {
+		return "", errImgTruncated
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *imgReader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if r.off+int(n) > len(r.b) {
+		return nil, errImgTruncated
+	}
+	b := make([]byte, n)
+	copy(b, r.b[r.off:])
+	r.off += int(n)
+	return b, nil
+}
+
+// UnmarshalImage parses a MarshalBinary payload.
+func UnmarshalImage(data []byte) (*Image, error) {
+	if len(data) < len(imgMagic)+20 || string(data[:len(imgMagic)]) != imgMagic {
+		return nil, fmt.Errorf("linker: bad image magic")
+	}
+	r := &imgReader{b: data, off: len(imgMagic)}
+	ver, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != imgVersion {
+		return nil, fmt.Errorf("linker: unsupported image version %d", ver)
+	}
+	prof, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if prof != 32 && prof != 64 {
+		return nil, fmt.Errorf("linker: bad image profile %d", prof)
+	}
+	flags, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	entry, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	im := &Image{
+		Profile:      visa.Profile(prof),
+		Instrumented: flags&1 != 0,
+		Entry:        int64(entry),
+		Syms:         map[string]SymInfo{},
+		GOT:          map[string]int64{},
+		PLT:          map[string]int64{},
+	}
+
+	readAddrMap := func(sr *imgReader, m map[string]int64) error {
+		n, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		for i := uint32(0); i < n; i++ {
+			name, err := sr.str()
+			if err != nil {
+				return err
+			}
+			addr, err := sr.u64()
+			if err != nil {
+				return err
+			}
+			m[name] = int64(addr)
+		}
+		return nil
+	}
+
+	for {
+		tag, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if tag == isecEnd {
+			if _, err := r.u32(); err != nil {
+				return nil, err
+			}
+			break
+		}
+		payload, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		sr := &imgReader{b: payload}
+		switch tag {
+		case isecCode:
+			if im.Code, err = sr.bytes(); err != nil {
+				return nil, err
+			}
+		case isecData:
+			if im.Data, err = sr.bytes(); err != nil {
+				return nil, err
+			}
+		case isecSyms:
+			n, err := sr.u32()
+			if err != nil {
+				return nil, err
+			}
+			for i := uint32(0); i < n; i++ {
+				var s SymInfo
+				name, err := sr.str()
+				if err != nil {
+					return nil, err
+				}
+				addr, err := sr.u64()
+				if err != nil {
+					return nil, err
+				}
+				s.Addr = int64(addr)
+				k, err := sr.byte()
+				if err != nil {
+					return nil, err
+				}
+				s.Kind = module.SymKind(k)
+				sz, err := sr.u32()
+				if err != nil {
+					return nil, err
+				}
+				s.Size = int(sz)
+				if s.Module, err = sr.str(); err != nil {
+					return nil, err
+				}
+				im.Syms[name] = s
+			}
+		case isecAux:
+			aux, err := module.UnmarshalAux(payload)
+			if err != nil {
+				return nil, err
+			}
+			im.Aux = aux
+		case isecGOT:
+			if err := readAddrMap(sr, im.GOT); err != nil {
+				return nil, err
+			}
+		case isecPLT:
+			if err := readAddrMap(sr, im.PLT); err != nil {
+				return nil, err
+			}
+		case isecModules:
+			n, err := sr.u32()
+			if err != nil {
+				return nil, err
+			}
+			for i := uint32(0); i < n; i++ {
+				var m ModuleRange
+				if m.Name, err = sr.str(); err != nil {
+					return nil, err
+				}
+				vs := [4]int64{}
+				for j := range vs {
+					v, err := sr.u64()
+					if err != nil {
+						return nil, err
+					}
+					vs[j] = int64(v)
+				}
+				m.CodeStart, m.CodeEnd, m.DataStart, m.DataEnd = vs[0], vs[1], vs[2], vs[3]
+				im.Modules = append(im.Modules, m)
+			}
+		default:
+			// Unknown sections are skipped for forward compatibility.
+		}
+	}
+	return im, nil
+}

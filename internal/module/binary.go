@@ -121,63 +121,88 @@ func (o *Object) WriteTo(out io.Writer) (int64, error) {
 		writeRelocs(o.DataRelocs)
 	})
 	section(secAux, func(sw *writer) {
-		sw.u32(uint32(len(o.Aux.Funcs)))
-		for _, f := range o.Aux.Funcs {
-			sw.str(f.Name)
-			sw.u32(uint32(f.Offset))
-			sw.u32(uint32(f.Size))
-			sw.str(f.Sig)
-			at := byte(0)
-			if f.AddrTaken {
-				at = 1
-			}
-			sw.buf.WriteByte(at)
-			sw.u32(uint32(len(f.TailCalls)))
-			for _, t := range f.TailCalls {
-				sw.str(t)
-			}
-			sw.u32(uint32(len(f.TailSigs)))
-			for _, t := range f.TailSigs {
-				sw.str(t)
-			}
-		}
-		sw.u32(uint32(len(o.Aux.IBs)))
-		for _, ib := range o.Aux.IBs {
-			sw.u32(uint32(ib.Offset))
-			sw.buf.WriteByte(byte(ib.Kind))
-			sw.str(ib.Func)
-			sw.str(ib.FpSig)
-			sw.u32(uint32(len(ib.Targets)))
-			for _, t := range ib.Targets {
-				sw.u32(uint32(t))
-			}
-			sw.u64(uint64(int64(ib.TLoadIOffset)))
-			sw.u64(uint64(int64(ib.CheckStart)))
-			sw.u64(uint64(int64(ib.GotSlot)))
-			sw.u32(uint32(ib.TableOff))
-			sw.u32(uint32(ib.TableLen))
-			sw.str(ib.PLTSym)
-		}
-		sw.u32(uint32(len(o.Aux.RetSites)))
-		for _, rs := range o.Aux.RetSites {
-			sw.u32(uint32(rs.Offset))
-			sw.str(rs.Callee)
-			sw.str(rs.FpSig)
-		}
-		sw.u32(uint32(len(o.Aux.SetjmpConts)))
-		for _, c := range o.Aux.SetjmpConts {
-			sw.u32(uint32(c))
-		}
-		sw.u32(uint32(len(o.Aux.AsmAnnotations)))
-		for _, a := range o.Aux.AsmAnnotations {
-			sw.str(a)
-		}
+		writeAux(sw, &o.Aux)
 	})
 	w.u32(secEnd)
 	w.u32(0)
 
 	n, err := out.Write(w.buf.Bytes())
 	return int64(n), err
+}
+
+// writeAux serializes aux info in the secAux payload encoding. It is
+// shared with the linker's image format (linker images embed the same
+// merged AuxInfo), so the two containers stay byte-compatible.
+func writeAux(sw *writer, aux *AuxInfo) {
+	sw.u32(uint32(len(aux.Funcs)))
+	for _, f := range aux.Funcs {
+		sw.str(f.Name)
+		sw.u32(uint32(f.Offset))
+		sw.u32(uint32(f.Size))
+		sw.str(f.Sig)
+		at := byte(0)
+		if f.AddrTaken {
+			at = 1
+		}
+		sw.buf.WriteByte(at)
+		sw.u32(uint32(len(f.TailCalls)))
+		for _, t := range f.TailCalls {
+			sw.str(t)
+		}
+		sw.u32(uint32(len(f.TailSigs)))
+		for _, t := range f.TailSigs {
+			sw.str(t)
+		}
+	}
+	sw.u32(uint32(len(aux.IBs)))
+	for _, ib := range aux.IBs {
+		sw.u32(uint32(ib.Offset))
+		sw.buf.WriteByte(byte(ib.Kind))
+		sw.str(ib.Func)
+		sw.str(ib.FpSig)
+		sw.u32(uint32(len(ib.Targets)))
+		for _, t := range ib.Targets {
+			sw.u32(uint32(t))
+		}
+		sw.u64(uint64(int64(ib.TLoadIOffset)))
+		sw.u64(uint64(int64(ib.CheckStart)))
+		sw.u64(uint64(int64(ib.GotSlot)))
+		sw.u32(uint32(ib.TableOff))
+		sw.u32(uint32(ib.TableLen))
+		sw.str(ib.PLTSym)
+	}
+	sw.u32(uint32(len(aux.RetSites)))
+	for _, rs := range aux.RetSites {
+		sw.u32(uint32(rs.Offset))
+		sw.str(rs.Callee)
+		sw.str(rs.FpSig)
+	}
+	sw.u32(uint32(len(aux.SetjmpConts)))
+	for _, c := range aux.SetjmpConts {
+		sw.u32(uint32(c))
+	}
+	sw.u32(uint32(len(aux.AsmAnnotations)))
+	for _, a := range aux.AsmAnnotations {
+		sw.str(a)
+	}
+}
+
+// MarshalAux serializes aux info as a standalone payload (the secAux
+// section encoding). The linker's image container embeds this payload
+// for its merged aux info, so both formats share one aux codec.
+func MarshalAux(aux *AuxInfo) []byte {
+	var sw writer
+	writeAux(&sw, aux)
+	return sw.buf.Bytes()
+}
+
+// UnmarshalAux parses a payload produced by MarshalAux.
+func UnmarshalAux(data []byte) (AuxInfo, error) {
+	var aux AuxInfo
+	if err := readAux(&reader{b: data}, &aux); err != nil {
+		return AuxInfo{}, err
+	}
+	return aux, nil
 }
 
 // Bytes serializes the object to a byte slice.
@@ -318,7 +343,7 @@ func Read(data []byte) (*Object, error) {
 				return nil, err
 			}
 		case secAux:
-			if err := readAux(sr, o); err != nil {
+			if err := readAux(sr, &o.Aux); err != nil {
 				return nil, err
 			}
 		default:
@@ -412,7 +437,7 @@ func readRelocs(sr *reader, o *Object) error {
 	return err
 }
 
-func readAux(sr *reader, o *Object) error {
+func readAux(sr *reader, aux *AuxInfo) error {
 	nf, err := sr.u32()
 	if err != nil {
 		return err
@@ -461,7 +486,7 @@ func readAux(sr *reader, o *Object) error {
 			}
 			f.TailSigs = append(f.TailSigs, t)
 		}
-		o.Aux.Funcs = append(o.Aux.Funcs, f)
+		aux.Funcs = append(aux.Funcs, f)
 	}
 	nib, err := sr.u32()
 	if err != nil {
@@ -523,7 +548,7 @@ func readAux(sr *reader, o *Object) error {
 		if ib.PLTSym, err = sr.str(); err != nil {
 			return err
 		}
-		o.Aux.IBs = append(o.Aux.IBs, ib)
+		aux.IBs = append(aux.IBs, ib)
 	}
 	nrs, err := sr.u32()
 	if err != nil {
@@ -542,7 +567,7 @@ func readAux(sr *reader, o *Object) error {
 		if rs.FpSig, err = sr.str(); err != nil {
 			return err
 		}
-		o.Aux.RetSites = append(o.Aux.RetSites, rs)
+		aux.RetSites = append(aux.RetSites, rs)
 	}
 	nsc, err := sr.u32()
 	if err != nil {
@@ -553,7 +578,7 @@ func readAux(sr *reader, o *Object) error {
 		if err != nil {
 			return err
 		}
-		o.Aux.SetjmpConts = append(o.Aux.SetjmpConts, int(c))
+		aux.SetjmpConts = append(aux.SetjmpConts, int(c))
 	}
 	naa, err := sr.u32()
 	if err != nil {
@@ -564,7 +589,7 @@ func readAux(sr *reader, o *Object) error {
 		if err != nil {
 			return err
 		}
-		o.Aux.AsmAnnotations = append(o.Aux.AsmAnnotations, a)
+		aux.AsmAnnotations = append(aux.AsmAnnotations, a)
 	}
 	return nil
 }

@@ -57,9 +57,12 @@ type LoadReport struct {
 	// its /metrics (instret over summed per-job run time).
 	MinstrPerSecExec float64 `json:"minstr_per_sec_exec"`
 
-	CacheHitRate float64          `json:"cache_hit_rate"`
-	Rejected     int64            `json:"rejected_429"`
-	Statuses     map[string]int64 `json:"statuses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// StoreTiers counts completed jobs by where their image came from
+	// ("mem", "disk", "remote", "built") as reported per response.
+	StoreTiers map[string]int64 `json:"store_tiers"`
+	Rejected   int64            `json:"rejected_429"`
+	Statuses   map[string]int64 `json:"statuses"`
 	// ServerMetrics is the endpoint's final /metrics document.
 	ServerMetrics *Metrics `json:"server_metrics,omitempty"`
 }
@@ -93,6 +96,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		Workloads:   cfg.Workloads,
 		Engine:      cfg.Engine,
 		Statuses:    map[string]int64{},
+		StoreTiers:  map[string]int64{},
 	}
 
 	reqOf := func(i int) JobRequest {
@@ -136,6 +140,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 				results++
 				rep.Statuses[res.Status]++
 				rep.GuestInstret += res.Instret
+				if res.StoreTier != "" {
+					rep.StoreTiers[res.StoreTier]++
+				}
 				if res.BuildCacheHit {
 					hits++
 				}
@@ -185,7 +192,7 @@ func postJob(ctx context.Context, client *http.Client, base string, jr JobReques
 	}
 	backoff := 5 * time.Millisecond
 	for {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/run", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/run", bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +232,7 @@ func postJob(ctx context.Context, client *http.Client, base string, jr JobReques
 }
 
 func fetchMetrics(ctx context.Context, client *http.Client, base string) (*Metrics, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/metrics", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -249,8 +256,9 @@ func (r *LoadReport) Summary() string {
 		r.Requests, r.Concurrency, len(r.Workloads), r.WallSecs)
 	fmt.Fprintf(&b, "  throughput: %.2f jobs/s, %.2f Minstr/s end-to-end, %.2f Minstr/s exec\n",
 		r.JobsPerSec, r.MinstrPerSecWall, r.MinstrPerSecExec)
-	fmt.Fprintf(&b, "  build cache: %.0f%% hit rate; backpressure: %d rejections retried\n",
-		100*r.CacheHitRate, r.Rejected)
+	fmt.Fprintf(&b, "  build store: %.0f%% hit rate (mem=%d disk=%d remote=%d built=%d); backpressure: %d rejections retried\n",
+		100*r.CacheHitRate, r.StoreTiers["mem"], r.StoreTiers["disk"],
+		r.StoreTiers["remote"], r.StoreTiers["built"], r.Rejected)
 	var keys []string
 	for k := range r.Statuses {
 		keys = append(keys, k)

@@ -25,7 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"mcfi/internal/linker"
+	"mcfi/internal/buildstore"
 	"mcfi/internal/mrt"
 	"mcfi/internal/toolchain"
 	"mcfi/internal/visa"
@@ -84,9 +84,13 @@ type FaultInfo struct {
 
 // JobResult is the outcome of one completed job.
 type JobResult struct {
-	Status        string     `json:"status"`
-	ExitCode      int64      `json:"exit_code"`
-	Instret       int64      `json:"instret"`
+	Status   string `json:"status"`
+	ExitCode int64  `json:"exit_code"`
+	Instret  int64  `json:"instret"`
+	// StoreTier names where the job's image came from: "mem", "disk",
+	// "remote", or "built" (compiled for this job). BuildCacheHit is
+	// the legacy boolean view of the same fact (any tier but "built").
+	StoreTier     string     `json:"store_tier,omitempty"`
 	BuildCacheHit bool       `json:"build_cache_hit"`
 	QueueMs       float64    `json:"queue_ms"`
 	BuildMs       float64    `json:"build_ms"`
@@ -103,8 +107,17 @@ type Config struct {
 	// QueueDepth bounds jobs admitted but not yet running; overflow is
 	// rejected with ErrBusy (default 2×Workers).
 	QueueDepth int
-	// CacheEntries bounds the build cache (default DefaultCacheEntries).
+	// CacheEntries bounds the in-memory store tier (default
+	// buildstore.DefaultMemEntries).
 	CacheEntries int
+	// StoreDir, when set, adds a persistent on-disk store tier rooted
+	// there: images and libc objects survive restarts, and concurrent
+	// server processes may share the directory.
+	StoreDir string
+	// RemoteStore, when set, adds a remote store tier: the base URL of
+	// a peer mcfi-serve (or shared cache) whose /v1/store endpoint is
+	// consulted after mem and disk, and published to on fresh builds.
+	RemoteStore string
 	// DefaultMaxInstr is the per-job instruction budget when a request
 	// does not set one (default 2e9). <0 disables the default.
 	DefaultMaxInstr int64
@@ -151,7 +164,8 @@ type job struct {
 // Server is one running MCFI execution service.
 type Server struct {
 	cfg   Config
-	cache *BuildCache
+	store *buildstore.Tiered
+	disk  *buildstore.Disk // persistent tier, also served at /v1/store
 	queue chan *job
 	start time.Time
 
@@ -171,19 +185,36 @@ type Server struct {
 	busy    atomic.Int64
 
 	// Metrics counters (lock-free).
-	accepted, completed, rejected             atomic.Int64
-	ok, cfi, faults, timeouts, cancelled      atomic.Int64
-	budget, buildErrs                         atomic.Int64
-	instret, execNanos                        atomic.Int64
-	checkExecs, checkHalts, vHits, vMisses    atomic.Int64
+	accepted, completed, rejected          atomic.Int64
+	ok, cfi, faults, timeouts, cancelled   atomic.Int64
+	budget, buildErrs                      atomic.Int64
+	instret, execNanos                     atomic.Int64
+	checkExecs, checkHalts, vHits, vMisses atomic.Int64
 }
 
-// New starts a server's worker pool. Callers must eventually Drain it.
-func New(cfg Config) *Server {
+// New starts a server's worker pool, assembling the build store from
+// the config: always an in-memory tier, plus a disk tier when StoreDir
+// is set and a remote tier when RemoteStore is set. It fails only when
+// the store directory cannot be opened. Callers must eventually Drain.
+func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
+	tiers := []buildstore.Store{buildstore.NewMem(cfg.CacheEntries)}
+	var disk *buildstore.Disk
+	if cfg.StoreDir != "" {
+		d, err := buildstore.OpenDisk(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		disk = d
+		tiers = append(tiers, d)
+	}
+	if cfg.RemoteStore != "" {
+		tiers = append(tiers, buildstore.NewRemote(cfg.RemoteStore, nil))
+	}
 	s := &Server{
 		cfg:   cfg,
-		cache: NewBuildCache(cfg.CacheEntries),
+		store: buildstore.NewTiered(tiers...),
+		disk:  disk,
 		queue: make(chan *job, cfg.QueueDepth),
 		start: time.Now(),
 	}
@@ -192,8 +223,11 @@ func New(cfg Config) *Server {
 		s.workers.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
+
+// Store exposes the server's build store (metrics, tests, warm-up).
+func (s *Server) Store() *buildstore.Tiered { return s.store }
 
 // Submit admits a job and blocks until it completes. It returns
 // ErrBusy when the queue is full and ErrDraining after Drain started;
@@ -246,6 +280,9 @@ func (s *Server) Drain(ctx context.Context) {
 		s.forceStop() // cancel in-flight guests
 		<-done
 	}
+	// Pool stopped: release the store (flushes the disk tier's journal
+	// handle; the directory stays valid for the next process).
+	s.store.Close()
 }
 
 // Draining reports whether Drain has started.
@@ -319,6 +356,7 @@ func (s *Server) resolve(req JobRequest) (*toolchain.Builder, toolchain.Source, 
 		toolchain.WithProfile(profile),
 		toolchain.WithInstrument(!req.Baseline),
 		toolchain.WithJobs(s.cfg.BuildJobs),
+		toolchain.WithStore(s.store),
 	)
 	return b, src, nil
 }
@@ -338,20 +376,17 @@ func (s *Server) runJob(j *job) JobResult {
 		res.Status, res.Error = StatusBuildError, err.Error()
 		return res
 	}
-	engine := vm.EngineThreaded
-	if j.req.Engine != "" {
-		engine, err = vm.ParseEngine(j.req.Engine)
-		if err != nil {
-			res.Status, res.Error = StatusBuildError, err.Error()
-			return res
-		}
+	engine, err := vm.ParseEngineDefault(j.req.Engine, vm.EngineThreaded)
+	if err != nil {
+		res.Status, res.Error = StatusBuildError, err.Error()
+		return res
 	}
 
 	t0 := time.Now()
-	img, hit, err := s.cache.Get(b.Fingerprint(src), func() (*linker.Image, error) {
-		return b.Build(src)
-	})
-	res.BuildMs, res.BuildCacheHit = ms(time.Since(t0)), hit
+	img, tier, err := b.BuildTiered(src)
+	res.BuildMs = ms(time.Since(t0))
+	res.StoreTier = string(tier)
+	res.BuildCacheHit = tier != buildstore.TierBuilt
 	if err != nil {
 		res.Status, res.Error = StatusBuildError, err.Error()
 		return res
@@ -460,12 +495,12 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // Metrics is the /metrics document.
 type Metrics struct {
-	UptimeSecs float64     `json:"uptime_secs"`
-	Draining   bool        `json:"draining"`
-	Jobs       JobCounts   `json:"jobs"`
-	Queue      QueueState  `json:"queue"`
-	BuildCache CacheStats  `json:"build_cache"`
-	Exec       ExecMetrics `json:"exec"`
+	UptimeSecs float64            `json:"uptime_secs"`
+	Draining   bool               `json:"draining"`
+	Jobs       JobCounts          `json:"jobs"`
+	Queue      QueueState         `json:"queue"`
+	BuildStore buildstore.Metrics `json:"build_store"`
+	Exec       ExecMetrics        `json:"exec"`
 }
 
 // JobCounts breaks down admission and outcomes.
@@ -526,7 +561,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 			Workers:  s.cfg.Workers,
 			Busy:     int(s.busy.Load()),
 		},
-		BuildCache: s.cache.Stats(),
+		BuildStore: s.store.Metrics(),
 		Exec: ExecMetrics{
 			GuestInstret:  instret,
 			ExecSecs:      execSecs,
@@ -544,14 +579,33 @@ func (s *Server) MetricsSnapshot() Metrics {
 
 // --- HTTP surface ---
 
-// Handler returns the service mux: POST /run, GET /healthz,
-// GET /metrics.
+// Handler returns the service mux. The surface is versioned under
+// /v1/ — POST /v1/run, GET /v1/healthz, GET /v1/metrics, and the
+// store protocol at /v1/store/{key} (GET/HEAD/PUT of sealed blobs,
+// backed by the disk tier) — with the original unversioned routes
+// kept as aliases so existing clients keep working.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.Handle("/v1/store/", s.storeHandler())
+	// Legacy (pre-/v1) aliases.
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
+}
+
+// storeHandler serves the replica-sharing protocol from the disk tier;
+// without one (no -store-dir) there is nothing persistent to share.
+func (s *Server) storeHandler() http.Handler {
+	if s.disk == nil {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "no persistent store configured (start with -store-dir)", http.StatusNotFound)
+		})
+	}
+	return buildstore.Handler(s.disk)
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {

@@ -41,6 +41,15 @@ int main(void) {
 	return 0;
 }`
 
+func newTest(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func drain(t *testing.T, s *Server) {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -51,7 +60,7 @@ func drain(t *testing.T, s *Server) {
 // TestBuildCacheSingleflight: N concurrent identical jobs share ONE
 // compile — the content-addressed cache coalesces in-flight builds.
 func TestBuildCacheSingleflight(t *testing.T) {
-	s := New(Config{Workers: 8, QueueDepth: 32})
+	s := newTest(t, Config{Workers: 8, QueueDepth: 32})
 	defer drain(t, s)
 
 	const n = 8
@@ -75,12 +84,15 @@ func TestBuildCacheSingleflight(t *testing.T) {
 			t.Fatalf("job %d: %+v", i, results[i])
 		}
 	}
-	st := s.cache.Stats()
+	st := s.Store().Metrics()
 	if st.Builds != 1 {
 		t.Errorf("builds = %d, want exactly 1 (singleflight)", st.Builds)
 	}
 	if st.Hits != n-1 || st.Misses != 1 {
 		t.Errorf("hits/misses = %d/%d, want %d/1", st.Hits, st.Misses, n-1)
+	}
+	if mem := st.TierHits["mem"]; mem != n-1 {
+		t.Errorf("mem tier hits = %d, want %d", mem, n-1)
 	}
 }
 
@@ -88,7 +100,7 @@ func TestBuildCacheSingleflight(t *testing.T) {
 // first-class violation verdict (not a 500, not a poisoned worker),
 // and the same worker then serves a clean job.
 func TestCFIViolationIsStructuredAndIsolated(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 4})
+	s := newTest(t, Config{Workers: 1, QueueDepth: 4})
 	defer drain(t, s)
 
 	res, err := s.Submit(context.Background(), JobRequest{Source: smashSrc, Name: "smash"})
@@ -128,7 +140,7 @@ func TestCFIViolationIsStructuredAndIsolated(t *testing.T) {
 // TestTimeoutCancellationFreesWorker: a wall-clock timeout interrupts
 // a spinning guest and the worker immediately serves the next job.
 func TestTimeoutCancellationFreesWorker(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 4})
+	s := newTest(t, Config{Workers: 1, QueueDepth: 4})
 	defer drain(t, s)
 
 	res, err := s.Submit(context.Background(),
@@ -160,7 +172,7 @@ func TestTimeoutCancellationFreesWorker(t *testing.T) {
 // TestBudgetExhaustionIsDistinguishable: instruction budgets yield
 // their own verdict, distinct from timeouts and violations.
 func TestBudgetExhaustionIsDistinguishable(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 4})
+	s := newTest(t, Config{Workers: 1, QueueDepth: 4})
 	defer drain(t, s)
 	res, err := s.Submit(context.Background(),
 		JobRequest{Source: spinSrc, Name: "spin", MaxInstr: 50_000})
@@ -179,7 +191,7 @@ func TestBudgetExhaustionIsDistinguishable(t *testing.T) {
 // full, admission fails fast with ErrBusy instead of queueing
 // unboundedly.
 func TestQueueBackpressure(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s := newTest(t, Config{Workers: 1, QueueDepth: 1})
 	defer drain(t, s)
 
 	var wg sync.WaitGroup
@@ -213,7 +225,7 @@ func TestQueueBackpressure(t *testing.T) {
 // TestDrainFinishesQueuedJobs: Drain stops admission but completes
 // everything already admitted.
 func TestDrainFinishesQueuedJobs(t *testing.T) {
-	s := New(Config{Workers: 2, QueueDepth: 8})
+	s := newTest(t, Config{Workers: 2, QueueDepth: 8})
 	const n = 4
 	var wg sync.WaitGroup
 	errs := make([]error, n)
@@ -246,7 +258,7 @@ func TestDrainFinishesQueuedJobs(t *testing.T) {
 // TestDrainDeadlineCancelsInflight: when the grace period expires,
 // in-flight guests are force-cancelled rather than blocking shutdown.
 func TestDrainDeadlineCancelsInflight(t *testing.T) {
-	s := New(Config{Workers: 2, QueueDepth: 4})
+	s := newTest(t, Config{Workers: 2, QueueDepth: 4})
 	var wg sync.WaitGroup
 	results := make([]JobResult, 2)
 	for i := 0; i < 2; i++ {
@@ -288,7 +300,7 @@ func TestLoadMixedWorkloads(t *testing.T) {
 	}
 	before := runtime.NumGoroutine()
 
-	s := New(Config{Workers: 4, QueueDepth: 16})
+	s := newTest(t, Config{Workers: 4, QueueDepth: 16})
 	ts := httptest.NewServer(s.Handler())
 
 	rep, err := RunLoad(context.Background(), LoadConfig{

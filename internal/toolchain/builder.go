@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 
+	"mcfi/internal/buildstore"
 	"mcfi/internal/codegen"
 	"mcfi/internal/libc"
 	"mcfi/internal/linker"
@@ -35,6 +36,7 @@ type Builder struct {
 	noPrelude  bool
 	jobs       int
 	cache      *LibcCache
+	store      *buildstore.Tiered
 	linkOpts   linker.Options
 }
 
@@ -99,6 +101,15 @@ func WithLinkOptions(o linker.Options) Option {
 // (default: GOMAXPROCS).
 func WithJobs(n int) Option {
 	return func(b *Builder) { b.jobs = n }
+}
+
+// WithStore attaches a build store: Build consults it (keyed by
+// Fingerprint) before compiling and publishes fresh images into it,
+// and Libc rides the store's object plane so per-flavor libc objects
+// persist across processes. nil (the default) builds from source every
+// time, memoizing only libc in-process.
+func WithStore(s *buildstore.Tiered) Option {
+	return func(b *Builder) { b.store = s }
 }
 
 // Profile reports the builder's target profile.
@@ -171,12 +182,38 @@ func (b *Builder) Analyze(src Source) (*sema.Unit, error) {
 }
 
 // Libc returns the compiled libc module for the builder's flavor,
-// memoized in the configured cache. Callers must not mutate it.
+// memoized in the configured cache. With a store attached, the cache
+// miss path first consults the store's blob plane (keyed by flavor and
+// libc source text), so a warm disk store means zero libc compiles
+// even in a fresh process. Callers must not mutate the result.
 func (b *Builder) Libc() (*module.Object, error) {
 	compile := func() (*module.Object, error) {
 		lb := *b
 		lb.noPrelude = true
 		return lb.Compile(Source{Name: "libc", Text: libc.Source})
+	}
+	if b.store != nil && b.store.BlobTiers() > 0 {
+		local := compile
+		compile = func() (*module.Object, error) {
+			key := buildstore.HashKey(fmt.Sprintf(
+				"mcfi-libc-obj-v1|profile=%d|instrument=%t|", b.profile, b.instrument) + libc.Source)
+			var built *module.Object
+			payload, _, err := b.store.GetOrBuildObject(key, func() ([]byte, error) {
+				obj, err := local()
+				if err != nil {
+					return nil, err
+				}
+				built = obj
+				return obj.Bytes(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if built != nil {
+				return built, nil
+			}
+			return module.Read(payload)
+		}
 	}
 	if b.cache == nil {
 		return compile()
@@ -192,8 +229,28 @@ func (b *Builder) Link(objs ...*module.Object) (*linker.Image, error) {
 
 // Build compiles the given sources (concurrently, bounded by the
 // builder's job count), appends the memoized libc, and statically
-// links everything into an executable image.
+// links everything into an executable image. With a store attached
+// this is BuildTiered without the provenance.
 func (b *Builder) Build(srcs ...Source) (*linker.Image, error) {
+	img, _, err := b.BuildTiered(srcs...)
+	return img, err
+}
+
+// BuildTiered is Build plus provenance: the returned Tier names where
+// the image came from (a store tier, or buildstore.TierBuilt for a
+// fresh compile — always TierBuilt when no store is attached).
+func (b *Builder) BuildTiered(srcs ...Source) (*linker.Image, buildstore.Tier, error) {
+	if b.store == nil {
+		img, err := b.buildFromSource(srcs...)
+		return img, buildstore.TierBuilt, err
+	}
+	return b.store.GetOrBuild(b.Fingerprint(srcs...), func() (*linker.Image, error) {
+		return b.buildFromSource(srcs...)
+	})
+}
+
+// buildFromSource is the uncached compile+link pipeline.
+func (b *Builder) buildFromSource(srcs ...Source) (*linker.Image, error) {
 	objs := make([]*module.Object, len(srcs)+1)
 	errs := make([]error, len(srcs)+1)
 	sem := make(chan struct{}, b.jobs)

@@ -1,0 +1,134 @@
+package toolchain
+
+import (
+	"bytes"
+	"testing"
+
+	"mcfi/internal/buildstore"
+	"mcfi/internal/mrt"
+	"mcfi/internal/visa"
+)
+
+const storeTestSrc = `
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int main(void) {
+	printf("%d\n", fib(15));
+	return 0;
+}`
+
+func storeBuilder(t *testing.T, dir string) (*Builder, *buildstore.Tiered) {
+	t.Helper()
+	disk, err := buildstore.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := buildstore.NewTiered(buildstore.NewMem(0), disk)
+	t.Cleanup(func() { ts.Close() })
+	// A fresh LibcCache per builder so the warm path must come from the
+	// store's object plane, not in-process memoization.
+	b := New(
+		WithProfile(visa.Profile64),
+		WithInstrumentation(),
+		WithLibcCache(NewLibcCache()),
+		WithStore(ts),
+	)
+	return b, ts
+}
+
+// TestStoreWarmRestartSkipsAllCompilation: a second builder process
+// over the same store directory serves both the linked image and the
+// libc object from disk — zero image builds, zero libc compiles — and
+// the image is byte-identical to the cold build's.
+func TestStoreWarmRestartSkipsAllCompilation(t *testing.T) {
+	dir := t.TempDir()
+	src := Source{Name: "fib", Text: storeTestSrc}
+
+	cold, ts1 := storeBuilder(t, dir)
+	img1, tier, err := cold.BuildTiered(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier != buildstore.TierBuilt {
+		t.Fatalf("cold build tier = %s, want built", tier)
+	}
+	if m := ts1.Metrics(); m.Builds != 1 || m.ObjectBuilds != 1 {
+		t.Fatalf("cold metrics: builds=%d object_builds=%d, want 1/1", m.Builds, m.ObjectBuilds)
+	}
+	bytes1, err := img1.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// "Restart": new store handles, new builder, new libc cache.
+	warm, ts2 := storeBuilder(t, dir)
+	img2, tier, err := warm.BuildTiered(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier != buildstore.TierDisk {
+		t.Fatalf("warm build tier = %s, want disk", tier)
+	}
+	if m := ts2.Metrics(); m.Builds != 0 || m.ObjectBuilds != 0 {
+		t.Fatalf("warm restart recompiled: builds=%d object_builds=%d, want 0/0", m.Builds, m.ObjectBuilds)
+	}
+	if warm.cache.Len() != 0 {
+		t.Errorf("libc cache populated (%d entries) — libc was compiled, not fetched", warm.cache.Len())
+	}
+	bytes2, err := img2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes1, bytes2) {
+		t.Fatal("warm-restart image differs from cold build")
+	}
+
+	// The store-served image actually runs, and runs correctly.
+	rt, err := mrt.New(img2, mrt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := rt.Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || rt.Output() != "610\n" {
+		t.Errorf("store-served image: code=%d out=%q, want 0/%q", code, rt.Output(), "610\n")
+	}
+}
+
+// TestStoreLibcObjectSharedAcrossBuilders: two builders with disjoint
+// libc caches but one store compile libc once per flavor.
+func TestStoreLibcObjectSharedAcrossBuilders(t *testing.T) {
+	dir := t.TempDir()
+	a, ts := storeBuilder(t, dir)
+	if _, err := a.Build(Source{Name: "p1", Text: storeTestSrc}); err != nil {
+		t.Fatal(err)
+	}
+	base := ts.Metrics().ObjectBuilds
+
+	b := New(
+		WithProfile(visa.Profile64),
+		WithInstrumentation(),
+		WithLibcCache(NewLibcCache()), // cold in-process cache
+		WithStore(ts),
+	)
+	if _, err := b.Build(Source{Name: "p2", Text: `int main(void){ puts("x"); return 0; }`}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ts.Metrics().ObjectBuilds; got != base {
+		t.Fatalf("second builder recompiled libc: object_builds %d -> %d", base, got)
+	}
+}
+
+// TestStoreDisabledBuilderUnchanged: a nil store is the legacy path.
+func TestStoreDisabledBuilderUnchanged(t *testing.T) {
+	b := New(WithProfile(visa.Profile64), WithInstrumentation())
+	img, tier, err := b.BuildTiered(Source{Name: "p", Text: storeTestSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier != buildstore.TierBuilt || img == nil {
+		t.Fatalf("storeless build: tier=%s img=%v", tier, img != nil)
+	}
+}
