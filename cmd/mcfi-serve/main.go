@@ -19,7 +19,12 @@
 // across restarts (a warm restart recompiles nothing), and the
 // directory may be shared by concurrent replicas. With -store-remote,
 // a peer's /v1/store endpoint is consulted before building and fresh
-// builds are published back to it.
+// builds are published back to it. Replica sharing is write-gated by
+// -store-secret (or $MCFI_STORE_SECRET), a shared cluster secret that
+// HMAC-binds each published blob to its key; without it the store
+// surface refuses all PUTs and nothing is published to the peer, so an
+// exposed port cannot be used to poison the cache with a hostile
+// artifact.
 //
 // On SIGTERM/SIGINT the server stops admitting jobs, finishes the
 // queue within -drain-grace, force-cancels whatever is still running,
@@ -49,6 +54,8 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 0, "in-memory store tier capacity in images (0 = 256)")
 	storeDir := flag.String("store-dir", "", "persistent build-store directory (empty = in-memory only)")
 	storeRemote := flag.String("store-remote", "", "base URL of a peer build store to fetch from and publish to")
+	storeSecret := flag.String("store-secret", os.Getenv("MCFI_STORE_SECRET"),
+		"shared secret authenticating /v1/store writes (empty = store surface is read-only; default $MCFI_STORE_SECRET)")
 	buildJobs := flag.Int("build-jobs", 0, "compile concurrency per build (0 = 1)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "time queued jobs get to finish on shutdown")
 	flag.Parse()
@@ -62,6 +69,7 @@ func main() {
 		CacheEntries:    *cacheEntries,
 		StoreDir:        *storeDir,
 		RemoteStore:     *storeRemote,
+		StoreSecret:     *storeSecret,
 		DefaultMaxInstr: *maxInstr,
 		DefaultTimeout:  *timeout,
 		BuildJobs:       *buildJobs,

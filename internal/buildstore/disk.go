@@ -172,20 +172,27 @@ func (d *Disk) GetBlob(key string) ([]byte, error) {
 	if err != nil {
 		// Truncated or bit-flipped at rest: quarantine so the next
 		// lookup rebuilds, and never hand corrupt bytes to a decoder.
-		d.corrupt.Add(1)
 		d.misses.Add(1)
-		os.Remove(d.blobPath(key))
-		d.mu.Lock()
-		if old, ok := d.index[key]; ok {
-			d.bytes -= old
-			delete(d.index, key)
-		}
-		d.mu.Unlock()
+		d.quarantine(key)
 		return nil, ErrNotFound
 	}
 	d.hits.Add(1)
 	d.noteEntry(key, int64(len(payload)), false)
 	return payload, nil
+}
+
+// quarantine removes a bad entry — corrupt envelope or undecodable
+// payload — and drops it from the index so Has stops advertising it
+// and Stats entries/bytes stay truthful without a journal reload.
+func (d *Disk) quarantine(key string) {
+	d.corrupt.Add(1)
+	os.Remove(d.blobPath(key))
+	d.mu.Lock()
+	if old, ok := d.index[key]; ok {
+		d.bytes -= old
+		delete(d.index, key)
+	}
+	d.mu.Unlock()
 }
 
 // PutBlob seals and publishes a payload under key with an atomic
@@ -270,8 +277,7 @@ func (d *Disk) Get(key string) (*linker.Image, error) {
 		// The envelope verified but the payload does not decode (e.g. a
 		// format-version rollover): treat as absent so it is rebuilt and
 		// republished in the current format.
-		d.corrupt.Add(1)
-		os.Remove(d.blobPath(key))
+		d.quarantine(key)
 		return nil, ErrNotFound
 	}
 	return img, nil

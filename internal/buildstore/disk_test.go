@@ -101,6 +101,28 @@ func TestDiskCorruptionQuarantined(t *testing.T) {
 	}
 }
 
+// TestDiskUndecodableQuarantineCleansIndex: an entry whose envelope
+// verifies but whose payload does not decode (e.g. a format-version
+// rollover) is quarantined completely — Has stops advertising it and
+// Stats entries/bytes drop, not just the blob file.
+func TestDiskUndecodableQuarantineCleansIndex(t *testing.T) {
+	d := openTestDisk(t, t.TempDir())
+	k := testKey("undecodable")
+	// A validly sealed blob that is not a marshaled image.
+	if err := d.PutBlob(k, []byte("not an image")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("undecodable entry: %v, want ErrNotFound", err)
+	}
+	if d.Has(k) {
+		t.Error("Has still true after decode-failure quarantine")
+	}
+	if st := d.Stats(); st.Entries != 0 || st.Bytes != 0 || st.Corrupt != 1 {
+		t.Errorf("stats after quarantine: %+v, want 0 entries, 0 bytes, 1 corrupt", st)
+	}
+}
+
 // TestDiskConcurrentPublishersConverge: many writers across two store
 // instances sharing one directory (two "processes") publish the same
 // keys concurrently; every key converges to one complete, verifiable

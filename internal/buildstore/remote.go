@@ -2,6 +2,7 @@ package buildstore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,33 +17,61 @@ import (
 //
 //	GET  /v1/store/{key}   200 + envelope | 404
 //	HEAD /v1/store/{key}   200 | 404
-//	PUT  /v1/store/{key}   envelope body -> 204 | 400 (bad key/seal)
+//	PUT  /v1/store/{key}   envelope body -> 204 | 400 (bad key/seal) | 403
 //
-// Both ends verify the Seal envelope, so a corrupted transfer (or a
-// hostile peer) is rejected, never decoded. Every mcfi-serve replica
-// mounts Handler over its disk tier, so replicas can point -store-remote
-// at each other (or at a dedicated cache) and share one warm store.
+// Threat model. The Seal envelope detects *corruption* (truncation,
+// bit flips in transit or at rest) — its hash is self-embedded, so it
+// cannot detect *substitution*: anyone can seal arbitrary bytes, and
+// the store key is Builder.Fingerprint over sources, which is not
+// recomputable from the artifact. Authenticity therefore comes from a
+// shared cluster secret that MACs each (key, payload) pair
+// (X-Mcfi-Store-Mac, HMAC-SHA256):
+//
+//   - PUT always requires a valid MAC. A server with no secret
+//     configured refuses every PUT (403) — the write surface is OFF by
+//     default, so an unauthenticated peer can never publish an image
+//     under someone else's fingerprint and have it fetched, backfilled,
+//     and executed.
+//   - GET responses from a secret-holding server carry the MAC, and a
+//     secret-holding client verifies it, so a peer that serves bytes it
+//     cannot vouch for is refused. A client with no secret only
+//     integrity-checks GETs — acceptable only because -store-remote is
+//     an operator-configured, explicitly trusted peer.
+//
+// Give every replica in a trust domain the same -store-secret and they
+// can point -store-remote at each other (or a dedicated cache) and
+// share one warm store read-write.
 
 // Remote is a Store backed by another process's /v1/store endpoint.
 type Remote struct {
 	base   string // e.g. "http://cache:8377" (no trailing slash)
 	client *http.Client
+	secret string // shared cluster secret; "" = read-only, unverified
 
 	hits, misses, puts, corrupt atomic.Int64
 }
 
+// ErrReadOnly reports a publish attempted without a shared secret —
+// the peer would refuse it, so it is not sent at all.
+var ErrReadOnly = errors.New("buildstore: remote store is read-only (no shared secret configured)")
+
 // NewRemote returns a client for the store at base (the server root;
-// "/v1/store/" is appended). A nil client gets a 30s timeout default.
-func NewRemote(base string, client *http.Client) *Remote {
+// "/v1/store/" is appended) authenticating with secret ("" = read-only
+// probing with no authenticity check). A nil client gets a 3s timeout:
+// the remote tier sits on every cold-miss path, and a hung (not down)
+// peer must stall a build by seconds, not the 30s http.Client default;
+// pass an explicit client for slow links or very large artifacts.
+func NewRemote(base string, client *http.Client, secret string) *Remote {
 	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
+		client = &http.Client{Timeout: 3 * time.Second}
 	}
-	return &Remote{base: strings.TrimRight(base, "/"), client: client}
+	return &Remote{base: strings.TrimRight(base, "/"), client: client, secret: secret}
 }
 
 func (r *Remote) url(key string) string { return r.base + "/v1/store/" + key }
 
-// GetBlob fetches and verifies the payload under key.
+// GetBlob fetches and verifies the payload under key: envelope hash
+// always, key-binding MAC too when a secret is configured.
 func (r *Remote) GetBlob(key string) ([]byte, error) {
 	if !ValidKey(key) {
 		return nil, errBadKey
@@ -61,7 +90,7 @@ func (r *Remote) GetBlob(key string) ([]byte, error) {
 		r.misses.Add(1)
 		return nil, fmt.Errorf("buildstore: remote get: %s", resp.Status)
 	}
-	env, err := io.ReadAll(resp.Body)
+	env, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes+blobHdrLen))
 	if err != nil {
 		r.misses.Add(1)
 		return nil, fmt.Errorf("buildstore: remote get: %w", err)
@@ -73,16 +102,27 @@ func (r *Remote) GetBlob(key string) ([]byte, error) {
 		r.misses.Add(1)
 		return nil, ErrNotFound
 	}
+	if r.secret != "" && !macEqual(resp.Header.Get(macHeader), blobMAC(r.secret, key, payload)) {
+		// Intact envelope but the peer cannot vouch that this payload
+		// belongs to this key: refuse a possible substitution.
+		r.corrupt.Add(1)
+		r.misses.Add(1)
+		return nil, ErrNotFound
+	}
 	r.hits.Add(1)
 	return payload, nil
 }
 
-// PutBlob publishes a payload to the peer. Publish failures are
-// returned but callers treat the remote as best-effort (a down peer
-// must not fail the build).
+// PutBlob publishes a payload to the peer, authenticated with the
+// shared secret. Without one it fails fast with ErrReadOnly. Publish
+// failures are returned but callers treat the remote as best-effort (a
+// down peer must not fail the build).
 func (r *Remote) PutBlob(key string, payload []byte) error {
 	if !ValidKey(key) {
 		return errBadKey
+	}
+	if r.secret == "" {
+		return ErrReadOnly
 	}
 	r.puts.Add(1)
 	req, err := http.NewRequest(http.MethodPut, r.url(key), bytes.NewReader(Seal(payload)))
@@ -90,6 +130,7 @@ func (r *Remote) PutBlob(key string, payload []byte) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(macHeader, blobMAC(r.secret, key, payload))
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("buildstore: remote put: %w", err)
@@ -156,9 +197,13 @@ func (r *Remote) Stats() Stats {
 func (r *Remote) Close() error { return nil }
 
 // Handler serves the fetch/publish protocol from a local blob store.
-// Mount it at "/v1/store/" (and the legacy "/store/" alias if
-// desired); the key is the final path segment.
-func Handler(bs BlobStore) http.Handler {
+// Mount it at "/v1/store/"; the key is the final path segment. secret
+// is the shared cluster secret: every PUT must carry a matching
+// (key, payload) MAC, and with secret == "" the handler is read-only —
+// all PUTs are refused, so an open port cannot be used to poison the
+// store. GET responses carry the MAC when a secret is configured, so
+// secret-holding clients can verify what they fetch.
+func Handler(bs BlobStore, secret string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		key := req.URL.Path[strings.LastIndexByte(req.URL.Path, '/')+1:]
 		if !ValidKey(key) {
@@ -179,8 +224,15 @@ func Handler(bs BlobStore) http.Handler {
 				return
 			}
 			w.Header().Set("Content-Type", "application/octet-stream")
+			if secret != "" {
+				w.Header().Set(macHeader, blobMAC(secret, key, payload))
+			}
 			w.Write(Seal(payload))
 		case http.MethodPut:
+			if secret == "" {
+				http.Error(w, "store writes disabled (no shared secret configured)", http.StatusForbidden)
+				return
+			}
 			env, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBlobBytes))
 			if err != nil {
 				http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
@@ -189,6 +241,10 @@ func Handler(bs BlobStore) http.Handler {
 			payload, err := Open(env)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if !macEqual(req.Header.Get(macHeader), blobMAC(secret, key, payload)) {
+				http.Error(w, "missing or invalid store MAC", http.StatusForbidden)
 				return
 			}
 			if err := bs.PutBlob(key, payload); err != nil {

@@ -1,6 +1,7 @@
 package buildstore
 
 import (
+	"bytes"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -10,16 +11,26 @@ import (
 	"mcfi/internal/linker"
 )
 
-// remotePair serves a disk store over the /v1/store protocol and
-// returns a Remote client for it.
-func remotePair(t *testing.T) (*Disk, *Remote) {
+// testSecret is the shared cluster secret both ends of the protocol
+// tests authenticate with.
+const testSecret = "test-cluster-secret"
+
+// remotePairSecrets serves a disk store over the /v1/store protocol
+// with serverSecret and returns a Remote client using clientSecret.
+func remotePairSecrets(t *testing.T, serverSecret, clientSecret string) (*Disk, *Remote) {
 	t.Helper()
 	disk := openTestDisk(t, t.TempDir())
 	mux := http.NewServeMux()
-	mux.Handle("/v1/store/", Handler(disk))
+	mux.Handle("/v1/store/", Handler(disk, serverSecret))
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
-	return disk, NewRemote(srv.URL, srv.Client())
+	return disk, NewRemote(srv.URL, srv.Client(), clientSecret)
+}
+
+// remotePair is the common case: both ends share one secret.
+func remotePair(t *testing.T) (*Disk, *Remote) {
+	t.Helper()
+	return remotePairSecrets(t, testSecret, testSecret)
 }
 
 func TestRemoteRoundTrip(t *testing.T) {
@@ -77,6 +88,93 @@ func TestRemoteRefusesCorruptPeer(t *testing.T) {
 	}
 	if _, err := r.Get(k); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("corrupt peer entry: %v, want ErrNotFound", err)
+	}
+}
+
+// TestRemotePutRequiresSecret: the write plane is off by default — a
+// server with no secret refuses every PUT, even a well-formed sealed
+// envelope, so an attacker who can reach the port cannot publish an
+// arbitrary image under a victim source's fingerprint.
+func TestRemotePutRequiresSecret(t *testing.T) {
+	disk, r := remotePairSecrets(t, "", "")
+	k := testKey("poison")
+
+	// A secretless client refuses to even try.
+	if err := r.PutBlob(k, []byte("attacker image")); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("secretless client PutBlob: %v, want ErrReadOnly", err)
+	}
+
+	// A raw, perfectly sealed PUT straight at the handler gets 403.
+	req, _ := http.NewRequest(http.MethodPut, r.url(k), bytes.NewReader(Seal([]byte("attacker image"))))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unauthenticated PUT = %d, want 403", resp.StatusCode)
+	}
+	if disk.Has(k) {
+		t.Fatal("refused PUT still landed in the store")
+	}
+}
+
+// TestRemotePutRejectsBadMAC: a sealed envelope with a missing or
+// wrong-secret MAC is refused — the envelope's self-hash alone does
+// not bind the payload to the key, so it must not authorize a write.
+func TestRemotePutRejectsBadMAC(t *testing.T) {
+	disk, r := remotePair(t)
+	k := testKey("substitute")
+	payload := []byte("attacker image")
+	for name, mac := range map[string]string{
+		"no MAC":            "",
+		"wrong secret":      blobMAC("guessed-secret", k, payload),
+		"wrong key binding": blobMAC(testSecret, testKey("other"), payload),
+	} {
+		req, _ := http.NewRequest(http.MethodPut, r.url(k), bytes.NewReader(Seal(payload)))
+		if mac != "" {
+			req.Header.Set(macHeader, mac)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Errorf("%s: PUT = %d, want 403", name, resp.StatusCode)
+		}
+	}
+	if disk.Has(k) {
+		t.Fatal("MAC-less PUT landed in the store")
+	}
+}
+
+// TestRemoteGetVerifiesMAC: a secret-holding client refuses blobs a
+// peer cannot vouch for (no shared secret → no valid MAC on the GET),
+// even though the envelope itself verifies.
+func TestRemoteGetVerifiesMAC(t *testing.T) {
+	disk, r := remotePairSecrets(t, "", testSecret)
+	k := testKey("unvouched")
+	// Seed the serving store locally (a secretless server can still
+	// hold and serve entries it built itself).
+	if err := disk.PutBlob(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GetBlob(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unvouched GET: %v, want ErrNotFound", err)
+	}
+	if st := r.Stats(); st.Corrupt != 1 {
+		t.Errorf("refused blob not counted corrupt: %+v", st)
+	}
+
+	// With matching secrets the same fetch succeeds.
+	_, rOK := remotePairSecrets(t, testSecret, testSecret)
+	if err := rOK.PutBlob(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rOK.GetBlob(k)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("vouched GET: %q, %v", got, err)
 	}
 }
 

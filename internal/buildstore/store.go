@@ -22,6 +22,7 @@
 package buildstore
 
 import (
+	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -153,6 +154,27 @@ func ValidKey(key string) bool {
 }
 
 var errBadKey = errors.New("buildstore: malformed key (want lowercase hex sha-256)")
+
+// blobMAC authenticates a (key, payload) pair for the /v1/store wire
+// protocol: HMAC-SHA256 over key || payload under a shared cluster
+// secret. The envelope's self-embedded SHA-256 only proves integrity —
+// anyone can seal arbitrary bytes — and the store key is a fingerprint
+// of *sources*, not derivable from the artifact, so without this MAC a
+// writer could publish a well-formed hostile image under a victim's
+// key. The MAC binds both: only a secret holder can vouch that this
+// payload is the artifact for this key.
+func blobMAC(secret, key string, payload []byte) string {
+	m := hmac.New(sha256.New, []byte(secret))
+	m.Write([]byte(key))
+	m.Write(payload)
+	return hex.EncodeToString(m.Sum(nil))
+}
+
+// macEqual compares MACs in constant time.
+func macEqual(a, b string) bool { return hmac.Equal([]byte(a), []byte(b)) }
+
+// macHeader carries the blobMAC on /v1/store requests and responses.
+const macHeader = "X-Mcfi-Store-Mac"
 
 // HashKey returns the content address of raw key material — a helper
 // for callers that key artifacts by something other than a builder

@@ -179,7 +179,10 @@ func (r *imgReader) str() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if r.off+int(n) > len(r.b) {
+	// Compare in uint64: on 32-bit platforms int(n) can be negative for
+	// n >= 2^31, which would pass an int comparison and panic on the
+	// slice below instead of reporting truncation.
+	if uint64(n) > uint64(len(r.b)-r.off) {
 		return "", errImgTruncated
 	}
 	s := string(r.b[r.off : r.off+int(n)])
@@ -192,7 +195,7 @@ func (r *imgReader) bytes() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if r.off+int(n) > len(r.b) {
+	if uint64(n) > uint64(len(r.b)-r.off) {
 		return nil, errImgTruncated
 	}
 	b := make([]byte, n)

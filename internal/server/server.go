@@ -116,8 +116,16 @@ type Config struct {
 	StoreDir string
 	// RemoteStore, when set, adds a remote store tier: the base URL of
 	// a peer mcfi-serve (or shared cache) whose /v1/store endpoint is
-	// consulted after mem and disk, and published to on fresh builds.
+	// consulted after mem and disk, and published to on fresh builds
+	// (publishing requires StoreSecret).
 	RemoteStore string
+	// StoreSecret is the shared cluster secret that authenticates the
+	// /v1/store write plane: PUTs this server accepts, and blobs this
+	// server fetches from or publishes to RemoteStore, carry an
+	// HMAC binding payload to key. Empty means the store surface is
+	// read-only: all incoming PUTs are refused, nothing is published to
+	// the peer, and fetched blobs are integrity-checked only.
+	StoreSecret string
 	// DefaultMaxInstr is the per-job instruction budget when a request
 	// does not set one (default 2e9). <0 disables the default.
 	DefaultMaxInstr int64
@@ -209,7 +217,7 @@ func New(cfg Config) (*Server, error) {
 		tiers = append(tiers, d)
 	}
 	if cfg.RemoteStore != "" {
-		tiers = append(tiers, buildstore.NewRemote(cfg.RemoteStore, nil))
+		tiers = append(tiers, buildstore.NewRemote(cfg.RemoteStore, nil, cfg.StoreSecret))
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -599,13 +607,16 @@ func (s *Server) Handler() http.Handler {
 
 // storeHandler serves the replica-sharing protocol from the disk tier;
 // without one (no -store-dir) there is nothing persistent to share.
+// Writes are gated on the shared secret (see Config.StoreSecret):
+// without it the surface is read-only, so an open serve port cannot be
+// used to publish a hostile artifact under a victim fingerprint.
 func (s *Server) storeHandler() http.Handler {
 	if s.disk == nil {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "no persistent store configured (start with -store-dir)", http.StatusNotFound)
 		})
 	}
-	return buildstore.Handler(s.disk)
+	return buildstore.Handler(s.disk, s.cfg.StoreSecret)
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
