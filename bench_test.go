@@ -389,7 +389,7 @@ func BenchmarkCheckFusion(b *testing.B) {
 		instrument bool
 	}{{"mcfi", true}, {"baseline", false}} {
 		img := buildFor(b, "sjeng", flavor.instrument)
-		for _, e := range []vm.Engine{vm.EngineInterp, vm.EngineCached, vm.EngineFused, vm.EngineThreaded} {
+		for _, e := range []vm.Engine{vm.EngineInterp, vm.EngineCached, vm.EngineFused, vm.EngineThreaded, vm.EngineBlockJIT} {
 			b.Run(flavor.name+"/"+e.String(), func(b *testing.B) {
 				total := int64(0)
 				b.ResetTimer()

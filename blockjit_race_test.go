@@ -1,0 +1,102 @@
+// Race-hardening test for the block-compiler engine, the next rung
+// after threaded_race_test.go: an instrumented workload runs on
+// EngineBlockJIT with a compile-eager threshold — so hot blocks are
+// genuinely compiled and dispatched — while a host goroutine issues
+// table update transactions as fast as it can. Every update bumps the
+// check epoch, so under `go test -race` this exercises concurrent
+// block compilation, epoch-stamped dispatch, discard-and-recompile,
+// and jit-page invalidation against the storm. A compiled block that
+// survived an epoch bump would replay a stale check verdict; the
+// differential assertion against the interpreter catches exactly
+// that.
+package mcfi
+
+import (
+	"sync"
+	"testing"
+
+	"mcfi/internal/mrt"
+	"mcfi/internal/tables"
+	"mcfi/internal/toolchain"
+	"mcfi/internal/visa"
+	"mcfi/internal/vm"
+	"mcfi/internal/workload"
+)
+
+func TestBlockJITEngineUnderUpdateStorm(t *testing.T) {
+	w, ok := workload.ByName("sjeng")
+	if !ok {
+		t.Fatal("sjeng workload missing")
+	}
+	img, err := toolchain.New(
+		toolchain.WithProfile(visa.Profile64),
+		toolchain.WithInstrumentation(),
+	).Build(w.TestSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := runWithEngine(t, img, vm.EngineInterp)
+
+	rt, err := mrt.New(img, mrt.Options{Engine: vm.EngineBlockJIT, JITThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rt.Tables.Reversion(tables.UpdateOpts{Parallel: true})
+			}
+		}
+	}()
+	code, err := rt.Run(2_000_000_000)
+	close(stop)
+	wg.Wait()
+
+	if err != nil {
+		t.Fatalf("blockjit run under updates: %v (output %q)", err, rt.Output())
+	}
+	if code != ref.code || rt.Output() != ref.output {
+		t.Errorf("blockjit under updates diverges from interp:\n  interp:   code=%d out=%q\n  blockjit: code=%d out=%q",
+			ref.code, ref.output, code, rt.Output())
+	}
+	st := rt.CheckStats()
+	if st.JITBlocks == 0 {
+		t.Errorf("no blocks compiled under the storm (threshold 4)")
+	}
+	if rt.Tables.Updates() >= 2 && st.JITDiscards == 0 {
+		t.Errorf("%d update transactions bumped the epoch but no compiled block was discarded", rt.Tables.Updates())
+	}
+	t.Logf("storm: %d updates, %d blocks compiled, %d discarded, %d block runs / %d cold steps",
+		rt.Tables.Updates(), st.JITBlocks, st.JITDiscards, st.JITBlockRuns, st.JITColdSteps)
+
+	// The quiet run must be bit-identical down to instret: a compiled
+	// block retires exactly the instructions it replaces.
+	quiet := runWithEngine(t, img, vm.EngineBlockJIT)
+	if quiet != ref {
+		t.Errorf("blockjit without updates diverges from interp:\n  interp:   code=%d instret=%d\n  blockjit: code=%d instret=%d",
+			ref.code, ref.instret, quiet.code, quiet.instret)
+	}
+
+	// And the quiet run's counters prove it actually ran compiled:
+	// mostly hot dispatches once warm.
+	rtq, err := mrt.New(img, mrt.Options{Engine: vm.EngineBlockJIT, JITThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rtq.Run(2_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	stq := rtq.CheckStats()
+	if stq.JITBlockRuns == 0 || stq.JITBlockRuns < stq.JITColdSteps {
+		t.Errorf("quiet blockjit run was not block-dominated: %d block runs vs %d cold steps",
+			stq.JITBlockRuns, stq.JITColdSteps)
+	}
+}

@@ -68,8 +68,9 @@ func main() {
 	work := flag.Int("work", 0, "override workload iteration count (0 = reference inputs)")
 	scale := flag.Float64("scale", 0.25, "Table 3 synthetic-module scale factor")
 	hz := flag.Int("hz", 50, "update-transaction frequency for fig6")
-	engine := vm.EngineCached
+	engine := vm.EngineThreaded
 	flag.Var((*vm.EngineFlag)(&engine), "engine", vm.EngineUsage())
+	jitThreshold := flag.Int64("jit-threshold", 0, "blockjit engine: executions before a block is compiled (0 = vm default)")
 	jobs := flag.Int("jobs", 0, "worker-pool width for builds and workloads (0 = GOMAXPROCS)")
 	storeDir := flag.String("store", "", "persistent build-store directory: reuse compiled artifacts across runs")
 	jsonPath := flag.String("json", "", "write per-experiment results to this file as JSON")
@@ -82,11 +83,12 @@ func main() {
 	}
 
 	c := experiments.Config{
-		Profile:  visa.Profile64,
-		Work:     *work,
-		GenScale: *scale,
-		Engine:   engine,
-		Jobs:     *jobs,
+		Profile:      visa.Profile64,
+		Work:         *work,
+		GenScale:     *scale,
+		Engine:       engine,
+		JITThreshold: *jitThreshold,
+		Jobs:         *jobs,
 	}
 	if *profile == 32 {
 		c.Profile = visa.Profile32

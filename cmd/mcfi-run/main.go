@@ -34,8 +34,9 @@ func main() {
 	profile := flag.Int("profile", 64, "VISA profile: 32 or 64")
 	maxInstr := flag.Int64("max", 0, "instruction budget (0 = unlimited)")
 	stats := flag.Bool("stats", false, "print instruction counts and table statistics")
-	engine := vm.EngineCached
+	engine := vm.EngineThreaded
 	flag.Var((*vm.EngineFlag)(&engine), "engine", vm.EngineUsage())
+	jitThreshold := flag.Int64("jit-threshold", 0, "blockjit engine: executions before a block is compiled (0 = vm default)")
 	var libs listFlag
 	flag.Var(&libs, "lib", "MiniC source compiled as a dlopen-able library (repeatable)")
 	flag.Parse()
@@ -67,7 +68,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := mrt.Options{Out: os.Stdout, Engine: engine}
+	opts := mrt.Options{Out: os.Stdout, Engine: engine, JITThreshold: *jitThreshold}
 	if b.Instrumented() {
 		opts.Verify = func(obj *module.Object) error { return verifier.Verify(obj) }
 	}

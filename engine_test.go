@@ -200,10 +200,11 @@ func TestEngineFlagParsing(t *testing.T) {
 		wantErr bool
 	}{
 		{"cached", vm.EngineCached, false},
-		{"", vm.EngineCached, false},
+		{"", vm.EngineThreaded, false}, // the default engine
 		{"interp", vm.EngineInterp, false},
 		{"fused", vm.EngineFused, false},
 		{"threaded", vm.EngineThreaded, false},
+		{"blockjit", vm.EngineBlockJIT, false},
 		{"jit", 0, true},
 	}
 	for _, c := range cases {
@@ -216,8 +217,13 @@ func TestEngineFlagParsing(t *testing.T) {
 			t.Errorf("ParseEngine(%q) = %v, want %v", c.in, got, c.want)
 		}
 	}
-	if fmt.Sprint(vm.EngineCached, vm.EngineInterp, vm.EngineFused, vm.EngineThreaded) != "cached interp fused threaded" {
+	if fmt.Sprint(vm.EngineInterp, vm.EngineCached, vm.EngineFused, vm.EngineThreaded, vm.EngineBlockJIT) != "interp cached fused threaded blockjit" {
 		t.Errorf("engine names changed: %v", vm.EngineNames())
+	}
+	// The zero value — what a Process gets when SetEngine is never
+	// called — is the default engine, threaded.
+	if vm.Engine(0) != vm.EngineThreaded {
+		t.Errorf("zero-value engine = %v, want threaded", vm.Engine(0))
 	}
 	// Every name in the shared list round-trips through the parser, and
 	// the parse error enumerates exactly that list — the single source

@@ -42,8 +42,11 @@ type Config struct {
 	// (1.0 approaches the paper's magnitudes; tests use less).
 	GenScale float64
 	// Engine selects the VM execution engine for workload runs
-	// (default: the predecoded cached engine).
+	// (default: the direct-threaded engine).
 	Engine vm.Engine
+	// JITThreshold sets vm.EngineBlockJIT's block-compile threshold
+	// (0 = vm.DefaultJITThreshold).
+	JITThreshold int64
 	// Jobs bounds the worker pool fanning workloads per experiment and
 	// the per-build compile concurrency (0 = GOMAXPROCS).
 	Jobs int
@@ -150,7 +153,7 @@ func MinstrPerSec(instret int64, secs float64) float64 {
 
 // runOnce executes one built image and returns retired instructions.
 func (c Config) runOnce(img *linker.Image, during func(rt *mrt.Runtime, stop <-chan struct{})) (int64, *mrt.Runtime, error) {
-	rt, err := mrt.New(img, mrt.Options{Engine: c.Engine})
+	rt, err := mrt.New(img, mrt.Options{Engine: c.Engine, JITThreshold: c.JITThreshold})
 	if err != nil {
 		return 0, nil, err
 	}

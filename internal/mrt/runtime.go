@@ -51,9 +51,13 @@ type Options struct {
 	Verify func(*module.Object) error
 	// Seed initializes the deterministic guest PRNG.
 	Seed uint64
-	// Engine selects the VM execution engine (default: the predecoded
-	// cached engine; vm.EngineInterp decodes every instruction).
+	// Engine selects the VM execution engine (default: the
+	// direct-threaded engine; vm.EngineInterp decodes every
+	// instruction).
 	Engine vm.Engine
+	// JITThreshold sets the block-compile execution threshold for
+	// vm.EngineBlockJIT (0 = vm.DefaultJITThreshold).
+	JITThreshold int64
 }
 
 // Runtime is one loaded MCFI program with its tables and threads.
@@ -131,6 +135,7 @@ func New(img *linker.Image, opts Options) (*Runtime, error) {
 	p := r.Proc
 	p.Handler = r
 	p.SetEngine(opts.Engine)
+	p.SetJITThreshold(opts.JITThreshold)
 
 	// Load code and data.
 	if visa.CodeBase+len(img.Code) > visa.CodeBase+visa.CodeLimit {

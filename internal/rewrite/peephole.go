@@ -1,0 +1,49 @@
+// Peephole metadata: the straight-line instruction shapes the block
+// compiler (internal/vm EngineBlockJIT) fuses into single steps.
+// Like IsMaskStorePair, the predicates live beside the emitters so
+// the fusion matchers can never drift from what the rewriter
+// produces — but they are keyed on byte shapes alone, so coincidental
+// guest-authored pairs fuse too, harmlessly: the fused step
+// reproduces both instructions' architectural effects exactly.
+package rewrite
+
+import "mcfi/internal/visa"
+
+// IsCmpJccPair reports whether cmp and j form the fusible compare +
+// conditional-branch shape: a pure flag-setting comparison
+// immediately followed by the conditional branch consuming its flags.
+// Every comparison in the ISA writes the full flag state, so the pair
+// is fusible regardless of which registers it names.
+func IsCmpJccPair(cmp, j visa.Instr) bool {
+	switch cmp.Op {
+	case visa.CMP, visa.CMPI, visa.CMPW, visa.TESTB, visa.FCMP:
+	default:
+		return false
+	}
+	switch j.Op {
+	case visa.JE, visa.JNE, visa.JL, visa.JG, visa.JLE, visa.JGE,
+		visa.JB, visa.JA, visa.JBE, visa.JAE:
+		return true
+	}
+	return false
+}
+
+// IsLoadOpPair reports whether ld and op form the fusible load +
+// consume shape: a load immediately followed by a register-register
+// ALU instruction (or comparison) that reads the loaded register. The
+// consumer must be pure — divisions are excluded because they can
+// fault between the two halves.
+func IsLoadOpPair(ld, op visa.Instr) bool {
+	switch ld.Op {
+	case visa.LD8, visa.LD16, visa.LD32, visa.LD64,
+		visa.LD8U, visa.LD16U, visa.LD32U:
+	default:
+		return false
+	}
+	switch op.Op {
+	case visa.ADD, visa.SUB, visa.MUL, visa.AND, visa.OR, visa.XOR,
+		visa.SHL, visa.SHR, visa.SAR, visa.CMP, visa.CMPW, visa.MOV:
+		return op.R1 == ld.R1 || op.R2 == ld.R1
+	}
+	return false
+}

@@ -198,6 +198,8 @@ type Server struct {
 	budget, buildErrs                      atomic.Int64
 	instret, execNanos                     atomic.Int64
 	checkExecs, checkHalts, vHits, vMisses atomic.Int64
+	jitBlocks, jitCompileNanos             atomic.Int64
+	jitBlockRuns, jitColdSteps             atomic.Int64
 }
 
 // New starts a server's worker pool, assembling the build store from
@@ -448,6 +450,10 @@ func (s *Server) runJob(j *job) JobResult {
 	s.checkHalts.Add(st.Halts)
 	s.vHits.Add(st.VerdictHits)
 	s.vMisses.Add(st.VerdictMisses)
+	s.jitBlocks.Add(st.JITBlocks)
+	s.jitCompileNanos.Add(st.JITCompileNanos)
+	s.jitBlockRuns.Add(st.JITBlockRuns)
+	s.jitColdSteps.Add(st.JITColdSteps)
 
 	var fault *vm.Fault
 	switch {
@@ -542,6 +548,14 @@ type ExecMetrics struct {
 	CheckHalts    int64   `json:"check_halts"`
 	VerdictHits   int64   `json:"verdict_hits"`
 	VerdictMisses int64   `json:"verdict_misses"`
+	// Block-compiler counters, aggregated across jobs that ran the
+	// blockjit engine (zero otherwise). JITHotRatio is the fraction of
+	// dispatches served by compiled blocks.
+	JITBlocks      int64   `json:"jit_blocks_compiled"`
+	JITCompileSecs float64 `json:"jit_compile_secs"`
+	JITBlockRuns   int64   `json:"jit_block_runs"`
+	JITColdSteps   int64   `json:"jit_cold_steps"`
+	JITHotRatio    float64 `json:"jit_hot_ratio"`
 }
 
 // MetricsSnapshot assembles the live metrics document.
@@ -571,16 +585,23 @@ func (s *Server) MetricsSnapshot() Metrics {
 		},
 		BuildStore: s.store.Metrics(),
 		Exec: ExecMetrics{
-			GuestInstret:  instret,
-			ExecSecs:      execSecs,
-			CheckExecs:    s.checkExecs.Load(),
-			CheckHalts:    s.checkHalts.Load(),
-			VerdictHits:   s.vHits.Load(),
-			VerdictMisses: s.vMisses.Load(),
+			GuestInstret:   instret,
+			ExecSecs:       execSecs,
+			CheckExecs:     s.checkExecs.Load(),
+			CheckHalts:     s.checkHalts.Load(),
+			VerdictHits:    s.vHits.Load(),
+			VerdictMisses:  s.vMisses.Load(),
+			JITBlocks:      s.jitBlocks.Load(),
+			JITCompileSecs: float64(s.jitCompileNanos.Load()) / 1e9,
+			JITBlockRuns:   s.jitBlockRuns.Load(),
+			JITColdSteps:   s.jitColdSteps.Load(),
 		},
 	}
 	if execSecs > 0 {
 		m.Exec.MinstrPerSec = float64(instret) / execSecs / 1e6
+	}
+	if d := m.Exec.JITBlockRuns + m.Exec.JITColdSteps; d > 0 {
+		m.Exec.JITHotRatio = float64(m.Exec.JITBlockRuns) / float64(d)
 	}
 	return m
 }

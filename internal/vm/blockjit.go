@@ -1,0 +1,965 @@
+// Profile-guided fill-time block compiler. The threaded engine pays
+// one icache lookup plus one indirect call per retired instruction;
+// EngineBlockJIT compiles each hot straight-line block into a
+// compiled trace — a contiguous array of pre-bound steps the
+// dispatcher executes with one block lookup per *block* — so the run
+// loop's per-instruction costs (icache probe, valid-bitmap test,
+// watermark compare, PC/Instret stores for pure ops) are paid once
+// per block instead of once per instruction. Pure register steps are
+// bound as inline micro-ops (a jump-table dispatch with operands and
+// constants pre-extracted — no call at all); steps that can fault or
+// leave the VM keep a pre-bound func pointer to their threaded
+// handler so fault semantics live in exactly one place.
+//
+// Profile guidance: every potential block start (the target of any
+// control transfer) carries an execution counter, and only starts
+// whose count crosses the JIT threshold pay compile cost. Cold code
+// executes on the threaded engine's dispatch path unchanged, so a
+// block that never gets hot costs one counter increment per entry and
+// nothing else.
+//
+// Block boundaries. A block is the maximal trace from its start such
+// that every instruction *starts* inside the start's page: it follows
+// the fall-through edge of conditional branches (a taken branch exits
+// the block early with PC on the target), folds forward
+// unconditional jumps within the page, and ends at the first
+// unpredictable transfer (indirect branch, call, return, syscall,
+// hlt, longjmp, backward jump), at a fused check superinstruction's
+// join (the check manages PC itself — on retry exhaustion it loops
+// back to the transaction start), or at the page boundary. The page
+// rule makes invalidation congruent with the icache: dropping pages
+// [first-1, last) covers every block whose instructions could span
+// the changed range.
+//
+// Invalidation reuses the verdict caches' epoch: a block is stamped
+// with the check epoch read BEFORE its first byte is decoded, and the
+// dispatcher refuses any block whose stamp is not the current epoch.
+// Every update transaction and every Protect bumps the epoch, so a
+// block can never replay a check verdict or code bytes from before
+// the bump; a stale block is dropped at dispatch and its start
+// re-profiled from zero.
+//
+// Accounting is bit-identical to the other engines. Pure register
+// steps defer their Instret/PC updates into a pending count that the
+// next effectful step (or the block epilogue) credits before acting,
+// so a fault inside a block reports the exact interp-engine Instret
+// and fault PC. Near the instruction budget — within the block's
+// worst-case retire bound — the dispatcher falls back to single
+// stepping so ErrBudget lands on the precise instruction.
+package vm
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"mcfi/internal/rewrite"
+	"mcfi/internal/visa"
+)
+
+// DefaultJITThreshold is the execution count at which a block start
+// becomes hot and is compiled. Override per process with
+// SetJITThreshold (the -jit-threshold flag).
+const DefaultJITThreshold = 64
+
+// maxBlockSteps bounds the compiled steps of one block, so a page of
+// straight-line code cannot produce an unboundedly expensive compile
+// or an arbitrarily long poll-free run.
+const maxBlockSteps = 256
+
+// Micro-op kinds of a compiled block step. The zero value is the
+// handler delegation so a mis-initialized step fails safe (through
+// the threaded handler, never a silent register micro-op).
+const (
+	kHandler  uint8 = iota // delegate to the threaded handler (s.h, s.ins)
+	kEnd                   // block epilogue: credit retires, land PC
+	kJmp                   // pre-bound direct jump (backward / page-leaving)
+	kCall                  // pre-bound direct call
+	kJcc                   // conditional branch: taken exits the block
+	kCmpRRJcc              // fused reg-reg compare + conditional branch
+	kCmpRIJcc              // fused reg-imm compare + conditional branch
+	kLoadOp                // fused load (via handler) + register ALU op
+
+	// Memory micro-ops: the handler bodies inlined (same t.load/t.store
+	// calls, same clobber-on-fault quirk), with the fault PC restored
+	// before the access. r1 = data register, r2 = base register,
+	// imm = displacement.
+	kLd8
+	kLd8U
+	kLd16
+	kLd16U
+	kLd32
+	kLd32U
+	kLd64
+	kSt8
+	kSt16
+	kSt32
+	kSt64
+
+	// Pure register/flag micro-ops: cannot fault, Instret/PC deferred.
+	kMovI
+	kMov
+	kAdd
+	kSub
+	kMul
+	kAnd
+	kOr
+	kXor
+	kShl
+	kShr
+	kSar
+	kNeg
+	kNot
+	kAddI
+	kAndI
+	kCmp
+	kCmpI
+	kCmpW
+	kTestB
+	kFCmp
+	kSet
+	kSx8
+	kSx16
+	kSx32
+	kZx8
+	kZx16
+	kAnd32
+	kFAdd
+	kFSub
+	kFMul
+	kFDiv
+	kCvIF
+	kCvFI
+)
+
+// blockStep is one micro-op of a compiled block: a kind tag plus
+// pre-extracted operands, one cache line, stored in a contiguous
+// array — the block loop walks it like the icache slot array instead
+// of chasing per-step heap closures. Field use by kind:
+//
+//	pures:     r1, r2, imm as in the source instruction (cc for kSet)
+//	kJcc:      cc; pc = fall-through, next = taken, pending = retire
+//	kCmp*Jcc:  compare in r1/r2/imm, branch as kJcc
+//	kJmp:      imm = target, pending = retire
+//	kCall:     pc = call site, next = return address, imm = target
+//	kEnd:      pc = fall-through PC, pending = retire
+//	kHandler:  h + ins + pc/next per the stepFn contract
+//	kLoadOp:   load in h/ins/pc/next, ALU micro-op in cc with r1/r2,
+//	           imm = PC after the pair
+type blockStep struct {
+	kind    uint8
+	cc      uint8
+	r1, r2  uint8
+	imm     int64
+	pc      int64
+	next    int64
+	pending int64
+	h       stepFn
+	ins     visa.Instr
+}
+
+// compiledBlock is one compiled block.
+type compiledBlock struct {
+	// epoch is the check epoch the block's bytes and fused-check
+	// bindings were read at; the dispatcher drops the block when the
+	// process epoch has moved (update transaction or Protect).
+	epoch int64
+	// steps is the block body, executed in order by Thread.runBlock.
+	steps []blockStep
+	// maxRetire is a conservative upper bound on instructions one
+	// dispatch can retire; the dispatcher single-steps instead when
+	// the remaining budget is smaller, keeping ErrBudget exact.
+	maxRetire int64
+}
+
+// jitPage holds per-offset profiling counters and compiled blocks for
+// one guest page, mirroring pageCache's indexing. Both arrays are
+// lock-free: counters are monotonic heuristics and block pointers are
+// published whole.
+type jitPage struct {
+	counts [PageSize]atomic.Uint32
+	blocks [PageSize]atomic.Pointer[compiledBlock]
+}
+
+// jitState is the block compiler's per-process state plus its
+// process-wide counters (flushed from threads at the watermark
+// cadence, read lock-free by serving metrics).
+type jitState struct {
+	pages     []atomic.Pointer[jitPage]
+	threshold int64
+
+	compiled     atomic.Int64
+	compileNanos atomic.Int64
+	discards     atomic.Int64
+	blockRuns    atomic.Int64
+	coldSteps    atomic.Int64
+}
+
+// SetJITThreshold sets the block-compile execution threshold for
+// EngineBlockJIT (<= 0 restores DefaultJITThreshold). Call before the
+// process starts executing.
+func (p *Process) SetJITThreshold(n int64) { p.jit.threshold = n }
+
+// jitPageAt returns the jitPage for page pg, installing one if
+// needed. If an invalidation races the install the orphan page is
+// returned; its lost counts only delay recompilation.
+func (p *Process) jitPageAt(pg uint64) *jitPage {
+	slot := &p.jit.pages[pg]
+	if jp := slot.Load(); jp != nil {
+		return jp
+	}
+	njp := &jitPage{}
+	if slot.CompareAndSwap(nil, njp) {
+		return njp
+	}
+	if jp := slot.Load(); jp != nil {
+		return jp
+	}
+	return njp
+}
+
+// runBlock executes one compiled block body and returns nil when the
+// block ran to its end or exited early at a taken branch (PC is on
+// the branch target); a non-nil error is a real fault or exit from a
+// handler step.
+func (t *Thread) runBlock(b *compiledBlock) error {
+	ss := b.steps
+	for i := range ss {
+		s := &ss[i]
+		switch s.kind {
+		case kHandler:
+			t.Instret += s.pending
+			t.PC = s.pc
+			if err := s.h(t, &s.ins, s.pc, s.next); err != nil {
+				return err
+			}
+		case kEnd:
+			t.Instret += s.pending
+			t.PC = s.pc
+		case kJmp:
+			t.Instret += s.pending
+			t.PC = s.imm
+		case kCall:
+			t.Instret += s.pending
+			t.PC = s.pc // a stack fault reports the call's own address
+			if err := t.push(s.next); err != nil {
+				return err
+			}
+			t.PC = s.imm
+		case kJcc:
+			t.Instret += s.pending
+			if t.cond(s.cc) {
+				t.PC = s.next
+				return nil
+			}
+			t.PC = s.pc
+		case kCmpRRJcc:
+			t.Instret += s.pending
+			t.fa, t.fb, t.fFloat = t.Reg[s.r1], t.Reg[s.r2], false
+			if t.cond(s.cc) {
+				t.PC = s.next
+				return nil
+			}
+			t.PC = s.pc
+		case kCmpRIJcc:
+			t.Instret += s.pending
+			t.fa, t.fb, t.fFloat = t.Reg[s.r1], s.imm, false
+			if t.cond(s.cc) {
+				t.PC = s.next
+				return nil
+			}
+			t.PC = s.pc
+		case kLoadOp:
+			t.Instret += s.pending
+			t.PC = s.pc
+			if err := s.h(t, &s.ins, s.pc, s.next); err != nil {
+				return err
+			}
+			t.Instret++
+			runPureALU(t, s.cc, s.r1, s.r2)
+			t.PC = s.imm
+		case kLd8:
+			t.Instret += s.pending + 1
+			t.PC = s.pc
+			v, err := t.load(t.Reg[s.r2]+s.imm, 1)
+			t.Reg[s.r1] = int64(int8(v))
+			if err != nil {
+				return err
+			}
+			t.PC = s.next
+		case kLd8U:
+			t.Instret += s.pending + 1
+			t.PC = s.pc
+			v, err := t.load(t.Reg[s.r2]+s.imm, 1)
+			t.Reg[s.r1] = int64(uint8(v))
+			if err != nil {
+				return err
+			}
+			t.PC = s.next
+		case kLd16:
+			t.Instret += s.pending + 1
+			t.PC = s.pc
+			v, err := t.load(t.Reg[s.r2]+s.imm, 2)
+			t.Reg[s.r1] = int64(int16(v))
+			if err != nil {
+				return err
+			}
+			t.PC = s.next
+		case kLd16U:
+			t.Instret += s.pending + 1
+			t.PC = s.pc
+			v, err := t.load(t.Reg[s.r2]+s.imm, 2)
+			t.Reg[s.r1] = int64(uint16(v))
+			if err != nil {
+				return err
+			}
+			t.PC = s.next
+		case kLd32:
+			t.Instret += s.pending + 1
+			t.PC = s.pc
+			v, err := t.load(t.Reg[s.r2]+s.imm, 4)
+			t.Reg[s.r1] = int64(int32(v))
+			if err != nil {
+				return err
+			}
+			t.PC = s.next
+		case kLd32U:
+			t.Instret += s.pending + 1
+			t.PC = s.pc
+			v, err := t.load(t.Reg[s.r2]+s.imm, 4)
+			t.Reg[s.r1] = int64(uint32(v))
+			if err != nil {
+				return err
+			}
+			t.PC = s.next
+		case kLd64:
+			t.Instret += s.pending + 1
+			t.PC = s.pc
+			v, err := t.load(t.Reg[s.r2]+s.imm, 8)
+			t.Reg[s.r1] = int64(v)
+			if err != nil {
+				return err
+			}
+			t.PC = s.next
+		case kSt8:
+			t.Instret += s.pending + 1
+			t.PC = s.pc
+			if err := t.store(t.Reg[s.r2]+s.imm, 1, uint64(t.Reg[s.r1])); err != nil {
+				return err
+			}
+			t.PC = s.next
+		case kSt16:
+			t.Instret += s.pending + 1
+			t.PC = s.pc
+			if err := t.store(t.Reg[s.r2]+s.imm, 2, uint64(t.Reg[s.r1])); err != nil {
+				return err
+			}
+			t.PC = s.next
+		case kSt32:
+			t.Instret += s.pending + 1
+			t.PC = s.pc
+			if err := t.store(t.Reg[s.r2]+s.imm, 4, uint64(t.Reg[s.r1])); err != nil {
+				return err
+			}
+			t.PC = s.next
+		case kSt64:
+			t.Instret += s.pending + 1
+			t.PC = s.pc
+			if err := t.store(t.Reg[s.r2]+s.imm, 8, uint64(t.Reg[s.r1])); err != nil {
+				return err
+			}
+			t.PC = s.next
+		case kMovI:
+			t.Reg[s.r1] = s.imm
+		case kMov:
+			t.Reg[s.r1] = t.Reg[s.r2]
+		case kAdd:
+			t.Reg[s.r1] += t.Reg[s.r2]
+		case kSub:
+			t.Reg[s.r1] -= t.Reg[s.r2]
+		case kMul:
+			t.Reg[s.r1] *= t.Reg[s.r2]
+		case kAnd:
+			t.Reg[s.r1] &= t.Reg[s.r2]
+		case kOr:
+			t.Reg[s.r1] |= t.Reg[s.r2]
+		case kXor:
+			t.Reg[s.r1] ^= t.Reg[s.r2]
+		case kShl:
+			t.Reg[s.r1] <<= uint64(t.Reg[s.r2]) & 63
+		case kShr:
+			t.Reg[s.r1] = int64(uint64(t.Reg[s.r1]) >> (uint64(t.Reg[s.r2]) & 63))
+		case kSar:
+			t.Reg[s.r1] >>= uint64(t.Reg[s.r2]) & 63
+		case kNeg:
+			t.Reg[s.r1] = -t.Reg[s.r1]
+		case kNot:
+			t.Reg[s.r1] = ^t.Reg[s.r1]
+		case kAddI:
+			t.Reg[s.r1] += s.imm
+		case kAndI:
+			t.Reg[s.r1] &= s.imm
+		case kCmp:
+			t.fa, t.fb, t.fFloat = t.Reg[s.r1], t.Reg[s.r2], false
+		case kCmpI:
+			t.fa, t.fb, t.fFloat = t.Reg[s.r1], s.imm, false
+		case kCmpW:
+			t.fa, t.fb, t.fFloat = t.Reg[s.r1]&0xFFFF, t.Reg[s.r2]&0xFFFF, false
+		case kTestB:
+			t.fa, t.fb, t.fFloat = t.Reg[s.r1]&s.imm&0xFF, 0, false
+		case kFCmp:
+			t.ffa = math.Float64frombits(uint64(t.Reg[s.r1]))
+			t.ffb = math.Float64frombits(uint64(t.Reg[s.r2]))
+			t.fFloat = true
+		case kSet:
+			if t.cond(s.cc) {
+				t.Reg[s.r2] = 1
+			} else {
+				t.Reg[s.r2] = 0
+			}
+		case kSx8:
+			t.Reg[s.r1] = int64(int8(t.Reg[s.r1]))
+		case kSx16:
+			t.Reg[s.r1] = int64(int16(t.Reg[s.r1]))
+		case kSx32:
+			t.Reg[s.r1] = int64(int32(t.Reg[s.r1]))
+		case kZx8:
+			t.Reg[s.r1] = int64(uint8(t.Reg[s.r1]))
+		case kZx16:
+			t.Reg[s.r1] = int64(uint16(t.Reg[s.r1]))
+		case kAnd32:
+			t.Reg[s.r1] = int64(uint32(t.Reg[s.r1]))
+		case kFAdd:
+			a := math.Float64frombits(uint64(t.Reg[s.r1]))
+			b := math.Float64frombits(uint64(t.Reg[s.r2]))
+			t.Reg[s.r1] = int64(math.Float64bits(a + b))
+		case kFSub:
+			a := math.Float64frombits(uint64(t.Reg[s.r1]))
+			b := math.Float64frombits(uint64(t.Reg[s.r2]))
+			t.Reg[s.r1] = int64(math.Float64bits(a - b))
+		case kFMul:
+			a := math.Float64frombits(uint64(t.Reg[s.r1]))
+			b := math.Float64frombits(uint64(t.Reg[s.r2]))
+			t.Reg[s.r1] = int64(math.Float64bits(a * b))
+		case kFDiv:
+			// Float division cannot fault (0/0 is NaN, x/0 is Inf).
+			a := math.Float64frombits(uint64(t.Reg[s.r1]))
+			b := math.Float64frombits(uint64(t.Reg[s.r2]))
+			t.Reg[s.r1] = int64(math.Float64bits(a / b))
+		case kCvIF:
+			t.Reg[s.r1] = int64(math.Float64bits(float64(t.Reg[s.r1])))
+		case kCvFI:
+			fv := math.Float64frombits(uint64(t.Reg[s.r1]))
+			switch {
+			case math.IsNaN(fv):
+				t.Reg[s.r1] = 0
+			case fv >= math.MaxInt64:
+				t.Reg[s.r1] = math.MaxInt64
+			case fv <= math.MinInt64:
+				t.Reg[s.r1] = math.MinInt64
+			default:
+				t.Reg[s.r1] = int64(fv)
+			}
+		}
+	}
+	return nil
+}
+
+// runPureALU executes the register ALU half of a kLoadOp pair. The
+// admitted ops (rewrite.IsLoadOpPair) are all register-register.
+func runPureALU(t *Thread, kind, r1, r2 uint8) {
+	switch kind {
+	case kAdd:
+		t.Reg[r1] += t.Reg[r2]
+	case kSub:
+		t.Reg[r1] -= t.Reg[r2]
+	case kMul:
+		t.Reg[r1] *= t.Reg[r2]
+	case kAnd:
+		t.Reg[r1] &= t.Reg[r2]
+	case kOr:
+		t.Reg[r1] |= t.Reg[r2]
+	case kXor:
+		t.Reg[r1] ^= t.Reg[r2]
+	case kShl:
+		t.Reg[r1] <<= uint64(t.Reg[r2]) & 63
+	case kShr:
+		t.Reg[r1] = int64(uint64(t.Reg[r1]) >> (uint64(t.Reg[r2]) & 63))
+	case kSar:
+		t.Reg[r1] >>= uint64(t.Reg[r2]) & 63
+	case kCmp:
+		t.fa, t.fb, t.fFloat = t.Reg[r1], t.Reg[r2], false
+	case kCmpW:
+		t.fa, t.fb, t.fFloat = t.Reg[r1]&0xFFFF, t.Reg[r2]&0xFFFF, false
+	case kMov:
+		t.Reg[r1] = t.Reg[r2]
+	}
+}
+
+// memKind maps a plain load or store to its memory micro-op kind.
+// Fused pseudo-opcodes (trace mask store, check superinstructions)
+// never match: they keep their threaded handlers.
+func memKind(op visa.Op) (uint8, bool) {
+	switch op {
+	case visa.LD8:
+		return kLd8, true
+	case visa.LD8U:
+		return kLd8U, true
+	case visa.LD16:
+		return kLd16, true
+	case visa.LD16U:
+		return kLd16U, true
+	case visa.LD32:
+		return kLd32, true
+	case visa.LD32U:
+		return kLd32U, true
+	case visa.LD64:
+		return kLd64, true
+	case visa.ST8:
+		return kSt8, true
+	case visa.ST16:
+		return kSt16, true
+	case visa.ST32:
+		return kSt32, true
+	case visa.ST64:
+		return kSt64, true
+	}
+	return 0, false
+}
+
+// pureKind maps an instruction whose only architectural effect is on
+// registers or flags — it cannot fault, touch memory, or transfer
+// control — to its micro-op kind. Returns false for anything
+// effectful; the compiler then emits a handler step.
+func pureKind(op visa.Op) (uint8, bool) {
+	switch op {
+	case visa.MOVI:
+		return kMovI, true
+	case visa.MOV:
+		return kMov, true
+	case visa.ADD:
+		return kAdd, true
+	case visa.SUB:
+		return kSub, true
+	case visa.MUL:
+		return kMul, true
+	case visa.AND:
+		return kAnd, true
+	case visa.OR:
+		return kOr, true
+	case visa.XOR:
+		return kXor, true
+	case visa.SHL:
+		return kShl, true
+	case visa.SHR:
+		return kShr, true
+	case visa.SAR:
+		return kSar, true
+	case visa.NEG:
+		return kNeg, true
+	case visa.NOTI:
+		return kNot, true
+	case visa.ADDI:
+		return kAddI, true
+	case visa.ANDI:
+		return kAndI, true
+	case visa.CMP:
+		return kCmp, true
+	case visa.CMPI:
+		return kCmpI, true
+	case visa.CMPW:
+		return kCmpW, true
+	case visa.TESTB:
+		return kTestB, true
+	case visa.FCMP:
+		return kFCmp, true
+	case visa.SET:
+		return kSet, true
+	case visa.SX8:
+		return kSx8, true
+	case visa.SX16:
+		return kSx16, true
+	case visa.SX32:
+		return kSx32, true
+	case visa.ZX8:
+		return kZx8, true
+	case visa.ZX16:
+		return kZx16, true
+	case visa.AND32:
+		return kAnd32, true
+	case visa.FADD:
+		return kFAdd, true
+	case visa.FSUB:
+		return kFSub, true
+	case visa.FMUL:
+		return kFMul, true
+	case visa.FDIV:
+		// Float division cannot fault (0/0 is NaN, x/0 is Inf).
+		return kFDiv, true
+	case visa.CVIF:
+		return kCvIF, true
+	case visa.CVFI:
+		return kCvFI, true
+	}
+	return 0, false
+}
+
+// bindPureStep builds the micro-op step for a pure instruction. SET
+// keeps its condition code in cc (R1 is the condition operand).
+func bindPureStep(kind uint8, ins visa.Instr) blockStep {
+	s := blockStep{kind: kind, r1: ins.R1, r2: ins.R2, imm: ins.Imm}
+	if kind == kSet {
+		s.cc = ins.R1
+	}
+	return s
+}
+
+// runBlockJIT is EngineBlockJIT's run loop: the threaded engine's
+// watermark loop with a compiled-block dispatch in front of the
+// per-instruction path. atStart tracks whether pc was reached by a
+// control transfer — only such pcs are block starts, so a 20-step
+// loop body profiles (and compiles) once at its head instead of once
+// per suffix.
+func (t *Thread) runBlockJIT(maxInstr int64) error {
+	p := t.P
+	icache := p.icache
+	jpages := p.jit.pages
+	threshold := p.jit.threshold
+	if threshold <= 0 {
+		threshold = DefaultJITThreshold
+	}
+	if threshold > math.MaxUint32 {
+		threshold = math.MaxUint32
+	}
+	blockBudget := int64(math.MaxInt64)
+	if maxInstr > 0 {
+		blockBudget = maxInstr
+	}
+	atStart := true
+	for {
+		if maxInstr > 0 && t.Instret >= maxInstr {
+			return fmt.Errorf("%w (limit %d)", ErrBudget, maxInstr)
+		}
+		if p.exited.Load() {
+			return ErrExited
+		}
+		if p.cancelled.Load() {
+			return ErrCancelled
+		}
+		t.flushCounters()
+		limit := t.flushed + 1024
+		if maxInstr > 0 && maxInstr < limit {
+			limit = maxInstr
+		}
+		// The epoch is re-read once per watermark window; the discard
+		// path refreshes it before condemning a block, so a block
+		// compiled inside the current window is not thrashed.
+		epoch := p.fused.epoch.Load()
+		for t.Instret < limit {
+			pc := t.PC
+			pg := uint64(pc) / PageSize
+			off := int(pc & (PageSize - 1))
+			var jp *jitPage
+			if pg < uint64(len(jpages)) {
+				jp = jpages[pg].Load()
+			}
+			if jp != nil {
+				if b := jp.blocks[off].Load(); b != nil {
+					stale := b.epoch != epoch
+					if stale {
+						epoch = p.fused.epoch.Load()
+						stale = b.epoch != epoch
+					}
+					if stale {
+						// Compiled before the last update transaction or
+						// protection change: drop it and re-profile, so a
+						// stale check verdict or stale code bytes can
+						// never execute.
+						jp.blocks[off].CompareAndSwap(b, nil)
+						jp.counts[off].Store(0)
+						p.jit.discards.Add(1)
+					} else if t.Instret+b.maxRetire <= blockBudget {
+						t.JITBlockRuns++
+						if err := t.runBlock(b); err != nil {
+							return err
+						}
+						atStart = true
+						continue
+					}
+					// Within maxRetire of the budget: single-step the
+					// tail so exhaustion lands on the exact instruction.
+				}
+			}
+			// Cold path: threaded dispatch plus block-start profiling.
+			t.JITColdSteps++
+			if pg < uint64(len(icache)) {
+				if c := icache[pg].Load(); c != nil {
+					if atomic.LoadUint32(&c.valid[off>>5])&(uint32(1)<<(off&31)) != 0 {
+						if atStart {
+							if jp == nil {
+								jp = p.jitPageAt(pg)
+							}
+							if jp.counts[off].Add(1) == uint32(threshold) {
+								if b := p.compileBlock(pc); b != nil {
+									jp.blocks[off].Store(b)
+								}
+							}
+						}
+						s := &c.slots[off]
+						if err := s.fn(t, &s.ins, pc, pc+int64(s.size)); err != nil {
+							return err
+						}
+						atStart = t.PC != pc+int64(s.size)
+						continue
+					}
+				}
+			}
+			// Miss: check executability, fill the slot, dispatch once
+			// from the fill result (as runThreaded).
+			if p.Prot(pc)&visa.ProtExec == 0 {
+				return t.fault(FaultExec, "pc %#x not executable", pc)
+			}
+			ins, size, err := p.cacheFill(pc)
+			if err != nil {
+				return t.fault(FaultDecode, "%v", err)
+			}
+			if err := opFuncs[ins.Op](t, ins, pc, pc+int64(size)); err != nil {
+				return err
+			}
+			atStart = t.PC != pc+int64(size)
+		}
+	}
+}
+
+// terminatesBlock reports whether an instruction unconditionally ends
+// a compiled trace: any unpredictable control transfer (indirect
+// branch, call, return), the syscall gate (the handler may redirect
+// PC), and the fused check superinstructions (they manage PC
+// themselves, including the retry-exhaustion loop back to the
+// transaction start). Conditional branches and direct jumps do NOT
+// terminate: the compiler follows their fall-through / target edge.
+func terminatesBlock(op visa.Op) bool {
+	switch op {
+	case visa.CALL, visa.CALLR, visa.JMPR, visa.RET,
+		visa.SYS, visa.HLT, visa.JRESTORE,
+		opFusedCheck, opFusedCheckPLT:
+		return true
+	}
+	return false
+}
+
+// maxRetireOf bounds how many guest instructions one step of the
+// given opcode can retire. Fused checks are bounded by their
+// host-side retry cap plus the pass tail and folded branch span; the
+// bounds are deliberately conservative (an overestimate only makes
+// the dispatcher single-step a little earlier near the budget).
+func maxRetireOf(op visa.Op) int64 {
+	switch op {
+	case opFusedCheck:
+		return 8*maxFusedRetries + 16
+	case opFusedCheckPLT:
+		return 11*maxFusedRetries + 16
+	case opTraceMaskStore:
+		return 2
+	}
+	return 1
+}
+
+// fetchForCompile decodes the instruction at pc exactly as the
+// threaded fill path would — fused check superinstructions and trace
+// pairs included — without publishing into the icache, so compiled
+// blocks retire the identical instruction stream.
+func (p *Process) fetchForCompile(pc int64) (visa.Instr, int, bool) {
+	if pc < 0 || pc >= int64(len(p.Mem)) || p.Prot(pc)&visa.ProtExec == 0 {
+		return visa.Instr{}, 0, false
+	}
+	if ins, n, ok := p.tryFuse(pc); ok {
+		return ins, n, true
+	}
+	ins, n, err := visa.Decode(p.Mem, int(pc))
+	if err != nil {
+		return visa.Instr{}, 0, false
+	}
+	ins, n = p.tryFuseTrace(ins, n, pc)
+	return ins, n, true
+}
+
+// compileBlock compiles the trace starting at pc into a
+// compiledBlock, or returns nil when there is nothing to compile
+// (e.g. the start raced an invalidation). The epoch is read before
+// any byte: Protect bumps it after changing code, so a block compiled
+// from bytes that moved underneath it is stale on arrival and never
+// dispatched.
+func (p *Process) compileBlock(start int64) *compiledBlock {
+	t0 := time.Now()
+	epoch := p.fused.epoch.Load()
+	pageEnd := (start/PageSize + 1) * PageSize
+
+	var steps []blockStep
+	var maxRetire int64
+	pending := int64(0) // pure-step retires deferred to the next effect
+	pc := start
+	done := false
+
+	for !done && len(steps) < maxBlockSteps && pc < pageEnd {
+		ins, n, ok := p.fetchForCompile(pc)
+		if !ok {
+			break
+		}
+		next := pc + int64(n)
+
+		if ins.Op == visa.JMP {
+			target := next + ins.Imm
+			if ins.Imm >= 0 && target < pageEnd {
+				// Forward jump within the page: fold it away and keep
+				// compiling at the target (it retires one instruction).
+				pending++
+				maxRetire++
+				pc = target
+				continue
+			}
+			// Backward or page-leaving jump: pre-bound target.
+			steps = append(steps, blockStep{kind: kJmp, imm: target, pending: pending + 1})
+			maxRetire += pending + 1
+			pending = 0
+			done = true
+			break
+		}
+
+		if cc := jccCond[ins.Op]; cc != 0 {
+			// Lone conditional branch (flags set by an earlier step or
+			// before block entry): the block continues on the
+			// fall-through edge; a taken branch exits early.
+			steps = append(steps, blockStep{
+				kind: kJcc, cc: cc - 1,
+				pc: next, next: next + ins.Imm, pending: pending + 1,
+			})
+			maxRetire += pending + 1
+			pending = 0
+			pc = next
+			continue
+		}
+
+		if terminatesBlock(ins.Op) {
+			if ins.Op == visa.CALL {
+				steps = append(steps, blockStep{
+					kind: kCall, pc: pc, next: next,
+					imm: next + ins.Imm, pending: pending + 1,
+				})
+				maxRetire += pending + 1
+			} else {
+				steps = append(steps, blockStep{
+					kind: kHandler, h: opFuncs[ins.Op], ins: ins,
+					pc: pc, next: next, pending: pending,
+				})
+				maxRetire += pending + maxRetireOf(ins.Op)
+			}
+			pending = 0
+			done = true
+			break
+		}
+
+		if ins.Op == visa.NOP {
+			// Retires but has no effect: fold into the pending count.
+			pending++
+			maxRetire++
+			pc = next
+			continue
+		}
+
+		if kind, isPure := pureKind(ins.Op); isPure {
+			// Peephole: compare + conditional branch. The flag setter
+			// and the jcc consuming it become one step evaluating the
+			// condition against pre-bound taken/fallthrough targets.
+			if j, jn, ok2 := p.fetchForCompile(next); ok2 && next < pageEnd &&
+				rewrite.IsCmpJccPair(ins, j) {
+				fall := next + int64(jn)
+				s := blockStep{
+					cc: jccCond[j.Op] - 1, r1: ins.R1, r2: ins.R2, imm: ins.Imm,
+					pc: fall, next: fall + j.Imm, pending: pending + 2,
+				}
+				switch ins.Op {
+				case visa.CMP:
+					s.kind = kCmpRRJcc
+				case visa.CMPI:
+					s.kind = kCmpRIJcc
+				default:
+					// Wider flag setters (CMPW, TESTB, FCMP) keep their
+					// own micro-op followed by the branch step.
+					steps = append(steps, bindPureStep(kind, ins))
+					s = blockStep{
+						kind: kJcc, cc: jccCond[j.Op] - 1,
+						pc: fall, next: fall + j.Imm, pending: pending + 2,
+					}
+				}
+				steps = append(steps, s)
+				maxRetire += pending + 2
+				pending = 0
+				pc = fall
+				continue
+			}
+			steps = append(steps, bindPureStep(kind, ins))
+			pending++
+			maxRetire++
+			pc = next
+			continue
+		}
+
+		// Peephole: load + register ALU op consuming the loaded value.
+		// The load delegates to its threaded handler (exact fault PC
+		// and the clobber-on-fault quirk); the ALU half runs inline.
+		if o2, n2, ok2 := p.fetchForCompile(next); ok2 && next < pageEnd &&
+			rewrite.IsLoadOpPair(ins, o2) {
+			if aluKind, okp := pureKind(o2.Op); okp {
+				after := next + int64(n2)
+				steps = append(steps, blockStep{
+					kind: kLoadOp, cc: aluKind, r1: o2.R1, r2: o2.R2,
+					h: opFuncs[ins.Op], ins: ins,
+					pc: pc, next: next, imm: after, pending: pending,
+				})
+				maxRetire += pending + 2
+				pending = 0
+				pc = after
+				continue
+			}
+		}
+
+		// Plain load/store: its handler body runs inline as a memory
+		// micro-op (same t.load/t.store path, exact fault semantics).
+		if kind, isMem := memKind(ins.Op); isMem {
+			steps = append(steps, blockStep{
+				kind: kind, r1: ins.R1, r2: ins.R2, imm: ins.Imm,
+				pc: pc, next: next, pending: pending,
+			})
+			maxRetire += pending + 1
+			pending = 0
+			pc = next
+			continue
+		}
+
+		// Effect step: delegate to the threaded handler (exact fault
+		// semantics); the block loop credits pending and restores PC.
+		steps = append(steps, blockStep{
+			kind: kHandler, h: opFuncs[ins.Op], ins: ins,
+			pc: pc, next: next, pending: pending,
+		})
+		maxRetire += pending + maxRetireOf(ins.Op)
+		pending = 0
+		pc = next
+	}
+
+	// Fall-through exit (page boundary, step cap, or undecodable
+	// successor): credit any deferred retires and land PC on the next
+	// instruction. When pending is zero the last step already set PC.
+	if !done && pending > 0 {
+		steps = append(steps, blockStep{kind: kEnd, pc: pc, pending: pending})
+	}
+	if len(steps) == 0 {
+		return nil
+	}
+
+	p.jit.compiled.Add(1)
+	p.jit.compileNanos.Add(time.Since(t0).Nanoseconds())
+	return &compiledBlock{epoch: epoch, steps: steps, maxRetire: maxRetire}
+}

@@ -1,0 +1,219 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"mcfi/internal/visa"
+)
+
+// emitCountLoop emits a loop that increments R1 `iters` times (two
+// ADDIs per iteration plus a fused-able CMPI+JNE backedge) and then
+// halts — enough straight-line body for the block compiler to bind
+// pure steps and the compare+jcc peephole.
+func emitCountLoop(iters int64) []byte {
+	var code []byte
+	code = visa.Encode(code, visa.Instr{Op: visa.MOVI, R1: visa.R1, Imm: 0})
+	loop := int64(len(code))
+	code = visa.Encode(code, visa.Instr{Op: visa.ADDI, R1: visa.R1, Imm: 1})
+	code = visa.Encode(code, visa.Instr{Op: visa.ADDI, R1: visa.R1, Imm: 1})
+	code = visa.Encode(code, visa.Instr{Op: visa.CMPI, R1: visa.R1, Imm: 2 * iters})
+	// Backedge displacement is relative to the jcc's continuation.
+	end := int64(len(code)) + int64(visa.JNE.Size())
+	code = visa.Encode(code, visa.Instr{Op: visa.JNE, Imm: loop - end})
+	code = visa.Encode(code, visa.Instr{Op: visa.HLT})
+	return code
+}
+
+// newLoopProcess loads the counting loop at CodeBase under the given
+// engine with a compile-on-first-execution threshold.
+func newLoopProcess(e Engine, iters int64) *Process {
+	p := NewProcess()
+	p.SetEngine(e)
+	p.SetJITThreshold(1)
+	copy(p.Mem[visa.CodeBase:], emitCountLoop(iters))
+	p.Protect(visa.CodeBase, PageSize, visa.ProtRead|visa.ProtExec)
+	p.Protect(visa.DataBase, 1<<16, visa.ProtRead|visa.ProtWrite)
+	return p
+}
+
+// TestBlockJITCompilesAndMatchesInterp runs the loop hot enough to
+// compile and requires bit-identical architectural results against
+// the reference interpreter, with the block counters proving the hot
+// path actually ran compiled blocks.
+func TestBlockJITCompilesAndMatchesInterp(t *testing.T) {
+	run := func(e Engine) (*Thread, error) {
+		p := newLoopProcess(e, 500)
+		th := p.NewThread(visa.CodeBase, visa.DataBase+1<<16)
+		return th, th.Run(1 << 20)
+	}
+	ref, refErr := run(EngineInterp)
+	got, gotErr := run(EngineBlockJIT)
+	rf, ok1 := refErr.(*Fault)
+	gf, ok2 := gotErr.(*Fault)
+	if !ok1 || !ok2 || rf.Kind != FaultCFI || gf.Kind != FaultCFI {
+		t.Fatalf("want HLT faults, got interp=%v blockjit=%v", refErr, gotErr)
+	}
+	if got.Instret != ref.Instret || got.PC != ref.PC || got.Reg[visa.R1] != ref.Reg[visa.R1] || gf.PC != rf.PC {
+		t.Errorf("blockjit diverges: instret=%d/%d pc=%#x/%#x r1=%d/%d faultpc=%#x/%#x",
+			got.Instret, ref.Instret, got.PC, ref.PC,
+			got.Reg[visa.R1], ref.Reg[visa.R1], gf.PC, rf.PC)
+	}
+	st := got.P.CheckStatsSnapshot()
+	if st.JITBlocks == 0 {
+		t.Errorf("no blocks compiled (threshold 1, 500 iterations)")
+	}
+	if st.JITBlockRuns == 0 {
+		t.Errorf("no compiled-block dispatches")
+	}
+	if st.JITBlockRuns <= st.JITColdSteps {
+		t.Errorf("hot/cold ratio inverted: %d block runs vs %d cold steps",
+			st.JITBlockRuns, st.JITColdSteps)
+	}
+}
+
+// TestBlockJITBudgetExact sweeps the instruction budget across values
+// that land before, inside, and after compiled-block dispatches: at
+// every budget the blockjit engine must return ErrBudget (or the halt)
+// with exactly the interpreter's Instret, PC, and register state — the
+// dispatcher may never overshoot into a block it cannot finish.
+func TestBlockJITBudgetExact(t *testing.T) {
+	const iters = 64
+	type snap struct {
+		instret, pc, r1 int64
+		budget          bool
+		fault           bool
+	}
+	run := func(e Engine, budget int64) snap {
+		p := newLoopProcess(e, iters)
+		// Warm the profile so blocks are compiled before the measured
+		// run: a first thread executes the whole loop.
+		if e == EngineBlockJIT {
+			warm := p.NewThread(visa.CodeBase, visa.DataBase+1<<16)
+			if err := warm.Run(1 << 20); err == nil {
+				t.Fatal("warm run did not halt")
+			}
+			if st := p.CheckStatsSnapshot(); st.JITBlocks == 0 {
+				t.Fatal("warm run compiled no blocks")
+			}
+		}
+		th := p.NewThread(visa.CodeBase, visa.DataBase+1<<16)
+		err := th.Run(budget)
+		var f *Fault
+		return snap{
+			instret: th.Instret, pc: th.PC, r1: th.Reg[visa.R1],
+			budget: errors.Is(err, ErrBudget),
+			fault:  errors.As(err, &f),
+		}
+	}
+	for budget := int64(1); budget < 4*iters+8; budget++ {
+		ref := run(EngineInterp, budget)
+		got := run(EngineBlockJIT, budget)
+		if got != ref {
+			t.Fatalf("budget %d: blockjit %+v, interp %+v", budget, got, ref)
+		}
+	}
+}
+
+// TestBlockJITFaultInsideBlock ends the loop body with a store to
+// unmapped memory so the fault fires from inside a compiled block;
+// the fault PC and retired count must match the interpreter exactly
+// (including the deferred retires of the pure steps before it).
+func TestBlockJITFaultInsideBlock(t *testing.T) {
+	var code []byte
+	code = visa.Encode(code, visa.Instr{Op: visa.MOVI, R1: visa.R2, Imm: -8})
+	code = visa.Encode(code, visa.Instr{Op: visa.ADDI, R1: visa.R1, Imm: 7})
+	code = visa.Encode(code, visa.Instr{Op: visa.ST64, R1: visa.R1, R2: visa.R2, Imm: 0})
+	code = visa.Encode(code, visa.Instr{Op: visa.HLT})
+
+	run := func(e Engine) (*Thread, *Fault) {
+		p := NewProcess()
+		p.SetEngine(e)
+		p.SetJITThreshold(1)
+		copy(p.Mem[visa.CodeBase:], code)
+		p.Protect(visa.CodeBase, PageSize, visa.ProtRead|visa.ProtExec)
+		// First pass fills the icache, second profiles and compiles,
+		// third dispatches the compiled block.
+		for i := 0; ; i++ {
+			th := p.NewThread(visa.CodeBase, visa.DataBase+1<<16)
+			err := th.Run(4096)
+			if i == 2 {
+				f, ok := err.(*Fault)
+				if !ok {
+					t.Fatalf("engine %s: want fault, got %v", e, err)
+				}
+				return th, f
+			}
+		}
+	}
+	ref, rf := run(EngineInterp)
+	got, gf := run(EngineBlockJIT)
+	if st := got.P.CheckStatsSnapshot(); st.JITBlocks == 0 || st.JITBlockRuns == 0 {
+		t.Fatalf("fault path did not execute a compiled block: %+v", st)
+	}
+	if gf.Kind != rf.Kind || gf.PC != rf.PC || got.Instret != ref.Instret || got.Reg[visa.R1] != ref.Reg[visa.R1] {
+		t.Errorf("fault diverges: kind=%v/%v pc=%#x/%#x instret=%d/%d r1=%d/%d",
+			gf.Kind, rf.Kind, gf.PC, rf.PC, got.Instret, ref.Instret,
+			got.Reg[visa.R1], ref.Reg[visa.R1])
+	}
+}
+
+// TestBlockJITEpochDiscard proves a compiled block is discarded when
+// the check epoch moves (the update-transaction / Protect signal):
+// after a bump the old block must never dispatch again — it is
+// dropped at the dispatch check and the start re-profiled.
+func TestBlockJITEpochDiscard(t *testing.T) {
+	p := newLoopProcess(EngineBlockJIT, 100)
+	runOnce := func() {
+		th := p.NewThread(visa.CodeBase, visa.DataBase+1<<16)
+		if err := th.Run(1 << 20); err == nil {
+			t.Fatal("run did not halt")
+		}
+	}
+	runOnce()
+	before := p.CheckStatsSnapshot()
+	if before.JITBlocks == 0 || before.JITBlockRuns == 0 {
+		t.Fatalf("no compiled blocks to invalidate: %+v", before)
+	}
+
+	p.BumpCheckEpoch()
+	runOnce()
+	after := p.CheckStatsSnapshot()
+	if after.JITDiscards <= before.JITDiscards {
+		t.Errorf("epoch bump did not discard any block: discards %d -> %d",
+			before.JITDiscards, after.JITDiscards)
+	}
+	if after.JITBlocks <= before.JITBlocks {
+		t.Errorf("discarded blocks were not recompiled: blocks %d -> %d",
+			before.JITBlocks, after.JITBlocks)
+	}
+}
+
+// TestBlockJITStaleCode is the jitsim regression under the block
+// compiler: code runs hot (compiled), its page is rewritten through
+// the write-then-mprotect cycle, and the new code must execute — the
+// old block is fenced by both the epoch stamp and the page drop.
+func TestBlockJITStaleCode(t *testing.T) {
+	p := NewProcess()
+	p.SetEngine(EngineBlockJIT)
+	p.SetJITThreshold(1)
+	p.Protect(visa.DataBase, 1<<16, visa.ProtRead|visa.ProtWrite)
+
+	copy(p.Mem[visa.CodeBase:], emitProbe(111))
+	p.Protect(visa.CodeBase, PageSize, visa.ProtRead|visa.ProtExec)
+	for i := 0; i < 3; i++ { // profile, compile, run hot
+		if got := runToHalt(t, p); got != 111 {
+			t.Fatalf("run %d: R0 = %d, want 111", i, got)
+		}
+	}
+	if st := p.CheckStatsSnapshot(); st.JITBlocks == 0 || st.JITBlockRuns == 0 {
+		t.Fatalf("probe never ran compiled: %+v", st)
+	}
+
+	p.Protect(visa.CodeBase, PageSize, visa.ProtRead|visa.ProtWrite)
+	copy(p.Mem[visa.CodeBase:], emitProbe(222))
+	p.Protect(visa.CodeBase, PageSize, visa.ProtRead|visa.ProtExec)
+	if got := runToHalt(t, p); got != 222 {
+		t.Fatalf("after rewrite: R0 = %d, want 222 (stale compiled block?)", got)
+	}
+}

@@ -32,34 +32,45 @@ import (
 // Engine selects the instruction-fetch implementation of a Process.
 type Engine int
 
-// Engines. The zero value is the cached engine, so every Process is
-// fast by default; the plain interpreter remains available for
-// differential testing and as the reference semantics.
+// Engines. The zero value is the direct-threaded engine, so every
+// Process is fast by default (the ROADMAP soak criterion: mcfi-serve
+// defaulted to threaded for several PRs first); the plain interpreter
+// remains available for differential testing and as the reference
+// semantics.
 const (
-	// EngineCached fetches from the per-page predecoded cache.
-	EngineCached Engine = iota
-	// EngineInterp decodes raw bytes at every retired instruction.
-	EngineInterp
-	// EngineFused is the cached engine plus check-transaction fusion:
-	// at decode time each registered canonical check sequence is
-	// replaced by one superinstruction executing the whole transaction
-	// in host Go (see fused.go). Retired-instruction counts stay
-	// bit-identical to the other engines.
-	EngineFused
 	// EngineThreaded is the direct-threaded engine (see threaded.go):
 	// every cache slot carries the operation's func pointer alongside
 	// the predecoded instruction, so dispatch is one indirect call. It
 	// subsumes EngineFused's check fusion and adds branch folding (the
 	// jmpr/callr/jrestore after a check joins its superinstruction) and
 	// trace-level superinstructions (sandbox-mask + store pairs).
-	EngineThreaded
+	EngineThreaded Engine = iota
+	// EngineInterp decodes raw bytes at every retired instruction.
+	EngineInterp
+	// EngineCached fetches from the per-page predecoded cache.
+	EngineCached
+	// EngineFused is the cached engine plus check-transaction fusion:
+	// at decode time each registered canonical check sequence is
+	// replaced by one superinstruction executing the whole transaction
+	// in host Go (see fused.go). Retired-instruction counts stay
+	// bit-identical to the other engines.
+	EngineFused
+	// EngineBlockJIT is the threaded engine plus a profile-guided
+	// fill-time block compiler (see blockjit.go): straight-line basic
+	// blocks whose execution count crosses the JIT threshold are
+	// compiled into one composed closure with operands pre-bound, so
+	// the run loop makes one dispatch per block instead of per
+	// instruction. Cold code falls back to threaded dispatch.
+	EngineBlockJIT
 )
 
-// Engines returns every engine, in flag-name order. Differential tests
-// iterate this list so a newly added engine cannot silently drop out
-// of coverage.
+// Engines returns every engine, in engine-ladder order (the order the
+// PRs added them: reference interpreter, predecode, check fusion,
+// direct threading, block compilation). Differential tests iterate
+// this list so a newly added engine cannot silently drop out of
+// coverage.
 func Engines() []Engine {
-	return []Engine{EngineCached, EngineInterp, EngineFused, EngineThreaded}
+	return []Engine{EngineInterp, EngineCached, EngineFused, EngineThreaded, EngineBlockJIT}
 }
 
 // EngineNames returns the flag names of every engine, in Engines()
@@ -80,18 +91,33 @@ func (e Engine) String() string {
 	switch e {
 	case EngineInterp:
 		return "interp"
+	case EngineCached:
+		return "cached"
 	case EngineFused:
 		return "fused"
-	case EngineThreaded:
-		return "threaded"
+	case EngineBlockJIT:
+		return "blockjit"
 	}
-	return "cached"
+	return "threaded"
+}
+
+// fusesChecks reports whether the engine predecodes registered check
+// transactions into fused superinstructions at icache-fill time.
+func (e Engine) fusesChecks() bool {
+	return e == EngineFused || e == EngineThreaded || e == EngineBlockJIT
+}
+
+// foldsBranches reports whether the engine folds the indirect branch
+// after a check (and trace superinstructions) into its cache slots —
+// the threaded fill path, which the block compiler builds on.
+func (e Engine) foldsBranches() bool {
+	return e == EngineThreaded || e == EngineBlockJIT
 }
 
 // ParseEngine parses the -engine flag syntax.
 func ParseEngine(s string) (Engine, error) {
 	if s == "" {
-		return EngineCached, nil
+		return EngineThreaded, nil
 	}
 	for _, e := range Engines() {
 		if s == e.String() {
@@ -151,10 +177,11 @@ func (p *Process) cacheHit(pc int64) (*visa.Instr, int, bool) {
 
 // cacheFill decodes the instruction at pc and publishes it into the
 // page's cache. The caller has already checked that pc is executable.
-// Under EngineFused and EngineThreaded a registered, byte-verified
-// check transaction is predecoded as one fused superinstruction
-// instead; the threaded engine additionally fuses sandbox-mask + store
-// pairs into trace superinstructions.
+// Under the check-fusing engines (fused, threaded, blockjit) a
+// registered, byte-verified check transaction is predecoded as one
+// fused superinstruction instead; the branch-folding engines
+// additionally fuse sandbox-mask + store pairs into trace
+// superinstructions.
 func (p *Process) cacheFill(pc int64) (*visa.Instr, int, error) {
 	ins, n, ok := p.tryFuse(pc)
 	if !ok {
@@ -163,7 +190,7 @@ func (p *Process) cacheFill(pc int64) (*visa.Instr, int, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		if p.engine == EngineThreaded {
+		if p.engine.foldsBranches() {
 			ins, n = p.tryFuseTrace(ins, n, pc)
 		}
 	}
@@ -196,7 +223,12 @@ func (p *Process) cacheFill(pc int64) (*visa.Instr, int, error) {
 
 // invalidate drops the decode cache of pages [first-1, last) — one
 // page before the changed range because a variable-length instruction
-// cached there may span into it.
+// cached there may span into it. The block compiler's pages drop on
+// the same bounds: a compiled block contains only instructions that
+// start inside its own page, so the one-page-back rule covers every
+// block that could span the changed range. (The epoch stamp already
+// keeps stale blocks from dispatching — Protect bumps it — so this
+// additionally reclaims their memory and resets their profiles.)
 func (p *Process) invalidate(first, last int64) {
 	if first > 0 {
 		first--
@@ -206,6 +238,7 @@ func (p *Process) invalidate(first, last int64) {
 	}
 	for pg := first; pg < last && pg < int64(len(p.icache)); pg++ {
 		p.icache[pg].Store(nil)
+		p.jit.pages[pg].Store(nil)
 	}
 }
 

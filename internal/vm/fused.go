@@ -36,7 +36,8 @@ import (
 // never from guest bytes.
 const (
 	// opFusedCheck is the fused canonical check transaction (paper
-	// Fig. 4). Under EngineThreaded the slot may also fold the indirect
+	// Fig. 4). Under the branch-folding engines (threaded, blockjit)
+	// the slot may also fold the indirect
 	// branch that follows the check: R1 carries the branch opcode byte
 	// (0 = unfolded — no real opcode is 0-valued-and-branching), R2 the
 	// count of alignment NOPs between check and branch, and the slot
@@ -160,7 +161,7 @@ func (p *Process) fusedSiteAt(pc int64) (int, *fusedSite) {
 // wildcards excepted). Anything else falls back to ordinary decoding,
 // so a stale or wrong registration can never change semantics.
 func (p *Process) tryFuse(pc int64) (visa.Instr, int, bool) {
-	if (p.engine != EngineFused && p.engine != EngineThreaded) || p.Tables == nil {
+	if !p.engine.fusesChecks() || p.Tables == nil {
 		return visa.Instr{}, 0, false
 	}
 	idx, site := p.fusedSiteAt(pc)
@@ -187,7 +188,7 @@ func (p *Process) tryFuseCanonical(pc int64, idx int, site *fusedSite) (visa.Ins
 	site.baryOff.Store(int64(imm))
 	ins := visa.Instr{Op: opFusedCheck, Imm: int64(idx)}
 	size := int(rewrite.CheckSeqSize)
-	if p.engine == EngineThreaded {
+	if p.engine.foldsBranches() {
 		if bop, nops, bsize, ok := p.scanFoldableBranch(end); ok {
 			ins.R1, ins.R2 = byte(bop), byte(nops)
 			size += nops + bsize
@@ -218,7 +219,7 @@ func (p *Process) tryFusePLT(pc int64, idx int, site *fusedSite) (visa.Instr, in
 	site.gotAddr.Store(got)
 	ins := visa.Instr{Op: opFusedCheckPLT, Imm: int64(idx)}
 	size := int(rewrite.PLTCheckSeqSize)
-	if p.engine == EngineThreaded {
+	if p.engine.foldsBranches() {
 		if bop, nops, bsize, ok := p.scanFoldableBranch(end); ok {
 			ins.R1, ins.R2 = byte(bop), byte(nops)
 			size += nops + bsize

@@ -11,13 +11,16 @@
 // is the deterministic cost metric behind the Fig. 5/6 overhead
 // experiments (extra executed instrumentation = overhead).
 //
-// Four fetch engines exist (see cache.go): EngineCached, the default,
-// predecodes each instruction once per executable-page generation;
-// EngineInterp decodes raw bytes every step; EngineFused adds check-
-// transaction superinstructions (fused.go); EngineThreaded dispatches
-// through per-slot func pointers and fuses branch-folded and trace
-// superinstructions on top (threaded.go). All retire the exact same
-// instruction stream, so the cost metric is engine-independent.
+// The fetch engines — one per rung of the perf ladder, enumerated by
+// Engines() in cache.go — all retire the exact same instruction
+// stream, so the cost metric is engine-independent: EngineInterp
+// decodes raw bytes every step; EngineCached predecodes each
+// instruction once per executable-page generation; EngineFused adds
+// check-transaction superinstructions (fused.go); EngineThreaded, the
+// default, dispatches through per-slot func pointers with branch
+// folding and trace superinstructions (threaded.go); EngineBlockJIT
+// compiles hot straight-line blocks into composed closures
+// (blockjit.go).
 package vm
 
 import (
@@ -118,7 +121,7 @@ type Process struct {
 	// Handler interposes on system calls.
 	Handler SyscallHandler
 
-	// engine selects the fetch implementation (default EngineCached);
+	// engine selects the fetch implementation (default EngineThreaded);
 	// icache is the per-page predecoded instruction cache it uses.
 	engine Engine
 	icache []atomic.Pointer[pageCache]
@@ -126,6 +129,10 @@ type Process struct {
 	// fused holds the registered check-transaction sites, their verdict
 	// cache, and the invalidation epoch (see fused.go).
 	fused fusedState
+
+	// jit holds the block compiler's profiling counters, compiled
+	// blocks, and threshold (EngineBlockJIT; see blockjit.go).
+	jit jitState
 
 	exited   atomic.Bool
 	exitCode atomic.Int64
@@ -160,13 +167,15 @@ type Process struct {
 // NewProcess allocates a guest address space.
 func NewProcess() *Process {
 	size := visa.SandboxSize + visa.GuardSize
-	return &Process{
+	p := &Process{
 		Mem:      make([]byte, size),
 		perms:    make([]uint32, size/PageSize),
 		icache:   make([]atomic.Pointer[pageCache], size/PageSize),
 		joinable: map[int64]chan int64{},
 		cancelCh: make(chan struct{}),
 	}
+	p.jit.pages = make([]atomic.Pointer[jitPage], size/PageSize)
+	return p
 }
 
 // Protect sets protection bits on [addr, addr+size). Every W^X
@@ -257,6 +266,18 @@ type CheckStats struct {
 	// dynamically linked call sites execute fused rather than falling
 	// back to per-instruction stepping.
 	PLTExecs int64
+	// Block-compiler counters (EngineBlockJIT; zero elsewhere).
+	// JITBlocks counts blocks compiled and JITCompileNanos the host
+	// time spent compiling them; JITBlockRuns counts compiled-block
+	// dispatches and JITColdSteps single-instruction (cold or
+	// budget-edge) dispatches, so hot/cold ratio is
+	// BlockRuns/(BlockRuns+ColdSteps); JITDiscards counts blocks
+	// dropped at dispatch because the check epoch moved.
+	JITBlocks       int64
+	JITCompileNanos int64
+	JITBlockRuns    int64
+	JITColdSteps    int64
+	JITDiscards     int64
 }
 
 // CheckStatsSnapshot reads the process-wide counters. Threads flush at
@@ -267,11 +288,16 @@ func (p *Process) CheckStatsSnapshot() CheckStats {
 	execs := p.checkExecs.Load()
 	hits := p.verdictHits.Load()
 	return CheckStats{
-		Execs:         execs,
-		Halts:         p.checkHalts.Load(),
-		VerdictHits:   hits,
-		VerdictMisses: execs - hits,
-		PLTExecs:      p.pltExecs.Load(),
+		Execs:           execs,
+		Halts:           p.checkHalts.Load(),
+		VerdictHits:     hits,
+		VerdictMisses:   execs - hits,
+		PLTExecs:        p.pltExecs.Load(),
+		JITBlocks:       p.jit.compiled.Load(),
+		JITCompileNanos: p.jit.compileNanos.Load(),
+		JITBlockRuns:    p.jit.blockRuns.Load(),
+		JITColdSteps:    p.jit.coldSteps.Load(),
+		JITDiscards:     p.jit.discards.Load(),
 	}
 }
 
@@ -337,6 +363,14 @@ type Thread struct {
 	flushedExecs     int64
 	flushedHits      int64
 	flushedPLT       int64
+
+	// JITBlockRuns counts compiled-block dispatches by this thread;
+	// JITColdSteps counts its single-instruction dispatches under
+	// EngineBlockJIT. Flushed at the same watermark cadence.
+	JITBlockRuns     int64
+	JITColdSteps     int64
+	flushedBlockRuns int64
+	flushedColdSteps int64
 }
 
 // NewThread creates a thread with its stack pointer set.
@@ -492,6 +526,10 @@ func (t *Thread) flushCounters() {
 	t.flushedHits = t.FusedVerdictHits
 	t.P.pltExecs.Add(t.FusedPLTExecs - t.flushedPLT)
 	t.flushedPLT = t.FusedPLTExecs
+	t.P.jit.blockRuns.Add(t.JITBlockRuns - t.flushedBlockRuns)
+	t.flushedBlockRuns = t.JITBlockRuns
+	t.P.jit.coldSteps.Add(t.JITColdSteps - t.flushedColdSteps)
+	t.flushedColdSteps = t.JITColdSteps
 }
 
 // Run executes until process exit, cancellation, a fault, or maxInstr
@@ -504,8 +542,11 @@ func (t *Thread) flushCounters() {
 // skips values and an exact-multiple test would miss flushes.
 func (t *Thread) Run(maxInstr int64) error {
 	defer t.flushCounters()
-	if t.P.engine == EngineThreaded {
+	switch t.P.engine {
+	case EngineThreaded:
 		return t.runThreaded(maxInstr)
+	case EngineBlockJIT:
+		return t.runBlockJIT(maxInstr)
 	}
 	poll := true
 	for {
