@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// AutoscaleConfig bounds and tunes a worker-pool autoscaler.
+type AutoscaleConfig struct {
+	// Min and Max bound the pool (Min >= 1; Max >= Min).
+	Min, Max int
+	// TargetP95 is the queue-latency ceiling: observed p95 above it
+	// with a non-empty queue scales the pool up (default 100ms).
+	TargetP95 time.Duration
+	// Interval is the sampling/decision period (default 250ms).
+	Interval time.Duration
+	// UpCooldown is the minimum gap between consecutive scale-ups
+	// (default Interval); DownCooldown between scale-downs (default
+	// 2s), so the pool grows fast under pressure and shrinks slowly.
+	UpCooldown, DownCooldown time.Duration
+}
+
+func (c *AutoscaleConfig) fillDefaults() {
+	if c.Min < 1 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.TargetP95 <= 0 {
+		c.TargetP95 = 100 * time.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.UpCooldown <= 0 {
+		c.UpCooldown = c.Interval
+	}
+	if c.DownCooldown <= 0 {
+		c.DownCooldown = 2 * time.Second
+	}
+}
+
+// AutoscaleStats is the autoscaler's metrics snapshot.
+type AutoscaleStats struct {
+	Min         int     `json:"min"`
+	Max         int     `json:"max"`
+	TargetP95Ms float64 `json:"target_p95_ms"`
+	ScaleUps    int64   `json:"scale_ups"`
+	ScaleDowns  int64   `json:"scale_downs"`
+	LastP95Ms   float64 `json:"last_p95_ms"`
+}
+
+// Sample is one autoscaler observation of the serving system.
+type Sample struct {
+	// P95 is the observed p95 queue latency over the recent window.
+	P95 time.Duration
+	// Depth is the current queued-job count.
+	Depth int
+	// Busy is the number of workers currently executing a job.
+	Busy int
+}
+
+// Autoscaler sizes a worker pool between Min and Max against observed
+// queue latency: scale up one worker per decision while the p95 queue
+// wait exceeds TargetP95 and jobs are waiting; scale down one worker
+// at a time — after a longer cooldown — while the queue is empty and a
+// worker is idle. Decisions are pure (Decide) so policy is unit
+// testable; Run drives them on a ticker against live callbacks.
+type Autoscaler struct {
+	cfg                  AutoscaleConfig
+	lastUp, lastDown     time.Time
+	scaleUps, scaleDowns atomic.Int64
+	lastP95              atomic.Int64 // nanos
+}
+
+// NewAutoscaler builds an autoscaler.
+func NewAutoscaler(cfg AutoscaleConfig) *Autoscaler {
+	cfg.fillDefaults()
+	return &Autoscaler{cfg: cfg}
+}
+
+// Config reports the effective (default-filled) configuration.
+func (a *Autoscaler) Config() AutoscaleConfig { return a.cfg }
+
+// Decide returns the target pool size for the observation at now,
+// given the current size. It mutates only cooldown bookkeeping.
+func (a *Autoscaler) Decide(now time.Time, cur int, s Sample) int {
+	a.lastP95.Store(int64(s.P95))
+	switch {
+	case cur < a.cfg.Min:
+		return a.cfg.Min
+	case cur > a.cfg.Max:
+		return a.cfg.Max
+	case s.Depth > 0 && s.P95 > a.cfg.TargetP95 && cur < a.cfg.Max &&
+		now.Sub(a.lastUp) >= a.cfg.UpCooldown:
+		a.lastUp = now
+		a.scaleUps.Add(1)
+		return cur + 1
+	case s.Depth == 0 && s.Busy < cur && cur > a.cfg.Min &&
+		now.Sub(a.lastUp) >= a.cfg.DownCooldown &&
+		now.Sub(a.lastDown) >= a.cfg.DownCooldown:
+		a.lastDown = now
+		a.scaleDowns.Add(1)
+		return cur - 1
+	}
+	return cur
+}
+
+// Run drives Decide on the configured interval until stop closes.
+// sample observes the system, size reports the current pool width, and
+// resize applies a new target; resize is only called when the target
+// differs from the current size.
+func (a *Autoscaler) Run(stop <-chan struct{}, sample func() Sample, size func() int, resize func(int)) {
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			cur := size()
+			if target := a.Decide(now, cur, sample()); target != cur {
+				resize(target)
+			}
+		}
+	}
+}
+
+// Stats snapshots the autoscaler counters.
+func (a *Autoscaler) Stats() AutoscaleStats {
+	return AutoscaleStats{
+		Min:         a.cfg.Min,
+		Max:         a.cfg.Max,
+		TargetP95Ms: float64(a.cfg.TargetP95.Nanoseconds()) / 1e6,
+		ScaleUps:    a.scaleUps.Load(),
+		ScaleDowns:  a.scaleDowns.Load(),
+		LastP95Ms:   float64(a.lastP95.Load()) / 1e6,
+	}
+}

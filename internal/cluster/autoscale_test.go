@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAutoscaleDecide walks the policy through a pressure cycle:
+// ramp up one worker per interval while p95 exceeds target with
+// backlog, hold while healthy, shrink slowly once idle.
+func TestAutoscaleDecide(t *testing.T) {
+	a := NewAutoscaler(AutoscaleConfig{
+		Min: 1, Max: 4,
+		TargetP95:    50 * time.Millisecond,
+		Interval:     100 * time.Millisecond,
+		DownCooldown: time.Second,
+	})
+	now := time.Unix(1000, 0)
+	hot := Sample{P95: 200 * time.Millisecond, Depth: 6, Busy: 1}
+
+	cur := 1
+	for i := 0; i < 3; i++ {
+		now = now.Add(150 * time.Millisecond)
+		if next := a.Decide(now, cur, hot); next != cur+1 {
+			t.Fatalf("step %d: hot decide %d -> %d, want +1", i, cur, next)
+		}
+		cur++
+	}
+	// At Max: no further growth.
+	now = now.Add(150 * time.Millisecond)
+	if next := a.Decide(now, 4, hot); next != 4 {
+		t.Fatalf("at max: %d, want 4", next)
+	}
+	// Up-cooldown: two decisions inside one cooldown grow only once.
+	a2 := NewAutoscaler(AutoscaleConfig{Min: 1, Max: 8, TargetP95: 10 * time.Millisecond, UpCooldown: time.Second})
+	n2 := time.Unix(2000, 0)
+	if a2.Decide(n2, 1, hot) != 2 {
+		t.Fatal("first hot decide should scale up")
+	}
+	if got := a2.Decide(n2.Add(100*time.Millisecond), 2, hot); got != 2 {
+		t.Fatalf("inside cooldown grew to %d", got)
+	}
+
+	// Healthy: queue drained but workers busy — hold.
+	calm := Sample{P95: 5 * time.Millisecond, Depth: 0, Busy: 4}
+	now = now.Add(2 * time.Second)
+	if next := a.Decide(now, 4, calm); next != 4 {
+		t.Fatalf("busy pool shrank to %d", next)
+	}
+	// Idle: shrink one at a time, honoring the down cooldown.
+	idle := Sample{P95: 5 * time.Millisecond, Depth: 0, Busy: 0}
+	if next := a.Decide(now, 4, idle); next != 3 {
+		t.Fatalf("idle decide = %d, want 3", next)
+	}
+	if next := a.Decide(now.Add(100*time.Millisecond), 3, idle); next != 3 {
+		t.Fatalf("shrank inside down-cooldown to %d", next)
+	}
+	now = now.Add(2 * time.Second)
+	if next := a.Decide(now, 3, idle); next != 2 {
+		t.Fatalf("second idle decide = %d, want 2", next)
+	}
+	// Never below Min.
+	now = now.Add(2 * time.Second)
+	if next := a.Decide(now, 1, idle); next != 1 {
+		t.Fatalf("shrank below min: %d", next)
+	}
+
+	st := a.Stats()
+	if st.ScaleUps != 3 || st.ScaleDowns != 2 {
+		t.Errorf("stats ups/downs = %d/%d, want 3/2", st.ScaleUps, st.ScaleDowns)
+	}
+	if st.Min != 1 || st.Max != 4 || st.TargetP95Ms != 50 {
+		t.Errorf("stats config echo wrong: %+v", st)
+	}
+}
+
+// TestAutoscaleClamps: out-of-range pools snap back into [Min, Max].
+func TestAutoscaleClamps(t *testing.T) {
+	a := NewAutoscaler(AutoscaleConfig{Min: 2, Max: 5})
+	now := time.Now()
+	if got := a.Decide(now, 0, Sample{}); got != 2 {
+		t.Errorf("below-min clamp = %d, want 2", got)
+	}
+	if got := a.Decide(now, 9, Sample{}); got != 5 {
+		t.Errorf("above-max clamp = %d, want 5", got)
+	}
+}
+
+// TestAutoscaleRun: the loop applies decisions through the resize
+// callback against a live (fake) pool.
+func TestAutoscaleRun(t *testing.T) {
+	a := NewAutoscaler(AutoscaleConfig{
+		Min: 1, Max: 3,
+		TargetP95: time.Millisecond,
+		Interval:  5 * time.Millisecond,
+	})
+	pool := make(chan int, 64)
+	var cur atomic.Int64
+	cur.Store(1)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a.Run(stop,
+			func() Sample { return Sample{P95: time.Second, Depth: 10, Busy: int(cur.Load())} },
+			func() int { return int(cur.Load()) },
+			func(n int) { cur.Store(int64(n)); pool <- n },
+		)
+	}()
+	deadline := time.After(5 * time.Second)
+	for cur.Load() < 3 {
+		select {
+		case <-pool:
+		case <-deadline:
+			t.Fatal("autoscaler never reached max under pressure")
+		}
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Window is a fixed-size sliding sample window of durations (queue
+// latencies) supporting percentile queries. Cheap enough for the hot
+// path: Observe is O(1) under a mutex; Quantiles sorts a copy of at
+// most size samples and is called only by /metrics and the autoscaler
+// tick.
+type Window struct {
+	mu    sync.Mutex
+	buf   []int64 // nanos, ring
+	idx   int
+	n     int // filled entries, <= len(buf)
+	total int64
+}
+
+// NewWindow builds a window over the last size samples (<=0 → 1024).
+func NewWindow(size int) *Window {
+	if size <= 0 {
+		size = 1024
+	}
+	return &Window{buf: make([]int64, size)}
+}
+
+// Observe records one sample.
+func (w *Window) Observe(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.idx] = int64(d)
+	w.idx = (w.idx + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.total++
+	w.mu.Unlock()
+}
+
+// Count reports the total samples ever observed.
+func (w *Window) Count() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// Quantiles returns the requested quantiles (0 < p <= 1) over the
+// retained window, zeros when no samples have been observed. The
+// estimate is the nearest-rank sample: Quantiles(0.5, 0.95, 0.99)
+// gives p50/p95/p99.
+func (w *Window) Quantiles(ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	w.mu.Lock()
+	if w.n == 0 {
+		w.mu.Unlock()
+		return out
+	}
+	tmp := make([]int64, w.n)
+	copy(tmp, w.buf[:w.n])
+	w.mu.Unlock()
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	for i, p := range ps {
+		k := int(float64(len(tmp))*p+0.5) - 1
+		if k < 0 {
+			k = 0
+		}
+		if k >= len(tmp) {
+			k = len(tmp) - 1
+		}
+		out[i] = time.Duration(tmp[k])
+	}
+	return out
+}
+
+// RateMeter estimates a recent event rate (job completions per
+// second) from a ring of event timestamps. It powers Retry-After:
+// 429 responses advertise roughly how long the queue needs to drain.
+type RateMeter struct {
+	mu      sync.Mutex
+	times   []time.Time
+	idx, n  int
+	horizon time.Duration
+}
+
+// NewRateMeter retains up to size events (<=0 → 512) and rates them
+// over the trailing horizon (<=0 → 10s).
+func NewRateMeter(size int, horizon time.Duration) *RateMeter {
+	if size <= 0 {
+		size = 512
+	}
+	if horizon <= 0 {
+		horizon = 10 * time.Second
+	}
+	return &RateMeter{times: make([]time.Time, size), horizon: horizon}
+}
+
+// Observe records one event.
+func (r *RateMeter) Observe(t time.Time) {
+	r.mu.Lock()
+	r.times[r.idx] = t
+	r.idx = (r.idx + 1) % len(r.times)
+	if r.n < len(r.times) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// PerSec reports events per second over the trailing horizon
+// (0 when nothing recent happened).
+func (r *RateMeter) PerSec(now time.Time) float64 {
+	cutoff := now.Add(-r.horizon)
+	r.mu.Lock()
+	var c int
+	for i := 0; i < r.n; i++ {
+		if r.times[i].After(cutoff) {
+			c++
+		}
+	}
+	r.mu.Unlock()
+	if c == 0 {
+		return 0
+	}
+	return float64(c) / r.horizon.Seconds()
+}

@@ -1,0 +1,140 @@
+// Package cluster is the scheduling-and-routing layer of the MCFI
+// serving fleet: a deficit-weighted round-robin tenant scheduler
+// (sched.go), a consistent-hash ring that keys jobs to replicas by
+// build fingerprint (ring.go), a queue-latency-driven worker
+// autoscaler (autoscale.go), and the latency/rate samplers they share
+// (latency.go). The package is deliberately free of HTTP and server
+// types: internal/server wires it to the wire.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// DefaultVNodes is the virtual-node count per replica when a Ring is
+// built with vnodes <= 0. 96 points per peer keeps the ownership split
+// within a few percent of uniform for small fleets while the ring
+// stays tiny (hundreds of points).
+const DefaultVNodes = 96
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// Ring maps keys (build fingerprints) to owning peers with consistent
+// hashing: each peer contributes vnodes points on a 64-bit circle and
+// a key belongs to the first point at or after its own hash. Adding or
+// removing one peer of N moves only ~1/N of the keyspace, so the rest
+// of the fleet keeps its warm store tiers.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []ringPoint
+	peers  []string // sorted
+}
+
+// NewRing builds a ring over the given peers (vnodes <= 0 uses
+// DefaultVNodes). Duplicate and empty peer names are dropped.
+func NewRing(vnodes int, peers ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{vnodes: vnodes}
+	for _, p := range peers {
+		r.Add(p)
+	}
+	return r
+}
+
+// VNodes reports the per-peer virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Peers returns the member set, sorted.
+func (r *Ring) Peers() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.peers))
+	copy(out, r.peers)
+	return out
+}
+
+// Size reports the number of peers.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.peers)
+}
+
+// Add inserts a peer (no-op when empty or already present).
+func (r *Ring) Add(peer string) {
+	if peer == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.SearchStrings(r.peers, peer)
+	if i < len(r.peers) && r.peers[i] == peer {
+		return
+	}
+	r.peers = append(r.peers, "")
+	copy(r.peers[i+1:], r.peers[i:])
+	r.peers[i] = peer
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{hash: pointHash(peer, v), peer: peer})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a peer and its points (no-op when absent).
+func (r *Ring) Remove(peer string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.SearchStrings(r.peers, peer)
+	if i == len(r.peers) || r.peers[i] != peer {
+		return
+	}
+	r.peers = append(r.peers[:i], r.peers[i+1:]...)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.peer != peer {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Owner returns the peer owning key, or "" on an empty ring. The
+// mapping is deterministic across processes: every replica computes
+// the same owner from the same member list.
+func (r *Ring) Owner(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: first point on the circle
+	}
+	return r.points[i].peer
+}
+
+func pointHash(peer string, vnode int) uint64 {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(vnode))
+	h := sha256.New()
+	h.Write([]byte(peer))
+	h.Write([]byte{'#'})
+	h.Write(buf[:])
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+func keyHash(key string) uint64 {
+	h := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(h[:8])
+}

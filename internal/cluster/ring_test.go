@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// fingerprints generates n synthetic build fingerprints shaped like
+// the real ones (hex SHA-256 of source material).
+func fingerprints(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		h := sha256.Sum256([]byte(fmt.Sprintf("mcfi-src-%d", i)))
+		out[i] = hex.EncodeToString(h[:])
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossInstances: two rings built from the same
+// member list (in any order) agree on every owner — replicas can route
+// without coordination.
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	a := NewRing(96, "http://a", "http://b", "http://c")
+	b := NewRing(96, "http://c", "http://a", "http://b")
+	for _, k := range fingerprints(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on %s: %s vs %s", k[:12], a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingBalance: with 96 vnodes, no replica of three owns less than
+// half or more than double its fair share over 3k keys.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(96, "http://a", "http://b", "http://c")
+	counts := map[string]int{}
+	keys := fingerprints(3000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := len(keys) / 3
+	for peer, n := range counts {
+		if n < fair/2 || n > fair*2 {
+			t.Errorf("peer %s owns %d of %d keys (fair share %d)", peer, n, len(keys), fair)
+		}
+	}
+	if len(counts) != 3 {
+		t.Errorf("only %d peers own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingRebalanceDisplacement is the satellite requirement: adding
+// or removing one replica of N moves only about 1/N of the keyspace.
+// Measured over 2000 synthetic fingerprints; the bound is generous
+// (1.8x the ideal fraction) to absorb vnode placement variance.
+func TestRingRebalanceDisplacement(t *testing.T) {
+	keys := fingerprints(2000)
+	peers := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(96, peers...)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	// Add a 4th replica: ideally 1/4 of keys move (to the new peer);
+	// nothing moves between survivors.
+	r.Add("http://d")
+	movedToNew, movedBetweenOld := 0, 0
+	for _, k := range keys {
+		now := r.Owner(k)
+		if now == before[k] {
+			continue
+		}
+		if now == "http://d" {
+			movedToNew++
+		} else {
+			movedBetweenOld++
+		}
+	}
+	if movedBetweenOld != 0 {
+		t.Errorf("add: %d keys moved between surviving peers (consistent hashing must not reshuffle survivors)", movedBetweenOld)
+	}
+	ideal := len(keys) / 4
+	if movedToNew > ideal*18/10 || movedToNew < ideal/2 {
+		t.Errorf("add: %d of %d keys moved to the new peer, want ~%d (1/N)", movedToNew, len(keys), ideal)
+	}
+
+	// Remove it again: exactly the displaced keys return home.
+	r.Remove("http://d")
+	for _, k := range keys {
+		if got := r.Owner(k); got != before[k] {
+			t.Fatalf("remove did not restore ownership of %s: %s vs %s", k[:12], got, before[k])
+		}
+	}
+
+	// Removing one of three moves only that peer's ~1/3 share.
+	gone := "http://b"
+	r.Remove(gone)
+	moved := 0
+	for _, k := range keys {
+		now := r.Owner(k)
+		if before[k] == gone {
+			if now == gone {
+				t.Fatalf("removed peer still owns %s", k[:12])
+			}
+			moved++
+		} else if now != before[k] {
+			t.Errorf("remove: key %s moved between surviving peers", k[:12])
+		}
+	}
+	ideal = len(keys) / 3
+	if moved > ideal*18/10 || moved < ideal/2 {
+		t.Errorf("remove: %d of %d keys displaced, want ~%d (1/N)", moved, len(keys), ideal)
+	}
+}
+
+// TestRingEdgeCases: empty ring, single peer, duplicate adds.
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner("anything"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Errorf("vnodes = %d, want default %d", r.VNodes(), DefaultVNodes)
+	}
+	r.Add("http://solo")
+	r.Add("http://solo") // duplicate: no effect
+	if got := len(r.Peers()); got != 1 {
+		t.Fatalf("peers = %d, want 1", got)
+	}
+	for _, k := range fingerprints(50) {
+		if got := r.Owner(k); got != "http://solo" {
+			t.Fatalf("single-peer owner = %q", got)
+		}
+	}
+	r.Remove("http://absent") // no-op
+	r.Remove("http://solo")
+	if got := r.Owner("x"); got != "" {
+		t.Errorf("drained ring owner = %q, want \"\"", got)
+	}
+}

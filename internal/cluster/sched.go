@@ -1,0 +1,400 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Admission errors. A QuotaError (per-tenant refusal) is distinct
+// from ErrQueueFull (global backpressure): the former means *this
+// tenant* is over its quota while the fleet may be idle, the latter
+// that the shared queue is exhausted.
+var (
+	ErrQueueFull = errors.New("cluster: queue full")
+	ErrClosed    = errors.New("cluster: scheduler closed")
+)
+
+// QuotaError reports a per-tenant admission refusal.
+type QuotaError struct {
+	Tenant string
+	Reason string
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("cluster: tenant %q over quota: %s", e.Tenant, e.Reason)
+}
+
+// Quota bounds one tenant's admission. Zero fields are unlimited
+// (except Weight, where 0 means DefaultWeight 1).
+type Quota struct {
+	// Weight is the DWRR service share: a weight-5 tenant drains up to
+	// 5 jobs per scheduling round for every 1 a weight-1 tenant gets.
+	// Minimum effective weight is 1, so no backlogged tenant starves.
+	Weight int
+	// MaxQueued bounds jobs queued (admitted, not yet running).
+	MaxQueued int
+	// MaxInFlight bounds jobs admitted but not completed (queued +
+	// running).
+	MaxInFlight int
+	// MaxInstrInFlight bounds the summed instruction budgets of
+	// admitted-but-not-completed jobs (jobs submitted with cost 0 —
+	// unlimited budget — do not count).
+	MaxInstrInFlight int64
+}
+
+// SchedConfig sizes a scheduler.
+type SchedConfig struct {
+	// TotalQueue bounds queued jobs across all tenants, beyond those
+	// in hand-off to already-parked consumers (default 64).
+	TotalQueue int
+	// Default is the quota applied to tenants without an entry in
+	// Tenants.
+	Default Quota
+	// Tenants overrides quotas per tenant name. Zero fields of an
+	// override inherit from Default (so a map of {Weight: 5} entries
+	// sets weights without re-stating limits).
+	Tenants map[string]Quota
+}
+
+type entry[T any] struct {
+	v    T
+	cost int64
+}
+
+type schedTenant[T any] struct {
+	name   string
+	quota  Quota
+	fifo   []entry[T]
+	credit int // remaining service this round
+	active bool
+
+	running       int
+	instrInFlight int64
+
+	submitted, refused, dequeued, completed int64
+}
+
+func (t *schedTenant[T]) weight() int {
+	if t.quota.Weight < 1 {
+		return 1
+	}
+	return t.quota.Weight
+}
+
+// TenantStats is one tenant's scheduler snapshot (exported on
+// /metrics by internal/server).
+type TenantStats struct {
+	Tenant        string `json:"tenant"`
+	Weight        int    `json:"weight"`
+	Queued        int    `json:"queued"`
+	Running       int    `json:"running"`
+	InstrInFlight int64  `json:"instr_in_flight"`
+	Submitted     int64  `json:"submitted"`
+	Refused       int64  `json:"refused"`
+	Dequeued      int64  `json:"dequeued"`
+	Completed     int64  `json:"completed"`
+}
+
+// Sched is a deficit-weighted round-robin scheduler over per-tenant
+// FIFO queues. Producers Submit (or SubmitBatch) under a tenant name;
+// consumers Next one item at a time. Tenants with backlog are served
+// in a round-robin of bursts sized by their weight, so service ratios
+// converge to the weight ratios while every backlogged tenant gets at
+// least one job per round — weighted fairness without starvation.
+//
+// Admission enforces per-tenant quotas (Quota) and the global
+// TotalQueue bound, and is atomic per call: SubmitBatch admits all of
+// its jobs or none. After Close, Submit fails with ErrClosed while
+// Next keeps draining what was already admitted — an admitted job is
+// never silently dropped, and a refused job was never enqueued, so no
+// job can be both refused and executed.
+type Sched[T any] struct {
+	mu      sync.Mutex
+	cfg     SchedConfig
+	tenants map[string]*schedTenant[T]
+	active  []*schedTenant[T]
+	idx     int
+	queued  int
+	waiting int // consumers parked in Next
+	closed  bool
+
+	wake     chan struct{}
+	closedCh chan struct{}
+}
+
+// NewSched builds a scheduler.
+func NewSched[T any](cfg SchedConfig) *Sched[T] {
+	if cfg.TotalQueue <= 0 {
+		cfg.TotalQueue = 64
+	}
+	return &Sched[T]{
+		cfg:      cfg,
+		tenants:  make(map[string]*schedTenant[T]),
+		wake:     make(chan struct{}, 1),
+		closedCh: make(chan struct{}),
+	}
+}
+
+// quotaFor merges the per-tenant override over the default quota.
+func (s *Sched[T]) quotaFor(name string) Quota {
+	q := s.cfg.Default
+	o, ok := s.cfg.Tenants[name]
+	if !ok {
+		return q
+	}
+	if o.Weight != 0 {
+		q.Weight = o.Weight
+	}
+	if o.MaxQueued != 0 {
+		q.MaxQueued = o.MaxQueued
+	}
+	if o.MaxInFlight != 0 {
+		q.MaxInFlight = o.MaxInFlight
+	}
+	if o.MaxInstrInFlight != 0 {
+		q.MaxInstrInFlight = o.MaxInstrInFlight
+	}
+	return q
+}
+
+func (s *Sched[T]) tenant(name string) *schedTenant[T] {
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &schedTenant[T]{name: name, quota: s.quotaFor(name)}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// admitErr reports why n more jobs with summed instruction cost extra
+// cannot be admitted for t, or nil. Called with s.mu held.
+func (s *Sched[T]) admitErr(t *schedTenant[T], n int, extra int64) error {
+	// The global bound is waiter-aware: a job that an idle, parked
+	// consumer will pop the moment it wakes is in hand-off, not truly
+	// queued. Without this, two concurrent submits against a depth-1
+	// queue with an idle worker race the worker's wakeup and one is
+	// spuriously refused (a buffered channel gets this for free; a
+	// lock-and-signal queue has to model it).
+	if s.queued+n > s.cfg.TotalQueue+s.waiting {
+		return ErrQueueFull
+	}
+	q := t.quota
+	if q.MaxQueued > 0 && len(t.fifo)+n > q.MaxQueued {
+		return &QuotaError{Tenant: t.name, Reason: fmt.Sprintf("max %d queued", q.MaxQueued)}
+	}
+	if q.MaxInFlight > 0 && len(t.fifo)+t.running+n > q.MaxInFlight {
+		return &QuotaError{Tenant: t.name, Reason: fmt.Sprintf("max %d in flight", q.MaxInFlight)}
+	}
+	if q.MaxInstrInFlight > 0 && t.instrInFlight+extra > q.MaxInstrInFlight {
+		return &QuotaError{Tenant: t.name,
+			Reason: fmt.Sprintf("instruction budget quota %d exhausted", q.MaxInstrInFlight)}
+	}
+	return nil
+}
+
+// Submit admits one job for tenant with the given instruction-budget
+// cost (0 = unlimited budget, exempt from the instr quota).
+func (s *Sched[T]) Submit(tenant string, cost int64, v T) error {
+	return s.SubmitBatch(tenant, []int64{cost}, []T{v})
+}
+
+// SubmitBatch atomically admits all jobs or none: a batch is one
+// admission decision, so a client cannot end up with half a job array
+// queued behind a quota.
+func (s *Sched[T]) SubmitBatch(tenant string, costs []int64, vs []T) error {
+	if len(costs) != len(vs) {
+		return fmt.Errorf("cluster: batch costs/jobs length mismatch (%d vs %d)", len(costs), len(vs))
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	var extra int64
+	for _, c := range costs {
+		extra += c
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	t := s.tenant(tenant)
+	if err := s.admitErr(t, len(vs), extra); err != nil {
+		t.refused += int64(len(vs))
+		s.mu.Unlock()
+		return err
+	}
+	for i, v := range vs {
+		t.fifo = append(t.fifo, entry[T]{v: v, cost: costs[i]})
+	}
+	t.submitted += int64(len(vs))
+	t.instrInFlight += extra
+	s.queued += len(vs)
+	if !t.active {
+		t.active = true
+		t.credit = t.weight()
+		s.active = append(s.active, t)
+	}
+	s.mu.Unlock()
+	s.signal()
+	return nil
+}
+
+func (s *Sched[T]) signal() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pop dequeues the next job under the DWRR policy. Called with s.mu
+// held.
+func (s *Sched[T]) pop() (T, bool) {
+	var zero T
+	if len(s.active) == 0 {
+		return zero, false
+	}
+	if s.idx >= len(s.active) {
+		s.idx = 0
+	}
+	t := s.active[s.idx]
+	if t.credit <= 0 {
+		t.credit = t.weight() // new round for this tenant
+	}
+	e := t.fifo[0]
+	t.fifo = t.fifo[1:]
+	t.credit--
+	t.dequeued++
+	t.running++
+	s.queued--
+	if len(t.fifo) == 0 {
+		// Tenant drained: leave the round. (Deficit resets — an idle
+		// tenant does not bank service.)
+		t.active = false
+		t.credit = 0
+		s.active = append(s.active[:s.idx], s.active[s.idx+1:]...)
+	} else if t.credit == 0 {
+		s.idx++ // burst spent: next tenant's turn
+	}
+	return e.v, true
+}
+
+// Next blocks until a job is available and returns it, or returns
+// ok=false when quit closes or the scheduler is closed and drained.
+// The caller must pair every successful Next with a Done call carrying
+// the same tenant and cost.
+func (s *Sched[T]) Next(quit <-chan struct{}) (T, bool) {
+	var zero T
+	// parked tracks whether this consumer holds a waiting slot. The
+	// slot is taken at first park and held until the consumer actually
+	// pops (or exits) — a woken-but-not-yet-popped consumer still
+	// justifies the admission headroom it advertised.
+	parked := false
+	release := func() {
+		if parked {
+			s.waiting--
+			parked = false
+		}
+	}
+	for {
+		// A closed quit channel exits promptly even with backlog: the
+		// job stays queued for the remaining consumers.
+		if quit != nil {
+			select {
+			case <-quit:
+				s.mu.Lock()
+				release()
+				s.mu.Unlock()
+				return zero, false
+			default:
+			}
+		}
+		s.mu.Lock()
+		v, ok := s.pop()
+		more := s.queued > 0
+		closed := s.closed
+		if ok || closed {
+			release()
+		} else if !parked {
+			s.waiting++ // about to park: admission may count on us
+			parked = true
+		}
+		s.mu.Unlock()
+		if ok {
+			if more {
+				s.signal() // pass the baton to another waiter
+			}
+			return v, true
+		}
+		if closed {
+			return zero, false
+		}
+		if quit == nil {
+			select {
+			case <-s.wake:
+			case <-s.closedCh:
+			}
+			continue
+		}
+		select {
+		case <-s.wake:
+		case <-s.closedCh:
+		case <-quit:
+			s.mu.Lock()
+			release()
+			s.mu.Unlock()
+			return zero, false
+		}
+	}
+}
+
+// Done releases a dequeued job's quota share.
+func (s *Sched[T]) Done(tenant string, cost int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenant(tenant)
+	t.running--
+	t.instrInFlight -= cost
+	t.completed++
+}
+
+// Close stops admission. Already-queued jobs keep flowing through
+// Next until the queue is empty. Idempotent.
+func (s *Sched[T]) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.closedCh)
+	}
+	s.mu.Unlock()
+}
+
+// Queued reports the total queued (not yet running) jobs.
+func (s *Sched[T]) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// Stats snapshots every tenant ever seen, sorted by name.
+func (s *Sched[T]) Stats() []TenantStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantStats, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, TenantStats{
+			Tenant:        t.name,
+			Weight:        t.weight(),
+			Queued:        len(t.fifo),
+			Running:       t.running,
+			InstrInFlight: t.instrInFlight,
+			Submitted:     t.submitted,
+			Refused:       t.refused,
+			Dequeued:      t.dequeued,
+			Completed:     t.completed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

@@ -1,0 +1,262 @@
+package server
+
+// POST /v1/batch: submit a job array in one round trip.
+//
+// The batch carries one tenant; admission through the scheduler is
+// atomic per replica — the sub-batch a replica executes is admitted
+// whole or refused whole, so a client never discovers half its jobs
+// ran while the rest bounced. A refusal is not an HTTP error: refused
+// jobs come back as StatusRejected results (with the same Retry-After
+// estimate a 429 would carry) alongside the executed ones, because in
+// cluster mode one batch may fan out to several replicas and succeed
+// on some of them.
+//
+// In cluster mode the receiving replica partitions the batch by
+// fingerprint owner and relays each remote sub-batch to its owner in
+// parallel (single hop, same fallback-to-local rules as /v1/run).
+//
+// Responses: by default one JSON BatchResponse with results in
+// request order; with "stream": true, NDJSON BatchItem lines in
+// completion order, each carrying its request index.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// maxBatchJobs bounds one batch request.
+const maxBatchJobs = 4096
+
+// BatchRequest is the /v1/batch payload.
+type BatchRequest struct {
+	// Tenant schedules the whole batch (default "default"); individual
+	// jobs may not name a different one.
+	Tenant string `json:"tenant,omitempty"`
+	// Stream selects NDJSON completion-order delivery.
+	Stream bool         `json:"stream,omitempty"`
+	Jobs   []JobRequest `json:"jobs"`
+}
+
+// BatchItem is one NDJSON line of a streamed batch response.
+type BatchItem struct {
+	Index  int       `json:"index"`
+	Result JobResult `json:"result"`
+}
+
+// BatchResponse is the aggregated (non-streamed) batch reply.
+type BatchResponse struct {
+	Tenant   string `json:"tenant"`
+	Count    int    `json:"count"`
+	Rejected int    `json:"rejected"`
+	// RetryAfterSecs is set when any job was rejected: the drain-rate
+	// estimate of when a retry should be admitted.
+	RetryAfterSecs int         `json:"retry_after_secs,omitempty"`
+	Results        []JobResult `json:"results"`
+}
+
+type batchOutcome struct {
+	idx int
+	res JobResult
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	var breq BatchRequest
+	if err := json.Unmarshal(body, &breq); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(breq.Jobs) == 0 {
+		http.Error(w, "batch needs at least one job", http.StatusBadRequest)
+		return
+	}
+	if len(breq.Jobs) > maxBatchJobs {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(breq.Jobs), maxBatchJobs), http.StatusBadRequest)
+		return
+	}
+	tenant := breq.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	routed := r.Header.Get(headerRouted) != ""
+	if routed {
+		s.proxiedIn.Add(int64(len(breq.Jobs)))
+	}
+
+	// Partition by owning replica. Everything stays local outside
+	// cluster mode, when this request already took its routing hop, or
+	// when a job's owner is in its down cooldown.
+	local := make([]int, 0, len(breq.Jobs))
+	remote := map[string][]int{}
+	if s.ring != nil && !routed {
+		for i, jr := range breq.Jobs {
+			if owner, ok := s.ownerOf(jr); ok && owner != s.self && s.peerUp(owner) {
+				remote[owner] = append(remote[owner], i)
+			} else {
+				local = append(local, i)
+			}
+		}
+	} else {
+		for i := range breq.Jobs {
+			local = append(local, i)
+		}
+	}
+
+	// Admit the local sub-batch (atomically) before writing any
+	// response bytes, so an all-local draining refusal is still a
+	// clean 503.
+	localReqs := make([]JobRequest, len(local))
+	for n, i := range local {
+		localReqs[n] = breq.Jobs[i]
+	}
+	var localJobs []*job
+	var localErr error
+	if len(local) > 0 {
+		localJobs, localErr = s.admitBatch(r.Context(), tenant, localReqs, routed)
+		if localErr != nil && len(remote) == 0 &&
+			(errors.Is(localErr, ErrDraining) || !isBusyErr(localErr)) {
+			// Nothing routable elsewhere and nothing admitted: report
+			// draining (503) and malformed batches (400) as HTTP errors
+			// rather than a result set of rejections.
+			if errors.Is(localErr, ErrDraining) {
+				s.writeSubmitError(w, localErr)
+			} else {
+				http.Error(w, localErr.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+	}
+
+	out := make(chan batchOutcome, len(breq.Jobs))
+	var wg sync.WaitGroup
+	if localErr != nil {
+		// Refused whole (atomic admission): every local job reports
+		// rejected; none executed.
+		retry := s.retryAfterSecs()
+		for _, i := range local {
+			out <- batchOutcome{i, s.rejectedResult(tenant, localErr, retry)}
+		}
+	} else {
+		for n := range localJobs {
+			wg.Add(1)
+			go func(idx int, j *job) {
+				defer wg.Done()
+				<-j.done
+				out <- batchOutcome{idx, j.res}
+			}(local[n], localJobs[n])
+		}
+	}
+	for owner, idxs := range remote {
+		wg.Add(1)
+		go func(owner string, idxs []int) {
+			defer wg.Done()
+			s.runRemoteBatch(r.Context(), owner, tenant, breq.Jobs, idxs, out)
+		}(owner, idxs)
+	}
+	go func() { wg.Wait(); close(out) }()
+
+	if breq.Stream {
+		s.streamBatch(w, out)
+		return
+	}
+	results := make([]JobResult, len(breq.Jobs))
+	rejected := 0
+	for o := range out {
+		results[o.idx] = o.res
+		if o.res.Status == StatusRejected {
+			rejected++
+		}
+	}
+	resp := BatchResponse{Tenant: tenant, Count: len(results), Rejected: rejected, Results: results}
+	if rejected > 0 {
+		resp.RetryAfterSecs = s.retryAfterSecs()
+		w.Header().Set("Retry-After", fmt.Sprint(resp.RetryAfterSecs))
+	}
+	writeJSON(w, resp)
+}
+
+func isBusyErr(err error) bool {
+	return errors.Is(err, ErrBusy) || errors.Is(err, ErrTenantBusy)
+}
+
+func (s *Server) rejectedResult(tenant string, err error, retrySecs int) JobResult {
+	return JobResult{
+		Status:  StatusRejected,
+		Tenant:  tenant,
+		Replica: s.self,
+		Error:   fmt.Sprintf("%v (retry after %ds)", err, retrySecs),
+	}
+}
+
+// runRemoteBatch relays one owner's sub-batch and feeds its results
+// back under the original indices; on relay failure it falls back to
+// local execution of the same jobs.
+func (s *Server) runRemoteBatch(ctx context.Context, owner, tenant string, all []JobRequest, idxs []int, out chan<- batchOutcome) {
+	sub := BatchRequest{Tenant: tenant, Jobs: make([]JobRequest, len(idxs))}
+	for n, i := range idxs {
+		sub.Jobs[n] = all[i]
+	}
+	body, _ := json.Marshal(sub)
+	relayOK := false
+	var bresp BatchResponse
+	resp, err := s.relayRequest(ctx, owner, "/v1/batch", body)
+	if err == nil {
+		if resp.StatusCode == http.StatusOK &&
+			json.NewDecoder(resp.Body).Decode(&bresp) == nil &&
+			len(bresp.Results) == len(idxs) {
+			relayOK = true
+		}
+		resp.Body.Close()
+	}
+	if relayOK {
+		s.proxiedOut.Add(int64(len(idxs)))
+		s.markPeerProxied(owner)
+		for n, i := range idxs {
+			out <- batchOutcome{i, bresp.Results[n]}
+		}
+		return
+	}
+	if err != nil || (resp != nil && resp.StatusCode == http.StatusServiceUnavailable) {
+		s.markPeerDown(owner)
+	}
+	s.proxyFallbacks.Add(int64(len(idxs)))
+	jobs, aerr := s.admitBatch(ctx, tenant, sub.Jobs, false)
+	if aerr != nil {
+		retry := s.retryAfterSecs()
+		for _, i := range idxs {
+			out <- batchOutcome{i, s.rejectedResult(tenant, aerr, retry)}
+		}
+		return
+	}
+	for n, j := range jobs {
+		<-j.done
+		out <- batchOutcome{idxs[n], j.res}
+	}
+}
+
+// streamBatch writes NDJSON BatchItem lines as jobs complete.
+func (s *Server) streamBatch(w http.ResponseWriter, out <-chan batchOutcome) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for o := range out {
+		enc.Encode(BatchItem{Index: o.idx, Result: o.res})
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package server
+
+// Fingerprint-keyed job routing across a replica set.
+//
+// Every replica builds the same consistent-hash ring from Config.Peers
+// (deterministic: no coordination, no leader), keyed by the build
+// fingerprint of each job's sources — the same content hash the build
+// store is addressed by. One replica therefore owns each distinct
+// program, its store tiers stay hot for that shard, and N replicas
+// aggregate to N× the warm cache footprint.
+//
+// Routing is a single hop: a replica that receives a job it does not
+// own relays the request verbatim to the owner with the X-Mcfi-Routed
+// marker set; the owner executes locally (the marker suppresses
+// re-routing, so a stale or disagreeing ring can never bounce a job
+// around the cluster). If the owner is down, unreachable, or
+// draining, the receiving replica falls back to executing locally —
+// availability beats shard affinity — and remembers the failure for a
+// cooldown so a dead peer is not re-probed on every job.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// headerRouted marks a relayed request; its presence means "execute
+// here, do not route again" (single-hop rule).
+const headerRouted = "X-Mcfi-Routed"
+
+// maxRequestBytes bounds one request body (a batch of sources).
+const maxRequestBytes = 32 << 20
+
+// peerDownCooldown is how long a replica sits out of routing after a
+// failed relay before it is probed again.
+const peerDownCooldown = 2 * time.Second
+
+type peerState struct {
+	downUntil time.Time
+	proxiedTo int64
+}
+
+// ownerOf resolves a request far enough to compute its build
+// fingerprint and maps it through the ring. ok=false when the request
+// is malformed (the local path will produce the build error) or the
+// ring is empty.
+func (s *Server) ownerOf(req JobRequest) (string, bool) {
+	b, src, err := s.resolve(req)
+	if err != nil {
+		return "", false
+	}
+	owner := s.ring.Owner(b.Fingerprint(src))
+	return owner, owner != ""
+}
+
+// peerUp reports whether a peer is currently eligible for relays.
+func (s *Server) peerUp(peer string) bool {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	ps, ok := s.peers[peer]
+	return ok && time.Now().After(ps.downUntil)
+}
+
+func (s *Server) markPeerDown(peer string) {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if ps, ok := s.peers[peer]; ok {
+		ps.downUntil = time.Now().Add(peerDownCooldown)
+	}
+}
+
+func (s *Server) markPeerProxied(peer string) {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if ps, ok := s.peers[peer]; ok {
+		ps.proxiedTo++
+	}
+}
+
+// relay forwards a request body to the owning replica and, on
+// success, copies the owner's response verbatim (status, Retry-After,
+// body) so a proxied JobResult is byte-identical to a locally served
+// one. It returns false — nothing written — when the relay should
+// fall back to local execution: owner in its down cooldown, transport
+// failure, or owner draining (503).
+func (s *Server) relay(w http.ResponseWriter, ctx context.Context, owner, path string, body []byte) bool {
+	if !s.peerUp(owner) {
+		s.proxyFallbacks.Add(1)
+		return false
+	}
+	resp, err := s.relayRequest(ctx, owner, path, body)
+	if err != nil {
+		s.markPeerDown(owner)
+		s.proxyFallbacks.Add(1)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// Owner is draining: it still answers but admits nothing.
+		// Serve the job here rather than bounce the client.
+		s.markPeerDown(owner)
+		s.proxyFallbacks.Add(1)
+		return false
+	}
+	s.proxiedOut.Add(1)
+	s.markPeerProxied(owner)
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// relayRequest performs the single-hop POST to a peer.
+func (s *Server) relayRequest(ctx context.Context, owner, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(headerRouted, s.self)
+	return s.proxyClient.Do(req)
+}
+
+func (s *Server) clusterMetrics() *ClusterMetrics {
+	cm := &ClusterMetrics{
+		Self:           s.self,
+		VNodes:         s.ring.VNodes(),
+		ProxiedIn:      s.proxiedIn.Load(),
+		ProxiedOut:     s.proxiedOut.Load(),
+		ProxyFallbacks: s.proxyFallbacks.Load(),
+	}
+	now := time.Now()
+	s.peerMu.Lock()
+	for _, p := range s.ring.Peers() {
+		st := PeerStatus{URL: p, Up: true}
+		if p == s.self {
+			st.Self = true
+		} else if ps, ok := s.peers[p]; ok {
+			st.Up = now.After(ps.downUntil)
+			st.ProxiedTo = ps.proxiedTo
+		}
+		cm.Peers = append(cm.Peers, st)
+	}
+	s.peerMu.Unlock()
+	sort.Slice(cm.Peers, func(i, j int) bool { return cm.Peers[i].URL < cm.Peers[j].URL })
+	return cm
+}

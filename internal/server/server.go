@@ -2,11 +2,25 @@
 // multi-tenant front end over the toolchain + runtime + VM stack.
 // Jobs (a named workload or raw MiniC source) are compiled through a
 // content-addressed build cache, then executed each in its own
-// sandboxed vm.Process on a bounded worker pool with per-job
-// instruction budgets and wall-clock timeouts. Admission is a
-// depth-limited queue — overflow is refused immediately (HTTP 429) —
-// and shutdown is a graceful drain: stop admitting, finish or cancel
-// in-flight jobs, keep /metrics readable throughout.
+// sandboxed vm.Process on an elastic worker pool with per-job
+// instruction budgets and wall-clock timeouts.
+//
+// Admission runs through a per-tenant deficit-weighted round-robin
+// scheduler (internal/cluster): each tenant gets a service share
+// proportional to its weight, bounded by per-tenant in-flight and
+// instruction-budget quotas, so one hot tenant cannot starve the
+// rest. Overflow is refused immediately (HTTP 429 with a Retry-After
+// derived from the observed drain rate), and shutdown is a graceful
+// drain: stop admitting, finish or cancel in-flight jobs, keep
+// /metrics readable throughout.
+//
+// When configured with a replica set (Config.Peers/Self), jobs route
+// by build fingerprint over a consistent-hash ring: each replica owns
+// a shard of the fingerprint space and transparently proxies the rest
+// to their owners (a single hop, falling back to local execution when
+// the owner is down or draining), so every replica's store tiers stay
+// hot for its shard. See cluster.go for routing and batch.go for the
+// job-array surface.
 //
 // The point of the service (vs. the one-shot CLIs) is that MCFI's
 // policy machinery keeps enforcing while untrusted code runs
@@ -20,12 +34,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mcfi/internal/buildstore"
+	"mcfi/internal/cluster"
 	"mcfi/internal/mrt"
 	"mcfi/internal/toolchain"
 	"mcfi/internal/visa"
@@ -42,12 +61,22 @@ const (
 	StatusCancelled  = "cancelled"        // caller went away or server drained
 	StatusBudget     = "budget_exhausted" // instruction budget ran out
 	StatusBuildError = "build_error"      // source failed to compile/link
+	// StatusRejected appears only in batch responses: the job was
+	// refused at admission (quota or queue full) and never executed.
+	StatusRejected = "rejected"
 )
+
+// DefaultTenant is the tenant name applied to requests that do not
+// set one.
+const DefaultTenant = "default"
 
 // Submission errors.
 var (
-	// ErrBusy: the admission queue is full (backpressure; HTTP 429).
+	// ErrBusy: the shared admission queue is full (backpressure; HTTP 429).
 	ErrBusy = errors.New("server: queue full")
+	// ErrTenantBusy: the job's tenant is over its quota while the
+	// server may have capacity for others (HTTP 429, scoped).
+	ErrTenantBusy = errors.New("server: tenant over quota")
 	// ErrDraining: the server no longer admits jobs (HTTP 503).
 	ErrDraining = errors.New("server: draining")
 )
@@ -63,6 +92,9 @@ type JobRequest struct {
 	// labels it in diagnostics (default "job").
 	Source string `json:"source,omitempty"`
 	Name   string `json:"name,omitempty"`
+	// Tenant attributes the job for weighted-fair scheduling and
+	// quotas (default "default").
+	Tenant string `json:"tenant,omitempty"`
 	// Baseline skips MCFI instrumentation; Profile selects 32/64
 	// (default 64); Engine selects any vm.EngineNames() entry (default
 	// threaded).
@@ -87,6 +119,13 @@ type JobResult struct {
 	Status   string `json:"status"`
 	ExitCode int64  `json:"exit_code"`
 	Instret  int64  `json:"instret"`
+	// Tenant echoes the scheduling tenant; Replica names the replica
+	// that executed the job (Config.Self, empty outside cluster mode);
+	// Proxied reports that the job reached its executor via a routing
+	// hop from another replica.
+	Tenant  string `json:"tenant,omitempty"`
+	Replica string `json:"replica,omitempty"`
+	Proxied bool   `json:"proxied,omitempty"`
 	// StoreTier names where the job's image came from: "mem", "disk",
 	// "remote", or "built" (compiled for this job). BuildCacheHit is
 	// the legacy boolean view of the same fact (any tier but "built").
@@ -102,11 +141,27 @@ type JobResult struct {
 
 // Config sizes the service.
 type Config struct {
-	// Workers is the execution pool width (default GOMAXPROCS-ish 4).
-	Workers int
-	// QueueDepth bounds jobs admitted but not yet running; overflow is
-	// rejected with ErrBusy (default 2×Workers).
+	// Workers is the execution pool width when the pool is fixed
+	// (default 4). WorkersMin/WorkersMax, when they describe a real
+	// range (Max > Min), enable the queue-latency autoscaler between
+	// those bounds; otherwise the pool stays at WorkersMin (which
+	// defaults to Workers).
+	Workers    int
+	WorkersMin int
+	WorkersMax int
+	// AutoscaleTarget is the p95 queue-latency ceiling the autoscaler
+	// defends (default 100ms).
+	AutoscaleTarget time.Duration
+	// QueueDepth bounds jobs admitted but not yet running across all
+	// tenants; overflow is rejected with ErrBusy (default 2×WorkersMax).
 	QueueDepth int
+	// TenantWeights sets per-tenant DWRR service shares (unlisted
+	// tenants get TenantQuota.Weight, minimum 1).
+	TenantWeights map[string]int
+	// TenantQuota is the default per-tenant quota: zero fields are
+	// unlimited. Weight here is the default weight for tenants not in
+	// TenantWeights.
+	TenantQuota cluster.Quota
 	// CacheEntries bounds the in-memory store tier (default
 	// buildstore.DefaultMemEntries).
 	CacheEntries int
@@ -126,6 +181,19 @@ type Config struct {
 	// read-only: all incoming PUTs are refused, nothing is published to
 	// the peer, and fetched blobs are integrity-checked only.
 	StoreSecret string
+	// Peers is the replica set for fingerprint-keyed job routing: base
+	// URLs of every replica including this one. Empty disables
+	// routing. Self must name this replica's own base URL (as it
+	// appears to peers) whenever Peers is set.
+	Peers []string
+	Self  string
+	// VNodes is the consistent-hash virtual-node count per replica
+	// (default cluster.DefaultVNodes).
+	VNodes int
+	// ProxyTimeout caps one routed job round trip (default
+	// DefaultTimeout + 30s, so a proxied job can queue and run to its
+	// own deadline before the hop gives up).
+	ProxyTimeout time.Duration
 	// DefaultMaxInstr is the per-job instruction budget when a request
 	// does not set one (default 2e9). <0 disables the default.
 	DefaultMaxInstr int64
@@ -143,14 +211,29 @@ func (c *Config) fillDefaults() {
 	if c.Workers <= 0 {
 		c.Workers = 4
 	}
+	if c.WorkersMin <= 0 {
+		c.WorkersMin = c.Workers
+	}
+	if c.WorkersMax < c.WorkersMin {
+		c.WorkersMax = c.WorkersMin
+	}
+	if c.AutoscaleTarget <= 0 {
+		c.AutoscaleTarget = 100 * time.Millisecond
+	}
 	if c.QueueDepth <= 0 {
-		c.QueueDepth = 2 * c.Workers
+		c.QueueDepth = 2 * c.WorkersMax
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = cluster.DefaultVNodes
 	}
 	if c.DefaultMaxInstr == 0 {
 		c.DefaultMaxInstr = 2_000_000_000
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.ProxyTimeout <= 0 {
+		c.ProxyTimeout = c.DefaultTimeout + 30*time.Second
 	}
 	if c.MaxOutputBytes <= 0 {
 		c.MaxOutputBytes = 1 << 20
@@ -160,13 +243,23 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// job is one queued request plus its completion signal.
+// job is one admitted request plus its completion signal.
 type job struct {
 	req      JobRequest
 	ctx      context.Context
+	tenant   string
+	cost     int64 // effective instruction budget (0 = unlimited)
+	maxInstr int64
+	timeout  time.Duration
+	proxied  bool
 	queuedAt time.Time
+	wait     time.Duration // set at dequeue
 	res      JobResult
 	done     chan struct{}
+}
+
+type workerHandle struct {
+	quit chan struct{}
 }
 
 // Server is one running MCFI execution service.
@@ -174,26 +267,40 @@ type Server struct {
 	cfg   Config
 	store *buildstore.Tiered
 	disk  *buildstore.Disk // persistent tier, also served at /v1/store
-	queue chan *job
+	sched *cluster.Sched[*job]
 	start time.Time
 
-	// admitMu orders Submit's enqueue against Drain's close(queue):
-	// submitters hold it shared for the draining-check + send; Drain
-	// takes it exclusively to flip draining, so no send can race the
-	// close.
-	admitMu  sync.RWMutex
-	draining bool
+	draining atomic.Bool
 
 	// force cancels every in-flight guest when Drain's grace period
 	// expires.
 	force     context.Context
 	forceStop context.CancelFunc
 
+	poolMu  sync.Mutex
+	handles []*workerHandle
 	workers sync.WaitGroup
 	busy    atomic.Int64
 
+	qlat        *cluster.Window    // queue-wait samples (at dequeue)
+	completions *cluster.RateMeter // drain rate, powers Retry-After
+
+	scaler     *cluster.Autoscaler
+	scalerStop chan struct{}
+	scalerDone chan struct{}
+
+	// Cluster routing state (nil/empty outside cluster mode).
+	ring        *cluster.Ring
+	self        string
+	proxyClient *http.Client
+	peerMu      sync.Mutex
+	peers       map[string]*peerState
+
 	// Metrics counters (lock-free).
 	accepted, completed, rejected          atomic.Int64
+	tenantRejected                         atomic.Int64
+	batches, batchJobs                     atomic.Int64
+	proxiedIn, proxiedOut, proxyFallbacks  atomic.Int64
 	ok, cfi, faults, timeouts, cancelled   atomic.Int64
 	budget, buildErrs                      atomic.Int64
 	instret, execNanos                     atomic.Int64
@@ -204,8 +311,9 @@ type Server struct {
 
 // New starts a server's worker pool, assembling the build store from
 // the config: always an in-memory tier, plus a disk tier when StoreDir
-// is set and a remote tier when RemoteStore is set. It fails only when
-// the store directory cannot be opened. Callers must eventually Drain.
+// is set and a remote tier when RemoteStore is set. It fails when the
+// store directory cannot be opened or the cluster config is
+// inconsistent. Callers must eventually Drain.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	tiers := []buildstore.Store{buildstore.NewMem(cfg.CacheEntries)}
@@ -221,46 +329,227 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RemoteStore != "" {
 		tiers = append(tiers, buildstore.NewRemote(cfg.RemoteStore, nil, cfg.StoreSecret))
 	}
+
+	tenants := make(map[string]cluster.Quota, len(cfg.TenantWeights))
+	for name, w := range cfg.TenantWeights {
+		tenants[name] = cluster.Quota{Weight: w}
+	}
 	s := &Server{
 		cfg:   cfg,
 		store: buildstore.NewTiered(tiers...),
 		disk:  disk,
-		queue: make(chan *job, cfg.QueueDepth),
-		start: time.Now(),
+		sched: cluster.NewSched[*job](cluster.SchedConfig{
+			TotalQueue: cfg.QueueDepth,
+			Default:    cfg.TenantQuota,
+			Tenants:    tenants,
+		}),
+		qlat:        cluster.NewWindow(1024),
+		completions: cluster.NewRateMeter(512, 10*time.Second),
+		start:       time.Now(),
 	}
 	s.force, s.forceStop = context.WithCancel(context.Background())
-	for i := 0; i < cfg.Workers; i++ {
-		s.workers.Add(1)
-		go s.worker()
+
+	if len(cfg.Peers) > 0 {
+		self := normalizeURL(cfg.Self)
+		if self == "" {
+			s.store.Close()
+			return nil, fmt.Errorf("server: Peers set but Self empty (each replica must know its own base URL)")
+		}
+		peers := make([]string, 0, len(cfg.Peers)+1)
+		seen := map[string]bool{}
+		for _, p := range append([]string{self}, cfg.Peers...) {
+			if u := normalizeURL(p); u != "" && !seen[u] {
+				seen[u] = true
+				peers = append(peers, u)
+			}
+		}
+		s.self = self
+		s.ring = cluster.NewRing(cfg.VNodes, peers...)
+		s.peers = make(map[string]*peerState, len(peers))
+		for _, p := range peers {
+			if p != self {
+				s.peers[p] = &peerState{}
+			}
+		}
+		s.proxyClient = &http.Client{Timeout: cfg.ProxyTimeout}
+	}
+
+	s.resize(cfg.WorkersMin)
+	if cfg.WorkersMax > cfg.WorkersMin {
+		s.scaler = cluster.NewAutoscaler(cluster.AutoscaleConfig{
+			Min: cfg.WorkersMin, Max: cfg.WorkersMax,
+			TargetP95: cfg.AutoscaleTarget,
+		})
+		s.scalerStop = make(chan struct{})
+		s.scalerDone = make(chan struct{})
+		go func() {
+			defer close(s.scalerDone)
+			s.scaler.Run(s.scalerStop,
+				func() cluster.Sample {
+					return cluster.Sample{
+						P95:   s.qlat.Quantiles(0.95)[0],
+						Depth: s.sched.Queued(),
+						Busy:  int(s.busy.Load()),
+					}
+				},
+				s.Workers,
+				func(n int) { s.resize(n) },
+			)
+		}()
 	}
 	return s, nil
 }
 
+func normalizeURL(u string) string { return strings.TrimRight(strings.TrimSpace(u), "/") }
+
 // Store exposes the server's build store (metrics, tests, warm-up).
 func (s *Server) Store() *buildstore.Tiered { return s.store }
 
-// Submit admits a job and blocks until it completes. It returns
-// ErrBusy when the queue is full and ErrDraining after Drain started;
-// every other outcome (including CFI violations and faults) is a
-// JobResult, not an error.
-func (s *Server) Submit(ctx context.Context, req JobRequest) (JobResult, error) {
-	j := &job{req: req, ctx: ctx, queuedAt: time.Now(), done: make(chan struct{})}
-	s.admitMu.RLock()
-	if s.draining {
-		s.admitMu.RUnlock()
-		return JobResult{}, ErrDraining
+// Workers reports the current pool width.
+func (s *Server) Workers() int {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	return len(s.handles)
+}
+
+// resize grows or shrinks the pool to n workers. Shrinking signals
+// the newest workers to exit after their current job; their queued
+// work stays with the survivors.
+func (s *Server) resize(n int) {
+	if n < 1 {
+		n = 1
 	}
-	select {
-	case s.queue <- j:
-		s.admitMu.RUnlock()
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	for len(s.handles) < n {
+		h := &workerHandle{quit: make(chan struct{})}
+		s.handles = append(s.handles, h)
+		s.workers.Add(1)
+		go s.worker(h)
+	}
+	for len(s.handles) > n {
+		h := s.handles[len(s.handles)-1]
+		s.handles = s.handles[:len(s.handles)-1]
+		close(h.quit)
+	}
+}
+
+// newJob resolves a request's effective limits and tenant.
+func (s *Server) newJob(ctx context.Context, req JobRequest, proxied bool) *job {
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	maxInstr := s.cfg.DefaultMaxInstr
+	if req.MaxInstr > 0 {
+		maxInstr = req.MaxInstr
+	}
+	if maxInstr < 0 {
+		maxInstr = 0
+	}
+	return &job{
+		req: req, ctx: ctx, tenant: tenant,
+		cost: maxInstr, maxInstr: maxInstr, timeout: timeout,
+		proxied: proxied, queuedAt: time.Now(), done: make(chan struct{}),
+	}
+}
+
+// submitJob admits one job through the scheduler, mapping scheduler
+// errors to the server's admission errors and counting rejections.
+func (s *Server) submitJob(j *job) error {
+	err := s.sched.Submit(j.tenant, j.cost, j)
+	switch {
+	case err == nil:
 		s.accepted.Add(1)
-	default:
-		s.admitMu.RUnlock()
+		return nil
+	case errors.Is(err, cluster.ErrClosed):
+		return ErrDraining
+	case errors.Is(err, cluster.ErrQueueFull):
 		s.rejected.Add(1)
-		return JobResult{}, ErrBusy
+		return ErrBusy
+	default:
+		var qe *cluster.QuotaError
+		if errors.As(err, &qe) {
+			s.tenantRejected.Add(1)
+			return fmt.Errorf("%w: %s", ErrTenantBusy, qe.Reason)
+		}
+		return err
+	}
+}
+
+// Submit admits a job and blocks until it completes. It returns
+// ErrBusy/ErrTenantBusy when admission refuses (backpressure) and
+// ErrDraining after Drain started; every other outcome (including CFI
+// violations and faults) is a JobResult, not an error.
+func (s *Server) Submit(ctx context.Context, req JobRequest) (JobResult, error) {
+	return s.submit(ctx, req, false)
+}
+
+func (s *Server) submit(ctx context.Context, req JobRequest, proxied bool) (JobResult, error) {
+	j := s.newJob(ctx, req, proxied)
+	if err := s.submitJob(j); err != nil {
+		return JobResult{}, err
 	}
 	<-j.done
 	return j.res, nil
+}
+
+// SubmitBatch atomically admits every request (all under one tenant)
+// or none, then blocks until all complete. Results are in request
+// order. Admission errors mirror Submit's.
+func (s *Server) SubmitBatch(ctx context.Context, tenant string, reqs []JobRequest) ([]JobResult, error) {
+	jobs, err := s.admitBatch(ctx, tenant, reqs, false)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]JobResult, len(jobs))
+	for i, j := range jobs {
+		<-j.done
+		results[i] = j.res
+	}
+	return results, nil
+}
+
+// admitBatch admits all-or-nothing and returns the live jobs.
+func (s *Server) admitBatch(ctx context.Context, tenant string, reqs []JobRequest, proxied bool) ([]*job, error) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	jobs := make([]*job, len(reqs))
+	costs := make([]int64, len(reqs))
+	for i, req := range reqs {
+		if req.Tenant != "" && req.Tenant != tenant {
+			return nil, fmt.Errorf("batch tenant %q conflicts with job %d tenant %q", tenant, i, req.Tenant)
+		}
+		req.Tenant = tenant
+		jobs[i] = s.newJob(ctx, req, proxied)
+		jobs[i].tenant = tenant
+		costs[i] = jobs[i].cost
+	}
+	err := s.sched.SubmitBatch(tenant, costs, jobs)
+	switch {
+	case err == nil:
+		s.accepted.Add(int64(len(jobs)))
+		s.batches.Add(1)
+		s.batchJobs.Add(int64(len(jobs)))
+		return jobs, nil
+	case errors.Is(err, cluster.ErrClosed):
+		return nil, ErrDraining
+	case errors.Is(err, cluster.ErrQueueFull):
+		s.rejected.Add(int64(len(jobs)))
+		return nil, ErrBusy
+	default:
+		var qe *cluster.QuotaError
+		if errors.As(err, &qe) {
+			s.tenantRejected.Add(int64(len(jobs)))
+			return nil, fmt.Errorf("%w: %s", ErrTenantBusy, qe.Reason)
+		}
+		return nil, err
+	}
 }
 
 // Drain stops admission, waits for queued and in-flight jobs to finish,
@@ -268,17 +557,17 @@ func (s *Server) Submit(ctx context.Context, req JobRequest) (JobResult, error) 
 // for the (now prompt) pool shutdown. Always returns with the pool
 // stopped.
 func (s *Server) Drain(ctx context.Context) {
-	s.admitMu.Lock()
-	if s.draining {
-		s.admitMu.Unlock()
+	if s.draining.Swap(true) {
 		s.workers.Wait()
 		return
 	}
-	s.draining = true
-	s.admitMu.Unlock()
-	// No submitter can be inside a send now; workers exit after the
-	// queue empties.
-	close(s.queue)
+	// Stop the autoscaler first so no resize races the shutdown.
+	if s.scalerStop != nil {
+		close(s.scalerStop)
+		<-s.scalerDone
+	}
+	// No new admissions; workers exit once the scheduler drains.
+	s.sched.Close()
 	done := make(chan struct{})
 	go func() {
 		s.workers.Wait()
@@ -296,21 +585,44 @@ func (s *Server) Drain(ctx context.Context) {
 }
 
 // Draining reports whether Drain has started.
-func (s *Server) Draining() bool {
-	s.admitMu.RLock()
-	defer s.admitMu.RUnlock()
-	return s.draining
-}
+func (s *Server) Draining() bool { return s.draining.Load() }
 
-func (s *Server) worker() {
+func (s *Server) worker(h *workerHandle) {
 	defer s.workers.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.sched.Next(h.quit)
+		if !ok {
+			return
+		}
+		j.wait = time.Since(j.queuedAt)
+		s.qlat.Observe(j.wait)
 		s.busy.Add(1)
 		j.res = s.runJob(j)
 		s.recordResult(j.res)
+		s.sched.Done(j.tenant, j.cost)
+		s.completions.Observe(time.Now())
 		s.busy.Add(-1)
 		close(j.done)
 	}
+}
+
+// retryAfterSecs estimates how long a refused client should wait
+// before retrying, from the current backlog over the observed drain
+// rate, clamped to [1, 30] seconds.
+func (s *Server) retryAfterSecs() int {
+	depth := s.sched.Queued()
+	rate := s.completions.PerSec(time.Now())
+	if rate <= 0 {
+		return 2 // cold start: no drain history yet
+	}
+	secs := int(math.Ceil(float64(depth+1) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // limitWriter truncates guest output host-side past a byte budget (the
@@ -375,7 +687,12 @@ func (s *Server) resolve(req JobRequest) (*toolchain.Builder, toolchain.Source, 
 // outcome classification. It never panics the worker: a hostile or
 // violating guest is torn down inside its own vm.Process.
 func (s *Server) runJob(j *job) JobResult {
-	res := JobResult{QueueMs: ms(time.Since(j.queuedAt))}
+	res := JobResult{
+		QueueMs: ms(j.wait),
+		Tenant:  j.tenant,
+		Replica: s.self,
+		Proxied: j.proxied,
+	}
 	if err := j.ctx.Err(); err != nil {
 		res.Status, res.Error = StatusCancelled, "cancelled before execution"
 		return res
@@ -409,19 +726,7 @@ func (s *Server) runJob(j *job) JobResult {
 		return res
 	}
 
-	timeout := s.cfg.DefaultTimeout
-	if j.req.TimeoutMs > 0 {
-		timeout = time.Duration(j.req.TimeoutMs) * time.Millisecond
-	}
-	maxInstr := s.cfg.DefaultMaxInstr
-	if j.req.MaxInstr > 0 {
-		maxInstr = j.req.MaxInstr
-	}
-	if maxInstr < 0 {
-		maxInstr = 0
-	}
-
-	runCtx, cancel := context.WithTimeout(j.ctx, timeout)
+	runCtx, cancel := context.WithTimeout(j.ctx, j.timeout)
 	watchDone := make(chan struct{})
 	ranDone := make(chan struct{})
 	go func() {
@@ -434,7 +739,7 @@ func (s *Server) runJob(j *job) JobResult {
 	}()
 
 	t1 := time.Now()
-	code, runErr := rt.RunContext(runCtx, maxInstr)
+	code, runErr := rt.RunContext(runCtx, j.maxInstr)
 	execDur := time.Since(t1)
 	close(ranDone)
 	<-watchDone
@@ -462,7 +767,7 @@ func (s *Server) runJob(j *job) JobResult {
 	case errors.Is(runErr, vm.ErrCancelled):
 		if errors.Is(runCtx.Err(), context.DeadlineExceeded) {
 			res.Status = StatusTimeout
-			res.Error = fmt.Sprintf("wall-clock timeout after %v", timeout)
+			res.Error = fmt.Sprintf("wall-clock timeout after %v", j.timeout)
 		} else {
 			res.Status, res.Error = StatusCancelled, "cancelled"
 		}
@@ -509,19 +814,27 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // Metrics is the /metrics document.
 type Metrics struct {
-	UptimeSecs float64            `json:"uptime_secs"`
-	Draining   bool               `json:"draining"`
-	Jobs       JobCounts          `json:"jobs"`
-	Queue      QueueState         `json:"queue"`
-	BuildStore buildstore.Metrics `json:"build_store"`
-	Exec       ExecMetrics        `json:"exec"`
+	UptimeSecs float64               `json:"uptime_secs"`
+	Draining   bool                  `json:"draining"`
+	Jobs       JobCounts             `json:"jobs"`
+	Queue      QueueState            `json:"queue"`
+	Tenants    []cluster.TenantStats `json:"tenants,omitempty"`
+	Autoscale  *AutoscaleMetrics     `json:"autoscale,omitempty"`
+	Cluster    *ClusterMetrics       `json:"cluster,omitempty"`
+	BuildStore buildstore.Metrics    `json:"build_store"`
+	Exec       ExecMetrics           `json:"exec"`
 }
 
 // JobCounts breaks down admission and outcomes.
 type JobCounts struct {
-	Accepted        int64 `json:"accepted"`
-	Completed       int64 `json:"completed"`
-	Rejected        int64 `json:"rejected"`
+	Accepted  int64 `json:"accepted"`
+	Completed int64 `json:"completed"`
+	Rejected  int64 `json:"rejected"`
+	// TenantRejected counts per-tenant quota refusals (a subset of
+	// backpressure distinct from shared-queue rejections).
+	TenantRejected  int64 `json:"tenant_rejected"`
+	Batches         int64 `json:"batches"`
+	BatchJobs       int64 `json:"batch_jobs"`
 	Ok              int64 `json:"ok"`
 	CFIViolations   int64 `json:"cfi_violations"`
 	Faults          int64 `json:"faults"`
@@ -531,12 +844,43 @@ type JobCounts struct {
 	BuildErrors     int64 `json:"build_errors"`
 }
 
-// QueueState reports live backpressure.
+// QueueState reports live backpressure, including queue-latency
+// percentiles over the recent sample window (what the autoscaler
+// steers on) and the Retry-After estimate 429s currently carry.
 type QueueState struct {
-	Depth    int `json:"depth"`
-	Capacity int `json:"capacity"`
-	Workers  int `json:"workers"`
-	Busy     int `json:"busy"`
+	Depth          int     `json:"depth"`
+	Capacity       int     `json:"capacity"`
+	Workers        int     `json:"workers"`
+	Busy           int     `json:"busy"`
+	P50Ms          float64 `json:"queue_p50_ms"`
+	P95Ms          float64 `json:"queue_p95_ms"`
+	P99Ms          float64 `json:"queue_p99_ms"`
+	RetryAfterSecs int     `json:"retry_after_secs"`
+}
+
+// AutoscaleMetrics reports the worker autoscaler's state.
+type AutoscaleMetrics struct {
+	Enabled bool `json:"enabled"`
+	Workers int  `json:"workers"`
+	cluster.AutoscaleStats
+}
+
+// PeerStatus is one replica's health as seen from this one.
+type PeerStatus struct {
+	URL       string `json:"url"`
+	Self      bool   `json:"self,omitempty"`
+	Up        bool   `json:"up"`
+	ProxiedTo int64  `json:"proxied_to,omitempty"`
+}
+
+// ClusterMetrics reports fingerprint-routing state.
+type ClusterMetrics struct {
+	Self           string       `json:"self"`
+	VNodes         int          `json:"vnodes"`
+	Peers          []PeerStatus `json:"peers"`
+	ProxiedIn      int64        `json:"proxied_in"`
+	ProxiedOut     int64        `json:"proxied_out"`
+	ProxyFallbacks int64        `json:"proxy_fallbacks"`
 }
 
 // ExecMetrics aggregates guest execution across all completed jobs.
@@ -562,6 +906,7 @@ type ExecMetrics struct {
 func (s *Server) MetricsSnapshot() Metrics {
 	execSecs := float64(s.execNanos.Load()) / 1e9
 	instret := s.instret.Load()
+	qs := s.qlat.Quantiles(0.50, 0.95, 0.99)
 	m := Metrics{
 		UptimeSecs: time.Since(s.start).Seconds(),
 		Draining:   s.Draining(),
@@ -569,6 +914,9 @@ func (s *Server) MetricsSnapshot() Metrics {
 			Accepted:        s.accepted.Load(),
 			Completed:       s.completed.Load(),
 			Rejected:        s.rejected.Load(),
+			TenantRejected:  s.tenantRejected.Load(),
+			Batches:         s.batches.Load(),
+			BatchJobs:       s.batchJobs.Load(),
 			Ok:              s.ok.Load(),
 			CFIViolations:   s.cfi.Load(),
 			Faults:          s.faults.Load(),
@@ -578,11 +926,16 @@ func (s *Server) MetricsSnapshot() Metrics {
 			BuildErrors:     s.buildErrs.Load(),
 		},
 		Queue: QueueState{
-			Depth:    len(s.queue),
-			Capacity: s.cfg.QueueDepth,
-			Workers:  s.cfg.Workers,
-			Busy:     int(s.busy.Load()),
+			Depth:          s.sched.Queued(),
+			Capacity:       s.cfg.QueueDepth,
+			Workers:        s.Workers(),
+			Busy:           int(s.busy.Load()),
+			P50Ms:          ms(qs[0]),
+			P95Ms:          ms(qs[1]),
+			P99Ms:          ms(qs[2]),
+			RetryAfterSecs: s.retryAfterSecs(),
 		},
+		Tenants:    s.sched.Stats(),
 		BuildStore: s.store.Metrics(),
 		Exec: ExecMetrics{
 			GuestInstret:   instret,
@@ -597,6 +950,16 @@ func (s *Server) MetricsSnapshot() Metrics {
 			JITColdSteps:   s.jitColdSteps.Load(),
 		},
 	}
+	am := AutoscaleMetrics{Enabled: s.scaler != nil, Workers: m.Queue.Workers}
+	if s.scaler != nil {
+		am.AutoscaleStats = s.scaler.Stats()
+	} else {
+		am.Min, am.Max = s.cfg.WorkersMin, s.cfg.WorkersMax
+	}
+	m.Autoscale = &am
+	if s.ring != nil {
+		m.Cluster = s.clusterMetrics()
+	}
 	if execSecs > 0 {
 		m.Exec.MinstrPerSec = float64(instret) / execSecs / 1e6
 	}
@@ -609,13 +972,14 @@ func (s *Server) MetricsSnapshot() Metrics {
 // --- HTTP surface ---
 
 // Handler returns the service mux. The surface is versioned under
-// /v1/ — POST /v1/run, GET /v1/healthz, GET /v1/metrics, and the
-// store protocol at /v1/store/{key} (GET/HEAD/PUT of sealed blobs,
-// backed by the disk tier) — with the original unversioned routes
-// kept as aliases so existing clients keep working.
+// /v1/ — POST /v1/run, POST /v1/batch, GET /v1/healthz, GET
+// /v1/metrics, and the store protocol at /v1/store/{key} (GET/HEAD/PUT
+// of sealed blobs, backed by the disk tier) — with the original
+// unversioned routes kept as aliases so existing clients keep working.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.Handle("/v1/store/", s.storeHandler())
@@ -640,26 +1004,50 @@ func (s *Server) storeHandler() http.Handler {
 	return buildstore.Handler(s.disk, s.cfg.StoreSecret)
 }
 
+// writeSubmitError maps an admission error onto the HTTP surface,
+// attaching Retry-After to backpressure responses so clients know
+// when the queue should have drained.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrTenantBusy):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	var req JobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return
 	}
-	res, err := s.Submit(r.Context(), req)
-	switch {
-	case errors.Is(err, ErrBusy):
-		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	var req JobRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return
-	case errors.Is(err, ErrDraining):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	case err != nil:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+	routed := r.Header.Get(headerRouted) != ""
+	if !routed && s.ring != nil {
+		if owner, ok := s.ownerOf(req); ok && owner != s.self {
+			if s.relay(w, r.Context(), owner, "/v1/run", body) {
+				return
+			}
+		}
+	}
+	if routed {
+		s.proxiedIn.Add(1)
+	}
+	res, err := s.submit(r.Context(), req, routed)
+	if err != nil {
+		s.writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, res)

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# cluster_bench.sh — the serving-cluster scaling experiment.
+#
+# Measures jobs/s for the same synthetic corpus served by one replica
+# versus three fingerprint-routed replicas, appending both runs as
+# mcfi-bench records (experiment "serving_cluster", benchmarks
+# "replicas=1" / "replicas=3") to one snapshot, and fails unless the
+# 3-replica rate is at least RATIO_MIN times the 1-replica rate.
+#
+# Method (see EXPERIMENTS.md "Serving-cluster scaling"): every replica
+# gets an in-memory build cache (-cache-entries) smaller than the
+# corpus working set (-distinct), so a single replica thrashes — most
+# jobs pay a full MCFI build — while three replicas shard the corpus
+# by build fingerprint and each shard fits its owner's cache. On a
+# single-core host this isolates the cache-aggregation effect: the
+# replicas add no CPU, only cache.
+#
+# Usage:
+#   scripts/cluster_bench.sh [out.json]
+# Tunables (env): N1 N3 DISTINCT FUNCS CACHE WORKERS QUEUE CONC BATCH
+#                 TENANTS RATIO_MIN BASE_PORT
+set -euo pipefail
+
+OUT=${1:-BENCH_$(date +%F)_serving_cluster.json}
+N1=${N1:-2500}             # jobs against the single replica
+N3=${N3:-10000}            # jobs against the 3-replica set
+DISTINCT=${DISTINCT:-64}   # corpus working set (distinct fingerprints)
+FUNCS=${FUNCS:-1024}       # functions per synthetic variant (sets build cost)
+CACHE=${CACHE:-32}         # per-replica mem-tier capacity, < DISTINCT
+WORKERS=${WORKERS:-2}
+QUEUE=${QUEUE:-64}
+CONC=${CONC:-16}
+BATCH=${BATCH:-16}
+TENANTS=${TENANTS:-alpha,beta,gamma}
+RATIO_MIN=${RATIO_MIN:-2.0}
+BASE_PORT=${BASE_PORT:-8481}
+
+cd "$(dirname "$0")/.."
+BIN=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$BIN"' EXIT
+go build -o "$BIN/mcfi-serve" ./cmd/mcfi-serve
+go build -o "$BIN/mcfi-load" ./cmd/mcfi-load
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    curl -sf "$1/v1/healthz" >/dev/null && return 0
+    sleep 0.2
+  done
+  echo "replica $1 never became healthy" >&2
+  return 1
+}
+
+echo "== phase 1: single replica, $N1 jobs (cache $CACHE < working set $DISTINCT: thrash) =="
+"$BIN/mcfi-serve" -addr "127.0.0.1:$BASE_PORT" -workers "$WORKERS" -queue "$QUEUE" \
+  -cache-entries "$CACHE" &
+SINGLE=$!
+wait_healthy "http://127.0.0.1:$BASE_PORT"
+"$BIN/mcfi-load" -addrs "http://127.0.0.1:$BASE_PORT" -c "$CONC" -batch "$BATCH" \
+  -tenants "$TENANTS" -distinct "$DISTINCT" -synth-funcs "$FUNCS" -n "$N1" \
+  -bench-json "$OUT" -bench-label replicas=1
+kill -TERM "$SINGLE" && wait "$SINGLE" || true
+
+echo "== phase 2: 3 replicas, $N3 jobs (each shard fits its owner's cache) =="
+PEERS=""
+for i in 0 1 2; do
+  PEERS="$PEERS,http://127.0.0.1:$((BASE_PORT + i))"
+done
+PEERS=${PEERS#,}
+PIDS=""
+for i in 0 1 2; do
+  url="http://127.0.0.1:$((BASE_PORT + i))"
+  "$BIN/mcfi-serve" -addr "127.0.0.1:$((BASE_PORT + i))" -workers "$WORKERS" \
+    -queue "$QUEUE" -cache-entries "$CACHE" -self "$url" -peers "$PEERS" &
+  PIDS="$PIDS $!"
+done
+for i in 0 1 2; do
+  wait_healthy "http://127.0.0.1:$((BASE_PORT + i))"
+done
+"$BIN/mcfi-load" -addrs "$PEERS" -c "$CONC" -batch "$BATCH" \
+  -tenants "$TENANTS" -distinct "$DISTINCT" -synth-funcs "$FUNCS" -n "$N3" \
+  -bench-json "$OUT" -bench-label replicas=3
+for pid in $PIDS; do kill -TERM "$pid" 2>/dev/null || true; done
+for pid in $PIDS; do wait "$pid" || true; done
+
+python3 - "$OUT" "$RATIO_MIN" <<'EOF'
+import json, sys
+recs = {r["benchmark"]: r for r in json.load(open(sys.argv[1]))
+        if r["experiment"] == "serving_cluster"}
+one, three = recs["replicas=1"], recs["replicas=3"]
+ratio = three["minstr_per_sec"] / one["minstr_per_sec"]
+print(f'replicas=1: {one["minstr_per_sec"]:.1f} jobs/s   '
+      f'replicas=3: {three["minstr_per_sec"]:.1f} jobs/s   scaling: {ratio:.2f}x')
+if ratio < float(sys.argv[2]):
+    sys.exit(f'cluster scaling {ratio:.2f}x below required {sys.argv[2]}x')
+EOF
+echo "snapshot written to $OUT"
