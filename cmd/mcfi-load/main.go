@@ -148,6 +148,12 @@ func appendBenchRecord(path, label string, rep *server.LoadReport) error {
 		StoreHits:    rep.StoreTiers,
 		StoreBuilds:  rep.StoreTiers["built"],
 	}
+	if len(rep.TenantLoads) > 0 {
+		rec.TenantLatMs = make(map[string][3]float64, len(rep.TenantLoads))
+		for _, t := range rep.TenantLoads {
+			rec.TenantLatMs[t.Tenant] = [3]float64{t.P50Ms, t.P95Ms, t.P99Ms}
+		}
+	}
 	// Replace a same-key record from a prior run, else append.
 	replaced := false
 	for i := range recs {

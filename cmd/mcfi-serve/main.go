@@ -14,8 +14,11 @@
 //
 //	POST /v1/run        {"workload":"qsort","work":2000}  or  {"source":"int main..."}
 //	POST /v1/batch      {"tenant":"a","jobs":[...]} — one round trip, atomic admission
-//	GET  /v1/healthz    200 while serving, 503 once draining
+//	GET  /v1/healthz    200 while serving, 503 once draining; JSON self-ID body
 //	GET  /v1/metrics    JSON counters: jobs, queue, tenants, cluster, build store
+//	GET  /v1/metrics?format=prom  the same snapshot in Prometheus text format
+//	GET  /v1/trace/{id} one sampled job's span set (see -trace-sample)
+//	GET  /v1/audit      recent CFI-violation audit records (see -audit-log)
 //	GET  /v1/store/{k}  sealed artifact blobs (also HEAD/PUT) — replica sharing
 //
 // Admission runs through a per-tenant deficit-weighted round-robin
@@ -41,6 +44,16 @@
 // exposed port cannot be used to poison the cache with a hostile
 // artifact.
 //
+// Observability: every job is assigned a trace ID at ingress
+// (propagated across replica hops in X-Mcfi-Trace) and, when sampled
+// by -trace-sample, its admission/queue/build/run spans are
+// retrievable at /v1/trace/{id}. Every CFI violation emits an audit
+// record — tenant, build fingerprint, faulting PC, refused branch
+// target, check kind — kept in a bounded ring at /v1/audit and
+// optionally appended as NDJSON to -audit-log. -pprof-addr serves
+// net/http/pprof on a separate listener so profiling is never exposed
+// on the job port.
+//
 // On SIGTERM/SIGINT the server stops admitting jobs, finishes the
 // queue within -drain-grace, force-cancels whatever is still running,
 // and exits.
@@ -50,8 +63,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -87,6 +102,13 @@ func parseWeights(s string) (map[string]int, error) {
 	return out, nil
 }
 
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
 func parseList(s string) []string {
 	var out []string
 	for _, p := range strings.Split(s, ",") {
@@ -119,6 +141,11 @@ func main() {
 	storeSecret := flag.String("store-secret", os.Getenv("MCFI_STORE_SECRET"),
 		"shared secret authenticating /v1/store writes (empty = store surface is read-only; default $MCFI_STORE_SECRET)")
 	buildJobs := flag.Int("build-jobs", 0, "compile concurrency per build (0 = 1)")
+	traceSample := flag.Float64("trace-sample", 1.0, "fraction of jobs traced end to end (0 disables tracing)")
+	traceBuffer := flag.Int("trace-buffer", 0, "traces retained in memory (0 = 1024)")
+	auditLog := flag.String("audit-log", "", "append every CFI-violation audit record as NDJSON to this file")
+	auditBuffer := flag.Int("audit-buffer", 0, "audit records retained in memory (0 = 1024)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "time queued jobs get to finish on shutdown")
 	flag.Parse()
 
@@ -128,6 +155,21 @@ func main() {
 	weights, err := parseWeights(*tenantWeights)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Config treats 0 as "default on" — the flag's 0 means "off".
+	sample := *traceSample
+	if sample <= 0 {
+		sample = -1
+	}
+	var auditSink io.Writer // stays a true nil interface when unset
+	if *auditLog != "" {
+		f, ferr := os.OpenFile(*auditLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			log.Fatalf("audit log: %v", ferr)
+		}
+		defer f.Close()
+		auditSink = f
 	}
 
 	s, err := server.New(server.Config{
@@ -152,6 +194,10 @@ func main() {
 		DefaultMaxInstr: *maxInstr,
 		DefaultTimeout:  *timeout,
 		BuildJobs:       *buildJobs,
+		TraceSample:     sample,
+		TraceBuffer:     *traceBuffer,
+		AuditBuffer:     *auditBuffer,
+		AuditSink:       auditSink,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -169,6 +215,28 @@ func main() {
 	}
 	if m := s.MetricsSnapshot().Autoscale; m != nil && m.Enabled {
 		log.Printf("autoscale: %d..%d workers, p95 target %.0fms", m.Min, m.Max, m.TargetP95Ms)
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own listener and an explicit mux: the job
+		// port never exposes the profiling surface.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+		log.Printf("pprof on %s", *pprofAddr)
+	}
+	if sample > 0 {
+		log.Printf("tracing: sample=%.3g, audit-log=%s", *traceSample, orDash(*auditLog))
+	} else {
+		log.Printf("tracing: off, audit-log=%s", orDash(*auditLog))
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}

@@ -3,9 +3,19 @@ package buildstore
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mcfi/internal/linker"
 )
+
+// BuildTrace times one GetOrBuild's phases for the job tracer: the
+// tier probe, the build itself (zero on a hit), and time spent waiting
+// on another request's in-flight build of the same key.
+type BuildTrace struct {
+	ProbeNs int64
+	BuildNs int64
+	WaitNs  int64
+}
 
 // DefaultFailedEntries bounds the negative cache (deterministic build
 // failures remembered so a bad source is not recompiled per request).
@@ -104,48 +114,62 @@ func (t *Tiered) probe(key string) (*linker.Image, Tier, bool) {
 // TierMem: they received an in-memory shared result). Build failures
 // are cached, so repeat requests for a broken source fail fast.
 func (t *Tiered) GetOrBuild(key string, build func() (*linker.Image, error)) (*linker.Image, Tier, error) {
+	img, tier, _, err := t.GetOrBuildTraced(key, build)
+	return img, tier, err
+}
+
+// GetOrBuildTraced is GetOrBuild with per-phase timings for the job
+// tracer.
+func (t *Tiered) GetOrBuildTraced(key string, build func() (*linker.Image, error)) (*linker.Image, Tier, BuildTrace, error) {
+	var bt BuildTrace
 	if !ValidKey(key) {
-		return nil, "", errBadKey
+		return nil, "", bt, errBadKey
 	}
 	t.mu.Lock()
 	if err, ok := t.failed[key]; ok {
 		t.mu.Unlock()
 		t.countHit(TierMem)
-		return nil, TierMem, err
+		return nil, TierMem, bt, err
 	}
 	if f, ok := t.inflight[key]; ok {
 		t.mu.Unlock()
+		wait := time.Now()
 		<-f.done
+		bt.WaitNs = time.Since(wait).Nanoseconds()
 		// Waiters share the leader's in-memory result (or its failure),
 		// and count as hits either way, like the old BuildCache.
 		t.countHit(TierMem)
-		return f.img, TierMem, f.err
+		return f.img, TierMem, bt, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	t.inflight[key] = f
 	t.mu.Unlock()
 
+	start := time.Now()
 	img, tier, ok := t.probe(key)
+	bt.ProbeNs = time.Since(start).Nanoseconds()
 	if ok {
 		t.countHit(tier)
 		t.settle(key, f, img, nil)
-		return img, tier, nil
+		return img, tier, bt, nil
 	}
 
 	t.misses.Add(1)
 	t.builds.Add(1)
+	start = time.Now()
 	img, err := build()
+	bt.BuildNs = time.Since(start).Nanoseconds()
 	if err != nil {
 		t.failedBuilds.Add(1)
 		t.noteFailed(key, err)
 		t.settle(key, f, nil, err)
-		return nil, TierBuilt, err
+		return nil, TierBuilt, bt, err
 	}
 	for _, s := range t.tiers {
 		s.Put(key, img) // best-effort write-through
 	}
 	t.settle(key, f, img, nil)
-	return img, TierBuilt, nil
+	return img, TierBuilt, bt, nil
 }
 
 // settle publishes a flight's result and releases its waiters.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Admission errors. A QuotaError (per-tenant refusal) is distinct
@@ -61,6 +62,7 @@ type SchedConfig struct {
 type entry[T any] struct {
 	v    T
 	cost int64
+	at   time.Time // enqueue time, for the queue-wait window
 }
 
 type schedTenant[T any] struct {
@@ -74,6 +76,10 @@ type schedTenant[T any] struct {
 	instrInFlight int64
 
 	submitted, refused, dequeued, completed int64
+
+	// qwait samples this tenant's admission-to-dequeue latency (the
+	// per-tenant view behind the fleet-wide autoscaler window).
+	qwait *Window
 }
 
 func (t *schedTenant[T]) weight() int {
@@ -95,6 +101,11 @@ type TenantStats struct {
 	Refused       int64  `json:"refused"`
 	Dequeued      int64  `json:"dequeued"`
 	Completed     int64  `json:"completed"`
+	// Queue-wait percentiles over the tenant's recent dequeues
+	// (milliseconds; zero until the first dequeue).
+	QueueP50Ms float64 `json:"queue_p50_ms"`
+	QueueP95Ms float64 `json:"queue_p95_ms"`
+	QueueP99Ms float64 `json:"queue_p99_ms"`
 }
 
 // Sched is a deficit-weighted round-robin scheduler over per-tenant
@@ -225,8 +236,9 @@ func (s *Sched[T]) SubmitBatch(tenant string, costs []int64, vs []T) error {
 		s.mu.Unlock()
 		return err
 	}
+	now := time.Now()
 	for i, v := range vs {
-		t.fifo = append(t.fifo, entry[T]{v: v, cost: costs[i]})
+		t.fifo = append(t.fifo, entry[T]{v: v, cost: costs[i], at: now})
 	}
 	t.submitted += int64(len(vs))
 	t.instrInFlight += extra
@@ -264,6 +276,12 @@ func (s *Sched[T]) pop() (T, bool) {
 	}
 	e := t.fifo[0]
 	t.fifo = t.fifo[1:]
+	if !e.at.IsZero() {
+		if t.qwait == nil {
+			t.qwait = NewWindow(256)
+		}
+		t.qwait.Observe(time.Since(e.at))
+	}
 	t.credit--
 	t.dequeued++
 	t.running++
@@ -383,7 +401,7 @@ func (s *Sched[T]) Stats() []TenantStats {
 	defer s.mu.Unlock()
 	out := make([]TenantStats, 0, len(s.tenants))
 	for _, t := range s.tenants {
-		out = append(out, TenantStats{
+		st := TenantStats{
 			Tenant:        t.name,
 			Weight:        t.weight(),
 			Queued:        len(t.fifo),
@@ -393,7 +411,14 @@ func (s *Sched[T]) Stats() []TenantStats {
 			Refused:       t.refused,
 			Dequeued:      t.dequeued,
 			Completed:     t.completed,
-		})
+		}
+		if t.qwait != nil {
+			qs := t.qwait.Quantiles(0.5, 0.95, 0.99)
+			st.QueueP50Ms = float64(qs[0]) / 1e6
+			st.QueueP95Ms = float64(qs[1]) / 1e6
+			st.QueueP99Ms = float64(qs[2]) / 1e6
+		}
+		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
 	return out

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Prom renders metrics in the Prometheus text exposition format
+// (version 0.0.4). Families are emitted in the order first added, each
+// exactly once (a duplicate family name is silently merged into the
+// first, preserving the format's one-TYPE-per-name rule), with all of
+// a family's series contiguous under its HELP/TYPE header. NaN and
+// infinite values are dropped rather than emitted — a scraper should
+// never see a non-finite sample from us.
+type Prom struct {
+	buf   bytes.Buffer
+	typed map[string]bool
+}
+
+// Label is one name="value" pair.
+type Label struct {
+	Name, Value string
+}
+
+// NewProm returns an empty exposition.
+func NewProm() *Prom { return &Prom{typed: map[string]bool{}} }
+
+// header writes the HELP/TYPE block once per family.
+func (p *Prom) header(name, typ, help string) bool {
+	if p.typed[name] {
+		return false
+	}
+	p.typed[name] = true
+	if help != "" {
+		fmt.Fprintf(&p.buf, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(&p.buf, "# TYPE %s %s\n", name, typ)
+	return true
+}
+
+func (p *Prom) sample(name string, labels []Label, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	p.buf.WriteString(name)
+	writeLabels(&p.buf, labels)
+	fmt.Fprintf(&p.buf, " %s\n", formatValue(v))
+}
+
+// Counter emits one counter family with a single unlabeled sample.
+func (p *Prom) Counter(name, help string, v float64) {
+	p.CounterVec(name, help, []Label(nil), v)
+}
+
+// CounterVec emits one labeled counter sample, opening the family on
+// first use. Callers must group a family's samples together.
+func (p *Prom) CounterVec(name, help string, labels []Label, v float64) {
+	p.header(name, "counter", help)
+	p.sample(name, labels, v)
+}
+
+// Gauge emits one gauge family with a single unlabeled sample.
+func (p *Prom) Gauge(name, help string, v float64) {
+	p.GaugeVec(name, help, nil, v)
+}
+
+// GaugeVec emits one labeled gauge sample.
+func (p *Prom) GaugeVec(name, help string, labels []Label, v float64) {
+	p.header(name, "gauge", help)
+	p.sample(name, labels, v)
+}
+
+// Histogram emits a histogram family from a HistVec snapshot, one
+// series per label value of labelName.
+func (p *Prom) Histogram(name, help, labelName string, series []LabeledHist) {
+	p.header(name, "histogram", help)
+	for _, s := range series {
+		base := []Label(nil)
+		if labelName != "" {
+			base = []Label{{labelName, s.Label}}
+		}
+		for i, bound := range s.Hist.Bounds {
+			p.sample(name+"_bucket",
+				append(append([]Label(nil), base...), Label{"le", formatValue(bound)}),
+				float64(s.Hist.Buckets[i]))
+		}
+		p.sample(name+"_bucket",
+			append(append([]Label(nil), base...), Label{"le", "+Inf"}),
+			float64(s.Hist.Count))
+		p.sample(name+"_sum", base, s.Hist.SumSecs)
+		p.sample(name+"_count", base, float64(s.Hist.Count))
+	}
+}
+
+// Bytes returns the rendered exposition.
+func (p *Prom) Bytes() []byte { return p.buf.Bytes() }
+
+func writeLabels(b *bytes.Buffer, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+}
+
+// formatValue renders a float the way Prometheus expects: integers
+// without a decimal point, everything else in shortest-round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// escapeLabel escapes a label value per the exposition format: only
+// backslash, double quote, and newline are escaped; everything else is
+// UTF-8 verbatim.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

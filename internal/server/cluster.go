@@ -31,6 +31,10 @@ import (
 // here, do not route again" (single-hop rule).
 const headerRouted = "X-Mcfi-Routed"
 
+// headerTrace propagates the ingress-minted trace ID across the
+// relay hop, so a proxied job is one trace on both replicas.
+const headerTrace = "X-Mcfi-Trace"
+
 // maxRequestBytes bounds one request body (a batch of sources).
 const maxRequestBytes = 32 << 20
 
@@ -86,12 +90,13 @@ func (s *Server) markPeerProxied(peer string) {
 // one. It returns false — nothing written — when the relay should
 // fall back to local execution: owner in its down cooldown, transport
 // failure, or owner draining (503).
-func (s *Server) relay(w http.ResponseWriter, ctx context.Context, owner, path string, body []byte) bool {
+func (s *Server) relay(w http.ResponseWriter, ctx context.Context, owner, path string, body []byte, trace string) bool {
 	if !s.peerUp(owner) {
 		s.proxyFallbacks.Add(1)
 		return false
 	}
-	resp, err := s.relayRequest(ctx, owner, path, body)
+	start := time.Now()
+	resp, err := s.relayRequestTraced(ctx, owner, path, body, trace)
 	if err != nil {
 		s.markPeerDown(owner)
 		s.proxyFallbacks.Add(1)
@@ -114,17 +119,25 @@ func (s *Server) relay(w http.ResponseWriter, ctx context.Context, owner, path s
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+	s.relaySpan(trace, owner, start, time.Since(start))
 	return true
 }
 
 // relayRequest performs the single-hop POST to a peer.
 func (s *Server) relayRequest(ctx context.Context, owner, path string, body []byte) (*http.Response, error) {
+	return s.relayRequestTraced(ctx, owner, path, body, "")
+}
+
+func (s *Server) relayRequestTraced(ctx context.Context, owner, path string, body []byte, trace string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(headerRouted, s.self)
+	if trace != "" {
+		req.Header.Set(headerTrace, trace)
+	}
 	return s.proxyClient.Do(req)
 }
 

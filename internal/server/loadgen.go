@@ -68,7 +68,9 @@ type TenantLoad struct {
 	Jobs     int64   `json:"jobs"`
 	Rejected int64   `json:"rejected_429"`
 	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
 	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
 }
 
 // ReplicaLoad is one replica's slice of a load run: jobs attributed by
@@ -156,8 +158,16 @@ func (b *loadBucket) observe(res *JobResult, latMs float64) {
 }
 
 func meanP95(lats []float64) (mean, p95 float64) {
+	mean, qs := meanQuantiles(lats, 0.95)
+	return mean, qs[0]
+}
+
+// meanQuantiles returns the mean and the nearest-rank quantiles of a
+// latency sample (zeros when empty).
+func meanQuantiles(lats []float64, ps ...float64) (float64, []float64) {
+	qs := make([]float64, len(ps))
 	if len(lats) == 0 {
-		return 0, 0
+		return 0, qs
 	}
 	sorted := append([]float64(nil), lats...)
 	sort.Float64s(sorted)
@@ -165,14 +175,17 @@ func meanP95(lats []float64) (mean, p95 float64) {
 	for _, v := range sorted {
 		sum += v
 	}
-	k := int(float64(len(sorted))*0.95+0.5) - 1
-	if k < 0 {
-		k = 0
+	for i, p := range ps {
+		k := int(float64(len(sorted))*p+0.5) - 1
+		if k < 0 {
+			k = 0
+		}
+		if k >= len(sorted) {
+			k = len(sorted) - 1
+		}
+		qs[i] = sorted[k]
 	}
-	if k >= len(sorted) {
-		k = len(sorted) - 1
-	}
-	return sum / float64(len(sorted)), sorted[k]
+	return sum / float64(len(sorted)), qs
 }
 
 // loadRun is the shared mutable state of one RunLoad.
@@ -578,10 +591,10 @@ func (lr *loadRun) finish(ctx context.Context) {
 	}
 
 	for tn, b := range lr.tenants {
-		mean, p95 := meanP95(b.latMs)
+		mean, qs := meanQuantiles(b.latMs, 0.50, 0.95, 0.99)
 		rep.TenantLoads = append(rep.TenantLoads, TenantLoad{
 			Tenant: tn, Jobs: b.jobs, Rejected: b.rejected,
-			MeanMs: mean, P95Ms: p95,
+			MeanMs: mean, P50Ms: qs[0], P95Ms: qs[1], P99Ms: qs[2],
 		})
 	}
 	sort.Slice(rep.TenantLoads, func(i, j int) bool { return rep.TenantLoads[i].Tenant < rep.TenantLoads[j].Tenant })
@@ -670,8 +683,8 @@ func (r *LoadReport) Summary() string {
 	}
 	fmt.Fprintln(&b)
 	for _, t := range r.TenantLoads {
-		fmt.Fprintf(&b, "  tenant %-12s %5d jobs, %4d rejected, mean %.1fms, p95 %.1fms\n",
-			t.Tenant, t.Jobs, t.Rejected, t.MeanMs, t.P95Ms)
+		fmt.Fprintf(&b, "  tenant %-12s %5d jobs, %4d rejected, mean %.1fms, p50 %.1fms, p95 %.1fms, p99 %.1fms\n",
+			t.Tenant, t.Jobs, t.Rejected, t.MeanMs, t.P50Ms, t.P95Ms, t.P99Ms)
 	}
 	for _, rl := range r.ReplicaLoads {
 		fmt.Fprintf(&b, "  replica %-24s %5d jobs (%d proxied), %3.0f%% store hits, mean %.1fms, p95 %.1fms\n",

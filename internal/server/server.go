@@ -46,6 +46,7 @@ import (
 	"mcfi/internal/buildstore"
 	"mcfi/internal/cluster"
 	"mcfi/internal/mrt"
+	"mcfi/internal/obs"
 	"mcfi/internal/toolchain"
 	"mcfi/internal/visa"
 	"mcfi/internal/vm"
@@ -137,6 +138,25 @@ type JobResult struct {
 	Output        string     `json:"output,omitempty"`
 	Error         string     `json:"error,omitempty"`
 	Fault         *FaultInfo `json:"fault,omitempty"`
+	// TraceID names the job's recorded trace, retrievable at
+	// /v1/trace/{id} on the executing replica while it stays in the
+	// ring (empty when the job was not sampled). Phases is the
+	// phase-duration summary attached to every completed job.
+	TraceID string        `json:"trace_id,omitempty"`
+	Phases  *PhaseSummary `json:"phases,omitempty"`
+}
+
+// PhaseSummary breaks a job's wall time into pipeline phases
+// (milliseconds). StoreMs covers the build-store probe (and any wait
+// on a coalesced in-flight build); CompileMs/LinkMs are nonzero only
+// when the job actually built (store tier "built").
+type PhaseSummary struct {
+	AdmissionMs float64 `json:"admission_ms"`
+	QueueMs     float64 `json:"queue_ms"`
+	StoreMs     float64 `json:"store_ms"`
+	CompileMs   float64 `json:"compile_ms"`
+	LinkMs      float64 `json:"link_ms"`
+	RunMs       float64 `json:"run_ms"`
 }
 
 // Config sizes the service.
@@ -205,6 +225,19 @@ type Config struct {
 	// BuildJobs bounds per-build compile concurrency (default 1: the
 	// pool itself provides the parallelism).
 	BuildJobs int
+	// TraceSample is the fraction of jobs traced end to end, decided
+	// deterministically from the trace ID so replicas agree without
+	// coordination (0 → default 1.0; negative → tracing off).
+	TraceSample float64
+	// TraceBuffer bounds retained traces (default
+	// obs.DefaultTraceBuffer); the oldest trace is evicted first.
+	TraceBuffer int
+	// AuditBuffer bounds the in-memory CFI audit ring (default
+	// obs.DefaultAuditBuffer). AuditSink, when set, additionally
+	// receives every audit record as one NDJSON line (the -audit-log
+	// file); sink errors are counted, never surfaced to jobs.
+	AuditBuffer int
+	AuditSink   io.Writer
 }
 
 func (c *Config) fillDefaults() {
@@ -241,6 +274,11 @@ func (c *Config) fillDefaults() {
 	if c.BuildJobs <= 0 {
 		c.BuildJobs = 1
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 1
+	} else if c.TraceSample < 0 {
+		c.TraceSample = 0 // explicit off
+	}
 }
 
 // job is one admitted request plus its completion signal.
@@ -252,8 +290,11 @@ type job struct {
 	maxInstr int64
 	timeout  time.Duration
 	proxied  bool
-	queuedAt time.Time
+	queuedAt time.Time     // ingress (job creation)
+	admitted time.Time     // scheduler accepted (zero if tracing off)
+	admitDur time.Duration // ingress → admitted
 	wait     time.Duration // set at dequeue
+	trace    string        // sampled trace ID, "" when unsampled
 	res      JobResult
 	done     chan struct{}
 }
@@ -296,6 +337,14 @@ type Server struct {
 	peerMu      sync.Mutex
 	peers       map[string]*peerState
 
+	// Observability plane: the sampled trace ring, the CFI audit log,
+	// and the latency histograms behind ?format=prom.
+	tracer    *obs.Recorder
+	audit     *obs.AuditLog
+	queueHist *obs.HistVec // by tenant
+	buildHist *obs.HistVec // by store tier
+	runHist   *obs.HistVec // by engine
+
 	// Metrics counters (lock-free).
 	accepted, completed, rejected          atomic.Int64
 	tenantRejected                         atomic.Int64
@@ -305,6 +354,7 @@ type Server struct {
 	budget, buildErrs                      atomic.Int64
 	instret, execNanos                     atomic.Int64
 	checkExecs, checkHalts, vHits, vMisses atomic.Int64
+	icacheFills                            atomic.Int64
 	jitBlocks, jitCompileNanos             atomic.Int64
 	jitBlockRuns, jitColdSteps             atomic.Int64
 }
@@ -346,6 +396,11 @@ func New(cfg Config) (*Server, error) {
 		qlat:        cluster.NewWindow(1024),
 		completions: cluster.NewRateMeter(512, 10*time.Second),
 		start:       time.Now(),
+		tracer:      obs.NewRecorder(cfg.TraceSample, cfg.TraceBuffer),
+		audit:       obs.NewAuditLog(cfg.AuditBuffer, cfg.AuditSink),
+		queueHist:   obs.NewHistVec(nil),
+		buildHist:   obs.NewHistVec(nil),
+		runHist:     obs.NewHistVec(nil),
 	}
 	s.force, s.forceStop = context.WithCancel(context.Background())
 
@@ -461,10 +516,12 @@ func (s *Server) newJob(ctx context.Context, req JobRequest, proxied bool) *job 
 // submitJob admits one job through the scheduler, mapping scheduler
 // errors to the server's admission errors and counting rejections.
 func (s *Server) submitJob(j *job) error {
+	s.stampAdmission(j)
 	err := s.sched.Submit(j.tenant, j.cost, j)
 	switch {
 	case err == nil:
 		s.accepted.Add(1)
+		s.admitSpan(j)
 		return nil
 	case errors.Is(err, cluster.ErrClosed):
 		return ErrDraining
@@ -490,7 +547,14 @@ func (s *Server) Submit(ctx context.Context, req JobRequest) (JobResult, error) 
 }
 
 func (s *Server) submit(ctx context.Context, req JobRequest, proxied bool) (JobResult, error) {
+	return s.submitTraced(ctx, req, proxied, "")
+}
+
+// submitTraced is submit with an ingress-minted (or peer-propagated)
+// trace ID; empty mints a fresh one.
+func (s *Server) submitTraced(ctx context.Context, req JobRequest, proxied bool, trace string) (JobResult, error) {
 	j := s.newJob(ctx, req, proxied)
+	j.trace = s.adoptTrace(trace)
 	if err := s.submitJob(j); err != nil {
 		return JobResult{}, err
 	}
@@ -528,7 +592,9 @@ func (s *Server) admitBatch(ctx context.Context, tenant string, reqs []JobReques
 		req.Tenant = tenant
 		jobs[i] = s.newJob(ctx, req, proxied)
 		jobs[i].tenant = tenant
+		jobs[i].trace = s.adoptTrace("")
 		costs[i] = jobs[i].cost
+		s.stampAdmission(jobs[i])
 	}
 	err := s.sched.SubmitBatch(tenant, costs, jobs)
 	switch {
@@ -536,6 +602,9 @@ func (s *Server) admitBatch(ctx context.Context, tenant string, reqs []JobReques
 		s.accepted.Add(int64(len(jobs)))
 		s.batches.Add(1)
 		s.batchJobs.Add(int64(len(jobs)))
+		for _, j := range jobs {
+			s.admitSpan(j)
+		}
 		return jobs, nil
 	case errors.Is(err, cluster.ErrClosed):
 		return nil, ErrDraining
@@ -596,6 +665,11 @@ func (s *Server) worker(h *workerHandle) {
 		}
 		j.wait = time.Since(j.queuedAt)
 		s.qlat.Observe(j.wait)
+		s.queueHist.Observe(j.tenant, j.wait)
+		if !j.admitted.IsZero() {
+			s.span(j, obs.SpanQueue, j.admitted, time.Since(j.admitted),
+				map[string]string{"tenant": j.tenant})
+		}
 		s.busy.Add(1)
 		j.res = s.runJob(j)
 		s.recordResult(j.res)
@@ -692,6 +766,7 @@ func (s *Server) runJob(j *job) JobResult {
 		Tenant:  j.tenant,
 		Replica: s.self,
 		Proxied: j.proxied,
+		TraceID: j.trace,
 	}
 	if err := j.ctx.Err(); err != nil {
 		res.Status, res.Error = StatusCancelled, "cancelled before execution"
@@ -710,12 +785,32 @@ func (s *Server) runJob(j *job) JobResult {
 	}
 
 	t0 := time.Now()
-	img, tier, err := b.BuildTiered(src)
-	res.BuildMs = ms(time.Since(t0))
+	img, tier, ph, err := b.BuildTraced(src)
+	buildDur := time.Since(t0)
+	res.BuildMs = ms(buildDur)
 	res.StoreTier = string(tier)
 	res.BuildCacheHit = tier != buildstore.TierBuilt
+	s.buildHist.Observe(string(tier), buildDur)
+	s.span(j, obs.SpanBuild, t0, buildDur, map[string]string{"tier": string(tier)})
+	if ph.StoreNs > 0 {
+		s.span(j, obs.SpanStore, t0, time.Duration(ph.StoreNs), nil)
+	}
+	if ph.CompileNs > 0 {
+		s.span(j, obs.SpanCompile, t0, time.Duration(ph.CompileNs), nil)
+	}
+	if ph.LinkNs > 0 {
+		s.span(j, obs.SpanLink, t0.Add(buildDur-time.Duration(ph.LinkNs)),
+			time.Duration(ph.LinkNs), nil)
+	}
 	if err != nil {
 		res.Status, res.Error = StatusBuildError, err.Error()
+		res.Phases = &PhaseSummary{
+			AdmissionMs: ms(j.admitDur),
+			QueueMs:     res.QueueMs,
+			StoreMs:     ms(time.Duration(ph.StoreNs)),
+			CompileMs:   ms(time.Duration(ph.CompileNs)),
+			LinkMs:      ms(time.Duration(ph.LinkNs)),
+		}
 		return res
 	}
 
@@ -755,10 +850,12 @@ func (s *Server) runJob(j *job) JobResult {
 	s.checkHalts.Add(st.Halts)
 	s.vHits.Add(st.VerdictHits)
 	s.vMisses.Add(st.VerdictMisses)
+	s.icacheFills.Add(st.ICacheFills)
 	s.jitBlocks.Add(st.JITBlocks)
 	s.jitCompileNanos.Add(st.JITCompileNanos)
 	s.jitBlockRuns.Add(st.JITBlockRuns)
 	s.jitColdSteps.Add(st.JITColdSteps)
+	s.runHist.Observe(engine.String(), execDur)
 
 	var fault *vm.Fault
 	switch {
@@ -778,12 +875,44 @@ func (s *Server) runJob(j *job) JobResult {
 		res.Fault = &FaultInfo{Kind: fault.Kind.String(), PC: fault.PC, Msg: fault.Msg}
 		if fault.Kind == vm.FaultCFI {
 			res.Status = StatusCFI
+			s.audit.Emit(obs.AuditRecord{
+				Trace:       j.trace,
+				Tenant:      j.tenant,
+				Replica:     s.self,
+				Job:         src.Name,
+				Engine:      engine.String(),
+				Fingerprint: b.Fingerprint(src),
+				PC:          fault.PC,
+				Target:      fault.Target,
+				Check:       fault.Check.String(),
+				Msg:         fault.Msg,
+				Instret:     res.Instret,
+			})
 		} else {
 			res.Status = StatusFault
 		}
 		res.Error = fault.Error()
 	default:
 		res.Status, res.Error = StatusFault, runErr.Error()
+	}
+	s.span(j, obs.SpanRun, t1, execDur, map[string]string{
+		"engine":         engine.String(),
+		"status":         res.Status,
+		"instret":        strconv.FormatInt(res.Instret, 10),
+		"check_execs":    strconv.FormatInt(st.Execs, 10),
+		"check_halts":    strconv.FormatInt(st.Halts, 10),
+		"verdict_hits":   strconv.FormatInt(st.VerdictHits, 10),
+		"icache_fills":   strconv.FormatInt(st.ICacheFills, 10),
+		"jit_blocks":     strconv.FormatInt(st.JITBlocks, 10),
+		"jit_block_runs": strconv.FormatInt(st.JITBlockRuns, 10),
+	})
+	res.Phases = &PhaseSummary{
+		AdmissionMs: ms(j.admitDur),
+		QueueMs:     res.QueueMs,
+		StoreMs:     ms(time.Duration(ph.StoreNs)),
+		CompileMs:   ms(time.Duration(ph.CompileNs)),
+		LinkMs:      ms(time.Duration(ph.LinkNs)),
+		RunMs:       res.RunMs,
 	}
 	return res
 }
@@ -823,6 +952,19 @@ type Metrics struct {
 	Cluster    *ClusterMetrics       `json:"cluster,omitempty"`
 	BuildStore buildstore.Metrics    `json:"build_store"`
 	Exec       ExecMetrics           `json:"exec"`
+	Obs        ObsMetrics            `json:"obs"`
+}
+
+// ObsMetrics reports the observability plane's own state: trace
+// sampling and retention, and the CFI audit log.
+type ObsMetrics struct {
+	TraceSampleRate float64 `json:"trace_sample_rate"`
+	TracesSampled   int64   `json:"traces_sampled"`
+	SpansRecorded   int64   `json:"spans_recorded"`
+	TracesEvicted   int64   `json:"traces_evicted"`
+	TracesRetained  int     `json:"traces_retained"`
+	AuditRecords    int64   `json:"audit_records_total"`
+	AuditSinkErrors int64   `json:"audit_sink_errors"`
 }
 
 // JobCounts breaks down admission and outcomes.
@@ -892,6 +1034,7 @@ type ExecMetrics struct {
 	CheckHalts    int64   `json:"check_halts"`
 	VerdictHits   int64   `json:"verdict_hits"`
 	VerdictMisses int64   `json:"verdict_misses"`
+	ICacheFills   int64   `json:"icache_fills"`
 	// Block-compiler counters, aggregated across jobs that ran the
 	// blockjit engine (zero otherwise). JITHotRatio is the fraction of
 	// dispatches served by compiled blocks.
@@ -944,6 +1087,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 			CheckHalts:     s.checkHalts.Load(),
 			VerdictHits:    s.vHits.Load(),
 			VerdictMisses:  s.vMisses.Load(),
+			ICacheFills:    s.icacheFills.Load(),
 			JITBlocks:      s.jitBlocks.Load(),
 			JITCompileSecs: float64(s.jitCompileNanos.Load()) / 1e9,
 			JITBlockRuns:   s.jitBlockRuns.Load(),
@@ -959,6 +1103,16 @@ func (s *Server) MetricsSnapshot() Metrics {
 	m.Autoscale = &am
 	if s.ring != nil {
 		m.Cluster = s.clusterMetrics()
+	}
+	ts := s.tracer.Stats()
+	m.Obs = ObsMetrics{
+		TraceSampleRate: s.tracer.SampleRate(),
+		TracesSampled:   ts.Sampled,
+		SpansRecorded:   ts.Spans,
+		TracesEvicted:   ts.Evicted,
+		TracesRetained:  ts.Retained,
+		AuditRecords:    s.audit.Total(),
+		AuditSinkErrors: s.audit.SinkErrs(),
 	}
 	if execSecs > 0 {
 		m.Exec.MinstrPerSec = float64(instret) / execSecs / 1e6
@@ -982,6 +1136,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/trace/", s.handleTrace)
+	mux.HandleFunc("/v1/audit", s.handleAudit)
 	mux.Handle("/v1/store/", s.storeHandler())
 	// Legacy (pre-/v1) aliases.
 	mux.HandleFunc("/run", s.handleRun)
@@ -1035,9 +1191,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	routed := r.Header.Get(headerRouted) != ""
+	// Trace IDs are minted at ingress and ride the relay hop in
+	// X-Mcfi-Trace, so a proxied job keeps one identity end to end.
+	trace := r.Header.Get(headerTrace)
+	if !routed || trace == "" {
+		trace = obs.Mint()
+	}
 	if !routed && s.ring != nil {
 		if owner, ok := s.ownerOf(req); ok && owner != s.self {
-			if s.relay(w, r.Context(), owner, "/v1/run", body) {
+			if s.relay(w, r.Context(), owner, "/v1/run", body, trace) {
 				return
 			}
 		}
@@ -1045,7 +1207,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if routed {
 		s.proxiedIn.Add(1)
 	}
-	res, err := s.submit(r.Context(), req, routed)
+	res, err := s.submitTraced(r.Context(), req, routed, trace)
 	if err != nil {
 		s.writeSubmitError(w, err)
 		return
@@ -1053,17 +1215,51 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, res)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
-		return
+// Health is the /v1/healthz body: enough for a load balancer or a
+// fleet dashboard to identify the replica without scraping /metrics.
+type Health struct {
+	Status     string  `json:"status"` // "ok" or "draining"
+	Version    string  `json:"version"`
+	Replica    string  `json:"replica,omitempty"` // Config.Self in cluster mode
+	Engine     string  `json:"engine"`            // default execution engine
+	Draining   bool    `json:"draining"`
+	UptimeSecs float64 `json:"uptime_secs"`
+	Workers    int     `json:"workers"`
+}
+
+func (s *Server) health() Health {
+	h := Health{
+		Status:     "ok",
+		Version:    Version,
+		Replica:    s.self,
+		Engine:     vm.EngineThreaded.String(),
+		Draining:   s.Draining(),
+		UptimeSecs: time.Since(s.start).Seconds(),
+		Workers:    s.Workers(),
 	}
-	writeJSON(w, map[string]any{"status": "ok"})
+	if h.Draining {
+		h.Status = "draining"
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(s.renderProm())
+		return
+	}
 	writeJSON(w, s.MetricsSnapshot())
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"mcfi/internal/buildstore"
 	"mcfi/internal/codegen"
@@ -240,17 +241,40 @@ func (b *Builder) Build(srcs ...Source) (*linker.Image, error) {
 // the image came from (a store tier, or buildstore.TierBuilt for a
 // fresh compile — always TierBuilt when no store is attached).
 func (b *Builder) BuildTiered(srcs ...Source) (*linker.Image, buildstore.Tier, error) {
-	if b.store == nil {
-		img, err := b.buildFromSource(srcs...)
-		return img, buildstore.TierBuilt, err
-	}
-	return b.store.GetOrBuild(b.Fingerprint(srcs...), func() (*linker.Image, error) {
-		return b.buildFromSource(srcs...)
-	})
+	img, tier, _, err := b.BuildTraced(srcs...)
+	return img, tier, err
 }
 
-// buildFromSource is the uncached compile+link pipeline.
-func (b *Builder) buildFromSource(srcs ...Source) (*linker.Image, error) {
+// BuildPhases times one build's phases for the job tracer: the store
+// probe (plus any wait on a coalesced in-flight build), and — on a
+// miss — the parallel compile section and the link.
+type BuildPhases struct {
+	Tier      buildstore.Tier
+	StoreNs   int64
+	CompileNs int64
+	LinkNs    int64
+}
+
+// BuildTraced is BuildTiered with per-phase timings.
+func (b *Builder) BuildTraced(srcs ...Source) (*linker.Image, buildstore.Tier, BuildPhases, error) {
+	var ph BuildPhases
+	if b.store == nil {
+		img, err := b.buildFromSource(&ph, srcs...)
+		ph.Tier = buildstore.TierBuilt
+		return img, buildstore.TierBuilt, ph, err
+	}
+	img, tier, bt, err := b.store.GetOrBuildTraced(b.Fingerprint(srcs...), func() (*linker.Image, error) {
+		return b.buildFromSource(&ph, srcs...)
+	})
+	ph.Tier = tier
+	ph.StoreNs = bt.ProbeNs + bt.WaitNs
+	return img, tier, ph, err
+}
+
+// buildFromSource is the uncached compile+link pipeline. ph, when
+// non-nil, receives the compile/link split.
+func (b *Builder) buildFromSource(ph *BuildPhases, srcs ...Source) (*linker.Image, error) {
+	start := time.Now()
 	objs := make([]*module.Object, len(srcs)+1)
 	errs := make([]error, len(srcs)+1)
 	sem := make(chan struct{}, b.jobs)
@@ -274,6 +298,9 @@ func (b *Builder) buildFromSource(srcs ...Source) (*linker.Image, error) {
 		objs[len(srcs)], errs[len(srcs)] = lc, err
 	}()
 	wg.Wait()
+	if ph != nil {
+		ph.CompileNs = time.Since(start).Nanoseconds()
+	}
 	// Report the first failure in source order, like a sequential
 	// driver would.
 	for _, err := range errs {
@@ -281,7 +308,12 @@ func (b *Builder) buildFromSource(srcs ...Source) (*linker.Image, error) {
 			return nil, err
 		}
 	}
-	return b.Link(objs...)
+	start = time.Now()
+	img, err := b.Link(objs...)
+	if ph != nil {
+		ph.LinkNs = time.Since(start).Nanoseconds()
+	}
+	return img, err
 }
 
 // Run builds and executes a program to completion, returning its exit

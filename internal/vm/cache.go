@@ -183,6 +183,7 @@ func (p *Process) cacheHit(pc int64) (*visa.Instr, int, bool) {
 // additionally fuse sandbox-mask + store pairs into trace
 // superinstructions.
 func (p *Process) cacheFill(pc int64) (*visa.Instr, int, error) {
+	p.icacheFills.Add(1)
 	ins, n, ok := p.tryFuse(pc)
 	if !ok {
 		var err error

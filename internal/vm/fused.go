@@ -324,7 +324,7 @@ func (t *Thread) stepFused(pc int64, ins *visa.Instr) error {
 			t.fa, t.fb, t.fFloat = 0, 0, false
 			t.Instret += int64(8*retries) + 7
 			t.PC = pc + rewrite.CheckHaltOffset
-			return t.fault(FaultCFI, "hlt")
+			return t.cfiFault(CheckIndirect, int64(target), "hlt")
 		}
 		t.fa, t.fb, t.fFloat = int64(bid&0xFFFF), int64(tid&0xFFFF), false
 		if bid&0xFFFF == tid&0xFFFF {
@@ -332,7 +332,7 @@ func (t *Thread) stepFused(pc int64, ins *visa.Instr) error {
 			// jne Try falls through; hlt: 9 instructions this round.
 			t.Instret += int64(8*retries) + 9
 			t.PC = pc + rewrite.CheckHaltOffset
-			return t.fault(FaultCFI, "hlt")
+			return t.cfiFault(CheckIndirect, int64(target), "hlt")
 		}
 		// Version mismatch: jne Try (taken), 8 instructions, go again.
 		if retries+1 >= maxFusedRetries {
@@ -468,14 +468,14 @@ func (t *Thread) stepFusedPLT(pc int64, ins *visa.Instr) error {
 			t.fa, t.fb, t.fFloat = 0, 0, false
 			t.Instret += 7
 			t.PC = pc + rewrite.PLTCheckHaltOffset
-			return t.fault(FaultCFI, "hlt")
+			return t.cfiFault(CheckPLT, int64(target), "hlt")
 		}
 		t.fa, t.fb, t.fFloat = int64(bid&0xFFFF), int64(tid&0xFFFF), false
 		if bid&0xFFFF == tid&0xFFFF {
 			// cmpw; jne Try falls through; hlt: 9 more this round.
 			t.Instret += 9
 			t.PC = pc + rewrite.PLTCheckHaltOffset
-			return t.fault(FaultCFI, "hlt")
+			return t.cfiFault(CheckPLT, int64(target), "hlt")
 		}
 		// Version mismatch: jne Try (taken), 8 more, reload the GOT and
 		// go again.

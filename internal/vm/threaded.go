@@ -67,7 +67,7 @@ func init() {
 	})
 	f(visa.HLT, func(t *Thread, ins *visa.Instr, pc, next int64) error {
 		t.Instret++
-		return t.fault(FaultCFI, "hlt")
+		return t.cfiHalt()
 	})
 	f(opFusedCheck, func(t *Thread, ins *visa.Instr, pc, next int64) error {
 		t.Instret++ // the leading and32

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mcfi/internal/rewrite"
 	"mcfi/internal/tables"
 	"mcfi/internal/visa"
 )
@@ -75,11 +76,46 @@ func (k FaultKind) String() string {
 	return "fault"
 }
 
+// CheckKind classifies which MCFI check template raised a CFI fault,
+// for the security audit log.
+type CheckKind int
+
+// Check kinds.
+const (
+	// CheckDirect is a raw hlt retired outside any registered check
+	// transaction — straight-line execution ran into rewritten padding
+	// or a corrupted code span.
+	CheckDirect CheckKind = iota
+	// CheckIndirect is the canonical Fig. 4 check transaction halting
+	// on an indirect branch target the tables refuse.
+	CheckIndirect
+	// CheckPLT is the PLT-stub (GOT-reloading) check variant.
+	CheckPLT
+)
+
+// String names the check kind as it appears in audit records.
+func (k CheckKind) String() string {
+	switch k {
+	case CheckIndirect:
+		return "indirect"
+	case CheckPLT:
+		return "plt"
+	}
+	return "direct"
+}
+
 // Fault is a guest execution fault.
 type Fault struct {
 	Kind FaultKind
 	PC   int64
 	Msg  string
+	// Check and Target classify FaultCFI for the audit log: the check
+	// template that halted and the masked branch target it refused
+	// (zero for a direct hlt and for non-CFI kinds). They do not
+	// appear in Error(), so engine-differential comparisons of error
+	// strings are unaffected.
+	Check  CheckKind
+	Target int64
 }
 
 func (f *Fault) Error() string {
@@ -157,6 +193,12 @@ type Process struct {
 	checkHalts  atomic.Int64
 	verdictHits atomic.Int64
 	pltExecs    atomic.Int64
+
+	// icacheFills counts cold predecodes into the per-page instruction
+	// cache — the cache-miss side of the perf ladder, exported for
+	// tracing (a first run on a replica shows a fill burst; a warm
+	// verdict-cached run shows none).
+	icacheFills atomic.Int64
 
 	// nextTID hands out thread ids; threads tracks live ones.
 	nextTID  atomic.Int64
@@ -266,6 +308,9 @@ type CheckStats struct {
 	// dynamically linked call sites execute fused rather than falling
 	// back to per-instruction stepping.
 	PLTExecs int64
+	// ICacheFills counts cold predecodes into the per-page instruction
+	// cache (zero under EngineInterp, which never caches).
+	ICacheFills int64
 	// Block-compiler counters (EngineBlockJIT; zero elsewhere).
 	// JITBlocks counts blocks compiled and JITCompileNanos the host
 	// time spent compiling them; JITBlockRuns counts compiled-block
@@ -293,6 +338,7 @@ func (p *Process) CheckStatsSnapshot() CheckStats {
 		VerdictHits:     hits,
 		VerdictMisses:   execs - hits,
 		PLTExecs:        p.pltExecs.Load(),
+		ICacheFills:     p.icacheFills.Load(),
 		JITBlocks:       p.jit.compiled.Load(),
 		JITCompileNanos: p.jit.compileNanos.Load(),
 		JITBlockRuns:    p.jit.blockRuns.Load(),
@@ -385,6 +431,40 @@ func (t *Thread) fault(kind FaultKind, format string, args ...interface{}) error
 		t.P.checkHalts.Add(1)
 	}
 	return &Fault{Kind: kind, PC: t.PC, Msg: fmt.Sprintf(format, args...)}
+}
+
+// cfiFault builds a classified CFI fault: the check template that
+// halted plus the masked branch target it refused, for the audit log.
+// It bumps checkHalts itself — callers must not also go through fault.
+func (t *Thread) cfiFault(check CheckKind, target int64, format string, args ...interface{}) error {
+	t.P.checkHalts.Add(1)
+	return &Fault{
+		Kind: FaultCFI, PC: t.PC, Msg: fmt.Sprintf(format, args...),
+		Check: check, Target: target,
+	}
+}
+
+// cfiHalt classifies a plain hlt retirement by position. The
+// non-fusing engines execute check transactions as ordinary
+// instructions, so a halted check surfaces here as a hlt at a known
+// offset inside a registered site; a hlt anywhere else is a direct
+// control transfer into rewritten padding. Classification keeps the
+// Fault identical across engines (the differential tests compare
+// faults, and the audit log must not depend on the engine).
+func (t *Thread) cfiHalt() error {
+	check, target := t.classifyHalt()
+	return t.cfiFault(check, target, "hlt")
+}
+
+func (t *Thread) classifyHalt() (CheckKind, int64) {
+	pc := t.PC
+	if _, s := t.P.fusedSiteAt(pc - rewrite.CheckHaltOffset); s != nil && s.gotAddr.Load() < 0 {
+		return CheckIndirect, int64(uint32(t.Reg[visa.R11]))
+	}
+	if _, s := t.P.fusedSiteAt(pc - rewrite.PLTCheckHaltOffset); s != nil && s.gotAddr.Load() >= 0 {
+		return CheckPLT, int64(uint32(t.Reg[visa.R11]))
+	}
+	return CheckDirect, 0
 }
 
 // memRange validates [addr, addr+n) and required protection.
@@ -608,7 +688,7 @@ func (t *Thread) Step() error {
 	switch ins.Op {
 	case visa.NOP:
 	case visa.HLT:
-		return t.fault(FaultCFI, "hlt")
+		return t.cfiHalt()
 	case opFusedCheck:
 		// The fused check transaction manages PC, flags, and Instret
 		// itself (Instret++ above covered its leading and32).
