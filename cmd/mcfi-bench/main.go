@@ -10,7 +10,7 @@
 //	mcfi-bench -diff -threshold 30 old.json new.json
 //
 // Experiments: fig5, fig6, stm, space, table1, table2, table3, air,
-// rop, cfggen, sanity, all. With -json, per-experiment results (and
+// rop, cfggen, updates, sanity, all. With -json, per-experiment results (and
 // per-workload runs for fig5/fig6) are also written as a
 // machine-readable snapshot for perf-trajectory tracking. With -diff,
 // no experiments run: the two snapshot files given as positional
@@ -63,11 +63,13 @@ func recordOverheadRows(exp string, c experiments.Config, rows []experiments.Ove
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig5 fig6 stm space table1 table2 table3 air rop cfggen sanity all)")
+	exp := flag.String("exp", "all", "experiment to run (fig5 fig6 stm space table1 table2 table3 air rop cfggen updates sanity all)")
 	profile := flag.Int("profile", 64, "VISA profile: 32 or 64")
 	work := flag.Int("work", 0, "override workload iteration count (0 = reference inputs)")
 	scale := flag.Float64("scale", 0.25, "Table 3 synthetic-module scale factor")
 	hz := flag.Int("hz", 50, "update-transaction frequency for fig6")
+	updModules := flag.Int("upd-modules", 24, "updates experiment: modules in the dlopen storm")
+	updCheckers := flag.Int("upd-checkers", 4, "updates experiment: concurrent check loops racing the storm")
 	engine := vm.EngineThreaded
 	flag.Var((*vm.EngineFlag)(&engine), "engine", vm.EngineUsage())
 	jitThreshold := flag.Int64("jit-threshold", 0, "blockjit engine: executions before a block is compiled (0 = vm default)")
@@ -151,6 +153,7 @@ func main() {
 	run("air", func() error { return airTable(c) })
 	run("rop", func() error { return ropTable(c) })
 	run("cfggen", func() error { return cfggen(c) })
+	run("updates", func() error { return updates(c, *updModules, *updCheckers) })
 
 	if *jsonPath != "" {
 		out, err := json.MarshalIndent(records, "", "  ")
@@ -382,6 +385,38 @@ func ropTable(c experiments.Config) error {
 		}
 		fmt.Printf("%-12s %10d %12d %10d %11.2f%%\n",
 			r.Name, r.Original, r.RawHardened, r.Usable, r.EliminationPct)
+	}
+	return nil
+}
+
+func updates(c experiments.Config, modules, checkers int) error {
+	rows, err := experiments.UpdateThroughput(c, modules, checkers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("update-transaction throughput — dlopen storm (%d modules, %d check loops, %d-byte base)\n",
+		rows[0].Modules, rows[0].Checkers, rows[0].CodeBytes)
+	fmt.Printf("%-8s %10s %8s %10s %10s %12s %12s\n",
+		"variant", "publishes", "delta", "wall", "upd/s", "retries", "checks")
+	var delta, full float64
+	for _, r := range rows {
+		fmt.Printf("%-8s %10d %8d %9.3fs %10.1f %12d %12d\n",
+			r.Variant, r.Publishes, r.DeltaPublishes, r.WallSecs, r.UpdatesPerSec, r.Retries, r.Checks)
+		switch r.Variant {
+		case "delta":
+			delta = r.UpdatesPerSec
+		case "full":
+			full = r.UpdatesPerSec
+		}
+		records = append(records, experiments.BenchRecord{
+			Experiment: "update_throughput", Benchmark: r.Variant,
+			Engine: c.Engine.String(), Profile: c.Profile.String(),
+			Instrumented: true, WallSecs: r.WallSecs,
+			MinstrPerSec: r.UpdatesPerSec, // updates/s in the throughput slot
+		})
+	}
+	if full > 0 {
+		fmt.Printf("delta/full speedup: %.1fx\n", delta/full)
 	}
 	return nil
 }

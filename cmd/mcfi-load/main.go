@@ -13,6 +13,7 @@
 //	mcfi-load -addrs http://h1:8481,http://h2:8482 -tenants a,b,c -n 10000 -distinct 48
 //	mcfi-load -workloads qsort,matmul -work 500 -json BENCH_serving.json
 //	mcfi-load -distinct 48 -batch 16 -bench-json BENCH_cluster.json -bench-label replicas=3
+//	mcfi-load -job-mix run=4,dlopen=1,jitsim=1 -n 60  # mixed kinds, per-kind latency
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -29,6 +31,31 @@ import (
 	"mcfi/internal/server"
 	"mcfi/internal/vm"
 )
+
+// parseJobMix parses "run=4,dlopen=1,jitsim=1" (kind names without a
+// weight count as weight 1); RunLoad validates the kind names.
+func parseJobMix(s string) (map[string]int, error) {
+	mix := map[string]int{}
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		kind, wstr, ok := strings.Cut(p, "=")
+		w := 1
+		if ok {
+			n, err := strconv.Atoi(strings.TrimSpace(wstr))
+			if err != nil {
+				return nil, fmt.Errorf("bad -job-mix entry %q: %v", p, err)
+			}
+			w = n
+		}
+		mix[strings.TrimSpace(kind)] = w
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty -job-mix")
+	}
+	return mix, nil
+}
 
 func parseList(s string) []string {
 	var out []string
@@ -50,6 +77,7 @@ func main() {
 	distinct := flag.Int("distinct", 0, "use a synthetic corpus of this many distinct sources instead of named workloads")
 	synthFuncs := flag.Int("synth-funcs", 0, "functions per synthetic source (0 = 256)")
 	batch := flag.Int("batch", 0, "submit via POST /v1/batch in groups of this size (0/1 = per-job POST /v1/run)")
+	jobMix := flag.String("job-mix", "", "weighted job-kind mix, e.g. run=4,dlopen=1,jitsim=1 (per-kind latency reported)")
 	work := flag.Int("work", 0, "override workload iteration count (0 = reference inputs)")
 	testWork := flag.Bool("test-work", false, "use each workload's reduced test scale")
 	engine := vm.EngineThreaded
@@ -83,6 +111,14 @@ func main() {
 	}
 	if *workloads != "" {
 		cfg.Workloads = parseList(*workloads)
+	}
+	if *jobMix != "" {
+		mix, err := parseJobMix(*jobMix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcfi-load:", err)
+			os.Exit(2)
+		}
+		cfg.JobMix = mix
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

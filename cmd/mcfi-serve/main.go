@@ -13,6 +13,8 @@
 // Endpoints (versioned under /v1/; the unversioned forms are aliases):
 //
 //	POST /v1/run        {"workload":"qsort","work":2000}  or  {"source":"int main..."}
+//	                    or {"kind":"dlopen","work":8} / {"kind":"jitsim"} — synthesized
+//	                    dynamic-linking guests that stress update transactions
 //	POST /v1/batch      {"tenant":"a","jobs":[...]} — one round trip, atomic admission
 //	GET  /v1/healthz    200 while serving, 503 once draining; JSON self-ID body
 //	GET  /v1/metrics    JSON counters: jobs, queue, tenants, cluster, build store

@@ -239,7 +239,15 @@ func Generate(in Input) *Graph {
 // fixed point.
 func chaseTailCalls(funcs []module.FuncInfo, retSitesOf map[string][]int,
 	addrTaken func(*module.FuncInfo) bool, sigOf func(*module.FuncInfo) string) {
-	// Build tail edges g -> h (g tail-calls h).
+	edges := buildTailEdges(funcs, addrTaken, sigOf)
+	propagateTailCalls(edges, retSitesOf, nil)
+}
+
+// buildTailEdges builds the tail-call edge map g -> h (g tail-calls h),
+// resolving indirect tail calls by signature match against the
+// address-taken functions.
+func buildTailEdges(funcs []module.FuncInfo,
+	addrTaken func(*module.FuncInfo) bool, sigOf func(*module.FuncInfo) string) map[string][]string {
 	edges := map[string][]string{}
 	for i := range funcs {
 		g := &funcs[i]
@@ -253,6 +261,14 @@ func chaseTailCalls(funcs []module.FuncInfo, retSitesOf map[string][]int,
 			}
 		}
 	}
+	return edges
+}
+
+// propagateTailCalls runs the return-site propagation to a fixed point.
+// When grew is non-nil, every function whose return-site set gained
+// members is recorded in it (the incremental path uses this to find
+// which existing return branches need new targets).
+func propagateTailCalls(edges map[string][]string, retSitesOf map[string][]int, grew map[string]bool) {
 	changed := true
 	for changed {
 		changed = false
@@ -266,6 +282,9 @@ func chaseTailCalls(funcs []module.FuncInfo, retSitesOf map[string][]int,
 				retSitesOf[h] = dedupSorted(append(retSitesOf[h], sites...))
 				if len(retSitesOf[h]) != before {
 					changed = true
+					if grew != nil {
+						grew[h] = true
+					}
 				}
 			}
 		}

@@ -1,0 +1,498 @@
+// Incremental CFG maintenance for dynamic linking: instead of
+// regenerating the whole control-flow policy on every dlopen (the
+// paper reports full generation at ~150 ms for gcc-sized inputs, paid
+// per module load), the runtime keeps the union-find state of the last
+// published policy memoized and merges each new module's functions,
+// branches, and return sites into it, reporting only the addresses and
+// branches whose equivalence-class numbers are new or changed.
+//
+// The incremental path preserves every published ECN: a new target
+// joining an existing class adopts that class's number, and brand-new
+// classes take numbers the published tables have never used. When an
+// extension would merge two classes that both already have distinct
+// published numbers — real cross-module class unification, where
+// existing Tary words would have to move — Extend reports failure and
+// the caller falls back to a full Generate + full table rebuild. That
+// invariant (existing words never change class in a delta) is exactly
+// what makes the tables' version-neutral UpdateDelta publication safe.
+package cfg
+
+import (
+	"sort"
+
+	"mcfi/internal/id"
+	"mcfi/internal/module"
+	"mcfi/internal/visa"
+)
+
+// Delta is the policy change one Extend produced: the equivalence-class
+// assignments for addresses that became valid targets, and the branch
+// ECNs that are new or changed. Existing target addresses never appear
+// (their classes are immutable under the incremental path).
+type Delta struct {
+	// TaryECN maps newly valid target addresses to their ECNs. It can
+	// include old-extent addresses: a pre-existing function newly made
+	// address-taken, or a pre-existing return site that a new module's
+	// call graph reaches.
+	TaryECN map[int]int
+	// BranchECN maps branch addresses to their ECNs, for branches that
+	// are new or whose class changed (an empty-target branch gaining
+	// its first targets).
+	BranchECN map[int]int
+}
+
+// Incremental is the memoized CFG-generation state of the currently
+// published policy. It is not safe for concurrent use; the runtime
+// serializes Extend with its link lock.
+type Incremental struct {
+	profile     visa.Profile
+	funcs       []module.FuncInfo
+	funcIdx     map[string]int // name -> index into funcs
+	annotated   map[string]string
+	setjmpConts []int
+
+	// Union-find over target addresses plus the published numbering.
+	d       *dsu
+	ecnOf   map[int]int // class root -> published ECN
+	next    int         // next never-published ECN
+	taryECN map[int]int // published target map (mirror of the tables)
+
+	retSitesOf map[string][]int
+	tailEdges  map[string][]string // g -> tail callees, memoized
+
+	branchTargets map[int][]int
+	branchECN     map[int]int
+
+	// Secondary indexes so Extend matches a delta against the program
+	// in O(delta × distinct signatures), not O(program²).
+	callIBsBySig   map[string][]int    // fp sig -> IBCall/IBTailJmp offsets
+	retIBsByFunc   map[string][]int    // func name -> IBRet offsets
+	longjmpIBs     []int               // IBLongjmp offsets
+	pltIBsBySym    map[string][]int    // symbol -> IBPLT offsets
+	indRetBySig    map[string][]int    // fp sig -> indirect ret-site offsets
+	tailSigCallers map[string][]string // fp sig -> funcs tail-calling through it
+	addrTakenBySig map[string][]int    // effective sig -> addr-taken func offsets
+}
+
+func (inc *Incremental) effAddrTaken(f *module.FuncInfo) bool {
+	if f.AddrTaken {
+		return true
+	}
+	_, ok := inc.annotated[f.Name]
+	return ok
+}
+
+func (inc *Incremental) effSig(f *module.FuncInfo) string {
+	if s, ok := inc.annotated[f.Name]; ok && s != "" {
+		return s
+	}
+	return f.Sig
+}
+
+// NewIncremental memoizes the generation state behind an already
+// generated policy. g must be Generate(in) for the same input; the
+// returned state reproduces g's exact ECN numbering, which is the
+// numbering the caller published to the ID tables.
+func NewIncremental(in Input, g *Graph) *Incremental {
+	inc := &Incremental{
+		profile:        in.Profile,
+		funcs:          append([]module.FuncInfo(nil), in.Funcs...),
+		funcIdx:        make(map[string]int, len(in.Funcs)),
+		annotated:      parseAnnotations(in.Annotations),
+		setjmpConts:    append([]int(nil), in.SetjmpConts...),
+		d:              newDSU(),
+		ecnOf:          map[int]int{},
+		next:           1,
+		taryECN:        make(map[int]int, len(g.TaryECN)),
+		retSitesOf:     map[string][]int{},
+		branchTargets:  make(map[int][]int, len(g.BranchTargets)),
+		branchECN:      make(map[int]int, len(g.BranchECN)),
+		callIBsBySig:   map[string][]int{},
+		retIBsByFunc:   map[string][]int{},
+		pltIBsBySym:    map[string][]int{},
+		indRetBySig:    map[string][]int{},
+		tailSigCallers: map[string][]string{},
+		addrTakenBySig: map[string][]int{},
+	}
+	for i := range inc.funcs {
+		inc.funcIdx[inc.funcs[i].Name] = i
+	}
+
+	// Rebuild the union-find and the root -> ECN map from the published
+	// classes, and continue numbering past every ECN the graph used
+	// (including the memberless classes of empty-target branches).
+	for ecn, members := range g.ClassMembers {
+		for _, m := range members[1:] {
+			inc.d.union(members[0], m)
+		}
+		inc.ecnOf[inc.d.find(members[0])] = ecn
+		if ecn >= inc.next {
+			inc.next = ecn + 1
+		}
+	}
+	for addr, ecn := range g.TaryECN {
+		inc.taryECN[addr] = ecn
+	}
+	for off, ecn := range g.BranchECN {
+		inc.branchECN[off] = ecn
+		if ecn >= inc.next {
+			inc.next = ecn + 1
+		}
+	}
+	for off, targets := range g.BranchTargets {
+		inc.branchTargets[off] = targets
+	}
+
+	// Recompute the return-site map the same way Generate did (the
+	// graph does not retain it), then memoize the tail-call edges.
+	addrTaken := func(f *module.FuncInfo) bool { return inc.effAddrTaken(f) }
+	sigOf := func(f *module.FuncInfo) string { return inc.effSig(f) }
+	for _, rs := range in.RetSites {
+		if rs.Callee != "" {
+			inc.retSitesOf[rs.Callee] = append(inc.retSitesOf[rs.Callee], rs.Offset)
+			continue
+		}
+		inc.indRetBySig[rs.FpSig] = append(inc.indRetBySig[rs.FpSig], rs.Offset)
+		for i := range inc.funcs {
+			f := &inc.funcs[i]
+			if addrTaken(f) && SigCallMatch(rs.FpSig, sigOf(f)) {
+				inc.retSitesOf[f.Name] = append(inc.retSitesOf[f.Name], rs.Offset)
+			}
+		}
+	}
+	inc.tailEdges = buildTailEdges(inc.funcs, addrTaken, sigOf)
+	if in.Profile == visa.Profile64 {
+		propagateTailCalls(inc.tailEdges, inc.retSitesOf, nil)
+	}
+
+	// Secondary indexes over the existing branches and functions.
+	for i := range in.IBs {
+		ib := &in.IBs[i]
+		switch ib.Kind {
+		case module.IBRet:
+			inc.retIBsByFunc[ib.Func] = append(inc.retIBsByFunc[ib.Func], ib.Offset)
+		case module.IBCall, module.IBTailJmp:
+			inc.callIBsBySig[ib.FpSig] = append(inc.callIBsBySig[ib.FpSig], ib.Offset)
+		case module.IBLongjmp:
+			inc.longjmpIBs = append(inc.longjmpIBs, ib.Offset)
+		case module.IBPLT:
+			inc.pltIBsBySym[ib.PLTSym] = append(inc.pltIBsBySym[ib.PLTSym], ib.Offset)
+		}
+	}
+	for i := range inc.funcs {
+		f := &inc.funcs[i]
+		for _, sig := range f.TailSigs {
+			inc.tailSigCallers[sig] = append(inc.tailSigCallers[sig], f.Name)
+		}
+		if addrTaken(f) {
+			inc.addrTakenBySig[sigOf(f)] = append(inc.addrTakenBySig[sigOf(f)], f.Offset)
+		}
+	}
+	return inc
+}
+
+// unionChecked unions two target addresses while keeping the published
+// numbering intact. It fails (returning false) when both roots already
+// carry distinct published ECNs — the cross-module class merge the
+// incremental path cannot express without moving existing table words.
+func (inc *Incremental) unionChecked(a, b int) bool {
+	ra, rb := inc.d.find(a), inc.d.find(b)
+	if ra == rb {
+		return true
+	}
+	ea, okA := inc.ecnOf[ra]
+	eb, okB := inc.ecnOf[rb]
+	if okA && okB && ea != eb {
+		return false
+	}
+	inc.d.parent[ra] = rb
+	if okA {
+		delete(inc.ecnOf, ra)
+		inc.ecnOf[rb] = ea
+	} else if okB {
+		inc.ecnOf[rb] = eb
+	}
+	return true
+}
+
+// Extend merges one module's auxiliary information into the memoized
+// state and returns the policy delta to publish. flipped names
+// pre-existing functions that just became address-taken (dlsym, or a
+// data relocation in the new module referring to an old function).
+//
+// The second return is false when the delta cannot be expressed
+// incrementally — cross-module class merges, an annotation retyping an
+// existing function, a duplicate function name, or ECN exhaustion —
+// and the caller must regenerate the full policy (and a fresh
+// Incremental: the state may be partially mutated and must be
+// discarded either way).
+func (inc *Incremental) Extend(delta Input, flipped []string) (*Delta, bool) {
+	if delta.Profile != inc.profile {
+		return nil, false
+	}
+	// New annotations may only describe new functions: retyping or
+	// address-taking an already-published function via assembly text
+	// would change existing classes.
+	newAnn := parseAnnotations(delta.Annotations)
+	for name, sig := range newAnn {
+		if _, exists := inc.funcIdx[name]; exists {
+			return nil, false
+		}
+		inc.annotated[name] = sig
+	}
+
+	addrTaken := func(f *module.FuncInfo) bool { return inc.effAddrTaken(f) }
+	sigOf := func(f *module.FuncInfo) string { return inc.effSig(f) }
+
+	// Phase A: apply structural additions and collect, per branch, the
+	// target addresses it gains.
+	adds := map[int][]int{}   // branch offset -> added targets
+	grew := map[string]bool{} // funcs whose return-site set grew
+	var activated []int       // indexes of funcs that became targets
+
+	for _, name := range flipped {
+		i, ok := inc.funcIdx[name]
+		if !ok {
+			continue
+		}
+		f := &inc.funcs[i]
+		if addrTaken(f) {
+			continue // already a target; nothing changes
+		}
+		f.AddrTaken = true
+		activated = append(activated, i)
+	}
+
+	firstNew := len(inc.funcs)
+	for _, f := range delta.Funcs {
+		if _, dup := inc.funcIdx[f.Name]; dup {
+			return nil, false
+		}
+		inc.funcIdx[f.Name] = len(inc.funcs)
+		inc.funcs = append(inc.funcs, f)
+	}
+	for i := firstNew; i < len(inc.funcs); i++ {
+		f := &inc.funcs[i]
+		if addrTaken(f) {
+			activated = append(activated, i)
+		}
+		// The new function as a tail CALLER: direct edges plus
+		// indirect edges against every current address-taken function.
+		inc.tailEdges[f.Name] = append(inc.tailEdges[f.Name], f.TailCalls...)
+		for _, sig := range f.TailSigs {
+			inc.tailSigCallers[sig] = append(inc.tailSigCallers[sig], f.Name)
+			for j := range inc.funcs {
+				h := &inc.funcs[j]
+				if addrTaken(h) && SigCallMatch(sig, sigOf(h)) {
+					inc.tailEdges[f.Name] = append(inc.tailEdges[f.Name], h.Name)
+				}
+			}
+		}
+		// A new definition of a symbol old PLT branches import.
+		for _, off := range inc.pltIBsBySym[f.Name] {
+			adds[off] = append(adds[off], f.Offset)
+		}
+	}
+
+	// Newly activated targets join every signature-matched indirect
+	// call, indirect return edge, and indirect tail-call edge.
+	for _, i := range activated {
+		f := &inc.funcs[i]
+		fsig := sigOf(f)
+		inc.addrTakenBySig[fsig] = append(inc.addrTakenBySig[fsig], f.Offset)
+		for fpSig, offs := range inc.callIBsBySig {
+			if SigCallMatch(fpSig, fsig) {
+				for _, off := range offs {
+					adds[off] = append(adds[off], f.Offset)
+				}
+			}
+		}
+		for fpSig, sites := range inc.indRetBySig {
+			if SigCallMatch(fpSig, fsig) {
+				inc.retSitesOf[f.Name] = append(inc.retSitesOf[f.Name], sites...)
+				grew[f.Name] = true
+			}
+		}
+		for sig, callers := range inc.tailSigCallers {
+			if SigCallMatch(sig, fsig) {
+				for _, g := range callers {
+					// The fixed-point pass below walks every edge, so the
+					// new edge needs no grew seeding of its own.
+					inc.tailEdges[g] = append(inc.tailEdges[g], f.Name)
+				}
+			}
+		}
+	}
+
+	// The module's return sites: direct ones extend the callee's edge
+	// set by name (the callee may be an old function — a call into
+	// libc — or one of the module's own); indirect ones match every
+	// current address-taken function.
+	for _, rs := range delta.RetSites {
+		if rs.Callee != "" {
+			inc.retSitesOf[rs.Callee] = append(inc.retSitesOf[rs.Callee], rs.Offset)
+			grew[rs.Callee] = true
+			continue
+		}
+		inc.indRetBySig[rs.FpSig] = append(inc.indRetBySig[rs.FpSig], rs.Offset)
+		for j := range inc.funcs {
+			f := &inc.funcs[j]
+			if addrTaken(f) && SigCallMatch(rs.FpSig, sigOf(f)) {
+				inc.retSitesOf[f.Name] = append(inc.retSitesOf[f.Name], rs.Offset)
+				grew[f.Name] = true
+			}
+		}
+	}
+
+	// New setjmp continuations become targets of every longjmp branch.
+	if len(delta.SetjmpConts) > 0 {
+		inc.setjmpConts = append(inc.setjmpConts, delta.SetjmpConts...)
+		for _, off := range inc.longjmpIBs {
+			adds[off] = append(adds[off], delta.SetjmpConts...)
+		}
+	}
+
+	// Tail-call chasing over the memoized edges, tracking which
+	// functions' return-site sets changed.
+	if inc.profile == visa.Profile64 {
+		propagateTailCalls(inc.tailEdges, inc.retSitesOf, grew)
+	}
+	for name := range grew {
+		for _, off := range inc.retIBsByFunc[name] {
+			adds[off] = append(adds[off], inc.retSitesOf[name]...)
+		}
+	}
+
+	// The module's own branches, resolved against the merged state, and
+	// folded into the indexes for the next Extend.
+	for i := range delta.IBs {
+		ib := &delta.IBs[i]
+		switch ib.Kind {
+		case module.IBRet:
+			inc.retIBsByFunc[ib.Func] = append(inc.retIBsByFunc[ib.Func], ib.Offset)
+			adds[ib.Offset] = append(adds[ib.Offset], inc.retSitesOf[ib.Func]...)
+		case module.IBCall, module.IBTailJmp:
+			inc.callIBsBySig[ib.FpSig] = append(inc.callIBsBySig[ib.FpSig], ib.Offset)
+			for fsig, offs := range inc.addrTakenBySig {
+				if SigCallMatch(ib.FpSig, fsig) {
+					adds[ib.Offset] = append(adds[ib.Offset], offs...)
+				}
+			}
+		case module.IBLongjmp:
+			inc.longjmpIBs = append(inc.longjmpIBs, ib.Offset)
+			adds[ib.Offset] = append(adds[ib.Offset], inc.setjmpConts...)
+		case module.IBPLT:
+			inc.pltIBsBySym[ib.PLTSym] = append(inc.pltIBsBySym[ib.PLTSym], ib.Offset)
+			if j, ok := inc.funcIdx[ib.PLTSym]; ok {
+				adds[ib.Offset] = append(adds[ib.Offset], inc.funcs[j].Offset)
+			}
+		case module.IBSwitch:
+			continue
+		}
+		if _, seen := adds[ib.Offset]; !seen {
+			adds[ib.Offset] = []int{} // empty-target branch, still needs an ECN
+		}
+	}
+
+	// Phase B: merge the grown target sets into the union-find. A
+	// branch whose set actually grew unions its additions into its
+	// existing class; failure means two published classes would merge.
+	touched := make([]int, 0, len(adds))
+	for off := range adds {
+		touched = append(touched, off)
+	}
+	sort.Ints(touched)
+	changedBranches := make([]int, 0, len(touched))
+	for _, off := range touched {
+		merged := dedupSorted(append(append([]int(nil), inc.branchTargets[off]...), adds[off]...))
+		old, existed := inc.branchTargets[off]
+		if existed && len(merged) == len(old) {
+			continue // no new targets (duplicates only)
+		}
+		inc.branchTargets[off] = merged
+		changedBranches = append(changedBranches, off)
+		if len(merged) == 0 {
+			continue // brand-new empty-target branch
+		}
+		for _, t := range merged[1:] {
+			if !inc.unionChecked(merged[0], t) {
+				return nil, false
+			}
+		}
+	}
+
+	// Phase C: number the classes. Addresses absent from the published
+	// Tary map are the delta; roots without an ECN get fresh numbers,
+	// deterministically by smallest member.
+	newAddrs := map[int][]int{} // root -> new member addresses
+	for _, off := range changedBranches {
+		for _, t := range inc.branchTargets[off] {
+			if _, published := inc.taryECN[t]; !published {
+				r := inc.d.find(t)
+				newAddrs[r] = append(newAddrs[r], t)
+			}
+		}
+	}
+	type newClass struct {
+		root     int
+		smallest int
+	}
+	var fresh []newClass
+	for r, members := range newAddrs {
+		newAddrs[r] = dedupSorted(members)
+		if _, ok := inc.ecnOf[r]; !ok {
+			fresh = append(fresh, newClass{root: r, smallest: newAddrs[r][0]})
+		}
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].smallest < fresh[j].smallest })
+	for _, nc := range fresh {
+		if inc.next >= id.MaxECN {
+			return nil, false
+		}
+		inc.ecnOf[nc.root] = inc.next
+		inc.next++
+	}
+
+	out := &Delta{TaryECN: map[int]int{}, BranchECN: map[int]int{}}
+	for r, members := range newAddrs {
+		ecn := inc.ecnOf[r]
+		for _, t := range members {
+			inc.taryECN[t] = ecn
+			out.TaryECN[t] = ecn
+		}
+	}
+
+	// Phase D: branch numbering. Branches whose sets changed adopt
+	// their class's ECN; empty-target branches get a memberless
+	// singleton each, like Generate.
+	for _, off := range changedBranches {
+		targets := inc.branchTargets[off]
+		var ecn int
+		if len(targets) == 0 {
+			if old, ok := inc.branchECN[off]; ok {
+				ecn = old // keep the published singleton
+			} else {
+				if inc.next >= id.MaxECN {
+					return nil, false
+				}
+				ecn = inc.next
+				inc.next++
+			}
+		} else {
+			ecn = inc.ecnOf[inc.d.find(targets[0])]
+		}
+		if old, ok := inc.branchECN[off]; !ok || old != ecn {
+			inc.branchECN[off] = ecn
+			out.BranchECN[off] = ecn
+		}
+	}
+	return out, true
+}
+
+// BranchECNs returns the full published branch numbering (branch
+// address -> ECN). The runtime uses it to rebuild its Bary image after
+// a fallback regeneration check.
+func (inc *Incremental) BranchECNs() map[int]int { return inc.branchECN }
+
+// TaryECNs returns the full published target numbering.
+func (inc *Incremental) TaryECNs() map[int]int { return inc.taryECN }

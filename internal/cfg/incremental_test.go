@@ -1,0 +1,258 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"mcfi/internal/module"
+	"mcfi/internal/visa"
+)
+
+// classKeys maps every target address and every branch to a canonical
+// description of its equivalence class — the sorted member list — so
+// two policies can be compared semantically even when their ECN
+// numbering differs (the incremental path preserves old numbers and
+// appends; a full regeneration renumbers densely). A branch whose
+// class has no members is keyed "∅": all memberless singletons behave
+// identically (every transfer violates).
+func classKeys(tary, branch map[int]int) (targetKey, branchKey map[int]string) {
+	members := map[int][]int{}
+	for addr, ecn := range tary {
+		members[ecn] = append(members[ecn], addr)
+	}
+	keyOf := map[int]string{}
+	for ecn, ms := range members {
+		sort.Ints(ms)
+		keyOf[ecn] = fmt.Sprint(ms)
+	}
+	targetKey = make(map[int]string, len(tary))
+	for addr, ecn := range tary {
+		targetKey[addr] = keyOf[ecn]
+	}
+	branchKey = make(map[int]string, len(branch))
+	for off, ecn := range branch {
+		if k, ok := keyOf[ecn]; ok {
+			branchKey[off] = k
+		} else {
+			branchKey[off] = "∅"
+		}
+	}
+	return targetKey, branchKey
+}
+
+func requireSamePolicy(t *testing.T, full *Graph, incTary, incBranch map[int]int) {
+	t.Helper()
+	fullT, fullB := classKeys(full.TaryECN, full.BranchECN)
+	gotT, gotB := classKeys(incTary, incBranch)
+	if len(fullT) != len(gotT) {
+		t.Errorf("target count: full %d, incremental %d", len(fullT), len(gotT))
+	}
+	for addr, k := range fullT {
+		if gk, ok := gotT[addr]; !ok {
+			t.Errorf("target %#x missing from incremental policy", addr)
+		} else if gk != k {
+			t.Errorf("target %#x class: full %s, incremental %s", addr, k, gk)
+		}
+	}
+	if len(fullB) != len(gotB) {
+		t.Errorf("branch count: full %d, incremental %d", len(fullB), len(gotB))
+	}
+	for off, k := range fullB {
+		if gk, ok := gotB[off]; !ok {
+			t.Errorf("branch %#x missing from incremental policy", off)
+		} else if gk != k {
+			t.Errorf("branch %#x class: full %s, incremental %s", off, k, gk)
+		}
+	}
+}
+
+// baseInput is a program with direct and indirect calls, returns, a
+// longjmp, a tail call, and a dormant (not yet address-taken) function
+// behind an empty-target indirect call.
+func deltaBaseInput() Input {
+	return Input{
+		Profile: visa.Profile64,
+		Funcs: []module.FuncInfo{
+			{Name: "main", Offset: 0x100, Sig: sigVV},
+			{Name: "cb1", Offset: 0x200, Sig: sigII, AddrTaken: true},
+			{Name: "cb2", Offset: 0x300, Sig: sigII, AddrTaken: true},
+			{Name: "vh", Offset: 0x400, Sig: sigVV, AddrTaken: true},
+			{Name: "dorm", Offset: 0x500, Sig: sigLI},
+			{Name: "tc", Offset: 0x600, Sig: sigII, AddrTaken: true, TailCalls: []string{"cb1"}},
+		},
+		IBs: []module.IndirectBranch{
+			{Offset: 0x110, Kind: module.IBCall, Func: "main", FpSig: sigII},
+			{Offset: 0x118, Kind: module.IBRet, Func: "cb1"},
+			{Offset: 0x120, Kind: module.IBLongjmp, Func: "main"},
+			{Offset: 0x128, Kind: module.IBCall, Func: "main", FpSig: sigLI},
+		},
+		RetSites: []module.RetSite{
+			{Offset: 0x114, Callee: "cb1"},
+			{Offset: 0x11c, FpSig: sigII},
+		},
+		SetjmpConts: []int{0x130},
+	}
+}
+
+// plugin1 is a dynamically loaded module: its own indirect calls,
+// returns, a PLT branch importing the dormant function (which its load
+// also flips address-taken), a longjmp, and a direct call back into
+// the base program.
+func plugin1() (Input, []string) {
+	return Input{
+		Profile: visa.Profile64,
+		Funcs: []module.FuncInfo{
+			{Name: "pe", Offset: 0x1000, Sig: sigII, AddrTaken: true},
+			{Name: "pv", Offset: 0x1100, Sig: sigVV, AddrTaken: true},
+			{Name: "pl", Offset: 0x1200, Sig: sigLI, AddrTaken: true},
+			{Name: "ph", Offset: 0x1300, Sig: sigIC},
+		},
+		IBs: []module.IndirectBranch{
+			{Offset: 0x1010, Kind: module.IBCall, Func: "pe", FpSig: sigVV},
+			{Offset: 0x1018, Kind: module.IBRet, Func: "pe"},
+			{Offset: 0x1020, Kind: module.IBPLT, PLTSym: "dorm"},
+			{Offset: 0x1028, Kind: module.IBLongjmp, Func: "pe"},
+		},
+		RetSites: []module.RetSite{
+			{Offset: 0x1014, Callee: "cb1"},
+			{Offset: 0x101c, FpSig: sigII},
+		},
+		SetjmpConts: []int{0x1040},
+	}, []string{"dorm"}
+}
+
+func mergeInputs(a, b Input, flipped []string) Input {
+	out := Input{Profile: a.Profile}
+	out.Funcs = append(append([]module.FuncInfo{}, a.Funcs...), b.Funcs...)
+	out.IBs = append(append([]module.IndirectBranch{}, a.IBs...), b.IBs...)
+	out.RetSites = append(append([]module.RetSite{}, a.RetSites...), b.RetSites...)
+	out.SetjmpConts = append(append([]int{}, a.SetjmpConts...), b.SetjmpConts...)
+	out.Annotations = append(append([]string{}, a.Annotations...), b.Annotations...)
+	flip := map[string]bool{}
+	for _, n := range flipped {
+		flip[n] = true
+	}
+	for i := range out.Funcs {
+		if flip[out.Funcs[i].Name] {
+			out.Funcs[i].AddrTaken = true
+		}
+	}
+	return out
+}
+
+// TestExtendMatchesFullGenerate: two successive module loads through
+// Extend produce exactly the policy a full Generate over the merged
+// input produces — same target partition, same branch classes — while
+// never renumbering a published class.
+func TestExtendMatchesFullGenerate(t *testing.T) {
+	base := deltaBaseInput()
+	g0 := Generate(base)
+	inc := NewIncremental(base, g0)
+
+	d1, flipped := plugin1()
+	out1, ok := inc.Extend(d1, flipped)
+	if !ok {
+		t.Fatal("Extend(plugin1) fell back; want incremental")
+	}
+	merged1 := mergeInputs(base, d1, flipped)
+	requireSamePolicy(t, Generate(merged1), inc.TaryECNs(), inc.BranchECNs())
+
+	// The delta must not touch published targets: every address it
+	// reports was previously absent.
+	for addr := range out1.TaryECN {
+		if _, ok := g0.TaryECN[addr]; ok {
+			t.Errorf("delta republished existing target %#x", addr)
+		}
+	}
+	// Old-extent additions do appear: dorm (0x500) was just flipped.
+	if _, ok := out1.TaryECN[0x500]; !ok {
+		t.Error("flipped function dorm did not enter the delta")
+	}
+
+	// A second module joining existing classes.
+	d2 := Input{
+		Profile: visa.Profile64,
+		Funcs: []module.FuncInfo{
+			{Name: "q1", Offset: 0x2000, Sig: sigVV, AddrTaken: true},
+		},
+	}
+	if _, ok := inc.Extend(d2, nil); !ok {
+		t.Fatal("Extend(plugin2) fell back; want incremental")
+	}
+	merged2 := mergeInputs(merged1, d2, nil)
+	requireSamePolicy(t, Generate(merged2), inc.TaryECNs(), inc.BranchECNs())
+}
+
+// TestExtendDlsymFlip: the dlsym path — an empty module delta that
+// only flips one function address-taken — matches the full rebuild.
+func TestExtendDlsymFlip(t *testing.T) {
+	base := deltaBaseInput()
+	inc := NewIncremental(base, Generate(base))
+	out, ok := inc.Extend(Input{Profile: visa.Profile64}, []string{"dorm"})
+	if !ok {
+		t.Fatal("dlsym flip fell back; want incremental")
+	}
+	if _, ok := out.TaryECN[0x500]; !ok {
+		t.Error("flip did not publish dorm's address")
+	}
+	// The previously empty-target sigLI branch adopts dorm's class.
+	if _, ok := out.BranchECN[0x128]; !ok {
+		t.Error("flip did not renumber the dormant call branch")
+	}
+	full := Generate(mergeInputs(base, Input{Profile: visa.Profile64}, []string{"dorm"}))
+	requireSamePolicy(t, full, inc.TaryECNs(), inc.BranchECNs())
+}
+
+// TestExtendCrossModuleMergeFallsBack: a variadic function pointer in
+// a new module bridges two previously distinct published classes —
+// the one change a delta cannot express (existing Tary words would
+// have to move) — so Extend must report failure.
+func TestExtendCrossModuleMergeFallsBack(t *testing.T) {
+	base := Input{
+		Profile: visa.Profile64,
+		Funcs: []module.FuncInfo{
+			{Name: "a", Offset: 0x100, Sig: sigII, AddrTaken: true},
+			{Name: "b", Offset: 0x200, Sig: sigIIC, AddrTaken: true},
+		},
+		IBs: []module.IndirectBranch{
+			{Offset: 0x110, Kind: module.IBCall, Func: "a", FpSig: sigII},
+			{Offset: 0x118, Kind: module.IBCall, Func: "a", FpSig: sigIIC},
+		},
+	}
+	g := Generate(base)
+	if g.Classes != 2 {
+		t.Fatalf("base classes = %d, want 2", g.Classes)
+	}
+	inc := NewIncremental(base, g)
+	delta := Input{
+		Profile: visa.Profile64,
+		IBs: []module.IndirectBranch{
+			// int(int,...) matches both int(int) and int(int,char).
+			{Offset: 0x1000, Kind: module.IBCall, Func: "a", FpSig: sigIIv},
+		},
+	}
+	if _, ok := inc.Extend(delta, nil); ok {
+		t.Fatal("Extend expressed a cross-module class merge; want fallback")
+	}
+	// The full path handles it: one merged class.
+	full := Generate(mergeInputs(base, delta, nil))
+	if full.Classes != 1 {
+		t.Errorf("full rebuild classes = %d, want 1", full.Classes)
+	}
+}
+
+// TestExtendAnnotationRetypeFallsBack: an inline-assembly annotation
+// naming an already-published function would retype it in place, which
+// the incremental path refuses.
+func TestExtendAnnotationRetypeFallsBack(t *testing.T) {
+	base := deltaBaseInput()
+	inc := NewIncremental(base, Generate(base))
+	delta := Input{
+		Profile:     visa.Profile64,
+		Annotations: []string{"dorm : " + sigII},
+	}
+	if _, ok := inc.Extend(delta, nil); ok {
+		t.Fatal("Extend accepted an annotation retyping an existing function")
+	}
+}

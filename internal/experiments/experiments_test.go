@@ -199,3 +199,34 @@ func TestSanityHelpers(t *testing.T) {
 		t.Error("unknown workload should fail")
 	}
 }
+
+// TestUpdateThroughputDeltaWins: the dlopen-storm measurement keeps
+// every publish on the delta path (UpdateThroughput errors internally
+// if one falls back), the ForceFullCFG baseline publishes none, and
+// per-module publication cost beats per-program cost even at the
+// quick test scale.
+func TestUpdateThroughputDeltaWins(t *testing.T) {
+	rows, err := UpdateThroughput(Config{Profile: visa.Profile64, GenScale: 0.25}, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Variant != "delta" || rows[1].Variant != "full" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	d, f := rows[0], rows[1]
+	if d.Publishes != f.Publishes {
+		t.Errorf("publish counts differ: delta %d, full %d", d.Publishes, f.Publishes)
+	}
+	if d.Publishes < 16 { // one dlopen + one dlsym flip per module
+		t.Errorf("storm ran only %d update transactions, want >= 16", d.Publishes)
+	}
+	if d.Checks == 0 || f.Checks == 0 {
+		t.Error("checker loops did not run during the storm")
+	}
+	if d.UpdatesPerSec <= f.UpdatesPerSec {
+		t.Errorf("delta %.1f upd/s not faster than full %.1f upd/s",
+			d.UpdatesPerSec, f.UpdatesPerSec)
+	}
+	t.Logf("delta %.1f upd/s vs full %.1f upd/s (%.1fx, %d-byte base)",
+		d.UpdatesPerSec, f.UpdatesPerSec, d.UpdatesPerSec/f.UpdatesPerSec, d.CodeBytes)
+}

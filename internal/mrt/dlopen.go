@@ -141,16 +141,28 @@ func (r *Runtime) Dlopen(name string) (int64, error) {
 	for _, rl := range obj.DataRelocs {
 		addrTaken[rl.Symbol] = true
 	}
+	// Record which pre-existing functions the module's relocations made
+	// address-taken — the incremental CFG path republishes exactly those
+	// plus the module's own additions — and mark the module's functions
+	// before the aux merge.
+	var flipped []string
+	for i := range r.aux.Funcs {
+		f := &r.aux.Funcs[i]
+		if addrTaken[f.Name] && !f.AddrTaken {
+			f.AddrTaken = true
+			flipped = append(flipped, f.Name)
+		}
+	}
+	for i := range rebased.Funcs {
+		if addrTaken[rebased.Funcs[i].Name] {
+			rebased.Funcs[i].AddrTaken = true
+		}
+	}
 	r.aux.Funcs = append(r.aux.Funcs, rebased.Funcs...)
 	r.aux.IBs = append(r.aux.IBs, rebased.IBs...)
 	r.aux.RetSites = append(r.aux.RetSites, rebased.RetSites...)
 	r.aux.SetjmpConts = append(r.aux.SetjmpConts, rebased.SetjmpConts...)
 	r.aux.AsmAnnotations = append(r.aux.AsmAnnotations, rebased.AsmAnnotations...)
-	for i := range r.aux.Funcs {
-		if addrTaken[r.aux.Funcs[i].Name] {
-			r.aux.Funcs[i].AddrTaken = true
-		}
-	}
 
 	if r.Img.Instrumented {
 		// Patch Bary indexes into the freshly loaded code, and let the
@@ -182,9 +194,11 @@ func (r *Runtime) Dlopen(name string) (int64, error) {
 	}
 
 	// --- Step 3: ID-table update (with GOT rewriting in the slot
-	// between the Tary and Bary phases, paper §5.2) ---
+	// between the Tary and Bary phases, paper §5.2). The delta path
+	// publishes only the module's additions — its cost scales with the
+	// module, not the program — and falls back to the full rebuild when
+	// the module actually merges existing equivalence classes. ---
 	if r.Img.Instrumented {
-		r.Tables.SetCovered(int(r.codeEnd))
 		gotUpdates := func() {
 			for sym, slot := range r.Img.GOT {
 				if s, ok := r.syms[sym]; ok {
@@ -192,7 +206,7 @@ func (r *Runtime) Dlopen(name string) (int64, error) {
 				}
 			}
 		}
-		if err := r.publishCFG(gotUpdates); err != nil {
+		if err := r.publishDelta(rebased, flipped, gotUpdates); err != nil {
 			return 0, err
 		}
 	} else {
@@ -229,7 +243,7 @@ func (r *Runtime) Dlsym(handle int64, sym string) (int64, error) {
 			f := &r.aux.Funcs[i]
 			if f.Name == sym && !f.AddrTaken {
 				f.AddrTaken = true
-				if err := r.publishCFG(nil); err != nil {
+				if err := r.publishDelta(module.AuxInfo{}, []string{sym}, nil); err != nil {
 					return 0, err
 				}
 				break

@@ -58,6 +58,10 @@ type Options struct {
 	// JITThreshold sets the block-compile execution threshold for
 	// vm.EngineBlockJIT (0 = vm.DefaultJITThreshold).
 	JITThreshold int64
+	// ForceFullCFG disables the incremental dlopen path: every policy
+	// change regenerates the full CFG and republishes the whole table
+	// extent. The update-throughput benchmark uses it as the baseline.
+	ForceFullCFG bool
 }
 
 // Runtime is one loaded MCFI program with its tables and threads.
@@ -84,6 +88,12 @@ type Runtime struct {
 	libs        map[string]*module.Object
 	handles     map[int64]*dlHandle
 	nextHandle  int64
+	// incr is the memoized CFG state behind the published policy; nil
+	// when the last Extend failed (or ForceFullCFG), in which case the
+	// next publication regenerates in full and rebuilds it.
+	incr           *cfg.Incremental
+	deltaPublishes int64
+	fullPublishes  int64
 
 	rngMu sync.Mutex
 	rng   uint64
@@ -164,8 +174,17 @@ func New(img *linker.Image, opts Options) (*Runtime, error) {
 		p.Tables = r.Tables
 		// Every completed update transaction invalidates the fused
 		// engine's check-verdict cache: a verdict is only reusable
-		// within one published CFG.
-		r.Tables.OnUpdate(p.BumpCheckEpoch)
+		// within one published CFG. Full-range transactions (lo == 0)
+		// also condemn every compiled block; delta transactions start
+		// past address 0 (code begins at visa.CodeBase) and condemn
+		// only the blocks overlapping the changed extent.
+		r.Tables.OnUpdateExtent(func(lo, hi int) {
+			if lo == 0 {
+				p.BumpCheckEpoch()
+			} else {
+				p.BumpCheckEpochExtent(int64(lo), int64(hi))
+			}
+		})
 		r.assignBranchIndexes(img.Aux.IBs)
 		r.registerFusedSites(img.Aux.IBs)
 		if err := r.publishCFG(nil); err != nil {
@@ -230,14 +249,15 @@ func (r *Runtime) assignBranchIndexes(ibs []module.IndirectBranch) {
 // info and publishes it with one update transaction. between runs in
 // the transaction's GOT-update slot.
 func (r *Runtime) publishCFG(between func()) error {
-	graph := cfg.Generate(cfg.Input{
+	in := cfg.Input{
 		Funcs:       r.aux.Funcs,
 		IBs:         r.aux.IBs,
 		RetSites:    r.aux.RetSites,
 		SetjmpConts: r.aux.SetjmpConts,
 		Annotations: r.aux.AsmAnnotations,
 		Profile:     r.Img.Profile,
-	})
+	}
+	graph := cfg.Generate(in)
 	if graph.Classes >= 1<<14 {
 		return fmt.Errorf("mrt: %d equivalence classes exceed the 14-bit ECN space", graph.Classes)
 	}
@@ -267,7 +287,64 @@ func (r *Runtime) publishCFG(between func()) error {
 		},
 		tables.UpdateOpts{Parallel: r.opts.ParallelCopy, Between: between},
 	)
+	r.fullPublishes++
+	// Memoize the generation state so the next dlopen can publish a
+	// delta instead of repeating this full rebuild.
+	if r.opts.ForceFullCFG {
+		r.incr = nil
+	} else {
+		r.incr = cfg.NewIncremental(in, graph)
+	}
 	return nil
+}
+
+// publishDelta publishes one module's policy change through the
+// incremental CFG state and the tables' delta transaction — O(module),
+// not O(program). When the change cannot be expressed incrementally
+// (classes merge across modules, ECN exhaustion, an annotation retypes
+// an existing function) it falls back to SetCovered plus a full
+// publishCFG, which also rebuilds the memoized state. Caller holds mu;
+// delta carries rebased (absolute) addresses and flipped names
+// pre-existing functions that just became address-taken.
+func (r *Runtime) publishDelta(delta module.AuxInfo, flipped []string, between func()) error {
+	if r.incr != nil && !r.opts.ForceFullCFG {
+		d, ok := r.incr.Extend(cfg.Input{
+			Funcs:       delta.Funcs,
+			IBs:         delta.IBs,
+			RetSites:    delta.RetSites,
+			SetjmpConts: delta.SetjmpConts,
+			Annotations: delta.AsmAnnotations,
+			Profile:     r.Img.Profile,
+		}, flipped)
+		if ok {
+			// The delta's branch numbering is keyed by branch address;
+			// the tables want Bary indexes.
+			baryECN := make(map[int]int, len(d.BranchECN))
+			for off, ecn := range d.BranchECN {
+				if idx, exists := r.branchIndex[off]; exists {
+					baryECN[idx] = ecn
+				}
+			}
+			r.Tables.UpdateDelta(int(r.codeEnd), d.TaryECN, baryECN,
+				tables.UpdateOpts{Parallel: r.opts.ParallelCopy, Between: between})
+			r.deltaPublishes++
+			return nil
+		}
+		// Extend may have partially mutated the memoized state before
+		// detecting the merge; discard it and regenerate.
+		r.incr = nil
+	}
+	r.Tables.SetCovered(int(r.codeEnd))
+	return r.publishCFG(between)
+}
+
+// PublishStats reports how many policy publications took the delta
+// path vs. a full regeneration since load (the initial publication is
+// always full).
+func (r *Runtime) PublishStats() (delta, full int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deltaPublishes, r.fullPublishes
 }
 
 // Graph exposes the current CFG (regenerated on demand) for metrics

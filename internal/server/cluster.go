@@ -52,7 +52,7 @@ type peerState struct {
 // is malformed (the local path will produce the build error) or the
 // ring is empty.
 func (s *Server) ownerOf(req JobRequest) (string, bool) {
-	b, src, err := s.resolve(req)
+	b, src, _, err := s.resolve(req)
 	if err != nil {
 		return "", false
 	}

@@ -44,6 +44,11 @@ type LoadConfig struct {
 	// Batch > 1 submits jobs through POST /v1/batch in groups of Batch
 	// (refused jobs are retried after the advertised Retry-After).
 	Batch int
+	// JobMix assigns relative weights to job kinds ("run", "dlopen",
+	// "jitsim"); jobs cycle through a deterministic weighted pattern.
+	// Empty or {"run": n} means plain run jobs only. Non-run kinds
+	// ignore the corpus settings (the server synthesizes their guests).
+	JobMix map[string]int
 	// Work overrides the iteration count; 0 = reference inputs;
 	// UseTestWork uses each workload's reduced test scale instead.
 	Work        int
@@ -71,6 +76,22 @@ type TenantLoad struct {
 	P50Ms    float64 `json:"p50_ms"`
 	P95Ms    float64 `json:"p95_ms"`
 	P99Ms    float64 `json:"p99_ms"`
+}
+
+// KindLoad is one job kind's slice of a mixed load run, with its own
+// latency distribution (a dlopen job and a qsort run have very
+// different cost profiles; mixing their percentiles hides both).
+type KindLoad struct {
+	Kind   string  `json:"kind"`
+	Jobs   int64   `json:"jobs"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	// Updates/DeltaPublishes aggregate the update-transaction counters
+	// the server reports per job (non-zero for dynamic kinds).
+	Updates        int64 `json:"updates,omitempty"`
+	DeltaPublishes int64 `json:"delta_publishes,omitempty"`
 }
 
 // ReplicaLoad is one replica's slice of a load run: jobs attributed by
@@ -120,10 +141,11 @@ type LoadReport struct {
 	Proxied    int64            `json:"proxied_jobs"`
 	Statuses   map[string]int64 `json:"statuses"`
 
-	// TenantLoads and ReplicaLoads break the run down by scheduling
-	// tenant and executing replica.
+	// TenantLoads, ReplicaLoads, and KindLoads break the run down by
+	// scheduling tenant, executing replica, and job kind.
 	TenantLoads  []TenantLoad  `json:"tenant_loads,omitempty"`
 	ReplicaLoads []ReplicaLoad `json:"replica_loads,omitempty"`
+	KindLoads    []KindLoad    `json:"kind_loads,omitempty"`
 
 	// ServerMetrics is the first endpoint's final /metrics document
 	// (kept for single-replica compatibility; per-replica metrics live
@@ -137,6 +159,8 @@ type loadBucket struct {
 	rejected int64
 	proxied  int64
 	hits     int64
+	updates  int64
+	deltas   int64
 	tiers    map[string]int64
 	latMs    []float64
 }
@@ -155,6 +179,8 @@ func (b *loadBucket) observe(res *JobResult, latMs float64) {
 	if res.Proxied {
 		b.proxied++
 	}
+	b.updates += res.Updates
+	b.deltas += res.DeltaPublishes
 }
 
 func meanP95(lats []float64) (mean, p95 float64) {
@@ -195,12 +221,17 @@ type loadRun struct {
 	client *http.Client
 	rep    *LoadReport
 
+	// mixPattern is the deterministic weighted kind schedule job i is
+	// assigned from (kind = mixPattern[i % len]); empty means all "run".
+	mixPattern []string
+
 	mu       sync.Mutex
 	firstErr error
 	hits     int64
 	results  int64
 	tenants  map[string]*loadBucket
 	replicas map[string]*loadBucket
+	kinds    map[string]*loadBucket
 }
 
 // RunLoad hammers the endpoint(s) with the configured corpus at the
@@ -248,10 +279,17 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		client = &http.Client{Timeout: 5 * time.Minute}
 	}
 
+	mixPattern, err := mixScheduleOf(cfg.JobMix)
+	if err != nil {
+		return nil, err
+	}
+
 	lr := &loadRun{
 		cfg: cfg, addrs: addrs, client: client,
-		tenants:  map[string]*loadBucket{},
-		replicas: map[string]*loadBucket{},
+		mixPattern: mixPattern,
+		tenants:    map[string]*loadBucket{},
+		replicas:   map[string]*loadBucket{},
+		kinds:      map[string]*loadBucket{},
 		rep: &LoadReport{
 			Kind:        "mcfi-serve-load",
 			Addrs:       addrs,
@@ -267,7 +305,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	start := time.Now()
-	err := lr.run(ctx)
+	err = lr.run(ctx)
 	lr.rep.WallSecs = time.Since(start).Seconds()
 	if err != nil {
 		return lr.rep, err
@@ -277,6 +315,56 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	}
 	lr.finish(ctx)
 	return lr.rep, nil
+}
+
+// mixScheduleOf expands kind weights into the repeating schedule jobs
+// cycle through, interleaved by largest remainder so a run=4,dlopen=1
+// mix does not submit its dlopens back to back.
+func mixScheduleOf(mix map[string]int) ([]string, error) {
+	if len(mix) == 0 {
+		return nil, nil
+	}
+	kinds := make([]string, 0, len(mix))
+	total := 0
+	for k, w := range mix {
+		switch k {
+		case "run", "dlopen", "jitsim":
+		default:
+			return nil, fmt.Errorf("load: unknown job kind %q in mix (want run, dlopen, or jitsim)", k)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("load: negative weight %d for job kind %q", w, k)
+		}
+		if w > 0 {
+			kinds = append(kinds, k)
+			total += w
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("load: job mix has no positive weights")
+	}
+	sort.Strings(kinds)
+	pattern := make([]string, 0, total)
+	credit := map[string]float64{}
+	for len(pattern) < total {
+		best, bestCredit := "", 0.0
+		for _, k := range kinds {
+			credit[k] += float64(mix[k]) / float64(total)
+			if credit[k] > bestCredit {
+				best, bestCredit = k, credit[k]
+			}
+		}
+		credit[best]--
+		pattern = append(pattern, best)
+	}
+	return pattern, nil
+}
+
+func (lr *loadRun) kindOf(n int) string {
+	if len(lr.mixPattern) == 0 {
+		return "run"
+	}
+	return lr.mixPattern[n%len(lr.mixPattern)]
 }
 
 func (lr *loadRun) tenantOf(n int) string {
@@ -295,6 +383,10 @@ func (lr *loadRun) reqOf(i int) JobRequest {
 		Engine: cfg.Engine, Baseline: cfg.Baseline,
 		MaxInstr: cfg.MaxInstr, TimeoutMs: cfg.TimeoutMs,
 	}
+	if kind := lr.kindOf(i); kind != "run" {
+		jr.Kind, jr.Work = kind, cfg.Work
+		return jr
+	}
 	if cfg.Distinct > 0 {
 		v := int((uint64(i)*6364136223846793005 + 1442695040888963407) >> 33 % uint64(cfg.Distinct))
 		jr.Source = SyntheticSource(v, cfg.SyntheticFuncs)
@@ -312,7 +404,7 @@ func (lr *loadRun) reqOf(i int) JobRequest {
 	return jr
 }
 
-func (lr *loadRun) record(res *JobResult, tenant, addr string, latMs float64) {
+func (lr *loadRun) record(res *JobResult, jr *JobRequest, tenant, addr string, latMs float64) {
 	lr.mu.Lock()
 	defer lr.mu.Unlock()
 	lr.results++
@@ -347,6 +439,16 @@ func (lr *loadRun) record(res *JobResult, tenant, addr string, latMs float64) {
 		lr.replicas[rn] = rb
 	}
 	rb.observe(res, latMs)
+	kind := jr.Kind
+	if kind == "" {
+		kind = "run"
+	}
+	kb := lr.kinds[kind]
+	if kb == nil {
+		kb = newBucket()
+		lr.kinds[kind] = kb
+	}
+	kb.observe(res, latMs)
 }
 
 func (lr *loadRun) countRejected(tenant string, n int64) {
@@ -401,7 +503,7 @@ func (lr *loadRun) runSingles(ctx context.Context) {
 					lr.fail(err)
 					return
 				}
-				lr.record(res, jr.Tenant, addr, ms(time.Since(t0)))
+				lr.record(res, &jr, jr.Tenant, addr, ms(time.Since(t0)))
 			}
 		}()
 	}
@@ -566,7 +668,7 @@ func (lr *loadRun) postBatch(ctx context.Context, addr, tenant string, jobs []Jo
 				retry = append(retry, pending[i])
 				continue
 			}
-			lr.record(&res, tenant, addr, perJobMs)
+			lr.record(&res, &pending[i], tenant, addr, perJobMs)
 		}
 		if len(retry) > 0 {
 			lr.countRejected(tenant, int64(len(retry)))
@@ -598,6 +700,20 @@ func (lr *loadRun) finish(ctx context.Context) {
 		})
 	}
 	sort.Slice(rep.TenantLoads, func(i, j int) bool { return rep.TenantLoads[i].Tenant < rep.TenantLoads[j].Tenant })
+
+	// Per-kind breakdown, emitted only for mixed runs — a single-kind
+	// run's numbers are the top-level ones.
+	if len(lr.cfg.JobMix) > 0 {
+		for kind, b := range lr.kinds {
+			mean, qs := meanQuantiles(b.latMs, 0.50, 0.95, 0.99)
+			rep.KindLoads = append(rep.KindLoads, KindLoad{
+				Kind: kind, Jobs: b.jobs,
+				MeanMs: mean, P50Ms: qs[0], P95Ms: qs[1], P99Ms: qs[2],
+				Updates: b.updates, DeltaPublishes: b.deltas,
+			})
+		}
+		sort.Slice(rep.KindLoads, func(i, j int) bool { return rep.KindLoads[i].Kind < rep.KindLoads[j].Kind })
+	}
 
 	// Per-replica metrics snapshots, matched to execution buckets by
 	// the replica's self URL (or the submission addr when routing is
@@ -689,6 +805,14 @@ func (r *LoadReport) Summary() string {
 	for _, rl := range r.ReplicaLoads {
 		fmt.Fprintf(&b, "  replica %-24s %5d jobs (%d proxied), %3.0f%% store hits, mean %.1fms, p95 %.1fms\n",
 			rl.Addr, rl.Jobs, rl.Proxied, 100*rl.HitRate, rl.MeanMs, rl.P95Ms)
+	}
+	for _, kl := range r.KindLoads {
+		fmt.Fprintf(&b, "  kind   %-12s %5d jobs, mean %.1fms, p50 %.1fms, p95 %.1fms, p99 %.1fms",
+			kl.Kind, kl.Jobs, kl.MeanMs, kl.P50Ms, kl.P95Ms, kl.P99Ms)
+		if kl.Updates > 0 {
+			fmt.Fprintf(&b, ", %d updates (%d delta)", kl.Updates, kl.DeltaPublishes)
+		}
+		fmt.Fprintln(&b)
 	}
 	if m := r.ServerMetrics; m != nil {
 		fmt.Fprintf(&b, "  server: %d accepted, %d completed, %d CFI violations, %d timeouts, %d checks (%d verdict-cache hits)\n",

@@ -93,6 +93,13 @@ type JobRequest struct {
 	// labels it in diagnostics (default "job").
 	Source string `json:"source,omitempty"`
 	Name   string `json:"name,omitempty"`
+	// Kind selects the job shape: "run" (default) executes the
+	// workload/source as-is; "dlopen" synthesizes a dlopen storm (the
+	// guest loads Work modules, each a policy update transaction);
+	// "jitsim" synthesizes a staged-JIT guest (few modules, hot checked
+	// calls through each stage). The dynamic kinds take no workload or
+	// source; Work scales the module count.
+	Kind string `json:"kind,omitempty"`
 	// Tenant attributes the job for weighted-fair scheduling and
 	// quotas (default "default").
 	Tenant string `json:"tenant,omitempty"`
@@ -130,14 +137,20 @@ type JobResult struct {
 	// StoreTier names where the job's image came from: "mem", "disk",
 	// "remote", or "built" (compiled for this job). BuildCacheHit is
 	// the legacy boolean view of the same fact (any tier but "built").
-	StoreTier     string     `json:"store_tier,omitempty"`
-	BuildCacheHit bool       `json:"build_cache_hit"`
-	QueueMs       float64    `json:"queue_ms"`
-	BuildMs       float64    `json:"build_ms"`
-	RunMs         float64    `json:"run_ms"`
-	Output        string     `json:"output,omitempty"`
-	Error         string     `json:"error,omitempty"`
-	Fault         *FaultInfo `json:"fault,omitempty"`
+	StoreTier     string `json:"store_tier,omitempty"`
+	BuildCacheHit bool   `json:"build_cache_hit"`
+	// Updates counts the job's table update transactions (initial
+	// policy publication plus one per dlopen/dlsym policy change);
+	// DeltaPublishes is how many of those took the incremental delta
+	// path instead of a full table rebuild. Zero for baseline jobs.
+	Updates        int64      `json:"updates,omitempty"`
+	DeltaPublishes int64      `json:"delta_publishes,omitempty"`
+	QueueMs        float64    `json:"queue_ms"`
+	BuildMs        float64    `json:"build_ms"`
+	RunMs          float64    `json:"run_ms"`
+	Output         string     `json:"output,omitempty"`
+	Error          string     `json:"error,omitempty"`
+	Fault          *FaultInfo `json:"fault,omitempty"`
 	// TraceID names the job's recorded trace, retrievable at
 	// /v1/trace/{id} on the executing replica while it stays in the
 	// ring (empty when the job was not sampled). Phases is the
@@ -719,26 +732,42 @@ func (w *limitWriter) Write(p []byte) (int, error) {
 }
 
 // resolve turns a request into buildable sources plus the builder for
-// its flavor.
-func (s *Server) resolve(req JobRequest) (*toolchain.Builder, toolchain.Source, error) {
+// its flavor. For the dynamic-linking job kinds it also returns the
+// plugin module sources the runtime registers before execution.
+func (s *Server) resolve(req JobRequest) (*toolchain.Builder, toolchain.Source, []toolchain.Source, error) {
 	var src toolchain.Source
-	switch {
-	case req.Workload != "" && req.Source != "":
-		return nil, src, fmt.Errorf("request sets both workload and source")
-	case req.Workload != "":
-		w, ok := workload.ByName(req.Workload)
-		if !ok {
-			return nil, src, fmt.Errorf("unknown workload %q", req.Workload)
+	var plugins []toolchain.Source
+	switch req.Kind {
+	case "", "run":
+		switch {
+		case req.Workload != "" && req.Source != "":
+			return nil, src, nil, fmt.Errorf("request sets both workload and source")
+		case req.Workload != "":
+			w, ok := workload.ByName(req.Workload)
+			if !ok {
+				return nil, src, nil, fmt.Errorf("unknown workload %q", req.Workload)
+			}
+			src = toolchain.Source{Name: w.Name, Text: w.SourceWithWork(req.Work)}
+		case req.Source != "":
+			name := req.Name
+			if name == "" {
+				name = "job"
+			}
+			src = toolchain.Source{Name: name, Text: req.Source}
+		default:
+			return nil, src, nil, fmt.Errorf("request needs a workload name or source text")
 		}
-		src = toolchain.Source{Name: w.Name, Text: w.SourceWithWork(req.Work)}
-	case req.Source != "":
-		name := req.Name
-		if name == "" {
-			name = "job"
+	case "dlopen", "jitsim":
+		if req.Workload != "" || req.Source != "" {
+			return nil, src, nil, fmt.Errorf("kind %q synthesizes its own guest; drop workload/source", req.Kind)
 		}
-		src = toolchain.Source{Name: name, Text: req.Source}
+		var err error
+		src, plugins, err = dynSources(req.Kind, req.Work)
+		if err != nil {
+			return nil, src, nil, err
+		}
 	default:
-		return nil, src, fmt.Errorf("request needs a workload name or source text")
+		return nil, src, nil, fmt.Errorf("unknown job kind %q (want run, dlopen, or jitsim)", req.Kind)
 	}
 	profile := visa.Profile64
 	switch req.Profile {
@@ -746,7 +775,7 @@ func (s *Server) resolve(req JobRequest) (*toolchain.Builder, toolchain.Source, 
 	case 32:
 		profile = visa.Profile32
 	default:
-		return nil, src, fmt.Errorf("unknown profile %d (want 32 or 64)", req.Profile)
+		return nil, src, nil, fmt.Errorf("unknown profile %d (want 32 or 64)", req.Profile)
 	}
 	b := toolchain.New(
 		toolchain.WithProfile(profile),
@@ -754,7 +783,7 @@ func (s *Server) resolve(req JobRequest) (*toolchain.Builder, toolchain.Source, 
 		toolchain.WithJobs(s.cfg.BuildJobs),
 		toolchain.WithStore(s.store),
 	)
-	return b, src, nil
+	return b, src, plugins, nil
 }
 
 // runJob executes one job end to end: cache-keyed build, bounded run,
@@ -773,7 +802,7 @@ func (s *Server) runJob(j *job) JobResult {
 		return res
 	}
 
-	b, src, err := s.resolve(j.req)
+	b, src, plugins, err := s.resolve(j.req)
 	if err != nil {
 		res.Status, res.Error = StatusBuildError, err.Error()
 		return res
@@ -820,6 +849,16 @@ func (s *Server) runJob(j *job) JobResult {
 		res.Status, res.Error = StatusBuildError, err.Error()
 		return res
 	}
+	// Dynamic job kinds ship plugin modules the guest dlopens — each
+	// load is a policy update transaction under serving load.
+	for _, ps := range plugins {
+		obj, cerr := b.Compile(ps)
+		if cerr != nil {
+			res.Status, res.Error = StatusBuildError, cerr.Error()
+			return res
+		}
+		rt.RegisterLibrary(obj)
+	}
 
 	runCtx, cancel := context.WithTimeout(j.ctx, j.timeout)
 	watchDone := make(chan struct{})
@@ -843,6 +882,10 @@ func (s *Server) runJob(j *job) JobResult {
 	res.RunMs = ms(execDur)
 	res.Instret = rt.Instret()
 	res.Output = string(out.buf)
+	if rt.Tables != nil {
+		res.Updates = rt.Tables.Updates()
+		res.DeltaPublishes, _ = rt.PublishStats()
+	}
 	s.instret.Add(res.Instret)
 	s.execNanos.Add(execDur.Nanoseconds())
 	st := rt.CheckStats()

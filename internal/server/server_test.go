@@ -348,3 +348,105 @@ func TestLoadMixedWorkloads(t *testing.T) {
 		t.Errorf("goroutines leaked: %d before, %d after", before, after)
 	}
 }
+
+// TestDynamicJobKinds: the dlopen and jitsim job kinds run end to end
+// — the server synthesizes the guest, compiles and registers the
+// plugin modules, and the result reports the update-transaction
+// counters (a dlopen job must have taken the delta publication path).
+func TestDynamicJobKinds(t *testing.T) {
+	s := newTest(t, Config{Workers: 2, QueueDepth: 8})
+	defer drain(t, s)
+
+	res, err := s.Submit(context.Background(), JobRequest{Kind: "dlopen", Work: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOK {
+		t.Fatalf("dlopen job: %+v", res)
+	}
+	if res.Updates < 4 {
+		t.Errorf("dlopen job ran %d update transactions, want >= 4", res.Updates)
+	}
+	if res.DeltaPublishes < 4 {
+		t.Errorf("dlopen job published %d deltas, want >= 4 (one per module)", res.DeltaPublishes)
+	}
+
+	res, err = s.Submit(context.Background(), JobRequest{Kind: "jitsim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOK {
+		t.Fatalf("jitsim job: %+v", res)
+	}
+	if res.Updates == 0 || res.DeltaPublishes == 0 {
+		t.Errorf("jitsim job reported no update activity: %+v", res)
+	}
+
+	// A dynamic kind with an explicit source is a contradiction, and an
+	// unknown kind is a 400-class error, not a crash.
+	if res, err = s.Submit(context.Background(), JobRequest{Kind: "dlopen", Source: helloSrc}); err == nil && res.Status == StatusOK {
+		t.Errorf("kind+source accepted: %+v", res)
+	}
+	if res, err = s.Submit(context.Background(), JobRequest{Kind: "nope"}); err == nil && res.Status == StatusOK {
+		t.Errorf("unknown kind accepted: %+v", res)
+	}
+}
+
+// TestLoadJobMix: a weighted run/dlopen/jitsim mix through the load
+// generator completes, honors the weights, and reports per-kind
+// latency percentiles plus the dynamic kinds' update counters.
+func TestLoadJobMix(t *testing.T) {
+	s := newTest(t, Config{Workers: 4, QueueDepth: 16})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		drain(t, s)
+		ts.Close()
+	}()
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Requests:    18,
+		Workloads:   []string{"bzip2", "mcf"},
+		UseTestWork: true,
+		JobMix:      map[string]int{"run": 4, "dlopen": 1, "jitsim": 1},
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Statuses[StatusOK]; got != 18 {
+		t.Fatalf("ok = %d of 18; statuses: %v", got, rep.Statuses)
+	}
+	byKind := map[string]KindLoad{}
+	for _, kl := range rep.KindLoads {
+		byKind[kl.Kind] = kl
+	}
+	// 18 jobs over a 4:1:1 pattern of length 6 = 3 full cycles.
+	if byKind["run"].Jobs != 12 || byKind["dlopen"].Jobs != 3 || byKind["jitsim"].Jobs != 3 {
+		t.Fatalf("kind split: %+v", rep.KindLoads)
+	}
+	for _, kind := range []string{"dlopen", "jitsim"} {
+		kl := byKind[kind]
+		if kl.P50Ms <= 0 || kl.P99Ms < kl.P50Ms {
+			t.Errorf("%s percentiles malformed: %+v", kind, kl)
+		}
+		if kl.Updates == 0 || kl.DeltaPublishes == 0 {
+			t.Errorf("%s jobs reported no update transactions: %+v", kind, kl)
+		}
+	}
+	// Plain run jobs carry only the initial policy publication (one
+	// full update transaction each) and no deltas.
+	if rk := byKind["run"]; rk.DeltaPublishes != 0 || rk.Updates > rk.Jobs {
+		t.Errorf("plain run jobs reported dlopen activity: %+v", rk)
+	}
+
+	// An invalid kind in the mix fails fast, before any request.
+	if _, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL: ts.URL, Requests: 1,
+		JobMix: map[string]int{"bogus": 1},
+		Client: ts.Client(),
+	}); err == nil {
+		t.Error("bogus job kind accepted by RunLoad")
+	}
+}

@@ -24,6 +24,7 @@ package tables
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -82,8 +83,14 @@ type Tables struct {
 	// hooks run at the end of every update transaction, while updMu is
 	// still held — after the new Bary IDs are published. Subscribers
 	// (the VM's fused-check verdict cache) use them to drop state bound
-	// to the previous CFG.
-	hooks []func()
+	// to the previous CFG. Each hook receives the code-byte extent
+	// [lo, hi) whose Tary entries the transaction may have changed;
+	// full transactions pass the whole covered range.
+	hooks []func(lo, hi int)
+	// scratch is the reusable staging buffer update transactions batch-
+	// construct fresh IDs into before publishing. One buffer suffices:
+	// updates are serialized by updMu.
+	scratch []uint32
 }
 
 // BaryBase is the byte offset of the Bary table within the table
@@ -129,20 +136,30 @@ func (t *Tables) Version() int { return int(atomic.LoadUint32(&t.version)) }
 func (t *Tables) Updates() int64 { return t.updates.Load() }
 
 // OnUpdate subscribes fn to run at the end of every update transaction
-// (Update and Reversion), after the new IDs are published and before
-// the update lock is released. fn must be fast and must not call back
-// into update transactions; it may run concurrently with check
-// transactions, which is exactly the situation it exists to signal.
+// (Update, Reversion, and UpdateDelta), after the new IDs are published
+// and before the update lock is released. fn must be fast and must not
+// call back into update transactions; it may run concurrently with
+// check transactions, which is exactly the situation it exists to
+// signal.
 func (t *Tables) OnUpdate(fn func()) {
+	t.OnUpdateExtent(func(int, int) { fn() })
+}
+
+// OnUpdateExtent is OnUpdate with the changed code-byte extent [lo, hi)
+// passed to the hook, so subscribers can invalidate only the state
+// bound to code whose Tary entries may actually have moved. Full
+// transactions (Update/Reversion) report the entire covered range;
+// UpdateDelta reports the delta extent.
+func (t *Tables) OnUpdateExtent(fn func(lo, hi int)) {
 	t.updMu.Lock()
 	defer t.updMu.Unlock()
 	t.hooks = append(t.hooks, fn)
 }
 
 // notifyUpdate runs the subscribed hooks; the caller holds updMu.
-func (t *Tables) notifyUpdate() {
+func (t *Tables) notifyUpdate(lo, hi int) {
 	for _, fn := range t.hooks {
-		fn()
+		fn(lo, hi)
 	}
 }
 
@@ -268,11 +285,25 @@ type UpdateOpts struct {
 	Between func()
 }
 
-// Update runs an update transaction (TxUpdate, paper Fig. 3): it
-// acquires the global update lock, increments the version, installs
-// new Tary IDs for every four-byte-aligned code address, issues the
-// memory barrier, then installs new Bary IDs.
-func (t *Tables) Update(getTaryECN, getBaryECN ECNFunc, opts UpdateOpts) {
+// scratchWords returns the zeroed staging buffer for n words, growing
+// it as the covered extent grows. Callers hold updMu.
+func (t *Tables) scratchWords(n int) []uint32 {
+	if cap(t.scratch) < n {
+		t.scratch = make([]uint32, n)
+		return t.scratch
+	}
+	s := t.scratch[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// transact is the shared body of the full update transactions (Update
+// and Reversion): acquire the update lock, consume a fresh version,
+// batch-construct the new Tary contents into the scratch buffer,
+// publish, barrier, run the Between slot, rewrite every Bary entry.
+func (t *Tables) transact(opts UpdateOpts, fillTary func(fresh []uint32, ver int), baryID func(i, ver int) uint32) {
 	t.updMu.Lock() // globalUpdateLock.acquire()
 	defer t.updMu.Unlock()
 
@@ -283,13 +314,8 @@ func (t *Tables) Update(getTaryECN, getBaryECN ECNFunc, opts UpdateOpts) {
 	// atomic per-entry stores (each ID update is atomic; entries are
 	// independent, enabling the parallel copy).
 	nw := t.coveredWords()
-	fresh := make([]uint32, nw)
-	for w := range fresh {
-		addr := w * 4
-		if ecn := getTaryECN(addr); ecn >= 0 {
-			fresh[w] = uint32(id.Encode(ecn, ver))
-		}
-	}
+	fresh := t.scratchWords(nw)
+	fillTary(fresh, ver)
 	t.publish(t.tary[:nw], fresh, opts.Parallel)
 
 	// sfence: all Tary writes complete before any Bary write. Go's
@@ -305,15 +331,30 @@ func (t *Tables) Update(getTaryECN, getBaryECN ECNFunc, opts UpdateOpts) {
 
 	// updBaryTable.
 	for i := range t.bary {
-		if ecn := getBaryECN(i); ecn >= 0 {
-			atomic.StoreUint32(&t.bary[i], uint32(id.Encode(ecn, ver)))
-		} else {
-			atomic.StoreUint32(&t.bary[i], 0)
-		}
+		atomic.StoreUint32(&t.bary[i], baryID(i, ver))
 	}
 	t.updates.Add(1)
 	t.sinceQuiescence.Add(1)
-	t.notifyUpdate()
+	t.notifyUpdate(0, nw*4)
+}
+
+// Update runs an update transaction (TxUpdate, paper Fig. 3): it
+// acquires the global update lock, increments the version, installs
+// new Tary IDs for every four-byte-aligned code address, issues the
+// memory barrier, then installs new Bary IDs.
+func (t *Tables) Update(getTaryECN, getBaryECN ECNFunc, opts UpdateOpts) {
+	t.transact(opts, func(fresh []uint32, ver int) {
+		for w := range fresh {
+			if ecn := getTaryECN(w * 4); ecn >= 0 {
+				fresh[w] = uint32(id.Encode(ecn, ver))
+			}
+		}
+	}, func(i, ver int) uint32 {
+		if ecn := getBaryECN(i); ecn >= 0 {
+			return uint32(id.Encode(ecn, ver))
+		}
+		return 0
+	})
 }
 
 // Reversion re-publishes every existing ID under a new version while
@@ -321,47 +362,144 @@ func (t *Tables) Update(getTaryECN, getBaryECN ECNFunc, opts UpdateOpts) {
 // experiment ("updates the version numbers of all IDs in the ID tables
 // (but preserving the ECNs)").
 func (t *Tables) Reversion(opts UpdateOpts) {
+	t.transact(opts, func(fresh []uint32, ver int) {
+		for w := range fresh {
+			if old := id.ID(atomic.LoadUint32(&t.tary[w])); old.Valid() {
+				fresh[w] = uint32(id.Encode(old.ECN(), ver))
+			}
+		}
+	}, func(i, ver int) uint32 {
+		if old := id.ID(atomic.LoadUint32(&t.bary[i])); old.Valid() {
+			return uint32(id.Encode(old.ECN(), ver))
+		}
+		return uint32(atomic.LoadUint32(&t.bary[i]))
+	})
+}
+
+// UpdateDelta runs a delta update transaction: instead of rebuilding
+// and republishing the whole covered Tary range, it publishes only the
+// IDs a module load actually changed — the freshly covered extent
+// [covered, newLimit) plus any already-covered words and Bary entries
+// whose equivalence class moved — so a dlopen costs O(module), not
+// O(program).
+//
+// The delta is version-NEUTRAL: new IDs are encoded under the current
+// global version and the version is not bumped. This is what makes
+// partial publication safe. The check transaction's retry fires only
+// on a version mismatch between a valid branch ID and a valid target
+// ID; were the delta to consume a new version while leaving untouched
+// words at the old one, a checker could pair a new-version branch ID
+// with an old-version target ID of the same class and spin forever.
+// At a single version every published ID is immediately consistent
+// with every untouched ID, so checks decide without retrying.
+//
+// Version-neutrality is sound because a delta never moves an existing
+// address to a *different* valid class — callers fall back to a full
+// Update when classes merge across modules. Each word therefore goes
+// monotonically from invalid (or absent) to its one new ID, every
+// individual store is atomic, and any interleaving a checker observes
+// is either the old policy (target invalid → violation, as before the
+// load) or the new one. Because no version is consumed, delta updates
+// do not advance the ABA counter: a parked checker that saw version v
+// still finds version v, not a 2^14-wrapped reincarnation (§5.2's ABA
+// guard continues to govern the full-update path only).
+//
+// taryECN maps code addresses (4-byte aligned) to their new ECNs and
+// baryECN maps Bary indexes likewise; a negative ECN clears the entry.
+// The freshly covered extent is batch-built into the reusable scratch
+// buffer and published in one pass; entries inside the old extent are
+// compare-before-store so untouched words generate no coherence
+// traffic. Returns the number of table words actually stored.
+func (t *Tables) UpdateDelta(newLimit int, taryECN, baryECN map[int]int, opts UpdateOpts) int {
 	t.updMu.Lock()
 	defer t.updMu.Unlock()
 
-	ver := int(t.version+1) % id.MaxVersion
-	atomic.StoreUint32(&t.version, uint32(ver))
+	oldCov := int(t.covered.Load())
+	if newLimit < oldCov {
+		newLimit = oldCov
+	}
+	if newLimit > t.codeLimit {
+		newLimit = t.codeLimit
+	}
+	newCov := (newLimit + 3) &^ 3
+	oldNW, nw := oldCov/4, newCov/4
+	ver := int(atomic.LoadUint32(&t.version)) // version-neutral: see above
+	stored := 0
+	lo := oldCov // changed-extent low bound, for the invalidation hooks
 
-	nw := t.coveredWords()
-	fresh := make([]uint32, nw)
-	for w := 0; w < nw; w++ {
-		old := id.ID(atomic.LoadUint32(&t.tary[w]))
-		if old.Valid() {
-			fresh[w] = uint32(id.Encode(old.ECN(), ver))
+	// Changed words inside the already-covered extent (e.g. an old
+	// function newly made address-taken): compare-before-store.
+	for addr, ecn := range taryECN {
+		if addr < 0 || addr >= oldCov || addr&3 != 0 {
+			continue
+		}
+		var nid uint32
+		if ecn >= 0 {
+			nid = uint32(id.Encode(ecn, ver))
+		}
+		if atomic.LoadUint32(&t.tary[addr/4]) != nid {
+			atomic.StoreUint32(&t.tary[addr/4], nid)
+			stored++
+			if addr < lo {
+				lo = addr
+			}
 		}
 	}
-	t.publish(t.tary[:nw], fresh, opts.Parallel)
+
+	// The freshly covered extent is batch-built once into the scratch
+	// buffer, then published like a full transaction's Tary phase
+	// (publish itself skips the goroutine fan-out for small deltas).
+	if nw > oldNW {
+		fresh := t.scratchWords(nw - oldNW)
+		for w := range fresh {
+			if ecn, ok := taryECN[(oldNW+w)*4]; ok && ecn >= 0 {
+				fresh[w] = uint32(id.Encode(ecn, ver))
+			}
+		}
+		t.publish(t.tary[oldNW:nw], fresh, opts.Parallel)
+		stored += nw - oldNW
+	}
+	t.covered.Store(int64(newCov))
+
 	memoryBarrier()
 	if opts.Between != nil {
 		opts.Between()
 		memoryBarrier()
 	}
-	for i := range t.bary {
-		old := id.ID(atomic.LoadUint32(&t.bary[i]))
-		if old.Valid() {
-			atomic.StoreUint32(&t.bary[i], uint32(id.Encode(old.ECN(), ver)))
+
+	for i, ecn := range baryECN {
+		if i < 0 || i >= len(t.bary) {
+			continue
+		}
+		var nid uint32
+		if ecn >= 0 {
+			nid = uint32(id.Encode(ecn, ver))
+		}
+		if atomic.LoadUint32(&t.bary[i]) != nid {
+			atomic.StoreUint32(&t.bary[i], nid)
+			stored++
 		}
 	}
 	t.updates.Add(1)
-	t.sinceQuiescence.Add(1)
-	t.notifyUpdate()
+	// No version was consumed, so sinceQuiescence stays put: the ABA
+	// hazard exists only when versions can wrap past a parked checker.
+	t.notifyUpdate(lo, newCov)
+	return stored
 }
 
 // publish copies fresh into dst with atomic stores, optionally fanned
-// out over goroutines (the movnti parallel copy).
+// out over goroutines (the movnti parallel copy). The fan-out width
+// follows the host's parallelism; small inputs — full tables of small
+// programs and most delta extents — stay sequential, where the
+// goroutine handoff would cost more than the copy.
 func (t *Tables) publish(dst, fresh []uint32, parallel bool) {
-	if !parallel || len(dst) < 1<<14 {
+	shards := runtime.GOMAXPROCS(0)
+	if !parallel || shards < 2 || len(dst) < 1<<14 {
 		for w := range dst {
 			atomic.StoreUint32(&dst[w], fresh[w])
 		}
 		return
 	}
-	const shards = 8
 	var wg sync.WaitGroup
 	chunk := (len(dst) + shards - 1) / shards
 	for s := 0; s < shards; s++ {

@@ -33,10 +33,14 @@
 //
 // Invalidation reuses the verdict caches' epoch: a block is stamped
 // with the check epoch read BEFORE its first byte is decoded, and the
-// dispatcher refuses any block whose stamp is not the current epoch.
-// Every update transaction and every Protect bumps the epoch, so a
-// block can never replay a check verdict or code bytes from before
-// the bump; a stale block is dropped at dispatch and its start
+// dispatcher refuses any block whose stamp is below the discard
+// floor. A full update transaction advances the floor to the new
+// epoch (BumpCheckEpoch), condemning every block; a delta update or
+// Protect advances only the epoch and drops the compiler pages
+// overlapping the changed extent (BumpCheckEpochExtent), so blocks
+// elsewhere survive. Either way a block can never replay a check
+// verdict (checks re-validate at execution) or code bytes from before
+// the change; a condemned block is dropped at dispatch and its start
 // re-profiled from zero.
 //
 // Accounting is bit-identical to the other engines. Pure register
@@ -163,7 +167,8 @@ type blockStep struct {
 type compiledBlock struct {
 	// epoch is the check epoch the block's bytes and fused-check
 	// bindings were read at; the dispatcher drops the block when the
-	// process epoch has moved (update transaction or Protect).
+	// stamp falls below the process's discard floor (advanced by each
+	// full-range update transaction).
 	epoch int64
 	// steps is the block body, executed in order by Thread.runBlock.
 	steps []blockStep
@@ -188,6 +193,13 @@ type jitPage struct {
 type jitState struct {
 	pages     []atomic.Pointer[jitPage]
 	threshold int64
+
+	// floor is the discard floor: a block whose epoch stamp is below
+	// it is stale. BumpCheckEpoch stores the new epoch here (full
+	// invalidation); BumpCheckEpochExtent leaves it alone and drops
+	// pages instead (extent invalidation). Invariant: floor <= epoch,
+	// so a freshly stamped block is never born stale.
+	floor atomic.Int64
 
 	compiled     atomic.Int64
 	compileNanos atomic.Int64
@@ -652,10 +664,10 @@ func (t *Thread) runBlockJIT(maxInstr int64) error {
 		if maxInstr > 0 && maxInstr < limit {
 			limit = maxInstr
 		}
-		// The epoch is re-read once per watermark window; the discard
-		// path refreshes it before condemning a block, so a block
-		// compiled inside the current window is not thrashed.
-		epoch := p.fused.epoch.Load()
+		// The discard floor is re-read once per watermark window; the
+		// discard path refreshes it before condemning a block, so a
+		// block compiled inside the current window is not thrashed.
+		floor := p.jit.floor.Load()
 		for t.Instret < limit {
 			pc := t.PC
 			pg := uint64(pc) / PageSize
@@ -666,16 +678,16 @@ func (t *Thread) runBlockJIT(maxInstr int64) error {
 			}
 			if jp != nil {
 				if b := jp.blocks[off].Load(); b != nil {
-					stale := b.epoch != epoch
+					stale := b.epoch < floor
 					if stale {
-						epoch = p.fused.epoch.Load()
-						stale = b.epoch != epoch
+						floor = p.jit.floor.Load()
+						stale = b.epoch < floor
 					}
 					if stale {
-						// Compiled before the last update transaction or
-						// protection change: drop it and re-profile, so a
-						// stale check verdict or stale code bytes can
-						// never execute.
+						// Compiled before the last full update
+						// transaction: drop it and re-profile, so stale
+						// code bytes or pre-bound state can never
+						// execute.
 						jp.blocks[off].CompareAndSwap(b, nil)
 						jp.counts[off].Store(0)
 						p.jit.discards.Add(1)

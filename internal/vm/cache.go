@@ -227,9 +227,9 @@ func (p *Process) cacheFill(pc int64) (*visa.Instr, int, error) {
 // cached there may span into it. The block compiler's pages drop on
 // the same bounds: a compiled block contains only instructions that
 // start inside its own page, so the one-page-back rule covers every
-// block that could span the changed range. (The epoch stamp already
-// keeps stale blocks from dispatching — Protect bumps it — so this
-// additionally reclaims their memory and resets their profiles.)
+// block that could span the changed range. (Protect additionally
+// bumps the check epoch over the same extent, so cached verdicts
+// bound to the old bytes cannot be replayed either.)
 func (p *Process) invalidate(first, last int64) {
 	if first > 0 {
 		first--

@@ -133,10 +133,37 @@ func (p *Process) RegisterCheckSites(starts []int64) {
 	f.sites.Store(&sites)
 }
 
-// BumpCheckEpoch invalidates every cached check verdict. The runtime
-// subscribes it to tables.Tables.OnUpdate so each completed update
-// transaction kills verdicts bound to the previous CFG.
-func (p *Process) BumpCheckEpoch() { p.fused.epoch.Add(1) }
+// BumpCheckEpoch invalidates every cached check verdict and marks
+// every compiled block stale (the discard floor advances to the new
+// epoch). The runtime subscribes it to full-range table update
+// transactions so each completed update kills verdicts and blocks
+// bound to the previous CFG.
+func (p *Process) BumpCheckEpoch() {
+	e := p.fused.epoch.Add(1)
+	p.jit.floor.Store(e)
+}
+
+// BumpCheckEpochExtent is the delta-update variant: it invalidates
+// every cached check verdict (verdicts are cheap to recompute and may
+// depend on any table word, so the epoch still bumps), but instead of
+// condemning every compiled block it drops only the block-compiler
+// pages overlapping [lo, hi) — the discard floor stays put, so blocks
+// outside the changed extent survive a dlopen. Sound because a block
+// embeds only code bytes and pre-bound handlers, never a check
+// verdict: fused check steps re-validate against the tables (and the
+// new epoch) at execution time, so a surviving block cannot replay a
+// pre-update verdict.
+func (p *Process) BumpCheckEpochExtent(lo, hi int64) {
+	p.fused.epoch.Add(1)
+	first := lo / PageSize
+	if first > 0 {
+		first-- // a block one page back may span into the extent
+	}
+	last := (hi + PageSize - 1) / PageSize
+	for pg := first; pg >= 0 && pg < last && pg < int64(len(p.jit.pages)); pg++ {
+		p.jit.pages[pg].Store(nil)
+	}
+}
 
 // CheckEpoch returns the current verdict-cache epoch.
 func (p *Process) CheckEpoch() int64 { return p.fused.epoch.Load() }

@@ -236,8 +236,11 @@ func (p *Process) Protect(addr, size int64, prot uint32) {
 	}
 	p.invalidate(first, last)
 	// Code (and so the meaning of a cached check verdict) may have
-	// changed across the transition.
-	p.BumpCheckEpoch()
+	// changed across the transition — but only inside [addr,
+	// addr+size), so condemn blocks and verdicts per-extent rather
+	// than flushing the whole block compiler; a dlopen then costs the
+	// new module's pages, not every hot block in the program.
+	p.BumpCheckEpochExtent(addr, addr+size)
 }
 
 // Prot returns the protection bits of the page containing addr.
